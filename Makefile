@@ -1,0 +1,23 @@
+# Convenience targets for the MINE assessment reproduction.
+
+.PHONY: install test bench examples artifacts clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# regenerate every paper table/figure with the printed artifacts visible
+artifacts:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; echo "all examples ok"
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks report-artifacts
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,63 @@
+"""Ablation — the paper's D = PH − PL vs the point-biserial baseline,
+and split-group P = (PH+PL)/2 vs whole-group P = R/N.
+
+Both discrimination measures must rank items the same way (the paper's
+cheap statistic agrees with the textbook correlation), and the two
+difficulty definitions must track each other closely — the evidence that
+the paper's simplified §4.1.1 arithmetic is a sound stand-in for
+classical item analysis.
+"""
+
+from repro.baselines.classical import classical_item_analysis
+
+from conftest import show
+
+
+def rank_order(values):
+    return sorted(range(len(values)), key=lambda index: -values[index])
+
+
+def spearman(xs, ys):
+    """Spearman rank correlation without scipy (ties broken by index)."""
+    n = len(xs)
+    rank_x = {item: rank for rank, item in enumerate(rank_order(xs))}
+    rank_y = {item: rank for rank, item in enumerate(rank_order(ys))}
+    d_squared = sum((rank_x[i] - rank_y[i]) ** 2 for i in range(n))
+    return 1 - 6 * d_squared / (n * (n * n - 1))
+
+
+def test_bench_ablation_discrimination(benchmark, classroom, classroom_analysis):
+    _, _, data = classroom
+    analysis = classroom_analysis
+    classical = classical_item_analysis(data.responses, data.specs)
+
+    paper_d = [question.discrimination for question in analysis.questions]
+    baseline_rpb = [stats.point_biserial for stats in classical]
+    paper_p = [question.difficulty for question in analysis.questions]
+    baseline_p = [stats.difficulty for stats in classical]
+
+    lines = ["item   D(paper)  r_pb(baseline)  P(split)  P(whole)"]
+    for index in range(len(paper_d)):
+        lines.append(
+            f"q{index + 1:02d}    {paper_d[index]:+.3f}    "
+            f"{baseline_rpb[index]:+.3f}          "
+            f"{paper_p[index]:.3f}     {baseline_p[index]:.3f}"
+        )
+    rho_d = spearman(paper_d, baseline_rpb)
+    rho_p = spearman(paper_p, baseline_p)
+    lines.append(f"rank correlation: D vs r_pb = {rho_d:.3f}, "
+                 f"P_split vs P_whole = {rho_p:.3f}")
+    show("Ablation: paper's statistics vs classical baselines", "\n".join(lines))
+
+    # Shape: the two discrimination measures rank items nearly
+    # identically, and the two difficulty definitions agree strongly.
+    assert rho_d > 0.8
+    assert rho_p > 0.9
+    # both measures agree on the single worst item (the engineered q5).
+    assert rank_order(paper_d)[-1] == rank_order(baseline_rpb)[-1]
+    # split-group P and whole-group P never diverge wildly on any item
+    for split_p, whole_p in zip(paper_p, baseline_p):
+        assert abs(split_p - whole_p) < 0.15
+
+    result = benchmark(classical_item_analysis, data.responses, data.specs)
+    assert len(result) == 10

@@ -1,0 +1,86 @@
+"""Ablation — the on-line exam monitor's overhead.
+
+The paper adds picture capture to every sitting ("monitor function
+captures the client picture for monitoring the exam progress").  This
+ablation measures what that costs: the same class of 44 is run with the
+monitor enabled (30 s capture interval), with an aggressive 5 s interval,
+and disabled, comparing frames stored and wall-clock per pipeline run.
+The shape claim: capture volume scales with the interval, and the
+monitor's cost stays a small fraction of the pipeline.
+"""
+
+import random
+
+from repro.delivery.clock import ManualClock
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.lms.monitor import ExamMonitor
+from repro.sim.learner_model import sample_selection
+from repro.sim.population import make_population
+from repro.sim.workloads import classroom_exam, classroom_parameters
+
+from conftest import show
+
+
+def run_class(monitor, seed=5):
+    exam = classroom_exam()
+    parameters = classroom_parameters()
+    clock = ManualClock()
+    lms = Lms(clock=clock, monitor=monitor)
+    lms.offer_exam(exam)
+    rng = random.Random(seed)
+    for learner in make_population(44, seed=seed):
+        lms.register_learner(
+            Learner(learner_id=learner.learner_id, name=learner.learner_id)
+        )
+        lms.enroll(learner.learner_id, exam.exam_id)
+        lms.start_exam(learner.learner_id, exam.exam_id)
+        for item in exam.items:
+            clock.advance(rng.uniform(20, 80))
+            selection = sample_selection(
+                rng, learner, parameters[item.item_id],
+                item.labels, item.correct_label,
+            )
+            if selection is not None:
+                lms.answer(
+                    learner.learner_id, exam.exam_id, item.item_id, selection
+                )
+        lms.submit(learner.learner_id, exam.exam_id)
+    return lms
+
+
+def total_frames(lms):
+    return sum(
+        len(lms.monitor.frames_for(learner_id, exam_id))
+        for learner_id, exam_id in lms.monitor.monitored_sittings()
+    )
+
+
+def test_bench_ablation_monitor(benchmark):
+    configurations = {
+        "disabled": ExamMonitor(enabled=False),
+        "30s interval": ExamMonitor(interval_seconds=30.0),
+        "5s interval": ExamMonitor(interval_seconds=5.0),
+    }
+    frames = {}
+    for label, monitor in configurations.items():
+        lms = run_class(monitor)
+        frames[label] = total_frames(lms)
+    lines = [
+        f"{label:<14} {count:>5} frames captured"
+        for label, count in frames.items()
+    ]
+    show("Ablation: exam-monitor capture volume", "\n".join(lines))
+
+    # Shape: no frames when disabled; tighter interval captures more.
+    assert frames["disabled"] == 0
+    assert frames["5s interval"] > frames["30s interval"] > 0
+    # every answer polls at most once, so frames are bounded by polls
+    # (44 learners x (1 launch + 10 answers))
+    assert frames["5s interval"] <= 44 * 11
+
+    def monitored_run():
+        return run_class(ExamMonitor(interval_seconds=30.0), seed=6)
+
+    lms = benchmark.pedantic(monitored_run, rounds=3, iterations=1)
+    assert len(lms.results_for("classroom-mid")) == 44

@@ -1,0 +1,71 @@
+"""§5 architecture — the full author → package → LMS → analysis pipeline.
+
+Times one complete pass of the paper's Figure 3 architecture with a class
+of 44 (the paper's worked-example class size): offering the exam,
+enrolling, delivering through the SCORM RTE with the monitor capturing,
+grading, and producing the §4 report.
+"""
+
+import random
+
+from repro.core.signals import Signal
+from repro.delivery.clock import ManualClock
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.lms.tracking import EventKind
+from repro.sim.learner_model import sample_selection
+from repro.sim.population import make_population
+from repro.sim.workloads import classroom_exam, classroom_parameters
+
+from conftest import show
+
+
+def run_class(seed: int = 0):
+    exam = classroom_exam()
+    parameters = classroom_parameters()
+    clock = ManualClock()
+    lms = Lms(clock=clock)
+    lms.offer_exam(exam)
+    rng = random.Random(seed)
+    for learner in make_population(44, seed=seed):
+        lms.register_learner(
+            Learner(learner_id=learner.learner_id, name=learner.learner_id)
+        )
+        lms.enroll(learner.learner_id, exam.exam_id)
+        lms.start_exam(learner.learner_id, exam.exam_id)
+        for item in exam.items:
+            clock.advance(rng.uniform(20, 80))
+            selection = sample_selection(
+                rng,
+                learner,
+                parameters[item.item_id],
+                item.labels,
+                item.correct_label,
+            )
+            if selection is not None:
+                lms.answer(
+                    learner.learner_id, exam.exam_id, item.item_id, selection
+                )
+        lms.submit(learner.learner_id, exam.exam_id)
+    return lms, exam
+
+
+def test_bench_end_to_end(benchmark):
+    lms, exam = run_class(seed=3)
+    report = lms.report_for(exam.exam_id)
+    show("§5 end-to-end: the teacher's report", report.render()[:2000] + "\n...")
+
+    # Shape: 44 sittings, all tracked, all monitored, groups of 11.
+    assert len(lms.results_for(exam.exam_id)) == 44
+    counts = lms.tracking.counts_by_kind()
+    assert counts[EventKind.SUBMITTED] == 44
+    assert len(lms.monitor.monitored_sittings()) == 44
+    assert len(report.cohort.high_group) == 11  # 44 x 25%, as in the paper
+    assert any(signal is Signal.GREEN for signal in report.cohort.signals)
+
+    def pipeline():
+        lms_run, exam_run = run_class(seed=4)
+        return lms_run.report_for(exam_run.exam_id)
+
+    result = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert result.cohort.questions

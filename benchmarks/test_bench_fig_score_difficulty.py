@@ -1,0 +1,53 @@
+"""§4.2.1 figure (2) — test score vs degree of difficulty.
+
+"The figure shows the distribution of score and difficulty."  The
+regenerated distribution must show the signature shape: low scorers earn
+their few points on the *easy* (high-P) questions, so the mean difficulty
+of correctly-answered questions falls as the total score rises.
+"""
+
+from repro.core.exam_analysis import score_vs_difficulty
+from repro.core.figures import render_score_difficulty_figure
+
+from conftest import show
+
+
+def test_bench_fig_score_difficulty(benchmark, classroom, classroom_analysis):
+    _, _, data = classroom
+    analysis = classroom_analysis
+    correct_flags = {
+        response.examinee_id: [
+            selection == spec.correct
+            for selection, spec in zip(response.selections, data.specs)
+        ]
+        for response in data.responses
+    }
+    figure = score_vs_difficulty(
+        analysis.scores, correct_flags, analysis.questions
+    )
+    show(
+        "§4.2.1 figure (2): score vs difficulty",
+        render_score_difficulty_figure(figure),
+    )
+
+    # Shape: every achieved score appears, counts sum to the cohort.
+    assert sum(band.examinees for band in figure.bands) == 200
+    assert set(figure.scores) == set(analysis.scores.values())
+
+    # Signature trend: mean difficulty of correct answers is higher for
+    # low scorers than for the top scorers (they only get the easy ones).
+    scored_bands = [
+        band for band in figure.bands
+        if band.mean_difficulty_of_correct is not None and band.examinees >= 3
+    ]
+    assert len(scored_bands) >= 3
+    low_band = scored_bands[0]
+    high_band = scored_bands[-1]
+    assert low_band.mean_difficulty_of_correct >= (
+        high_band.mean_difficulty_of_correct - 0.05
+    )
+
+    result = benchmark(
+        score_vs_difficulty, analysis.scores, correct_flags, analysis.questions
+    )
+    assert result.bands

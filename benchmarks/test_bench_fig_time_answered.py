@@ -1,0 +1,50 @@
+"""§4.2.1 figure (1) — time vs number of answered questions.
+
+"The figure shows the test time is enough or not."  Regenerates the
+cumulative-answers series for the simulated classroom under two time
+limits: a generous one (verdict: enough) and a tight one (verdict: not
+enough) — the crossover the figure exists to reveal.
+"""
+
+import pytest
+
+from repro.core.exam_analysis import time_vs_answered
+from repro.core.figures import render_time_figure
+
+from conftest import show
+
+
+def test_bench_fig_time_answered(benchmark, classroom):
+    _, _, data = classroom
+
+    generous = time_vs_answered(
+        data.answer_times, time_limit_seconds=45 * 60
+    )
+    tight = time_vs_answered(data.answer_times, time_limit_seconds=5 * 60)
+
+    show(
+        "§4.2.1 figure (1): generous 45-minute limit",
+        render_time_figure(generous),
+    )
+    show(
+        "§4.2.1 figure (1): tight 5-minute limit",
+        render_time_figure(tight),
+    )
+
+    # Shape: the series is cumulative from 0 to the question count.
+    answered = [point.answered for point in generous.series]
+    assert answered[0] == pytest.approx(0.0)
+    assert answered[-1] == pytest.approx(10.0)
+    assert answered == sorted(answered)
+
+    # The verdicts cross over: 45 minutes is enough, 5 minutes is not.
+    assert generous.time_enough is True
+    assert tight.time_enough is False
+    assert (
+        tight.fraction_finished_in_limit < generous.fraction_finished_in_limit
+    )
+
+    result = benchmark(
+        time_vs_answered, data.answer_times, time_limit_seconds=45 * 60
+    )
+    assert result.time_enough is True

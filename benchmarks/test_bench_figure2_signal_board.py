@@ -1,0 +1,29 @@
+"""Figure 2 — the signal-representation interface for a whole test.
+
+Regenerates the traffic-light board for the simulated classroom exam and
+checks the expected pattern: engineered-healthy items green,
+engineered-broken items yellow/red.
+"""
+
+from repro.core.signals import Signal, render_signal_board
+
+from conftest import show
+
+
+def test_bench_figure2_signal_board(benchmark, classroom_analysis):
+    analysis = classroom_analysis
+    board = render_signal_board(analysis.signals)
+    show("Figure 2: signal board for the whole test", board)
+
+    # Shape: one light per question plus the legend.
+    assert board.count("Q") == 10
+    assert "legend" in board
+
+    # The engineered scenario: most items healthy (green); the flat
+    # guessing item q5 must not be green.
+    greens = sum(1 for signal in analysis.signals if signal is Signal.GREEN)
+    assert greens >= 6
+    assert analysis.question(5).signal is not Signal.GREEN
+
+    result = benchmark(render_signal_board, analysis.signals)
+    assert "legend" in result

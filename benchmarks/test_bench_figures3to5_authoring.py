@@ -1,0 +1,92 @@
+"""Figures 3-5 — the authoring interfaces, as their programmatic
+equivalents.
+
+The paper's Figures 3 (choice problem authoring), 4 (edited problem
+presentation style) and 5 (exam authoring interface) are GUI
+screenshots; the reproduction substitutes the underlying operations
+(DESIGN.md §2): authoring a choice problem with positioned pictures,
+re-laying it out by moving template slots, and assembling a grouped exam
+rendered as the paper a learner receives.
+"""
+
+from repro.core.cognition import CognitionLevel
+from repro.exams.authoring import ExamBuilder
+from repro.exams.render import render_answer_key, render_exam_paper
+from repro.items.base import Picture
+from repro.items.choice import MultipleChoiceItem
+from repro.items.rendering import render_item, render_layout
+from repro.items.templates import apply_template, default_choice_template
+
+from conftest import show
+
+
+def authored_choice_problem():
+    """Figure 3's product: a choice problem with metadata and a picture."""
+    item = MultipleChoiceItem.build(
+        "fig3-choice",
+        "Which traversal visits the root first?",
+        ["preorder", "inorder", "postorder", "level order"],
+        correct_index=0,
+        hint="root, left, right",
+        subject="trees",
+        cognition_level=CognitionLevel.COMPREHENSION,
+    )
+    item.pictures = [Picture(resource="tree-diagram.gif", x=50, y=1)]
+    return item
+
+
+def test_bench_figures3to5_authoring(benchmark):
+    # Figure 3: the authored choice problem.
+    item = authored_choice_problem()
+    show("Figure 3: choice problem authoring (rendered)", render_item(item, 1))
+    assert item.metadata.assessment.individual_test.answer == "A"
+    assert item.metadata.assessment.question_style.value == "multiple_choice"
+
+    # Figure 4: "We set the presentation style by moving each item."
+    template = default_choice_template()
+    template.move_slot("question", 4, 0)
+    template.move_slot("option0", 8, 2)
+    layout = apply_template(item, template)
+    canvas = render_layout(layout)
+    show("Figure 4: edited problem presentation style", canvas)
+    question_element = next(e for e in layout if e.role == "question")
+    assert (question_element.x, question_element.y) == (4, 0)
+    picture_element = next(e for e in layout if e.role == "picture0")
+    assert (picture_element.x, picture_element.y) == (50, 1)  # §5.3 x/y
+    assert "tree-diagram.gif" in canvas
+
+    # Figure 5: the exam authoring interface's product — a grouped exam.
+    exam = (
+        ExamBuilder("fig5-exam", "Figure 5 Exam")
+        .add_item(item)
+        .add_item(
+            MultipleChoiceItem.build(
+                "q2", "Which structure backs BFS?", ["queue", "stack"],
+                correct_index=0, subject="graphs",
+            )
+        )
+        .add_item(
+            MultipleChoiceItem.build(
+                "q3", "Which structure backs DFS?", ["stack", "queue"],
+                correct_index=0, subject="graphs",
+            )
+        )
+        .group("graph-part", ["q2", "q3"], template_name="default-choice")
+        .time_limit(1200)
+        .build()
+    )
+    paper = render_exam_paper(exam)
+    show("Figure 5: exam authoring -> the learner's paper", paper)
+    assert "--- graph-part ---" in paper
+    assert "time limit 20 minutes" in paper
+    key = render_answer_key(exam)
+    assert "[fig3-choice] A" in key
+
+    def author_and_render():
+        fresh = authored_choice_problem()
+        fresh_template = default_choice_template()
+        fresh_template.move_slot("question", 4, 0)
+        return render_layout(apply_template(fresh, fresh_template))
+
+    result = benchmark(author_and_render)
+    assert "preorder" in result

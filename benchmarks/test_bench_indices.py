@@ -1,0 +1,77 @@
+"""§3.3 — the Item Difficulty Index worked example and index properties.
+
+"For example, R=800, N=1000, then P = R/N = 800/1000 = 0.8 (80%).
+Generally speaking, the more Item Difficulty Index increase, the question
+is easier."  The bench reproduces the worked number, demonstrates the
+monotonicity claim on simulated items of increasing IRT difficulty, and
+times the index computations.
+"""
+
+import pytest
+
+from repro.core.grouping import GroupSplit
+from repro.core.indices import (
+    difficulty_index,
+    discrimination_index,
+    split_difficulty_index,
+)
+from repro.core.question_analysis import analyze_cohort
+from repro.sim.learner_model import ItemParameters
+from repro.sim.population import make_population
+from repro.sim.workloads import simulate_sitting_data
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+
+from conftest import show
+
+
+def graded_difficulty_exam():
+    """Five items with IRT difficulty rising from -2 to +2 logits."""
+    builder = ExamBuilder("graded", "Graded difficulty")
+    parameters = {}
+    for index, b in enumerate((-2.0, -1.0, 0.0, 1.0, 2.0)):
+        item_id = f"g{index}"
+        builder.add_item(
+            MultipleChoiceItem.build(
+                item_id, f"Item at b={b}?", ["a", "b", "c", "d"], correct_index=0
+            )
+        )
+        parameters[item_id] = ItemParameters(a=1.5, b=b)
+    return builder.build(), parameters
+
+
+def test_bench_indices(benchmark):
+    # The §3.3 worked example, exactly.
+    assert difficulty_index(800, 1000) == pytest.approx(0.8)
+
+    # Monotonicity: easier items (lower IRT b) → higher P, on a simulated
+    # 300-student cohort.
+    exam, parameters = graded_difficulty_exam()
+    learners = make_population(300, seed=21)
+    data = simulate_sitting_data(exam, parameters, learners, seed=22)
+    analysis = analyze_cohort(data.responses, data.specs, split=GroupSplit())
+    ps = [question.difficulty for question in analysis.questions]
+    lines = [
+        f"item {i} (IRT b={b:+.1f}): P={p:.2f}"
+        for i, (b, p) in enumerate(zip((-2.0, -1.0, 0.0, 1.0, 2.0), ps))
+    ]
+    show("§3.3 difficulty monotonicity (lower b = easier = higher P)", "\n".join(lines))
+    assert ps == sorted(ps, reverse=True)
+    assert ps[0] > 0.75  # b=-2 is easy for an N(0,1) cohort
+    assert ps[-1] < 0.45  # b=+2 is hard
+
+    # D = PH − PL and P = (PH + PL)/2 identities on the paper's numbers.
+    assert discrimination_index(0.91, 0.36) == pytest.approx(0.55)
+    assert split_difficulty_index(0.91, 0.36) == pytest.approx(0.635)
+
+    def compute_indices():
+        return [
+            (
+                split_difficulty_index(q.p_high, q.p_low),
+                discrimination_index(q.p_high, q.p_low),
+            )
+            for q in analysis.questions
+        ]
+
+    results = benchmark(compute_indices)
+    assert len(results) == 5

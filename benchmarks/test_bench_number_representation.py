@@ -1,0 +1,41 @@
+"""§4.1.1 — the number representation table (No / PH / PL / D / P).
+
+Regenerates the five-step procedure's output for the simulated classroom
+and checks the identities the paper defines: D = PH − PL,
+P = (PH + PL)/2, and the Kelly-split group sizes.
+"""
+
+import pytest
+
+from repro.core.question_analysis import (
+    number_representation_rows,
+    render_number_representation,
+)
+
+from conftest import show
+
+
+def test_bench_number_representation(benchmark, classroom_analysis):
+    analysis = classroom_analysis
+    show(
+        "§4.1.1 number representation",
+        render_number_representation(analysis.questions),
+    )
+
+    rows = number_representation_rows(analysis.questions)
+    assert len(rows) == 10
+    for number, p_high, p_low, d, p in rows:
+        assert d == pytest.approx(p_high - p_low)
+        assert p == pytest.approx((p_high + p_low) / 2)
+        assert 0.0 <= p_high <= 1.0
+        assert 0.0 <= p_low <= 1.0
+
+    # Step 2 of the procedure: the 25% extreme groups.
+    assert len(analysis.high_group) == len(analysis.low_group) == 50
+
+    # Healthy engineered items (q1, q7) discriminate strongly.
+    assert analysis.question(1).discrimination > 0.3
+    assert analysis.question(7).discrimination > 0.3
+
+    result = benchmark(number_representation_rows, analysis.questions)
+    assert len(result) == 10

@@ -1,0 +1,85 @@
+"""Extension — whole-test reliability (KR-20 / α / SEM).
+
+Completes the §4.2 "total test statistic" toolbox: sweeps exam length on
+the simulated classroom population and regenerates the classic
+Spearman-Brown shape — reliability rises with test length while the
+*relative* SEM falls — plus the KR-20 ≡ α identity for dichotomous items.
+"""
+
+import pytest
+
+from repro.core.reliability import (
+    cronbach_alpha,
+    kr20,
+    standard_error_of_measurement,
+)
+from repro.sim.learner_model import ItemParameters
+from repro.sim.population import make_population
+from repro.sim.workloads import simulate_sitting_data
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+
+from conftest import show
+
+LENGTHS = (5, 10, 20, 40)
+
+
+def exam_of_length(length):
+    builder = ExamBuilder(f"len-{length}", f"{length}-item exam")
+    parameters = {}
+    for index in range(length):
+        item_id = f"i{index:02d}"
+        builder.add_item(
+            MultipleChoiceItem.build(
+                item_id, f"Item {index}?", ["a", "b", "c", "d"], correct_index=0
+            )
+        )
+        parameters[item_id] = ItemParameters(
+            a=1.4, b=-1.5 + 3.0 * index / max(length - 1, 1)
+        )
+    return builder.build(), parameters
+
+
+def correctness_matrix(data):
+    return [
+        [selection == spec.correct
+         for selection, spec in zip(response.selections, data.specs)]
+        for response in data.responses
+    ]
+
+
+def test_bench_reliability(benchmark):
+    learners = make_population(250, seed=41)
+    rows = []
+    for length in LENGTHS:
+        exam, parameters = exam_of_length(length)
+        data = simulate_sitting_data(exam, parameters, learners, seed=42)
+        matrix = correctness_matrix(data)
+        reliability = kr20(matrix)
+        totals = [sum(1.0 for flag in row if flag) for row in matrix]
+        sem = standard_error_of_measurement(totals, max(reliability, 0.0))
+        rows.append((length, reliability, sem, sem / length))
+    lines = ["items  KR-20   SEM(points)  SEM/length"]
+    for length, reliability, sem, relative in rows:
+        lines.append(
+            f"{length:>5}  {reliability:.3f}   {sem:.3f}        {relative:.4f}"
+        )
+    show("Extension: reliability vs test length", "\n".join(lines))
+
+    # Spearman-Brown shape: longer tests are more reliable...
+    reliabilities = [row[1] for row in rows]
+    assert reliabilities == sorted(reliabilities)
+    assert reliabilities[-1] > 0.75
+    # ...and relative SEM shrinks.
+    relative_sems = [row[3] for row in rows]
+    assert relative_sems[-1] < relative_sems[0]
+
+    # KR-20 == alpha for dichotomous scoring.
+    exam, parameters = exam_of_length(20)
+    data = simulate_sitting_data(exam, parameters, learners, seed=43)
+    matrix = correctness_matrix(data)
+    as_scores = [[1.0 if flag else 0.0 for flag in row] for row in matrix]
+    assert kr20(matrix) == pytest.approx(cronbach_alpha(as_scores))
+
+    result = benchmark(kr20, matrix)
+    assert result <= 1.0

@@ -1,0 +1,70 @@
+"""§4.1.2 Examples 1-4 — the four diagnostic rules on the paper's exact
+matrices.
+
+These are the paper's own worked numbers (high/low groups of 20); the
+bench asserts every firing the text derives and times the rule engine on
+the full example set.
+"""
+
+import pytest
+
+from repro.core.rules import OptionMatrix, Status, evaluate_rules
+
+from conftest import show
+
+EXAMPLES = {
+    1: OptionMatrix.from_rows([12, 2, 0, 3, 3], [6, 4, 0, 5, 5], correct="A"),
+    2: OptionMatrix.from_rows([1, 2, 10, 0, 7], [2, 2, 13, 1, 2], correct="C"),
+    3: OptionMatrix.from_rows([15, 2, 2, 0, 1], [5, 4, 5, 4, 2], correct="A"),
+    4: OptionMatrix.from_rows([4, 4, 4, 2, 6], [5, 4, 5, 4, 2], correct="A"),
+}
+
+
+def test_bench_rule_examples(benchmark):
+    outcomes = {
+        number: evaluate_rules(matrix) for number, matrix in EXAMPLES.items()
+    }
+    lines = []
+    for number, matrix in EXAMPLES.items():
+        lines.append(f"Example {number} (correct {matrix.correct}):")
+        lines.append(matrix.render())
+        for match in outcomes[number].matches:
+            lines.append(f"  -> {match.explanation}")
+        lines.append("")
+    show("Paper §4.1.2 Examples 1-4", "\n".join(lines))
+
+    # Example 1: "The option C didn't attract any one of the low score
+    # group ... the option's allure is low."
+    example1 = outcomes[1]
+    assert example1.rule_fired(1)
+    rule1 = next(m for m in example1.matches if m.rule == 1)
+    assert rule1.options == ("C",)
+    assert Status.LOW_ALLURE in rule1.statuses
+
+    # Example 2: correct option C has HC(10) < LC(13); wrong option E has
+    # HE(7) > LE(2) — both flagged as not well-defined.
+    example2 = outcomes[2]
+    assert example2.rule_fired(2)
+    rule2 = next(m for m in example2.matches if m.rule == 2)
+    assert set(rule2.options) == {"C", "E"}
+
+    # Example 3: |LM-Lm| = |5-2| = 3 <= 20*20% = 4, high group uneven.
+    example3 = outcomes[3]
+    assert example3.rule_fired(3)
+    assert not example3.rule_fired(4)
+
+    # Example 4: both spreads small -> both groups lack the concept.
+    example4 = outcomes[4]
+    assert example4.rule_fired(3)
+    assert example4.rule_fired(4)
+    rule4 = next(m for m in example4.matches if m.rule == 4)
+    assert set(rule4.statuses) == {
+        Status.LOW_GROUP_LACKS_CONCEPT,
+        Status.HIGH_GROUP_LACKS_CONCEPT,
+    }
+
+    def run_all():
+        return [evaluate_rules(matrix) for matrix in EXAMPLES.values()]
+
+    results = benchmark(run_all)
+    assert len(results) == 4

@@ -1,0 +1,79 @@
+"""Scaling — the §4.1 analysis pipeline across cohort sizes.
+
+No table in the paper reports runtime, but a production deployment needs
+the analysis to stay interactive as classes grow.  Sweeps the cohort
+size at a fixed 20-question exam and asserts the empirical scaling is
+near-linear in examinees (the algorithm is O(N·Q + N log N) — the sort
+dominates only at extreme N).
+"""
+
+import time
+
+from repro.core.grouping import GroupSplit
+from repro.core.question_analysis import analyze_cohort
+from repro.sim.learner_model import ItemParameters
+from repro.sim.population import make_population
+from repro.sim.workloads import simulate_sitting_data
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+
+from conftest import show
+
+SIZES = (50, 200, 800)
+QUESTIONS = 20
+
+
+def exam_20q():
+    builder = ExamBuilder("scale", "Scaling exam")
+    parameters = {}
+    for index in range(QUESTIONS):
+        item_id = f"i{index:02d}"
+        builder.add_item(
+            MultipleChoiceItem.build(
+                item_id, f"Item {index}?", ["a", "b", "c", "d"],
+                correct_index=0,
+            )
+        )
+        parameters[item_id] = ItemParameters(a=1.3, b=-1.5 + 0.15 * index)
+    return builder.build(), parameters
+
+
+def test_bench_scaling_analysis(benchmark):
+    exam, parameters = exam_20q()
+    datasets = {}
+    for size in SIZES:
+        learners = make_population(size, seed=size)
+        datasets[size] = simulate_sitting_data(
+            exam, parameters, learners, seed=size + 1
+        )
+
+    timings = {}
+    for size, data in datasets.items():
+        start = time.perf_counter()
+        result = analyze_cohort(data.responses, data.specs, split=GroupSplit())
+        timings[size] = time.perf_counter() - start
+        assert len(result.questions) == QUESTIONS
+
+    lines = ["students   analysis time    per-student"]
+    for size in SIZES:
+        lines.append(
+            f"{size:>8}   {timings[size] * 1000:>9.2f} ms   "
+            f"{timings[size] / size * 1e6:>8.1f} us"
+        )
+    ratio = (timings[SIZES[-1]] / SIZES[-1]) / (timings[SIZES[0]] / SIZES[0])
+    lines.append(f"per-student cost ratio (800 vs 50): {ratio:.2f}x")
+    show("Scaling: §4.1 analysis vs cohort size", "\n".join(lines))
+
+    # Shape: near-linear — per-student cost grows by at most ~4x across a
+    # 16x size increase (generous bound; wall-clock noise on small sizes).
+    assert ratio < 4.0
+
+    data_800 = datasets[800]
+
+    def analyze_large():
+        return analyze_cohort(
+            data_800.responses, data_800.specs, split=GroupSplit()
+        )
+
+    result = benchmark(analyze_large)
+    assert len(result.scores) == 800

@@ -1,0 +1,39 @@
+"""Table 1 — the problem-attribute matrix (option × score group).
+
+Regenerates Table 1 for every question of the simulated classroom and
+times building all ten matrices from 200 learners' raw responses — the
+data-preparation step behind the whole signal representation.
+"""
+
+from repro.core.grouping import GroupSplit
+from repro.core.question_analysis import analyze_cohort
+
+from conftest import show
+
+
+def test_bench_table1_problem_attribute(benchmark, classroom, classroom_analysis):
+    _, _, data = classroom
+    analysis = classroom_analysis
+
+    # The regenerated Table 1 for the first three questions.
+    blocks = []
+    for question in analysis.questions[:3]:
+        blocks.append(f"Question {question.number}:")
+        blocks.append(question.matrix.render())
+        blocks.append("")
+    show("Table 1: problem attribute matrices (first 3 questions)", "\n".join(blocks))
+
+    # Shape: every matrix covers the five options, counts bounded by the
+    # group sizes, and HA..HE / LA..LE are non-negative integers.
+    group_size = len(analysis.high_group)
+    assert group_size == 50  # 200 students at 25%
+    for question in analysis.questions:
+        assert len(question.matrix.options) == 5
+        assert 0 <= question.matrix.high_sum <= group_size
+        assert 0 <= question.matrix.low_sum <= group_size
+
+    def rebuild():
+        return analyze_cohort(data.responses, data.specs, split=GroupSplit())
+
+    result = benchmark(rebuild)
+    assert len(result.questions) == 10

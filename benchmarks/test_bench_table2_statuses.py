@@ -1,0 +1,71 @@
+"""Table 2 — the status × rule matrix.
+
+Regenerates the paper's Table 2 (which statuses each rule can assert) and
+verifies it against the rule engine's behaviour on matrices constructed
+to fire each rule in isolation, then times the advice engine.
+"""
+
+from repro.core.advice import advise
+from repro.core.rules import (
+    STATUSES_BY_RULE,
+    OptionMatrix,
+    Status,
+    evaluate_rules,
+)
+from repro.core.signals import Signal
+
+from conftest import show
+
+ALL_STATUSES = list(Status)
+
+
+def test_bench_table2_statuses(benchmark):
+    # Regenerate Table 2 from the rule engine's declaration.
+    header = ["      "] + [status.name[:12].ljust(13) for status in ALL_STATUSES]
+    lines = ["".join(header)]
+    for rule in (1, 2, 3, 4):
+        cells = [
+            ("V" if status in STATUSES_BY_RULE[rule] else "X").ljust(13)
+            for status in ALL_STATUSES
+        ]
+        lines.append(f"Rule {rule} " + "".join(cells))
+    show("Table 2: every status in four rules", "\n".join(lines))
+
+    # The paper's exact Table 2 cells.
+    assert STATUSES_BY_RULE[1] == (Status.LOW_ALLURE,)
+    assert set(STATUSES_BY_RULE[2]) == {
+        Status.OPTION_NOT_CLEAR,
+        Status.CARELESS,
+        Status.NOT_ONLY_ONE_ANSWER,
+    }
+    assert STATUSES_BY_RULE[3] == (Status.LOW_GROUP_LACKS_CONCEPT,)
+    assert set(STATUSES_BY_RULE[4]) == {
+        Status.LOW_GROUP_LACKS_CONCEPT,
+        Status.HIGH_GROUP_LACKS_CONCEPT,
+    }
+
+    # Behavioural check: matrices that isolate each rule assert exactly
+    # those statuses.
+    rule1_only = evaluate_rules(
+        OptionMatrix.from_rows([15, 0, 3, 2], [9, 0, 6, 5], correct="A")
+    )
+    assert rule1_only.fired_rules == (1,)
+    assert set(rule1_only.statuses) == set(STATUSES_BY_RULE[1])
+
+    rule2_only = evaluate_rules(
+        OptionMatrix.from_rows([8, 11, 1, 0], [12, 2, 4, 2], correct="A")
+    )
+    assert 2 in rule2_only.fired_rules and 1 not in rule2_only.fired_rules
+
+    # Advice engine: every status maps to a concrete action.
+    matrix = OptionMatrix.from_rows([4, 4, 4, 2, 6], [5, 4, 5, 4, 2], correct="A")
+    outcome = evaluate_rules(matrix)
+    advice = advise(Signal.RED, outcome.matches)
+    assert len(advice.actions) == len(set(outcome.statuses))
+
+    def advise_all():
+        result = evaluate_rules(matrix)
+        return advise(Signal.RED, result.matches)
+
+    produced = benchmark(advise_all)
+    assert produced.actions

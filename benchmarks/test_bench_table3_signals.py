@@ -1,0 +1,76 @@
+"""Table 3 + the question no.2 / no.6 worked examples.
+
+The paper works two questions from a class of 44 (groups of 11):
+
+* no.2 — PH = 10/11 ≈ 0.91, PL = 4/11 ≈ 0.36, D = 0.55 > 0.3 → green,
+  P = 0.635;
+* no.6 — PH = 5/11 = 0.45, PL = 4/11 = 0.36, D = 0.09 → red band, and
+  Rule 1 flags option A ("The allure of option A is low").
+
+The bench reproduces both numbers exactly (to the paper's rounding) and
+times the single-question analysis.
+"""
+
+import pytest
+
+from repro.core.question_analysis import analyze_matrix
+from repro.core.rules import OptionMatrix
+from repro.core.signals import DEFAULT_POLICY, Signal
+from repro.core.significance import discrimination_significance
+
+from conftest import show
+
+QUESTION_2 = OptionMatrix.from_rows([0, 0, 10, 1], [3, 2, 4, 2], correct="C")
+QUESTION_6 = OptionMatrix.from_rows([1, 1, 4, 5], [0, 2, 4, 4], correct="D")
+
+
+def test_bench_table3_signals(benchmark):
+    analysis_2 = analyze_matrix(QUESTION_2, high_size=11, low_size=11, number=2)
+    analysis_6 = analyze_matrix(QUESTION_6, high_size=11, low_size=11, number=6)
+
+    lines = ["Table 3 bands:"]
+    for signal, band in DEFAULT_POLICY.bands():
+        lines.append(f"  {signal.status:<16} {signal.value:<7} D {band}")
+    for analysis in (analysis_2, analysis_6):
+        lines.append(
+            f"question no.{analysis.number}: PH={analysis.p_high:.2f} "
+            f"PL={analysis.p_low:.2f} D={analysis.discrimination:.2f} "
+            f"P={analysis.difficulty:.3f} -> {analysis.signal.value}"
+        )
+    show("Table 3 + worked examples no.2 / no.6", "\n".join(lines))
+
+    # Question no.2 — the paper's exact arithmetic.
+    assert analysis_2.p_high == pytest.approx(10 / 11)
+    assert analysis_2.p_low == pytest.approx(4 / 11)
+    assert round(analysis_2.discrimination, 2) == 0.55
+    assert round(analysis_2.difficulty, 3) == pytest.approx(0.636, abs=0.001)
+    assert analysis_2.signal is Signal.GREEN  # "D>0.3 The signal is green"
+
+    # Question no.6 — D = 0.09, red band, Rule 1 on option A.
+    assert round(analysis_6.p_high, 2) == 0.45
+    assert round(analysis_6.p_low, 2) == 0.36
+    assert round(analysis_6.discrimination, 2) == 0.09
+    assert analysis_6.signal is Signal.RED
+    rule1 = next(m for m in analysis_6.rules.matches if m.rule == 1)
+    assert rule1.options == ("A",)
+
+    # Statistical footing for the paper's verdicts: the green question's
+    # PH/PL difference is significant in a class of 44; the red one's is
+    # indistinguishable from noise — exactly what "eliminate or fix" says.
+    assert discrimination_significance(10, 11, 4, 11).significant
+    assert not discrimination_significance(5, 11, 4, 11).significant
+
+    # Table 3's band boundaries.
+    assert DEFAULT_POLICY.classify(0.30) is Signal.GREEN
+    assert DEFAULT_POLICY.classify(0.29) is Signal.YELLOW
+    assert DEFAULT_POLICY.classify(0.20) is Signal.YELLOW
+    assert DEFAULT_POLICY.classify(0.19) is Signal.RED
+
+    def analyze_both():
+        return (
+            analyze_matrix(QUESTION_2, 11, 11, number=2),
+            analyze_matrix(QUESTION_6, 11, 11, number=6),
+        )
+
+    results = benchmark(analyze_both)
+    assert results[0].signal is Signal.GREEN

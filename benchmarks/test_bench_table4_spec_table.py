@@ -1,0 +1,41 @@
+"""Table 4 / §4.2.1 figure (3) — the two-way specification table.
+
+Regenerates the cognition-level × concept table for the classroom exam
+(both the SUM(Xi) counts and the TRUE/FALSE view of §4.2.2) and checks
+the §4.2.2 identities.
+"""
+
+from repro.core.cognition import COGNITIVE_LEVELS
+
+from conftest import show
+
+
+def test_bench_table4_spec_table(benchmark, classroom):
+    exam, _, _ = classroom
+    concepts = ["sorting", "hashing", "trees", "recursion"]
+    table = exam.specification_table(concepts=concepts)
+
+    show("Table 4: two-way specification table (counts)", table.render())
+    show("Table 4: TRUE/FALSE view (§4.2.2)", table.render(boolean=True))
+
+    # §4.2.2 identities: total = Σ level sums = Σ concept sums.
+    assert table.total() == 10
+    assert sum(table.level_sums()) == 10
+    assert sum(table.concept_sum(c) for c in concepts) == 10
+
+    # Every exam concept is covered; the declared-but-unexamined
+    # "recursion" row is all FALSE.
+    for concept in ("sorting", "hashing", "trees"):
+        assert table.concept_sum(concept) > 0
+    assert table.lost_concepts() == ["recursion"]
+
+    # TRUE/FALSE semantics match counts.
+    for concept in concepts:
+        for level in COGNITIVE_LEVELS:
+            assert table.has(concept, level) == (table.count(concept, level) > 0)
+
+    def rebuild():
+        return exam.specification_table(concepts=concepts)
+
+    result = benchmark(rebuild)
+    assert result.total() == 10

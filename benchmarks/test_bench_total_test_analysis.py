@@ -1,0 +1,68 @@
+"""§4.2.3 — the whole-test analyses: concept lost, the cognition pyramid,
+and the distribution paint algorithm.
+
+Regenerates each §4.2.3 analysis on exams constructed to exhibit them:
+an exam missing a concept, an exam violating the expected
+SUM(A) ≥ ... ≥ SUM(F) ordering, and the paint rendering of the
+distribution.
+"""
+
+from repro.core.cognition import COGNITIVE_LEVELS, CognitionLevel
+from repro.core.spec_table import SpecificationTable, TaggedQuestion
+
+from conftest import show
+
+
+def pyramid_exam_tags():
+    """A well-formed exam: 5/4/3/2/1/1 questions from knowledge down."""
+    tags = []
+    number = 1
+    for level, count in zip(COGNITIVE_LEVELS, (5, 4, 3, 2, 1, 1)):
+        for _ in range(count):
+            tags.append(
+                TaggedQuestion(number=number, concept=f"c{number % 4}", level=level)
+            )
+            number += 1
+    return tags
+
+
+def inverted_exam_tags():
+    """A malformed exam: all questions at evaluation level."""
+    return [
+        TaggedQuestion(number=n, concept="c1", level=CognitionLevel.EVALUATION)
+        for n in range(1, 7)
+    ]
+
+
+def test_bench_total_test_analysis(benchmark):
+    healthy = SpecificationTable.from_questions(pyramid_exam_tags())
+    inverted = SpecificationTable.from_questions(
+        inverted_exam_tags(), concepts=["c1", "c2-never-examined"]
+    )
+
+    show("§4.2.3 paint: healthy pyramid exam", "\n".join(healthy.paint()))
+    show("§4.2.3 paint: inverted exam", "\n".join(inverted.paint()))
+
+    # (1) concept lost
+    assert healthy.lost_concepts() == []
+    assert inverted.lost_concepts() == ["c2-never-examined"]
+
+    # (2) cognition-level / question-sum relation
+    assert healthy.pyramid_violations() == []
+    violations = inverted.pyramid_violations()
+    assert (CognitionLevel.SYNTHESIS, CognitionLevel.EVALUATION) in violations
+
+    # (3) the paint grid is one row per concept plus a header
+    paint = healthy.paint()
+    assert len(paint) == 1 + len(healthy.concepts)
+
+    def analyze():
+        table = SpecificationTable.from_questions(pyramid_exam_tags())
+        return (
+            table.lost_concepts(),
+            table.pyramid_violations(),
+            table.paint(),
+        )
+
+    lost, pyramid, painted = benchmark(analyze)
+    assert lost == [] and pyramid == [] and painted

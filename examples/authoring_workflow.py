@@ -1,0 +1,158 @@
+"""Authoring workflow: the paper's §5 pipeline end to end.
+
+Run with::
+
+    python examples/authoring_workflow.py
+
+Authors problems of every §3.2 style, stores them in the problem
+database, searches it, assembles an exam with a presentation group and a
+template, renders a problem the way the authoring GUI lays it out
+(Figures 3-4), and finally emits the §5.5 SCORM package.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.cognition import CognitionLevel
+from repro.bank import ItemBank, Query, search
+from repro.exams import ExamBuilder
+from repro.items import (
+    CompletionItem,
+    EssayItem,
+    MatchItem,
+    MultipleChoiceItem,
+    QuestionnaireItem,
+    TrueFalseItem,
+    apply_template,
+    default_choice_template,
+    render_item,
+    render_layout,
+)
+from repro.scorm import ContentPackage, package_exam
+
+
+def author_problems() -> ItemBank:
+    """One problem of each §3.2 style, into the problem database."""
+    bank = ItemBank()
+    bank.add(
+        MultipleChoiceItem.build(
+            "mc-hash",
+            "Which collision strategy probes successive slots?",
+            ["linear probing", "chaining", "double hashing", "cuckoo"],
+            correct_index=0,
+            subject="hashing",
+            cognition_level=CognitionLevel.KNOWLEDGE,
+            hint="think of a queue at adjacent counters",
+        )
+    )
+    bank.add(
+        TrueFalseItem(
+            item_id="tf-hash",
+            question="A perfect hash function guarantees zero collisions.",
+            correct_value=True,
+            subject="hashing",
+            cognition_level=CognitionLevel.COMPREHENSION,
+        )
+    )
+    bank.add(
+        CompletionItem(
+            item_id="cl-hash",
+            question="With chaining, worst-case lookup is O(___).",
+            accepted_answers=[["n"]],
+            subject="hashing",
+            cognition_level=CognitionLevel.COMPREHENSION,
+        )
+    )
+    bank.add(
+        MatchItem(
+            item_id="ma-structs",
+            question="Match each structure to its lookup complexity.",
+            premises=["hash table (avg)", "balanced BST", "sorted array"],
+            options=["O(1)", "O(log n)", "O(n)"],
+            key={
+                "hash table (avg)": "O(1)",
+                "balanced BST": "O(log n)",
+                "sorted array": "O(log n)",
+            },
+            subject="structures",
+            cognition_level=CognitionLevel.ANALYSIS,
+        )
+    )
+    bank.add(
+        EssayItem(
+            item_id="es-design",
+            question="Design a hash function for URLs; justify your choices.",
+            model_answer="mixing, avalanche, modulo table size...",
+            max_points=10,
+            subject="hashing",
+            cognition_level=CognitionLevel.SYNTHESIS,
+        )
+    )
+    bank.add(
+        QuestionnaireItem(
+            item_id="qn-course",
+            question="The hashing unit was well paced.",
+            scale=["disagree", "neutral", "agree"],
+        )
+    )
+    return bank
+
+
+def main() -> None:
+    bank = author_problems()
+    print(f"problem database holds {len(bank)} problems "
+          f"(subjects: {', '.join(bank.subjects())})\n")
+
+    # Search the database the way the paper's authoring tool does.
+    hashing = search(bank, Query().with_subject("hashing"))
+    print("search subject=hashing ->", [item.item_id for item in hashing])
+    knowledge = search(
+        bank, Query().with_cognition_level(CognitionLevel.KNOWLEDGE)
+    )
+    print("search level=knowledge ->", [item.item_id for item in knowledge])
+    print()
+
+    # Assemble the exam: bank problems + one authored on the spot.
+    own_item = TrueFalseItem(
+        item_id="tf-own",
+        question="Open addressing degrades as the load factor nears 1.",
+        correct_value=True,
+        subject="hashing",
+        cognition_level=CognitionLevel.APPLICATION,
+    )
+    exam = (
+        ExamBuilder("hash-unit-exam", "Hashing Unit Exam")
+        .add_from_bank(bank, "mc-hash", "tf-hash", "cl-hash", "ma-structs")
+        .add_item(own_item)
+        .group("objective-part", ["mc-hash", "tf-hash", "tf-own"],
+               template_name="default-choice")
+        .time_limit(30 * 60)
+        .build()
+    )
+    print(f"assembled exam {exam.exam_id!r}: {len(exam.items)} items, "
+          f"max score {exam.max_score():g}\n")
+
+    # Render one problem both plainly and through a §5.3 template layout.
+    choice = exam.item("mc-hash")
+    print("plain rendering:")
+    print(render_item(choice, number=1))
+    print()
+    template = default_choice_template()
+    template.move_slot("question", 2, 0)  # "moving each item" (Figure 4)
+    print("template layout (question slot moved to x=2):")
+    print(render_layout(apply_template(choice, template)))
+    print()
+
+    # §5.5: SCORM format package output service.
+    with tempfile.TemporaryDirectory() as scratch:
+        out = Path(scratch) / "hash-unit-exam.zip"
+        payload = package_exam(exam, out)
+        package = ContentPackage(payload)
+        print(f"SCORM package written: {out.name} ({len(payload)} bytes)")
+        print("package files:")
+        for name in sorted(package.names()):
+            print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Classroom analysis: a full simulated class through the LMS.
+
+Run with::
+
+    python examples/classroom_analysis.py
+
+A class of 44 (the paper's worked-example class size) sits the classroom
+exam through the LMS — SCORM launch, monitored sitting, submission — and
+the teacher gets the complete §4 report: number representation, signal
+board, per-question advice, the time and score/difficulty figures, the
+two-way specification table, and learner feedback for the weakest
+student.
+"""
+
+from repro.adaptive import build_feedback
+from repro.delivery.clock import ManualClock
+from repro.lms import Learner, Lms
+from repro.sim import (
+    classroom_exam,
+    classroom_parameters,
+    make_population,
+    sample_item_time,
+    sample_selection,
+)
+
+import random
+
+
+def main() -> None:
+    exam = classroom_exam()
+    parameters = classroom_parameters()
+    clock = ManualClock()
+    lms = Lms(clock=clock)
+    lms.offer_exam(exam)
+
+    # The paper's worked example uses a class of 44 (groups of 11).
+    population = make_population(44, mean_ability=0.0, seed=2004)
+    rng = random.Random(2004)
+
+    for learner in population:
+        lms.register_learner(
+            Learner(learner_id=learner.learner_id, name=learner.learner_id)
+        )
+        lms.enroll(learner.learner_id, exam.exam_id)
+        lms.start_exam(learner.learner_id, exam.exam_id)
+        for item in exam.items:
+            params = parameters[item.item_id]
+            clock.advance(sample_item_time(rng, learner, params))
+            selection = sample_selection(
+                rng, learner, params, item.labels, item.correct_label
+            )
+            if selection is not None:
+                lms.answer(
+                    learner.learner_id, exam.exam_id, item.item_id, selection
+                )
+        lms.submit(learner.learner_id, exam.exam_id)
+
+    # The teacher's report (§4.1 + §4.2).
+    report = lms.report_for(
+        exam.exam_id, concepts=["sorting", "hashing", "trees", "recursion"]
+    )
+    print(report.render())
+    print()
+
+    # Proctoring: what the monitor captured.
+    sittings = lms.monitor.monitored_sittings()
+    total_frames = sum(
+        len(lms.monitor.frames_for(learner_id, exam_id))
+        for learner_id, exam_id in sittings
+    )
+    print(f"exam monitor: {total_frames} frames across "
+          f"{len(sittings)} sittings")
+    print()
+
+    # Learner-side feedback (the paper's future-work item) for the
+    # weakest performer.
+    results = lms.results_for(exam.exam_id)
+    weakest = min(results, key=lambda sitting: sitting.percent)
+    print(build_feedback(exam, weakest).render())
+
+
+if __name__ == "__main__":
+    main()

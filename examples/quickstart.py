@@ -1,0 +1,58 @@
+"""Quickstart: analyse one exam's results with the paper's §4.1 pipeline.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a tiny cohort by hand (no simulation), runs the difficulty /
+discrimination / rules / signal analysis, and prints the teacher report —
+the shortest possible tour of the core API.
+"""
+
+from repro.core import (
+    ExamineeResponses,
+    GroupSplit,
+    QuestionSpec,
+    analyze_cohort,
+    render_number_representation,
+    render_signal_board,
+)
+
+
+def main() -> None:
+    # An exam of three 4-option questions; "A" keys throughout.
+    questions = [
+        QuestionSpec(options=("A", "B", "C", "D"), correct="A", subject="loops"),
+        QuestionSpec(options=("A", "B", "C", "D"), correct="A", subject="types"),
+        QuestionSpec(options=("A", "B", "C", "D"), correct="A", subject="types"),
+    ]
+
+    # Twelve students: four strong, four middling, four weak.
+    cohort = []
+    for index in range(12):
+        if index < 4:  # strong: everything right
+            selections = ["A", "A", "A"]
+        elif index < 8:  # middling: miss the last question
+            selections = ["A", "A", "C"]
+        else:  # weak: only the first question right
+            selections = ["A", "B", "D"]
+        cohort.append(ExamineeResponses.of(f"student-{index:02d}", selections))
+
+    # The paper's method: top/bottom 25% split, D = PH-PL, P = (PH+PL)/2,
+    # four diagnostic rules, traffic-light signals.
+    analysis = analyze_cohort(cohort, questions, split=GroupSplit(fraction=0.25))
+
+    print("Number representation (paper 4.1.1):")
+    print(render_number_representation(analysis.questions))
+    print()
+    print("Signal board (paper Figure 2):")
+    print(render_signal_board(analysis.signals))
+    print()
+    for question in analysis.questions:
+        print(f"Question {question.number}:")
+        print(question.advice.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

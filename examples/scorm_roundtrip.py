@@ -1,0 +1,84 @@
+"""SCORM round trip: package → repository → reuse → RTE conversation.
+
+Run with::
+
+    python examples/scorm_roundtrip.py
+
+Publishes an exam to the SCORM-compatible external repository, re-imports
+it as another instructor would, then replays the exact API conversation a
+browser SCO has with the LMS — LMSInitialize, LMSSetValue for answers and
+score, LMSCommit, LMSFinish — including a suspend/resume cycle.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.scorm import RunTimeEnvironment, PackageRepository
+from repro.sim import classroom_exam
+
+
+def main() -> None:
+    exam = classroom_exam(question_count=5)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        # Publish to the external repository (§5: Figure 3's second DB).
+        repository = PackageRepository(Path(scratch) / "repository")
+        entry = repository.publish(exam)
+        print(f"published {entry.identifier!r}: {entry.item_count} items "
+              f"as {entry.filename}")
+        for catalog_entry in repository.list_entries():
+            print(f"  catalog: {catalog_entry.identifier} - "
+                  f"{catalog_entry.title}")
+
+        # Another instructor reuses the packaged exam.
+        reused = repository.fetch_exam(exam.exam_id)
+        print(f"re-imported exam {reused.exam_id!r} with "
+              f"{len(reused.items)} items\n")
+
+    # The SCORM RTE conversation, exactly as APIWrapper.js would drive it.
+    rte = RunTimeEnvironment()
+    api = rte.launch("student-7", exam.exam_id, learner_name="Student Seven")
+    print("LMSInitialize ->", api.LMSInitialize(""))
+    print("entry:", api.LMSGetValue("cmi.core.entry"))
+    print("student:", api.LMSGetValue("cmi.core.student_name"))
+
+    # Answer two questions as CMI interactions.
+    for index, (item_id, response, result) in enumerate(
+        [("q01", "alpha", "correct"), ("q02", "gamma", "wrong")]
+    ):
+        api.LMSSetValue(f"cmi.interactions.{index}.id", item_id)
+        api.LMSSetValue(f"cmi.interactions.{index}.type", "choice")
+        api.LMSSetValue(f"cmi.interactions.{index}.student_response", response)
+        api.LMSSetValue(f"cmi.interactions.{index}.result", result)
+    print("interactions recorded:", api.LMSGetValue("cmi.interactions._count"))
+
+    # Suspend mid-exam...
+    api.LMSSetValue("cmi.suspend_data", "answered=2")
+    api.LMSSetValue("cmi.core.exit", "suspend")
+    print("LMSCommit ->", api.LMSCommit(""))
+    print("LMSFinish ->", api.LMSFinish(""))
+
+    # ...and resume in a fresh attempt.
+    api2 = rte.launch("student-7", exam.exam_id)
+    api2.LMSInitialize("")
+    print("\nsecond launch entry:", api2.LMSGetValue("cmi.core.entry"))
+    print("restored suspend data:", api2.LMSGetValue("cmi.suspend_data"))
+    api2.LMSSetValue("cmi.core.score.raw", "60")
+    api2.LMSSetValue("cmi.core.lesson_status", "passed")
+    api2.LMSFinish("")
+
+    record = rte.record("student-7", exam.exam_id)
+    print(f"\nfinal record: attempts={record.attempts} "
+          f"status={record.lesson_status} score={record.score_raw}")
+
+    # The error handler (§5.5): a bad call and its diagnosis.
+    api3 = rte.launch("student-8", exam.exam_id)
+    api3.LMSInitialize("")
+    outcome = api3.LMSSetValue("cmi.core.student_id", "spoofed")
+    code = api3.LMSGetLastError()
+    print(f"\nwrite to read-only element -> {outcome}, error {code}: "
+          f"{api3.LMSGetErrorString(code)}")
+
+
+if __name__ == "__main__":
+    main()

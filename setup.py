@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+``pip install -e .`` cannot build a PEP 660 editable wheel.  This shim
+lets the legacy ``setup.py develop`` / ``pip install -e . --no-build-isolation``
+path work offline.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "A Cognition Assessment Authoring System for
+E-Learning" (Hung et al., 2004).
+
+The library has four layers:
+
+* :mod:`repro.core` — the paper's contribution: the MINE SCORM assessment
+  metadata model (§3) and the analysis model (§4): difficulty and
+  discrimination indices, the four diagnostic rules, traffic-light
+  signals, and whole-test analyses;
+* :mod:`repro.items`, :mod:`repro.exams`, :mod:`repro.bank` — the
+  authoring system (§5): question styles, templates, exam assembly, and
+  the problem & exam database;
+* :mod:`repro.scorm`, :mod:`repro.lms`, :mod:`repro.delivery` — the
+  substrate: SCORM packaging and run-time environment, an LMS with the
+  on-line exam monitor, and the exam delivery session machine;
+* :mod:`repro.sim`, :mod:`repro.adaptive`, :mod:`repro.baselines` —
+  simulated learner cohorts used by the benchmarks, the adaptive-testing
+  extension the paper lists as future work, and classical-test-theory
+  baselines.
+
+Quickstart::
+
+    from repro.core import analyze_cohort, ExamineeResponses, QuestionSpec
+
+    specs = [QuestionSpec(options=("A", "B", "C", "D"), correct="A")]
+    cohort = [ExamineeResponses.of(f"s{i}", ["A" if i % 2 else "B"])
+              for i in range(20)]
+    result = analyze_cohort(cohort, specs)
+    print(result.questions[0].advice.render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,86 @@
+"""Calibrating IRT parameters from the paper's classical indices.
+
+The bridge between the paper's §4.1 statistics and the adaptive-testing
+extension: an item bank whose items carry stored Item Difficulty Index
+(P) and Item Discrimination Index (D) can seed a CAT pool without a
+separate IRT calibration study, using the standard approximations:
+
+* difficulty — ``b ≈ −logit(P) = ln((1 − P) / P)`` (an item everyone
+  gets right sits far below the cohort mean; P = 0.5 maps to b = 0);
+* discrimination — D is mapped onto ``a`` by a monotone stretch
+  ``a ≈ max(a_min, k·D)`` with k chosen so the paper's green threshold
+  (D = 0.30) lands at a modest a ≈ 0.75, and a strong D = 0.8 at a = 2.
+
+These are seeding heuristics, not estimators: once response matrices
+exist, re-fit with :func:`repro.adaptive.item_calibration.calibrate_2pl`
+(full MML/EM estimation).  The heuristics are monotone and bounded,
+which is all CAT item selection needs to get started.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.core.errors import EstimationError
+from repro.adaptive.irt import ItemParameters
+from repro.bank.itembank import ItemBank
+
+__all__ = ["difficulty_to_b", "discrimination_to_a", "calibrate_pool_from_bank"]
+
+#: Classical P values are clamped into this open interval before the
+#: logit so stored extremes (0.0 / 1.0) stay finite.
+_P_FLOOR = 0.02
+_A_SCALE = 2.5
+_A_MIN = 0.3
+_A_MAX = 2.5
+
+
+def difficulty_to_b(p: float) -> float:
+    """Map a classical difficulty index P to an IRT b (−logit)."""
+    if not 0.0 <= p <= 1.0:
+        raise EstimationError(f"P must be a proportion, got {p}")
+    clamped = min(max(p, _P_FLOOR), 1.0 - _P_FLOOR)
+    return math.log((1.0 - clamped) / clamped)
+
+
+def discrimination_to_a(d: float) -> float:
+    """Map a classical discrimination index D to an IRT a.
+
+    Monotone, clamped to [0.3, 2.5]; negative D (a broken item) maps to
+    the floor — such items carry no information and a CAT will avoid
+    them naturally.
+    """
+    if not -1.0 <= d <= 1.0:
+        raise EstimationError(f"D must be in [-1, 1], got {d}")
+    return min(max(_A_SCALE * d, _A_MIN), _A_MAX)
+
+
+def calibrate_pool_from_bank(
+    bank: ItemBank,
+    default_a: float = 1.0,
+    default_b: float = 0.0,
+) -> Dict[str, ItemParameters]:
+    """Build a CAT pool from a bank's stored classical indices.
+
+    Items with stored P/D metadata get calibrated parameters; items
+    without statistics (new questions) get the defaults.  Only objective
+    items enter the pool — essays and questionnaires cannot be
+    auto-scored by a CAT loop.
+    """
+    if default_a <= 0:
+        raise EstimationError(f"default a must be positive, got {default_a}")
+    pool: Dict[str, ItemParameters] = {}
+    for item in bank:
+        if not item.is_objective():
+            continue
+        individual = item.metadata.assessment.individual_test
+        p: Optional[float] = individual.item_difficulty_index
+        d: Optional[float] = individual.item_discrimination_index
+        pool[item.item_id] = ItemParameters(
+            a=discrimination_to_a(d) if d is not None else default_a,
+            b=difficulty_to_b(p) if p is not None else default_b,
+        )
+    if not pool:
+        raise EstimationError("bank has no objective items to calibrate")
+    return pool

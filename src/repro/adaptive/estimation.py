@@ -1,0 +1,100 @@
+"""Ability estimation from response vectors.
+
+Two standard estimators:
+
+* :func:`estimate_ability_map` — maximum a posteriori with a Normal(0, σ)
+  prior, found by Newton iterations on the log-posterior.  The prior
+  keeps all-correct/all-wrong vectors finite, which a pure MLE cannot.
+* :func:`estimate_ability_eap` — expected a posteriori over a quadrature
+  grid; robust, derivative-free, and the usual choice inside CAT loops.
+
+Both return (estimate, standard_error).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.errors import EstimationError
+from repro.adaptive.irt import ItemParameters, item_information, probability_correct
+
+__all__ = ["estimate_ability_map", "estimate_ability_eap"]
+
+
+def _check_inputs(
+    responses: Sequence[bool], parameters: Sequence[ItemParameters]
+) -> None:
+    if not responses:
+        raise EstimationError("cannot estimate ability from zero responses")
+    if len(responses) != len(parameters):
+        raise EstimationError(
+            f"{len(responses)} responses but {len(parameters)} item parameters"
+        )
+
+
+def estimate_ability_map(
+    responses: Sequence[bool],
+    parameters: Sequence[ItemParameters],
+    prior_sd: float = 2.0,
+    max_iterations: int = 50,
+    tolerance: float = 1e-6,
+) -> Tuple[float, float]:
+    """MAP ability estimate via Newton-Raphson on the log-posterior."""
+    _check_inputs(responses, parameters)
+    if prior_sd <= 0:
+        raise EstimationError(f"prior sd must be positive, got {prior_sd}")
+    theta = 0.0
+    prior_precision = 1.0 / (prior_sd ** 2)
+    for _ in range(max_iterations):
+        gradient = -theta * prior_precision
+        curvature = -prior_precision
+        for correct, params in zip(responses, parameters):
+            p = probability_correct(theta, params)
+            p = min(max(p, 1e-9), 1.0 - 1e-9)
+            # d logL / d theta for the 3PL
+            weight = params.a * (p - params.c) / (p * (1.0 - params.c))
+            gradient += weight * ((1.0 if correct else 0.0) - p)
+            curvature -= item_information(theta, params)
+        if curvature >= 0:
+            raise EstimationError("non-concave posterior encountered")
+        step = gradient / curvature
+        theta -= step
+        theta = max(-6.0, min(6.0, theta))
+        if abs(step) < tolerance:
+            break
+    information = sum(item_information(theta, p) for p in parameters)
+    total = information + prior_precision
+    return theta, 1.0 / math.sqrt(total)
+
+
+def estimate_ability_eap(
+    responses: Sequence[bool],
+    parameters: Sequence[ItemParameters],
+    prior_sd: float = 1.0,
+    grid_points: int = 61,
+    grid_half_width: float = 4.5,
+) -> Tuple[float, float]:
+    """EAP ability estimate over a quadrature grid with a Normal prior."""
+    _check_inputs(responses, parameters)
+    if grid_points < 3:
+        raise EstimationError(f"need at least 3 grid points, got {grid_points}")
+    step = 2.0 * grid_half_width / (grid_points - 1)
+    grid: List[float] = [-grid_half_width + i * step for i in range(grid_points)]
+    log_posterior: List[float] = []
+    for theta in grid:
+        log_p = -0.5 * (theta / prior_sd) ** 2
+        for correct, params in zip(responses, parameters):
+            p = probability_correct(theta, params)
+            p = min(max(p, 1e-9), 1.0 - 1e-9)
+            log_p += math.log(p) if correct else math.log(1.0 - p)
+        log_posterior.append(log_p)
+    peak = max(log_posterior)
+    weights = [math.exp(value - peak) for value in log_posterior]
+    total = sum(weights)
+    mean = sum(theta * weight for theta, weight in zip(grid, weights)) / total
+    variance = (
+        sum(weight * (theta - mean) ** 2 for theta, weight in zip(grid, weights))
+        / total
+    )
+    return mean, math.sqrt(max(variance, 1e-12))

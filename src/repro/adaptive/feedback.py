@@ -1,0 +1,125 @@
+"""Assessment feedback for learners (the paper's second future-work item).
+
+Turns a graded sitting into learner-facing feedback: per-concept mastery
+(fraction of that concept's points earned), the cognition levels where
+the learner struggled, and study suggestions — the learner-side
+counterpart of the teacher advice in :mod:`repro.core.advice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import AnalysisError
+from repro.delivery.scoring import GradedSitting
+from repro.exams.exam import Exam
+
+__all__ = ["ConceptMastery", "LearnerFeedback", "build_feedback"]
+
+
+@dataclass(frozen=True)
+class ConceptMastery:
+    """Earned vs available points on one concept."""
+
+    concept: str
+    earned: float
+    available: float
+
+    @property
+    def fraction(self) -> float:
+        """Earned share of the available points on this concept."""
+        return self.earned / self.available if self.available else 0.0
+
+
+@dataclass
+class LearnerFeedback:
+    """Feedback for one learner's sitting."""
+
+    learner_id: str
+    exam_id: str
+    percent: float
+    mastery: List[ConceptMastery]
+    weak_levels: List[CognitionLevel]
+    suggestions: List[str]
+
+    def render(self) -> str:
+        """Learner-facing text: score, per-concept bars, suggestions."""
+        lines = [
+            f"Feedback for {self.learner_id} on {self.exam_id}: "
+            f"{self.percent:.0f}%"
+        ]
+        for record in self.mastery:
+            bar = "#" * int(record.fraction * 20)
+            lines.append(
+                f"  {record.concept:<12} {record.fraction:>4.0%} |{bar}"
+            )
+        if self.weak_levels:
+            levels = ", ".join(level.label for level in self.weak_levels)
+            lines.append(f"  struggled at: {levels}")
+        for suggestion in self.suggestions:
+            lines.append(f"  - {suggestion}")
+        return "\n".join(lines)
+
+
+def build_feedback(
+    exam: Exam,
+    sitting: GradedSitting,
+    mastery_threshold: float = 0.6,
+) -> LearnerFeedback:
+    """Build learner feedback from a graded sitting.
+
+    Concepts and levels come from item tags; untagged items contribute
+    to the total but not to any concept row.
+    """
+    if not 0.0 < mastery_threshold <= 1.0:
+        raise AnalysisError(
+            f"mastery threshold must be in (0, 1], got {mastery_threshold}"
+        )
+    concept_points: Dict[str, Tuple[float, float]] = {}
+    level_points: Dict[CognitionLevel, Tuple[float, float]] = {}
+    for item in exam.items:
+        score = sitting.scores.get(item.item_id)
+        if score is None or score.max_points == 0:
+            continue
+        if item.subject:
+            earned, available = concept_points.get(item.subject, (0.0, 0.0))
+            concept_points[item.subject] = (
+                earned + score.points,
+                available + score.max_points,
+            )
+        if item.cognition_level is not None:
+            earned, available = level_points.get(
+                item.cognition_level, (0.0, 0.0)
+            )
+            level_points[item.cognition_level] = (
+                earned + score.points,
+                available + score.max_points,
+            )
+    mastery = [
+        ConceptMastery(concept=concept, earned=earned, available=available)
+        for concept, (earned, available) in concept_points.items()
+    ]
+    mastery.sort(key=lambda record: record.fraction)
+    weak_levels = sorted(
+        level
+        for level, (earned, available) in level_points.items()
+        if available and earned / available < mastery_threshold
+    )
+    suggestions = [
+        f"Review {record.concept}: you earned {record.earned:g} of "
+        f"{record.available:g} points."
+        for record in mastery
+        if record.fraction < mastery_threshold
+    ]
+    if not suggestions:
+        suggestions = ["Solid performance across all concepts - keep it up."]
+    return LearnerFeedback(
+        learner_id=sitting.learner_id,
+        exam_id=sitting.exam_id,
+        percent=sitting.percent,
+        mastery=mastery,
+        weak_levels=weak_levels,
+        suggestions=suggestions,
+    )

@@ -1,0 +1,119 @@
+"""Individualized test assembly.
+
+The paper's abstract promises "an e-learning system, with adaptive
+learning content and **individualized tests**".  Where :mod:`repro.
+adaptive.cat` adapts *during* a sitting, this module assembles a fixed
+form tailored to one learner *before* the sitting: items are drawn from
+a calibrated pool to maximize information at the learner's estimated
+ability, subject to optional per-concept coverage.
+
+The measurement logic is the same maximum-information criterion as CAT;
+the difference is operational — an individualized fixed form can be
+printed, proctored, and analyzed with the paper's §4.1 pipeline like any
+other exam.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import EstimationError
+from repro.adaptive.irt import ItemParameters, item_information
+from repro.bank.itembank import ItemBank
+from repro.exams.authoring import ExamBuilder
+from repro.exams.exam import Exam
+
+__all__ = ["select_individualized_items", "assemble_individualized_exam"]
+
+
+def select_individualized_items(
+    pool: Dict[str, ItemParameters],
+    ability: float,
+    length: int,
+) -> List[str]:
+    """The ``length`` pool items with maximum information at ``ability``.
+
+    Ties break on item id so selection is deterministic.
+    """
+    if length < 1:
+        raise EstimationError(f"test length must be positive, got {length}")
+    if length > len(pool):
+        raise EstimationError(
+            f"pool has {len(pool)} items; cannot select {length}"
+        )
+    ranked = sorted(
+        pool,
+        key=lambda item_id: (-item_information(ability, pool[item_id]), item_id),
+    )
+    return ranked[:length]
+
+
+def assemble_individualized_exam(
+    exam_id: str,
+    title: str,
+    bank: ItemBank,
+    pool: Dict[str, ItemParameters],
+    ability: float,
+    length: int,
+    per_concept_minimum: Optional[Dict[str, int]] = None,
+    time_limit_seconds: Optional[float] = None,
+) -> Exam:
+    """Assemble a learner-specific exam from the bank.
+
+    ``pool`` maps bank item ids to calibrated parameters (see
+    :func:`repro.adaptive.calibration.calibrate_pool_from_bank`);
+    ``ability`` is the learner's estimated θ.  With
+    ``per_concept_minimum`` (concept → count), each concept first
+    receives its most-informative items, then the remaining slots are
+    filled globally — individualization that still covers the syllabus.
+    """
+    if length < 1:
+        raise EstimationError(f"test length must be positive, got {length}")
+    available = {
+        item_id: params
+        for item_id, params in pool.items()
+        if item_id in bank
+    }
+    if len(available) < length:
+        raise EstimationError(
+            f"only {len(available)} calibrated bank items; need {length}"
+        )
+    chosen: List[str] = []
+    if per_concept_minimum:
+        total_minimum = sum(per_concept_minimum.values())
+        if total_minimum > length:
+            raise EstimationError(
+                f"per-concept minimums total {total_minimum}, exceeding the "
+                f"test length {length}"
+            )
+        for concept, minimum in per_concept_minimum.items():
+            concept_pool = {
+                item_id: params
+                for item_id, params in available.items()
+                if bank.get(item_id).subject == concept
+                and item_id not in chosen
+            }
+            if len(concept_pool) < minimum:
+                raise EstimationError(
+                    f"concept {concept!r} has {len(concept_pool)} calibrated "
+                    f"items; need {minimum}"
+                )
+            chosen.extend(
+                select_individualized_items(concept_pool, ability, minimum)
+            )
+    remainder_pool = {
+        item_id: params
+        for item_id, params in available.items()
+        if item_id not in chosen
+    }
+    remaining = length - len(chosen)
+    if remaining > 0:
+        chosen.extend(
+            select_individualized_items(remainder_pool, ability, remaining)
+        )
+    builder = ExamBuilder(exam_id, title)
+    for item_id in chosen:
+        builder.add_item(bank.get(item_id))
+    if time_limit_seconds is not None:
+        builder.time_limit(time_limit_seconds)
+    return builder.build()

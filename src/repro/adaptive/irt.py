@@ -1,0 +1,42 @@
+"""Item response theory primitives for the adaptive-testing extension.
+
+The paper's conclusion: "In the near future, we will add the adaptive
+test algorithm and assessment feedback in our assessment system."  This
+package implements that future work on the substrate the rest of the
+library provides.
+
+This module holds the IRT mathematics: the 1PL/2PL/3PL response
+probability (shared with :mod:`repro.sim.learner_model`) and Fisher item
+information, which drives adaptive item selection.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.learner_model import ItemParameters, probability_correct
+
+__all__ = ["ItemParameters", "probability_correct", "item_information", "test_information"]
+
+
+def item_information(ability: float, params: ItemParameters) -> float:
+    """Fisher information of one item at an ability level.
+
+    For the 3PL model::
+
+        I(θ) = a² · (Q/P) · ((P − c) / (1 − c))²
+
+    with P the response probability and Q = 1 − P.  Information peaks
+    near θ = b and grows with a²; guessing (c > 0) depresses it.
+    """
+    p = probability_correct(ability, params)
+    q = 1.0 - p
+    if p <= 0.0 or q <= 0.0:
+        return 0.0
+    adjusted = (p - params.c) / (1.0 - params.c)
+    return (params.a ** 2) * (q / p) * (adjusted ** 2)
+
+
+def test_information(ability: float, parameters) -> float:
+    """Total information of a set of items at one ability."""
+    return sum(item_information(ability, params) for params in parameters)

@@ -1,0 +1,39 @@
+"""The problem & exam database (paper §5) with search and persistence."""
+
+from repro.bank.exambank import (
+    ExamBank,
+    exam_from_record,
+    exam_to_record,
+    load_exams,
+    save_exams,
+)
+from repro.bank.itembank import ItemBank
+from repro.bank.versioning import Revision, VersionedItemBank
+from repro.bank.qti_io import export_bank_qti, import_bank_qti
+from repro.bank.search import Query, find_similar, search
+from repro.bank.storage import (
+    item_from_record,
+    item_to_record,
+    load_bank,
+    save_bank,
+)
+
+__all__ = [
+    "VersionedItemBank",
+    "Revision",
+    "ItemBank",
+    "ExamBank",
+    "Query",
+    "search",
+    "find_similar",
+    "export_bank_qti",
+    "import_bank_qti",
+    "item_to_record",
+    "item_from_record",
+    "save_bank",
+    "load_bank",
+    "exam_to_record",
+    "exam_from_record",
+    "save_exams",
+    "load_exams",
+]

@@ -1,0 +1,141 @@
+"""The exam database (paper §5: the "problem & exam database" stores both).
+
+:class:`ExamBank` stores assembled exams with the same CRUD discipline as
+:class:`~repro.bank.itembank.ItemBank`, plus JSON persistence that reuses
+the item record format of :mod:`repro.bank.storage`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List
+
+from repro.core.errors import BankError, DuplicateIdError, NotFoundError
+from repro.core.metadata import DisplayType
+from repro.bank.storage import item_from_record, item_to_record
+from repro.exams.exam import Exam, ExamGroup
+
+__all__ = ["ExamBank", "exam_to_record", "exam_from_record", "save_exams", "load_exams"]
+
+
+class ExamBank:
+    """An in-memory exam database."""
+
+    def __init__(self) -> None:
+        self._exams: Dict[str, Exam] = {}
+
+    def add(self, exam: Exam) -> None:
+        """Add a validated exam; identifiers must be unique."""
+        if exam.exam_id in self._exams:
+            raise DuplicateIdError(f"exam {exam.exam_id!r} already exists")
+        exam.validate()
+        self._exams[exam.exam_id] = exam
+
+    def get(self, exam_id: str) -> Exam:
+        """The exam with this id; NotFoundError otherwise."""
+        try:
+            return self._exams[exam_id]
+        except KeyError:
+            raise NotFoundError(f"no exam {exam_id!r} in the bank") from None
+
+    def remove(self, exam_id: str) -> Exam:
+        """Delete and return an exam."""
+        try:
+            return self._exams.pop(exam_id)
+        except KeyError:
+            raise NotFoundError(f"no exam {exam_id!r} to remove") from None
+
+    def update(self, exam: Exam) -> None:
+        """Replace an existing exam (same identifier)."""
+        if exam.exam_id not in self._exams:
+            raise NotFoundError(f"no exam {exam.exam_id!r} to update")
+        exam.validate()
+        self._exams[exam.exam_id] = exam
+
+    def __len__(self) -> int:
+        return len(self._exams)
+
+    def __contains__(self, exam_id: str) -> bool:
+        return exam_id in self._exams
+
+    def __iter__(self) -> Iterator[Exam]:
+        return iter(self._exams.values())
+
+    def ids(self) -> List[str]:
+        """Every exam id, in insertion order."""
+        return list(self._exams)
+
+
+def exam_to_record(exam: Exam) -> Dict[str, object]:
+    """Serialize one exam (with embedded items) to a JSON record."""
+    return {
+        "exam_id": exam.exam_id,
+        "title": exam.title,
+        "display_type": exam.display_type.value,
+        "time_limit_seconds": exam.time_limit_seconds,
+        "resumable": exam.resumable,
+        "items": [item_to_record(item) for item in exam.items],
+        "groups": [
+            {
+                "name": group.name,
+                "item_ids": list(group.item_ids),
+                "template_name": group.template_name,
+            }
+            for group in exam.groups
+        ],
+    }
+
+
+def exam_from_record(record: Dict[str, object]) -> Exam:
+    """Restore an exam from its JSON record."""
+    try:
+        display = DisplayType(record.get("display_type", "fixed_order"))
+    except ValueError:
+        raise BankError(
+            f"unknown display type: {record.get('display_type')!r}"
+        ) from None
+    exam = Exam(
+        exam_id=record.get("exam_id", ""),
+        title=record.get("title", ""),
+        items=[item_from_record(r) for r in record.get("items", [])],
+        groups=[
+            ExamGroup(
+                name=g["name"],
+                item_ids=list(g.get("item_ids", [])),
+                template_name=g.get("template_name"),
+            )
+            for g in record.get("groups", [])
+        ],
+        display_type=display,
+        time_limit_seconds=record.get("time_limit_seconds"),
+        resumable=bool(record.get("resumable", True)),
+    )
+    exam.validate()
+    return exam
+
+
+def save_exams(bank: ExamBank, path: "str | Path") -> None:
+    """Write an exam bank to a JSON file."""
+    records = [exam_to_record(exam) for exam in bank]
+    Path(path).write_text(
+        json.dumps({"format": "mine-exams-v1", "exams": records}, indent=2),
+        encoding="utf-8",
+    )
+
+
+def load_exams(path: "str | Path") -> ExamBank:
+    """Read an exam bank from a JSON file."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise BankError(f"exam file does not exist: {file_path}")
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BankError(f"exam file is not valid JSON: {exc}") from exc
+    if payload.get("format") != "mine-exams-v1":
+        raise BankError(f"unrecognized exam format: {payload.get('format')!r}")
+    bank = ExamBank()
+    for record in payload.get("exams", []):
+        bank.add(exam_from_record(record))
+    return bank

@@ -1,0 +1,92 @@
+"""The problem database (paper §5: "problem & exam database").
+
+The assessment authoring system stores problems in an internal database
+that authors search for "similar or specific subject or related problems"
+before editing their own.  :class:`ItemBank` is that database: CRUD with
+unique identifiers, plus the query interface in
+:mod:`repro.bank.search`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+from repro.core.errors import DuplicateIdError, NotFoundError
+from repro.items.base import Item
+
+__all__ = ["ItemBank"]
+
+
+class ItemBank:
+    """An in-memory problem database with unique item identifiers.
+
+    Persistence lives in :mod:`repro.bank.storage`; the bank itself is a
+    plain dictionary-backed store so tests and simulations stay fast.
+    """
+
+    def __init__(self) -> None:
+        self._items: Dict[str, Item] = {}
+
+    # -- CRUD -----------------------------------------------------------------
+
+    def add(self, item: Item) -> None:
+        """Add a validated item; identifiers must be unique."""
+        if item.item_id in self._items:
+            raise DuplicateIdError(
+                f"item {item.item_id!r} already exists in the bank"
+            )
+        item.validate()
+        self._items[item.item_id] = item
+
+    def get(self, item_id: str) -> Item:
+        """The item with this id; NotFoundError otherwise."""
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise NotFoundError(f"no item {item_id!r} in the bank") from None
+
+    def update(self, item: Item) -> None:
+        """Replace an existing item (same identifier)."""
+        if item.item_id not in self._items:
+            raise NotFoundError(f"no item {item.item_id!r} to update")
+        item.validate()
+        self._items[item.item_id] = item
+
+    def remove(self, item_id: str) -> Item:
+        """Delete and return an item."""
+        try:
+            return self._items.pop(item_id)
+        except KeyError:
+            raise NotFoundError(f"no item {item_id!r} to remove") from None
+
+    def add_or_update(self, item: Item) -> None:
+        """Insert or replace, validating either way."""
+        item.validate()
+        self._items[item.item_id] = item
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._items
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items.values())
+
+    def ids(self) -> List[str]:
+        """Every item id, in insertion order."""
+        return list(self._items)
+
+    def items_matching(self, predicate: Callable[[Item], bool]) -> List[Item]:
+        """All items satisfying a predicate, in insertion order."""
+        return [item for item in self._items.values() if predicate(item)]
+
+    def subjects(self) -> List[str]:
+        """Distinct non-empty subjects, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for item in self._items.values():
+            if item.subject:
+                seen.setdefault(item.subject, None)
+        return list(seen)

@@ -1,0 +1,83 @@
+"""Bank-level QTI exchange (paper §2.3).
+
+"IMS Question & Test Interoperability (Q&TI) specification allows systems
+to exchange questions and tests."  This module moves whole *banks* (not
+just single items) across the QTI boundary: export a bank to a zip of
+QTI item XML files with a small index, and import such a zip back —
+including zips produced by other MINE-compatible tools, since each item
+file stands alone.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.errors import BankError
+from repro.bank.itembank import ItemBank
+from repro.items.qti import item_from_qti_xml, item_to_qti_xml
+
+__all__ = ["export_bank_qti", "import_bank_qti"]
+
+_INDEX_FILE = "qti_index.json"
+
+
+def export_bank_qti(bank: ItemBank, path: "Optional[str | Path]" = None) -> bytes:
+    """Export every bank item as QTI XML inside a zip.
+
+    The zip holds one ``items/<id>.xml`` per item plus an index listing
+    the files; returns the zip bytes, optionally also written to
+    ``path``.
+    """
+    if len(bank) == 0:
+        raise BankError("cannot export an empty bank")
+    buffer = io.BytesIO()
+    filenames: List[str] = []
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        for item in bank:
+            filename = f"items/{item.item_id}.xml"
+            archive.writestr(filename, item_to_qti_xml(item))
+            filenames.append(filename)
+        archive.writestr(
+            _INDEX_FILE,
+            json.dumps({"format": "mine-qti-v1", "items": filenames}, indent=2),
+        )
+    payload = buffer.getvalue()
+    if path is not None:
+        Path(path).write_bytes(payload)
+    return payload
+
+
+def import_bank_qti(data: bytes) -> ItemBank:
+    """Import a bank from a QTI zip.
+
+    Reads the index when present; otherwise imports every ``.xml`` file
+    in the archive (so zips from foreign tools work too).  Item
+    identifiers must be unique across the archive.
+    """
+    try:
+        archive = zipfile.ZipFile(io.BytesIO(data))
+    except zipfile.BadZipFile as exc:
+        raise BankError(f"not a zip archive: {exc}") from exc
+    names = archive.namelist()
+    if _INDEX_FILE in names:
+        try:
+            index = json.loads(archive.read(_INDEX_FILE).decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BankError(f"corrupt QTI index: {exc}") from exc
+        filenames = list(index.get("items", []))
+        missing = [name for name in filenames if name not in names]
+        if missing:
+            raise BankError(f"index references missing files: {missing}")
+    else:
+        filenames = [name for name in names if name.endswith(".xml")]
+    if not filenames:
+        raise BankError("archive contains no QTI item files")
+    bank = ItemBank()
+    for filename in filenames:
+        text = archive.read(filename).decode("utf-8")
+        bank.add(item_from_qti_xml(text))
+    return bank

@@ -1,0 +1,140 @@
+"""Problem search (paper §5: "They can search similar or specific subject
+or related problems from problem & exam database").
+
+:class:`Query` is a composable filter over the item bank: subject,
+question style, cognition level, difficulty band (from the item's stored
+Item Difficulty Index metadata), and free-text keywords over the stem.
+``Query`` objects are immutable; each ``with_*`` method returns a narrowed
+copy, so queries compose fluently::
+
+    results = search(bank, Query().with_subject("sorting")
+                                  .with_style(QuestionStyle.MULTIPLE_CHOICE)
+                                  .with_difficulty(0.3, 0.7))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import BankError
+from repro.core.metadata import QuestionStyle
+from repro.bank.itembank import ItemBank
+from repro.items.base import Item
+
+__all__ = ["Query", "search", "find_similar"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable conjunction of search criteria (None = don't care)."""
+
+    subject: Optional[str] = None
+    style: Optional[QuestionStyle] = None
+    cognition_level: Optional[CognitionLevel] = None
+    min_difficulty: Optional[float] = None
+    max_difficulty: Optional[float] = None
+    keywords: Tuple[str, ...] = ()
+
+    def with_subject(self, subject: str) -> "Query":
+        """Narrow to items with exactly this subject."""
+        return replace(self, subject=subject)
+
+    def with_style(self, style: QuestionStyle) -> "Query":
+        """Narrow to items of one question style."""
+        return replace(self, style=style)
+
+    def with_cognition_level(self, level: CognitionLevel) -> "Query":
+        """Narrow to items tagged with this Bloom level."""
+        return replace(self, cognition_level=level)
+
+    def with_difficulty(self, minimum: float, maximum: float) -> "Query":
+        """Restrict to items whose stored difficulty P lies in
+        [minimum, maximum].  Items without a recorded difficulty never
+        match a difficulty-constrained query."""
+        if not 0.0 <= minimum <= maximum <= 1.0:
+            raise BankError(
+                f"difficulty band must satisfy 0 <= min <= max <= 1, got "
+                f"[{minimum}, {maximum}]"
+            )
+        return replace(self, min_difficulty=minimum, max_difficulty=maximum)
+
+    def with_keywords(self, *keywords: str) -> "Query":
+        """Require every keyword in the stem or hint (case-insensitive)."""
+        cleaned = tuple(keyword.strip().lower() for keyword in keywords if keyword.strip())
+        return replace(self, keywords=self.keywords + cleaned)
+
+    # -- matching -------------------------------------------------------------
+
+    def matches(self, item: Item) -> bool:
+        """True when the item satisfies every criterion."""
+        if self.subject is not None and item.subject != self.subject:
+            return False
+        if self.style is not None and item.style() is not self.style:
+            return False
+        if (
+            self.cognition_level is not None
+            and item.cognition_level is not self.cognition_level
+        ):
+            return False
+        if self.min_difficulty is not None or self.max_difficulty is not None:
+            difficulty = (
+                item.metadata.assessment.individual_test.item_difficulty_index
+            )
+            if difficulty is None:
+                return False
+            low = self.min_difficulty if self.min_difficulty is not None else 0.0
+            high = self.max_difficulty if self.max_difficulty is not None else 1.0
+            if not low <= difficulty <= high:
+                return False
+        if self.keywords:
+            haystack = (item.question + " " + item.hint).lower()
+            if not all(keyword in haystack for keyword in self.keywords):
+                return False
+        return True
+
+
+def search(bank: ItemBank, query: Query) -> List[Item]:
+    """All bank items matching the query, in insertion order."""
+    return bank.items_matching(query.matches)
+
+
+def find_similar(bank: ItemBank, item: Item, limit: int = 10) -> List[Item]:
+    """Items "similar" to a given one: same subject first, then same
+    style, ranked by shared stem words.
+
+    This implements the paper's "search similar ... problems" affordance
+    with a simple lexical similarity — adequate for an authoring aid.
+    """
+    if limit < 1:
+        raise BankError(f"limit must be positive, got {limit}")
+    reference_words = _stem_words(item)
+    scored: List[Tuple[float, int, Item]] = []
+    for position, candidate in enumerate(bank):
+        if candidate.item_id == item.item_id:
+            continue
+        score = 0.0
+        if item.subject and candidate.subject == item.subject:
+            score += 2.0
+        if candidate.style() is item.style():
+            score += 1.0
+        overlap = reference_words & _stem_words(candidate)
+        if reference_words:
+            score += len(overlap) / len(reference_words)
+        if score > 0:
+            scored.append((score, position, candidate))
+    scored.sort(key=lambda entry: (-entry[0], entry[1]))
+    return [candidate for _, _, candidate in scored[:limit]]
+
+
+_STOP_WORDS = frozenset(
+    "a an and are be by for in is it of on or the to what which".split()
+)
+
+
+def _stem_words(item: Item) -> frozenset:
+    words = (
+        word.strip(".,?!:;()[]\"'").lower() for word in item.question.split()
+    )
+    return frozenset(word for word in words if word and word not in _STOP_WORDS)

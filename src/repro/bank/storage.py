@@ -1,0 +1,157 @@
+"""File persistence for the problem database.
+
+Items are serialized to JSON documents (one list of records) so a bank
+survives process restarts — the paper's system keeps its problem & exam
+database on disk behind the authoring tool.  The QTI XML binding
+(:mod:`repro.items.qti`) remains the *exchange* format; JSON is the
+internal storage format because it round-trips the full item object
+cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import BankError
+from repro.core.metadata import DisplayType
+from repro.bank.itembank import ItemBank
+from repro.items.base import Item, Picture
+from repro.items.choice import Choice, MultipleChoiceItem
+from repro.items.completion import CompletionItem
+from repro.items.essay import EssayItem
+from repro.items.matching import MatchItem
+from repro.items.questionnaire import QuestionnaireItem
+from repro.items.truefalse import TrueFalseItem
+
+__all__ = ["item_to_record", "item_from_record", "save_bank", "load_bank"]
+
+_STYLE_TO_CLASS = {
+    "multiple_choice": MultipleChoiceItem,
+    "true_false": TrueFalseItem,
+    "essay": EssayItem,
+    "match": MatchItem,
+    "completion": CompletionItem,
+    "questionnaire": QuestionnaireItem,
+}
+
+
+def item_to_record(item: Item) -> Dict[str, object]:
+    """Serialize one item to a JSON-compatible record."""
+    record: Dict[str, object] = {
+        "style": item.style().value,
+        "item_id": item.item_id,
+        "subject": item.subject,
+        "hint": item.hint,
+        "cognition_level": (
+            item.cognition_level.name.lower()
+            if item.cognition_level is not None
+            else None
+        ),
+        "pictures": [
+            {"resource": picture.resource, "x": picture.x, "y": picture.y}
+            for picture in item.pictures
+        ],
+        "content": item.content_fields(),
+        "difficulty": item.metadata.assessment.individual_test.item_difficulty_index,
+        "discrimination": (
+            item.metadata.assessment.individual_test.item_discrimination_index
+        ),
+    }
+    return record
+
+
+def item_from_record(record: Dict[str, object]) -> Item:
+    """Restore an item from its JSON record."""
+    style = record.get("style")
+    cls = _STYLE_TO_CLASS.get(style)
+    if cls is None:
+        raise BankError(f"unknown item style in record: {style!r}")
+    content = dict(record.get("content") or {})
+    level_raw = record.get("cognition_level")
+    common = dict(
+        item_id=record.get("item_id", ""),
+        question=content.pop("question", ""),
+        hint=content.pop("hint", ""),
+        subject=record.get("subject", ""),
+        cognition_level=(
+            CognitionLevel.parse(level_raw) if level_raw else None
+        ),
+        pictures=[
+            Picture(resource=p["resource"], x=p.get("x", 0), y=p.get("y", 0))
+            for p in record.get("pictures", [])
+        ],
+    )
+    if cls is MultipleChoiceItem:
+        item: Item = MultipleChoiceItem(
+            choices=[
+                Choice(label=o["label"], text=o["text"])
+                for o in content.get("options", [])
+            ],
+            correct_label=content.get("correct_label", ""),
+            **common,
+        )
+    elif cls is TrueFalseItem:
+        item = TrueFalseItem(correct_value=bool(content.get("correct_value")), **common)
+    elif cls is EssayItem:
+        item = EssayItem(
+            model_answer=content.get("model_answer", ""),
+            max_points=float(content.get("max_points", 1.0)),
+            min_length=int(content.get("min_length", 0)),
+            **common,
+        )
+    elif cls is MatchItem:
+        item = MatchItem(
+            premises=list(content.get("premises", [])),
+            options=list(content.get("options", [])),
+            key=dict(content.get("key", {})),
+            **common,
+        )
+    elif cls is CompletionItem:
+        item = CompletionItem(
+            accepted_answers=[list(a) for a in content.get("accepted_answers", [])],
+            case_sensitive=bool(content.get("case_sensitive", False)),
+            **common,
+        )
+    else:  # QuestionnaireItem
+        item = QuestionnaireItem(
+            scale=list(content.get("scale", [])),
+            resumable=bool(content.get("resumable", True)),
+            display_type=DisplayType(content.get("display_type", "fixed_order")),
+            **common,
+        )
+    ind = item.metadata.assessment.individual_test
+    ind.item_difficulty_index = record.get("difficulty")
+    ind.item_discrimination_index = record.get("discrimination")
+    item.validate()
+    return item
+
+
+def save_bank(bank: ItemBank, path: "str | Path") -> None:
+    """Write a bank to a JSON file."""
+    records = [item_to_record(item) for item in bank]
+    Path(path).write_text(
+        json.dumps({"format": "mine-bank-v1", "items": records}, indent=2),
+        encoding="utf-8",
+    )
+
+
+def load_bank(path: "str | Path") -> ItemBank:
+    """Read a bank from a JSON file written by :func:`save_bank`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise BankError(f"bank file does not exist: {file_path}")
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BankError(f"bank file is not valid JSON: {exc}") from exc
+    if payload.get("format") != "mine-bank-v1":
+        raise BankError(
+            f"unrecognized bank format: {payload.get('format')!r}"
+        )
+    bank = ItemBank()
+    for record in payload.get("items", []):
+        bank.add(item_from_record(record))
+    return bank

@@ -1,0 +1,115 @@
+"""Item revision history.
+
+The paper's workflow has teachers *fixing* problematic questions ("Some
+of the information is useful for correcting the improper questions"),
+which means an item changes over time while old exams still reference the
+text learners actually saw.  :class:`VersionedItemBank` wraps the bank
+with per-item revision history: every update stores the previous
+revision, any revision can be recalled, and an audit trail records who
+changed what and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.errors import NotFoundError
+from repro.bank.itembank import ItemBank
+from repro.bank.storage import item_from_record, item_to_record
+from repro.items.base import Item
+
+__all__ = ["Revision", "VersionedItemBank"]
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One stored revision of an item."""
+
+    revision: int
+    record: Dict[str, object]
+    author: str
+    note: str
+
+    def restore(self) -> Item:
+        """Materialize this revision as an item object."""
+        return item_from_record(self.record)
+
+
+class VersionedItemBank:
+    """An :class:`ItemBank` with per-item revision history.
+
+    The latest revision of every item lives in the inner bank (and is
+    what search/assembly sees); the full history is kept here.  Revisions
+    are 1-based and append-only.
+    """
+
+    def __init__(self) -> None:
+        self.bank = ItemBank()
+        self._history: Dict[str, List[Revision]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def add(self, item: Item, author: str = "", note: str = "created") -> int:
+        """Add a new item as revision 1; returns the revision number."""
+        self.bank.add(item)
+        revision = Revision(
+            revision=1, record=item_to_record(item), author=author, note=note
+        )
+        self._history[item.item_id] = [revision]
+        return 1
+
+    def update(self, item: Item, author: str = "", note: str = "") -> int:
+        """Store a new revision of an existing item."""
+        self.bank.update(item)
+        history = self._history[item.item_id]
+        revision = Revision(
+            revision=len(history) + 1,
+            record=item_to_record(item),
+            author=author,
+            note=note,
+        )
+        history.append(revision)
+        return revision.revision
+
+    def remove(self, item_id: str) -> None:
+        """Remove an item; its history is retained for audit."""
+        self.bank.remove(item_id)
+
+    # -- history --------------------------------------------------------------
+
+    def history(self, item_id: str) -> List[Revision]:
+        """Every stored revision of an item, oldest first."""
+        try:
+            return list(self._history[item_id])
+        except KeyError:
+            raise NotFoundError(f"no history for item {item_id!r}") from None
+
+    def revision(self, item_id: str, number: int) -> Revision:
+        """One stored revision by its 1-based number."""
+        history = self.history(item_id)
+        if not 1 <= number <= len(history):
+            raise NotFoundError(
+                f"item {item_id!r} has revisions 1..{len(history)}, "
+                f"not {number}"
+            )
+        return history[number - 1]
+
+    def current_revision(self, item_id: str) -> int:
+        """The newest revision number of an item."""
+        return len(self.history(item_id))
+
+    def rollback(self, item_id: str, number: int, author: str = "") -> Item:
+        """Re-publish an old revision as the newest one."""
+        target = self.revision(item_id, number)
+        item = target.restore()
+        self.update(item, author=author, note=f"rollback to r{number}")
+        return item
+
+    def audit_trail(self, item_id: str) -> List[str]:
+        """Human-readable one-liner per revision."""
+        return [
+            f"r{revision.revision}: {revision.note}"
+            + (f" ({revision.author})" if revision.author else "")
+            for revision in self.history(item_id)
+        ]

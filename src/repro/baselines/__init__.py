@@ -1,0 +1,15 @@
+"""Classical test theory baselines for the ablation benches."""
+
+from repro.baselines.classical import (
+    ClassicalItemStats,
+    classical_item_analysis,
+    point_biserial,
+    whole_group_difficulty,
+)
+
+__all__ = [
+    "whole_group_difficulty",
+    "point_biserial",
+    "ClassicalItemStats",
+    "classical_item_analysis",
+]

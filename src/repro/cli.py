@@ -1,0 +1,241 @@
+"""Command-line interface to the assessment system.
+
+Subcommands mirror what the paper's GUI offers, driven from a terminal::
+
+    mine-assess tree                      # Figure 1: the metadata tree
+    mine-assess rules                     # the paper's four rule examples
+    mine-assess simulate --students 44    # simulate a class, print the report
+    mine-assess package --out exam.zip    # §5.5 SCORM package output
+    mine-assess inspect exam.zip          # read a package's manifest
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.grouping import GroupSplit
+from repro.core.metadata import MineMetadata
+from repro.core.question_analysis import analyze_cohort
+from repro.core.report import build_report
+from repro.core.rules import OptionMatrix, evaluate_rules
+from repro.core.spec_table import SpecificationTable, TaggedQuestion
+from repro.scorm.package import ContentPackage, package_exam
+from repro.sim.population import make_population
+from repro.sim.workloads import (
+    classroom_exam,
+    classroom_parameters,
+    simulate_sitting_data,
+)
+
+__all__ = ["main", "build_parser"]
+
+_PAPER_EXAMPLES = [
+    ("Example 1 (Rule 1)", [12, 2, 0, 3, 3], [6, 4, 0, 5, 5], "A"),
+    ("Example 2 (Rule 2)", [1, 2, 10, 0, 7], [2, 2, 13, 1, 2], "C"),
+    ("Example 3 (Rule 3)", [15, 2, 2, 0, 1], [5, 4, 5, 4, 2], "A"),
+    ("Example 4 (Rule 4)", [4, 4, 4, 2, 6], [5, 4, 5, 4, 2], "A"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the mine-assess argument parser (one subparser per command)."""
+    parser = argparse.ArgumentParser(
+        prog="mine-assess",
+        description=(
+            "MINE assessment authoring system - reproduction of Hung et "
+            "al. (2004)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("tree", help="print the Figure 1 metadata tree")
+    subparsers.add_parser(
+        "rules", help="run the paper's four diagnostic-rule examples"
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate a class sitting and print the analysis"
+    )
+    simulate.add_argument("--students", type=int, default=44)
+    simulate.add_argument("--questions", type=int, default=10)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--split", type=float, default=0.25,
+        help="extreme-group fraction (paper: 0.25)",
+    )
+
+    package = subparsers.add_parser(
+        "package", help="SCORM package output service (section 5.5)"
+    )
+    package.add_argument("--out", required=True, help="output .zip path")
+    package.add_argument("--questions", type=int, default=10)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="list a content package's manifest"
+    )
+    inspect.add_argument("package", help="path to a .zip content package")
+
+    paper = subparsers.add_parser(
+        "paper", help="render an exam paper and its answer key"
+    )
+    paper.add_argument("--questions", type=int, default=10)
+    paper.add_argument("--learner", default="",
+                       help="learner id (matters for random-order exams)")
+    paper.add_argument("--key", action="store_true",
+                       help="print the answer key instead of the paper")
+
+    export = subparsers.add_parser(
+        "export", help="simulate a class and export the analysis"
+    )
+    export.add_argument("--students", type=int, default=44)
+    export.add_argument("--questions", type=int, default=10)
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument(
+        "--format", choices=("json", "csv"), default="json",
+        help="json = full report; csv = the 4.1.1 table",
+    )
+    return parser
+
+
+def _cmd_tree(_args) -> int:
+    print(MineMetadata().render_tree())
+    return 0
+
+
+def _cmd_rules(_args) -> int:
+    for title, high, low, correct in _PAPER_EXAMPLES:
+        matrix = OptionMatrix.from_rows(high, low, correct=correct)
+        outcome = evaluate_rules(matrix)
+        print(f"== {title} (correct: {correct}) ==")
+        print(matrix.render())
+        if outcome.matches:
+            for match in outcome.matches:
+                print(f"  {match.explanation}")
+        else:
+            print("  no rule fired")
+        print()
+    return 0
+
+
+def _build_simulated_report(args):
+    """Shared by simulate/export: run the classroom scenario."""
+    exam = classroom_exam(args.questions)
+    parameters = classroom_parameters(args.questions)
+    learners = make_population(args.students, seed=args.seed)
+    data = simulate_sitting_data(exam, parameters, learners, seed=args.seed + 1)
+    cohort = analyze_cohort(
+        data.responses, data.specs, split=GroupSplit(fraction=args.split)
+    )
+    correct_flags = {
+        response.examinee_id: [
+            selection == spec.correct
+            for selection, spec in zip(response.selections, data.specs)
+        ]
+        for response in data.responses
+    }
+    spec_table = SpecificationTable.from_questions(
+        [
+            TaggedQuestion(
+                number=index + 1,
+                concept=item.subject,
+                level=item.cognition_level,
+            )
+            for index, item in enumerate(exam.items)
+        ]
+    )
+    return build_report(
+        exam.title,
+        cohort,
+        correct_flags=correct_flags,
+        answer_times=data.answer_times,
+        time_limit_seconds=exam.time_limit_seconds,
+        spec_table=spec_table,
+        specs=data.specs,
+    )
+
+
+def _cmd_simulate(args) -> int:
+    if args.students < 8:
+        print("need at least 8 students for a 25% split", file=sys.stderr)
+        return 2
+    print(_build_simulated_report(args).render())
+    return 0
+
+
+def _cmd_export(args) -> int:
+    if args.students < 8:
+        print("need at least 8 students for a 25% split", file=sys.stderr)
+        return 2
+    args.split = getattr(args, "split", 0.25)
+    report = _build_simulated_report(args)
+    if args.format == "json":
+        from repro.core.export import report_to_json
+
+        print(report_to_json(report))
+    else:
+        from repro.core.export import number_representation_csv
+
+        print(number_representation_csv(report), end="")
+    return 0
+
+
+def _cmd_paper(args) -> int:
+    from repro.exams.render import render_answer_key, render_exam_paper
+
+    exam = classroom_exam(args.questions)
+    if args.key:
+        print(render_answer_key(exam))
+    else:
+        print(render_exam_paper(exam, args.learner))
+    return 0
+
+
+def _cmd_package(args) -> int:
+    exam = classroom_exam(args.questions)
+    payload = package_exam(exam, args.out)
+    print(f"wrote {args.out} ({len(payload)} bytes, {len(exam.items)} items)")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    try:
+        package = ContentPackage.from_file(args.package)
+    except Exception as exc:  # surface any packaging error to the operator
+        print(f"cannot read package: {exc}", file=sys.stderr)
+        return 2
+    manifest = package.manifest
+    print(f"manifest: {manifest.identifier} (SCORM {manifest.schema_version})")
+    for organization in manifest.organizations:
+        print(f"organization: {organization.identifier} - {organization.title}")
+        for item in organization.walk():
+            ref = f" -> {item.identifierref}" if item.identifierref else ""
+            print(f"  item {item.identifier}: {item.title}{ref}")
+    print(f"resources: {len(manifest.resources)}")
+    for resource in manifest.resources:
+        print(
+            f"  {resource.identifier} ({resource.scorm_type}) {resource.href}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "tree": _cmd_tree,
+    "rules": _cmd_rules,
+    "simulate": _cmd_simulate,
+    "paper": _cmd_paper,
+    "export": _cmd_export,
+    "package": _cmd_package,
+    "inspect": _cmd_inspect,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""The advice engine: Table 2/3 semantics turned into teacher guidance.
+
+The paper's stated goal for the analysis model is that "the suggestions
+and results can tell teachers why a question is not suitable and how to
+correct it".  This module turns a question's light signal (Table 3) and
+fired rules/statuses (Table 2) into that guidance text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.rules import RuleMatch, Status
+from repro.core.signals import Signal
+
+__all__ = ["Advice", "advise"]
+
+_STATUS_GUIDANCE = {
+    Status.LOW_ALLURE: (
+        "Rewrite the unused distractor(s) so they are plausible to a "
+        "student who has not mastered the concept."
+    ),
+    Status.OPTION_NOT_CLEAR: (
+        "Clarify the wording of the flagged option(s); strong students are "
+        "being misled or weak students are guessing it correctly."
+    ),
+    Status.CARELESS: (
+        "Check the stem for ambiguity that invites careless misreading."
+    ),
+    Status.NOT_ONLY_ONE_ANSWER: (
+        "Verify there is exactly one defensible correct answer."
+    ),
+    Status.LOW_GROUP_LACKS_CONCEPT: (
+        "The low score group answered at random: schedule a remedial "
+        "course on this concept for the low score group."
+    ),
+    Status.HIGH_GROUP_LACKS_CONCEPT: (
+        "Both groups answered at random: re-teach this concept to the "
+        "whole class before reusing the question."
+    ),
+}
+
+_SIGNAL_HEADLINE = {
+    Signal.GREEN: "Good question; keep it.",
+    Signal.YELLOW: "Usable but should be fixed.",
+    Signal.RED: "Eliminate this question or fix it substantially.",
+}
+
+
+@dataclass(frozen=True)
+class Advice:
+    """Teacher-facing guidance for one question.
+
+    ``headline`` comes from the Table 3 status; ``actions`` lists one
+    concrete step per distinct Table 2 status asserted by the fired rules;
+    ``explanations`` preserves the rules' own reasoning.
+    """
+
+    signal: Signal
+    headline: str
+    actions: Tuple[str, ...]
+    explanations: Tuple[str, ...]
+
+    def render(self) -> str:
+        """Multi-line text block: headline, then numbered actions and the
+        rule explanations that justify them."""
+        lines = [f"[{self.signal.glyph}] {self.headline}"]
+        for number, action in enumerate(self.actions, start=1):
+            lines.append(f"  {number}. {action}")
+        for explanation in self.explanations:
+            lines.append(f"  - {explanation}")
+        return "\n".join(lines)
+
+
+def advise(signal: Signal, matches: Sequence[RuleMatch]) -> Advice:
+    """Combine a question's signal and rule matches into :class:`Advice`.
+
+    Statuses that concern the *question* (allure, clarity, key problems)
+    produce fix-the-item actions; the lack-of-concept statuses produce
+    teach-the-class actions, mirroring the paper's reading that "some of
+    the information is useful for correcting the improper questions ...
+    and the others are useful for instructors to realize students'
+    learning".
+    """
+    seen: List[Status] = []
+    for match in matches:
+        for status in match.statuses:
+            if status not in seen:
+                seen.append(status)
+    actions = tuple(_STATUS_GUIDANCE[status] for status in seen)
+    explanations = tuple(match.explanation for match in matches)
+    return Advice(
+        signal=signal,
+        headline=_SIGNAL_HEADLINE[signal],
+        actions=actions,
+        explanations=explanations,
+    )

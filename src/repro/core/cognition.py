@@ -1,0 +1,125 @@
+"""Bloom's taxonomy of educational objectives, as used by the paper.
+
+Section 3.1 of the paper adopts Bloom's taxonomy: three domains
+(cognitive, psychomotor, affective), with the cognitive domain divided
+into six levels — knowledge, comprehension, application, analysis,
+synthesis, evaluation.  Section 4.2.2 then names the six cognitive levels
+``A`` through ``F`` and relies on their natural ordering (knowledge is the
+lowest, evaluation the highest) for the cognition-level/question-sum
+relation ``SUM(A) >= SUM(B) >= ... >= SUM(F)``.
+
+This module provides the :class:`Domain` and :class:`CognitionLevel`
+enumerations plus the small amount of level algebra the analysis model
+needs: letter codes, ordering comparisons, and parsing from the various
+spellings that appear in metadata documents.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Sequence
+
+__all__ = ["Domain", "CognitionLevel", "COGNITIVE_LEVELS", "expected_pyramid"]
+
+
+class Domain(enum.Enum):
+    """Bloom's three domains of educational objectives (paper §3.1)."""
+
+    COGNITIVE = "cognitive"
+    PSYCHOMOTOR = "psychomotor"
+    AFFECTIVE = "affective"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@enum.unique
+class CognitionLevel(enum.IntEnum):
+    """The six levels of Bloom's cognitive domain.
+
+    The integer values encode the natural ordering used throughout the
+    paper's analysis model: lower values are lower (more basic) levels.
+    ``CognitionLevel.KNOWLEDGE < CognitionLevel.EVALUATION`` holds, and
+    sorting a list of levels yields knowledge-first order.
+    """
+
+    KNOWLEDGE = 1
+    COMPREHENSION = 2
+    APPLICATION = 3
+    ANALYSIS = 4
+    SYNTHESIS = 5
+    EVALUATION = 6
+
+    @property
+    def letter(self) -> str:
+        """The single-letter code of §4.2.2 (knowledge=A ... evaluation=F)."""
+        return "ABCDEF"[self.value - 1]
+
+    @property
+    def label(self) -> str:
+        """Human-readable capitalized name, e.g. ``"Comprehension"``."""
+        return self.name.capitalize()
+
+    @classmethod
+    def from_letter(cls, letter: str) -> "CognitionLevel":
+        """Return the level for a §4.2.2 letter code (case-insensitive).
+
+        >>> CognitionLevel.from_letter("a")
+        <CognitionLevel.KNOWLEDGE: 1>
+        """
+        normalized = letter.strip().upper()
+        index = "ABCDEF".find(normalized)
+        if len(normalized) != 1 or index < 0:
+            raise ValueError(f"not a cognition level letter: {letter!r}")
+        return cls(index + 1)
+
+    @classmethod
+    def parse(cls, text: "str | int | CognitionLevel") -> "CognitionLevel":
+        """Parse a level from any spelling metadata documents use.
+
+        Accepts the enum itself, the 1-6 integer, the letter code, or the
+        level name in any case (``"knowledge"``, ``"Knowledge"``, ...).
+        """
+        if isinstance(text, cls):
+            return text
+        if isinstance(text, int):
+            return cls(text)
+        token = str(text).strip()
+        if not token:
+            raise ValueError("empty cognition level")
+        if len(token) == 1:
+            if token.isdigit():
+                return cls(int(token))
+            return cls.from_letter(token)
+        try:
+            return cls[token.upper()]
+        except KeyError:
+            raise ValueError(f"unknown cognition level: {text!r}") from None
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: The six cognitive levels in their natural (knowledge-first) order.
+COGNITIVE_LEVELS: Sequence[CognitionLevel] = tuple(CognitionLevel)
+
+
+def expected_pyramid(counts_by_level: Iterable[int]) -> List[int]:
+    """Return the indices where the cognition pyramid property is violated.
+
+    Section 4.2.3 (2) states the expected relation between a test's
+    per-level question sums::
+
+        SUM(A) >= SUM(B) >= SUM(C) >= SUM(D) >= SUM(E) >= SUM(F)
+
+    i.e. a well-constructed test asks at least as many questions at each
+    lower level as at the level above it.  Given six counts in A..F order,
+    this returns the (0-based) positions ``i`` where
+    ``counts[i] < counts[i + 1]`` — an empty list means the pyramid holds.
+    """
+    counts = list(counts_by_level)
+    if len(counts) != len(COGNITIVE_LEVELS):
+        raise ValueError(
+            f"expected {len(COGNITIVE_LEVELS)} per-level counts, got {len(counts)}"
+        )
+    return [i for i in range(len(counts) - 1) if counts[i] < counts[i + 1]]

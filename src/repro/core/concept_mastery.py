@@ -1,0 +1,84 @@
+"""Class-level concept performance.
+
+The teacher-side counterpart of the learner feedback in
+:mod:`repro.adaptive.feedback`: for each concept (subject) in the exam,
+how the class as a whole — and the high/low score groups specifically —
+performed.  This is the datum behind the paper's Rule 3/4 advice
+("give the remedied course to low score group students" / "to all
+students"): a concept whose low group scores near chance needs a
+remedial course; a concept where *both* groups fail needs re-teaching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import AnalysisError
+from repro.core.question_analysis import CohortAnalysis, QuestionSpec
+
+__all__ = ["ConceptPerformance", "concept_performance"]
+
+
+@dataclass(frozen=True)
+class ConceptPerformance:
+    """One concept's class-level outcome."""
+
+    concept: str
+    question_numbers: Tuple[int, ...]
+    mean_difficulty: float  # mean P over the concept's questions
+    mean_discrimination: float
+    high_group_rate: float  # mean PH
+    low_group_rate: float  # mean PL
+
+    @property
+    def needs_remedial_course(self) -> bool:
+        """Low group near or below chance on this concept (Rule 3's
+        reading): the low scorers did not learn it."""
+        return self.low_group_rate < 0.35
+
+    @property
+    def needs_reteaching(self) -> bool:
+        """Both groups weak (Rule 4's reading): the class did not
+        learn it."""
+        return self.high_group_rate < 0.5 and self.low_group_rate < 0.35
+
+
+def concept_performance(
+    cohort: CohortAnalysis,
+    specs: Sequence[QuestionSpec],
+) -> List[ConceptPerformance]:
+    """Aggregate the cohort analysis by concept (question subject).
+
+    ``specs`` must be the same per-question specs the cohort was analyzed
+    against; questions with an empty subject are grouped under
+    ``"(untagged)"``.  Results are ordered weakest-low-group first, which
+    is the order a teacher plans remediation in.
+    """
+    if len(specs) != len(cohort.questions):
+        raise AnalysisError(
+            f"{len(specs)} specs for {len(cohort.questions)} analyzed "
+            f"questions"
+        )
+    grouped: Dict[str, List[int]] = {}
+    for index, spec in enumerate(specs):
+        concept = spec.subject or "(untagged)"
+        grouped.setdefault(concept, []).append(index)
+    results: List[ConceptPerformance] = []
+    for concept, indices in grouped.items():
+        questions = [cohort.questions[index] for index in indices]
+        count = len(questions)
+        results.append(
+            ConceptPerformance(
+                concept=concept,
+                question_numbers=tuple(q.number for q in questions),
+                mean_difficulty=sum(q.difficulty for q in questions) / count,
+                mean_discrimination=(
+                    sum(q.discrimination for q in questions) / count
+                ),
+                high_group_rate=sum(q.p_high for q in questions) / count,
+                low_group_rate=sum(q.p_low for q in questions) / count,
+            )
+        )
+    results.sort(key=lambda record: record.low_group_rate)
+    return results

@@ -1,0 +1,125 @@
+"""Exception hierarchy for the assessment library.
+
+Every error raised by :mod:`repro` derives from :class:`AssessmentError`,
+so callers can catch one base class at an API boundary.  Subsystems define
+narrower classes here (rather than ad hoc ``ValueError`` raises) so that
+error-handling code can distinguish, for example, a malformed metadata
+document from an analysis performed on an empty cohort.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AssessmentError",
+    "MetadataError",
+    "MetadataValidationError",
+    "AnalysisError",
+    "EmptyCohortError",
+    "GroupSplitError",
+    "ItemError",
+    "ResponseError",
+    "BankError",
+    "DuplicateIdError",
+    "NotFoundError",
+    "AuthoringError",
+    "BlueprintError",
+    "PackagingError",
+    "ManifestError",
+    "DeliveryError",
+    "SessionStateError",
+    "TimeLimitExceeded",
+    "MonitorError",
+    "EstimationError",
+]
+
+
+class AssessmentError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class MetadataError(AssessmentError):
+    """A metadata document could not be built, parsed, or serialized."""
+
+
+class MetadataValidationError(MetadataError):
+    """A metadata document violates the MINE SCORM metadata schema.
+
+    Carries the list of individual violations so a caller can report all
+    of them at once instead of fixing one per round trip.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        joined = "; ".join(self.violations)
+        super().__init__(f"metadata validation failed: {joined}")
+
+
+class AnalysisError(AssessmentError):
+    """An item- or exam-analysis computation received unusable input."""
+
+
+class EmptyCohortError(AnalysisError):
+    """An analysis was requested for a cohort with no gradeable sittings."""
+
+
+class GroupSplitError(AnalysisError):
+    """The high/low group split could not be formed (bad fraction, too few
+    examinees, or a fraction outside the acceptable range in strict mode)."""
+
+
+class ItemError(AssessmentError):
+    """An assessment item is malformed (e.g. a choice item with no key)."""
+
+
+class ResponseError(AssessmentError):
+    """A learner response does not fit the item it answers."""
+
+
+class BankError(AssessmentError):
+    """Base class for item/exam bank storage errors."""
+
+
+class DuplicateIdError(BankError):
+    """An object with the same identifier already exists in the bank."""
+
+
+class NotFoundError(BankError):
+    """The requested object does not exist in the bank or repository."""
+
+
+class AuthoringError(AssessmentError):
+    """Exam authoring failed (empty exam, inconsistent groups, ...)."""
+
+
+class BlueprintError(AuthoringError):
+    """Blueprint-driven assembly could not satisfy its coverage targets."""
+
+
+class PackagingError(AssessmentError):
+    """A SCORM content package could not be built or read."""
+
+
+class ManifestError(PackagingError):
+    """imsmanifest.xml is missing, malformed, or inconsistent."""
+
+
+class DeliveryError(AssessmentError):
+    """Base class for exam-delivery runtime errors."""
+
+
+class SessionStateError(DeliveryError):
+    """An operation was invoked in a session state that forbids it
+    (e.g. answering after submit, or resuming a non-resumable exam)."""
+
+
+class TimeLimitExceeded(DeliveryError):
+    """The exam's test-time limit expired before the operation."""
+
+
+class MonitorError(AssessmentError):
+    """The on-line exam monitor failed to capture or store a frame."""
+
+
+class EstimationError(AssessmentError):
+    """IRT parameter or ability estimation failed to converge or received
+    degenerate input (all-correct / all-wrong response vectors, ...)."""

@@ -1,0 +1,249 @@
+"""Total-test statistics and analysis (paper §4.2).
+
+Section 4.2.1 lists three figure representations of a whole test:
+
+1. **Time vs number of answered questions** — "shows the test time is
+   enough or not": the cumulative count of questions answered as time
+   advances, compared against the exam's time limit;
+2. **Test score vs degree of difficulty** — "the distribution of score
+   and difficulty": for each examinee score band, the mean difficulty of
+   the questions they got right (and the score histogram);
+3. **Cognition level vs learning-content subject** — the two-way
+   specification table (:mod:`repro.core.spec_table`).
+
+This module computes the data series behind figures (1) and (2) plus the
+exam-level aggregates of §3.4 (average time, time-limit adequacy) and a
+whole-test summary combining everything §4.2 defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import AnalysisError, EmptyCohortError
+from repro.core.question_analysis import QuestionAnalysis
+
+__all__ = [
+    "TimeSeriesPoint",
+    "TimeAnalysis",
+    "time_vs_answered",
+    "ScoreDifficultyBand",
+    "ScoreDifficultyAnalysis",
+    "score_vs_difficulty",
+    "average_time",
+    "time_limit_adequacy",
+]
+
+
+# --------------------------------------------------------------------------
+# Figure (1): time (cross axle) vs number of answered questions (vertical)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimeSeriesPoint:
+    """One point of the time/answered figure: at ``time_seconds`` into the
+    exam, ``answered`` questions have been answered on average."""
+
+    time_seconds: float
+    answered: float
+
+
+@dataclass
+class TimeAnalysis:
+    """The figure (1) series plus the is-the-time-enough verdict.
+
+    ``series`` — average cumulative questions answered at each sampled
+    time; ``fraction_finished_in_limit`` — share of examinees whose total
+    duration fits the limit; ``time_enough`` — the paper's question
+    answered: True when at least ``adequacy_threshold`` of examinees
+    finish within the limit.
+    """
+
+    series: List[TimeSeriesPoint]
+    time_limit_seconds: Optional[float]
+    fraction_finished_in_limit: Optional[float]
+    adequacy_threshold: float
+    time_enough: Optional[bool]
+
+
+def time_vs_answered(
+    answer_times: Sequence[Sequence[float]],
+    time_limit_seconds: Optional[float] = None,
+    samples: int = 20,
+    adequacy_threshold: float = 0.9,
+) -> TimeAnalysis:
+    """Compute the §4.2.1 figure (1) series.
+
+    ``answer_times[e]`` lists, for examinee ``e``, the elapsed time (in
+    seconds from the exam start) at which each of their answers was
+    committed.  The series samples ``samples`` evenly spaced times from 0
+    to the latest answer (or the limit, if larger) and averages, across
+    examinees, how many answers each had committed by then.
+
+    When ``time_limit_seconds`` is given, the verdict ``time_enough`` is
+    True when at least ``adequacy_threshold`` of examinees committed their
+    final answer within the limit.
+    """
+    if not answer_times:
+        raise EmptyCohortError("no examinee timing data")
+    if samples < 2:
+        raise AnalysisError(f"need at least 2 samples, got {samples}")
+    if not 0.0 < adequacy_threshold <= 1.0:
+        raise AnalysisError(
+            f"adequacy threshold must be in (0, 1], got {adequacy_threshold}"
+        )
+    per_examinee = [sorted(times) for times in answer_times]
+    for times in per_examinee:
+        if any(value < 0 for value in times):
+            raise AnalysisError("answer times must be non-negative")
+    latest = max((times[-1] for times in per_examinee if times), default=0.0)
+    horizon = max(latest, time_limit_seconds or 0.0)
+    if horizon == 0.0:
+        horizon = 1.0
+    series = []
+    for index in range(samples):
+        at = horizon * index / (samples - 1)
+        answered = [
+            _count_leq(times, at) for times in per_examinee
+        ]
+        series.append(
+            TimeSeriesPoint(time_seconds=at, answered=sum(answered) / len(answered))
+        )
+    fraction: Optional[float] = None
+    enough: Optional[bool] = None
+    if time_limit_seconds is not None:
+        finished = [
+            1 if (not times or times[-1] <= time_limit_seconds) else 0
+            for times in per_examinee
+        ]
+        fraction = sum(finished) / len(finished)
+        enough = fraction >= adequacy_threshold
+    return TimeAnalysis(
+        series=series,
+        time_limit_seconds=time_limit_seconds,
+        fraction_finished_in_limit=fraction,
+        adequacy_threshold=adequacy_threshold,
+        time_enough=enough,
+    )
+
+
+def _count_leq(sorted_times: Sequence[float], at: float) -> int:
+    count = 0
+    for value in sorted_times:
+        if value <= at:
+            count += 1
+        else:
+            break
+    return count
+
+
+# --------------------------------------------------------------------------
+# Figure (2): test score (cross axle) vs degree of difficulty (vertical)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScoreDifficultyBand:
+    """One score band of the figure (2) distribution."""
+
+    score: int
+    examinees: int
+    mean_difficulty_of_correct: Optional[float]
+
+
+@dataclass
+class ScoreDifficultyAnalysis:
+    """The figure (2) data: for each achieved total score, how many
+    examinees achieved it and the mean difficulty index of the questions
+    they answered correctly."""
+
+    bands: List[ScoreDifficultyBand]
+
+    @property
+    def scores(self) -> List[int]:
+        """The distinct total scores, ascending."""
+        return [band.score for band in self.bands]
+
+
+def score_vs_difficulty(
+    scores: Dict[str, int],
+    correct_flags: Dict[str, Sequence[bool]],
+    question_analyses: Sequence[QuestionAnalysis],
+) -> ScoreDifficultyAnalysis:
+    """Compute the §4.2.1 figure (2) distribution.
+
+    ``scores`` maps examinee id to total score; ``correct_flags`` maps
+    examinee id to per-question correctness; ``question_analyses`` supply
+    each question's difficulty index P.  For every distinct score the
+    band aggregates its examinees and the mean P over the questions those
+    examinees answered correctly — easy tests show high-P mass at every
+    score; discriminating tests show low scorers succeeding only on
+    high-P (easy) questions.
+    """
+    if not scores:
+        raise EmptyCohortError("no scores to analyse")
+    if set(scores) != set(correct_flags):
+        raise AnalysisError("scores and correctness cover different examinees")
+    difficulties = [analysis.difficulty for analysis in question_analyses]
+    width = len(difficulties)
+    for examinee, flags in correct_flags.items():
+        if len(flags) != width:
+            raise AnalysisError(
+                f"examinee {examinee!r} has {len(flags)} correctness flags; "
+                f"exam has {width} questions"
+            )
+    bands: List[ScoreDifficultyBand] = []
+    for score in sorted(set(scores.values())):
+        members = [
+            examinee for examinee, value in scores.items() if value == score
+        ]
+        correct_ps: List[float] = []
+        for examinee in members:
+            flags = correct_flags[examinee]
+            correct_ps.extend(
+                difficulties[index] for index, flag in enumerate(flags) if flag
+            )
+        mean_p = sum(correct_ps) / len(correct_ps) if correct_ps else None
+        bands.append(
+            ScoreDifficultyBand(
+                score=score,
+                examinees=len(members),
+                mean_difficulty_of_correct=mean_p,
+            )
+        )
+    return ScoreDifficultyAnalysis(bands=bands)
+
+
+# --------------------------------------------------------------------------
+# Exam-level aggregates (§3.4)
+# --------------------------------------------------------------------------
+
+
+def average_time(durations_seconds: Sequence[float]) -> float:
+    """The §3.4 Average Time: mean sitting duration.
+
+    "Each people take different time answering questions, we use average
+    time for operation."
+    """
+    if not durations_seconds:
+        raise EmptyCohortError("no sitting durations")
+    if any(value < 0 for value in durations_seconds):
+        raise AnalysisError("durations must be non-negative")
+    return sum(durations_seconds) / len(durations_seconds)
+
+
+def time_limit_adequacy(
+    durations_seconds: Sequence[float],
+    time_limit_seconds: float,
+) -> float:
+    """Fraction of sittings completed within the §3.4 Test Time limit."""
+    if time_limit_seconds <= 0:
+        raise AnalysisError(
+            f"time limit must be positive, got {time_limit_seconds}"
+        )
+    if not durations_seconds:
+        raise EmptyCohortError("no sitting durations")
+    within = sum(1 for value in durations_seconds if value <= time_limit_seconds)
+    return within / len(durations_seconds)

@@ -1,0 +1,127 @@
+"""ASCII renderings of the paper's figure types.
+
+The paper's figures are GUI screenshots and plots; this module renders
+the same information as monospace text so reports work anywhere (terminal,
+log file, CI output).  Three renderers match §4.2.1's three figures; the
+signal board of Figure 2 lives in :mod:`repro.core.signals`; Figure 1's
+metadata tree lives in :meth:`repro.core.metadata.MineMetadata.render_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import AnalysisError
+from repro.core.exam_analysis import ScoreDifficultyAnalysis, TimeAnalysis
+
+__all__ = [
+    "render_xy_chart",
+    "render_time_figure",
+    "render_score_difficulty_figure",
+    "render_histogram",
+]
+
+
+def render_xy_chart(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Scatter a series of (x, y) points onto a character grid.
+
+    The grid is ``width`` columns by ``height`` rows with simple axis
+    annotations: the y-axis maximum at the top-left, the x range along
+    the bottom.
+    """
+    if width < 10 or height < 4:
+        raise AnalysisError("chart too small to render")
+    if not points:
+        return f"(no data)  {y_label} vs {x_label}"
+    xs = [point[0] for point in points]
+    ys = [point[1] for point in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][column] = marker
+    lines = [f"{y_label} (max {y_max:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {x_min:g} .. {x_max:g}   (y min {y_min:g})"
+    )
+    return "\n".join(lines)
+
+
+def render_time_figure(analysis: TimeAnalysis, width: int = 60, height: int = 12) -> str:
+    """§4.2.1 figure (1): time vs number of answered questions.
+
+    Appends the is-the-time-enough verdict when a limit was supplied.
+    """
+    chart = render_xy_chart(
+        [(point.time_seconds, point.answered) for point in analysis.series],
+        width=width,
+        height=height,
+        x_label="time (s)",
+        y_label="answered",
+    )
+    if analysis.time_limit_seconds is None:
+        return chart
+    verdict = "ENOUGH" if analysis.time_enough else "NOT ENOUGH"
+    detail = (
+        f"time limit {analysis.time_limit_seconds:g}s: "
+        f"{analysis.fraction_finished_in_limit:.0%} finished in time "
+        f"(threshold {analysis.adequacy_threshold:.0%}) -> test time {verdict}"
+    )
+    return chart + "\n" + detail
+
+
+def render_score_difficulty_figure(
+    analysis: ScoreDifficultyAnalysis, width: int = 60, height: int = 12
+) -> str:
+    """§4.2.1 figure (2): test score vs degree of difficulty."""
+    points = [
+        (float(band.score), band.mean_difficulty_of_correct)
+        for band in analysis.bands
+        if band.mean_difficulty_of_correct is not None
+    ]
+    chart = render_xy_chart(
+        points,
+        width=width,
+        height=height,
+        x_label="test score",
+        y_label="difficulty P",
+    )
+    histogram = render_histogram(
+        [(str(band.score), band.examinees) for band in analysis.bands],
+        title="examinees per score",
+    )
+    return chart + "\n" + histogram
+
+
+def render_histogram(
+    bars: Sequence[Tuple[str, int]],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart: one labelled bar per (label, count)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not bars:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    maximum = max(count for _, count in bars) or 1
+    label_width = max(len(label) for label, _ in bars)
+    for label, count in bars:
+        length = int(count / maximum * width)
+        lines.append(f"{label.rjust(label_width)} |{'#' * length} {count}")
+    return "\n".join(lines)

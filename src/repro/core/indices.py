@@ -1,0 +1,196 @@
+"""Psychometric indices defined by the paper (§3.3, §3.4, §4.1.1).
+
+Implemented here:
+
+* **Item Difficulty Index** — two definitions the paper gives:
+  the whole-group form ``P = R / N`` (§3.3: "R: the number which people
+  have right answer, N: Sum"; worked example R=800, N=1000 → P=0.8), and
+  the split-group form ``P = (PH + PL) / 2`` (§4.1.1 step 4).  The paper
+  notes "the more Item Difficulty Index increase, the question is easier".
+* **Item Discrimination Index** — ``D = PH − PL`` (§4.1.1 step 5).
+* **Distraction analysis** — per-option selection proportions, identifying
+  distractors that attract nobody or attract the high group more than the
+  low group.
+* **Instructional Sensitivity Index** — §3.4: "comparison between the test
+  result before teaching and the test result after teaching"; the standard
+  form is ``ISI = P_post − P_pre`` per item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.errors import AnalysisError
+
+__all__ = [
+    "difficulty_index",
+    "split_difficulty_index",
+    "discrimination_index",
+    "instructional_sensitivity_index",
+    "proportion_correct",
+    "DistractionReport",
+    "distraction_analysis",
+]
+
+
+def difficulty_index(right: int, total: int) -> float:
+    """Whole-group Item Difficulty Index ``P = R / N`` (§3.3).
+
+    ``right`` is the number of examinees who answered correctly; ``total``
+    is the number of examinees.  Returns a proportion in [0, 1]; higher
+    values mean an easier question.
+
+    >>> difficulty_index(800, 1000)
+    0.8
+    """
+    if total <= 0:
+        raise AnalysisError(f"total examinees must be positive, got {total}")
+    if not 0 <= right <= total:
+        raise AnalysisError(
+            f"right answers ({right}) must be between 0 and total ({total})"
+        )
+    return right / total
+
+
+def split_difficulty_index(p_high: float, p_low: float) -> float:
+    """Split-group Item Difficulty Index ``P = (PH + PL) / 2`` (§4.1.1).
+
+    ``p_high``/``p_low`` are the proportions correct within the high- and
+    low-score groups.
+    """
+    _check_proportion("PH", p_high)
+    _check_proportion("PL", p_low)
+    return (p_high + p_low) / 2.0
+
+
+def discrimination_index(p_high: float, p_low: float) -> float:
+    """Item Discrimination Index ``D = PH − PL`` (§4.1.1).
+
+    Positive D means the high-score group outperforms the low-score group
+    on the item — the item discriminates in the right direction.  D ranges
+    over [-1, 1].
+    """
+    _check_proportion("PH", p_high)
+    _check_proportion("PL", p_low)
+    return p_high - p_low
+
+
+def instructional_sensitivity_index(p_pre: float, p_post: float) -> float:
+    """Instructional Sensitivity Index (§3.4).
+
+    Computed as the gain in proportion-correct from the pre-teaching test
+    to the post-teaching test: ``ISI = P_post − P_pre``.  An item that
+    instruction helps has positive ISI; an item unaffected by teaching has
+    ISI near zero.
+    """
+    _check_proportion("pre-teaching P", p_pre)
+    _check_proportion("post-teaching P", p_post)
+    return p_post - p_pre
+
+
+def proportion_correct(flags: Sequence[bool]) -> float:
+    """Proportion of True values in a correctness vector.
+
+    Helper used when computing PH/PL from raw per-examinee correctness.
+    """
+    if not flags:
+        raise AnalysisError("cannot take a proportion of an empty group")
+    return sum(1 for flag in flags if flag) / len(flags)
+
+
+def _check_proportion(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise AnalysisError(f"{name} must be a proportion in [0, 1], got {value}")
+
+
+# --------------------------------------------------------------------------
+# Distraction analysis (§3.3 V: "With the analysis, define students'
+# distraction.")
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DistractionReport:
+    """Per-option distraction analysis for one choice question.
+
+    ``selection_rates`` maps each option label to the fraction of all
+    examinees who chose it; ``dead_options`` are distractors nobody chose;
+    ``inverted_options`` are wrong options chosen *more* by the high group
+    than the low group (a symptom the paper's Rule 2 also flags).
+    """
+
+    correct_option: str
+    selection_rates: Mapping[str, float]
+    dead_options: Sequence[str]
+    inverted_options: Sequence[str]
+
+    def describe(self) -> str:
+        """One-line textual summary suitable for the metadata's
+        ``distraction`` field."""
+        parts = []
+        if self.dead_options:
+            parts.append("no takers: " + ", ".join(self.dead_options))
+        if self.inverted_options:
+            parts.append(
+                "attracts high scorers: " + ", ".join(self.inverted_options)
+            )
+        if not parts:
+            return "distractors functioning"
+        return "; ".join(parts)
+
+
+def distraction_analysis(
+    high_counts: Mapping[str, int],
+    low_counts: Mapping[str, int],
+    correct_option: str,
+    total_counts: Optional[Mapping[str, int]] = None,
+) -> DistractionReport:
+    """Analyse how the distractors of a choice question behave.
+
+    ``high_counts``/``low_counts`` map option labels to the number of
+    examinees in the high-/low-score groups who selected that option
+    (the paper's Table 1 layout).  ``total_counts`` optionally supplies
+    whole-cohort counts for the selection rates; when omitted the two
+    groups are pooled.
+    """
+    options = list(high_counts)
+    if set(options) != set(low_counts):
+        raise AnalysisError(
+            "high and low groups must cover the same options: "
+            f"{sorted(high_counts)} vs {sorted(low_counts)}"
+        )
+    if correct_option not in high_counts:
+        raise AnalysisError(
+            f"correct option {correct_option!r} is not among the options "
+            f"{sorted(high_counts)}"
+        )
+    pooled: Dict[str, int] = {
+        option: (
+            total_counts[option]
+            if total_counts is not None
+            else high_counts[option] + low_counts[option]
+        )
+        for option in options
+    }
+    pooled_total = sum(pooled.values())
+    rates = {
+        option: (count / pooled_total if pooled_total else 0.0)
+        for option, count in pooled.items()
+    }
+    dead = [
+        option
+        for option in options
+        if option != correct_option and pooled[option] == 0
+    ]
+    inverted = [
+        option
+        for option in options
+        if option != correct_option and high_counts[option] > low_counts[option]
+    ]
+    return DistractionReport(
+        correct_option=correct_option,
+        selection_rates=rates,
+        dead_options=tuple(dead),
+        inverted_options=tuple(inverted),
+    )

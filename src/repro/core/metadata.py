@@ -1,0 +1,415 @@
+"""The MINE SCORM Meta-data model (paper §3, Figure 1).
+
+The paper extends SCORM/LOM metadata with an assessment-specific model,
+"designed specially for assessment in distance learning", covering the
+assessment record, assessment analysis, questionnaire, and cognition
+level, plus per-question (``IndividualTest``) and per-exam (``Exam``)
+attributes.  Figure 1 draws the whole model as a tree of ten sections:
+the nine IEEE LTSC LOM categories (§2.1: "It provides nine categories to
+describe learning resource") plus the MINE ``Assessment`` extension that
+is the paper's contribution.
+
+This module defines that tree as plain dataclasses.  The XML binding
+lives in :mod:`repro.core.metadata_xml`; validation in
+:meth:`MineMetadata.validate`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import MetadataValidationError
+
+__all__ = [
+    "QuestionStyle",
+    "DisplayType",
+    "GeneralSection",
+    "LifecycleSection",
+    "MetaMetadataSection",
+    "TechnicalSection",
+    "EducationalSection",
+    "RightsSection",
+    "RelationSection",
+    "AnnotationSection",
+    "ClassificationSection",
+    "QuestionnaireMetadata",
+    "IndividualTestMetadata",
+    "ExamMetadata",
+    "AssessmentRecord",
+    "AssessmentAnalysisRecord",
+    "AssessmentSection",
+    "MineMetadata",
+    "LOM_SECTION_NAMES",
+    "MINE_SECTION_NAMES",
+]
+
+
+class QuestionStyle(enum.Enum):
+    """The question styles of paper §3.2.
+
+    Essay (open-ended or short fill-in), true/false, multiple choice,
+    match, completion (fill-in-blank / cloze), and questionnaire.
+    """
+
+    ESSAY = "essay"
+    TRUE_FALSE = "true_false"
+    MULTIPLE_CHOICE = "multiple_choice"
+    MATCH = "match"
+    COMPLETION = "completion"
+    QUESTIONNAIRE = "questionnaire"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class DisplayType(enum.Enum):
+    """Questionnaire display type (§3.2 VI.C).
+
+    ``FIXED_ORDER`` — a fixed number and order of questions;
+    ``RANDOM_ORDER`` — questions presented in random order.
+    """
+
+    FIXED_ORDER = "fixed_order"
+    RANDOM_ORDER = "random_order"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# --------------------------------------------------------------------------
+# The nine LOM categories (kept deliberately small: the paper's contribution
+# is the Assessment section; LOM categories carry the fields the authoring
+# system actually reads).
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GeneralSection:
+    """LOM 1 "General": identity and description of the resource."""
+
+    identifier: str = ""
+    title: str = ""
+    language: str = "en"
+    description: str = ""
+    keywords: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LifecycleSection:
+    """LOM 2 "Lifecycle": version and contributors."""
+
+    version: str = "1.0"
+    status: str = "final"
+    contributors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class MetaMetadataSection:
+    """LOM 3 "Meta-Metadata": who wrote this metadata, and to what scheme."""
+
+    metadata_scheme: str = "MINE SCORM 1.0"
+    created_by: str = ""
+
+
+@dataclass
+class TechnicalSection:
+    """LOM 4 "Technical": format, size, and location of the resource."""
+
+    format: str = "text/xml"
+    size_bytes: int = 0
+    location: str = ""
+
+
+@dataclass
+class EducationalSection:
+    """LOM 5 "Educational": pedagogic attributes of the resource."""
+
+    interactivity_type: str = "active"
+    learning_resource_type: str = "exam"
+    intended_end_user_role: str = "learner"
+    typical_age_range: str = ""
+    difficulty: str = ""
+
+
+@dataclass
+class RightsSection:
+    """LOM 6 "Rights": cost and copyright."""
+
+    cost: bool = False
+    copyright_and_other_restrictions: bool = False
+    description: str = ""
+
+
+@dataclass
+class RelationSection:
+    """LOM 7 "Relation": links to other resources."""
+
+    kind: str = ""
+    target_identifier: str = ""
+
+
+@dataclass
+class AnnotationSection:
+    """LOM 8 "Annotation": comments on the educational use of the resource."""
+
+    entity: str = ""
+    date: str = ""
+    description: str = ""
+
+
+@dataclass
+class ClassificationSection:
+    """LOM 9 "Classification": where the resource falls in a taxonomy."""
+
+    purpose: str = "discipline"
+    taxon_path: List[str] = field(default_factory=list)
+
+
+LOM_SECTION_NAMES: Sequence[str] = (
+    "general",
+    "lifecycle",
+    "meta_metadata",
+    "technical",
+    "educational",
+    "rights",
+    "relation",
+    "annotation",
+    "classification",
+)
+
+
+# --------------------------------------------------------------------------
+# The MINE Assessment extension (the paper's contribution, §3.1-§3.4)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class QuestionnaireMetadata:
+    """Questionnaire attributes (§3.2 VI).
+
+    ``question`` — the question content (the paper's metadata focuses on
+    text); ``resumable`` — True means the sitting may be resumed, False
+    means it pauses for a later time; ``display_type`` — fixed or random
+    question order.
+    """
+
+    question: str = ""
+    resumable: bool = True
+    display_type: DisplayType = DisplayType.FIXED_ORDER
+
+
+@dataclass
+class IndividualTestMetadata:
+    """Per-question assessment attributes (§3.3).
+
+    ``answer`` — the correct answer, kept for explaining and query;
+    ``subject`` — the question's main subject (the "concept" of §4.2);
+    ``item_difficulty_index`` — P, with P = R/N over the whole group or
+    P = (PH + PL)/2 from the split-group analysis; higher P means an
+    easier question; ``item_discrimination_index`` — D = PH − PL;
+    ``distraction`` — free-form record of the distraction analysis;
+    ``cognition_level`` — Bloom cognitive level of the question.
+    """
+
+    answer: str = ""
+    subject: str = ""
+    item_difficulty_index: Optional[float] = None
+    item_discrimination_index: Optional[float] = None
+    distraction: str = ""
+    cognition_level: Optional[CognitionLevel] = None
+
+
+@dataclass
+class ExamMetadata:
+    """Per-exam assessment attributes (§3.4).
+
+    ``average_time_seconds`` — mean time examinees take; ``test_time_seconds``
+    — the default time limit; ``instructional_sensitivity_index`` — computed
+    by comparing pre-teaching and post-teaching test results.
+    """
+
+    average_time_seconds: Optional[float] = None
+    test_time_seconds: Optional[float] = None
+    instructional_sensitivity_index: Optional[float] = None
+
+
+@dataclass
+class AssessmentRecord:
+    """One recorded sitting of the assessment (who, when, score, duration)."""
+
+    learner_id: str = ""
+    taken_at: str = ""
+    score: Optional[float] = None
+    duration_seconds: Optional[float] = None
+
+
+@dataclass
+class AssessmentAnalysisRecord:
+    """A stored analysis result attached to the metadata.
+
+    The authoring system writes one of these per analysis run so that the
+    advice ("why a question is not suitable and how to correct it") travels
+    with the content.
+    """
+
+    question_number: int = 0
+    difficulty: Optional[float] = None
+    discrimination: Optional[float] = None
+    signal: str = ""
+    statuses: List[str] = field(default_factory=list)
+    advice: str = ""
+    distraction: str = ""
+
+
+@dataclass
+class AssessmentSection:
+    """The tenth, MINE-specific, metadata section.
+
+    Gathers everything §3 defines: cognition level, question style, the
+    questionnaire attributes, per-question ``IndividualTest`` attributes,
+    per-exam attributes, plus stored assessment records and analysis
+    results.
+    """
+
+    cognition_level: Optional[CognitionLevel] = None
+    question_style: Optional[QuestionStyle] = None
+    questionnaire: QuestionnaireMetadata = field(default_factory=QuestionnaireMetadata)
+    individual_test: IndividualTestMetadata = field(
+        default_factory=IndividualTestMetadata
+    )
+    exam: ExamMetadata = field(default_factory=ExamMetadata)
+    records: List[AssessmentRecord] = field(default_factory=list)
+    analyses: List[AssessmentAnalysisRecord] = field(default_factory=list)
+
+
+MINE_SECTION_NAMES: Sequence[str] = LOM_SECTION_NAMES + ("assessment",)
+
+
+@dataclass
+class MineMetadata:
+    """The complete MINE SCORM Meta-data document — Figure 1's tree.
+
+    Ten sections: the nine LOM categories plus the MINE ``assessment``
+    extension.  Use :meth:`validate` before serializing, and
+    :meth:`tree_lines` to render the Figure 1 structure.
+    """
+
+    general: GeneralSection = field(default_factory=GeneralSection)
+    lifecycle: LifecycleSection = field(default_factory=LifecycleSection)
+    meta_metadata: MetaMetadataSection = field(default_factory=MetaMetadataSection)
+    technical: TechnicalSection = field(default_factory=TechnicalSection)
+    educational: EducationalSection = field(default_factory=EducationalSection)
+    rights: RightsSection = field(default_factory=RightsSection)
+    relation: RelationSection = field(default_factory=RelationSection)
+    annotation: AnnotationSection = field(default_factory=AnnotationSection)
+    classification: ClassificationSection = field(
+        default_factory=ClassificationSection
+    )
+    assessment: AssessmentSection = field(default_factory=AssessmentSection)
+
+    def section_names(self) -> Sequence[str]:
+        """The ten section names, in Figure 1 order."""
+        return MINE_SECTION_NAMES
+
+    def validate(self) -> None:
+        """Raise :class:`MetadataValidationError` listing every violation.
+
+        Checks the constraints the paper's model implies: indices are
+        probabilities or differences of probabilities, times are
+        non-negative, and enum-typed fields hold their enum types.
+        """
+        violations = self._collect_violations()
+        if violations:
+            raise MetadataValidationError(violations)
+
+    def is_valid(self) -> bool:
+        """True when :meth:`validate` would pass."""
+        return not self._collect_violations()
+
+    def _collect_violations(self) -> List[str]:
+        problems: List[str] = []
+        ind = self.assessment.individual_test
+        p = ind.item_difficulty_index
+        if p is not None and not 0.0 <= p <= 1.0:
+            problems.append(f"item_difficulty_index out of [0, 1]: {p}")
+        d = ind.item_discrimination_index
+        if d is not None and not -1.0 <= d <= 1.0:
+            problems.append(f"item_discrimination_index out of [-1, 1]: {d}")
+        if ind.cognition_level is not None and not isinstance(
+            ind.cognition_level, CognitionLevel
+        ):
+            problems.append("individual_test.cognition_level is not a CognitionLevel")
+        exam = self.assessment.exam
+        for name in ("average_time_seconds", "test_time_seconds"):
+            value = getattr(exam, name)
+            if value is not None and value < 0:
+                problems.append(f"exam.{name} is negative: {value}")
+        if self.assessment.cognition_level is not None and not isinstance(
+            self.assessment.cognition_level, CognitionLevel
+        ):
+            problems.append("assessment.cognition_level is not a CognitionLevel")
+        if self.assessment.question_style is not None and not isinstance(
+            self.assessment.question_style, QuestionStyle
+        ):
+            problems.append("assessment.question_style is not a QuestionStyle")
+        if not isinstance(
+            self.assessment.questionnaire.display_type, DisplayType
+        ):
+            problems.append("questionnaire.display_type is not a DisplayType")
+        for i, record in enumerate(self.assessment.records):
+            if record.score is not None and record.score < 0:
+                problems.append(f"records[{i}].score is negative: {record.score}")
+            if record.duration_seconds is not None and record.duration_seconds < 0:
+                problems.append(
+                    f"records[{i}].duration_seconds is negative: "
+                    f"{record.duration_seconds}"
+                )
+        if self.technical.size_bytes < 0:
+            problems.append(f"technical.size_bytes is negative: {self.technical.size_bytes}")
+        return problems
+
+    # -- Figure 1 rendering -------------------------------------------------
+
+    def tree_lines(self) -> List[str]:
+        """Render the metadata tree of Figure 1 as indented text lines.
+
+        The first line is the root; each section is a child; the MINE
+        assessment section expands its sub-tree (cognition level, question
+        style, questionnaire, IndividualTest, Exam, records, analyses).
+        """
+        lines = ["MINE SCORM Meta-data"]
+        for name in LOM_SECTION_NAMES:
+            lines.append(f"  +- {name}")
+        lines.append("  +- assessment")
+        assessment_children: Dict[str, Sequence[str]] = {
+            "cognition_level": (),
+            "question_style": (),
+            "questionnaire": ("question", "resumable", "display_type"),
+            "individual_test": (
+                "answer",
+                "subject",
+                "item_difficulty_index",
+                "item_discrimination_index",
+                "distraction",
+                "cognition_level",
+            ),
+            "exam": (
+                "average_time_seconds",
+                "test_time_seconds",
+                "instructional_sensitivity_index",
+            ),
+            "records": (),
+            "analyses": (),
+        }
+        for child, leaves in assessment_children.items():
+            lines.append(f"      +- {child}")
+            for leaf in leaves:
+                lines.append(f"          +- {leaf}")
+        return lines
+
+    def render_tree(self) -> str:
+        """The Figure 1 tree as a single string."""
+        return "\n".join(self.tree_lines())

@@ -1,0 +1,462 @@
+"""XML binding for the MINE SCORM Meta-data model.
+
+The paper (§5.5) follows SCORM's convention that "each file ... has a
+descriptive xml file".  This module serializes a
+:class:`~repro.core.metadata.MineMetadata` document to a namespaced XML
+element/string and parses it back, giving a loss-free round trip for every
+field the model defines.
+
+The binding is deliberately explicit (one function per section) rather than
+reflective: the schema is small, fixed by the paper, and an explicit
+binding gives readable errors when a document is malformed.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import MetadataError
+from repro.core.metadata import (
+    AnnotationSection,
+    AssessmentAnalysisRecord,
+    AssessmentRecord,
+    AssessmentSection,
+    ClassificationSection,
+    DisplayType,
+    EducationalSection,
+    ExamMetadata,
+    GeneralSection,
+    IndividualTestMetadata,
+    LifecycleSection,
+    MetaMetadataSection,
+    MineMetadata,
+    QuestionStyle,
+    QuestionnaireMetadata,
+    RelationSection,
+    RightsSection,
+    TechnicalSection,
+)
+
+__all__ = [
+    "MINE_NAMESPACE",
+    "to_element",
+    "to_xml",
+    "from_element",
+    "from_xml",
+]
+
+#: Namespace of the MINE assessment metadata documents.
+MINE_NAMESPACE = "http://mine.tku.edu.tw/xsd/assessment"
+
+_NS = {"mine": MINE_NAMESPACE}
+
+
+def _q(tag: str) -> str:
+    """Qualified tag name in the MINE namespace."""
+    return f"{{{MINE_NAMESPACE}}}{tag}"
+
+
+def _leaf(parent: ET.Element, tag: str, value) -> None:
+    """Append a leaf element unless the value is None."""
+    if value is None:
+        return
+    child = ET.SubElement(parent, _q(tag))
+    if isinstance(value, bool):
+        child.text = "true" if value else "false"
+    else:
+        child.text = str(value)
+
+
+def _text(element: ET.Element, tag: str, default: str = "") -> str:
+    child = element.find(f"mine:{tag}", _NS)
+    if child is None or child.text is None:
+        return default
+    return child.text
+
+
+def _opt_text(element: ET.Element, tag: str) -> Optional[str]:
+    child = element.find(f"mine:{tag}", _NS)
+    if child is None or child.text is None:
+        return None
+    return child.text
+
+
+def _opt_float(element: ET.Element, tag: str) -> Optional[float]:
+    raw = _opt_text(element, tag)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise MetadataError(f"element <{tag}> is not a number: {raw!r}") from None
+
+
+def _bool(element: ET.Element, tag: str, default: bool) -> bool:
+    raw = _opt_text(element, tag)
+    if raw is None:
+        return default
+    lowered = raw.strip().lower()
+    if lowered in ("true", "1", "yes"):
+        return True
+    if lowered in ("false", "0", "no"):
+        return False
+    raise MetadataError(f"element <{tag}> is not a boolean: {raw!r}")
+
+
+def _int(element: ET.Element, tag: str, default: int) -> int:
+    raw = _opt_text(element, tag)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise MetadataError(f"element <{tag}> is not an integer: {raw!r}") from None
+
+
+# --------------------------------------------------------------------------
+# Serialization
+# --------------------------------------------------------------------------
+
+
+def to_element(metadata: MineMetadata) -> ET.Element:
+    """Serialize a metadata document to an ElementTree element."""
+    root = ET.Element(_q("mineMetadata"))
+
+    general = ET.SubElement(root, _q("general"))
+    _leaf(general, "identifier", metadata.general.identifier)
+    _leaf(general, "title", metadata.general.title)
+    _leaf(general, "language", metadata.general.language)
+    _leaf(general, "description", metadata.general.description)
+    for keyword in metadata.general.keywords:
+        _leaf(general, "keyword", keyword)
+
+    lifecycle = ET.SubElement(root, _q("lifecycle"))
+    _leaf(lifecycle, "version", metadata.lifecycle.version)
+    _leaf(lifecycle, "status", metadata.lifecycle.status)
+    for contributor in metadata.lifecycle.contributors:
+        _leaf(lifecycle, "contributor", contributor)
+
+    meta_meta = ET.SubElement(root, _q("metaMetadata"))
+    _leaf(meta_meta, "metadataScheme", metadata.meta_metadata.metadata_scheme)
+    _leaf(meta_meta, "createdBy", metadata.meta_metadata.created_by)
+
+    technical = ET.SubElement(root, _q("technical"))
+    _leaf(technical, "format", metadata.technical.format)
+    _leaf(technical, "size", metadata.technical.size_bytes)
+    _leaf(technical, "location", metadata.technical.location)
+
+    educational = ET.SubElement(root, _q("educational"))
+    _leaf(educational, "interactivityType", metadata.educational.interactivity_type)
+    _leaf(
+        educational,
+        "learningResourceType",
+        metadata.educational.learning_resource_type,
+    )
+    _leaf(
+        educational,
+        "intendedEndUserRole",
+        metadata.educational.intended_end_user_role,
+    )
+    _leaf(educational, "typicalAgeRange", metadata.educational.typical_age_range)
+    _leaf(educational, "difficulty", metadata.educational.difficulty)
+
+    rights = ET.SubElement(root, _q("rights"))
+    _leaf(rights, "cost", metadata.rights.cost)
+    _leaf(
+        rights,
+        "copyrightAndOtherRestrictions",
+        metadata.rights.copyright_and_other_restrictions,
+    )
+    _leaf(rights, "description", metadata.rights.description)
+
+    relation = ET.SubElement(root, _q("relation"))
+    _leaf(relation, "kind", metadata.relation.kind)
+    _leaf(relation, "targetIdentifier", metadata.relation.target_identifier)
+
+    annotation = ET.SubElement(root, _q("annotation"))
+    _leaf(annotation, "entity", metadata.annotation.entity)
+    _leaf(annotation, "date", metadata.annotation.date)
+    _leaf(annotation, "description", metadata.annotation.description)
+
+    classification = ET.SubElement(root, _q("classification"))
+    _leaf(classification, "purpose", metadata.classification.purpose)
+    for taxon in metadata.classification.taxon_path:
+        _leaf(classification, "taxon", taxon)
+
+    root.append(_assessment_to_element(metadata.assessment))
+    return root
+
+
+def _assessment_to_element(assessment: AssessmentSection) -> ET.Element:
+    element = ET.Element(_q("assessment"))
+    if assessment.cognition_level is not None:
+        _leaf(element, "cognitionLevel", assessment.cognition_level.name.lower())
+    if assessment.question_style is not None:
+        _leaf(element, "questionStyle", assessment.question_style.value)
+
+    questionnaire = ET.SubElement(element, _q("questionnaire"))
+    _leaf(questionnaire, "question", assessment.questionnaire.question)
+    _leaf(questionnaire, "resumable", assessment.questionnaire.resumable)
+    _leaf(questionnaire, "displayType", assessment.questionnaire.display_type.value)
+
+    individual = ET.SubElement(element, _q("individualTest"))
+    _leaf(individual, "answer", assessment.individual_test.answer)
+    _leaf(individual, "subject", assessment.individual_test.subject)
+    _leaf(
+        individual,
+        "itemDifficultyIndex",
+        assessment.individual_test.item_difficulty_index,
+    )
+    _leaf(
+        individual,
+        "itemDiscriminationIndex",
+        assessment.individual_test.item_discrimination_index,
+    )
+    _leaf(individual, "distraction", assessment.individual_test.distraction)
+    if assessment.individual_test.cognition_level is not None:
+        _leaf(
+            individual,
+            "cognitionLevel",
+            assessment.individual_test.cognition_level.name.lower(),
+        )
+
+    exam = ET.SubElement(element, _q("exam"))
+    _leaf(exam, "averageTime", assessment.exam.average_time_seconds)
+    _leaf(exam, "testTime", assessment.exam.test_time_seconds)
+    _leaf(
+        exam,
+        "instructionalSensitivityIndex",
+        assessment.exam.instructional_sensitivity_index,
+    )
+
+    for record in assessment.records:
+        record_el = ET.SubElement(element, _q("record"))
+        _leaf(record_el, "learnerId", record.learner_id)
+        _leaf(record_el, "takenAt", record.taken_at)
+        _leaf(record_el, "score", record.score)
+        _leaf(record_el, "duration", record.duration_seconds)
+
+    for analysis in assessment.analyses:
+        analysis_el = ET.SubElement(element, _q("analysis"))
+        _leaf(analysis_el, "questionNumber", analysis.question_number)
+        _leaf(analysis_el, "difficulty", analysis.difficulty)
+        _leaf(analysis_el, "discrimination", analysis.discrimination)
+        _leaf(analysis_el, "signal", analysis.signal)
+        for status in analysis.statuses:
+            _leaf(analysis_el, "status", status)
+        _leaf(analysis_el, "advice", analysis.advice)
+        _leaf(analysis_el, "distraction", analysis.distraction)
+    return element
+
+
+def to_xml(metadata: MineMetadata) -> str:
+    """Serialize a metadata document to an XML string (UTF-8 text)."""
+    element = to_element(metadata)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+# --------------------------------------------------------------------------
+# Parsing
+# --------------------------------------------------------------------------
+
+
+def from_xml(text: str) -> MineMetadata:
+    """Parse a MINE metadata XML string.
+
+    Raises :class:`MetadataError` on malformed XML or a wrong root element.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise MetadataError(f"malformed metadata XML: {exc}") from exc
+    return from_element(root)
+
+
+def from_element(root: ET.Element) -> MineMetadata:
+    """Parse a MINE metadata document from an ElementTree element."""
+    if root.tag != _q("mineMetadata"):
+        raise MetadataError(
+            f"unexpected root element {root.tag!r}; expected mineMetadata "
+            f"in namespace {MINE_NAMESPACE}"
+        )
+    metadata = MineMetadata()
+
+    general = root.find("mine:general", _NS)
+    if general is not None:
+        metadata.general = GeneralSection(
+            identifier=_text(general, "identifier"),
+            title=_text(general, "title"),
+            language=_text(general, "language", "en"),
+            description=_text(general, "description"),
+            keywords=[
+                el.text or "" for el in general.findall("mine:keyword", _NS)
+            ],
+        )
+
+    lifecycle = root.find("mine:lifecycle", _NS)
+    if lifecycle is not None:
+        metadata.lifecycle = LifecycleSection(
+            version=_text(lifecycle, "version", "1.0"),
+            status=_text(lifecycle, "status", "final"),
+            contributors=[
+                el.text or "" for el in lifecycle.findall("mine:contributor", _NS)
+            ],
+        )
+
+    meta_meta = root.find("mine:metaMetadata", _NS)
+    if meta_meta is not None:
+        metadata.meta_metadata = MetaMetadataSection(
+            metadata_scheme=_text(meta_meta, "metadataScheme", "MINE SCORM 1.0"),
+            created_by=_text(meta_meta, "createdBy"),
+        )
+
+    technical = root.find("mine:technical", _NS)
+    if technical is not None:
+        metadata.technical = TechnicalSection(
+            format=_text(technical, "format", "text/xml"),
+            size_bytes=_int(technical, "size", 0),
+            location=_text(technical, "location"),
+        )
+
+    educational = root.find("mine:educational", _NS)
+    if educational is not None:
+        metadata.educational = EducationalSection(
+            interactivity_type=_text(educational, "interactivityType", "active"),
+            learning_resource_type=_text(
+                educational, "learningResourceType", "exam"
+            ),
+            intended_end_user_role=_text(
+                educational, "intendedEndUserRole", "learner"
+            ),
+            typical_age_range=_text(educational, "typicalAgeRange"),
+            difficulty=_text(educational, "difficulty"),
+        )
+
+    rights = root.find("mine:rights", _NS)
+    if rights is not None:
+        metadata.rights = RightsSection(
+            cost=_bool(rights, "cost", False),
+            copyright_and_other_restrictions=_bool(
+                rights, "copyrightAndOtherRestrictions", False
+            ),
+            description=_text(rights, "description"),
+        )
+
+    relation = root.find("mine:relation", _NS)
+    if relation is not None:
+        metadata.relation = RelationSection(
+            kind=_text(relation, "kind"),
+            target_identifier=_text(relation, "targetIdentifier"),
+        )
+
+    annotation = root.find("mine:annotation", _NS)
+    if annotation is not None:
+        metadata.annotation = AnnotationSection(
+            entity=_text(annotation, "entity"),
+            date=_text(annotation, "date"),
+            description=_text(annotation, "description"),
+        )
+
+    classification = root.find("mine:classification", _NS)
+    if classification is not None:
+        metadata.classification = ClassificationSection(
+            purpose=_text(classification, "purpose", "discipline"),
+            taxon_path=[
+                el.text or "" for el in classification.findall("mine:taxon", _NS)
+            ],
+        )
+
+    assessment = root.find("mine:assessment", _NS)
+    if assessment is not None:
+        metadata.assessment = _assessment_from_element(assessment)
+    return metadata
+
+
+def _assessment_from_element(element: ET.Element) -> AssessmentSection:
+    section = AssessmentSection()
+    level_text = _opt_text(element, "cognitionLevel")
+    if level_text is not None:
+        section.cognition_level = CognitionLevel.parse(level_text)
+    style_text = _opt_text(element, "questionStyle")
+    if style_text is not None:
+        try:
+            section.question_style = QuestionStyle(style_text)
+        except ValueError:
+            raise MetadataError(f"unknown question style: {style_text!r}") from None
+
+    questionnaire = element.find("mine:questionnaire", _NS)
+    if questionnaire is not None:
+        display_raw = _opt_text(questionnaire, "displayType")
+        if display_raw is None:
+            display = DisplayType.FIXED_ORDER
+        else:
+            try:
+                display = DisplayType(display_raw)
+            except ValueError:
+                raise MetadataError(
+                    f"unknown display type: {display_raw!r}"
+                ) from None
+        section.questionnaire = QuestionnaireMetadata(
+            question=_text(questionnaire, "question"),
+            resumable=_bool(questionnaire, "resumable", True),
+            display_type=display,
+        )
+
+    individual = element.find("mine:individualTest", _NS)
+    if individual is not None:
+        item_level = _opt_text(individual, "cognitionLevel")
+        section.individual_test = IndividualTestMetadata(
+            answer=_text(individual, "answer"),
+            subject=_text(individual, "subject"),
+            item_difficulty_index=_opt_float(individual, "itemDifficultyIndex"),
+            item_discrimination_index=_opt_float(
+                individual, "itemDiscriminationIndex"
+            ),
+            distraction=_text(individual, "distraction"),
+            cognition_level=(
+                CognitionLevel.parse(item_level) if item_level is not None else None
+            ),
+        )
+
+    exam = element.find("mine:exam", _NS)
+    if exam is not None:
+        section.exam = ExamMetadata(
+            average_time_seconds=_opt_float(exam, "averageTime"),
+            test_time_seconds=_opt_float(exam, "testTime"),
+            instructional_sensitivity_index=_opt_float(
+                exam, "instructionalSensitivityIndex"
+            ),
+        )
+
+    records: List[AssessmentRecord] = []
+    for record_el in element.findall("mine:record", _NS):
+        records.append(
+            AssessmentRecord(
+                learner_id=_text(record_el, "learnerId"),
+                taken_at=_text(record_el, "takenAt"),
+                score=_opt_float(record_el, "score"),
+                duration_seconds=_opt_float(record_el, "duration"),
+            )
+        )
+    section.records = records
+
+    analyses: List[AssessmentAnalysisRecord] = []
+    for analysis_el in element.findall("mine:analysis", _NS):
+        analyses.append(
+            AssessmentAnalysisRecord(
+                question_number=_int(analysis_el, "questionNumber", 0),
+                difficulty=_opt_float(analysis_el, "difficulty"),
+                discrimination=_opt_float(analysis_el, "discrimination"),
+                signal=_text(analysis_el, "signal"),
+                statuses=[
+                    el.text or "" for el in analysis_el.findall("mine:status", _NS)
+                ],
+                advice=_text(analysis_el, "advice"),
+                distraction=_text(analysis_el, "distraction"),
+            )
+        )
+    section.analyses = analyses
+    return section

@@ -1,0 +1,105 @@
+"""Questionnaire tabulation (paper §3.2 VI).
+
+Questionnaire items have no correct answer; their analysis is a
+distribution summary per question: counts and proportions per scale
+label, the response rate, and — for ordered (Likert) scales — the mean
+position and polarization.  The paper folds questionnaires into the same
+assessment model; this module is their counterpart to §4.1's item
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.errors import AnalysisError, EmptyCohortError
+
+__all__ = ["QuestionnaireSummary", "tabulate_questionnaire"]
+
+
+@dataclass(frozen=True)
+class QuestionnaireSummary:
+    """Distribution of responses to one questionnaire question."""
+
+    question: str
+    scale: Sequence[str]
+    counts: Mapping[str, int]
+    respondents: int
+    omissions: int
+    #: 1-based mean scale position for ordered scales (None if free-text)
+    mean_position: Optional[float]
+
+    @property
+    def response_rate(self) -> float:
+        """Respondents over respondents + omissions."""
+        total = self.respondents + self.omissions
+        return self.respondents / total if total else 0.0
+
+    def proportion(self, label: str) -> float:
+        """A label's share of the actual responses."""
+        if label not in self.counts:
+            raise AnalysisError(f"label {label!r} not tabulated")
+        return (
+            self.counts[label] / self.respondents if self.respondents else 0.0
+        )
+
+    def render(self, width: int = 30) -> str:
+        """Horizontal-bar rendering of the distribution."""
+        lines = [f"{self.question}  (n={self.respondents}, "
+                 f"response rate {self.response_rate:.0%})"]
+        maximum = max(self.counts.values(), default=0) or 1
+        label_width = max((len(label) for label in self.counts), default=0)
+        for label in self.scale or sorted(self.counts):
+            count = self.counts.get(label, 0)
+            bar = "#" * int(count / maximum * width)
+            lines.append(f"  {label.rjust(label_width)} |{bar} {count}")
+        if self.mean_position is not None:
+            lines.append(f"  mean position: {self.mean_position:.2f}")
+        return "\n".join(lines)
+
+
+def tabulate_questionnaire(
+    question: str,
+    responses: Sequence[Optional[str]],
+    scale: Sequence[str] = (),
+) -> QuestionnaireSummary:
+    """Tabulate one questionnaire question's responses.
+
+    ``responses`` holds one selection (or None for omitted) per
+    respondent.  With an ordered ``scale``, off-scale responses are
+    rejected and the 1-based mean position is computed; without one,
+    free-text responses are counted verbatim.
+    """
+    if not responses:
+        raise EmptyCohortError("no questionnaire responses")
+    if len(set(scale)) != len(scale):
+        raise AnalysisError("duplicate scale labels")
+    counts: Dict[str, int] = {label: 0 for label in scale}
+    respondents = 0
+    omissions = 0
+    for response in responses:
+        if response is None:
+            omissions += 1
+            continue
+        if scale and response not in counts:
+            raise AnalysisError(
+                f"response {response!r} is not on the scale {list(scale)}"
+            )
+        counts[response] = counts.get(response, 0) + 1
+        respondents += 1
+    mean_position: Optional[float] = None
+    if scale and respondents:
+        position_of = {label: index + 1 for index, label in enumerate(scale)}
+        mean_position = (
+            sum(position_of[label] * count for label, count in counts.items())
+            / respondents
+        )
+    return QuestionnaireSummary(
+        question=question,
+        scale=tuple(scale),
+        counts=counts,
+        respondents=respondents,
+        omissions=omissions,
+        mean_position=mean_position,
+    )

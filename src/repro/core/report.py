@@ -1,0 +1,202 @@
+"""Aggregated assessment reports.
+
+Combines everything §4 produces — per-question number/signal analysis,
+the whole-test figures, the two-way specification table and its derived
+checks — into one :class:`AssessmentReport` with a text rendering a
+teacher could read end to end, exactly in the order the paper presents
+the material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.concept_mastery import ConceptPerformance, concept_performance
+from repro.core.errors import AnalysisError
+from repro.core.exam_analysis import (
+    ScoreDifficultyAnalysis,
+    TimeAnalysis,
+    score_vs_difficulty,
+    time_vs_answered,
+)
+from repro.core.figures import (
+    render_score_difficulty_figure,
+    render_time_figure,
+)
+from repro.core.metadata import AssessmentAnalysisRecord
+from repro.core.question_analysis import (
+    CohortAnalysis,
+    render_number_representation,
+)
+from repro.core.reliability import kr20, standard_error_of_measurement
+from repro.core.signals import render_signal_board
+from repro.core.spec_table import SpecificationTable
+
+__all__ = ["AssessmentReport", "build_report"]
+
+
+@dataclass
+class AssessmentReport:
+    """Everything the analysis model produced for one exam sitting."""
+
+    title: str
+    cohort: CohortAnalysis
+    spec_table: Optional[SpecificationTable] = None
+    time_analysis: Optional[TimeAnalysis] = None
+    score_difficulty: Optional[ScoreDifficultyAnalysis] = None
+    reliability: Optional[float] = None
+    sem: Optional[float] = None
+    concept_rows: List["ConceptPerformance"] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def analysis_records(self) -> List[AssessmentAnalysisRecord]:
+        """Per-question analysis records to store back in the metadata."""
+        records = []
+        for question in self.cohort.questions:
+            records.append(
+                AssessmentAnalysisRecord(
+                    question_number=question.number,
+                    difficulty=question.difficulty,
+                    discrimination=question.discrimination,
+                    signal=question.signal.value,
+                    statuses=[str(status) for status in question.rules.statuses],
+                    advice=question.advice.render(),
+                    distraction=(
+                        question.distraction.describe()
+                        if question.distraction is not None
+                        else ""
+                    ),
+                )
+            )
+        return records
+
+    def render(self) -> str:
+        """The full report as readable text, §4's order: number
+        representation, signal board, per-question advice, whole-test
+        figures, specification-table analyses."""
+        sections: List[str] = [f"=== Assessment report: {self.title} ==="]
+
+        sections.append("-- Number representation (§4.1.1) --")
+        sections.append(render_number_representation(self.cohort.questions))
+
+        sections.append("-- Signal representation (Figure 2) --")
+        sections.append(render_signal_board(self.cohort.signals))
+
+        flagged = [
+            question
+            for question in self.cohort.questions
+            if question.rules.matches or question.signal.value != "green"
+        ]
+        if flagged:
+            sections.append("-- Advice (Tables 2-3) --")
+            for question in flagged:
+                sections.append(f"Question {question.number}:")
+                sections.append(question.advice.render())
+
+        if self.time_analysis is not None:
+            sections.append("-- Time vs answered (§4.2.1 figure 1) --")
+            sections.append(render_time_figure(self.time_analysis))
+
+        if self.score_difficulty is not None:
+            sections.append("-- Score vs difficulty (§4.2.1 figure 2) --")
+            sections.append(render_score_difficulty_figure(self.score_difficulty))
+
+        if self.reliability is not None:
+            line = f"-- Reliability -- KR-20 = {self.reliability:.3f}"
+            if self.sem is not None:
+                line += f", SEM = {self.sem:.2f} points"
+            sections.append(line)
+
+        if self.concept_rows:
+            sections.append("-- Concept performance (remediation planning) --")
+            for row in self.concept_rows:
+                verdict = ""
+                if row.needs_reteaching:
+                    verdict = "  -> re-teach the whole class"
+                elif row.needs_remedial_course:
+                    verdict = "  -> remedial course for the low score group"
+                sections.append(
+                    f"{row.concept:<14} PH={row.high_group_rate:.2f} "
+                    f"PL={row.low_group_rate:.2f} "
+                    f"P={row.mean_difficulty:.2f}{verdict}"
+                )
+
+        if self.spec_table is not None:
+            sections.append("-- Two-way specification table (Table 4) --")
+            sections.append(self.spec_table.render())
+            lost = self.spec_table.lost_concepts()
+            if lost:
+                sections.append(
+                    "Concept lost in the exam: " + ", ".join(lost)
+                )
+            violations = self.spec_table.pyramid_violations()
+            if violations:
+                described = ", ".join(
+                    f"{low.label} < {high.label}" for low, high in violations
+                )
+                sections.append(
+                    "Cognition-level ordering violated: " + described
+                )
+            sections.append("-- Distribution paint (§4.2.3) --")
+            sections.extend(self.spec_table.paint())
+
+        for note in self.notes:
+            sections.append(f"note: {note}")
+        return "\n".join(sections)
+
+
+def build_report(
+    title: str,
+    cohort: CohortAnalysis,
+    correct_flags: Optional[Dict[str, Sequence[bool]]] = None,
+    answer_times: Optional[Sequence[Sequence[float]]] = None,
+    time_limit_seconds: Optional[float] = None,
+    spec_table: Optional[SpecificationTable] = None,
+    specs: Optional[Sequence] = None,
+) -> AssessmentReport:
+    """Assemble an :class:`AssessmentReport` from analysis ingredients.
+
+    ``correct_flags`` (examinee → per-question correctness) enables the
+    score/difficulty figure; ``answer_times`` (per examinee, elapsed
+    commit times) enables the time figure; ``specs`` (the per-question
+    :class:`~repro.core.question_analysis.QuestionSpec` list the cohort
+    was analyzed against) enables the per-concept remediation section.
+    """
+    time_analysis = None
+    if answer_times:
+        time_analysis = time_vs_answered(
+            answer_times, time_limit_seconds=time_limit_seconds
+        )
+    score_difficulty = None
+    reliability = None
+    sem = None
+    if correct_flags:
+        score_difficulty = score_vs_difficulty(
+            cohort.scores, correct_flags, cohort.questions
+        )
+        matrix = [list(flags) for flags in correct_flags.values()]
+        try:
+            reliability = kr20(matrix)
+            totals = [sum(1.0 for flag in row if flag) for row in matrix]
+            sem = standard_error_of_measurement(
+                totals, min(max(reliability, 0.0), 1.0)
+            )
+        except AnalysisError:
+            # degenerate cohorts (zero variance, one item) have no
+            # defined reliability; the report simply omits the section
+            reliability = None
+            sem = None
+    concept_rows: List[ConceptPerformance] = []
+    if specs is not None:
+        concept_rows = concept_performance(cohort, specs)
+    return AssessmentReport(
+        title=title,
+        cohort=cohort,
+        spec_table=spec_table,
+        time_analysis=time_analysis,
+        score_difficulty=score_difficulty,
+        reliability=reliability,
+        sem=sem,
+        concept_rows=concept_rows,
+    )

@@ -1,0 +1,362 @@
+"""The four diagnostic rules over the option-choice matrix (paper §4.1.2).
+
+The paper's "signal representation" analyses each multiple-choice question
+through a table of option-selection counts split by score group
+(Table 1)::
+
+                    Option A  Option B  Option C  Option D  Option E
+    High Score Group    HA        HB        HC        HD        HE
+    Low Score Group     LA        LB        LC        LD        LE
+
+and four rules:
+
+* **Rule 1** — if any LN = 0, that option's *allure is low* (it attracts
+  nobody in the low group, so it is not functioning as a distractor).
+* **Rule 2** — if option N is correct and HN < LN, or option N is wrong
+  and HN > LN, the option is *not well-defined* (Table 2 reads this as:
+  the option meaning is not clear / examinees were careless / there is
+  not only one exact answer).
+* **Rule 3** — if the spread of low-group counts is small,
+  ``|LM − Lm| ≤ LS × 20%`` with LM/Lm the max/min and LS the sum, the low
+  group chose "every option equally": *low score group lacks the concept*.
+* **Rule 4** — if both the low-group spread (Rule 3) **and** the
+  high-group spread are small, *both groups lack the concept*.
+
+:class:`OptionMatrix` is Table 1; :func:`evaluate_rules` returns one
+:class:`RuleMatch` per fired rule, each carrying its Table 2 statuses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import AnalysisError
+
+__all__ = [
+    "DEFAULT_SPREAD_THRESHOLD",
+    "Status",
+    "OptionMatrix",
+    "RuleMatch",
+    "RuleOutcome",
+    "evaluate_rules",
+    "STATUSES_BY_RULE",
+]
+
+#: The 20% spread threshold of Rules 3 and 4.
+DEFAULT_SPREAD_THRESHOLD = 0.20
+
+
+class Status(enum.Enum):
+    """The problem statuses of the paper's Table 2."""
+
+    LOW_ALLURE = "the option's allure is low"
+    OPTION_NOT_CLEAR = "the option meaning is not clear"
+    CARELESS = "careless"
+    NOT_ONLY_ONE_ANSWER = "not only one exact answer"
+    LOW_GROUP_LACKS_CONCEPT = "low score group lack concept"
+    HIGH_GROUP_LACKS_CONCEPT = "high score group lack concept"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Table 2 — which statuses each rule can assert.
+STATUSES_BY_RULE: Mapping[int, Tuple[Status, ...]] = {
+    1: (Status.LOW_ALLURE,),
+    2: (Status.OPTION_NOT_CLEAR, Status.CARELESS, Status.NOT_ONLY_ONE_ANSWER),
+    3: (Status.LOW_GROUP_LACKS_CONCEPT,),
+    4: (Status.LOW_GROUP_LACKS_CONCEPT, Status.HIGH_GROUP_LACKS_CONCEPT),
+}
+
+
+@dataclass(frozen=True)
+class OptionMatrix:
+    """Table 1: per-option selection counts split by score group.
+
+    ``options`` fixes the option order (e.g. ``("A", "B", "C", "D", "E")``);
+    ``high``/``low`` map each option to the number of examinees in the
+    high-/low-score groups who selected it; ``correct`` is the key.
+
+    Counts of examinees who skipped the question are simply absent from
+    the sums, exactly as in the paper's examples (where group size 20 may
+    exceed the column sum).
+    """
+
+    options: Tuple[str, ...]
+    high: Mapping[str, int]
+    low: Mapping[str, int]
+    correct: str
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise AnalysisError("option matrix needs at least one option")
+        if len(set(self.options)) != len(self.options):
+            raise AnalysisError(f"duplicate option labels: {self.options}")
+        for name, counts in (("high", self.high), ("low", self.low)):
+            missing = [option for option in self.options if option not in counts]
+            if missing:
+                raise AnalysisError(f"{name} counts missing options: {missing}")
+            negative = {
+                option: counts[option]
+                for option in self.options
+                if counts[option] < 0
+            }
+            if negative:
+                raise AnalysisError(f"negative {name} counts: {negative}")
+        if self.correct not in self.options:
+            raise AnalysisError(
+                f"correct option {self.correct!r} not among options {self.options}"
+            )
+
+    @classmethod
+    def from_rows(
+        cls,
+        high_row: Sequence[int],
+        low_row: Sequence[int],
+        correct: str,
+        options: Optional[Sequence[str]] = None,
+    ) -> "OptionMatrix":
+        """Build a matrix from two count rows in option order.
+
+        When ``options`` is omitted, labels default to "A", "B", ... as in
+        the paper's tables.
+        """
+        if len(high_row) != len(low_row):
+            raise AnalysisError(
+                f"row lengths differ: {len(high_row)} vs {len(low_row)}"
+            )
+        if options is None:
+            options = [chr(ord("A") + i) for i in range(len(high_row))]
+        labels = tuple(options)
+        if len(labels) != len(high_row):
+            raise AnalysisError(
+                f"got {len(labels)} labels for {len(high_row)} columns"
+            )
+        return cls(
+            options=labels,
+            high=dict(zip(labels, high_row)),
+            low=dict(zip(labels, low_row)),
+            correct=correct,
+        )
+
+    # -- aggregates used by the rules ---------------------------------------
+
+    @property
+    def high_sum(self) -> int:
+        """HS = sum of high-group counts."""
+        return sum(self.high[option] for option in self.options)
+
+    @property
+    def low_sum(self) -> int:
+        """LS = sum of low-group counts."""
+        return sum(self.low[option] for option in self.options)
+
+    @property
+    def high_max(self) -> int:
+        """HM = max of high-group counts."""
+        return max(self.high[option] for option in self.options)
+
+    @property
+    def high_min(self) -> int:
+        """Hm = min of high-group counts."""
+        return min(self.high[option] for option in self.options)
+
+    @property
+    def low_max(self) -> int:
+        """LM = max of low-group counts."""
+        return max(self.low[option] for option in self.options)
+
+    @property
+    def low_min(self) -> int:
+        """Lm = min of low-group counts."""
+        return min(self.low[option] for option in self.options)
+
+    def proportion_high_correct(self, group_size: Optional[int] = None) -> float:
+        """PH: proportion of the high group answering correctly.
+
+        ``group_size`` defaults to the high-group column sum; pass the
+        actual group size when some examinees skipped the question.
+        """
+        denominator = group_size if group_size is not None else self.high_sum
+        if denominator <= 0:
+            raise AnalysisError("high group is empty")
+        return self.high[self.correct] / denominator
+
+    def proportion_low_correct(self, group_size: Optional[int] = None) -> float:
+        """PL: proportion of the low group answering correctly."""
+        denominator = group_size if group_size is not None else self.low_sum
+        if denominator <= 0:
+            raise AnalysisError("low group is empty")
+        return self.low[self.correct] / denominator
+
+    def render(self) -> str:
+        """Render the matrix in the paper's Table 1 layout."""
+        header = [""] + [f"Option {option}" for option in self.options]
+        high_row = ["High Score Group"] + [
+            str(self.high[option]) for option in self.options
+        ]
+        low_row = ["Low Score Group"] + [
+            str(self.low[option]) for option in self.options
+        ]
+        widths = [
+            max(len(row[i]) for row in (header, high_row, low_row))
+            for i in range(len(header))
+        ]
+        lines = []
+        for row in (header, high_row, low_row):
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RuleMatch:
+    """One fired rule: which rule, which options triggered it, its Table 2
+    statuses, and a teacher-readable explanation."""
+
+    rule: int
+    statuses: Tuple[Status, ...]
+    options: Tuple[str, ...]
+    explanation: str
+
+
+@dataclass
+class RuleOutcome:
+    """The result of running all four rules on one option matrix."""
+
+    matrix: OptionMatrix
+    matches: List[RuleMatch] = field(default_factory=list)
+
+    @property
+    def fired_rules(self) -> Tuple[int, ...]:
+        """The rule numbers that fired, ascending."""
+        return tuple(match.rule for match in self.matches)
+
+    @property
+    def statuses(self) -> Tuple[Status, ...]:
+        """Distinct Table 2 statuses asserted, first-seen order."""
+        seen: Dict[Status, None] = {}
+        for match in self.matches:
+            for status in match.statuses:
+                seen.setdefault(status, None)
+        return tuple(seen)
+
+    def rule_fired(self, rule: int) -> bool:
+        """True when the given rule number fired."""
+        return rule in self.fired_rules
+
+
+def evaluate_rules(
+    matrix: OptionMatrix,
+    spread_threshold: float = DEFAULT_SPREAD_THRESHOLD,
+) -> RuleOutcome:
+    """Run the paper's four rules on one question's option matrix.
+
+    ``spread_threshold`` is the 20% of Rules 3/4, exposed for the
+    threshold ablation.  Returns a :class:`RuleOutcome` whose ``matches``
+    are ordered by rule number.
+    """
+    if not 0.0 < spread_threshold < 1.0:
+        raise AnalysisError(
+            f"spread threshold must be in (0, 1), got {spread_threshold}"
+        )
+    outcome = RuleOutcome(matrix=matrix)
+
+    # Rule 1: (LA | LB | ... ) = 0 — an option with no low-group takers.
+    dead = tuple(
+        option for option in matrix.options if matrix.low[option] == 0
+    )
+    if dead:
+        listed = ", ".join(dead)
+        outcome.matches.append(
+            RuleMatch(
+                rule=1,
+                statuses=STATUSES_BY_RULE[1],
+                options=dead,
+                explanation=(
+                    f"Rule 1: option(s) {listed} attracted nobody in the low "
+                    f"score group; the option's allure is low."
+                ),
+            )
+        )
+
+    # Rule 2: correct option with HN < LN, or wrong option with HN > LN.
+    suspect: List[str] = []
+    reasons: List[str] = []
+    for option in matrix.options:
+        hn, ln = matrix.high[option], matrix.low[option]
+        if option == matrix.correct and hn < ln:
+            suspect.append(option)
+            reasons.append(
+                f"correct option {option} chosen more by the low group "
+                f"({ln}) than the high group ({hn})"
+            )
+        elif option != matrix.correct and hn > ln:
+            suspect.append(option)
+            reasons.append(
+                f"wrong option {option} chosen more by the high group "
+                f"({hn}) than the low group ({ln})"
+            )
+    if suspect:
+        outcome.matches.append(
+            RuleMatch(
+                rule=2,
+                statuses=STATUSES_BY_RULE[2],
+                options=tuple(suspect),
+                explanation="Rule 2: " + "; ".join(reasons) + "; the option is "
+                "not well-defined.",
+            )
+        )
+
+    # Rule 3: |LM - Lm| <= LS * threshold — low group chose options evenly.
+    low_even = _spread_is_small(
+        matrix.low_max, matrix.low_min, matrix.low_sum, spread_threshold
+    )
+    # Rule 4 requires BOTH groups even; per Table 2 it subsumes Rule 3's
+    # status and adds the high group.  The paper evaluates them separately,
+    # so Rule 3 fires whenever the low group is even, and Rule 4
+    # additionally fires when the high group is even too.
+    if low_even:
+        outcome.matches.append(
+            RuleMatch(
+                rule=3,
+                statuses=STATUSES_BY_RULE[3],
+                options=matrix.options,
+                explanation=(
+                    f"Rule 3: low-group spread |{matrix.low_max}-{matrix.low_min}|"
+                    f" = {matrix.low_max - matrix.low_min} <= "
+                    f"{matrix.low_sum}x{spread_threshold:.0%}; the low score "
+                    f"group chose every option equally and lacks the concept."
+                ),
+            )
+        )
+        high_even = _spread_is_small(
+            matrix.high_max, matrix.high_min, matrix.high_sum, spread_threshold
+        )
+        if high_even:
+            outcome.matches.append(
+                RuleMatch(
+                    rule=4,
+                    statuses=STATUSES_BY_RULE[4],
+                    options=matrix.options,
+                    explanation=(
+                        f"Rule 4: both groups chose every option equally "
+                        f"(high spread {matrix.high_max - matrix.high_min} <= "
+                        f"{matrix.high_sum}x{spread_threshold:.0%}); both "
+                        f"groups lack the concept."
+                    ),
+                )
+            )
+    return outcome
+
+
+def _spread_is_small(
+    maximum: int, minimum: int, total: int, threshold: float
+) -> bool:
+    """The even-choice predicate ``|max − min| ≤ sum × threshold``."""
+    if total == 0:
+        return False
+    return abs(maximum - minimum) <= total * threshold

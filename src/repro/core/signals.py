@@ -1,0 +1,129 @@
+"""Traffic-light signal representation (paper §4.1.2, Tables 2–3, Figure 2).
+
+Table 3 maps the Item Discrimination Index D to advice via light signals::
+
+    Status            Light signal   D
+    Good              Green          0.30 and higher
+    Fix               Yellow         0.20 - 0.29        (rule matches)
+    Eliminate or fix  Red            0.19 and lower
+
+Figure 2 then shows the whole test as a row of lights, one per question —
+a teacher can see at a glance which questions are fine, which need fixing,
+and which should be eliminated.  :class:`SignalPolicy` holds the cut
+points (parameterized for the ablation bench); :func:`render_signal_board`
+reproduces Figure 2 as text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.errors import AnalysisError
+
+__all__ = [
+    "Signal",
+    "SignalPolicy",
+    "DEFAULT_POLICY",
+    "render_signal_board",
+]
+
+
+class Signal(enum.Enum):
+    """The three light signals of Table 3, ordered worst-first."""
+
+    RED = "red"
+    YELLOW = "yellow"
+    GREEN = "green"
+
+    @property
+    def status(self) -> str:
+        """Table 3's status column for this light."""
+        return {
+            Signal.GREEN: "Good",
+            Signal.YELLOW: "Fix",
+            Signal.RED: "Eliminate or fix",
+        }[self]
+
+    @property
+    def glyph(self) -> str:
+        """Single-character rendering used by the Figure 2 board."""
+        return {Signal.GREEN: "G", Signal.YELLOW: "Y", Signal.RED: "R"}[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SignalPolicy:
+    """Cut points mapping D to a light signal.
+
+    ``green_min`` — D at or above this is green (paper: 0.30);
+    ``yellow_min`` — D at or above this (but below ``green_min``) is
+    yellow (paper: 0.20); anything lower is red.  The paper's Table 3
+    writes the bands as "higher 0.3 / 0.2-0.29 / lower 0.19"; with the
+    conventional two-decimal rounding of D those bands are exactly the
+    half-open intervals used here.
+    """
+
+    green_min: float = 0.30
+    yellow_min: float = 0.20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.yellow_min < self.green_min <= 1.0:
+            raise AnalysisError(
+                f"signal cut points must satisfy 0 < yellow_min < green_min "
+                f"<= 1, got yellow_min={self.yellow_min}, "
+                f"green_min={self.green_min}"
+            )
+
+    def classify(self, discrimination: float) -> Signal:
+        """Classify an Item Discrimination Index into a light signal."""
+        if not -1.0 <= discrimination <= 1.0:
+            raise AnalysisError(
+                f"discrimination index out of [-1, 1]: {discrimination}"
+            )
+        if discrimination >= self.green_min:
+            return Signal.GREEN
+        if discrimination >= self.yellow_min:
+            return Signal.YELLOW
+        return Signal.RED
+
+    def bands(self) -> Sequence[Tuple[Signal, str]]:
+        """The Table 3 rows: (signal, D-range description)."""
+        return (
+            (Signal.GREEN, f"Higher {self.green_min:.2g}"),
+            (Signal.YELLOW, f"{self.yellow_min:.2f}-{self.green_min - 0.01:.2f}"),
+            (Signal.RED, f"Lower {self.yellow_min - 0.01:.2f}"),
+        )
+
+
+#: The policy with the paper's Table 3 cut points.
+DEFAULT_POLICY = SignalPolicy()
+
+
+def render_signal_board(
+    signals: Iterable[Signal],
+    per_row: int = 10,
+) -> str:
+    """Render the Figure 2 "signal represent interface for whole test".
+
+    One light glyph per question, numbered, wrapped ``per_row`` to a line::
+
+        Q01:G Q02:G Q03:Y Q04:R ...
+
+    Teachers read green as "good", yellow as "fix", red as "eliminate or
+    fix" (Table 3).
+    """
+    if per_row < 1:
+        raise AnalysisError(f"per_row must be positive, got {per_row}")
+    cells = [
+        f"Q{number:02d}:{signal.glyph}"
+        for number, signal in enumerate(signals, start=1)
+    ]
+    lines: List[str] = []
+    for start in range(0, len(cells), per_row):
+        lines.append(" ".join(cells[start : start + per_row]))
+    legend = "legend: G=good  Y=fix  R=eliminate or fix"
+    return "\n".join(lines + [legend]) if cells else legend

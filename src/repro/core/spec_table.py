@@ -1,0 +1,213 @@
+"""The two-way specification table (paper §4.2.1 fig (3), Table 4, §4.2.2-3).
+
+The table crosses **concepts** (the learning-content subjects of the test,
+rows named Concept 1..i) with the six **cognition levels** (columns A..F,
+knowledge through evaluation).  Section 4.2.2 defines:
+
+* cell ``Xi`` is TRUE when at least one question of level X exists for
+  concept i;
+* ``SUM(Xi)`` is the number of questions at level X in concept i;
+* ``SUM(Ai-Fi)`` (a row sum) is the number of questions in concept i;
+* ``SUM(X1-Xi)`` (a column sum) is the number of questions at level X
+  across all concepts.
+
+Section 4.2.3 then derives the whole-test analyses implemented here:
+
+1. **Concept lost** — a concept whose entire row is FALSE is not examined
+   at all;
+2. **Cognition pyramid** — the expected ordering
+   ``SUM(A) ≥ SUM(B) ≥ ... ≥ SUM(F)``;
+3. **Distribution paint** — a density rendering of question counts over
+   the concept × level grid (the paper's "paint algorithm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cognition import COGNITIVE_LEVELS, CognitionLevel, expected_pyramid
+from repro.core.errors import AnalysisError
+
+__all__ = ["TaggedQuestion", "SpecificationTable"]
+
+
+@dataclass(frozen=True)
+class TaggedQuestion:
+    """A question's tags as the specification table sees it: its 1-based
+    number, its concept (subject), and its cognition level."""
+
+    number: int
+    concept: str
+    level: CognitionLevel
+
+
+@dataclass
+class SpecificationTable:
+    """Table 4: concepts × cognition levels with question counts.
+
+    Build one with :meth:`from_questions`; query cells with
+    :meth:`count` / :meth:`has`; run the §4.2.3 analyses with
+    :meth:`lost_concepts`, :meth:`pyramid_violations`, and
+    :meth:`paint`.
+    """
+
+    concepts: List[str] = field(default_factory=list)
+    _counts: Dict[Tuple[str, CognitionLevel], int] = field(default_factory=dict)
+    _questions: Dict[Tuple[str, CognitionLevel], List[int]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def from_questions(
+        cls,
+        questions: Iterable[TaggedQuestion],
+        concepts: Optional[Sequence[str]] = None,
+    ) -> "SpecificationTable":
+        """Build the table from tagged questions.
+
+        ``concepts`` optionally fixes the full row list — pass the
+        course's complete concept inventory so that unexamined concepts
+        appear as all-FALSE rows (otherwise a lost concept cannot be
+        detected, since it never occurs in the question tags).
+        """
+        table = cls()
+        if concepts is not None:
+            for concept in concepts:
+                table._ensure_concept(concept)
+        for question in questions:
+            table.add(question)
+        return table
+
+    def _ensure_concept(self, concept: str) -> None:
+        if not concept:
+            raise AnalysisError("concept name must be non-empty")
+        if concept not in self.concepts:
+            self.concepts.append(concept)
+
+    def add(self, question: TaggedQuestion) -> None:
+        """Record one question in its (concept, level) cell."""
+        self._ensure_concept(question.concept)
+        key = (question.concept, question.level)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._questions.setdefault(key, []).append(question.number)
+
+    # -- cell queries (§4.2.2) ----------------------------------------------
+
+    def count(self, concept: str, level: CognitionLevel) -> int:
+        """SUM(Xi): questions at ``level`` in ``concept``."""
+        return self._counts.get((concept, level), 0)
+
+    def has(self, concept: str, level: CognitionLevel) -> bool:
+        """The TRUE/FALSE cell of §4.2.2 (3): at least one question."""
+        return self.count(concept, level) > 0
+
+    def questions_in_cell(
+        self, concept: str, level: CognitionLevel
+    ) -> Sequence[int]:
+        """Question numbers recorded in the cell."""
+        return tuple(self._questions.get((concept, level), ()))
+
+    def concept_sum(self, concept: str) -> int:
+        """SUM(Ai-Fi): all questions in ``concept`` across levels."""
+        return sum(self.count(concept, level) for level in COGNITIVE_LEVELS)
+
+    def level_sum(self, level: CognitionLevel) -> int:
+        """SUM(X1-Xi): all questions at ``level`` across concepts."""
+        return sum(self.count(concept, level) for concept in self.concepts)
+
+    def level_sums(self) -> List[int]:
+        """Per-level totals in A..F order (the table's bottom row)."""
+        return [self.level_sum(level) for level in COGNITIVE_LEVELS]
+
+    def total(self) -> int:
+        """All questions in the table."""
+        return sum(self._counts.values())
+
+    # -- §4.2.3 analyses ------------------------------------------------------
+
+    def lost_concepts(self) -> List[str]:
+        """Concepts whose whole row is FALSE — present in the course but
+        absent from the exam (§4.2.3 (1): "Concept 1 lost in the exam")."""
+        return [
+            concept
+            for concept in self.concepts
+            if self.concept_sum(concept) == 0
+        ]
+
+    def pyramid_violations(self) -> List[Tuple[CognitionLevel, CognitionLevel]]:
+        """Adjacent level pairs violating SUM(A) ≥ SUM(B) ≥ ... ≥ SUM(F).
+
+        Returns the (lower, higher) level pairs where the higher level has
+        *more* questions — an empty list means the expected relation of
+        §4.2.3 (2) holds.
+        """
+        positions = expected_pyramid(self.level_sums())
+        return [
+            (COGNITIVE_LEVELS[i], COGNITIVE_LEVELS[i + 1]) for i in positions
+        ]
+
+    def paint(self, shades: str = " .:*#") -> List[str]:
+        """The §4.2.3 (3) distribution "paint algorithm".
+
+        Renders the concept × level grid as density shades: each cell's
+        question count is mapped onto ``shades`` (space = zero, densest
+        glyph = the grid maximum), giving the at-a-glance distribution
+        picture the paper describes.
+        """
+        if len(shades) < 2:
+            raise AnalysisError("need at least two shade glyphs")
+        maximum = max(self._counts.values(), default=0)
+        lines = []
+        header = "          " + " ".join(level.letter for level in COGNITIVE_LEVELS)
+        lines.append(header)
+        for concept in self.concepts:
+            cells = []
+            for level in COGNITIVE_LEVELS:
+                count = self.count(concept, level)
+                if maximum == 0 or count == 0:
+                    glyph = shades[0]
+                else:
+                    # scale 1..max onto shade indices 1..len(shades)-1
+                    span = max(maximum - 1, 1)
+                    position = 1 + (count - 1) * (len(shades) - 2) // span
+                    glyph = shades[min(position, len(shades) - 1)]
+                cells.append(glyph)
+            lines.append(f"{concept[:10]:<10}" + " ".join(cells))
+        return lines
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, boolean: bool = False) -> str:
+        """Render Table 4 as aligned text.
+
+        With ``boolean=True`` cells show the TRUE/FALSE semantics of
+        §4.2.2 (3); otherwise they show SUM(Xi) counts.  The bottom row is
+        the per-level SUM(X1-Xi) totals.
+        """
+        header = [""] + [level.label for level in COGNITIVE_LEVELS] + ["Row sum"]
+        rows: List[List[str]] = []
+        for concept in self.concepts:
+            cells = []
+            for level in COGNITIVE_LEVELS:
+                if boolean:
+                    cells.append("TRUE" if self.has(concept, level) else "FALSE")
+                else:
+                    cells.append(str(self.count(concept, level)))
+            rows.append([concept] + cells + [str(self.concept_sum(concept))])
+        totals = (
+            ["SUM"]
+            + [str(total) for total in self.level_sums()]
+            + [str(self.total())]
+        )
+        rows.append(totals)
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows))
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header)))]
+        for row in rows:
+            lines.append(
+                "  ".join(row[i].ljust(widths[i]) for i in range(len(header)))
+            )
+        return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""SVG renderings of the paper's figures.
+
+The ASCII renderers in :mod:`repro.core.figures` work everywhere; these
+produce standalone SVG documents for reports and web dashboards — the
+same three §4.2.1 figures plus the Figure 2 signal board, using only the
+standard library (hand-built SVG, no plotting dependency).
+
+Every function returns a complete ``<svg>`` document string.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from repro.core.errors import AnalysisError
+from repro.core.exam_analysis import ScoreDifficultyAnalysis, TimeAnalysis
+from repro.core.signals import Signal
+
+__all__ = [
+    "svg_xy_chart",
+    "svg_time_figure",
+    "svg_score_difficulty_figure",
+    "svg_signal_board",
+]
+
+_MARGIN = 40.0
+
+
+def _svg_open(width: float, height: float) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:g}" '
+        f'height="{height:g}" viewBox="0 0 {width:g} {height:g}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+
+
+def svg_xy_chart(
+    points: Sequence[Tuple[float, float]],
+    width: float = 480,
+    height: float = 300,
+    x_label: str = "x",
+    y_label: str = "y",
+    connect: bool = True,
+    title: str = "",
+) -> str:
+    """A scatter/line chart of (x, y) points as an SVG document."""
+    if width < 100 or height < 80:
+        raise AnalysisError("SVG chart too small")
+    parts = _svg_open(width, height)
+    if title:
+        parts.append(
+            f'<text x="{width / 2:g}" y="16" text-anchor="middle" '
+            f'font-size="13" font-family="sans-serif">{escape(title)}</text>'
+        )
+    plot_w = width - 2 * _MARGIN
+    plot_h = height - 2 * _MARGIN
+    parts.append(
+        f'<rect x="{_MARGIN:g}" y="{_MARGIN:g}" width="{plot_w:g}" '
+        f'height="{plot_h:g}" fill="none" stroke="#888"/>'
+    )
+    if points:
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        x_span = (x_max - x_min) or 1.0
+        y_span = (y_max - y_min) or 1.0
+
+        def to_px(x: float, y: float) -> Tuple[float, float]:
+            px = _MARGIN + (x - x_min) / x_span * plot_w
+            py = _MARGIN + plot_h - (y - y_min) / y_span * plot_h
+            return px, py
+
+        if connect and len(points) > 1:
+            path = " ".join(
+                f"{'M' if index == 0 else 'L'}{to_px(x, y)[0]:.1f},"
+                f"{to_px(x, y)[1]:.1f}"
+                for index, (x, y) in enumerate(points)
+            )
+            parts.append(
+                f'<path d="{path}" fill="none" stroke="#1f77b4" '
+                f'stroke-width="1.5"/>'
+            )
+        for x, y in points:
+            px, py = to_px(x, y)
+            parts.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" fill="#1f77b4"/>'
+            )
+        parts.append(
+            f'<text x="{_MARGIN:g}" y="{height - 8:g}" font-size="11" '
+            f'font-family="sans-serif">{escape(x_label)}: '
+            f"{x_min:g} .. {x_max:g}</text>"
+        )
+        parts.append(
+            f'<text x="{_MARGIN:g}" y="{_MARGIN - 8:g}" font-size="11" '
+            f'font-family="sans-serif">{escape(y_label)}: '
+            f"{y_min:g} .. {y_max:g}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_time_figure(analysis: TimeAnalysis, **kwargs) -> str:
+    """§4.2.1 figure (1) as SVG, with the time limit as a vertical line."""
+    points = [(p.time_seconds, p.answered) for p in analysis.series]
+    base = svg_xy_chart(
+        points,
+        x_label="time (s)",
+        y_label="answered",
+        title="Time vs answered questions",
+        **kwargs,
+    )
+    if analysis.time_limit_seconds is None or not points:
+        return base
+    xs = [p[0] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+    # recompute plot geometry to place the limit line
+    width = float(kwargs.get("width", 480))
+    height = float(kwargs.get("height", 300))
+    plot_w = width - 2 * _MARGIN
+    limit_x = _MARGIN + (
+        (analysis.time_limit_seconds - x_min) / x_span * plot_w
+    )
+    line = (
+        f'<line x1="{limit_x:.1f}" y1="{_MARGIN:g}" x2="{limit_x:.1f}" '
+        f'y2="{height - _MARGIN:g}" stroke="#d62728" stroke-dasharray="4 3"/>'
+    )
+    return base.replace("</svg>", line + "\n</svg>")
+
+
+def svg_score_difficulty_figure(
+    analysis: ScoreDifficultyAnalysis, **kwargs
+) -> str:
+    """§4.2.1 figure (2) as SVG (mean difficulty of correct per score)."""
+    points = [
+        (float(band.score), band.mean_difficulty_of_correct)
+        for band in analysis.bands
+        if band.mean_difficulty_of_correct is not None
+    ]
+    return svg_xy_chart(
+        points,
+        x_label="test score",
+        y_label="difficulty P",
+        connect=False,
+        title="Score vs difficulty",
+        **kwargs,
+    )
+
+
+_SIGNAL_FILL = {
+    Signal.GREEN: "#2ca02c",
+    Signal.YELLOW: "#ffbf00",
+    Signal.RED: "#d62728",
+}
+
+
+def svg_signal_board(
+    signals: Sequence[Signal],
+    per_row: int = 10,
+    cell: float = 34.0,
+) -> str:
+    """Figure 2's whole-test signal board as SVG traffic lights."""
+    if per_row < 1:
+        raise AnalysisError(f"per_row must be positive, got {per_row}")
+    count = len(signals)
+    rows = (count + per_row - 1) // per_row if count else 1
+    width = per_row * cell + 20
+    height = rows * cell + 30
+    parts = _svg_open(width, height)
+    for index, signal in enumerate(signals):
+        row, column = divmod(index, per_row)
+        cx = 10 + column * cell + cell / 2
+        cy = 10 + row * cell + cell / 2
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{cell * 0.32:.1f}" '
+            f'fill="{_SIGNAL_FILL[signal]}" stroke="#444"/>'
+        )
+        parts.append(
+            f'<text x="{cx:.1f}" y="{cy + 4:.1f}" text-anchor="middle" '
+            f'font-size="10" font-family="sans-serif" fill="white">'
+            f"{index + 1}</text>"
+        )
+    parts.append(
+        f'<text x="10" y="{height - 8:g}" font-size="10" '
+        f'font-family="sans-serif">green=good, yellow=fix, '
+        f"red=eliminate or fix</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

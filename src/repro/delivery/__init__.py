@@ -1,0 +1,21 @@
+"""Exam delivery runtime: the session state machine, timing, scoring."""
+
+from repro.delivery.clock import Clock, ManualClock, WallClock
+from repro.delivery.scoring import (
+    GradedSitting,
+    grade_session,
+    sittings_to_responses,
+)
+from repro.delivery.session import AnswerEvent, ExamSession, SessionState
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "ManualClock",
+    "ExamSession",
+    "SessionState",
+    "AnswerEvent",
+    "GradedSitting",
+    "grade_session",
+    "sittings_to_responses",
+]

@@ -1,0 +1,57 @@
+"""Clock abstraction for exam timing.
+
+Exam sessions need elapsed-time accounting (the §3.4 Test Time limit and
+Average Time statistic).  Production code would use the wall clock;
+simulations and tests need a controllable one.  Both implement
+:class:`Clock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from repro.core.errors import DeliveryError
+
+__all__ = ["Clock", "WallClock", "ManualClock"]
+
+
+class Clock(Protocol):
+    """Anything that reports monotonically non-decreasing seconds."""
+
+    def now(self) -> float:
+        """Current time in seconds (origin arbitrary but fixed)."""
+        ...
+
+
+class WallClock:
+    """The real (monotonic) clock."""
+
+    def now(self) -> float:
+        """Monotonic seconds from an arbitrary origin."""
+        return time.monotonic()
+
+
+class ManualClock:
+    """A clock advanced explicitly — deterministic tests and simulation."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The manually controlled current time."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (>= 0)."""
+        if seconds < 0:
+            raise DeliveryError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+
+    def set(self, timestamp: float) -> None:
+        """Jump the clock to ``timestamp`` (never backwards)."""
+        if timestamp < self._now:
+            raise DeliveryError(
+                f"cannot move clock backwards ({self._now} -> {timestamp})"
+            )
+        self._now = timestamp

@@ -1,0 +1,123 @@
+"""Scoring submitted sittings and bridging them into the analysis model.
+
+:func:`grade_session` turns a submitted :class:`ExamSession` into a
+:class:`GradedSitting`: per-item scored responses, the total, and the
+pending-manual-grading list (essays).  :func:`sittings_to_responses`
+converts a cohort of graded sittings into the
+:class:`~repro.core.question_analysis.ExamineeResponses` the §4.1
+analysis pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import ResponseError, SessionStateError
+from repro.core.question_analysis import ExamineeResponses
+from repro.delivery.session import ExamSession, SessionState
+from repro.exams.exam import Exam
+from repro.items.essay import EssayItem
+from repro.items.responses import ScoredResponse
+
+__all__ = ["GradedSitting", "grade_session", "sittings_to_responses"]
+
+
+@dataclass
+class GradedSitting:
+    """One learner's graded sitting."""
+
+    exam_id: str
+    learner_id: str
+    scores: Dict[str, ScoredResponse]
+    duration_seconds: float
+    answer_times: List[float] = field(default_factory=list)
+
+    @property
+    def total_points(self) -> float:
+        """Points earned across all items."""
+        return sum(score.points for score in self.scores.values())
+
+    @property
+    def max_points(self) -> float:
+        """Points available across all items."""
+        return sum(score.max_points for score in self.scores.values())
+
+    @property
+    def percent(self) -> float:
+        """Earned share of the available points, 0-100."""
+        maximum = self.max_points
+        return (self.total_points / maximum * 100.0) if maximum else 0.0
+
+    def pending_items(self) -> List[str]:
+        """Item ids awaiting manual grading."""
+        return [
+            item_id
+            for item_id, score in self.scores.items()
+            if score.needs_manual_grading
+        ]
+
+    def is_fully_graded(self) -> bool:
+        """True when no item awaits manual grading."""
+        return not self.pending_items()
+
+    def apply_manual_grade(
+        self, exam: Exam, item_id: str, points: float
+    ) -> None:
+        """Record a human grader's points for a pending essay response."""
+        score = self.scores.get(item_id)
+        if score is None:
+            raise ResponseError(f"sitting has no response for {item_id!r}")
+        if not score.needs_manual_grading:
+            raise ResponseError(f"item {item_id!r} is not awaiting grading")
+        item = exam.item(item_id)
+        if not isinstance(item, EssayItem):
+            raise ResponseError(
+                f"item {item_id!r} is not an essay; cannot manually grade"
+            )
+        self.scores[item_id] = item.grade(score.selected or "", points)
+
+
+def grade_session(session: ExamSession) -> GradedSitting:
+    """Grade a submitted session against its exam's keys."""
+    if session.state is not SessionState.SUBMITTED:
+        raise SessionStateError(
+            f"cannot grade a session in state {session.state.value}"
+        )
+    scores: Dict[str, ScoredResponse] = {}
+    for item in session.exam.items:
+        response = session.response_to(item.item_id)
+        scores[item.item_id] = item.score(response)
+    return GradedSitting(
+        exam_id=session.exam.exam_id,
+        learner_id=session.learner_id,
+        scores=scores,
+        duration_seconds=session.duration_seconds(),
+        answer_times=session.answer_times(),
+    )
+
+
+def sittings_to_responses(
+    exam: Exam, sittings: List[GradedSitting]
+) -> List[ExamineeResponses]:
+    """Convert graded sittings to the analysis model's input shape.
+
+    Covers the choice-style items :meth:`Exam.question_specs` declares
+    (multiple choice / true-false), in exam order; the recorded selection
+    is the scored response's normalized ``selected`` label.
+    """
+    analyzable = exam.analyzable_items()
+    responses: List[ExamineeResponses] = []
+    for sitting in sittings:
+        selections: List[Optional[str]] = []
+        for item in analyzable:
+            score = sitting.scores.get(item.item_id)
+            selections.append(score.selected if score is not None else None)
+        responses.append(
+            ExamineeResponses.of(
+                sitting.learner_id,
+                selections,
+                duration_seconds=sitting.duration_seconds,
+            )
+        )
+    return responses

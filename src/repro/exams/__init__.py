@@ -1,0 +1,26 @@
+"""Exam authoring (paper §5.4): the exam model, the fluent builder, the
+group service, delivery ordering, and blueprint-driven assembly."""
+
+from repro.exams.authoring import ExamBuilder
+from repro.exams.blueprint import Blueprint, assemble
+from repro.exams.exam import Exam, ExamGroup
+from repro.exams.gap import CoverageGaps, coverage_gaps, repair_exam
+from repro.exams.metadata_updates import write_back_statistics
+from repro.exams.ordering import ordered_items, presentation_order
+from repro.exams.render import render_answer_key, render_exam_paper
+
+__all__ = [
+    "Exam",
+    "ExamGroup",
+    "ExamBuilder",
+    "Blueprint",
+    "assemble",
+    "CoverageGaps",
+    "coverage_gaps",
+    "repair_exam",
+    "write_back_statistics",
+    "presentation_order",
+    "ordered_items",
+    "render_exam_paper",
+    "render_answer_key",
+]

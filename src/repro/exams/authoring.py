@@ -1,0 +1,129 @@
+"""Exam authoring (paper §5.4, Figure 5).
+
+:class:`ExamBuilder` is the programmatic equivalent of the paper's exam
+authoring interface: instructors pull problems from the bank or add their
+own ("After authoring the problems, instructors can combine their own
+problems with the problems from database"), arrange them into
+presentation groups, set the time limit and display type, and build a
+validated :class:`~repro.exams.exam.Exam`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.errors import AuthoringError, DuplicateIdError
+from repro.core.metadata import DisplayType
+from repro.bank.itembank import ItemBank
+from repro.exams.exam import Exam, ExamGroup
+from repro.items.base import Item
+
+__all__ = ["ExamBuilder"]
+
+
+class ExamBuilder:
+    """Fluent builder for exams.
+
+    Every mutator returns ``self`` so authoring steps chain::
+
+        exam = (ExamBuilder("mid", "Midterm")
+                .add_from_bank(bank, "q1", "q2")
+                .add_item(my_essay)
+                .group("part-1", ["q1", "q2"])
+                .time_limit(3600)
+                .build())
+    """
+
+    def __init__(self, exam_id: str, title: str) -> None:
+        if not exam_id:
+            raise AuthoringError("exam_id must be non-empty")
+        if not title:
+            raise AuthoringError("exam title must be non-empty")
+        self._exam_id = exam_id
+        self._title = title
+        self._items: List[Item] = []
+        self._groups: List[ExamGroup] = []
+        self._display_type = DisplayType.FIXED_ORDER
+        self._time_limit: Optional[float] = None
+        self._resumable = True
+
+    # -- item assembly ----------------------------------------------------------
+
+    def add_item(self, item: Item) -> "ExamBuilder":
+        """Add an instructor-authored item."""
+        if any(existing.item_id == item.item_id for existing in self._items):
+            raise DuplicateIdError(
+                f"item {item.item_id!r} already added to exam {self._exam_id!r}"
+            )
+        item.validate()
+        self._items.append(item)
+        return self
+
+    def add_items(self, items: Sequence[Item]) -> "ExamBuilder":
+        """Add several items in order."""
+        for item in items:
+            self.add_item(item)
+        return self
+
+    def add_from_bank(self, bank: ItemBank, *item_ids: str) -> "ExamBuilder":
+        """Pull problems out of the problem database by identifier."""
+        for item_id in item_ids:
+            self.add_item(bank.get(item_id))
+        return self
+
+    # -- presentation -----------------------------------------------------------
+
+    def group(
+        self,
+        name: str,
+        item_ids: Sequence[str],
+        template_name: Optional[str] = None,
+    ) -> "ExamBuilder":
+        """Create a presentation group over already-added items (§5.4)."""
+        known = {item.item_id for item in self._items}
+        missing = [item_id for item_id in item_ids if item_id not in known]
+        if missing:
+            raise AuthoringError(
+                f"group {name!r} references items not yet added: {missing}"
+            )
+        if any(existing.name == name for existing in self._groups):
+            raise DuplicateIdError(f"group {name!r} already defined")
+        self._groups.append(
+            ExamGroup(
+                name=name, item_ids=list(item_ids), template_name=template_name
+            )
+        )
+        return self
+
+    def display(self, display_type: DisplayType) -> "ExamBuilder":
+        """Set fixed or random presentation order."""
+        self._display_type = display_type
+        return self
+
+    def time_limit(self, seconds: float) -> "ExamBuilder":
+        """Set the §3.4 Test Time ("a default time limit for testing")."""
+        if seconds <= 0:
+            raise AuthoringError(f"time limit must be positive, got {seconds}")
+        self._time_limit = float(seconds)
+        return self
+
+    def resumable(self, allowed: bool) -> "ExamBuilder":
+        """Set whether paused sittings may resume."""
+        self._resumable = allowed
+        return self
+
+    # -- construction -------------------------------------------------------------
+
+    def build(self) -> Exam:
+        """Validate and produce the exam."""
+        exam = Exam(
+            exam_id=self._exam_id,
+            title=self._title,
+            items=list(self._items),
+            groups=list(self._groups),
+            display_type=self._display_type,
+            time_limit_seconds=self._time_limit,
+            resumable=self._resumable,
+        )
+        exam.validate()
+        return exam

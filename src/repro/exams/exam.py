@@ -1,0 +1,204 @@
+"""The exam model (paper §5.4).
+
+An :class:`Exam` is an ordered collection of items, organized into
+presentation *groups* (§5.4: "instructors can use group service to make
+all possible presentation style"), with exam-level metadata: the test
+time limit and display type (fixed or random order, §3.2 VI.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import AuthoringError, NotFoundError
+from repro.core.metadata import DisplayType, MineMetadata
+from repro.core.question_analysis import QuestionSpec
+from repro.core.spec_table import SpecificationTable, TaggedQuestion
+from repro.items.base import Item
+from repro.items.choice import MultipleChoiceItem
+from repro.items.truefalse import TrueFalseItem
+
+__all__ = ["ExamGroup", "Exam"]
+
+
+@dataclass
+class ExamGroup:
+    """A named presentation group of items within an exam.
+
+    ``template_name`` optionally binds the group to a presentation
+    template (§5.3); items in a group are presented together.
+    """
+
+    name: str
+    item_ids: List[str] = field(default_factory=list)
+    template_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AuthoringError("exam group name must be non-empty")
+        if len(set(self.item_ids)) != len(self.item_ids):
+            raise AuthoringError(
+                f"group {self.name!r} lists duplicate items"
+            )
+
+
+@dataclass
+class Exam:
+    """A complete, deliverable exam."""
+
+    exam_id: str
+    title: str
+    items: List[Item] = field(default_factory=list)
+    groups: List[ExamGroup] = field(default_factory=list)
+    display_type: DisplayType = DisplayType.FIXED_ORDER
+    time_limit_seconds: Optional[float] = None
+    resumable: bool = True
+    metadata: MineMetadata = field(default_factory=MineMetadata)
+
+    def __post_init__(self) -> None:
+        if not self.exam_id:
+            raise AuthoringError("exam_id must be non-empty")
+        if not self.title:
+            raise AuthoringError(f"exam {self.exam_id!r}: title must be non-empty")
+        self._sync_metadata()
+
+    def _sync_metadata(self) -> None:
+        self.metadata.general.identifier = self.exam_id
+        self.metadata.general.title = self.title
+        self.metadata.educational.learning_resource_type = "exam"
+        self.metadata.assessment.exam.test_time_seconds = self.time_limit_seconds
+        self.metadata.assessment.questionnaire.resumable = self.resumable
+        self.metadata.assessment.questionnaire.display_type = self.display_type
+
+    # -- integrity -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural integrity: items present, ids unique, every
+        item valid, groups referencing real items, no item in two groups."""
+        if not self.items:
+            raise AuthoringError(f"exam {self.exam_id!r} has no items")
+        ids = [item.item_id for item in self.items]
+        if len(set(ids)) != len(ids):
+            duplicates = sorted({i for i in ids if ids.count(i) > 1})
+            raise AuthoringError(
+                f"exam {self.exam_id!r} has duplicate items: {duplicates}"
+            )
+        for item in self.items:
+            item.validate()
+        id_set = set(ids)
+        grouped: Dict[str, str] = {}
+        for group in self.groups:
+            for item_id in group.item_ids:
+                if item_id not in id_set:
+                    raise NotFoundError(
+                        f"group {group.name!r} references unknown item "
+                        f"{item_id!r}"
+                    )
+                if item_id in grouped:
+                    raise AuthoringError(
+                        f"item {item_id!r} appears in groups "
+                        f"{grouped[item_id]!r} and {group.name!r}"
+                    )
+                grouped[item_id] = group.name
+        if self.time_limit_seconds is not None and self.time_limit_seconds <= 0:
+            raise AuthoringError(
+                f"exam {self.exam_id!r}: time limit must be positive"
+            )
+
+    # -- views -----------------------------------------------------------------
+
+    def item(self, item_id: str) -> Item:
+        """The item with this id; NotFoundError otherwise."""
+        for candidate in self.items:
+            if candidate.item_id == item_id:
+                return candidate
+        raise NotFoundError(f"exam {self.exam_id!r} has no item {item_id!r}")
+
+    def item_index(self, item_id: str) -> int:
+        """The 0-based position of an item in authored order."""
+        for index, candidate in enumerate(self.items):
+            if candidate.item_id == item_id:
+                return index
+        raise NotFoundError(f"exam {self.exam_id!r} has no item {item_id!r}")
+
+    def objective_items(self) -> List[Item]:
+        """Items that can be machine-scored."""
+        return [item for item in self.items if item.is_objective()]
+
+    def max_score(self) -> float:
+        """Total available points (one per objective single-answer item,
+        per-component for match/completion)."""
+        total = 0.0
+        for item in self.items:
+            scored = item.score(None)
+            total += scored.max_points
+        return total
+
+    def group_of(self, item_id: str) -> Optional[ExamGroup]:
+        """The presentation group containing an item, or None."""
+        for group in self.groups:
+            if item_id in group.item_ids:
+                return group
+        return None
+
+    # -- bridges to the analysis model -----------------------------------------
+
+    def question_specs(self) -> List[QuestionSpec]:
+        """Per-question specs for :func:`repro.core.analyze_cohort`.
+
+        Only selection-style items (multiple choice / true-false) are
+        representable as option matrices; other styles are skipped, which
+        matches the paper — the four rules are defined over choice tables.
+        """
+        specs: List[QuestionSpec] = []
+        for item in self.items:
+            if isinstance(item, MultipleChoiceItem):
+                specs.append(
+                    QuestionSpec(
+                        options=item.labels,
+                        correct=item.correct_label,
+                        subject=item.subject,
+                        cognition_level=item.cognition_level,
+                    )
+                )
+            elif isinstance(item, TrueFalseItem):
+                specs.append(
+                    QuestionSpec(
+                        options=("true", "false"),
+                        correct=item.answer_text(),
+                        subject=item.subject,
+                        cognition_level=item.cognition_level,
+                    )
+                )
+        return specs
+
+    def analyzable_items(self) -> List[Item]:
+        """The items (in order) that :meth:`question_specs` covers."""
+        return [
+            item
+            for item in self.items
+            if isinstance(item, (MultipleChoiceItem, TrueFalseItem))
+        ]
+
+    def specification_table(
+        self, concepts: Optional[Sequence[str]] = None
+    ) -> SpecificationTable:
+        """Build the Table 4 two-way specification table for this exam.
+
+        Items without a cognition level are excluded (the table crosses
+        concept × level); pass ``concepts`` to declare the full course
+        inventory so lost concepts can be detected.
+        """
+        tagged: List[TaggedQuestion] = []
+        for number, item in enumerate(self.items, start=1):
+            if item.cognition_level is None or not item.subject:
+                continue
+            tagged.append(
+                TaggedQuestion(
+                    number=number,
+                    concept=item.subject,
+                    level=item.cognition_level,
+                )
+            )
+        return SpecificationTable.from_questions(tagged, concepts=concepts)

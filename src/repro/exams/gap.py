@@ -1,0 +1,134 @@
+"""Coverage-gap analysis: from §4.2.3 findings back to authoring.
+
+The paper's motivation for the two-way specification table: "With the
+cognition level analysis, teachers can avoid missing items in teaching."
+This module closes that loop programmatically: :func:`coverage_gaps`
+inspects a specification table and produces the
+:class:`~repro.exams.blueprint.Blueprint` of questions that would repair
+it — one question for every lost concept, plus the counts needed to
+restore the SUM(A) ≥ … ≥ SUM(F) pyramid — and
+:func:`repair_exam` assembles those questions from the bank and appends
+them to the exam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.cognition import COGNITIVE_LEVELS, CognitionLevel
+from repro.core.spec_table import SpecificationTable
+from repro.bank.itembank import ItemBank
+from repro.exams.blueprint import Blueprint, assemble
+from repro.exams.exam import Exam
+
+__all__ = ["CoverageGaps", "coverage_gaps", "repair_exam"]
+
+
+@dataclass
+class CoverageGaps:
+    """What the exam is missing, as a repair plan."""
+
+    lost_concepts: List[str] = field(default_factory=list)
+    #: per-level shortfall needed to restore the pyramid, A..F order
+    pyramid_shortfall: List[int] = field(default_factory=list)
+    blueprint: Blueprint = field(default_factory=Blueprint)
+
+    @property
+    def is_covered(self) -> bool:
+        """True when nothing is missing."""
+        return not self.lost_concepts and not any(self.pyramid_shortfall)
+
+    def describe(self) -> str:
+        """Human-readable summary of the gaps."""
+        if self.is_covered:
+            return "exam covers every concept; cognition pyramid holds"
+        parts = []
+        if self.lost_concepts:
+            parts.append(
+                "concepts lost from the exam: " + ", ".join(self.lost_concepts)
+            )
+        for level, shortfall in zip(COGNITIVE_LEVELS, self.pyramid_shortfall):
+            if shortfall:
+                parts.append(
+                    f"need {shortfall} more {level.label} question(s) to "
+                    f"restore the pyramid"
+                )
+        return "; ".join(parts)
+
+
+def coverage_gaps(
+    table: SpecificationTable,
+    default_level: CognitionLevel = CognitionLevel.KNOWLEDGE,
+    pyramid_concept: Optional[str] = None,
+) -> CoverageGaps:
+    """Compute the repair blueprint for a specification table.
+
+    * each lost concept gets one ``default_level`` question;
+    * each pyramid violation is repaired *bottom-up*: walking A→F, every
+      level is topped up to at least the count of the level above it
+      (the minimal addition that restores the ordering);
+      ``pyramid_concept`` names the concept the pyramid questions are
+      drawn from (defaults to the table's first concept).
+    """
+    gaps = CoverageGaps()
+    for concept in table.lost_concepts():
+        gaps.lost_concepts.append(concept)
+        gaps.blueprint.require(concept, default_level, 1)
+
+    sums = table.level_sums()
+    required = list(sums)
+    # walk from the top (F) downwards: each level must hold at least as
+    # many questions as the level above it
+    for index in range(len(required) - 2, -1, -1):
+        required[index] = max(required[index], required[index + 1])
+    shortfall = [need - have for need, have in zip(required, sums)]
+    gaps.pyramid_shortfall = shortfall
+    if any(shortfall):
+        concept = pyramid_concept or (
+            table.concepts[0] if table.concepts else "general"
+        )
+        for level, count in zip(COGNITIVE_LEVELS, shortfall):
+            if count > 0:
+                gaps.blueprint.require(concept, level, count)
+    return gaps
+
+
+def repair_exam(
+    exam: Exam,
+    bank: ItemBank,
+    concepts: Sequence[str],
+    repaired_exam_id: Optional[str] = None,
+) -> Exam:
+    """Assemble the gap questions from the bank and extend the exam.
+
+    Returns a new validated exam containing the original items plus the
+    repairs; raises :class:`~repro.core.errors.BlueprintError` when the
+    bank cannot supply a needed cell.  When the exam has no gaps the
+    original exam is returned unchanged.
+    """
+    table = exam.specification_table(concepts=concepts)
+    gaps = coverage_gaps(table)
+    if gaps.is_covered:
+        return exam
+    supplement = assemble(
+        f"{exam.exam_id}-repair",
+        "repair set",
+        bank,
+        gaps.blueprint,
+    )
+    existing = {item.item_id for item in exam.items}
+    from repro.exams.authoring import ExamBuilder
+
+    builder = ExamBuilder(
+        repaired_exam_id or f"{exam.exam_id}-v2", exam.title
+    )
+    builder.add_items(exam.items)
+    builder.add_items(
+        [item for item in supplement.items if item.item_id not in existing]
+    )
+    if exam.time_limit_seconds is not None:
+        builder.time_limit(exam.time_limit_seconds)
+    builder.display(exam.display_type)
+    builder.resumable(exam.resumable)
+    return builder.build()

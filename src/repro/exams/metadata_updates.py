@@ -1,0 +1,72 @@
+"""Writing measured statistics back into the MINE metadata (§3.3-§3.4).
+
+The point of the assessment metadata is that measured attributes travel
+with the content: after an administration, each item's Item Difficulty
+Index, Item Discrimination Index, and distraction record (§3.3), and the
+exam's Average Time and Instructional Sensitivity Index (§3.4), are
+updated from the analysis.  The next author searching the bank then
+filters on real statistics (see :meth:`repro.bank.search.Query.
+with_difficulty`), and CAT pools calibrate from them
+(:mod:`repro.adaptive.calibration`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.errors import AnalysisError
+from repro.core.exam_analysis import average_time
+from repro.core.question_analysis import CohortAnalysis
+from repro.exams.exam import Exam
+
+__all__ = ["write_back_statistics"]
+
+
+def write_back_statistics(
+    exam: Exam,
+    cohort: CohortAnalysis,
+    durations_seconds: Optional[Sequence[float]] = None,
+    instructional_sensitivity: Optional[Dict[str, float]] = None,
+) -> int:
+    """Update the exam's and items' metadata from a cohort analysis.
+
+    * per analyzable item: ``item_difficulty_index`` (P),
+      ``item_discrimination_index`` (D), and the distraction summary;
+    * per exam: ``average_time_seconds`` from the sitting durations;
+    * optionally, per item ISI values (item_id → ISI) are written into
+      each item's ``distraction``-adjacent metadata — the paper stores
+      ISI at exam level, so the exam gets the mean.
+
+    Returns the number of items updated.  The cohort must have been
+    produced from this exam's :meth:`~repro.exams.exam.Exam.
+    question_specs` (same question count and order).
+    """
+    analyzable = exam.analyzable_items()
+    if len(analyzable) != len(cohort.questions):
+        raise AnalysisError(
+            f"cohort has {len(cohort.questions)} analyzed questions but the "
+            f"exam has {len(analyzable)} analyzable items"
+        )
+    updated = 0
+    for item, analysis in zip(analyzable, cohort.questions):
+        individual = item.metadata.assessment.individual_test
+        individual.item_difficulty_index = analysis.difficulty
+        individual.item_discrimination_index = analysis.discrimination
+        if analysis.distraction is not None:
+            individual.distraction = analysis.distraction.describe()
+        updated += 1
+    if durations_seconds:
+        exam.metadata.assessment.exam.average_time_seconds = average_time(
+            list(durations_seconds)
+        )
+    if instructional_sensitivity:
+        values = [
+            value
+            for item_id, value in instructional_sensitivity.items()
+            if any(item.item_id == item_id for item in analyzable)
+        ]
+        if values:
+            exam.metadata.assessment.exam.instructional_sensitivity_index = (
+                sum(values) / len(values)
+            )
+    return updated

@@ -1,0 +1,69 @@
+"""Question ordering for delivery (§3.2 VI.C).
+
+``Fixed Order — for tests with a fixed number and order of questions.
+Random Order — for tests with a random order.``
+
+Random orderings are deterministic per (exam, learner) pair: the shuffle
+is seeded from both identifiers, so a learner who resumes a sitting sees
+the same order, while different learners see different orders.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, TypeVar
+
+from repro.core.errors import DeliveryError
+from repro.core.metadata import DisplayType
+from repro.exams.exam import Exam
+from repro.items.base import Item
+
+__all__ = ["presentation_order", "ordered_items"]
+
+T = TypeVar("T")
+
+
+def _seed_for(exam_id: str, learner_id: str) -> int:
+    digest = hashlib.sha256(f"{exam_id}\x00{learner_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def presentation_order(exam: Exam, learner_id: str) -> List[int]:
+    """The item indices in the order this learner sees them.
+
+    Fixed-order exams present items as authored.  Random-order exams
+    shuffle per learner — but items inside the same presentation group
+    stay contiguous (the group is the §5.4 presentation unit): groups are
+    shuffled as blocks and loose items are interleaved as singleton
+    blocks.
+    """
+    if not exam.items:
+        raise DeliveryError(f"exam {exam.exam_id!r} has no items to order")
+    if exam.display_type is DisplayType.FIXED_ORDER:
+        return list(range(len(exam.items)))
+
+    rng = random.Random(_seed_for(exam.exam_id, learner_id))
+    blocks: List[List[int]] = []
+    seen: set = set()
+    for index, item in enumerate(exam.items):
+        if index in seen:
+            continue
+        group = exam.group_of(item.item_id)
+        if group is None:
+            blocks.append([index])
+            seen.add(index)
+        else:
+            block = [exam.item_index(item_id) for item_id in group.item_ids]
+            blocks.append(block)
+            seen.update(block)
+    rng.shuffle(blocks)
+    order: List[int] = []
+    for block in blocks:
+        order.extend(block)
+    return order
+
+
+def ordered_items(exam: Exam, learner_id: str) -> List[Item]:
+    """The exam's items in this learner's presentation order."""
+    return [exam.items[index] for index in presentation_order(exam, learner_id)]

@@ -1,0 +1,73 @@
+"""Printable exam papers.
+
+The authoring tool's output a learner actually sees (Figure 5's "exam
+presentation style"): the exam title, instructions derived from the exam
+attributes (time limit, resumability), group headers, and the numbered
+items in a given learner's presentation order.  Also renders the answer
+key for the teacher's copy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exams.exam import Exam
+from repro.exams.ordering import ordered_items
+from repro.items.rendering import render_item
+
+__all__ = ["render_exam_paper", "render_answer_key"]
+
+
+def _header(exam: Exam) -> List[str]:
+    lines = ["=" * 60, exam.title.center(60), "=" * 60]
+    details = [f"{len(exam.items)} questions"]
+    if exam.time_limit_seconds is not None:
+        details.append(f"time limit {exam.time_limit_seconds / 60:.0f} minutes")
+    details.append(
+        "may be paused and resumed" if exam.resumable
+        else "cannot be resumed once paused"
+    )
+    lines.append("  |  ".join(details))
+    lines.append("")
+    return lines
+
+
+def render_exam_paper(exam: Exam, learner_id: str = "") -> str:
+    """The exam as the given learner sees it.
+
+    Random-order exams need a ``learner_id`` (the order is seeded per
+    learner); fixed-order exams accept the default.  Items inside a
+    presentation group appear under the group's header.
+    """
+    exam.validate()
+    lines = _header(exam)
+    items = ordered_items(exam, learner_id or "-")
+    current_group: Optional[str] = None
+    for number, item in enumerate(items, start=1):
+        group = exam.group_of(item.item_id)
+        group_name = group.name if group is not None else None
+        if group_name != current_group:
+            if group_name is not None:
+                lines.append(f"--- {group_name} ---")
+            current_group = group_name
+        lines.append(render_item(item, number=number))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_answer_key(exam: Exam) -> str:
+    """The teacher's answer key, in authored order.
+
+    Subjective items (essays, questionnaires) are marked as manually
+    graded.
+    """
+    exam.validate()
+    lines = [f"Answer key - {exam.title}"]
+    for number, item in enumerate(exam.items, start=1):
+        answer = item.answer_text()
+        if answer is None:
+            rendered = "(manually graded)"
+        else:
+            rendered = answer
+        lines.append(f"{number:>3}. [{item.item_id}] {rendered}")
+    return "\n".join(lines)

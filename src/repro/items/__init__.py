@@ -1,0 +1,52 @@
+"""Assessment items: the six question styles of paper §3.2 plus the
+presentation templates of §5.3 and the QTI exchange binding of §2.3."""
+
+from repro.items.base import Item, Picture
+from repro.items.choice import Choice, MultipleChoiceItem
+from repro.items.completion import BLANK_MARKER, CompletionItem
+from repro.items.essay import EssayItem
+from repro.items.matching import MatchItem
+from repro.items.qti import (
+    item_from_qti,
+    item_from_qti_xml,
+    item_to_qti,
+    item_to_qti_xml,
+)
+from repro.items.questionnaire import QuestionnaireItem
+from repro.items.rendering import render_item, render_layout
+from repro.items.responses import ScoredResponse
+from repro.items.templates import (
+    LaidOutElement,
+    Slot,
+    Template,
+    TemplateLibrary,
+    apply_template,
+    default_choice_template,
+)
+from repro.items.truefalse import TrueFalseItem
+
+__all__ = [
+    "Item",
+    "Picture",
+    "Choice",
+    "MultipleChoiceItem",
+    "TrueFalseItem",
+    "EssayItem",
+    "MatchItem",
+    "CompletionItem",
+    "BLANK_MARKER",
+    "QuestionnaireItem",
+    "ScoredResponse",
+    "Slot",
+    "Template",
+    "TemplateLibrary",
+    "apply_template",
+    "default_choice_template",
+    "LaidOutElement",
+    "render_item",
+    "render_layout",
+    "item_to_qti",
+    "item_to_qti_xml",
+    "item_from_qti",
+    "item_from_qti_xml",
+]

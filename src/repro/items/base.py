@@ -1,0 +1,119 @@
+"""Base classes for assessment items (paper §3.2, §5.1, §5.2).
+
+Section 5.2 says a problem "has two sections, one is metadata information,
+and another one is problem content".  :class:`Item` mirrors that: every
+item carries a :class:`~repro.core.metadata.MineMetadata` document (the
+metadata section) and style-specific content (defined by subclasses).
+
+Subclasses implement:
+
+* :meth:`Item.style` — which §3.2 question style the item is;
+* :meth:`Item.score` — grade a raw response, returning a
+  :class:`~repro.items.responses.ScoredResponse`;
+* :meth:`Item.validate` — structural checks (has a key, has options, ...);
+* :meth:`Item.content_fields` — the content section as a flat dict used
+  by the QTI binding and the bank's persistence layer.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import ItemError
+from repro.core.metadata import MineMetadata, QuestionStyle
+
+__all__ = ["Item", "Picture"]
+
+
+@dataclass
+class Picture:
+    """A picture placed in a problem (§5.3: "We can put a picture in a
+    problem, it is allowed to set the picture's position (x axis; y
+    axis)")."""
+
+    resource: str
+    x: int = 0
+    y: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.resource:
+            raise ItemError("picture resource must be non-empty")
+
+
+@dataclass
+class Item(abc.ABC):
+    """An authorable assessment problem.
+
+    ``item_id`` — bank identifier; ``question`` — the stem text ("the
+    content could be text, graph ... we focus on text"); ``hint`` — the
+    Hint element §3.2 defines for essay and true/false items (available to
+    every style here); ``subject`` — the concept the question examines;
+    ``cognition_level`` — Bloom level tag; ``pictures`` — positioned
+    pictures (§5.3); ``metadata`` — the full MINE metadata document.
+    """
+
+    item_id: str
+    question: str
+    hint: str = ""
+    subject: str = ""
+    cognition_level: Optional[CognitionLevel] = None
+    pictures: List[Picture] = field(default_factory=list)
+    metadata: MineMetadata = field(default_factory=MineMetadata)
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise ItemError("item_id must be non-empty")
+        if not self.question:
+            raise ItemError(f"item {self.item_id!r}: question text is empty")
+        self._sync_metadata()
+
+    def _sync_metadata(self) -> None:
+        """Keep the metadata's assessment section consistent with the item.
+
+        The authoring system stores the answer/subject/cognition-level in
+        the IndividualTest metadata (§3.3) so that packaged items carry
+        their assessment attributes.
+        """
+        assessment = self.metadata.assessment
+        assessment.question_style = self.style()
+        assessment.questionnaire.question = self.question
+        assessment.individual_test.subject = self.subject
+        assessment.individual_test.cognition_level = self.cognition_level
+        answer = self.answer_text()
+        if answer is not None:
+            assessment.individual_test.answer = answer
+        if not self.metadata.general.identifier:
+            self.metadata.general.identifier = self.item_id
+        if not self.metadata.general.title:
+            self.metadata.general.title = self.question[:60]
+
+    # -- subclass API ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def style(self) -> QuestionStyle:
+        """The §3.2 question style of this item."""
+
+    @abc.abstractmethod
+    def score(self, response: object) -> "object":
+        """Grade a raw learner response; returns a ScoredResponse."""
+
+    @abc.abstractmethod
+    def validate(self) -> None:
+        """Raise :class:`ItemError` when the item is structurally invalid."""
+
+    @abc.abstractmethod
+    def content_fields(self) -> Dict[str, object]:
+        """The content section as a flat, JSON-serializable dict."""
+
+    def answer_text(self) -> Optional[str]:
+        """The correct answer as text for the metadata's Answer field
+        (§3.3 I: "Correct answer for explaining and query").  ``None``
+        when the style has no objective key (essay, questionnaire)."""
+        return None
+
+    def is_objective(self) -> bool:
+        """True when the item can be machine-scored."""
+        return self.answer_text() is not None

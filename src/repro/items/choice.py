@@ -1,0 +1,140 @@
+"""Multiple-choice items (§3.2 III, §5.1 "choice problem").
+
+A :class:`MultipleChoiceItem` has labelled options and exactly one correct
+option — the analysis model's rules (Table 1, the four rules) are defined
+over this style.  Options carry their own text and label; labels default
+to "A", "B", ... as in the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ItemError, ResponseError
+from repro.core.metadata import QuestionStyle
+from repro.items.base import Item
+from repro.items.responses import ScoredResponse
+
+__all__ = ["Choice", "MultipleChoiceItem"]
+
+
+@dataclass
+class Choice:
+    """One selectable option: its label (e.g. "A") and display text."""
+
+    label: str
+    text: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ItemError("choice label must be non-empty")
+        if not self.text:
+            raise ItemError(f"choice {self.label!r}: text must be non-empty")
+
+
+@dataclass
+class MultipleChoiceItem(Item):
+    """A question with multiple choice answers and a single key."""
+
+    choices: List[Choice] = field(default_factory=list)
+    correct_label: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        item_id: str,
+        question: str,
+        option_texts: Sequence[str],
+        correct_index: int,
+        labels: Optional[Sequence[str]] = None,
+        **kwargs,
+    ) -> "MultipleChoiceItem":
+        """Convenience constructor from option texts and a correct index.
+
+        Labels default to "A", "B", ... matching the paper's notation.
+        """
+        if labels is None:
+            labels = [chr(ord("A") + i) for i in range(len(option_texts))]
+        if len(labels) != len(option_texts):
+            raise ItemError(
+                f"got {len(labels)} labels for {len(option_texts)} options"
+            )
+        if not 0 <= correct_index < len(option_texts):
+            raise ItemError(
+                f"correct_index {correct_index} out of range for "
+                f"{len(option_texts)} options"
+            )
+        choices = [
+            Choice(label=label, text=text)
+            for label, text in zip(labels, option_texts)
+        ]
+        item = cls(
+            item_id=item_id,
+            question=question,
+            choices=choices,
+            correct_label=labels[correct_index],
+            **kwargs,
+        )
+        item.validate()
+        return item
+
+    def style(self) -> QuestionStyle:
+        """This item's question style (multiple choice)."""
+        return QuestionStyle.MULTIPLE_CHOICE
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """The option labels, in display order."""
+        return tuple(choice.label for choice in self.choices)
+
+    def answer_text(self) -> Optional[str]:
+        """The correct option label."""
+        return self.correct_label or None
+
+    def validate(self) -> None:
+        """Structural checks: >= 2 options, unique labels, key exists."""
+        if len(self.choices) < 2:
+            raise ItemError(
+                f"item {self.item_id!r}: multiple choice needs at least two "
+                f"options, got {len(self.choices)}"
+            )
+        labels = self.labels
+        if len(set(labels)) != len(labels):
+            raise ItemError(f"item {self.item_id!r}: duplicate option labels")
+        if self.correct_label not in labels:
+            raise ItemError(
+                f"item {self.item_id!r}: correct label {self.correct_label!r} "
+                f"is not among the options {labels}"
+            )
+
+    def score(self, response: object) -> ScoredResponse:
+        """Grade a selected option label; ``None`` means skipped (wrong,
+        recorded as no selection)."""
+        if response is None:
+            return ScoredResponse.wrong(selected=None)
+        if not isinstance(response, str):
+            raise ResponseError(
+                f"item {self.item_id!r}: choice response must be an option "
+                f"label string, got {type(response).__name__}"
+            )
+        if response not in self.labels:
+            raise ResponseError(
+                f"item {self.item_id!r}: unknown option {response!r}; "
+                f"valid options are {self.labels}"
+            )
+        if response == self.correct_label:
+            return ScoredResponse.right(selected=response)
+        return ScoredResponse.wrong(selected=response)
+
+    def content_fields(self) -> Dict[str, object]:
+        """The content section as a JSON-ready dict."""
+        return {
+            "question": self.question,
+            "hint": self.hint,
+            "options": [
+                {"label": choice.label, "text": choice.text}
+                for choice in self.choices
+            ],
+            "correct_label": self.correct_label,
+        }

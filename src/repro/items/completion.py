@@ -1,0 +1,119 @@
+"""Completion items (§3.2 V: "Design a question like fill-in blank or
+cloze").
+
+The stem contains ``___`` blank markers; the key lists the accepted
+answers per blank.  Scoring awards one point per correctly filled blank
+(partial credit), with optional case-insensitive comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import ItemError, ResponseError
+from repro.core.metadata import QuestionStyle
+from repro.items.base import Item
+from repro.items.responses import ScoredResponse
+
+__all__ = ["CompletionItem", "BLANK_MARKER"]
+
+#: The marker that denotes a blank in the stem.
+BLANK_MARKER = "___"
+
+
+@dataclass
+class CompletionItem(Item):
+    """Fill-in-the-blank / cloze question.
+
+    ``accepted_answers[i]`` lists every string accepted for blank ``i``.
+    """
+
+    accepted_answers: List[List[str]] = field(default_factory=list)
+    case_sensitive: bool = False
+
+    def style(self) -> QuestionStyle:
+        """This item's question style (completion)."""
+        return QuestionStyle.COMPLETION
+
+    @property
+    def blank_count(self) -> int:
+        """How many ``___`` markers the stem contains."""
+        return self.question.count(BLANK_MARKER)
+
+    def answer_text(self) -> Optional[str]:
+        """The first accepted answer per blank, joined."""
+        if not self.accepted_answers:
+            return None
+        return " | ".join(
+            answers[0] if answers else "?" for answers in self.accepted_answers
+        )
+
+    def validate(self) -> None:
+        """Structural checks: blanks exist and each accepts answers."""
+        blanks = self.blank_count
+        if blanks == 0:
+            raise ItemError(
+                f"item {self.item_id!r}: stem has no {BLANK_MARKER!r} blank "
+                f"markers"
+            )
+        if len(self.accepted_answers) != blanks:
+            raise ItemError(
+                f"item {self.item_id!r}: stem has {blanks} blanks but "
+                f"{len(self.accepted_answers)} answer lists"
+            )
+        for index, answers in enumerate(self.accepted_answers):
+            if not answers:
+                raise ItemError(
+                    f"item {self.item_id!r}: blank {index} accepts no answers"
+                )
+            if any(not answer for answer in answers):
+                raise ItemError(
+                    f"item {self.item_id!r}: blank {index} has an empty "
+                    f"accepted answer"
+                )
+
+    def score(self, response: object) -> ScoredResponse:
+        """Grade a sequence of blank fillings (one string per blank)."""
+        max_points = float(len(self.accepted_answers))
+        if response is None:
+            return ScoredResponse.wrong(max_points=max_points, selected=None)
+        if isinstance(response, str):
+            # a single-blank item may receive a bare string
+            response = [response]
+        if not isinstance(response, Sequence):
+            raise ResponseError(
+                f"item {self.item_id!r}: completion response must be a "
+                f"sequence of strings"
+            )
+        if len(response) != len(self.accepted_answers):
+            raise ResponseError(
+                f"item {self.item_id!r}: expected {len(self.accepted_answers)} "
+                f"blank fillings, got {len(response)}"
+            )
+        points = 0.0
+        for filled, accepted in zip(response, self.accepted_answers):
+            if filled is None:
+                continue
+            if self._matches(str(filled), accepted):
+                points += 1.0
+        rendering = " | ".join("-" if r is None else str(r) for r in response)
+        return ScoredResponse.partial(
+            points=points, max_points=max_points, selected=rendering
+        )
+
+    def _matches(self, filled: str, accepted: Sequence[str]) -> bool:
+        candidate = filled.strip()
+        if not self.case_sensitive:
+            candidate = candidate.lower()
+            return candidate in (answer.strip().lower() for answer in accepted)
+        return candidate in (answer.strip() for answer in accepted)
+
+    def content_fields(self) -> Dict[str, object]:
+        """The content section as a JSON-ready dict."""
+        return {
+            "question": self.question,
+            "hint": self.hint,
+            "accepted_answers": [list(a) for a in self.accepted_answers],
+            "case_sensitive": self.case_sensitive,
+        }

@@ -1,0 +1,88 @@
+"""Essay items (§3.2 I: "Defines the text of an open-ended essay question.
+You can also use it to represent shorter fill-in-the blank.  Two elements
+are Question and Hint.").
+
+Essays are subjective: :meth:`EssayItem.score` returns a *pending* result
+that a human grades later via :meth:`EssayItem.grade`.  An optional
+``model_answer`` supports the grader and the §3.3 Answer metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.errors import ItemError, ResponseError
+from repro.core.metadata import QuestionStyle
+from repro.items.base import Item
+from repro.items.responses import ScoredResponse
+
+__all__ = ["EssayItem"]
+
+
+@dataclass
+class EssayItem(Item):
+    """An open-ended question graded by a human."""
+
+    model_answer: str = ""
+    max_points: float = 1.0
+    min_length: int = 0
+
+    def style(self) -> QuestionStyle:
+        """This item's question style (essay)."""
+        return QuestionStyle.ESSAY
+
+    def answer_text(self) -> Optional[str]:
+        """The model answer, when one was written."""
+        return self.model_answer or None
+
+    def validate(self) -> None:
+        """Structural checks: positive points, sane minimum length."""
+        if self.max_points <= 0:
+            raise ItemError(
+                f"item {self.item_id!r}: max_points must be positive, got "
+                f"{self.max_points}"
+            )
+        if self.min_length < 0:
+            raise ItemError(
+                f"item {self.item_id!r}: min_length must be >= 0"
+            )
+
+    def score(self, response: object) -> ScoredResponse:
+        """Queue the text for manual grading; empty/short answers are wrong."""
+        if response is None:
+            return ScoredResponse.wrong(max_points=self.max_points, selected=None)
+        if not isinstance(response, str):
+            raise ResponseError(
+                f"item {self.item_id!r}: essay response must be text, got "
+                f"{type(response).__name__}"
+            )
+        text = response.strip()
+        if not text or len(text) < self.min_length:
+            return ScoredResponse.wrong(max_points=self.max_points, selected=text)
+        return ScoredResponse.pending(max_points=self.max_points, selected=text)
+
+    def grade(self, response: str, points: float) -> ScoredResponse:
+        """Record a human grader's decision on an essay response."""
+        if not 0 <= points <= self.max_points:
+            raise ResponseError(
+                f"item {self.item_id!r}: awarded points {points} outside "
+                f"[0, {self.max_points}]"
+            )
+        return ScoredResponse(
+            points=points,
+            max_points=self.max_points,
+            correct=points == self.max_points,
+            needs_manual_grading=False,
+            selected=response,
+        )
+
+    def content_fields(self) -> Dict[str, object]:
+        """The content section as a JSON-ready dict."""
+        return {
+            "question": self.question,
+            "hint": self.hint,
+            "model_answer": self.model_answer,
+            "max_points": self.max_points,
+            "min_length": self.min_length,
+        }

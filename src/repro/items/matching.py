@@ -1,0 +1,117 @@
+"""Match items (§3.2 IV: "Define a question with proper matched choice").
+
+A :class:`MatchItem` pairs a list of *premises* with a list of *options*;
+the key maps each premise to its correct option.  Scoring awards partial
+credit proportional to the number of correctly matched premises (each
+premise is one sub-decision), which is the standard treatment for
+matching exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.errors import ItemError, ResponseError
+from repro.core.metadata import QuestionStyle
+from repro.items.base import Item
+from repro.items.responses import ScoredResponse
+
+__all__ = ["MatchItem"]
+
+
+@dataclass
+class MatchItem(Item):
+    """Match each premise to one of the options."""
+
+    premises: List[str] = field(default_factory=list)
+    options: List[str] = field(default_factory=list)
+    key: Dict[str, str] = field(default_factory=dict)
+
+    def style(self) -> QuestionStyle:
+        """This item's question style (match)."""
+        return QuestionStyle.MATCH
+
+    def answer_text(self) -> Optional[str]:
+        """The key as 'premise -> option' pairs."""
+        if not self.key:
+            return None
+        return "; ".join(
+            f"{premise} -> {self.key.get(premise, '?')}"
+            for premise in self.premises
+        )
+
+    def validate(self) -> None:
+        """Structural checks: premises, options, and a complete key."""
+        if len(self.premises) < 2:
+            raise ItemError(
+                f"item {self.item_id!r}: match item needs at least two "
+                f"premises"
+            )
+        if len(set(self.premises)) != len(self.premises):
+            raise ItemError(f"item {self.item_id!r}: duplicate premises")
+        if len(set(self.options)) != len(self.options):
+            raise ItemError(f"item {self.item_id!r}: duplicate options")
+        missing = [p for p in self.premises if p not in self.key]
+        if missing:
+            raise ItemError(
+                f"item {self.item_id!r}: premises without a key: {missing}"
+            )
+        unknown_targets = [
+            target for target in self.key.values() if target not in self.options
+        ]
+        if unknown_targets:
+            raise ItemError(
+                f"item {self.item_id!r}: key targets not among options: "
+                f"{unknown_targets}"
+            )
+
+    def score(self, response: object) -> ScoredResponse:
+        """Grade a premise→option mapping; each premise is worth one point
+        of partial credit."""
+        max_points = float(len(self.premises))
+        if response is None:
+            return ScoredResponse.wrong(max_points=max_points, selected=None)
+        if not isinstance(response, Mapping):
+            raise ResponseError(
+                f"item {self.item_id!r}: match response must be a mapping "
+                f"premise -> option, got {type(response).__name__}"
+            )
+        unknown = [premise for premise in response if premise not in self.premises]
+        if unknown:
+            raise ResponseError(
+                f"item {self.item_id!r}: unknown premises in response: {unknown}"
+            )
+        bad_targets = [
+            target
+            for target in response.values()
+            if target is not None and target not in self.options
+        ]
+        if bad_targets:
+            raise ResponseError(
+                f"item {self.item_id!r}: unknown options in response: "
+                f"{bad_targets}"
+            )
+        points = float(
+            sum(
+                1
+                for premise in self.premises
+                if response.get(premise) == self.key[premise]
+            )
+        )
+        rendering = "; ".join(
+            f"{premise}->{response.get(premise, '-')}" for premise in self.premises
+        )
+        return ScoredResponse.partial(
+            points=points, max_points=max_points, selected=rendering
+        )
+
+    def content_fields(self) -> Dict[str, object]:
+        """The content section as a JSON-ready dict."""
+        return {
+            "question": self.question,
+            "hint": self.hint,
+            "premises": list(self.premises),
+            "options": list(self.options),
+            "key": dict(self.key),
+        }

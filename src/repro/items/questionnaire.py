@@ -1,0 +1,79 @@
+"""Questionnaire items (§3.2 VI).
+
+A questionnaire question collects an opinion/response on a scale or as
+free text — there is no correct answer, so every response scores zero
+points out of zero and is recorded for later tabulation.  The §3.2
+attributes are carried in the metadata: ``resumable`` ("True means resumed
+and false means paused at a later time") and ``display_type`` (fixed or
+random order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.errors import ItemError, ResponseError
+from repro.core.metadata import DisplayType, QuestionStyle
+from repro.items.base import Item
+from repro.items.responses import ScoredResponse
+
+__all__ = ["QuestionnaireItem"]
+
+
+@dataclass
+class QuestionnaireItem(Item):
+    """An opinion/scale question with no correct answer.
+
+    ``scale`` optionally constrains responses to a fixed set of labels
+    (e.g. a Likert scale); empty means free text.
+    """
+
+    scale: List[str] = field(default_factory=list)
+    resumable: bool = True
+    display_type: DisplayType = DisplayType.FIXED_ORDER
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.metadata.assessment.questionnaire.resumable = self.resumable
+        self.metadata.assessment.questionnaire.display_type = self.display_type
+
+    def style(self) -> QuestionStyle:
+        """This item's question style (questionnaire)."""
+        return QuestionStyle.QUESTIONNAIRE
+
+    def validate(self) -> None:
+        """Structural checks: scale labels unique and non-empty."""
+        if len(set(self.scale)) != len(self.scale):
+            raise ItemError(f"item {self.item_id!r}: duplicate scale labels")
+        if any(not label for label in self.scale):
+            raise ItemError(f"item {self.item_id!r}: empty scale label")
+
+    def score(self, response: object) -> ScoredResponse:
+        """Record the response; questionnaires contribute no score."""
+        if response is None:
+            return ScoredResponse(
+                points=0.0, max_points=0.0, correct=None, selected=None
+            )
+        if not isinstance(response, str):
+            raise ResponseError(
+                f"item {self.item_id!r}: questionnaire response must be text"
+            )
+        if self.scale and response not in self.scale:
+            raise ResponseError(
+                f"item {self.item_id!r}: response {response!r} not on the "
+                f"scale {self.scale}"
+            )
+        return ScoredResponse(
+            points=0.0, max_points=0.0, correct=None, selected=response
+        )
+
+    def content_fields(self) -> Dict[str, object]:
+        """The content section as a JSON-ready dict."""
+        return {
+            "question": self.question,
+            "hint": self.hint,
+            "scale": list(self.scale),
+            "resumable": self.resumable,
+            "display_type": self.display_type.value,
+        }

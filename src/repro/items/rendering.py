@@ -1,0 +1,58 @@
+"""Text rendering of items and laid-out problems.
+
+Renders items the way the paper's authoring interface displays them
+(Figures 3-4): the stem, then options/blanks, then the hint.  Also
+renders :class:`~repro.items.templates.LaidOutElement` lists onto a
+character canvas, honouring the template positions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.errors import ItemError
+from repro.items.base import Item
+from repro.items.templates import LaidOutElement
+
+__all__ = ["render_item", "render_layout"]
+
+
+def render_item(item: Item, number: int = 0) -> str:
+    """Render one item as plain text, numbered when ``number`` > 0."""
+    prefix = f"{number}. " if number else ""
+    lines: List[str] = [f"{prefix}{item.question}"]
+    fields = item.content_fields()
+    options = fields.get("options")
+    premises = fields.get("premises")
+    if isinstance(options, list) and premises is None:
+        for option in options:
+            lines.append(f"   ({option['label']}) {option['text']}")
+    if "correct_value" in fields:
+        lines.append("   ( ) True    ( ) False")
+    if isinstance(premises, list):
+        for premise in premises:
+            lines.append(f"   {premise}  ->  ____")
+        lines.append("   choices: " + ", ".join(options or []))
+    scale = fields.get("scale")
+    if isinstance(scale, list) and scale:
+        lines.append("   scale: " + " / ".join(scale))
+    if item.hint:
+        lines.append(f"   Hint: {item.hint}")
+    return "\n".join(lines)
+
+
+def render_layout(elements: Sequence[LaidOutElement], width: int = 80) -> str:
+    """Paint positioned elements onto a character canvas."""
+    if width < 10:
+        raise ItemError(f"canvas width too small: {width}")
+    if not elements:
+        return ""
+    height = max(element.y for element in elements) + 1
+    canvas = [[" "] * width for _ in range(height)]
+    for element in elements:
+        column = min(element.x, width - 1)
+        for offset, char in enumerate(element.text):
+            if column + offset >= width:
+                break
+            canvas[element.y][column + offset] = char
+    return "\n".join("".join(row).rstrip() for row in canvas)

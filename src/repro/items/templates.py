@@ -1,0 +1,195 @@
+"""Problem presentation templates (paper §5.3).
+
+Section 5.3 describes template support in the authoring tool: a picture
+can be placed at an (x, y) position, the question description and
+selection items can be laid out by moving each element, and an instructor
+"wanted to copy the problem structure for reuse.  He can add a new
+template in the exam.  Also, he can delete an existed template."
+
+:class:`Template` captures a presentation layout (named element slots
+with positions); :class:`TemplateLibrary` provides the add/copy/delete
+management the paper describes; :func:`apply_template` lays out an item's
+elements according to a template.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import AuthoringError, NotFoundError
+from repro.items.base import Item
+
+__all__ = ["Slot", "Template", "TemplateLibrary", "apply_template", "LaidOutElement"]
+
+
+@dataclass
+class Slot:
+    """A positioned element slot in a template.
+
+    ``role`` names what goes in the slot ("question", "option", "picture",
+    "hint"); ``x``/``y`` position it; ``width`` constrains rendering.
+    """
+
+    role: str
+    x: int = 0
+    y: int = 0
+    width: int = 60
+
+    def __post_init__(self) -> None:
+        if not self.role:
+            raise AuthoringError("slot role must be non-empty")
+        if self.x < 0 or self.y < 0:
+            raise AuthoringError(
+                f"slot {self.role!r}: position must be non-negative, got "
+                f"({self.x}, {self.y})"
+            )
+        if self.width < 1:
+            raise AuthoringError(f"slot {self.role!r}: width must be positive")
+
+
+@dataclass
+class Template:
+    """A named presentation layout: ordered slots for an item's elements."""
+
+    name: str
+    slots: List[Slot] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AuthoringError("template name must be non-empty")
+
+    def slot_for(self, role: str) -> Optional[Slot]:
+        """The first slot with the given role, or None."""
+        for slot in self.slots:
+            if slot.role == role:
+                return slot
+        return None
+
+    def move_slot(self, role: str, x: int, y: int) -> None:
+        """§5.3: "We set the presentation style by moving each item"."""
+        slot = self.slot_for(role)
+        if slot is None:
+            raise NotFoundError(f"template {self.name!r} has no {role!r} slot")
+        if x < 0 or y < 0:
+            raise AuthoringError(
+                f"slot {role!r}: position must be non-negative"
+            )
+        slot.x = x
+        slot.y = y
+
+    def copy_as(self, new_name: str) -> "Template":
+        """Copy the template structure for reuse (§5.3)."""
+        duplicate = copy.deepcopy(self)
+        duplicate.name = new_name
+        return duplicate
+
+
+def default_choice_template(option_count: int = 4) -> Template:
+    """The stock layout: question on top, options stacked below."""
+    slots = [Slot(role="question", x=0, y=0)]
+    for index in range(option_count):
+        slots.append(Slot(role=f"option{index}", x=4, y=2 + index))
+    slots.append(Slot(role="hint", x=0, y=3 + option_count))
+    return Template(name="default-choice", slots=slots)
+
+
+class TemplateLibrary:
+    """The exam's template collection (§5.3 add/copy/delete)."""
+
+    def __init__(self) -> None:
+        self._templates: Dict[str, Template] = {}
+
+    def add(self, template: Template) -> None:
+        """Add a new template; names must be unique."""
+        if template.name in self._templates:
+            raise AuthoringError(
+                f"template {template.name!r} already exists"
+            )
+        self._templates[template.name] = template
+
+    def get(self, name: str) -> Template:
+        """The template with this name; NotFoundError otherwise."""
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise NotFoundError(f"no template named {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        """§5.3: "he can delete an existed template"."""
+        if name not in self._templates:
+            raise NotFoundError(f"no template named {name!r}")
+        del self._templates[name]
+
+    def copy(self, name: str, new_name: str) -> Template:
+        """Duplicate an existing template under a new name."""
+        duplicate = self.get(name).copy_as(new_name)
+        self.add(duplicate)
+        return duplicate
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._templates
+
+    def __iter__(self) -> Iterator[Template]:
+        return iter(self._templates.values())
+
+    def names(self) -> List[str]:
+        """Every template name, in insertion order."""
+        return list(self._templates)
+
+
+@dataclass(frozen=True)
+class LaidOutElement:
+    """One positioned piece of rendered content."""
+
+    role: str
+    x: int
+    y: int
+    text: str
+
+
+def apply_template(item: Item, template: Template) -> List[LaidOutElement]:
+    """Lay out an item's elements according to a template.
+
+    Returns positioned elements sorted by (y, x) — ready for a renderer.
+    Roles present in the template but absent from the item are skipped;
+    item elements without a slot fall back to a position below the last
+    used row.
+    """
+    contents: List[Tuple[str, str]] = [("question", item.question)]
+    fields = item.content_fields()
+    options = fields.get("options")
+    if isinstance(options, list) and all(
+        isinstance(option, dict) for option in options
+    ):
+        for index, option in enumerate(options):
+            contents.append((f"option{index}", f"{option['label']}. {option['text']}"))
+    if item.hint:
+        contents.append(("hint", f"Hint: {item.hint}"))
+    for index, picture in enumerate(item.pictures):
+        contents.append((f"picture{index}", f"[picture {picture.resource}]"))
+
+    elements: List[LaidOutElement] = []
+    next_free_y = 0
+    for role, text in contents:
+        slot = template.slot_for(role)
+        if slot is None and role.startswith("picture"):
+            picture = item.pictures[int(role[len("picture"):])]
+            elements.append(
+                LaidOutElement(role=role, x=picture.x, y=picture.y, text=text)
+            )
+            next_free_y = max(next_free_y, picture.y + 1)
+            continue
+        if slot is None:
+            elements.append(LaidOutElement(role=role, x=0, y=next_free_y, text=text))
+            next_free_y += 1
+            continue
+        elements.append(
+            LaidOutElement(role=role, x=slot.x, y=slot.y, text=text[: slot.width])
+        )
+        next_free_y = max(next_free_y, slot.y + 1)
+    return sorted(elements, key=lambda element: (element.y, element.x))

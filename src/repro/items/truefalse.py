@@ -1,0 +1,73 @@
+"""True/false items (§3.2 II: "Defines a question whose answer is either
+true or false.  Two elements are Question and Hint.")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.errors import ResponseError
+from repro.core.metadata import QuestionStyle
+from repro.items.base import Item
+from repro.items.responses import ScoredResponse
+
+__all__ = ["TrueFalseItem"]
+
+_TRUE_WORDS = frozenset({"true", "t", "yes", "1"})
+_FALSE_WORDS = frozenset({"false", "f", "no", "0"})
+
+
+@dataclass
+class TrueFalseItem(Item):
+    """A statement the learner judges true or false."""
+
+    correct_value: bool = True
+
+    def style(self) -> QuestionStyle:
+        """This item's question style (true/false)."""
+        return QuestionStyle.TRUE_FALSE
+
+    def answer_text(self) -> Optional[str]:
+        """The key: 'true' or 'false'."""
+        return "true" if self.correct_value else "false"
+
+    def validate(self) -> None:
+        # the base class already enforces non-empty question text; a
+        # true/false item has no further structural requirements
+        """Structural check: the key is a boolean."""
+        if not isinstance(self.correct_value, bool):
+            raise ResponseError(
+                f"item {self.item_id!r}: correct_value must be a bool"
+            )
+
+    def score(self, response: object) -> ScoredResponse:
+        """Grade a boolean (or the words true/false); ``None`` = skipped."""
+        if response is None:
+            return ScoredResponse.wrong(selected=None)
+        value = self._coerce(response)
+        selected = "true" if value else "false"
+        if value == self.correct_value:
+            return ScoredResponse.right(selected=selected)
+        return ScoredResponse.wrong(selected=selected)
+
+    def _coerce(self, response: object) -> bool:
+        if isinstance(response, bool):
+            return response
+        if isinstance(response, str):
+            lowered = response.strip().lower()
+            if lowered in _TRUE_WORDS:
+                return True
+            if lowered in _FALSE_WORDS:
+                return False
+        raise ResponseError(
+            f"item {self.item_id!r}: true/false response must be a bool or "
+            f"'true'/'false', got {response!r}"
+        )
+
+    def content_fields(self) -> Dict[str, object]:
+        """The content section as a JSON-ready dict."""
+        return {
+            "question": self.question,
+            "hint": self.hint,
+            "correct_value": self.correct_value,
+        }

@@ -1,0 +1,28 @@
+"""The LMS substrate (paper §2.4, §5): learner management, tracking,
+the on-line exam monitor, and the LMS itself."""
+
+from repro.lms.admin import Administrator
+from repro.lms.learners import Learner, LearnerRegistry
+from repro.lms.lms import Lms, LmsSitting
+from repro.lms.monitor import CapturedFrame, ExamMonitor
+from repro.lms.tracking import EventKind, TrackingEvent, TrackingService
+from repro.lms.persistence import load_lms, save_lms
+from repro.lms.transcripts import Transcript, TranscriptRow, build_transcript
+
+__all__ = [
+    "Lms",
+    "LmsSitting",
+    "Learner",
+    "LearnerRegistry",
+    "TrackingService",
+    "TrackingEvent",
+    "EventKind",
+    "ExamMonitor",
+    "CapturedFrame",
+    "Administrator",
+    "Transcript",
+    "TranscriptRow",
+    "build_transcript",
+    "save_lms",
+    "load_lms",
+]

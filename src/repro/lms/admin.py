@@ -1,0 +1,66 @@
+"""Administrator functions (paper §5: "Administrator control the database
+and learning management (LMS) monitor function").
+
+:class:`Administrator` wraps an LMS with the management operations the
+paper assigns to the administrator role: controlling the monitor
+(enable/disable, capture interval, purge reviewed footage), withdrawing
+exam offerings, and removing learners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.errors import MonitorError, NotFoundError
+from repro.lms.lms import Lms
+
+__all__ = ["Administrator"]
+
+
+class Administrator:
+    """The administrator role over one LMS instance."""
+
+    def __init__(self, lms: Lms, admin_id: str = "admin") -> None:
+        self.lms = lms
+        self.admin_id = admin_id
+
+    # -- monitor control ----------------------------------------------------
+
+    def enable_monitor(self) -> None:
+        """Turn picture capture on."""
+        self.lms.monitor.enabled = True
+
+    def disable_monitor(self) -> None:
+        """Turn picture capture off."""
+        self.lms.monitor.enabled = False
+
+    def set_capture_interval(self, seconds: float) -> None:
+        """Change how often frames are captured."""
+        if seconds <= 0:
+            raise MonitorError(
+                f"capture interval must be positive, got {seconds}"
+            )
+        self.lms.monitor.interval_seconds = seconds
+
+    def purge_footage(self, learner_id: str, exam_id: str) -> int:
+        """Delete a sitting's reviewed frames; returns how many."""
+        return self.lms.monitor.clear(learner_id, exam_id)
+
+    def monitored_sittings(self) -> List[Tuple[str, str]]:
+        """Sittings with retained monitor footage."""
+        return self.lms.monitor.monitored_sittings()
+
+    # -- database control -------------------------------------------------------
+
+    def withdraw_exam(self, exam_id: str) -> None:
+        """Remove an exam offering (existing results are retained)."""
+        if exam_id not in self.lms._exams:
+            raise NotFoundError(f"no exam {exam_id!r} offered")
+        del self.lms._exams[exam_id]
+        self.lms._enrollment.pop(exam_id, None)
+
+    def remove_learner(self, learner_id: str) -> None:
+        """Delete a learner and their enrollments."""
+        self.lms.learners.remove(learner_id)
+        for enrolled in self.lms._enrollment.values():
+            enrolled.discard(learner_id)

@@ -1,0 +1,338 @@
+"""The learning management system (paper §2.4, §5).
+
+The LMS glues the substrate together: course (exam) offerings and
+enrollment, the SCORM run-time environment and API, the delivery session
+machine, the tracking service, and the on-line exam monitor.  A sitting
+driven through :class:`LmsSitting` exercises the same call sequence a
+browser SCO would: launch → ``LMSInitialize`` → answers recorded both in
+the session and as ``cmi.interactions.n.*`` → ``LMSCommit`` →
+``LMSFinish``, with monitor captures along the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import (
+    DuplicateIdError,
+    NotFoundError,
+    SessionStateError,
+)
+from repro.core.question_analysis import CohortAnalysis, analyze_cohort
+from repro.core.report import AssessmentReport, build_report
+from repro.delivery.clock import Clock, WallClock
+from repro.delivery.scoring import (
+    GradedSitting,
+    grade_session,
+    sittings_to_responses,
+)
+from repro.delivery.session import ExamSession, SessionState
+from repro.exams.exam import Exam
+from repro.items.responses import ScoredResponse
+from repro.lms.learners import Learner, LearnerRegistry
+from repro.lms.monitor import ExamMonitor
+from repro.lms.tracking import EventKind, TrackingService
+from repro.scorm.api import ApiAdapter
+from repro.scorm.rte import RunTimeEnvironment
+
+__all__ = ["Lms", "LmsSitting"]
+
+
+@dataclass
+class LmsSitting:
+    """A learner's in-flight sitting: the delivery session plus its SCORM
+    API instance, managed by the LMS."""
+
+    session: ExamSession
+    api: ApiAdapter
+    interaction_count: int = 0
+
+    @property
+    def learner_id(self) -> str:
+        """The sitting learner's id."""
+        return self.session.learner_id
+
+    @property
+    def exam_id(self) -> str:
+        """The exam being sat."""
+        return self.session.exam.exam_id
+
+
+class Lms:
+    """The learning management system."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        monitor: Optional[ExamMonitor] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else WallClock()
+        self.learners = LearnerRegistry()
+        self.tracking = TrackingService()
+        self.monitor = monitor if monitor is not None else ExamMonitor()
+        self.rte = RunTimeEnvironment()
+        self._exams: Dict[str, Exam] = {}
+        self._enrollment: Dict[str, set] = {}  # exam_id -> learner ids
+        self._sittings: Dict[Tuple[str, str], LmsSitting] = {}
+        self._results: Dict[str, List[GradedSitting]] = {}
+
+    # -- catalog & enrollment ---------------------------------------------------
+
+    def offer_exam(self, exam: Exam) -> None:
+        """Publish an exam as a course offering."""
+        if exam.exam_id in self._exams:
+            raise DuplicateIdError(f"exam {exam.exam_id!r} already offered")
+        exam.validate()
+        self._exams[exam.exam_id] = exam
+        self._enrollment[exam.exam_id] = set()
+
+    def exam(self, exam_id: str) -> Exam:
+        """The offered exam with this id; NotFoundError otherwise."""
+        try:
+            return self._exams[exam_id]
+        except KeyError:
+            raise NotFoundError(f"no exam {exam_id!r} offered") from None
+
+    def offered_exams(self) -> List[str]:
+        """Every offered exam id, in offering order."""
+        return list(self._exams)
+
+    def register_learner(self, learner: Learner) -> None:
+        """Add a learner to the registry."""
+        self.learners.register(learner)
+
+    def enroll(self, learner_id: str, exam_id: str) -> None:
+        """Enroll a registered learner in an offered exam."""
+        learner = self.learners.get(learner_id)  # existence check
+        exam = self.exam(exam_id)
+        self._enrollment[exam.exam_id].add(learner.learner_id)
+        self.tracking.record(
+            EventKind.ENROLLED, learner_id, exam_id, self.clock.now()
+        )
+
+    def enrolled(self, exam_id: str) -> List[str]:
+        """Sorted learner ids enrolled in an exam."""
+        return sorted(self._enrollment.get(exam_id, ()))
+
+    # -- delivery ------------------------------------------------------------------
+
+    def start_exam(self, learner_id: str, exam_id: str) -> LmsSitting:
+        """Launch a sitting: SCORM launch + API initialize + session start."""
+        exam = self.exam(exam_id)
+        learner = self.learners.get(learner_id)
+        if learner_id not in self._enrollment[exam_id]:
+            raise SessionStateError(
+                f"learner {learner_id!r} is not enrolled in {exam_id!r}"
+            )
+        key = (learner_id, exam_id)
+        existing = self._sittings.get(key)
+        if existing is not None and existing.session.state in (
+            SessionState.IN_PROGRESS,
+            SessionState.SUSPENDED,
+        ):
+            raise SessionStateError(
+                f"learner {learner_id!r} already has an open sitting of "
+                f"{exam_id!r}"
+            )
+        api = self.rte.launch(
+            learner_id, exam_id, learner_name=learner.name
+        )
+        if api.LMSInitialize("") != "true":
+            raise SessionStateError("SCORM API failed to initialize")
+        session = ExamSession(exam, learner_id, clock=self.clock)
+        session.start()
+        sitting = LmsSitting(session=session, api=api)
+        self._sittings[key] = sitting
+        self.tracking.record(
+            EventKind.LAUNCHED, learner_id, exam_id, self.clock.now()
+        )
+        self.monitor.poll(learner_id, exam_id, session.elapsed_seconds())
+        return sitting
+
+    def sitting(self, learner_id: str, exam_id: str) -> LmsSitting:
+        """The in-flight sitting; NotFoundError when none exists."""
+        try:
+            return self._sittings[(learner_id, exam_id)]
+        except KeyError:
+            raise NotFoundError(
+                f"no sitting of {exam_id!r} by {learner_id!r}"
+            ) from None
+
+    def answer(
+        self, learner_id: str, exam_id: str, item_id: str, response: object
+    ) -> ScoredResponse:
+        """Record an answer: session event + CMI interaction + monitor poll."""
+        sitting = self.sitting(learner_id, exam_id)
+        sitting.session.answer(item_id, response)
+        item = sitting.session.exam.item(item_id)
+        scored = item.score(response)
+        index = sitting.interaction_count
+        api = sitting.api
+        api.LMSSetValue(f"cmi.interactions.{index}.id", item_id)
+        api.LMSSetValue(
+            f"cmi.interactions.{index}.type", _interaction_type(item)
+        )
+        api.LMSSetValue(
+            f"cmi.interactions.{index}.student_response",
+            str(scored.selected) if scored.selected is not None else "",
+        )
+        if scored.correct is not None:
+            api.LMSSetValue(
+                f"cmi.interactions.{index}.result",
+                "correct" if scored.correct else "wrong",
+            )
+        sitting.interaction_count += 1
+        self.tracking.record(
+            EventKind.ANSWERED,
+            learner_id,
+            exam_id,
+            self.clock.now(),
+            detail=item_id,
+        )
+        self.monitor.poll(
+            learner_id, exam_id, sitting.session.elapsed_seconds()
+        )
+        return scored
+
+    def suspend(self, learner_id: str, exam_id: str) -> None:
+        """Pause a sitting; commits SCORM suspend data."""
+        sitting = self.sitting(learner_id, exam_id)
+        sitting.session.suspend()
+        api = sitting.api
+        api.LMSSetValue("cmi.core.exit", "suspend")
+        api.LMSSetValue(
+            "cmi.suspend_data",
+            f"answered={len(sitting.session.answered_item_ids())}",
+        )
+        api.LMSCommit("")
+        self.tracking.record(
+            EventKind.SUSPENDED, learner_id, exam_id, self.clock.now()
+        )
+
+    def resume(self, learner_id: str, exam_id: str) -> None:
+        """Continue a suspended sitting (resumable exams only)."""
+        sitting = self.sitting(learner_id, exam_id)
+        sitting.session.resume()
+        self.tracking.record(
+            EventKind.RESUMED, learner_id, exam_id, self.clock.now()
+        )
+
+    def submit(self, learner_id: str, exam_id: str) -> GradedSitting:
+        """Close and grade a sitting; updates CMI core and learner record."""
+        sitting = self.sitting(learner_id, exam_id)
+        sitting.session.submit()
+        graded = grade_session(sitting.session)
+        api = sitting.api
+        api.LMSSetValue("cmi.core.score.raw", f"{graded.percent:.1f}")
+        api.LMSSetValue("cmi.core.score.min", "0")
+        api.LMSSetValue("cmi.core.score.max", "100")
+        status = _lesson_status(graded)
+        api.LMSSetValue("cmi.core.lesson_status", status)
+        api.LMSFinish("")
+        self._results.setdefault(exam_id, []).append(graded)
+        self.learners.get(learner_id).record_result(
+            exam_id, status, graded.percent
+        )
+        self.tracking.record(
+            EventKind.SUBMITTED, learner_id, exam_id, self.clock.now()
+        )
+        self.tracking.record(
+            EventKind.GRADED,
+            learner_id,
+            exam_id,
+            self.clock.now(),
+            detail=f"{graded.percent:.1f}%",
+        )
+        return graded
+
+    # -- results & analysis -----------------------------------------------------
+
+    def results_for(self, exam_id: str) -> List[GradedSitting]:
+        """Every graded sitting of an exam, submission order."""
+        return list(self._results.get(exam_id, ()))
+
+    def questionnaire_summaries(self, exam_id: str):
+        """Tabulate every questionnaire item's responses (§3.2 VI).
+
+        Returns one :class:`~repro.core.questionnaire_analysis.
+        QuestionnaireSummary` per questionnaire item, over all submitted
+        sittings."""
+        from repro.core.questionnaire_analysis import tabulate_questionnaire
+        from repro.items.questionnaire import QuestionnaireItem
+
+        exam = self.exam(exam_id)
+        sittings = self.results_for(exam_id)
+        summaries = []
+        for item in exam.items:
+            if not isinstance(item, QuestionnaireItem):
+                continue
+            responses = [
+                sitting.scores[item.item_id].selected
+                if item.item_id in sitting.scores
+                else None
+                for sitting in sittings
+            ]
+            summaries.append(
+                tabulate_questionnaire(item.question, responses, item.scale)
+            )
+        return summaries
+
+    def analyze_exam(self, exam_id: str) -> CohortAnalysis:
+        """Run the §4.1 analysis over every submitted sitting."""
+        exam = self.exam(exam_id)
+        responses = sittings_to_responses(exam, self.results_for(exam_id))
+        return analyze_cohort(responses, exam.question_specs())
+
+    def report_for(
+        self, exam_id: str, concepts: Optional[List[str]] = None
+    ) -> AssessmentReport:
+        """The full §4 report: number/signal analysis, figures, spec table."""
+        exam = self.exam(exam_id)
+        sittings = self.results_for(exam_id)
+        responses = sittings_to_responses(exam, sittings)
+        specs = exam.question_specs()
+        cohort = analyze_cohort(responses, specs)
+        correct_flags = {
+            response.examinee_id: [
+                selection == spec.correct
+                for selection, spec in zip(response.selections, specs)
+            ]
+            for response in responses
+        }
+        answer_times = [sitting.answer_times for sitting in sittings]
+        return build_report(
+            exam.title,
+            cohort,
+            correct_flags=correct_flags,
+            answer_times=answer_times,
+            time_limit_seconds=exam.time_limit_seconds,
+            spec_table=exam.specification_table(concepts=concepts),
+            specs=specs,
+        )
+
+
+def _interaction_type(item) -> str:
+    from repro.items.choice import MultipleChoiceItem
+    from repro.items.completion import CompletionItem
+    from repro.items.matching import MatchItem
+    from repro.items.questionnaire import QuestionnaireItem
+    from repro.items.truefalse import TrueFalseItem
+
+    if isinstance(item, MultipleChoiceItem):
+        return "choice"
+    if isinstance(item, TrueFalseItem):
+        return "true-false"
+    if isinstance(item, CompletionItem):
+        return "fill-in"
+    if isinstance(item, MatchItem):
+        return "matching"
+    if isinstance(item, QuestionnaireItem):
+        return "likert"
+    return "performance"
+
+
+def _lesson_status(graded: GradedSitting) -> str:
+    if not graded.is_fully_graded():
+        return "incomplete"
+    return "passed" if graded.percent >= 60.0 else "failed"

@@ -1,0 +1,162 @@
+"""LMS state persistence.
+
+A real LMS survives restarts.  This module serializes the durable parts
+of an :class:`~repro.lms.lms.Lms` — offered exams, learners with their
+progress, enrollment, graded results, and the tracking log — to a JSON
+file and restores them.  In-flight sittings and SCORM API instances are
+deliberately *not* persisted (they are live conversations; on restart a
+learner relaunches and, for resumable exams, the RTE suspend data brings
+them back), matching how browser-based LMSes behave.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.errors import BankError
+from repro.bank.exambank import exam_from_record, exam_to_record
+from repro.delivery.scoring import GradedSitting
+from repro.items.responses import ScoredResponse
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.lms.tracking import EventKind
+
+__all__ = ["save_lms", "load_lms"]
+
+_FORMAT = "mine-lms-v1"
+
+
+def _scored_to_record(score: ScoredResponse) -> Dict[str, object]:
+    return {
+        "points": score.points,
+        "max_points": score.max_points,
+        "correct": score.correct,
+        "needs_manual_grading": score.needs_manual_grading,
+        "selected": score.selected,
+    }
+
+
+def _scored_from_record(record: Dict[str, object]) -> ScoredResponse:
+    return ScoredResponse(
+        points=float(record["points"]),
+        max_points=float(record["max_points"]),
+        correct=record.get("correct"),
+        needs_manual_grading=bool(record.get("needs_manual_grading", False)),
+        selected=record.get("selected"),
+    )
+
+
+def save_lms(lms: Lms, path: "str | Path") -> None:
+    """Write the LMS's durable state to a JSON file."""
+    learners: List[Dict[str, object]] = []
+    for learner in lms.learners:
+        learners.append(
+            {
+                "learner_id": learner.learner_id,
+                "name": learner.name,
+                "email": learner.email,
+                "course_status": dict(learner.course_status),
+                "course_scores": dict(learner.course_scores),
+            }
+        )
+    results: Dict[str, List[Dict[str, object]]] = {}
+    for exam_id in lms.offered_exams():
+        sittings = []
+        for sitting in lms.results_for(exam_id):
+            sittings.append(
+                {
+                    "learner_id": sitting.learner_id,
+                    "duration_seconds": sitting.duration_seconds,
+                    "answer_times": list(sitting.answer_times),
+                    "scores": {
+                        item_id: _scored_to_record(score)
+                        for item_id, score in sitting.scores.items()
+                    },
+                }
+            )
+        results[exam_id] = sittings
+    events = [
+        {
+            "kind": event.kind.value,
+            "learner_id": event.learner_id,
+            "course_id": event.course_id,
+            "timestamp": event.timestamp,
+            "detail": event.detail,
+        }
+        for event in lms.tracking
+    ]
+    payload = {
+        "format": _FORMAT,
+        "exams": [exam_to_record(lms.exam(e)) for e in lms.offered_exams()],
+        "learners": learners,
+        "enrollment": {
+            exam_id: sorted(lms.enrolled(exam_id))
+            for exam_id in lms.offered_exams()
+        },
+        "results": results,
+        "tracking": events,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_lms(path: "str | Path", clock=None) -> Lms:
+    """Restore an LMS from a file written by :func:`save_lms`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise BankError(f"LMS state file does not exist: {file_path}")
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BankError(f"LMS state file is not valid JSON: {exc}") from exc
+    if payload.get("format") != _FORMAT:
+        raise BankError(
+            f"unrecognized LMS state format: {payload.get('format')!r}"
+        )
+    lms = Lms(clock=clock)
+    for record in payload.get("exams", []):
+        lms.offer_exam(exam_from_record(record))
+    for record in payload.get("learners", []):
+        learner = Learner(
+            learner_id=record["learner_id"],
+            name=record.get("name", ""),
+            email=record.get("email", ""),
+            course_status=dict(record.get("course_status", {})),
+            course_scores={
+                key: float(value)
+                for key, value in record.get("course_scores", {}).items()
+            },
+        )
+        lms.learners.register(learner)
+    for exam_id, learner_ids in payload.get("enrollment", {}).items():
+        for learner_id in learner_ids:
+            if exam_id in lms._exams and learner_id in lms.learners:
+                lms._enrollment[exam_id].add(learner_id)
+    for exam_id, sittings in payload.get("results", {}).items():
+        restored = []
+        for record in sittings:
+            restored.append(
+                GradedSitting(
+                    exam_id=exam_id,
+                    learner_id=record["learner_id"],
+                    scores={
+                        item_id: _scored_from_record(score)
+                        for item_id, score in record.get("scores", {}).items()
+                    },
+                    duration_seconds=float(record.get("duration_seconds", 0.0)),
+                    answer_times=[
+                        float(v) for v in record.get("answer_times", [])
+                    ],
+                )
+            )
+        lms._results[exam_id] = restored
+    for record in payload.get("tracking", []):
+        lms.tracking.record(
+            EventKind(record["kind"]),
+            record.get("learner_id", ""),
+            record.get("course_id", ""),
+            float(record.get("timestamp", 0.0)),
+            detail=record.get("detail", ""),
+        )
+    return lms

@@ -1,0 +1,96 @@
+"""The tracking service (paper §2.4: "tracking service").
+
+Every notable learner action — enrollment, launch, answer, suspend,
+resume, submit, monitor capture — is appended to an event log the LMS and
+the exam monitor query.  Events carry a logical timestamp from the
+delivery clock so simulated and real runs share one code path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["EventKind", "TrackingEvent", "TrackingService"]
+
+
+class EventKind(enum.Enum):
+    """The tracked action types."""
+    ENROLLED = "enrolled"
+    LAUNCHED = "launched"
+    ANSWERED = "answered"
+    SUSPENDED = "suspended"
+    RESUMED = "resumed"
+    SUBMITTED = "submitted"
+    GRADED = "graded"
+    MONITOR_CAPTURE = "monitor_capture"
+    COMMITTED = "committed"
+
+
+@dataclass(frozen=True)
+class TrackingEvent:
+    """One tracked action."""
+
+    kind: EventKind
+    learner_id: str
+    course_id: str
+    timestamp: float
+    detail: str = ""
+
+
+class TrackingService:
+    """An append-only event log with simple query methods."""
+
+    def __init__(self) -> None:
+        self._events: List[TrackingEvent] = []
+
+    def record(
+        self,
+        kind: EventKind,
+        learner_id: str,
+        course_id: str,
+        timestamp: float,
+        detail: str = "",
+    ) -> TrackingEvent:
+        """Append one event to the log and return it."""
+        event = TrackingEvent(
+            kind=kind,
+            learner_id=learner_id,
+            course_id=course_id,
+            timestamp=timestamp,
+            detail=detail,
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TrackingEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: Optional[EventKind] = None,
+        learner_id: Optional[str] = None,
+        course_id: Optional[str] = None,
+    ) -> List[TrackingEvent]:
+        """Filtered view of the log, in append order."""
+        result = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if learner_id is not None and event.learner_id != learner_id:
+                continue
+            if course_id is not None and event.course_id != course_id:
+                continue
+            result.append(event)
+        return result
+
+    def counts_by_kind(self) -> Dict[EventKind, int]:
+        """Event totals per kind."""
+        counts: Dict[EventKind, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

@@ -1,0 +1,98 @@
+"""Learner transcripts.
+
+The learner-facing record of §5.5's "learner record, learner progress,
+learner status": every exam a learner has taken, their best score and
+status per exam, attempt counts from the SCORM RTE, and a text rendering
+suitable for the learner portal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import NotFoundError
+from repro.lms.lms import Lms
+
+__all__ = ["TranscriptRow", "Transcript", "build_transcript"]
+
+
+@dataclass(frozen=True)
+class TranscriptRow:
+    """One exam's line on a transcript."""
+
+    exam_id: str
+    exam_title: str
+    status: str
+    best_score_percent: Optional[float]
+    attempts: int
+    sittings: int
+
+
+@dataclass
+class Transcript:
+    """A learner's complete course record."""
+
+    learner_id: str
+    learner_name: str
+    rows: List[TranscriptRow]
+
+    @property
+    def passed_count(self) -> int:
+        """How many exams on the transcript were passed."""
+        return sum(1 for row in self.rows if row.status == "passed")
+
+    def render(self) -> str:
+        """The transcript as learner-portal text."""
+        lines = [f"Transcript - {self.learner_name} ({self.learner_id})"]
+        if not self.rows:
+            lines.append("  (no exams taken)")
+            return "\n".join(lines)
+        for row in self.rows:
+            score = (
+                f"{row.best_score_percent:.0f}%"
+                if row.best_score_percent is not None
+                else "-"
+            )
+            lines.append(
+                f"  {row.exam_title:<30} {row.status:<13} best {score:>5}  "
+                f"attempts {row.attempts}"
+            )
+        lines.append(
+            f"  {self.passed_count} of {len(self.rows)} exams passed"
+        )
+        return "\n".join(lines)
+
+
+def build_transcript(lms: Lms, learner_id: str) -> Transcript:
+    """Assemble a learner's transcript from LMS and RTE records.
+
+    Rows cover every exam the learner has a recorded result or attempt
+    for, in the LMS's offering order; exams merely enrolled in but never
+    attempted are listed as "not attempted".
+    """
+    learner = lms.learners.get(learner_id)  # raises NotFoundError
+    rows: List[TranscriptRow] = []
+    for exam_id in lms.offered_exams():
+        if learner_id not in lms.enrolled(exam_id):
+            continue
+        exam = lms.exam(exam_id)
+        sittings = [
+            sitting
+            for sitting in lms.results_for(exam_id)
+            if sitting.learner_id == learner_id
+        ]
+        attempt_record = lms.rte.record(learner_id, exam_id)
+        rows.append(
+            TranscriptRow(
+                exam_id=exam_id,
+                exam_title=exam.title,
+                status=learner.status_for(exam_id),
+                best_score_percent=learner.course_scores.get(exam_id),
+                attempts=attempt_record.attempts,
+                sittings=len(sittings),
+            )
+        )
+    return Transcript(
+        learner_id=learner_id, learner_name=learner.name, rows=rows
+    )

@@ -1,0 +1,57 @@
+"""The SCORM substrate (paper §2.4, §5.5): CMI data model, run-time API,
+content packaging with imsmanifest.xml, and the external repository."""
+
+from repro.scorm.api import ApiAdapter, ApiState
+from repro.scorm.datamodel import CMI_VOCABULARIES, CmiDataModel
+from repro.scorm.errors import ERROR_STRINGS, ScormError
+from repro.scorm.course import (
+    Block,
+    Course,
+    Sco,
+    course_to_organization,
+    organization_to_course,
+)
+from repro.scorm.manifest import (
+    Manifest,
+    ManifestItem,
+    Organization,
+    Resource,
+    manifest_from_xml,
+    manifest_to_xml,
+)
+from repro.scorm.package import (
+    API_WRAPPER_JS,
+    ContentPackage,
+    extract_exam,
+    package_exam,
+)
+from repro.scorm.repository import CatalogEntry, PackageRepository
+from repro.scorm.rte import AttemptRecord, RunTimeEnvironment
+
+__all__ = [
+    "Course",
+    "Block",
+    "Sco",
+    "course_to_organization",
+    "organization_to_course",
+    "ScormError",
+    "ERROR_STRINGS",
+    "CmiDataModel",
+    "CMI_VOCABULARIES",
+    "ApiAdapter",
+    "ApiState",
+    "Manifest",
+    "ManifestItem",
+    "Organization",
+    "Resource",
+    "manifest_to_xml",
+    "manifest_from_xml",
+    "package_exam",
+    "ContentPackage",
+    "extract_exam",
+    "API_WRAPPER_JS",
+    "PackageRepository",
+    "CatalogEntry",
+    "RunTimeEnvironment",
+    "AttemptRecord",
+]

@@ -1,0 +1,169 @@
+"""Course hierarchy and structure (paper §2.2).
+
+"In an e-learning environment, course structure will effect on the
+learning resource transformation ... the previous idea is
+content-block-sco.  With the AICC nomenclature, the course structure is
+divided into two elements."
+
+This module models that hierarchy: a :class:`Course` is a tree of
+:class:`Block` nodes (AICC's structural element) whose leaves are
+:class:`Sco` assignable units.  The tree maps directly onto a manifest
+organization (:func:`course_to_organization`), which is how a course
+structure travels inside a content package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Union
+
+from repro.core.errors import AuthoringError, NotFoundError
+from repro.scorm.manifest import ManifestItem, Organization
+
+__all__ = ["Sco", "Block", "Course", "course_to_organization", "organization_to_course"]
+
+
+@dataclass
+class Sco:
+    """An assignable unit: the launchable leaf of the course tree."""
+
+    sco_id: str
+    title: str
+    resource_id: str = ""
+    #: mastery score (percent) the learner must reach, if any
+    mastery_score: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.sco_id:
+            raise AuthoringError("sco_id must be non-empty")
+        if self.mastery_score is not None and not 0 <= self.mastery_score <= 100:
+            raise AuthoringError(
+                f"mastery score must be a percent, got {self.mastery_score}"
+            )
+
+
+@dataclass
+class Block:
+    """A structural grouping: AICC's "block" element (chapter, unit, ...)."""
+
+    block_id: str
+    title: str
+    children: List[Union["Block", Sco]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.block_id:
+            raise AuthoringError("block_id must be non-empty")
+
+    def add(self, child: Union["Block", Sco]) -> "Block":
+        """Append a child block or SCO; returns self for chaining."""
+        self.children.append(child)
+        return self
+
+    def walk(self) -> Iterator[Union["Block", Sco]]:
+        """Depth-first traversal of the subtree (excluding self)."""
+        for child in self.children:
+            yield child
+            if isinstance(child, Block):
+                yield from child.walk()
+
+
+@dataclass
+class Course:
+    """The content → block → SCO hierarchy of §2.2."""
+
+    course_id: str
+    title: str
+    root: Block = field(default_factory=lambda: Block(block_id="root", title="root"))
+
+    def __post_init__(self) -> None:
+        if not self.course_id:
+            raise AuthoringError("course_id must be non-empty")
+
+    def scos(self) -> List[Sco]:
+        """Every assignable unit in document order."""
+        return [node for node in self.root.walk() if isinstance(node, Sco)]
+
+    def blocks(self) -> List[Block]:
+        """Every structural block in document order."""
+        return [node for node in self.root.walk() if isinstance(node, Block)]
+
+    def find_sco(self, sco_id: str) -> Sco:
+        """The SCO with the given id; raises NotFoundError otherwise."""
+        for sco in self.scos():
+            if sco.sco_id == sco_id:
+                return sco
+        raise NotFoundError(f"course {self.course_id!r} has no SCO {sco_id!r}")
+
+    def validate(self) -> None:
+        """Unique ids across blocks and SCOs; at least one SCO."""
+        seen: set = set()
+        problems: List[str] = []
+        for node in self.root.walk():
+            identifier = (
+                node.sco_id if isinstance(node, Sco) else node.block_id
+            )
+            if identifier in seen:
+                problems.append(f"duplicate identifier {identifier!r}")
+            seen.add(identifier)
+        if not self.scos():
+            problems.append("course has no assignable units")
+        if problems:
+            raise AuthoringError(
+                f"course {self.course_id!r} invalid: " + "; ".join(problems)
+            )
+
+
+def course_to_organization(course: Course) -> Organization:
+    """Map a course tree onto a manifest ``<organization>``."""
+    course.validate()
+    return Organization(
+        identifier=f"org-{course.course_id}",
+        title=course.title,
+        items=[_node_to_item(child) for child in course.root.children],
+    )
+
+
+def _node_to_item(node: Union[Block, Sco]) -> ManifestItem:
+    if isinstance(node, Sco):
+        return ManifestItem(
+            identifier=f"item-{node.sco_id}",
+            title=node.title,
+            identifierref=node.resource_id or f"res-{node.sco_id}",
+        )
+    return ManifestItem(
+        identifier=f"item-{node.block_id}",
+        title=node.title,
+        children=[_node_to_item(child) for child in node.children],
+    )
+
+
+def organization_to_course(organization: Organization) -> Course:
+    """Rebuild a course tree from a manifest organization.
+
+    Items with an ``identifierref`` become SCOs; items with children
+    become blocks.  Identifier prefixes written by
+    :func:`course_to_organization` are stripped when present.
+    """
+    course_id = organization.identifier
+    if course_id.startswith("org-"):
+        course_id = course_id[len("org-"):]
+    course = Course(course_id=course_id, title=organization.title)
+    for item in organization.items:
+        course.root.add(_item_to_node(item))
+    return course
+
+
+def _item_to_node(item: ManifestItem) -> Union[Block, Sco]:
+    identifier = item.identifier
+    if identifier.startswith("item-"):
+        identifier = identifier[len("item-"):]
+    if item.identifierref is not None:
+        return Sco(
+            sco_id=identifier,
+            title=item.title,
+            resource_id=item.identifierref,
+        )
+    block = Block(block_id=identifier, title=item.title)
+    for child in item.children:
+        block.add(_item_to_node(child))
+    return block

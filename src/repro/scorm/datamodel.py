@@ -1,0 +1,328 @@
+"""The SCORM 1.2 CMI data model (paper §2.4, §5.5).
+
+The paper's Run-Time Environment contains a "data model" the API
+functions read and write: "learner record, learner progress, learner
+status".  This module implements the SCORM 1.2 ``cmi.*`` tree with the
+element semantics the specification defines:
+
+* read-only elements (``cmi.core.student_id``, ...) reject writes;
+* write-only elements (``cmi.core.exit``, ``cmi.core.session_time``)
+  reject reads;
+* ``_children`` pseudo-elements list a branch's children;
+* ``_count`` pseudo-elements report collection sizes;
+* vocabulary-typed elements (``lesson_status``, ``credit``, ...) validate
+  their values;
+* ``cmi.interactions.n.*`` and ``cmi.objectives.n.*`` collections grow by
+  writing index ``n == count``.
+
+The model is deliberately a faithful subset: the elements SCORM 1.2
+declares mandatory plus the interactions/objectives collections the
+assessment system needs for answer tracking.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.scorm.errors import ScormError
+
+__all__ = ["CmiDataModel", "CMI_VOCABULARIES"]
+
+#: Vocabularies for the enumerated CMI elements (SCORM 1.2 §3.4).
+CMI_VOCABULARIES: Dict[str, Tuple[str, ...]] = {
+    "cmi.core.lesson_status": (
+        "passed",
+        "completed",
+        "failed",
+        "incomplete",
+        "browsed",
+        "not attempted",
+    ),
+    "cmi.core.credit": ("credit", "no-credit"),
+    "cmi.core.entry": ("ab-initio", "resume", ""),
+    "cmi.core.exit": ("time-out", "suspend", "logout", ""),
+    "cmi.interactions.n.type": (
+        "true-false",
+        "choice",
+        "fill-in",
+        "matching",
+        "performance",
+        "sequencing",
+        "likert",
+        "numeric",
+    ),
+    "cmi.interactions.n.result": (
+        "correct",
+        "wrong",
+        "unanticipated",
+        "neutral",
+    ),
+}
+
+_TIMESPAN_RE = re.compile(r"^\d{2,4}:\d{2}:\d{2}(\.\d{1,2})?$")
+_DECIMAL_RE = re.compile(r"^-?\d+(\.\d+)?$")
+
+
+@dataclass
+class _Element:
+    """One scalar CMI element: its access mode and value type."""
+
+    readable: bool = True
+    writable: bool = True
+    vocabulary: Optional[str] = None  # key into CMI_VOCABULARIES
+    numeric_range: Optional[Tuple[float, float]] = None
+    timespan: bool = False
+    value: str = ""
+
+
+def _core_elements() -> Dict[str, _Element]:
+    return {
+        "cmi.core.student_id": _Element(writable=False),
+        "cmi.core.student_name": _Element(writable=False),
+        "cmi.core.lesson_location": _Element(),
+        "cmi.core.credit": _Element(
+            writable=False, vocabulary="cmi.core.credit", value="credit"
+        ),
+        "cmi.core.lesson_status": _Element(
+            vocabulary="cmi.core.lesson_status", value="not attempted"
+        ),
+        "cmi.core.entry": _Element(
+            writable=False, vocabulary="cmi.core.entry", value="ab-initio"
+        ),
+        "cmi.core.score.raw": _Element(numeric_range=(0.0, 100.0)),
+        "cmi.core.score.min": _Element(numeric_range=(0.0, 100.0)),
+        "cmi.core.score.max": _Element(numeric_range=(0.0, 100.0)),
+        "cmi.core.total_time": _Element(writable=False, value="0000:00:00"),
+        "cmi.core.exit": _Element(readable=False, vocabulary="cmi.core.exit"),
+        "cmi.core.session_time": _Element(readable=False, timespan=True),
+        "cmi.suspend_data": _Element(),
+        "cmi.launch_data": _Element(writable=False),
+        "cmi.comments": _Element(),
+        "cmi.comments_from_lms": _Element(writable=False),
+    }
+
+
+_CHILDREN: Dict[str, str] = {
+    "cmi.core._children": (
+        "student_id,student_name,lesson_location,credit,lesson_status,entry,"
+        "score,total_time,exit,session_time"
+    ),
+    "cmi.core.score._children": "raw,min,max",
+    "cmi.interactions._children": (
+        "id,objectives,time,type,correct_responses,weighting,"
+        "student_response,result,latency"
+    ),
+    "cmi.objectives._children": "id,score,status",
+}
+
+_INTERACTION_FIELDS = {
+    "id": _Element(readable=False),
+    "time": _Element(readable=False, timespan=False),
+    "type": _Element(readable=False, vocabulary="cmi.interactions.n.type"),
+    "weighting": _Element(readable=False),
+    "student_response": _Element(readable=False),
+    "result": _Element(readable=False, vocabulary="cmi.interactions.n.result"),
+    "latency": _Element(readable=False, timespan=True),
+}
+
+_OBJECTIVE_FIELDS = {
+    "id": _Element(),
+    "score.raw": _Element(numeric_range=(0.0, 100.0)),
+    "score.min": _Element(numeric_range=(0.0, 100.0)),
+    "score.max": _Element(numeric_range=(0.0, 100.0)),
+    "status": _Element(vocabulary="cmi.core.lesson_status"),
+}
+
+_INTERACTION_RE = re.compile(r"^cmi\.interactions\.(\d+)\.(.+)$")
+_OBJECTIVE_RE = re.compile(r"^cmi\.objectives\.(\d+)\.(.+)$")
+
+
+class CmiDataModel:
+    """A SCO's view of the CMI data model.
+
+    All operations return ``(value, error)`` pairs rather than raising:
+    the API adapter surfaces these as SCORM error codes, matching how the
+    JavaScript API behaves in a real LMS.
+    """
+
+    def __init__(
+        self,
+        student_id: str = "",
+        student_name: str = "",
+        launch_data: str = "",
+        entry: str = "ab-initio",
+        suspend_data: str = "",
+    ) -> None:
+        self._elements = _core_elements()
+        self._elements["cmi.core.student_id"].value = student_id
+        self._elements["cmi.core.student_name"].value = student_name
+        self._elements["cmi.launch_data"].value = launch_data
+        self._elements["cmi.core.entry"].value = entry
+        self._elements["cmi.suspend_data"].value = suspend_data
+        self._interactions: List[Dict[str, str]] = []
+        self._interaction_responses: List[List[str]] = []
+        self._objectives: List[Dict[str, str]] = []
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, element: str) -> Tuple[str, ScormError]:
+        """Read one element; returns (value, error_code)."""
+        if not element:
+            return "", ScormError.INVALID_ARGUMENT
+        if element in _CHILDREN:
+            return _CHILDREN[element], ScormError.NO_ERROR
+        if element == "cmi.interactions._count":
+            return str(len(self._interactions)), ScormError.NO_ERROR
+        if element == "cmi.objectives._count":
+            return str(len(self._objectives)), ScormError.NO_ERROR
+        if element.endswith("._count"):
+            return "", ScormError.ELEMENT_NOT_AN_ARRAY
+        if element.endswith("._children"):
+            return "", ScormError.INVALID_ARGUMENT
+
+        interaction = _INTERACTION_RE.match(element)
+        if interaction:
+            # SCORM 1.2 declares interaction elements write-only
+            index, fieldname = interaction.groups()
+            if int(index) < len(self._interactions) and (
+                fieldname in _INTERACTION_FIELDS
+                or fieldname.startswith("correct_responses")
+            ):
+                return "", ScormError.ELEMENT_IS_WRITE_ONLY
+            return "", ScormError.INVALID_ARGUMENT
+
+        objective = _OBJECTIVE_RE.match(element)
+        if objective:
+            index, fieldname = objective.groups()
+            position = int(index)
+            if position >= len(self._objectives) or fieldname not in _OBJECTIVE_FIELDS:
+                return "", ScormError.INVALID_ARGUMENT
+            return self._objectives[position].get(fieldname, ""), ScormError.NO_ERROR
+
+        scalar = self._elements.get(element)
+        if scalar is None:
+            return "", ScormError.INVALID_ARGUMENT
+        if not scalar.readable:
+            return "", ScormError.ELEMENT_IS_WRITE_ONLY
+        return scalar.value, ScormError.NO_ERROR
+
+    # -- writes ------------------------------------------------------------
+
+    def set(self, element: str, value: str) -> ScormError:
+        """Write one element; returns the error code."""
+        if not element:
+            return ScormError.INVALID_ARGUMENT
+        if element in _CHILDREN or element.endswith(("._children", "._count")):
+            return ScormError.INVALID_SET_VALUE
+
+        interaction = _INTERACTION_RE.match(element)
+        if interaction:
+            return self._set_interaction(interaction, value)
+        objective = _OBJECTIVE_RE.match(element)
+        if objective:
+            return self._set_objective(objective, value)
+
+        scalar = self._elements.get(element)
+        if scalar is None:
+            return ScormError.INVALID_ARGUMENT
+        if not scalar.writable:
+            return ScormError.ELEMENT_IS_READ_ONLY
+        check = self._type_check(scalar, element, value)
+        if check is not ScormError.NO_ERROR:
+            return check
+        scalar.value = value
+        return ScormError.NO_ERROR
+
+    def _type_check(
+        self, spec: _Element, element: str, value: str
+    ) -> ScormError:
+        if spec.vocabulary is not None:
+            if value not in CMI_VOCABULARIES[spec.vocabulary]:
+                return ScormError.INCORRECT_DATA_TYPE
+        if spec.numeric_range is not None:
+            if not _DECIMAL_RE.match(value):
+                return ScormError.INCORRECT_DATA_TYPE
+            low, high = spec.numeric_range
+            if not low <= float(value) <= high:
+                return ScormError.INCORRECT_DATA_TYPE
+        if spec.timespan and not _TIMESPAN_RE.match(value):
+            return ScormError.INCORRECT_DATA_TYPE
+        return ScormError.NO_ERROR
+
+    def _set_interaction(self, match: "re.Match", value: str) -> ScormError:
+        index, fieldname = match.groups()
+        position = int(index)
+        if position > len(self._interactions):
+            return ScormError.INVALID_ARGUMENT  # must grow contiguously
+        if position == len(self._interactions):
+            self._interactions.append({})
+            self._interaction_responses.append([])
+        correct = re.match(r"^correct_responses\.(\d+)\.pattern$", fieldname)
+        if correct:
+            response_index = int(correct.group(1))
+            responses = self._interaction_responses[position]
+            if response_index > len(responses):
+                return ScormError.INVALID_ARGUMENT
+            if response_index == len(responses):
+                responses.append(value)
+            else:
+                responses[response_index] = value
+            return ScormError.NO_ERROR
+        spec = _INTERACTION_FIELDS.get(fieldname)
+        if spec is None:
+            return ScormError.INVALID_ARGUMENT
+        check = self._type_check(spec, fieldname, value)
+        if check is not ScormError.NO_ERROR:
+            return check
+        self._interactions[position][fieldname] = value
+        return ScormError.NO_ERROR
+
+    def _set_objective(self, match: "re.Match", value: str) -> ScormError:
+        index, fieldname = match.groups()
+        position = int(index)
+        if position > len(self._objectives):
+            return ScormError.INVALID_ARGUMENT
+        if position == len(self._objectives):
+            self._objectives.append({})
+        spec = _OBJECTIVE_FIELDS.get(fieldname)
+        if spec is None:
+            return ScormError.INVALID_ARGUMENT
+        check = self._type_check(spec, fieldname, value)
+        if check is not ScormError.NO_ERROR:
+            return check
+        self._objectives[position][fieldname] = value
+        return ScormError.NO_ERROR
+
+    # -- snapshots -----------------------------------------------------------
+
+    def interactions(self) -> List[Dict[str, object]]:
+        """The recorded interactions (for LMS-side tracking)."""
+        result: List[Dict[str, object]] = []
+        for record, responses in zip(
+            self._interactions, self._interaction_responses
+        ):
+            combined: Dict[str, object] = dict(record)
+            combined["correct_responses"] = list(responses)
+            result.append(combined)
+        return result
+
+    def objectives(self) -> List[Dict[str, str]]:
+        """The recorded objectives (copies, safe to mutate)."""
+        return [dict(record) for record in self._objectives]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything the SCO wrote, for LMS persistence on commit."""
+        return {
+            "core": {
+                name.rsplit(".", 1)[-1] if "score" not in name else name[len("cmi.core."):]:
+                    spec.value
+                for name, spec in self._elements.items()
+                if name.startswith("cmi.core.")
+            },
+            "suspend_data": self._elements["cmi.suspend_data"].value,
+            "comments": self._elements["cmi.comments"].value,
+            "interactions": self.interactions(),
+            "objectives": self.objectives(),
+        }

@@ -1,0 +1,46 @@
+"""SCORM 1.2 run-time API error codes.
+
+The paper (§5.5) notes that SCORM content needs "error handler (ex. error
+message transfer, error status record, error dialog)" functions.  These
+are the standard AICC/SCORM 1.2 error codes returned by
+``LMSGetLastError`` and described by ``LMSGetErrorString``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+__all__ = ["ScormError", "ERROR_STRINGS"]
+
+
+class ScormError(enum.IntEnum):
+    """The SCORM 1.2 API error code vocabulary."""
+
+    NO_ERROR = 0
+    GENERAL_EXCEPTION = 101
+    INVALID_ARGUMENT = 201
+    ELEMENT_CANNOT_HAVE_CHILDREN = 202
+    ELEMENT_NOT_AN_ARRAY = 203
+    NOT_INITIALIZED = 301
+    NOT_IMPLEMENTED = 401
+    INVALID_SET_VALUE = 402
+    ELEMENT_IS_READ_ONLY = 403
+    ELEMENT_IS_WRITE_ONLY = 404
+    INCORRECT_DATA_TYPE = 405
+
+
+#: Human-readable descriptions, per the SCORM 1.2 RTE specification.
+ERROR_STRINGS: Dict[ScormError, str] = {
+    ScormError.NO_ERROR: "No error",
+    ScormError.GENERAL_EXCEPTION: "General exception",
+    ScormError.INVALID_ARGUMENT: "Invalid argument error",
+    ScormError.ELEMENT_CANNOT_HAVE_CHILDREN: "Element cannot have children",
+    ScormError.ELEMENT_NOT_AN_ARRAY: "Element not an array - cannot have count",
+    ScormError.NOT_INITIALIZED: "Not initialized",
+    ScormError.NOT_IMPLEMENTED: "Not implemented error",
+    ScormError.INVALID_SET_VALUE: "Invalid set value, element is a keyword",
+    ScormError.ELEMENT_IS_READ_ONLY: "Element is read only",
+    ScormError.ELEMENT_IS_WRITE_ONLY: "Element is write only",
+    ScormError.INCORRECT_DATA_TYPE: "Incorrect data type",
+}

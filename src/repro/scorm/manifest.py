@@ -1,0 +1,324 @@
+"""imsmanifest.xml: the SCORM content-package manifest (paper §5.5).
+
+"A main description is an xml file called imsmanifest.xml.  With this
+imsmanifest.xml, we can parse the whole course structure."
+
+The model follows the IMS Content Packaging structure SCORM 1.2 adopts:
+
+* a ``<manifest>`` with an identifier;
+* ``<organizations>`` holding one or more ``<organization>`` trees of
+  ``<item>`` nodes, leaves referencing resources via ``identifierref``;
+* ``<resources>`` listing ``<resource>`` entries (type, scormtype, href)
+  with their ``<file>`` members and optional metadata file references.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import ManifestError
+
+__all__ = [
+    "ManifestItem",
+    "Organization",
+    "Resource",
+    "Manifest",
+    "manifest_to_xml",
+    "manifest_from_xml",
+]
+
+
+@dataclass
+class ManifestItem:
+    """One node in an organization tree."""
+
+    identifier: str
+    title: str
+    identifierref: Optional[str] = None  # leaf -> resource
+    children: List["ManifestItem"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.identifier:
+            raise ManifestError("manifest item identifier must be non-empty")
+        if self.identifierref is not None and self.children:
+            raise ManifestError(
+                f"item {self.identifier!r} cannot both reference a resource "
+                f"and have children"
+            )
+
+    def walk(self):
+        """Yield this item and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class Organization:
+    """One course structure tree."""
+
+    identifier: str
+    title: str
+    items: List[ManifestItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.identifier:
+            raise ManifestError("organization identifier must be non-empty")
+
+    def walk(self):
+        """Yield every item in the organization, depth-first."""
+        for item in self.items:
+            yield from item.walk()
+
+
+@dataclass
+class Resource:
+    """One packaged resource and its files."""
+
+    identifier: str
+    href: str
+    scorm_type: str = "sco"  # "sco" or "asset"
+    resource_type: str = "webcontent"
+    files: List[str] = field(default_factory=list)
+    metadata_href: Optional[str] = None
+    dependencies: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.identifier:
+            raise ManifestError("resource identifier must be non-empty")
+        if self.scorm_type not in ("sco", "asset"):
+            raise ManifestError(
+                f"resource {self.identifier!r}: scorm_type must be 'sco' or "
+                f"'asset', got {self.scorm_type!r}"
+            )
+        if self.href and self.href not in self.files:
+            self.files.insert(0, self.href)
+
+
+@dataclass
+class Manifest:
+    """The whole imsmanifest.xml document."""
+
+    identifier: str
+    organizations: List[Organization] = field(default_factory=list)
+    resources: List[Resource] = field(default_factory=list)
+    default_organization: Optional[str] = None
+    schema_version: str = "1.2"
+
+    def __post_init__(self) -> None:
+        if not self.identifier:
+            raise ManifestError("manifest identifier must be non-empty")
+
+    def validate(self) -> None:
+        """Check referential integrity: unique ids, every identifierref
+        resolving to a resource, the default organization existing."""
+        problems: List[str] = []
+        resource_ids = [resource.identifier for resource in self.resources]
+        if len(set(resource_ids)) != len(resource_ids):
+            problems.append("duplicate resource identifiers")
+        organization_ids = [org.identifier for org in self.organizations]
+        if len(set(organization_ids)) != len(organization_ids):
+            problems.append("duplicate organization identifiers")
+        if (
+            self.default_organization is not None
+            and self.default_organization not in organization_ids
+        ):
+            problems.append(
+                f"default organization {self.default_organization!r} does "
+                f"not exist"
+            )
+        known_resources = set(resource_ids)
+        item_ids: Dict[str, None] = {}
+        for organization in self.organizations:
+            for item in organization.walk():
+                if item.identifier in item_ids:
+                    problems.append(f"duplicate item identifier {item.identifier!r}")
+                item_ids[item.identifier] = None
+                if (
+                    item.identifierref is not None
+                    and item.identifierref not in known_resources
+                ):
+                    problems.append(
+                        f"item {item.identifier!r} references missing "
+                        f"resource {item.identifierref!r}"
+                    )
+        for resource in self.resources:
+            for dependency in resource.dependencies:
+                if dependency not in known_resources:
+                    problems.append(
+                        f"resource {resource.identifier!r} depends on missing "
+                        f"resource {dependency!r}"
+                    )
+        if problems:
+            raise ManifestError(
+                "manifest validation failed: " + "; ".join(problems)
+            )
+
+    def resource(self, identifier: str) -> Resource:
+        """The resource with the given identifier; ManifestError otherwise."""
+        for candidate in self.resources:
+            if candidate.identifier == identifier:
+                return candidate
+        raise ManifestError(f"no resource {identifier!r} in manifest")
+
+    def all_files(self) -> List[str]:
+        """Every file any resource declares (deduplicated, in order)."""
+        seen: Dict[str, None] = {}
+        for resource in self.resources:
+            for filename in resource.files:
+                seen.setdefault(filename, None)
+            if resource.metadata_href:
+                seen.setdefault(resource.metadata_href, None)
+        return list(seen)
+
+
+# --------------------------------------------------------------------------
+# XML binding
+# --------------------------------------------------------------------------
+
+
+#: The ADL control namespace SCORM 1.2 uses for scormtype/location.
+ADLCP_NS = "http://www.adlnet.org/xsd/adlcp_rootv1p2"
+
+
+def manifest_to_xml(manifest: Manifest) -> str:
+    """Serialize to imsmanifest.xml text."""
+    root = ET.Element(
+        "manifest",
+        attrib={
+            "identifier": manifest.identifier,
+            "version": "1.1",
+            "xmlns:adlcp": ADLCP_NS,
+        },
+    )
+    metadata = ET.SubElement(root, "metadata")
+    schema = ET.SubElement(metadata, "schema")
+    schema.text = "ADL SCORM"
+    schemaversion = ET.SubElement(metadata, "schemaversion")
+    schemaversion.text = manifest.schema_version
+
+    organizations_attrib = {}
+    if manifest.default_organization is not None:
+        organizations_attrib["default"] = manifest.default_organization
+    organizations = ET.SubElement(root, "organizations", organizations_attrib)
+    for organization in manifest.organizations:
+        org_el = ET.SubElement(
+            organizations,
+            "organization",
+            attrib={"identifier": organization.identifier},
+        )
+        title = ET.SubElement(org_el, "title")
+        title.text = organization.title
+        for item in organization.items:
+            _item_to_xml(org_el, item)
+
+    resources = ET.SubElement(root, "resources")
+    for resource in manifest.resources:
+        attrib = {
+            "identifier": resource.identifier,
+            "type": resource.resource_type,
+            "adlcp:scormtype": resource.scorm_type,
+        }
+        if resource.href:
+            attrib["href"] = resource.href
+        resource_el = ET.SubElement(resources, "resource", attrib)
+        if resource.metadata_href:
+            metadata_el = ET.SubElement(resource_el, "metadata")
+            adlcp = ET.SubElement(metadata_el, "adlcp:location")
+            adlcp.text = resource.metadata_href
+        for filename in resource.files:
+            ET.SubElement(resource_el, "file", attrib={"href": filename})
+        for dependency in resource.dependencies:
+            ET.SubElement(
+                resource_el, "dependency", attrib={"identifierref": dependency}
+            )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _item_to_xml(parent: ET.Element, item: ManifestItem) -> None:
+    attrib = {"identifier": item.identifier}
+    if item.identifierref is not None:
+        attrib["identifierref"] = item.identifierref
+    item_el = ET.SubElement(parent, "item", attrib)
+    title = ET.SubElement(item_el, "title")
+    title.text = item.title
+    for child in item.children:
+        _item_to_xml(item_el, child)
+
+
+def manifest_from_xml(text: str) -> Manifest:
+    """Parse imsmanifest.xml text back into a :class:`Manifest`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ManifestError(f"malformed imsmanifest.xml: {exc}") from exc
+    if root.tag != "manifest":
+        raise ManifestError(f"expected <manifest> root, got <{root.tag}>")
+    identifier = root.get("identifier", "")
+    schema_version = root.findtext("metadata/schemaversion", "1.2")
+
+    organizations: List[Organization] = []
+    organizations_el = root.find("organizations")
+    default_organization = None
+    if organizations_el is not None:
+        default_organization = organizations_el.get("default")
+        for org_el in organizations_el.findall("organization"):
+            organizations.append(
+                Organization(
+                    identifier=org_el.get("identifier", ""),
+                    title=org_el.findtext("title", ""),
+                    items=[
+                        _item_from_xml(item_el)
+                        for item_el in org_el.findall("item")
+                    ],
+                )
+            )
+
+    resources: List[Resource] = []
+    resources_el = root.find("resources")
+    if resources_el is not None:
+        for resource_el in resources_el.findall("resource"):
+            scorm_type = (
+                resource_el.get(f"{{{ADLCP_NS}}}scormtype")
+                or resource_el.get("adlcp:scormtype")
+                or "asset"
+            )
+            resources.append(
+                Resource(
+                    identifier=resource_el.get("identifier", ""),
+                    href=resource_el.get("href", ""),
+                    scorm_type=scorm_type,
+                    resource_type=resource_el.get("type", "webcontent"),
+                    files=[
+                        file_el.get("href", "")
+                        for file_el in resource_el.findall("file")
+                    ],
+                    metadata_href=resource_el.findtext(
+                        f"metadata/{{{ADLCP_NS}}}location"
+                    ),
+                    dependencies=[
+                        dep.get("identifierref", "")
+                        for dep in resource_el.findall("dependency")
+                    ],
+                )
+            )
+    manifest = Manifest(
+        identifier=identifier,
+        organizations=organizations,
+        resources=resources,
+        default_organization=default_organization,
+        schema_version=schema_version,
+    )
+    return manifest
+
+
+def _item_from_xml(item_el: ET.Element) -> ManifestItem:
+    return ManifestItem(
+        identifier=item_el.get("identifier", ""),
+        title=item_el.findtext("title", ""),
+        identifierref=item_el.get("identifierref"),
+        children=[_item_from_xml(child) for child in item_el.findall("item")],
+    )

@@ -1,0 +1,241 @@
+"""SCORM content packages and the §5.5 output service.
+
+"In order to share the material of our problem and exam, our system
+provides SCORM format package output service.  The service can package
+the original problem and exam files to SCORM compatible files."
+
+A content package is a zip (the Package Interchange File) whose root
+holds ``imsmanifest.xml``; every content file the manifest references is
+inside.  Per the paper, "each file ... has a descriptive xml file with
+the same level in the course structure" — the output service writes one
+MINE metadata XML per item file — and "java script files to communicate
+with API and learning management system are necessary", so the package
+carries an ``APIWrapper.js`` (a faithful, minimal LMS-API locator script).
+
+:func:`package_exam` is the output service; :class:`ContentPackage`
+reads/validates a package; :func:`extract_exam` restores the exam on the
+import side.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.errors import PackagingError
+from repro.core.metadata_xml import to_xml as metadata_to_xml
+from repro.bank.exambank import exam_from_record, exam_to_record
+from repro.exams.exam import Exam
+from repro.items.qti import item_to_qti_xml
+from repro.scorm.manifest import (
+    Manifest,
+    ManifestItem,
+    Organization,
+    Resource,
+    manifest_from_xml,
+    manifest_to_xml,
+)
+
+__all__ = ["package_exam", "ContentPackage", "extract_exam", "API_WRAPPER_JS"]
+
+#: Minimal but real SCORM 1.2 API locator script, included in every
+#: package per §5.5 ("Without these java scripts, the learning management
+#: can't find the API to communicate").
+API_WRAPPER_JS = """\
+// SCORM 1.2 API locator (MINE assessment packages)
+var apiHandle = null;
+function findAPI(win) {
+  var tries = 0;
+  while ((win.API == null) && (win.parent != null) && (win.parent != win)) {
+    tries++;
+    if (tries > 7) { return null; }
+    win = win.parent;
+  }
+  return win.API;
+}
+function getAPI() {
+  if (apiHandle == null) {
+    apiHandle = findAPI(window);
+    if ((apiHandle == null) && (window.opener != null)) {
+      apiHandle = findAPI(window.opener);
+    }
+  }
+  return apiHandle;
+}
+function doInitialize()        { return getAPI().LMSInitialize(""); }
+function doFinish()            { return getAPI().LMSFinish(""); }
+function doGetValue(name)      { return getAPI().LMSGetValue(name); }
+function doSetValue(name, v)   { return getAPI().LMSSetValue(name, v); }
+function doCommit()            { return getAPI().LMSCommit(""); }
+function doGetLastError()      { return getAPI().LMSGetLastError(); }
+function doGetErrorString(c)   { return getAPI().LMSGetErrorString(c); }
+function doGetDiagnostic(c)    { return getAPI().LMSGetDiagnostic(c); }
+"""
+
+_EXAM_RECORD_FILE = "exam.json"
+_MANIFEST_FILE = "imsmanifest.xml"
+
+
+def package_exam(exam: Exam, path: "Optional[str | Path]" = None) -> bytes:
+    """The §5.5 SCORM format package output service.
+
+    Builds a Package Interchange File for an exam: ``imsmanifest.xml``
+    describing the course structure (one organization; one item per exam
+    group, or a flat list when ungrouped), one QTI XML file per problem,
+    one MINE metadata XML per problem file ("a descriptive xml file with
+    the same level"), the exam record itself, and the API wrapper script.
+
+    Returns the zip bytes; also writes them to ``path`` when given.
+    """
+    exam.validate()
+    files: Dict[str, bytes] = {}
+    resources: List[Resource] = [
+        Resource(
+            identifier="res-exam",
+            href=_EXAM_RECORD_FILE,
+            scorm_type="sco",
+            files=[_EXAM_RECORD_FILE, "APIWrapper.js"],
+            metadata_href=f"{_EXAM_RECORD_FILE}.metadata.xml",
+        )
+    ]
+    files[_EXAM_RECORD_FILE] = json.dumps(
+        exam_to_record(exam), indent=2
+    ).encode("utf-8")
+    files[f"{_EXAM_RECORD_FILE}.metadata.xml"] = metadata_to_xml(
+        exam.metadata
+    ).encode("utf-8")
+    files["APIWrapper.js"] = API_WRAPPER_JS.encode("utf-8")
+
+    for item in exam.items:
+        item_file = f"items/{item.item_id}.xml"
+        metadata_file = f"items/{item.item_id}.metadata.xml"
+        files[item_file] = item_to_qti_xml(item).encode("utf-8")
+        files[metadata_file] = metadata_to_xml(item.metadata).encode("utf-8")
+        resources.append(
+            Resource(
+                identifier=f"res-{item.item_id}",
+                href=item_file,
+                scorm_type="asset",
+                files=[item_file],
+                metadata_href=metadata_file,
+            )
+        )
+
+    organization = Organization(
+        identifier="org-1",
+        title=exam.title,
+        items=_organization_items(exam),
+    )
+    manifest = Manifest(
+        identifier=f"pkg-{exam.exam_id}",
+        organizations=[organization],
+        resources=resources,
+        default_organization="org-1",
+    )
+    manifest.validate()
+    files[_MANIFEST_FILE] = manifest_to_xml(manifest).encode("utf-8")
+
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name in sorted(files):
+            archive.writestr(name, files[name])
+    payload = buffer.getvalue()
+    if path is not None:
+        Path(path).write_bytes(payload)
+    return payload
+
+
+def _organization_items(exam: Exam) -> List[ManifestItem]:
+    root = ManifestItem(
+        identifier=f"item-{exam.exam_id}",
+        title=exam.title,
+        identifierref="res-exam",
+    )
+    nodes: List[ManifestItem] = [root]
+    grouped: set = set()
+    for group in exam.groups:
+        children = [
+            ManifestItem(
+                identifier=f"item-{item_id}",
+                title=exam.item(item_id).question[:60],
+                identifierref=f"res-{item_id}",
+            )
+            for item_id in group.item_ids
+        ]
+        grouped.update(group.item_ids)
+        nodes.append(
+            ManifestItem(
+                identifier=f"group-{group.name}",
+                title=group.name,
+                children=children,
+            )
+        )
+    loose = [
+        ManifestItem(
+            identifier=f"item-{item.item_id}",
+            title=item.question[:60],
+            identifierref=f"res-{item.item_id}",
+        )
+        for item in exam.items
+        if item.item_id not in grouped
+    ]
+    return nodes + loose
+
+
+class ContentPackage:
+    """A readable, validated SCORM content package."""
+
+    def __init__(self, data: bytes) -> None:
+        try:
+            self._archive = zipfile.ZipFile(io.BytesIO(data))
+        except zipfile.BadZipFile as exc:
+            raise PackagingError(f"not a zip package: {exc}") from exc
+        names = set(self._archive.namelist())
+        if _MANIFEST_FILE not in names:
+            raise PackagingError(
+                f"package has no {_MANIFEST_FILE} at its root"
+            )
+        self.manifest = manifest_from_xml(
+            self._archive.read(_MANIFEST_FILE).decode("utf-8")
+        )
+        self.manifest.validate()
+        missing = [name for name in self.manifest.all_files() if name not in names]
+        if missing:
+            raise PackagingError(
+                f"manifest references files missing from the package: {missing}"
+            )
+
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "ContentPackage":
+        """Open and validate a package from a zip file on disk."""
+        file_path = Path(path)
+        if not file_path.exists():
+            raise PackagingError(f"package file does not exist: {file_path}")
+        return cls(file_path.read_bytes())
+
+    def read(self, name: str) -> bytes:
+        """The bytes of one packaged file; PackagingError when absent."""
+        try:
+            return self._archive.read(name)
+        except KeyError:
+            raise PackagingError(f"package has no file {name!r}") from None
+
+    def names(self) -> List[str]:
+        """Every file name inside the package."""
+        return self._archive.namelist()
+
+
+def extract_exam(package: ContentPackage) -> Exam:
+    """Restore the exam from a package built by :func:`package_exam`.
+
+    "Other instructors may reuse the problem and exam files from SCORM
+    compatible external repository."
+    """
+    try:
+        record = json.loads(package.read(_EXAM_RECORD_FILE).decode("utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PackagingError(f"exam record is not valid JSON: {exc}") from exc
+    return exam_from_record(record)

@@ -1,0 +1,140 @@
+"""The SCORM-compatible external repository (paper §5, Figure 3).
+
+The architecture has "two databases, one is internal problem and exam
+database, and another one is SCORM compatible external repository" —
+instructors publish packaged exams to the repository and "reuse the
+problem and exam files from SCORM compatible external repository".
+
+:class:`PackageRepository` is that repository, backed by a directory of
+Package Interchange Files with a JSON catalog.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.errors import DuplicateIdError, NotFoundError, PackagingError
+from repro.exams.exam import Exam
+from repro.scorm.package import ContentPackage, extract_exam, package_exam
+
+__all__ = ["CatalogEntry", "PackageRepository"]
+
+_CATALOG_FILE = "catalog.json"
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One published package: its identifier, title, and file name."""
+
+    identifier: str
+    title: str
+    filename: str
+    item_count: int
+
+
+class PackageRepository:
+    """A directory-backed repository of SCORM content packages."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._catalog_path = self.root / _CATALOG_FILE
+        if not self._catalog_path.exists():
+            self._write_catalog({})
+
+    # -- catalog ------------------------------------------------------------
+
+    def _read_catalog(self) -> Dict[str, Dict[str, object]]:
+        try:
+            return json.loads(self._catalog_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise PackagingError(f"repository catalog is corrupt: {exc}") from exc
+
+    def _write_catalog(self, catalog: Dict[str, Dict[str, object]]) -> None:
+        self._catalog_path.write_text(
+            json.dumps(catalog, indent=2), encoding="utf-8"
+        )
+
+    def list_entries(self) -> List[CatalogEntry]:
+        """Every published package, sorted by identifier."""
+        catalog = self._read_catalog()
+        return [
+            CatalogEntry(
+                identifier=identifier,
+                title=str(record.get("title", "")),
+                filename=str(record.get("filename", "")),
+                item_count=int(record.get("item_count", 0)),
+            )
+            for identifier, record in sorted(catalog.items())
+        ]
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._read_catalog()
+
+    def __len__(self) -> int:
+        return len(self._read_catalog())
+
+    # -- publish / fetch -------------------------------------------------------
+
+    def publish(self, exam: Exam) -> CatalogEntry:
+        """Package an exam and store it under its exam_id."""
+        catalog = self._read_catalog()
+        if exam.exam_id in catalog:
+            raise DuplicateIdError(
+                f"package {exam.exam_id!r} already published"
+            )
+        filename = f"{exam.exam_id}.zip"
+        package_exam(exam, self.root / filename)
+        catalog[exam.exam_id] = {
+            "title": exam.title,
+            "filename": filename,
+            "item_count": len(exam.items),
+        }
+        self._write_catalog(catalog)
+        return CatalogEntry(
+            identifier=exam.exam_id,
+            title=exam.title,
+            filename=filename,
+            item_count=len(exam.items),
+        )
+
+    def publish_package(self, identifier: str, data: bytes, title: str = "") -> None:
+        """Store an externally produced package (validated on ingest)."""
+        package = ContentPackage(data)  # validates manifest integrity
+        catalog = self._read_catalog()
+        if identifier in catalog:
+            raise DuplicateIdError(f"package {identifier!r} already published")
+        filename = f"{identifier}.zip"
+        (self.root / filename).write_bytes(data)
+        catalog[identifier] = {
+            "title": title or package.manifest.identifier,
+            "filename": filename,
+            "item_count": 0,
+        }
+        self._write_catalog(catalog)
+
+    def fetch(self, identifier: str) -> ContentPackage:
+        """Open a published package."""
+        catalog = self._read_catalog()
+        record = catalog.get(identifier)
+        if record is None:
+            raise NotFoundError(f"no package {identifier!r} in the repository")
+        return ContentPackage.from_file(self.root / str(record["filename"]))
+
+    def fetch_exam(self, identifier: str) -> Exam:
+        """Fetch a package and restore its exam for reuse."""
+        return extract_exam(self.fetch(identifier))
+
+    def remove(self, identifier: str) -> None:
+        """Delete a published package and its catalog entry."""
+        catalog = self._read_catalog()
+        record = catalog.pop(identifier, None)
+        if record is None:
+            raise NotFoundError(f"no package {identifier!r} to remove")
+        package_path = self.root / str(record["filename"])
+        if package_path.exists():
+            package_path.unlink()
+        self._write_catalog(catalog)

@@ -1,0 +1,35 @@
+"""Simulated learners, populations, response times, and workloads — the
+synthetic substitute for the paper's real student cohorts (see DESIGN.md
+substitution table)."""
+
+from repro.sim.learner_model import (
+    ItemParameters,
+    SimulatedLearner,
+    probability_correct,
+    sample_selection,
+)
+from repro.sim.population import ability_grid, make_population
+from repro.sim.response_time import cumulative_answer_times, sample_item_time
+from repro.sim.workloads import (
+    SimulatedSittingData,
+    classroom_exam,
+    classroom_parameters,
+    pre_post_cohorts,
+    simulate_sitting_data,
+)
+
+__all__ = [
+    "ItemParameters",
+    "SimulatedLearner",
+    "probability_correct",
+    "sample_selection",
+    "make_population",
+    "ability_grid",
+    "sample_item_time",
+    "cumulative_answer_times",
+    "SimulatedSittingData",
+    "simulate_sitting_data",
+    "classroom_exam",
+    "classroom_parameters",
+    "pre_post_cohorts",
+]

@@ -1,0 +1,110 @@
+"""Simulated learner response model.
+
+The paper evaluated its analysis on real classes; this reproduction
+substitutes a standard psychometric simulation (see DESIGN.md): each
+learner has an ability θ, each item has 2PL/3PL parameters
+(discrimination ``a``, difficulty ``b``, guessing ``c``), and
+
+    P(correct | θ) = c + (1 − c) / (1 + exp(−a (θ − b)))
+
+When the sampled response is incorrect on a choice item, a distractor is
+drawn from the item's attraction weights — which lets scenarios construct
+items that reproduce each of the paper's four rule patterns (a dead
+distractor, an over-attractive wrong option, uniform low-group guessing).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core.errors import AnalysisError
+
+__all__ = ["ItemParameters", "SimulatedLearner", "probability_correct", "sample_selection"]
+
+
+@dataclass(frozen=True)
+class ItemParameters:
+    """IRT parameters plus distractor attractions for one item.
+
+    ``attractions`` weights the *wrong* options for learners who miss the
+    item; omitted options get weight 1.  A zero weight makes a distractor
+    that attracts nobody (the paper's Rule 1 pattern).
+    """
+
+    a: float = 1.0
+    b: float = 0.0
+    c: float = 0.0
+    attractions: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise AnalysisError(f"discrimination a must be positive, got {self.a}")
+        if not 0.0 <= self.c < 1.0:
+            raise AnalysisError(f"guessing c must be in [0, 1), got {self.c}")
+        if any(weight < 0 for weight in self.attractions.values()):
+            raise AnalysisError("attraction weights must be non-negative")
+
+
+@dataclass(frozen=True)
+class SimulatedLearner:
+    """One synthetic examinee."""
+
+    learner_id: str
+    ability: float
+    #: speed multiplier for the response-time model (1.0 = average pace)
+    pace: float = 1.0
+
+
+def probability_correct(ability: float, params: ItemParameters) -> float:
+    """The 3PL response probability (2PL when c == 0, 1PL when a == 1)."""
+    exponent = -params.a * (ability - params.b)
+    # guard math.exp overflow for extreme |exponent|
+    if exponent > 700:
+        logistic = 0.0
+    elif exponent < -700:
+        logistic = 1.0
+    else:
+        logistic = 1.0 / (1.0 + math.exp(exponent))
+    return params.c + (1.0 - params.c) * logistic
+
+
+def sample_selection(
+    rng: random.Random,
+    learner: SimulatedLearner,
+    params: ItemParameters,
+    options: Sequence[str],
+    correct: str,
+    omit_rate: float = 0.0,
+) -> Optional[str]:
+    """Sample the option a learner selects (None = omitted).
+
+    A correct Bernoulli draw selects the key; otherwise a distractor is
+    drawn proportionally to its attraction weight.  If every distractor
+    has zero attraction the learner picks the key anyway (there is nothing
+    else they would plausibly choose).
+    """
+    if correct not in options:
+        raise AnalysisError(f"correct option {correct!r} not in {options}")
+    if not 0.0 <= omit_rate < 1.0:
+        raise AnalysisError(f"omit_rate must be in [0, 1), got {omit_rate}")
+    if omit_rate and rng.random() < omit_rate:
+        return None
+    if rng.random() < probability_correct(learner.ability, params):
+        return correct
+    distractors = [option for option in options if option != correct]
+    if not distractors:
+        return correct
+    weights = [params.attractions.get(option, 1.0) for option in distractors]
+    total = sum(weights)
+    if total == 0:
+        return correct
+    draw = rng.random() * total
+    cumulative = 0.0
+    for option, weight in zip(distractors, weights):
+        cumulative += weight
+        if draw <= cumulative:
+            return option
+    return distractors[-1]

@@ -1,0 +1,53 @@
+"""Response-time model for simulated sittings.
+
+Time-on-item follows the standard lognormal model: harder items (relative
+to the learner) take longer, slow-paced learners take longer on
+everything.  These times feed the §4.2.1 figure (1) series and the §3.4
+Average Time statistic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.core.errors import AnalysisError
+from repro.sim.learner_model import ItemParameters, SimulatedLearner
+
+__all__ = ["sample_item_time", "cumulative_answer_times"]
+
+
+def sample_item_time(
+    rng: random.Random,
+    learner: SimulatedLearner,
+    params: ItemParameters,
+    base_seconds: float = 45.0,
+    sigma: float = 0.35,
+) -> float:
+    """Seconds spent on one item.
+
+    ``base_seconds`` is the median time an average learner spends on an
+    item matched to their ability; difficulty above ability stretches it
+    (up to ~2x at a 3-logit gap) and the learner's pace multiplies it.
+    """
+    if base_seconds <= 0:
+        raise AnalysisError(f"base_seconds must be positive, got {base_seconds}")
+    if sigma < 0:
+        raise AnalysisError(f"sigma must be non-negative, got {sigma}")
+    gap = params.b - learner.ability
+    difficulty_factor = math.exp(max(-1.0, min(1.0, gap)) * 0.25)
+    noise = rng.lognormvariate(0.0, sigma)
+    return base_seconds * learner.pace * difficulty_factor * noise
+
+
+def cumulative_answer_times(item_times: List[float]) -> List[float]:
+    """Turn per-item durations into elapsed commit times."""
+    elapsed = 0.0
+    commits = []
+    for duration in item_times:
+        if duration < 0:
+            raise AnalysisError(f"negative item time: {duration}")
+        elapsed += duration
+        commits.append(elapsed)
+    return commits

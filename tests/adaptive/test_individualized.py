@@ -1,0 +1,160 @@
+"""Tests for individualized test assembly (repro.adaptive.individualized)."""
+
+import pytest
+
+from repro.core.errors import EstimationError
+from repro.adaptive.individualized import (
+    assemble_individualized_exam,
+    select_individualized_items,
+)
+from repro.adaptive.irt import ItemParameters, item_information
+from repro.bank.itembank import ItemBank
+from repro.items.choice import MultipleChoiceItem
+
+
+def pool_with_spread():
+    """Items at b = -3..3 in 0.5 steps, equal a."""
+    return {
+        f"item-{index:02d}": ItemParameters(a=1.5, b=-3.0 + 0.5 * index)
+        for index in range(13)
+    }
+
+
+def bank_for(pool, subjects=("algebra", "geometry")):
+    bank = ItemBank()
+    for index, item_id in enumerate(sorted(pool)):
+        bank.add(
+            MultipleChoiceItem.build(
+                item_id,
+                f"Question {item_id}?",
+                ["a", "b", "c", "d"],
+                correct_index=0,
+                subject=subjects[index % len(subjects)],
+            )
+        )
+    return bank
+
+
+class TestSelectIndividualizedItems:
+    def test_selects_items_near_ability(self):
+        pool = pool_with_spread()
+        chosen = select_individualized_items(pool, ability=0.0, length=3)
+        bs = [pool[item_id].b for item_id in chosen]
+        assert all(abs(b) <= 1.0 for b in bs)
+
+    def test_high_ability_gets_hard_items(self):
+        pool = pool_with_spread()
+        chosen = select_individualized_items(pool, ability=2.5, length=3)
+        assert all(pool[item_id].b >= 1.5 for item_id in chosen)
+
+    def test_selection_is_by_information(self):
+        pool = pool_with_spread()
+        chosen = select_individualized_items(pool, ability=1.0, length=5)
+        rest = [item_id for item_id in pool if item_id not in chosen]
+        minimum_chosen = min(
+            item_information(1.0, pool[i]) for i in chosen
+        )
+        maximum_rest = max(item_information(1.0, pool[i]) for i in rest)
+        assert minimum_chosen >= maximum_rest - 1e-12
+
+    def test_deterministic(self):
+        pool = pool_with_spread()
+        assert select_individualized_items(pool, 0.3, 4) == (
+            select_individualized_items(pool, 0.3, 4)
+        )
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(EstimationError):
+            select_individualized_items(pool_with_spread(), 0.0, 0)
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(EstimationError):
+            select_individualized_items(pool_with_spread(), 0.0, 99)
+
+
+class TestAssembleIndividualizedExam:
+    def test_basic_assembly(self):
+        pool = pool_with_spread()
+        bank = bank_for(pool)
+        exam = assemble_individualized_exam(
+            "ind-1", "Individualized", bank, pool, ability=0.0, length=5,
+            time_limit_seconds=600,
+        )
+        assert len(exam.items) == 5
+        assert exam.time_limit_seconds == 600
+        exam.validate()
+
+    def test_different_abilities_get_different_exams(self):
+        pool = pool_with_spread()
+        bank = bank_for(pool)
+        weak = assemble_individualized_exam(
+            "w", "W", bank, pool, ability=-2.5, length=4
+        )
+        strong = assemble_individualized_exam(
+            "s", "S", bank, pool, ability=2.5, length=4
+        )
+        weak_ids = {item.item_id for item in weak.items}
+        strong_ids = {item.item_id for item in strong.items}
+        assert weak_ids != strong_ids
+        weak_bs = [pool[i].b for i in weak_ids]
+        strong_bs = [pool[i].b for i in strong_ids]
+        assert max(weak_bs) < min(strong_bs)
+
+    def test_per_concept_minimum_enforced(self):
+        pool = pool_with_spread()
+        bank = bank_for(pool)
+        exam = assemble_individualized_exam(
+            "c", "C", bank, pool, ability=0.0, length=6,
+            per_concept_minimum={"algebra": 2, "geometry": 2},
+        )
+        subjects = [item.subject for item in exam.items]
+        assert subjects.count("algebra") >= 2
+        assert subjects.count("geometry") >= 2
+
+    def test_minimums_exceeding_length_rejected(self):
+        pool = pool_with_spread()
+        bank = bank_for(pool)
+        with pytest.raises(EstimationError):
+            assemble_individualized_exam(
+                "c", "C", bank, pool, ability=0.0, length=3,
+                per_concept_minimum={"algebra": 2, "geometry": 2},
+            )
+
+    def test_unknown_concept_rejected(self):
+        pool = pool_with_spread()
+        bank = bank_for(pool)
+        with pytest.raises(EstimationError):
+            assemble_individualized_exam(
+                "c", "C", bank, pool, ability=0.0, length=4,
+                per_concept_minimum={"calculus": 1},
+            )
+
+    def test_pool_items_missing_from_bank_skipped(self):
+        pool = pool_with_spread()
+        bank = bank_for({k: v for k, v in pool.items() if k < "item-05"})
+        with pytest.raises(EstimationError):
+            assemble_individualized_exam(
+                "c", "C", bank, pool, ability=0.0, length=10
+            )
+
+    def test_analyzable_by_paper_pipeline(self):
+        """The individualized exam is an ordinary exam: the §4.1 analysis
+        applies unchanged."""
+        from repro.core.question_analysis import (
+            ExamineeResponses,
+            analyze_cohort,
+        )
+
+        pool = pool_with_spread()
+        bank = bank_for(pool)
+        exam = assemble_individualized_exam(
+            "a", "A", bank, pool, ability=0.0, length=4
+        )
+        responses = [
+            ExamineeResponses.of(
+                f"s{i}", ["A"] * 4 if i < 4 else ["B"] * 4
+            )
+            for i in range(8)
+        ]
+        cohort = analyze_cohort(responses, exam.question_specs())
+        assert len(cohort.questions) == 4

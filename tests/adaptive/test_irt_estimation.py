@@ -1,0 +1,138 @@
+"""Tests for IRT mathematics and ability estimation (repro.adaptive)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import EstimationError
+from repro.adaptive.estimation import (
+    estimate_ability_eap,
+    estimate_ability_map,
+)
+from repro.adaptive.irt import (
+    ItemParameters,
+    item_information,
+    probability_correct,
+)
+from repro.adaptive.irt import test_information as pool_information
+from repro.sim.learner_model import SimulatedLearner
+
+
+class TestItemInformation:
+    def test_peaks_near_difficulty_for_2pl(self):
+        params = ItemParameters(a=1.5, b=1.0)
+        at_b = item_information(1.0, params)
+        away = item_information(3.0, params)
+        assert at_b > away
+
+    def test_grows_with_discrimination(self):
+        weak = item_information(0.0, ItemParameters(a=0.5, b=0.0))
+        strong = item_information(0.0, ItemParameters(a=2.0, b=0.0))
+        assert strong > weak * 4  # scales with a^2
+
+    def test_guessing_depresses_information(self):
+        clean = item_information(0.0, ItemParameters(a=1.5, b=0.0, c=0.0))
+        guessy = item_information(0.0, ItemParameters(a=1.5, b=0.0, c=0.3))
+        assert guessy < clean
+
+    def test_nonnegative_everywhere(self):
+        params = ItemParameters(a=1.0, b=0.0, c=0.2)
+        for theta in (-6, -3, 0, 3, 6):
+            assert item_information(theta, params) >= 0.0
+
+    def test_test_information_sums(self):
+        pool = [ItemParameters(a=1.0, b=float(b)) for b in (-1, 0, 1)]
+        total = pool_information(0.0, pool)
+        assert total == pytest.approx(
+            sum(item_information(0.0, p) for p in pool)
+        )
+
+
+def simulate_responses(true_ability, parameters, seed=0):
+    rng = random.Random(seed)
+    return [
+        rng.random() < probability_correct(true_ability, params)
+        for params in parameters
+    ]
+
+
+class TestEstimators:
+    def parameters(self, count=40):
+        rng = random.Random(99)
+        return [
+            ItemParameters(a=rng.uniform(0.8, 2.0), b=rng.uniform(-2.5, 2.5))
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("true_theta", [-1.5, 0.0, 1.5])
+    def test_map_recovers_ability(self, true_theta):
+        parameters = self.parameters()
+        responses = simulate_responses(true_theta, parameters, seed=3)
+        estimate, se = estimate_ability_map(responses, parameters)
+        assert abs(estimate - true_theta) < 3 * se + 0.3
+
+    @pytest.mark.parametrize("true_theta", [-1.5, 0.0, 1.5])
+    def test_eap_recovers_ability(self, true_theta):
+        parameters = self.parameters()
+        responses = simulate_responses(true_theta, parameters, seed=4)
+        estimate, se = estimate_ability_eap(responses, parameters)
+        assert abs(estimate - true_theta) < 3 * se + 0.3
+
+    def test_estimators_agree(self):
+        parameters = self.parameters()
+        responses = simulate_responses(0.5, parameters, seed=5)
+        map_est, _ = estimate_ability_map(responses, parameters, prior_sd=1.0)
+        eap_est, _ = estimate_ability_eap(responses, parameters, prior_sd=1.0)
+        assert abs(map_est - eap_est) < 0.15
+
+    def test_all_correct_stays_finite(self):
+        parameters = self.parameters(10)
+        estimate, se = estimate_ability_eap([True] * 10, parameters)
+        assert -6 <= estimate <= 6
+        assert se > 0
+        map_estimate, _ = estimate_ability_map([True] * 10, parameters)
+        assert -6.5 <= map_estimate <= 6.5
+
+    def test_all_wrong_stays_finite(self):
+        parameters = self.parameters(10)
+        estimate, _ = estimate_ability_eap([False] * 10, parameters)
+        assert -6 <= estimate <= 6
+
+    def test_more_items_shrink_se(self):
+        parameters = self.parameters(60)
+        responses = simulate_responses(0.0, parameters, seed=6)
+        _, se_few = estimate_ability_eap(responses[:5], parameters[:5])
+        _, se_many = estimate_ability_eap(responses, parameters)
+        assert se_many < se_few
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_ability_eap([], [])
+        with pytest.raises(EstimationError):
+            estimate_ability_map([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_ability_eap([True], [])
+
+    def test_bad_prior_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_ability_map([True], [ItemParameters()], prior_sd=0)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_ability_eap([True], [ItemParameters()], grid_points=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        true_theta=st.floats(min_value=-2, max_value=2),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_eap_bounded_by_grid(self, true_theta, seed):
+        parameters = self.parameters(20)
+        responses = simulate_responses(true_theta, parameters, seed=seed)
+        estimate, se = estimate_ability_eap(responses, parameters)
+        assert -4.5 <= estimate <= 4.5
+        assert se > 0

@@ -1,0 +1,103 @@
+"""Tests for the problem database (repro.bank.itembank)."""
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import DuplicateIdError, ItemError, NotFoundError
+from repro.bank.itembank import ItemBank
+from repro.items.choice import MultipleChoiceItem
+from repro.items.truefalse import TrueFalseItem
+
+
+def mc(item_id, subject="sorting", level=CognitionLevel.KNOWLEDGE):
+    return MultipleChoiceItem.build(
+        item_id,
+        f"Question {item_id}?",
+        ["right", "wrong1", "wrong2", "wrong3"],
+        correct_index=0,
+        subject=subject,
+        cognition_level=level,
+    )
+
+
+class TestCrud:
+    def test_add_get(self):
+        bank = ItemBank()
+        bank.add(mc("q1"))
+        assert bank.get("q1").item_id == "q1"
+        assert len(bank) == 1
+        assert "q1" in bank
+
+    def test_duplicate_rejected(self):
+        bank = ItemBank()
+        bank.add(mc("q1"))
+        with pytest.raises(DuplicateIdError):
+            bank.add(mc("q1"))
+
+    def test_get_missing(self):
+        with pytest.raises(NotFoundError):
+            ItemBank().get("ghost")
+
+    def test_remove(self):
+        bank = ItemBank()
+        bank.add(mc("q1"))
+        removed = bank.remove("q1")
+        assert removed.item_id == "q1"
+        assert len(bank) == 0
+
+    def test_remove_missing(self):
+        with pytest.raises(NotFoundError):
+            ItemBank().remove("ghost")
+
+    def test_update(self):
+        bank = ItemBank()
+        bank.add(mc("q1", subject="sorting"))
+        bank.update(mc("q1", subject="hashing"))
+        assert bank.get("q1").subject == "hashing"
+
+    def test_update_missing(self):
+        with pytest.raises(NotFoundError):
+            ItemBank().update(mc("q1"))
+
+    def test_add_or_update(self):
+        bank = ItemBank()
+        bank.add_or_update(mc("q1", subject="a"))
+        bank.add_or_update(mc("q1", subject="b"))
+        assert bank.get("q1").subject == "b"
+        assert len(bank) == 1
+
+    def test_invalid_item_rejected_on_add(self):
+        bad = MultipleChoiceItem(
+            item_id="bad",
+            question="stem?",
+            choices=[],
+            correct_label="A",
+        )
+        with pytest.raises(ItemError):
+            ItemBank().add(bad)
+
+    def test_insertion_order_preserved(self):
+        bank = ItemBank()
+        for item_id in ("c", "a", "b"):
+            bank.add(mc(item_id))
+        assert bank.ids() == ["c", "a", "b"]
+        assert [item.item_id for item in bank] == ["c", "a", "b"]
+
+
+class TestQueries:
+    def test_items_matching(self):
+        bank = ItemBank()
+        bank.add(mc("q1", subject="sorting"))
+        bank.add(mc("q2", subject="hashing"))
+        matched = bank.items_matching(lambda item: item.subject == "hashing")
+        assert [item.item_id for item in matched] == ["q2"]
+
+    def test_subjects_deduplicated(self):
+        bank = ItemBank()
+        bank.add(mc("q1", subject="sorting"))
+        bank.add(mc("q2", subject="sorting"))
+        bank.add(mc("q3", subject="hashing"))
+        bank.add(
+            TrueFalseItem(item_id="q4", question="x is y.", subject="")
+        )
+        assert bank.subjects() == ["sorting", "hashing"]

@@ -1,0 +1,116 @@
+"""Tests for bank-level QTI exchange (repro.bank.qti_io)."""
+
+import io
+import json
+import zipfile
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import BankError
+from repro.bank.itembank import ItemBank
+from repro.bank.qti_io import export_bank_qti, import_bank_qti
+from repro.items.choice import MultipleChoiceItem
+from repro.items.essay import EssayItem
+from repro.items.qti import item_to_qti_xml
+from repro.items.truefalse import TrueFalseItem
+
+
+def stocked_bank():
+    bank = ItemBank()
+    bank.add(
+        MultipleChoiceItem.build(
+            "mc1", "Pick the stable sort.", ["mergesort", "quicksort"],
+            correct_index=0, subject="sorting",
+            cognition_level=CognitionLevel.KNOWLEDGE,
+        )
+    )
+    bank.add(
+        TrueFalseItem(item_id="tf1", question="Heapsort is stable.",
+                      correct_value=False)
+    )
+    bank.add(EssayItem(item_id="e1", question="Compare the two."))
+    return bank
+
+
+class TestExport:
+    def test_export_contains_every_item(self):
+        payload = export_bank_qti(stocked_bank())
+        names = set(zipfile.ZipFile(io.BytesIO(payload)).namelist())
+        assert {"items/mc1.xml", "items/tf1.xml", "items/e1.xml"} <= names
+        assert "qti_index.json" in names
+
+    def test_export_writes_file(self, tmp_path):
+        path = tmp_path / "bank.zip"
+        export_bank_qti(stocked_bank(), path)
+        assert path.exists()
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(BankError):
+            export_bank_qti(ItemBank())
+
+
+class TestImport:
+    def test_round_trip(self):
+        original = stocked_bank()
+        restored = import_bank_qti(export_bank_qti(original))
+        assert sorted(restored.ids()) == sorted(original.ids())
+        assert (
+            restored.get("mc1").content_fields()
+            == original.get("mc1").content_fields()
+        )
+        assert restored.get("mc1").cognition_level is CognitionLevel.KNOWLEDGE
+
+    def test_import_without_index(self):
+        """Foreign zips (no index) import every .xml file."""
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr(
+                "anything.xml",
+                item_to_qti_xml(
+                    TrueFalseItem(item_id="foreign", question="Imported?")
+                ),
+            )
+        bank = import_bank_qti(buffer.getvalue())
+        assert bank.ids() == ["foreign"]
+
+    def test_not_a_zip_rejected(self):
+        with pytest.raises(BankError):
+            import_bank_qti(b"plain text")
+
+    def test_corrupt_index_rejected(self):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("qti_index.json", "{broken")
+        with pytest.raises(BankError):
+            import_bank_qti(buffer.getvalue())
+
+    def test_index_referencing_missing_file_rejected(self):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr(
+                "qti_index.json",
+                json.dumps({"format": "mine-qti-v1", "items": ["ghost.xml"]}),
+            )
+        with pytest.raises(BankError):
+            import_bank_qti(buffer.getvalue())
+
+    def test_empty_archive_rejected(self):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("readme.txt", "nothing here")
+        with pytest.raises(BankError):
+            import_bank_qti(buffer.getvalue())
+
+    def test_duplicate_ids_rejected(self):
+        from repro.core.errors import DuplicateIdError
+
+        buffer = io.BytesIO()
+        xml = item_to_qti_xml(
+            TrueFalseItem(item_id="dup", question="Twice?")
+        )
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("a.xml", xml)
+            archive.writestr("b.xml", xml)
+        with pytest.raises(DuplicateIdError):
+            import_bank_qti(buffer.getvalue())

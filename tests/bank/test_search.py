@@ -1,0 +1,165 @@
+"""Tests for problem search (repro.bank.search)."""
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import BankError
+from repro.core.metadata import QuestionStyle
+from repro.bank.itembank import ItemBank
+from repro.bank.search import Query, find_similar, search
+from repro.items.choice import MultipleChoiceItem
+from repro.items.essay import EssayItem
+from repro.items.truefalse import TrueFalseItem
+
+
+def populated_bank():
+    bank = ItemBank()
+    bank.add(
+        MultipleChoiceItem.build(
+            "mc-sort-1",
+            "Which sort algorithm is stable?",
+            ["mergesort", "quicksort", "heapsort", "selection sort"],
+            correct_index=0,
+            subject="sorting",
+            cognition_level=CognitionLevel.KNOWLEDGE,
+        )
+    )
+    item = MultipleChoiceItem.build(
+        "mc-sort-2",
+        "What is the worst-case complexity of quicksort?",
+        ["O(n^2)", "O(n log n)", "O(n)", "O(log n)"],
+        correct_index=0,
+        subject="sorting",
+        cognition_level=CognitionLevel.COMPREHENSION,
+    )
+    item.metadata.assessment.individual_test.item_difficulty_index = 0.45
+    bank.add(item)
+    bank.add(
+        TrueFalseItem(
+            item_id="tf-hash-1",
+            question="A hash table guarantees O(1) worst-case lookup.",
+            correct_value=False,
+            subject="hashing",
+            cognition_level=CognitionLevel.COMPREHENSION,
+        )
+    )
+    bank.add(
+        EssayItem(
+            item_id="essay-hash-1",
+            question="Explain how open addressing resolves hash collisions.",
+            subject="hashing",
+            cognition_level=CognitionLevel.ANALYSIS,
+        )
+    )
+    return bank
+
+
+class TestQueryFilters:
+    def test_empty_query_matches_everything(self):
+        bank = populated_bank()
+        assert len(search(bank, Query())) == len(bank)
+
+    def test_by_subject(self):
+        results = search(populated_bank(), Query().with_subject("hashing"))
+        assert {item.item_id for item in results} == {
+            "tf-hash-1",
+            "essay-hash-1",
+        }
+
+    def test_by_style(self):
+        results = search(
+            populated_bank(), Query().with_style(QuestionStyle.MULTIPLE_CHOICE)
+        )
+        assert {item.item_id for item in results} == {"mc-sort-1", "mc-sort-2"}
+
+    def test_by_cognition_level(self):
+        results = search(
+            populated_bank(),
+            Query().with_cognition_level(CognitionLevel.COMPREHENSION),
+        )
+        assert {item.item_id for item in results} == {"mc-sort-2", "tf-hash-1"}
+
+    def test_by_difficulty_band(self):
+        results = search(populated_bank(), Query().with_difficulty(0.4, 0.5))
+        assert [item.item_id for item in results] == ["mc-sort-2"]
+
+    def test_difficulty_excludes_unrated_items(self):
+        results = search(populated_bank(), Query().with_difficulty(0.0, 1.0))
+        assert [item.item_id for item in results] == ["mc-sort-2"]
+
+    def test_bad_difficulty_band_rejected(self):
+        with pytest.raises(BankError):
+            Query().with_difficulty(0.8, 0.2)
+        with pytest.raises(BankError):
+            Query().with_difficulty(-0.1, 0.5)
+
+    def test_by_keywords(self):
+        results = search(populated_bank(), Query().with_keywords("quicksort"))
+        assert [item.item_id for item in results] == ["mc-sort-2"]
+
+    def test_keywords_case_insensitive(self):
+        results = search(populated_bank(), Query().with_keywords("QUICKSORT"))
+        assert len(results) == 1
+
+    def test_keywords_search_hint_too(self):
+        bank = ItemBank()
+        bank.add(
+            TrueFalseItem(
+                item_id="t1",
+                question="Water boils at 100C at sea level.",
+                hint="remember standard pressure",
+            )
+        )
+        assert search(bank, Query().with_keywords("pressure"))
+
+    def test_conjunction(self):
+        query = (
+            Query()
+            .with_subject("sorting")
+            .with_cognition_level(CognitionLevel.COMPREHENSION)
+        )
+        results = search(populated_bank(), query)
+        assert [item.item_id for item in results] == ["mc-sort-2"]
+
+    def test_query_immutable(self):
+        base = Query()
+        narrowed = base.with_subject("sorting")
+        assert base.subject is None
+        assert narrowed.subject == "sorting"
+
+
+class TestFindSimilar:
+    def test_same_subject_ranked_first(self):
+        bank = populated_bank()
+        reference = bank.get("mc-sort-1")
+        similar = find_similar(bank, reference)
+        assert similar[0].subject == "sorting"
+
+    def test_reference_item_excluded(self):
+        bank = populated_bank()
+        reference = bank.get("mc-sort-1")
+        assert all(item.item_id != "mc-sort-1" for item in find_similar(bank, reference))
+
+    def test_limit_respected(self):
+        bank = populated_bank()
+        similar = find_similar(bank, bank.get("mc-sort-1"), limit=1)
+        assert len(similar) == 1
+
+    def test_bad_limit_rejected(self):
+        bank = populated_bank()
+        with pytest.raises(BankError):
+            find_similar(bank, bank.get("mc-sort-1"), limit=0)
+
+    def test_word_overlap_contributes(self):
+        bank = ItemBank()
+        bank.add(
+            TrueFalseItem(item_id="a", question="Quicksort uses a pivot element.")
+        )
+        bank.add(
+            TrueFalseItem(item_id="b", question="Mergesort splits the array.")
+        )
+        reference = TrueFalseItem(
+            item_id="ref", question="Quicksort chooses a pivot."
+        )
+        similar = find_similar(bank, reference)
+        assert similar[0].item_id == "a"

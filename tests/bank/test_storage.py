@@ -1,0 +1,200 @@
+"""Tests for bank persistence (repro.bank.storage, repro.bank.exambank)."""
+
+import json
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import BankError
+from repro.core.metadata import DisplayType
+from repro.bank.exambank import (
+    ExamBank,
+    exam_from_record,
+    exam_to_record,
+    load_exams,
+    save_exams,
+)
+from repro.bank.itembank import ItemBank
+from repro.bank.storage import (
+    item_from_record,
+    item_to_record,
+    load_bank,
+    save_bank,
+)
+from repro.exams.authoring import ExamBuilder
+from repro.items.base import Picture
+from repro.items.choice import MultipleChoiceItem
+from repro.items.completion import CompletionItem
+from repro.items.essay import EssayItem
+from repro.items.matching import MatchItem
+from repro.items.questionnaire import QuestionnaireItem
+from repro.items.truefalse import TrueFalseItem
+
+
+def all_style_items():
+    return [
+        MultipleChoiceItem.build(
+            "mc1",
+            "Pick the stable sort.",
+            ["mergesort", "quicksort"],
+            correct_index=0,
+            subject="sorting",
+            cognition_level=CognitionLevel.KNOWLEDGE,
+        ),
+        TrueFalseItem(
+            item_id="tf1",
+            question="Heapsort is stable.",
+            correct_value=False,
+            subject="sorting",
+        ),
+        EssayItem(
+            item_id="e1",
+            question="Compare BFS and DFS.",
+            model_answer="...",
+            max_points=5.0,
+            subject="graphs",
+        ),
+        MatchItem(
+            item_id="m1",
+            question="Match.",
+            premises=["stack", "queue"],
+            options=["LIFO", "FIFO"],
+            key={"stack": "LIFO", "queue": "FIFO"},
+        ),
+        CompletionItem(
+            item_id="c1",
+            question="A graph with no cycles is a ___.",
+            accepted_answers=[["forest", "tree"]],
+        ),
+        QuestionnaireItem(
+            item_id="s1",
+            question="The exam was fair.",
+            scale=["no", "yes"],
+            resumable=False,
+            display_type=DisplayType.RANDOM_ORDER,
+        ),
+    ]
+
+
+class TestItemRecords:
+    @pytest.mark.parametrize("item", all_style_items(), ids=lambda i: i.item_id)
+    def test_every_style_round_trips(self, item):
+        record = item_to_record(item)
+        json.dumps(record)  # must be JSON-serializable
+        restored = item_from_record(record)
+        assert type(restored) is type(item)
+        assert restored.item_id == item.item_id
+        assert restored.question == item.question
+        assert restored.subject == item.subject
+        assert restored.content_fields() == item.content_fields()
+
+    def test_pictures_round_trip(self):
+        item = TrueFalseItem(
+            item_id="tf2",
+            question="The diagram shows a DAG.",
+            pictures=[Picture(resource="dag.gif", x=10, y=2)],
+        )
+        restored = item_from_record(item_to_record(item))
+        assert restored.pictures == [Picture(resource="dag.gif", x=10, y=2)]
+
+    def test_stored_indices_round_trip(self):
+        item = all_style_items()[0]
+        item.metadata.assessment.individual_test.item_difficulty_index = 0.7
+        item.metadata.assessment.individual_test.item_discrimination_index = 0.4
+        restored = item_from_record(item_to_record(item))
+        ind = restored.metadata.assessment.individual_test
+        assert ind.item_difficulty_index == 0.7
+        assert ind.item_discrimination_index == 0.4
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(BankError):
+            item_from_record({"style": "riddle", "item_id": "x"})
+
+
+class TestBankFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        bank = ItemBank()
+        for item in all_style_items():
+            bank.add(item)
+        path = tmp_path / "bank.json"
+        save_bank(bank, path)
+        restored = load_bank(path)
+        assert restored.ids() == bank.ids()
+        for item_id in bank.ids():
+            assert (
+                restored.get(item_id).content_fields()
+                == bank.get(item_id).content_fields()
+            )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(BankError):
+            load_bank(tmp_path / "ghost.json")
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BankError):
+            load_bank(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"format": "other", "items": []}))
+        with pytest.raises(BankError):
+            load_bank(path)
+
+
+def sample_exam():
+    items = all_style_items()[:3]
+    return (
+        ExamBuilder("mid-1", "Midterm One")
+        .add_items(items)
+        .group("objective-part", ["mc1", "tf1"], template_name="default-choice")
+        .time_limit(3600)
+        .resumable(False)
+        .display(DisplayType.RANDOM_ORDER)
+        .build()
+    )
+
+
+class TestExamBank:
+    def test_crud(self):
+        bank = ExamBank()
+        bank.add(sample_exam())
+        assert "mid-1" in bank
+        assert bank.get("mid-1").title == "Midterm One"
+        bank.remove("mid-1")
+        assert len(bank) == 0
+
+    def test_duplicate_rejected(self):
+        bank = ExamBank()
+        bank.add(sample_exam())
+        from repro.core.errors import DuplicateIdError
+
+        with pytest.raises(DuplicateIdError):
+            bank.add(sample_exam())
+
+    def test_exam_record_round_trip(self):
+        exam = sample_exam()
+        restored = exam_from_record(exam_to_record(exam))
+        assert restored.exam_id == exam.exam_id
+        assert restored.title == exam.title
+        assert restored.display_type is DisplayType.RANDOM_ORDER
+        assert restored.time_limit_seconds == 3600
+        assert restored.resumable is False
+        assert [item.item_id for item in restored.items] == ["mc1", "tf1", "e1"]
+        assert restored.groups[0].name == "objective-part"
+        assert restored.groups[0].template_name == "default-choice"
+
+    def test_exam_file_round_trip(self, tmp_path):
+        bank = ExamBank()
+        bank.add(sample_exam())
+        path = tmp_path / "exams.json"
+        save_exams(bank, path)
+        restored = load_exams(path)
+        assert restored.ids() == ["mid-1"]
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"format": "other", "exams": []}))
+        with pytest.raises(BankError):
+            load_exams(path)

@@ -1,0 +1,82 @@
+"""Tests for item revision history (repro.bank.versioning)."""
+
+import pytest
+
+from repro.core.errors import NotFoundError
+from repro.bank.versioning import VersionedItemBank
+from repro.items.choice import MultipleChoiceItem
+
+
+def item(question="What is a stack?"):
+    return MultipleChoiceItem.build(
+        "q1", question, ["LIFO structure", "FIFO structure"], correct_index=0
+    )
+
+
+class TestVersioning:
+    def test_add_creates_revision_1(self):
+        bank = VersionedItemBank()
+        assert bank.add(item(), author="amy") == 1
+        assert bank.current_revision("q1") == 1
+        assert bank.bank.get("q1").question == "What is a stack?"
+
+    def test_update_appends_revision(self):
+        bank = VersionedItemBank()
+        bank.add(item())
+        number = bank.update(item("What is a stack? (clarified)"),
+                             author="bob", note="reworded stem")
+        assert number == 2
+        assert bank.current_revision("q1") == 2
+        assert "clarified" in bank.bank.get("q1").question
+
+    def test_old_revision_recoverable(self):
+        bank = VersionedItemBank()
+        bank.add(item("original"))
+        bank.update(item("revised"))
+        old = bank.revision("q1", 1).restore()
+        assert old.question == "original"
+        assert bank.bank.get("q1").question == "revised"
+
+    def test_rollback_publishes_old_text_as_new_revision(self):
+        bank = VersionedItemBank()
+        bank.add(item("original"))
+        bank.update(item("broken edit"))
+        restored = bank.rollback("q1", 1, author="admin")
+        assert restored.question == "original"
+        assert bank.current_revision("q1") == 3
+        assert bank.bank.get("q1").question == "original"
+
+    def test_history_retained_after_remove(self):
+        bank = VersionedItemBank()
+        bank.add(item())
+        bank.remove("q1")
+        assert "q1" not in bank.bank
+        assert bank.current_revision("q1") == 1  # audit trail survives
+
+    def test_audit_trail(self):
+        bank = VersionedItemBank()
+        bank.add(item(), author="amy")
+        bank.update(item("v2"), author="bob", note="fix distractor")
+        trail = bank.audit_trail("q1")
+        assert trail[0] == "r1: created (amy)"
+        assert trail[1] == "r2: fix distractor (bob)"
+
+    def test_unknown_item_history_rejected(self):
+        with pytest.raises(NotFoundError):
+            VersionedItemBank().history("ghost")
+
+    def test_out_of_range_revision_rejected(self):
+        bank = VersionedItemBank()
+        bank.add(item())
+        with pytest.raises(NotFoundError):
+            bank.revision("q1", 2)
+        with pytest.raises(NotFoundError):
+            bank.revision("q1", 0)
+
+    def test_revisions_isolated_from_later_mutation(self):
+        bank = VersionedItemBank()
+        first = item("original")
+        bank.add(first)
+        # mutate the live object after storing; history must not change
+        first.question = "mutated in place"
+        assert bank.revision("q1", 1).restore().question == "original"

@@ -1,0 +1,117 @@
+"""Tests for Bloom's taxonomy model (repro.core.cognition)."""
+
+import pytest
+
+from repro.core.cognition import (
+    COGNITIVE_LEVELS,
+    CognitionLevel,
+    Domain,
+    expected_pyramid,
+)
+
+
+class TestDomain:
+    def test_three_domains(self):
+        assert {domain.value for domain in Domain} == {
+            "cognitive",
+            "psychomotor",
+            "affective",
+        }
+
+    def test_str(self):
+        assert str(Domain.COGNITIVE) == "cognitive"
+
+
+class TestCognitionLevel:
+    def test_six_levels_in_order(self):
+        assert [level.name for level in COGNITIVE_LEVELS] == [
+            "KNOWLEDGE",
+            "COMPREHENSION",
+            "APPLICATION",
+            "ANALYSIS",
+            "SYNTHESIS",
+            "EVALUATION",
+        ]
+
+    def test_letters_a_to_f(self):
+        assert [level.letter for level in COGNITIVE_LEVELS] == list("ABCDEF")
+
+    def test_ordering_knowledge_lowest(self):
+        assert CognitionLevel.KNOWLEDGE < CognitionLevel.COMPREHENSION
+        assert CognitionLevel.EVALUATION > CognitionLevel.SYNTHESIS
+        assert max(COGNITIVE_LEVELS) is CognitionLevel.EVALUATION
+
+    def test_sorting(self):
+        shuffled = [
+            CognitionLevel.EVALUATION,
+            CognitionLevel.KNOWLEDGE,
+            CognitionLevel.ANALYSIS,
+        ]
+        assert sorted(shuffled) == [
+            CognitionLevel.KNOWLEDGE,
+            CognitionLevel.ANALYSIS,
+            CognitionLevel.EVALUATION,
+        ]
+
+    def test_label(self):
+        assert CognitionLevel.COMPREHENSION.label == "Comprehension"
+        assert str(CognitionLevel.SYNTHESIS) == "Synthesis"
+
+    @pytest.mark.parametrize(
+        "letter,expected",
+        [
+            ("A", CognitionLevel.KNOWLEDGE),
+            ("b", CognitionLevel.COMPREHENSION),
+            ("C", CognitionLevel.APPLICATION),
+            ("d", CognitionLevel.ANALYSIS),
+            ("E", CognitionLevel.SYNTHESIS),
+            ("f", CognitionLevel.EVALUATION),
+        ],
+    )
+    def test_from_letter(self, letter, expected):
+        assert CognitionLevel.from_letter(letter) is expected
+
+    @pytest.mark.parametrize("bad", ["G", "", "AA", "1x"])
+    def test_from_letter_rejects(self, bad):
+        with pytest.raises(ValueError):
+            CognitionLevel.from_letter(bad)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("knowledge", CognitionLevel.KNOWLEDGE),
+            ("Knowledge", CognitionLevel.KNOWLEDGE),
+            ("EVALUATION", CognitionLevel.EVALUATION),
+            ("a", CognitionLevel.KNOWLEDGE),
+            ("F", CognitionLevel.EVALUATION),
+            (3, CognitionLevel.APPLICATION),
+            ("4", CognitionLevel.ANALYSIS),
+            (CognitionLevel.SYNTHESIS, CognitionLevel.SYNTHESIS),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert CognitionLevel.parse(text) is expected
+
+    @pytest.mark.parametrize("bad", ["", "  ", "wisdom", "7", 0, 7])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            CognitionLevel.parse(bad)
+
+
+class TestExpectedPyramid:
+    def test_monotone_counts_pass(self):
+        assert expected_pyramid([10, 8, 6, 4, 2, 1]) == []
+
+    def test_equal_counts_pass(self):
+        assert expected_pyramid([3, 3, 3, 3, 3, 3]) == []
+
+    def test_single_violation_located(self):
+        # comprehension (index 1) has more than knowledge (index 0)
+        assert expected_pyramid([2, 5, 4, 3, 1, 0]) == [0]
+
+    def test_multiple_violations(self):
+        assert expected_pyramid([1, 2, 1, 2, 1, 2]) == [0, 2, 4]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            expected_pyramid([1, 2, 3])

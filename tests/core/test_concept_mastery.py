@@ -1,0 +1,85 @@
+"""Tests for class-level concept performance (repro.core.concept_mastery)."""
+
+import pytest
+
+from repro.core.concept_mastery import concept_performance
+from repro.core.errors import AnalysisError
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    QuestionSpec,
+    analyze_cohort,
+)
+
+
+def cohort_with_concepts():
+    """20 examinees; 'easy' concept everyone knows, 'hard' nobody does,
+    'split' only the strong half knows."""
+    specs = [
+        QuestionSpec(options=("A", "B"), correct="A", subject="easy"),
+        QuestionSpec(options=("A", "B"), correct="A", subject="split"),
+        QuestionSpec(options=("A", "B"), correct="A", subject="hard"),
+    ]
+    responses = []
+    for index in range(20):
+        strong = index < 10
+        responses.append(
+            ExamineeResponses.of(
+                f"s{index:02d}",
+                [
+                    "A",  # easy: everyone right
+                    "A" if strong else "B",  # split
+                    "B",  # hard: everyone wrong
+                ],
+            )
+        )
+    return analyze_cohort(responses, specs), specs
+
+
+class TestConceptPerformance:
+    def test_one_row_per_concept(self):
+        cohort, specs = cohort_with_concepts()
+        rows = concept_performance(cohort, specs)
+        assert {row.concept for row in rows} == {"easy", "split", "hard"}
+
+    def test_rates_reflect_construction(self):
+        cohort, specs = cohort_with_concepts()
+        rows = {row.concept: row for row in concept_performance(cohort, specs)}
+        assert rows["easy"].high_group_rate == 1.0
+        assert rows["easy"].low_group_rate == 1.0
+        assert rows["split"].high_group_rate == 1.0
+        assert rows["split"].low_group_rate == 0.0
+        assert rows["hard"].high_group_rate == 0.0
+
+    def test_remediation_flags(self):
+        cohort, specs = cohort_with_concepts()
+        rows = {row.concept: row for row in concept_performance(cohort, specs)}
+        assert not rows["easy"].needs_remedial_course
+        assert rows["split"].needs_remedial_course  # low group lost it
+        assert not rows["split"].needs_reteaching  # high group fine
+        assert rows["hard"].needs_reteaching  # everyone lost it
+
+    def test_sorted_weakest_low_group_first(self):
+        cohort, specs = cohort_with_concepts()
+        rows = concept_performance(cohort, specs)
+        rates = [row.low_group_rate for row in rows]
+        assert rates == sorted(rates)
+
+    def test_question_numbers_tracked(self):
+        cohort, specs = cohort_with_concepts()
+        rows = {row.concept: row for row in concept_performance(cohort, specs)}
+        assert rows["split"].question_numbers == (2,)
+
+    def test_untagged_grouped(self):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")]
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A" if i < 4 else "B"])
+            for i in range(8)
+        ]
+        cohort = analyze_cohort(responses, specs)
+        rows = concept_performance(cohort, specs)
+        assert rows[0].concept == "(untagged)"
+
+    def test_spec_mismatch_rejected(self):
+        cohort, specs = cohort_with_concepts()
+        with pytest.raises(AnalysisError):
+            concept_performance(cohort, specs[:1])

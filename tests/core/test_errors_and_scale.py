@@ -1,0 +1,97 @@
+"""Error-hierarchy contracts and a larger-scale analysis sanity check."""
+
+import random
+
+import pytest
+
+from repro.core import errors
+from repro.core.errors import (
+    AnalysisError,
+    AssessmentError,
+    BankError,
+    DeliveryError,
+    MetadataError,
+    MetadataValidationError,
+)
+from repro.core.grouping import GroupSplit
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    QuestionSpec,
+    analyze_cohort,
+)
+from repro.items.base import Picture
+
+
+class TestErrorHierarchy:
+    def test_every_error_is_an_assessment_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, AssessmentError)
+
+    def test_subsystem_bases(self):
+        assert issubclass(errors.EmptyCohortError, AnalysisError)
+        assert issubclass(errors.GroupSplitError, AnalysisError)
+        assert issubclass(errors.DuplicateIdError, BankError)
+        assert issubclass(errors.NotFoundError, BankError)
+        assert issubclass(errors.SessionStateError, DeliveryError)
+        assert issubclass(errors.TimeLimitExceeded, DeliveryError)
+        assert issubclass(errors.MetadataValidationError, MetadataError)
+        assert issubclass(errors.ManifestError, errors.PackagingError)
+        assert issubclass(errors.BlueprintError, errors.AuthoringError)
+
+    def test_validation_error_lists_violations(self):
+        error = MetadataValidationError(["first problem", "second problem"])
+        assert error.violations == ["first problem", "second problem"]
+        assert "first problem" in str(error)
+        assert "second problem" in str(error)
+
+    def test_one_base_catches_everything(self):
+        with pytest.raises(AssessmentError):
+            raise errors.TimeLimitExceeded("out of time")
+
+
+class TestPicture:
+    def test_defaults(self):
+        picture = Picture(resource="a.gif")
+        assert (picture.x, picture.y) == (0, 0)
+
+    def test_empty_resource_rejected(self):
+        from repro.core.errors import ItemError
+
+        with pytest.raises(ItemError):
+            Picture(resource="")
+
+
+class TestLargeScaleAnalysis:
+    """The analysis must stay correct (and fast enough to live inside an
+    LMS request) at a realistic course scale: 500 examinees x 30
+    questions."""
+
+    def test_500_by_30(self):
+        rng = random.Random(99)
+        question_count = 30
+        options = ("A", "B", "C", "D", "E")
+        specs = [
+            QuestionSpec(options=options, correct=rng.choice(options))
+            for _ in range(question_count)
+        ]
+        responses = []
+        for index in range(500):
+            ability = rng.gauss(0, 1)
+            selections = []
+            for spec in specs:
+                if rng.random() < 1 / (1 + 2.718 ** (-ability)):
+                    selections.append(spec.correct)
+                else:
+                    selections.append(rng.choice(options))
+            responses.append(ExamineeResponses.of(f"s{index:03d}", selections))
+        analysis = analyze_cohort(responses, specs, split=GroupSplit())
+        assert len(analysis.questions) == question_count
+        assert len(analysis.high_group) == 125
+        # with ability-driven responses every question discriminates
+        # positively at this sample size
+        assert all(q.discrimination > 0 for q in analysis.questions)
+        # matrices account for every selection
+        for question in analysis.questions:
+            assert question.matrix.high_sum == 125
+            assert question.matrix.low_sum == 125

@@ -1,0 +1,200 @@
+"""Tests for the whole-test analyses (repro.core.exam_analysis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AnalysisError, EmptyCohortError
+from repro.core.exam_analysis import (
+    average_time,
+    score_vs_difficulty,
+    time_limit_adequacy,
+    time_vs_answered,
+)
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    QuestionSpec,
+    analyze_cohort,
+)
+
+
+class TestTimeVsAnswered:
+    def test_series_is_cumulative(self):
+        # one examinee answering at 10, 20, 30 seconds
+        analysis = time_vs_answered([[10.0, 20.0, 30.0]], samples=7)
+        answered = [point.answered for point in analysis.series]
+        assert answered == sorted(answered)
+        assert answered[0] == 0.0
+        assert answered[-1] == 3.0
+
+    def test_series_averages_across_examinees(self):
+        fast = [1.0, 2.0, 3.0]
+        slow = [10.0, 20.0, 30.0]
+        analysis = time_vs_answered([fast, slow], samples=31)
+        final = analysis.series[-1]
+        assert final.answered == 3.0
+        midpoint = next(
+            point for point in analysis.series if point.time_seconds >= 5.0
+        )
+        assert midpoint.answered == pytest.approx(1.5)
+
+    def test_time_enough_verdict_positive(self):
+        times = [[5.0, 10.0] for _ in range(10)]
+        analysis = time_vs_answered(times, time_limit_seconds=20.0)
+        assert analysis.time_enough is True
+        assert analysis.fraction_finished_in_limit == 1.0
+
+    def test_time_not_enough_verdict(self):
+        times = [[5.0, 30.0] for _ in range(10)]
+        analysis = time_vs_answered(
+            times, time_limit_seconds=20.0, adequacy_threshold=0.9
+        )
+        assert analysis.time_enough is False
+        assert analysis.fraction_finished_in_limit == 0.0
+
+    def test_threshold_boundary(self):
+        times = [[5.0]] * 9 + [[50.0]]
+        analysis = time_vs_answered(
+            times, time_limit_seconds=20.0, adequacy_threshold=0.9
+        )
+        assert analysis.fraction_finished_in_limit == pytest.approx(0.9)
+        assert analysis.time_enough is True
+
+    def test_no_limit_gives_no_verdict(self):
+        analysis = time_vs_answered([[1.0]])
+        assert analysis.time_enough is None
+        assert analysis.fraction_finished_in_limit is None
+
+    def test_empty_cohort_rejected(self):
+        with pytest.raises(EmptyCohortError):
+            time_vs_answered([])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(AnalysisError):
+            time_vs_answered([[-1.0]])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            time_vs_answered([[1.0]], samples=1)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(AnalysisError):
+            time_vs_answered([[1.0]], adequacy_threshold=0.0)
+
+    def test_examinee_with_no_answers(self):
+        analysis = time_vs_answered([[], [5.0]], time_limit_seconds=10.0)
+        # the empty sitting finished (vacuously) within the limit
+        assert analysis.fraction_finished_in_limit == 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        times=st.lists(
+            st.lists(
+                st.floats(min_value=0, max_value=1000, allow_nan=False),
+                max_size=20,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_series_monotone_for_any_cohort(self, times):
+        analysis = time_vs_answered(times)
+        answered = [point.answered for point in analysis.series]
+        assert all(a <= b + 1e-9 for a, b in zip(answered, answered[1:]))
+
+
+def cohort_with_mixed_difficulty():
+    """20 examinees, 3 questions: Q1 easy (most get it), Q3 hard."""
+    specs = [QuestionSpec(options=("A", "B"), correct="A") for _ in range(3)]
+    responses = []
+    for index in range(20):
+        q1 = "A" if index < 18 else "B"  # easy
+        q2 = "A" if index < 10 else "B"  # medium
+        q3 = "A" if index < 3 else "B"  # hard
+        responses.append(ExamineeResponses.of(f"s{index:02d}", [q1, q2, q3]))
+    return responses, specs
+
+
+class TestScoreVsDifficulty:
+    def setup_method(self):
+        self.responses, self.specs = cohort_with_mixed_difficulty()
+        self.cohort = analyze_cohort(self.responses, self.specs)
+        self.correct_flags = {
+            response.examinee_id: [
+                selection == spec.correct
+                for selection, spec in zip(response.selections, self.specs)
+            ]
+            for response in self.responses
+        }
+
+    def test_bands_cover_all_scores(self):
+        analysis = score_vs_difficulty(
+            self.cohort.scores, self.correct_flags, self.cohort.questions
+        )
+        assert set(analysis.scores) == set(self.cohort.scores.values())
+
+    def test_band_examinee_counts_sum_to_cohort(self):
+        analysis = score_vs_difficulty(
+            self.cohort.scores, self.correct_flags, self.cohort.questions
+        )
+        assert sum(band.examinees for band in analysis.bands) == 20
+
+    def test_low_scorers_succeed_only_on_easy_questions(self):
+        analysis = score_vs_difficulty(
+            self.cohort.scores, self.correct_flags, self.cohort.questions
+        )
+        by_score = {band.score: band for band in analysis.bands}
+        # score-1 examinees only got the easy (high P) question right
+        lowest_band = by_score[min(b for b in by_score if b > 0)]
+        highest_band = by_score[max(by_score)]
+        assert (
+            lowest_band.mean_difficulty_of_correct
+            >= highest_band.mean_difficulty_of_correct
+        )
+
+    def test_zero_score_band_has_no_difficulty(self):
+        scores = {"s1": 0}
+        flags = {"s1": [False, False, False]}
+        analysis = score_vs_difficulty(scores, flags, self.cohort.questions)
+        assert analysis.bands[0].mean_difficulty_of_correct is None
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(EmptyCohortError):
+            score_vs_difficulty({}, {}, self.cohort.questions)
+
+    def test_mismatched_examinees_rejected(self):
+        with pytest.raises(AnalysisError):
+            score_vs_difficulty({"s1": 1}, {"s2": [True]}, self.cohort.questions)
+
+    def test_ragged_flags_rejected(self):
+        with pytest.raises(AnalysisError):
+            score_vs_difficulty(
+                {"s1": 1}, {"s1": [True]}, self.cohort.questions
+            )
+
+
+class TestExamAggregates:
+    def test_average_time(self):
+        assert average_time([100.0, 200.0, 300.0]) == 200.0
+
+    def test_average_time_empty_rejected(self):
+        with pytest.raises(EmptyCohortError):
+            average_time([])
+
+    def test_average_time_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            average_time([10.0, -1.0])
+
+    def test_time_limit_adequacy(self):
+        assert time_limit_adequacy([10, 20, 30, 40], 25) == 0.5
+
+    def test_time_limit_boundary_inclusive(self):
+        assert time_limit_adequacy([25.0], 25.0) == 1.0
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(AnalysisError):
+            time_limit_adequacy([10.0], 0)
+
+    def test_adequacy_empty_rejected(self):
+        with pytest.raises(EmptyCohortError):
+            time_limit_adequacy([], 10)

@@ -1,0 +1,114 @@
+"""Tests for report export (repro.core.export)."""
+
+import csv
+import io
+import json
+
+from repro.core.cognition import CognitionLevel
+from repro.core.export import (
+    number_representation_csv,
+    report_to_dict,
+    report_to_json,
+)
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    QuestionSpec,
+    analyze_cohort,
+)
+from repro.core.report import build_report
+from repro.core.spec_table import SpecificationTable, TaggedQuestion
+
+
+def full_report():
+    specs = [
+        QuestionSpec(options=("A", "B", "C"), correct="A", subject="s1"),
+        QuestionSpec(options=("A", "B", "C"), correct="B", subject="s2"),
+    ]
+    responses = [
+        ExamineeResponses.of(
+            f"x{i}", ["A", "B"] if i < 8 else ["B", "C"]
+        )
+        for i in range(16)
+    ]
+    cohort = analyze_cohort(responses, specs)
+    flags = {
+        r.examinee_id: [s == spec.correct for s, spec in zip(r.selections, specs)]
+        for r in responses
+    }
+    times = [[15.0, 40.0]] * 16
+    table = SpecificationTable.from_questions(
+        [
+            TaggedQuestion(1, "s1", CognitionLevel.KNOWLEDGE),
+            TaggedQuestion(2, "s2", CognitionLevel.EVALUATION),
+        ]
+    )
+    return build_report(
+        "Export test",
+        cohort,
+        correct_flags=flags,
+        answer_times=times,
+        time_limit_seconds=120.0,
+        spec_table=table,
+    )
+
+
+class TestReportToDict:
+    def test_questions_serialized(self):
+        payload = report_to_dict(full_report())
+        assert payload["title"] == "Export test"
+        assert len(payload["questions"]) == 2
+        question = payload["questions"][0]
+        assert question["number"] == 1
+        assert question["signal"] in ("green", "yellow", "red")
+        assert question["option_matrix"]["correct"] == "A"
+        assert isinstance(question["rules_fired"], list)
+
+    def test_optional_sections_present(self):
+        payload = report_to_dict(full_report())
+        assert payload["time_analysis"]["time_enough"] is True
+        assert payload["score_difficulty"]
+        assert payload["specification_table"]["concepts"] == ["s1", "s2"]
+
+    def test_pyramid_violations_serialized(self):
+        payload = report_to_dict(full_report())
+        violations = payload["specification_table"]["pyramid_violations"]
+        assert ["synthesis", "evaluation"] in violations
+
+    def test_minimal_report_omits_optional_sections(self):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")]
+        responses = [
+            ExamineeResponses.of(f"x{i}", ["A" if i < 4 else "B"])
+            for i in range(8)
+        ]
+        report = build_report("Mini", analyze_cohort(responses, specs))
+        payload = report_to_dict(report)
+        assert "time_analysis" not in payload
+        assert "score_difficulty" not in payload
+        assert "specification_table" not in payload
+
+
+class TestReportToJson:
+    def test_round_trips_through_json(self):
+        text = report_to_json(full_report())
+        payload = json.loads(text)
+        assert payload["title"] == "Export test"
+
+    def test_distraction_included(self):
+        payload = json.loads(report_to_json(full_report()))
+        assert payload["questions"][0]["distraction"] is not None
+
+
+class TestCsv:
+    def test_header_matches_paper(self):
+        text = number_representation_csv(full_report())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["No", "PH", "PL", "D=PH-PL", "P=(PH+PL)/2", "signal"]
+        assert len(rows) == 3
+
+    def test_identities_hold_in_csv(self):
+        text = number_representation_csv(full_report())
+        rows = list(csv.reader(io.StringIO(text)))[1:]
+        for row in rows:
+            ph, pl, d, p = map(float, row[1:5])
+            assert abs(d - (ph - pl)) < 1e-6
+            assert abs(p - (ph + pl) / 2) < 1e-6

@@ -1,0 +1,109 @@
+"""Tests for the ASCII figure renderers (repro.core.figures)."""
+
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.core.exam_analysis import (
+    score_vs_difficulty,
+    time_vs_answered,
+)
+from repro.core.figures import (
+    render_histogram,
+    render_score_difficulty_figure,
+    render_time_figure,
+    render_xy_chart,
+)
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    QuestionSpec,
+    analyze_cohort,
+)
+
+
+class TestXYChart:
+    def test_renders_axes_and_labels(self):
+        chart = render_xy_chart(
+            [(0, 0), (10, 5)], x_label="time", y_label="answered"
+        )
+        assert "time" in chart
+        assert "answered" in chart
+        assert "+" in chart
+
+    def test_marker_appears(self):
+        chart = render_xy_chart([(0, 0), (1, 1)], marker="@")
+        assert "@" in chart
+
+    def test_empty_series(self):
+        chart = render_xy_chart([], x_label="x", y_label="y")
+        assert "no data" in chart
+
+    def test_single_point_does_not_crash(self):
+        chart = render_xy_chart([(5.0, 5.0)])
+        assert "*" in chart
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_xy_chart([(0, 0)], width=2, height=2)
+
+    def test_dimensions_respected(self):
+        chart = render_xy_chart([(0, 0), (1, 1)], width=30, height=6)
+        lines = chart.splitlines()
+        # header + 6 grid rows + axis + footer
+        assert len(lines) == 9
+        assert all(len(line) <= 32 for line in lines[1:7])
+
+
+class TestTimeFigure:
+    def test_includes_verdict_with_limit(self):
+        analysis = time_vs_answered([[5.0, 10.0]] * 5, time_limit_seconds=20.0)
+        text = render_time_figure(analysis)
+        assert "ENOUGH" in text
+        assert "time limit" in text
+
+    def test_no_verdict_without_limit(self):
+        analysis = time_vs_answered([[5.0, 10.0]] * 5)
+        text = render_time_figure(analysis)
+        assert "time limit" not in text
+
+    def test_not_enough_verdict(self):
+        analysis = time_vs_answered([[50.0]] * 5, time_limit_seconds=20.0)
+        assert "NOT ENOUGH" in render_time_figure(analysis)
+
+
+class TestScoreDifficultyFigure:
+    def test_renders_chart_and_histogram(self):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")] * 2
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A", "A"] if i < 10 else ["B", "B"])
+            for i in range(20)
+        ]
+        cohort = analyze_cohort(responses, specs)
+        flags = {
+            r.examinee_id: [s == "A" for s in r.selections] for r in responses
+        }
+        analysis = score_vs_difficulty(cohort.scores, flags, cohort.questions)
+        text = render_score_difficulty_figure(analysis)
+        assert "difficulty P" in text
+        assert "examinees per score" in text
+
+
+class TestHistogram:
+    def test_bars_scaled(self):
+        text = render_histogram([("a", 10), ("b", 5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_counts_shown(self):
+        text = render_histogram([("x", 3)])
+        assert " 3" in text
+
+    def test_title(self):
+        assert render_histogram([], title="scores").startswith("scores")
+
+    def test_empty(self):
+        assert "no data" in render_histogram([])
+
+    def test_zero_counts(self):
+        text = render_histogram([("a", 0), ("b", 0)])
+        assert "a" in text and "b" in text

@@ -1,0 +1,110 @@
+"""Tests for the high/low group split (repro.core.grouping)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import GroupSplitError
+from repro.core.grouping import (
+    ACCEPTABLE_RANGE,
+    KELLY_OPTIMUM,
+    PAPER_FRACTION,
+    GroupSplit,
+    split_by_score,
+)
+
+
+class TestConstants:
+    def test_paper_constants(self):
+        assert KELLY_OPTIMUM == 0.27
+        assert ACCEPTABLE_RANGE == (0.25, 0.33)
+        assert PAPER_FRACTION == 0.25
+
+
+class TestGroupSplitPolicy:
+    def test_default_is_paper_fraction(self):
+        assert GroupSplit().fraction == 0.25
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 0.51, 1.0])
+    def test_rejects_bad_fractions(self, bad):
+        with pytest.raises(GroupSplitError):
+            GroupSplit(fraction=bad)
+
+    def test_strict_accepts_kelly_range(self):
+        GroupSplit(fraction=0.25, strict=True)
+        GroupSplit(fraction=0.27, strict=True)
+        GroupSplit(fraction=0.33, strict=True)
+
+    @pytest.mark.parametrize("bad", [0.2, 0.34, 0.5])
+    def test_strict_rejects_outside_kelly_range(self, bad):
+        with pytest.raises(GroupSplitError):
+            GroupSplit(fraction=bad, strict=True)
+
+    def test_paper_class_of_44_gives_groups_of_11(self):
+        """§4.1.2: 'class size is 44 students, the high score group and
+        low score group is 11.'"""
+        assert GroupSplit().group_size(44) == 11
+
+    def test_group_size_truncates(self):
+        assert GroupSplit().group_size(43) == 10
+
+    def test_tiny_cohort_rejected(self):
+        with pytest.raises(GroupSplitError):
+            GroupSplit().group_size(3)
+
+    def test_nonpositive_cohort_rejected(self):
+        with pytest.raises(GroupSplitError):
+            GroupSplit().group_size(0)
+
+
+class TestSplit:
+    def test_high_group_has_highest_scores(self):
+        scores = [10, 50, 30, 90, 70, 20, 80, 60, 40, 100, 5, 55]
+        high, low = split_by_score(scores)
+        # 12 * 0.25 = 3 per group
+        assert len(high) == len(low) == 3
+        assert sorted(scores[i] for i in high) == [80, 90, 100]
+        assert sorted(scores[i] for i in low) == [5, 10, 20]
+
+    def test_groups_disjoint(self):
+        scores = list(range(20))
+        high, low = split_by_score(scores)
+        assert not set(high) & set(low)
+
+    def test_ties_broken_by_original_order(self):
+        scores = [1.0] * 8
+        high, low = split_by_score(scores)
+        assert high == [0, 1]
+        assert low == [6, 7]
+
+    def test_split_with_objects(self):
+        examinees = [("amy", 90), ("bob", 10), ("cat", 50), ("dan", 70),
+                     ("eve", 30), ("fay", 80), ("gus", 20), ("hal", 60)]
+        high, low = GroupSplit().split(examinees, lambda pair: pair[1])
+        assert [name for name, _ in high] == ["amy", "fay"]
+        assert {name for name, _ in low} == {"bob", "gus"}
+
+    @given(
+        scores=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=4,
+            max_size=200,
+        )
+    )
+    def test_every_high_scores_at_least_every_low(self, scores):
+        high, low = split_by_score(scores)
+        min_high = min(scores[i] for i in high)
+        max_low = max(scores[i] for i in low)
+        assert min_high >= max_low
+
+    @given(
+        size=st.integers(min_value=4, max_value=500),
+        fraction=st.floats(min_value=0.05, max_value=0.5),
+    )
+    def test_group_sizes_match_policy(self, size, fraction):
+        expected = int(size * fraction)
+        if expected < 1:
+            return  # policy would reject; covered elsewhere
+        scores = [float(i) for i in range(size)]
+        high, low = split_by_score(scores, fraction=fraction)
+        assert len(high) == len(low) == expected

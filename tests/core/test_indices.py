@@ -1,0 +1,204 @@
+"""Tests for the psychometric indices (repro.core.indices)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import AnalysisError
+from repro.core.indices import (
+    DistractionReport,
+    difficulty_index,
+    discrimination_index,
+    distraction_analysis,
+    instructional_sensitivity_index,
+    proportion_correct,
+    split_difficulty_index,
+)
+
+
+class TestDifficultyIndex:
+    def test_paper_worked_example(self):
+        """§3.3: R=800, N=1000 -> P = 0.8 (80%)."""
+        assert difficulty_index(800, 1000) == pytest.approx(0.8)
+
+    def test_all_correct(self):
+        assert difficulty_index(10, 10) == 1.0
+
+    def test_none_correct(self):
+        assert difficulty_index(0, 10) == 0.0
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(AnalysisError):
+            difficulty_index(0, 0)
+
+    def test_negative_right_rejected(self):
+        with pytest.raises(AnalysisError):
+            difficulty_index(-1, 10)
+
+    def test_right_above_total_rejected(self):
+        with pytest.raises(AnalysisError):
+            difficulty_index(11, 10)
+
+    @given(
+        total=st.integers(min_value=1, max_value=10_000),
+        data=st.data(),
+    )
+    def test_always_a_proportion(self, total, data):
+        right = data.draw(st.integers(min_value=0, max_value=total))
+        assert 0.0 <= difficulty_index(right, total) <= 1.0
+
+
+class TestSplitDifficultyIndex:
+    def test_paper_question_2(self):
+        """§4.1.2 worked example no.2: PH=0.91, PL=0.36 -> P = 0.635."""
+        assert split_difficulty_index(0.91, 0.36) == pytest.approx(0.635)
+
+    def test_paper_question_6(self):
+        """Worked example no.6: PH=0.45, PL=0.36 -> P = 0.405 (≈0.41)."""
+        assert split_difficulty_index(0.45, 0.36) == pytest.approx(0.405)
+
+    def test_symmetric(self):
+        assert split_difficulty_index(0.2, 0.8) == split_difficulty_index(0.8, 0.2)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(AnalysisError):
+            split_difficulty_index(bad, 0.5)
+        with pytest.raises(AnalysisError):
+            split_difficulty_index(0.5, bad)
+
+    @given(
+        p_high=st.floats(min_value=0, max_value=1),
+        p_low=st.floats(min_value=0, max_value=1),
+    )
+    def test_between_the_two_inputs(self, p_high, p_low):
+        p = split_difficulty_index(p_high, p_low)
+        assert min(p_high, p_low) <= p <= max(p_high, p_low)
+
+
+class TestDiscriminationIndex:
+    def test_paper_question_2(self):
+        """Worked example no.2: D = 0.91 - 0.36 = 0.55."""
+        assert discrimination_index(0.91, 0.36) == pytest.approx(0.55)
+
+    def test_paper_question_6(self):
+        """Worked example no.6: D = 0.45 - 0.36 = 0.09."""
+        assert discrimination_index(0.45, 0.36) == pytest.approx(0.09)
+
+    def test_perfect_discrimination(self):
+        assert discrimination_index(1.0, 0.0) == 1.0
+
+    def test_negative_discrimination(self):
+        assert discrimination_index(0.2, 0.9) == pytest.approx(-0.7)
+
+    @given(
+        p_high=st.floats(min_value=0, max_value=1),
+        p_low=st.floats(min_value=0, max_value=1),
+    )
+    def test_bounded(self, p_high, p_low):
+        assert -1.0 <= discrimination_index(p_high, p_low) <= 1.0
+
+
+class TestInstructionalSensitivity:
+    def test_teaching_gain(self):
+        assert instructional_sensitivity_index(0.3, 0.8) == pytest.approx(0.5)
+
+    def test_no_gain(self):
+        assert instructional_sensitivity_index(0.5, 0.5) == 0.0
+
+    def test_negative_when_post_is_worse(self):
+        assert instructional_sensitivity_index(0.8, 0.3) == pytest.approx(-0.5)
+
+    def test_rejects_non_proportions(self):
+        with pytest.raises(AnalysisError):
+            instructional_sensitivity_index(1.5, 0.5)
+
+
+class TestProportionCorrect:
+    def test_basic(self):
+        assert proportion_correct([True, True, False, False]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            proportion_correct([])
+
+
+class TestDistractionAnalysis:
+    def test_dead_distractor_found(self):
+        """Paper Example 1: option C attracts nobody."""
+        report = distraction_analysis(
+            high_counts={"A": 12, "B": 2, "C": 0, "D": 3, "E": 3},
+            low_counts={"A": 6, "B": 4, "C": 0, "D": 5, "E": 5},
+            correct_option="A",
+        )
+        assert report.dead_options == ("C",)
+
+    def test_correct_option_never_dead(self):
+        report = distraction_analysis(
+            high_counts={"A": 0, "B": 5},
+            low_counts={"A": 0, "B": 5},
+            correct_option="A",
+        )
+        assert "A" not in report.dead_options
+
+    def test_inverted_distractor_found(self):
+        """Paper Example 2: wrong option E attracts the high group more."""
+        report = distraction_analysis(
+            high_counts={"A": 1, "B": 2, "C": 10, "D": 0, "E": 7},
+            low_counts={"A": 2, "B": 2, "C": 13, "D": 1, "E": 2},
+            correct_option="C",
+        )
+        assert "E" in report.inverted_options
+
+    def test_selection_rates_sum_to_one(self):
+        report = distraction_analysis(
+            high_counts={"A": 3, "B": 7},
+            low_counts={"A": 6, "B": 4},
+            correct_option="A",
+        )
+        assert sum(report.selection_rates.values()) == pytest.approx(1.0)
+        assert report.selection_rates["A"] == pytest.approx(9 / 20)
+
+    def test_explicit_total_counts_used(self):
+        report = distraction_analysis(
+            high_counts={"A": 1, "B": 1},
+            low_counts={"A": 1, "B": 1},
+            correct_option="A",
+            total_counts={"A": 30, "B": 10},
+        )
+        assert report.selection_rates["A"] == pytest.approx(0.75)
+
+    def test_mismatched_option_sets_rejected(self):
+        with pytest.raises(AnalysisError):
+            distraction_analysis(
+                high_counts={"A": 1},
+                low_counts={"B": 1},
+                correct_option="A",
+            )
+
+    def test_unknown_correct_option_rejected(self):
+        with pytest.raises(AnalysisError):
+            distraction_analysis(
+                high_counts={"A": 1, "B": 1},
+                low_counts={"A": 1, "B": 1},
+                correct_option="Z",
+            )
+
+    def test_describe_healthy(self):
+        report = DistractionReport(
+            correct_option="A",
+            selection_rates={"A": 0.6, "B": 0.4},
+            dead_options=(),
+            inverted_options=(),
+        )
+        assert report.describe() == "distractors functioning"
+
+    def test_describe_flags_problems(self):
+        report = DistractionReport(
+            correct_option="A",
+            selection_rates={},
+            dead_options=("C",),
+            inverted_options=("E",),
+        )
+        text = report.describe()
+        assert "C" in text and "E" in text

@@ -1,0 +1,168 @@
+"""Tests for the MINE SCORM metadata model (repro.core.metadata)."""
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import MetadataValidationError
+from repro.core.metadata import (
+    LOM_SECTION_NAMES,
+    MINE_SECTION_NAMES,
+    AssessmentAnalysisRecord,
+    AssessmentRecord,
+    DisplayType,
+    MineMetadata,
+    QuestionStyle,
+)
+
+
+class TestSectionInventory:
+    def test_nine_lom_sections(self):
+        """§2.1: LOM 'provides nine categories to describe learning
+        resource'."""
+        assert len(LOM_SECTION_NAMES) == 9
+
+    def test_ten_sections_total(self):
+        """Figure 1: 'Our proposed assessment tree consists of ten
+        sections'."""
+        assert len(MINE_SECTION_NAMES) == 10
+        assert MINE_SECTION_NAMES[-1] == "assessment"
+
+    def test_document_exposes_all_sections(self):
+        metadata = MineMetadata()
+        for name in metadata.section_names():
+            assert hasattr(metadata, name)
+
+
+class TestQuestionStyles:
+    def test_six_styles_of_section_3_2(self):
+        values = {style.value for style in QuestionStyle}
+        assert values == {
+            "essay",
+            "true_false",
+            "multiple_choice",
+            "match",
+            "completion",
+            "questionnaire",
+        }
+
+    def test_display_types(self):
+        assert {d.value for d in DisplayType} == {"fixed_order", "random_order"}
+
+
+class TestDefaults:
+    def test_fresh_document_is_valid(self):
+        metadata = MineMetadata()
+        metadata.validate()
+        assert metadata.is_valid()
+
+    def test_questionnaire_defaults(self):
+        q = MineMetadata().assessment.questionnaire
+        assert q.resumable is True
+        assert q.display_type is DisplayType.FIXED_ORDER
+
+    def test_individual_test_defaults_unset(self):
+        ind = MineMetadata().assessment.individual_test
+        assert ind.item_difficulty_index is None
+        assert ind.item_discrimination_index is None
+        assert ind.cognition_level is None
+
+
+class TestValidation:
+    def test_difficulty_out_of_range(self):
+        metadata = MineMetadata()
+        metadata.assessment.individual_test.item_difficulty_index = 1.2
+        with pytest.raises(MetadataValidationError) as excinfo:
+            metadata.validate()
+        assert any("item_difficulty_index" in v for v in excinfo.value.violations)
+
+    def test_discrimination_out_of_range(self):
+        metadata = MineMetadata()
+        metadata.assessment.individual_test.item_discrimination_index = -1.5
+        assert not metadata.is_valid()
+
+    def test_negative_times_flagged(self):
+        metadata = MineMetadata()
+        metadata.assessment.exam.average_time_seconds = -3
+        metadata.assessment.exam.test_time_seconds = -1
+        with pytest.raises(MetadataValidationError) as excinfo:
+            metadata.validate()
+        assert len(excinfo.value.violations) == 2
+
+    def test_negative_record_score_flagged(self):
+        metadata = MineMetadata()
+        metadata.assessment.records.append(
+            AssessmentRecord(learner_id="s1", score=-5)
+        )
+        assert not metadata.is_valid()
+
+    def test_negative_record_duration_flagged(self):
+        metadata = MineMetadata()
+        metadata.assessment.records.append(
+            AssessmentRecord(learner_id="s1", duration_seconds=-1)
+        )
+        assert not metadata.is_valid()
+
+    def test_negative_size_flagged(self):
+        metadata = MineMetadata()
+        metadata.technical.size_bytes = -1
+        assert not metadata.is_valid()
+
+    def test_valid_rich_document(self):
+        metadata = MineMetadata()
+        metadata.general.title = "Midterm"
+        metadata.assessment.cognition_level = CognitionLevel.APPLICATION
+        metadata.assessment.question_style = QuestionStyle.MULTIPLE_CHOICE
+        metadata.assessment.individual_test.item_difficulty_index = 0.635
+        metadata.assessment.individual_test.item_discrimination_index = 0.55
+        metadata.assessment.exam.test_time_seconds = 3600
+        metadata.assessment.records.append(
+            AssessmentRecord(learner_id="s1", score=80, duration_seconds=1800)
+        )
+        metadata.validate()
+
+    def test_all_violations_reported_at_once(self):
+        metadata = MineMetadata()
+        metadata.assessment.individual_test.item_difficulty_index = 2.0
+        metadata.assessment.individual_test.item_discrimination_index = 2.0
+        metadata.assessment.exam.test_time_seconds = -1
+        with pytest.raises(MetadataValidationError) as excinfo:
+            metadata.validate()
+        assert len(excinfo.value.violations) == 3
+
+
+class TestFigure1Tree:
+    def test_root_line(self):
+        lines = MineMetadata().tree_lines()
+        assert lines[0] == "MINE SCORM Meta-data"
+
+    def test_all_ten_sections_present(self):
+        text = MineMetadata().render_tree()
+        for name in MINE_SECTION_NAMES:
+            assert name in text
+
+    def test_assessment_subtree(self):
+        text = MineMetadata().render_tree()
+        for leaf in (
+            "cognition_level",
+            "question_style",
+            "questionnaire",
+            "individual_test",
+            "exam",
+            "item_difficulty_index",
+            "item_discrimination_index",
+            "distraction",
+            "resumable",
+            "display_type",
+            "instructional_sensitivity_index",
+        ):
+            assert leaf in text
+
+    def test_analysis_record_fields(self):
+        record = AssessmentAnalysisRecord(
+            question_number=2,
+            difficulty=0.635,
+            discrimination=0.55,
+            signal="green",
+        )
+        assert record.question_number == 2
+        assert record.statuses == []

@@ -1,0 +1,194 @@
+"""Tests for the metadata XML binding (repro.core.metadata_xml)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import MetadataError
+from repro.core.metadata import (
+    AssessmentAnalysisRecord,
+    AssessmentRecord,
+    DisplayType,
+    MineMetadata,
+    QuestionStyle,
+)
+from repro.core.metadata_xml import MINE_NAMESPACE, from_xml, to_xml
+
+
+def rich_document():
+    metadata = MineMetadata()
+    metadata.general.identifier = "exam-001"
+    metadata.general.title = "Data Structures Midterm"
+    metadata.general.keywords = ["trees", "hashing"]
+    metadata.lifecycle.version = "2.1"
+    metadata.lifecycle.contributors = ["J. Hung", "T. Shih"]
+    metadata.meta_metadata.created_by = "MINE Lab"
+    metadata.technical.size_bytes = 2048
+    metadata.technical.location = "exams/midterm.xml"
+    metadata.educational.difficulty = "medium"
+    metadata.rights.cost = True
+    metadata.relation.kind = "isBasedOn"
+    metadata.relation.target_identifier = "exam-000"
+    metadata.annotation.entity = "reviewer"
+    metadata.annotation.description = "approved"
+    metadata.classification.taxon_path = ["CS", "Data Structures"]
+    metadata.assessment.cognition_level = CognitionLevel.ANALYSIS
+    metadata.assessment.question_style = QuestionStyle.MULTIPLE_CHOICE
+    metadata.assessment.questionnaire.question = "What is a B-tree?"
+    metadata.assessment.questionnaire.resumable = False
+    metadata.assessment.questionnaire.display_type = DisplayType.RANDOM_ORDER
+    metadata.assessment.individual_test.answer = "C"
+    metadata.assessment.individual_test.subject = "trees"
+    metadata.assessment.individual_test.item_difficulty_index = 0.635
+    metadata.assessment.individual_test.item_discrimination_index = 0.55
+    metadata.assessment.individual_test.distraction = "option C unused"
+    metadata.assessment.individual_test.cognition_level = CognitionLevel.KNOWLEDGE
+    metadata.assessment.exam.average_time_seconds = 1800.5
+    metadata.assessment.exam.test_time_seconds = 3600
+    metadata.assessment.exam.instructional_sensitivity_index = 0.4
+    metadata.assessment.records = [
+        AssessmentRecord("s1", "2004-03-01", 80.0, 1650.0),
+        AssessmentRecord("s2", "2004-03-01", 55.0, 2400.0),
+    ]
+    metadata.assessment.analyses = [
+        AssessmentAnalysisRecord(
+            question_number=2,
+            difficulty=0.635,
+            discrimination=0.55,
+            signal="green",
+            statuses=["good"],
+            advice="keep it",
+        )
+    ]
+    return metadata
+
+
+class TestRoundTrip:
+    def test_rich_document_round_trips(self):
+        original = rich_document()
+        restored = from_xml(to_xml(original))
+        assert restored == original
+
+    def test_empty_document_round_trips(self):
+        original = MineMetadata()
+        assert from_xml(to_xml(original)) == original
+
+    def test_xml_is_namespaced(self):
+        assert MINE_NAMESPACE in to_xml(MineMetadata())
+
+    def test_booleans_serialized_as_words(self):
+        xml = to_xml(rich_document())
+        assert "false" in xml  # resumable=False
+        assert "true" in xml  # rights.cost=True
+
+    @given(
+        difficulty=st.floats(min_value=0, max_value=1),
+        discrimination=st.floats(min_value=-1, max_value=1),
+    )
+    def test_indices_round_trip_exactly(self, difficulty, discrimination):
+        metadata = MineMetadata()
+        metadata.assessment.individual_test.item_difficulty_index = difficulty
+        metadata.assessment.individual_test.item_discrimination_index = (
+            discrimination
+        )
+        restored = from_xml(to_xml(metadata))
+        assert (
+            restored.assessment.individual_test.item_difficulty_index == difficulty
+        )
+        assert (
+            restored.assessment.individual_test.item_discrimination_index
+            == discrimination
+        )
+
+    @given(title=st.text(min_size=0, max_size=80))
+    def test_arbitrary_titles_round_trip(self, title):
+        # control characters are not representable in XML 1.0; skip them
+        if any(ord(ch) < 32 and ch not in "\t\n\r" for ch in title):
+            return
+        metadata = MineMetadata()
+        metadata.general.title = title
+        restored = from_xml(to_xml(metadata))
+        # ElementTree normalizes \r to \n per XML line-ending rules
+        assert restored.general.title == title.replace("\r\n", "\n").replace(
+            "\r", "\n"
+        )
+
+
+class TestParsingErrors:
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(MetadataError):
+            from_xml("<not closed")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(MetadataError):
+            from_xml("<somethingElse/>")
+
+    def test_wrong_namespace_rejected(self):
+        with pytest.raises(MetadataError):
+            from_xml('<mineMetadata xmlns="http://other"/>')
+
+    def test_bad_number_rejected(self):
+        xml = (
+            f'<mineMetadata xmlns="{MINE_NAMESPACE}">'
+            "<assessment><individualTest>"
+            "<itemDifficultyIndex>abc</itemDifficultyIndex>"
+            "</individualTest></assessment></mineMetadata>"
+        )
+        with pytest.raises(MetadataError):
+            from_xml(xml)
+
+    def test_bad_boolean_rejected(self):
+        xml = (
+            f'<mineMetadata xmlns="{MINE_NAMESPACE}">'
+            "<assessment><questionnaire>"
+            "<resumable>maybe</resumable>"
+            "</questionnaire></assessment></mineMetadata>"
+        )
+        with pytest.raises(MetadataError):
+            from_xml(xml)
+
+    def test_unknown_question_style_rejected(self):
+        xml = (
+            f'<mineMetadata xmlns="{MINE_NAMESPACE}">'
+            "<assessment><questionStyle>riddle</questionStyle>"
+            "</assessment></mineMetadata>"
+        )
+        with pytest.raises(MetadataError):
+            from_xml(xml)
+
+    def test_unknown_display_type_rejected(self):
+        xml = (
+            f'<mineMetadata xmlns="{MINE_NAMESPACE}">'
+            "<assessment><questionnaire>"
+            "<displayType>spiral</displayType>"
+            "</questionnaire></assessment></mineMetadata>"
+        )
+        with pytest.raises(MetadataError):
+            from_xml(xml)
+
+    def test_partial_document_parses_with_defaults(self):
+        xml = f'<mineMetadata xmlns="{MINE_NAMESPACE}"/>'
+        metadata = from_xml(xml)
+        assert metadata.general.language == "en"
+        assert metadata.assessment.questionnaire.resumable is True
+
+    def test_accepts_boolean_variants(self):
+        xml = (
+            f'<mineMetadata xmlns="{MINE_NAMESPACE}">'
+            "<rights><cost>1</cost>"
+            "<copyrightAndOtherRestrictions>no</copyrightAndOtherRestrictions>"
+            "</rights></mineMetadata>"
+        )
+        metadata = from_xml(xml)
+        assert metadata.rights.cost is True
+        assert metadata.rights.copyright_and_other_restrictions is False
+
+    def test_cognition_level_letter_accepted(self):
+        xml = (
+            f'<mineMetadata xmlns="{MINE_NAMESPACE}">'
+            "<assessment><cognitionLevel>F</cognitionLevel>"
+            "</assessment></mineMetadata>"
+        )
+        metadata = from_xml(xml)
+        assert metadata.assessment.cognition_level is CognitionLevel.EVALUATION

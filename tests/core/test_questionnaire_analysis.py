@@ -1,0 +1,82 @@
+"""Tests for questionnaire tabulation (repro.core.questionnaire_analysis)."""
+
+import pytest
+
+from repro.core.errors import AnalysisError, EmptyCohortError
+from repro.core.questionnaire_analysis import tabulate_questionnaire
+
+SCALE = ("strongly disagree", "disagree", "agree", "strongly agree")
+
+
+class TestTabulate:
+    def test_counts(self):
+        responses = ["agree", "agree", "disagree", None, "strongly agree"]
+        summary = tabulate_questionnaire("Paced well?", responses, SCALE)
+        assert summary.counts["agree"] == 2
+        assert summary.counts["disagree"] == 1
+        assert summary.counts["strongly disagree"] == 0
+        assert summary.respondents == 4
+        assert summary.omissions == 1
+
+    def test_response_rate(self):
+        summary = tabulate_questionnaire(
+            "Q?", ["agree", None, None, "agree"], SCALE
+        )
+        assert summary.response_rate == 0.5
+
+    def test_proportion(self):
+        summary = tabulate_questionnaire(
+            "Q?", ["agree", "agree", "disagree"], SCALE
+        )
+        assert summary.proportion("agree") == pytest.approx(2 / 3)
+
+    def test_proportion_unknown_label_rejected(self):
+        summary = tabulate_questionnaire("Q?", ["agree"], SCALE)
+        with pytest.raises(AnalysisError):
+            summary.proportion("maybe")
+
+    def test_mean_position(self):
+        # positions: disagree=2, agree=3 -> mean 2.5
+        summary = tabulate_questionnaire("Q?", ["disagree", "agree"], SCALE)
+        assert summary.mean_position == pytest.approx(2.5)
+
+    def test_free_text_has_no_mean(self):
+        summary = tabulate_questionnaire("Q?", ["loved it", "meh"])
+        assert summary.mean_position is None
+        assert summary.counts == {"loved it": 1, "meh": 1}
+
+    def test_off_scale_response_rejected(self):
+        with pytest.raises(AnalysisError):
+            tabulate_questionnaire("Q?", ["whatever"], SCALE)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyCohortError):
+            tabulate_questionnaire("Q?", [])
+
+    def test_duplicate_scale_rejected(self):
+        with pytest.raises(AnalysisError):
+            tabulate_questionnaire("Q?", ["a"], ("a", "a"))
+
+    def test_all_omitted(self):
+        summary = tabulate_questionnaire("Q?", [None, None], SCALE)
+        assert summary.respondents == 0
+        assert summary.response_rate == 0.0
+        assert summary.mean_position is None
+
+
+class TestRender:
+    def test_render_shows_bars_and_counts(self):
+        summary = tabulate_questionnaire(
+            "Pace OK?", ["agree", "agree", "disagree"], SCALE
+        )
+        text = summary.render()
+        assert "Pace OK?" in text
+        assert "agree" in text
+        assert "#" not in text.split("\n")[1]  # zero-count row has no bar
+        assert "mean position" in text
+
+    def test_render_free_text(self):
+        summary = tabulate_questionnaire("Q?", ["x", "y", "x"])
+        text = summary.render()
+        assert "x" in text and "y" in text
+        assert "mean position" not in text

@@ -1,0 +1,110 @@
+"""Tests for the aggregated report (repro.core.report)."""
+
+from repro.core.cognition import CognitionLevel
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    QuestionSpec,
+    analyze_cohort,
+)
+from repro.core.report import build_report
+from repro.core.spec_table import SpecificationTable, TaggedQuestion
+
+
+def build_everything():
+    specs = [
+        QuestionSpec(options=("A", "B", "C", "D"), correct="A", subject="sorting"),
+        QuestionSpec(options=("A", "B", "C", "D"), correct="B", subject="hashing"),
+    ]
+    responses = []
+    for index in range(20):
+        if index < 10:
+            selections = ["A", "B"]
+        else:
+            selections = ["B", "C"]
+        responses.append(ExamineeResponses.of(f"s{index:02d}", selections))
+    cohort = analyze_cohort(responses, specs)
+    flags = {
+        response.examinee_id: [
+            selection == spec.correct
+            for selection, spec in zip(response.selections, specs)
+        ]
+        for response in responses
+    }
+    answer_times = [[30.0 * (i + 1) for i in range(2)] for _ in range(20)]
+    table = SpecificationTable.from_questions(
+        [
+            TaggedQuestion(1, "sorting", CognitionLevel.KNOWLEDGE),
+            TaggedQuestion(2, "hashing", CognitionLevel.APPLICATION),
+        ],
+        concepts=["sorting", "hashing", "graphs"],
+    )
+    return build_report(
+        "Midterm",
+        cohort,
+        correct_flags=flags,
+        answer_times=answer_times,
+        time_limit_seconds=120.0,
+        spec_table=table,
+    )
+
+
+class TestBuildReport:
+    def test_all_components_present(self):
+        report = build_everything()
+        assert report.time_analysis is not None
+        assert report.score_difficulty is not None
+        assert report.spec_table is not None
+
+    def test_minimal_report(self):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")]
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A" if i < 4 else "B"])
+            for i in range(8)
+        ]
+        cohort = analyze_cohort(responses, specs)
+        report = build_report("Quiz", cohort)
+        assert report.time_analysis is None
+        assert report.score_difficulty is None
+        text = report.render()
+        assert "Number representation" in text
+
+
+class TestRender:
+    def test_sections_in_paper_order(self):
+        text = build_everything().render()
+        number_pos = text.index("Number representation")
+        signal_pos = text.index("Signal representation")
+        time_pos = text.index("Time vs answered")
+        score_pos = text.index("Score vs difficulty")
+        spec_pos = text.index("Two-way specification")
+        assert number_pos < signal_pos < time_pos < score_pos < spec_pos
+
+    def test_lost_concept_reported(self):
+        text = build_everything().render()
+        assert "Concept lost in the exam: graphs" in text
+
+    def test_pyramid_violation_reported(self):
+        # knowledge=1, application=1: comprehension(0) < application(1)
+        text = build_everything().render()
+        assert "Cognition-level ordering violated" in text
+
+    def test_paint_present(self):
+        assert "Distribution paint" in build_everything().render()
+
+    def test_title_in_header(self):
+        assert "Midterm" in build_everything().render()
+
+
+class TestAnalysisRecords:
+    def test_one_record_per_question(self):
+        report = build_everything()
+        records = report.analysis_records()
+        assert [record.question_number for record in records] == [1, 2]
+
+    def test_records_carry_signal_and_indices(self):
+        report = build_everything()
+        record = report.analysis_records()[0]
+        assert record.signal in ("green", "yellow", "red")
+        assert record.difficulty is not None
+        assert record.discrimination is not None
+        assert record.advice

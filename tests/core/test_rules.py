@@ -1,0 +1,294 @@
+"""Tests for the four diagnostic rules (repro.core.rules).
+
+The four example matrices come verbatim from paper §4.1.2.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import AnalysisError
+from repro.core.rules import (
+    DEFAULT_SPREAD_THRESHOLD,
+    STATUSES_BY_RULE,
+    OptionMatrix,
+    Status,
+    evaluate_rules,
+)
+
+
+def matrix(high, low, correct="A"):
+    return OptionMatrix.from_rows(high, low, correct=correct)
+
+
+class TestOptionMatrix:
+    def test_from_rows_default_labels(self):
+        m = matrix([1, 2, 3], [4, 5, 6])
+        assert m.options == ("A", "B", "C")
+        assert m.high["C"] == 3
+        assert m.low["A"] == 4
+
+    def test_aggregates(self):
+        m = matrix([5, 1, 0, 2, 4], [3, 3, 3, 3, 3])
+        assert m.high_sum == 12
+        assert m.low_sum == 15
+        assert m.high_max == 5
+        assert m.high_min == 0
+        assert m.low_max == m.low_min == 3
+
+    def test_proportions_use_group_size(self):
+        m = matrix([10, 1, 0, 0], [4, 3, 2, 2], correct="A")
+        assert m.proportion_high_correct(11) == pytest.approx(10 / 11)
+        assert m.proportion_low_correct(11) == pytest.approx(4 / 11)
+
+    def test_proportions_default_to_column_sums(self):
+        m = matrix([10, 10], [5, 15], correct="A")
+        assert m.proportion_high_correct() == pytest.approx(0.5)
+        assert m.proportion_low_correct() == pytest.approx(0.25)
+
+    def test_render_contains_counts(self):
+        text = matrix([12, 2, 0, 3, 3], [6, 4, 0, 5, 5]).render()
+        assert "Option A" in text
+        assert "High Score Group" in text
+        assert "12" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            OptionMatrix.from_rows([1, 2], [1, 2, 3], correct="A")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(AnalysisError):
+            matrix([1, -2], [0, 0])
+
+    def test_unknown_correct_rejected(self):
+        with pytest.raises(AnalysisError):
+            matrix([1, 2], [3, 4], correct="Z")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(AnalysisError):
+            OptionMatrix.from_rows([1, 2], [3, 4], correct="A", options=["A", "A"])
+
+    def test_missing_option_in_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            OptionMatrix(
+                options=("A", "B"),
+                high={"A": 1},
+                low={"A": 1, "B": 1},
+                correct="A",
+            )
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(AnalysisError):
+            OptionMatrix(options=(), high={}, low={}, correct="A")
+
+
+class TestPaperExample1:
+    """Rule 1: option C has LC = 0 -> the option's allure is low."""
+
+    def setup_method(self):
+        self.outcome = evaluate_rules(
+            matrix([12, 2, 0, 3, 3], [6, 4, 0, 5, 5], correct="A")
+        )
+
+    def test_rule_1_fires(self):
+        assert self.outcome.rule_fired(1)
+
+    def test_dead_option_is_c(self):
+        match = next(m for m in self.outcome.matches if m.rule == 1)
+        assert match.options == ("C",)
+
+    def test_status_is_low_allure(self):
+        match = next(m for m in self.outcome.matches if m.rule == 1)
+        assert match.statuses == (Status.LOW_ALLURE,)
+
+    def test_rules_3_4_do_not_fire(self):
+        # low counts 6,4,0,5,5: spread 6 > 20*0.2=4
+        assert not self.outcome.rule_fired(3)
+        assert not self.outcome.rule_fired(4)
+
+
+class TestPaperExample2:
+    """Rule 2: correct option C has HC < LC; wrong option E has HE > LE."""
+
+    def setup_method(self):
+        self.outcome = evaluate_rules(
+            matrix([1, 2, 10, 0, 7], [2, 2, 13, 1, 2], correct="C")
+        )
+
+    def test_rule_2_fires(self):
+        assert self.outcome.rule_fired(2)
+
+    def test_both_problem_options_flagged(self):
+        match = next(m for m in self.outcome.matches if m.rule == 2)
+        assert set(match.options) == {"C", "E"}
+
+    def test_statuses_match_table_2(self):
+        match = next(m for m in self.outcome.matches if m.rule == 2)
+        assert set(match.statuses) == {
+            Status.OPTION_NOT_CLEAR,
+            Status.CARELESS,
+            Status.NOT_ONLY_ONE_ANSWER,
+        }
+
+
+class TestPaperExample3:
+    """Rule 3: low group spread |5-2|=3 <= 20*20%=4 -> low group lacks
+    concept; high group is uneven so Rule 4 must not fire."""
+
+    def setup_method(self):
+        self.outcome = evaluate_rules(
+            matrix([15, 2, 2, 0, 1], [5, 4, 5, 4, 2], correct="A")
+        )
+
+    def test_rule_3_fires(self):
+        assert self.outcome.rule_fired(3)
+
+    def test_rule_4_does_not_fire(self):
+        # high spread |15-0| = 15 > 20*20% = 4
+        assert not self.outcome.rule_fired(4)
+
+    def test_status(self):
+        match = next(m for m in self.outcome.matches if m.rule == 3)
+        assert match.statuses == (Status.LOW_GROUP_LACKS_CONCEPT,)
+
+
+class TestPaperExample4:
+    """Rule 4: both spreads small -> both groups lack the concept."""
+
+    def setup_method(self):
+        self.outcome = evaluate_rules(
+            matrix([4, 4, 4, 2, 6], [5, 4, 5, 4, 2], correct="A")
+        )
+
+    def test_rule_3_fires(self):
+        assert self.outcome.rule_fired(3)
+
+    def test_rule_4_fires(self):
+        # |LM-Lm| = 3 <= 4 and |HM-Hm| = 4 <= 4
+        assert self.outcome.rule_fired(4)
+
+    def test_rule_4_statuses(self):
+        match = next(m for m in self.outcome.matches if m.rule == 4)
+        assert set(match.statuses) == {
+            Status.LOW_GROUP_LACKS_CONCEPT,
+            Status.HIGH_GROUP_LACKS_CONCEPT,
+        }
+
+
+class TestPaperQuestion6Rule1:
+    """§4.1.2's second worked example: 'Rule1: ... The allure of option A
+    is low' — LA = 0 on question no. 6."""
+
+    def test_rule_1_flags_option_a(self):
+        outcome = evaluate_rules(
+            matrix([1, 1, 4, 5], [0, 2, 4, 4], correct="D")
+        )
+        assert outcome.rule_fired(1)
+        match = next(m for m in outcome.matches if m.rule == 1)
+        assert match.options == ("A",)
+
+
+class TestRuleMechanics:
+    def test_clean_question_fires_nothing(self):
+        # good discrimination, every option attracts some low-group takers,
+        # low group clearly prefers a wrong answer (uneven spread)
+        outcome = evaluate_rules(matrix([15, 2, 2, 1], [2, 10, 4, 4], correct="A"))
+        assert outcome.matches == []
+        assert outcome.statuses == ()
+
+    def test_rule_2_correct_option_only(self):
+        outcome = evaluate_rules(matrix([3, 9], [8, 1], correct="A"))
+        match = next(m for m in outcome.matches if m.rule == 2)
+        assert set(match.options) == {"A", "B"}
+
+    def test_rule_2_equality_does_not_fire(self):
+        # HN == LN everywhere -> no rule 2 (strict inequalities in the paper)
+        outcome = evaluate_rules(matrix([9, 5], [9, 5], correct="A"))
+        assert not outcome.rule_fired(2)
+
+    def test_rule_3_boundary_is_inclusive(self):
+        # |LM-Lm| == LS*threshold exactly -> fires (paper: <=)
+        # low = [6, 2, 4, 4, 4]: LM=6, Lm=2, LS=20, |6-2|=4 == 4
+        outcome = evaluate_rules(
+            matrix([20, 0, 0, 0, 0], [6, 2, 4, 4, 4], correct="A")
+        )
+        assert outcome.rule_fired(3)
+
+    def test_rule_3_just_over_boundary_does_not_fire(self):
+        # low = [7, 2, 4, 4, 3]: LM=7, Lm=2, LS=20, |7-2|=5 > 4
+        outcome = evaluate_rules(
+            matrix([20, 0, 0, 0, 0], [7, 2, 4, 4, 3], correct="A")
+        )
+        assert not outcome.rule_fired(3)
+
+    def test_rule_4_requires_rule_3(self):
+        # high group even but low group uneven -> neither 3 nor 4
+        outcome = evaluate_rules(matrix([4, 4, 4, 4], [15, 1, 0, 0], correct="A"))
+        assert not outcome.rule_fired(4)
+
+    def test_custom_spread_threshold(self):
+        m = matrix([20, 0, 0, 0, 0], [7, 2, 4, 4, 3], correct="A")
+        assert not evaluate_rules(m, spread_threshold=0.20).rule_fired(3)
+        assert evaluate_rules(m, spread_threshold=0.30).rule_fired(3)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5])
+    def test_bad_threshold_rejected(self, bad):
+        with pytest.raises(AnalysisError):
+            evaluate_rules(matrix([1, 1], [1, 1]), spread_threshold=bad)
+
+    def test_all_zero_low_group_fires_rule_1_not_rule_3(self):
+        outcome = evaluate_rules(matrix([5, 5], [0, 0], correct="A"))
+        assert outcome.rule_fired(1)
+        # LS == 0: the evenness predicate is vacuous, not "lacking concept"
+        assert not outcome.rule_fired(3)
+
+    def test_matches_sorted_by_rule_number(self):
+        outcome = evaluate_rules(matrix([4, 4, 4, 4, 4], [4, 4, 4, 4, 0]))
+        assert list(outcome.fired_rules) == sorted(outcome.fired_rules)
+
+    def test_statuses_deduplicated(self):
+        outcome = evaluate_rules(matrix([4, 4, 4, 4, 4], [4, 4, 4, 4, 4]))
+        statuses = outcome.statuses
+        assert len(statuses) == len(set(statuses))
+
+    def test_table_2_status_map(self):
+        assert STATUSES_BY_RULE[1] == (Status.LOW_ALLURE,)
+        assert len(STATUSES_BY_RULE[2]) == 3
+        assert STATUSES_BY_RULE[4] == (
+            Status.LOW_GROUP_LACKS_CONCEPT,
+            Status.HIGH_GROUP_LACKS_CONCEPT,
+        )
+
+    def test_default_threshold_is_20_percent(self):
+        assert DEFAULT_SPREAD_THRESHOLD == 0.20
+
+
+class TestRuleProperties:
+    @given(
+        high=st.lists(st.integers(min_value=0, max_value=30), min_size=5, max_size=5),
+        low=st.lists(st.integers(min_value=0, max_value=30), min_size=5, max_size=5),
+    )
+    def test_rule_4_implies_rule_3(self, high, low):
+        outcome = evaluate_rules(matrix(high, low))
+        if outcome.rule_fired(4):
+            assert outcome.rule_fired(3)
+
+    @given(
+        high=st.lists(st.integers(min_value=0, max_value=30), min_size=5, max_size=5),
+        low=st.lists(st.integers(min_value=1, max_value=30), min_size=5, max_size=5),
+    )
+    def test_rule_1_iff_some_low_zero(self, high, low):
+        outcome = evaluate_rules(matrix(high, low))
+        assert not outcome.rule_fired(1)  # all low counts positive
+
+    @given(
+        high=st.lists(st.integers(min_value=0, max_value=30), min_size=4, max_size=6),
+        low=st.lists(st.integers(min_value=0, max_value=30), min_size=4, max_size=6),
+    )
+    def test_evaluation_is_deterministic(self, high, low):
+        size = min(len(high), len(low))
+        m = matrix(high[:size], low[:size])
+        first = evaluate_rules(m)
+        second = evaluate_rules(m)
+        assert first.fired_rules == second.fired_rules
+        assert first.statuses == second.statuses

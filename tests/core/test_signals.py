@@ -1,0 +1,137 @@
+"""Tests for the traffic-light signal model (repro.core.signals)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import AnalysisError
+from repro.core.signals import (
+    DEFAULT_POLICY,
+    Signal,
+    SignalPolicy,
+    render_signal_board,
+)
+
+
+class TestTable3Classification:
+    """Table 3: Good/Green D >= 0.30; Fix/Yellow 0.20-0.29; Red <= 0.19."""
+
+    def test_paper_question_2_is_green(self):
+        """Worked example no.2: D = 0.55 > 0.3 -> 'The signal is green.'"""
+        assert DEFAULT_POLICY.classify(0.55) is Signal.GREEN
+
+    def test_paper_question_6_is_red(self):
+        """Worked example no.6: D = 0.09 -> red band."""
+        assert DEFAULT_POLICY.classify(0.09) is Signal.RED
+
+    @pytest.mark.parametrize(
+        "d,expected",
+        [
+            (0.30, Signal.GREEN),
+            (0.31, Signal.GREEN),
+            (1.0, Signal.GREEN),
+            (0.29, Signal.YELLOW),
+            (0.20, Signal.YELLOW),
+            (0.25, Signal.YELLOW),
+            (0.19, Signal.RED),
+            (0.0, Signal.RED),
+            (-0.5, Signal.RED),
+        ],
+    )
+    def test_band_boundaries(self, d, expected):
+        assert DEFAULT_POLICY.classify(d) is expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            DEFAULT_POLICY.classify(1.5)
+        with pytest.raises(AnalysisError):
+            DEFAULT_POLICY.classify(-1.5)
+
+
+class TestSignalMeta:
+    def test_status_labels_match_table_3(self):
+        assert Signal.GREEN.status == "Good"
+        assert Signal.YELLOW.status == "Fix"
+        assert Signal.RED.status == "Eliminate or fix"
+
+    def test_glyphs(self):
+        assert [s.glyph for s in (Signal.GREEN, Signal.YELLOW, Signal.RED)] == [
+            "G",
+            "Y",
+            "R",
+        ]
+
+    def test_str(self):
+        assert str(Signal.RED) == "red"
+
+
+class TestSignalPolicy:
+    def test_default_cut_points(self):
+        assert DEFAULT_POLICY.green_min == 0.30
+        assert DEFAULT_POLICY.yellow_min == 0.20
+
+    def test_custom_policy(self):
+        lenient = SignalPolicy(green_min=0.20, yellow_min=0.10)
+        assert lenient.classify(0.25) is Signal.GREEN
+        assert lenient.classify(0.15) is Signal.YELLOW
+        assert lenient.classify(0.05) is Signal.RED
+
+    @pytest.mark.parametrize(
+        "green,yellow",
+        [(0.2, 0.3), (0.3, 0.3), (0.0, -0.1), (1.2, 0.2), (0.3, 0.0)],
+    )
+    def test_invalid_cut_points_rejected(self, green, yellow):
+        with pytest.raises(AnalysisError):
+            SignalPolicy(green_min=green, yellow_min=yellow)
+
+    def test_bands_describe_table_3(self):
+        bands = DEFAULT_POLICY.bands()
+        assert bands[0][0] is Signal.GREEN
+        assert "0.3" in bands[0][1]
+        assert bands[1][1] == "0.20-0.29"
+        assert bands[2][1] == "Lower 0.19"
+
+    @given(d=st.floats(min_value=-1, max_value=1))
+    def test_classification_total(self, d):
+        assert DEFAULT_POLICY.classify(d) in set(Signal)
+
+    @given(
+        d1=st.floats(min_value=-1, max_value=1),
+        d2=st.floats(min_value=-1, max_value=1),
+    )
+    def test_classification_monotone(self, d1, d2):
+        """Higher D never yields a worse signal."""
+        order = {Signal.RED: 0, Signal.YELLOW: 1, Signal.GREEN: 2}
+        low, high = min(d1, d2), max(d1, d2)
+        assert order[DEFAULT_POLICY.classify(low)] <= order[
+            DEFAULT_POLICY.classify(high)
+        ]
+
+
+class TestSignalBoard:
+    def test_board_numbers_questions(self):
+        board = render_signal_board([Signal.GREEN, Signal.RED, Signal.YELLOW])
+        assert "Q01:G" in board
+        assert "Q02:R" in board
+        assert "Q03:Y" in board
+
+    def test_board_wraps_rows(self):
+        board = render_signal_board([Signal.GREEN] * 25, per_row=10)
+        lines = board.splitlines()
+        # 3 rows of lights + legend
+        assert len(lines) == 4
+        assert lines[0].count("Q") == 10
+        assert lines[2].count("Q") == 5
+
+    def test_board_has_legend(self):
+        board = render_signal_board([Signal.GREEN])
+        assert "legend" in board
+        assert "eliminate or fix" in board
+
+    def test_empty_board(self):
+        board = render_signal_board([])
+        assert "legend" in board
+
+    def test_bad_per_row_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_signal_board([Signal.GREEN], per_row=0)

@@ -1,0 +1,128 @@
+"""Tests for significance testing (repro.core.significance)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.core.significance import (
+    discrimination_significance,
+    isi_significance,
+    proportion_confidence_interval,
+)
+
+
+class TestDiscriminationSignificance:
+    def test_strong_discrimination_significant(self):
+        # PH = 18/20, PL = 4/20: clearly real
+        result = discrimination_significance(18, 20, 4, 20)
+        assert result.significant
+        assert result.statistic > 3
+
+    def test_no_discrimination_not_significant(self):
+        result = discrimination_significance(10, 20, 10, 20)
+        assert not result.significant
+        assert result.p_value == pytest.approx(0.5, abs=0.01)
+
+    def test_paper_question_2_is_significant(self):
+        """Worked example no.2: 10/11 vs 4/11 — a real difference even
+        in a class of 44."""
+        result = discrimination_significance(10, 11, 4, 11)
+        assert result.significant
+
+    def test_paper_question_6_is_not_significant(self):
+        """Worked example no.6: 5/11 vs 4/11 — indistinguishable from
+        noise, supporting the paper's 'eliminate or fix' verdict."""
+        result = discrimination_significance(5, 11, 4, 11)
+        assert not result.significant
+
+    def test_inverted_item_far_from_significant(self):
+        result = discrimination_significance(4, 20, 18, 20)
+        assert result.p_value > 0.99
+
+    def test_degenerate_all_correct(self):
+        result = discrimination_significance(20, 20, 20, 20)
+        assert result.p_value == 1.0
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            discrimination_significance(5, 0, 1, 10)
+        with pytest.raises(AnalysisError):
+            discrimination_significance(11, 10, 1, 10)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(AnalysisError):
+            discrimination_significance(5, 10, 1, 10, alpha=0)
+
+
+class TestIsiSignificance:
+    def test_clear_teaching_effect(self):
+        pre = [False] * 30 + [True] * 10
+        post = [True] * 35 + [False] * 5
+        result = isi_significance(pre, post)
+        assert result.significant
+
+    def test_no_change_not_significant(self):
+        pre = [True, False] * 20
+        post = list(pre)
+        result = isi_significance(pre, post)
+        assert result.p_value == 1.0
+
+    def test_balanced_churn_not_significant(self):
+        rng = random.Random(3)
+        pre, post = [], []
+        for _ in range(60):
+            before = rng.random() < 0.5
+            # flip with equal probability in both directions
+            after = (not before) if rng.random() < 0.3 else before
+            pre.append(before)
+            post.append(after)
+        result = isi_significance(pre, post)
+        assert result.p_value > 0.05
+
+    def test_regression_not_significant_for_improvement(self):
+        pre = [True] * 20
+        post = [False] * 15 + [True] * 5
+        result = isi_significance(pre, post)
+        assert not result.significant  # one-sided: improvement only
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            isi_significance([True], [True, False])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            isi_significance([], [])
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = proportion_confidence_interval(80, 100)
+        assert low < 0.8 < high
+
+    def test_narrows_with_sample_size(self):
+        narrow = proportion_confidence_interval(800, 1000)
+        wide = proportion_confidence_interval(8, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_bounded_by_unit_interval(self):
+        low, high = proportion_confidence_interval(0, 10)
+        assert low == 0.0
+        assert 0.0 <= high <= 1.0
+        low, high = proportion_confidence_interval(10, 10)
+        assert high == pytest.approx(1.0)
+
+    def test_paper_worked_example_interval(self):
+        """P = 0.8 with N = 1000: a tight interval around 0.8."""
+        low, high = proportion_confidence_interval(800, 1000)
+        assert low > 0.77
+        assert high < 0.83
+
+    def test_higher_confidence_wider(self):
+        ninety = proportion_confidence_interval(50, 100, confidence=0.90)
+        ninety_nine = proportion_confidence_interval(50, 100, confidence=0.99)
+        assert (ninety_nine[1] - ninety_nine[0]) > (ninety[1] - ninety[0])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(AnalysisError):
+            proportion_confidence_interval(5, 10, confidence=1.0)

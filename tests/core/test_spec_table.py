@@ -1,0 +1,224 @@
+"""Tests for the two-way specification table (repro.core.spec_table)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cognition import COGNITIVE_LEVELS, CognitionLevel
+from repro.core.errors import AnalysisError
+from repro.core.spec_table import SpecificationTable, TaggedQuestion
+
+
+def tag(number, concept, level):
+    return TaggedQuestion(number=number, concept=concept, level=level)
+
+
+def sample_table():
+    """A small exam over three concepts."""
+    questions = [
+        tag(1, "sorting", CognitionLevel.KNOWLEDGE),
+        tag(2, "sorting", CognitionLevel.KNOWLEDGE),
+        tag(3, "sorting", CognitionLevel.COMPREHENSION),
+        tag(4, "hashing", CognitionLevel.KNOWLEDGE),
+        tag(5, "hashing", CognitionLevel.APPLICATION),
+        tag(6, "trees", CognitionLevel.EVALUATION),
+    ]
+    return SpecificationTable.from_questions(
+        questions, concepts=["sorting", "hashing", "trees", "graphs"]
+    )
+
+
+class TestCellSemantics:
+    def test_count_sum_xi(self):
+        """§4.2.2 (4): SUM(Xi) is the question count of level X in
+        concept i."""
+        table = sample_table()
+        assert table.count("sorting", CognitionLevel.KNOWLEDGE) == 2
+        assert table.count("sorting", CognitionLevel.COMPREHENSION) == 1
+        assert table.count("sorting", CognitionLevel.EVALUATION) == 0
+
+    def test_has_true_false_semantics(self):
+        """§4.2.2 (3): a cell is TRUE when at least one question of that
+        level exists in that concept."""
+        table = sample_table()
+        assert table.has("sorting", CognitionLevel.KNOWLEDGE)
+        assert not table.has("graphs", CognitionLevel.KNOWLEDGE)
+
+    def test_concept_sum(self):
+        """§4.2.2 (5): SUM(Ai-Fi) is all questions in concept i."""
+        table = sample_table()
+        assert table.concept_sum("sorting") == 3
+        assert table.concept_sum("graphs") == 0
+
+    def test_level_sum(self):
+        """§4.2.2 (6): SUM(X1-Xi) is all questions of level X."""
+        table = sample_table()
+        assert table.level_sum(CognitionLevel.KNOWLEDGE) == 3
+        assert table.level_sum(CognitionLevel.SYNTHESIS) == 0
+
+    def test_level_sums_in_order(self):
+        table = sample_table()
+        assert table.level_sums() == [3, 1, 1, 0, 0, 1]
+
+    def test_total(self):
+        assert sample_table().total() == 6
+
+    def test_questions_in_cell(self):
+        table = sample_table()
+        assert table.questions_in_cell("sorting", CognitionLevel.KNOWLEDGE) == (1, 2)
+
+    def test_paper_example_sum_f3(self):
+        """§4.2.2 ex: SUM(F3)=3 — three evaluation questions in concept 3."""
+        questions = [
+            tag(i, "concept3", CognitionLevel.EVALUATION) for i in range(1, 4)
+        ]
+        table = SpecificationTable.from_questions(questions)
+        assert table.count("concept3", CognitionLevel.EVALUATION) == 3
+
+
+class TestLostConcepts:
+    def test_lost_concept_detected(self):
+        """§4.2.3 (1): a concept with an all-FALSE row is lost."""
+        table = sample_table()
+        assert table.lost_concepts() == ["graphs"]
+
+    def test_no_lost_concepts_when_all_covered(self):
+        table = SpecificationTable.from_questions(
+            [tag(1, "a", CognitionLevel.KNOWLEDGE)], concepts=["a"]
+        )
+        assert table.lost_concepts() == []
+
+    def test_lost_concept_requires_declared_inventory(self):
+        # without the declared concept list, unexamined concepts are unknown
+        table = SpecificationTable.from_questions(
+            [tag(1, "a", CognitionLevel.KNOWLEDGE)]
+        )
+        assert table.lost_concepts() == []
+
+
+class TestPyramid:
+    def test_holds_for_pyramid_shaped_exam(self):
+        questions = []
+        number = 1
+        for level, count in zip(COGNITIVE_LEVELS, [5, 4, 3, 2, 1, 1]):
+            for _ in range(count):
+                questions.append(tag(number, "c", level))
+                number += 1
+        table = SpecificationTable.from_questions(questions)
+        assert table.pyramid_violations() == []
+
+    def test_violation_identified(self):
+        questions = [
+            tag(1, "c", CognitionLevel.KNOWLEDGE),
+            tag(2, "c", CognitionLevel.EVALUATION),
+            tag(3, "c", CognitionLevel.EVALUATION),
+        ]
+        table = SpecificationTable.from_questions(questions)
+        violations = table.pyramid_violations()
+        assert (CognitionLevel.SYNTHESIS, CognitionLevel.EVALUATION) in violations
+
+    def test_sample_table_violation(self):
+        # sample: [3, 1, 1, 0, 0, 1] — evaluation (1) > synthesis (0)
+        assert sample_table().pyramid_violations() == [
+            (CognitionLevel.SYNTHESIS, CognitionLevel.EVALUATION)
+        ]
+
+
+class TestPaint:
+    def test_paint_has_header_and_rows(self):
+        lines = sample_table().paint()
+        assert lines[0].split() == ["A", "B", "C", "D", "E", "F"]
+        assert len(lines) == 1 + 4  # header + four concepts
+
+    def test_empty_cells_are_blank(self):
+        lines = sample_table().paint()
+        graphs_row = next(line for line in lines if line.startswith("graphs"))
+        assert set(graphs_row[10:].replace(" ", "")) == set()
+
+    def test_denser_cells_use_denser_glyphs(self):
+        questions = [tag(i, "c", CognitionLevel.KNOWLEDGE) for i in range(10)]
+        questions.append(tag(11, "c", CognitionLevel.EVALUATION))
+        table = SpecificationTable.from_questions(questions)
+        row = table.paint()[1]
+        cells = row[10::2]  # glyphs sit at every other column after the label
+        assert cells[0] == "#"  # 10 questions: the densest shade
+        assert cells[5] == "."  # 1 question: the lightest non-zero shade
+
+    def test_custom_shades_validated(self):
+        with pytest.raises(AnalysisError):
+            sample_table().paint(shades="x")
+
+
+class TestRender:
+    def test_counts_render(self):
+        text = sample_table().render()
+        assert "Knowledge" in text
+        assert "Evaluation" in text
+        assert "sorting" in text
+        assert "SUM" in text
+
+    def test_boolean_render(self):
+        text = sample_table().render(boolean=True)
+        assert "TRUE" in text
+        assert "FALSE" in text
+
+    def test_row_sums_in_render(self):
+        text = sample_table().render()
+        sorting_line = next(
+            line for line in text.splitlines() if line.startswith("sorting")
+        )
+        assert sorting_line.rstrip().endswith("3")
+
+
+class TestValidation:
+    def test_empty_concept_name_rejected(self):
+        with pytest.raises(AnalysisError):
+            SpecificationTable.from_questions(
+                [tag(1, "", CognitionLevel.KNOWLEDGE)]
+            )
+
+    def test_concepts_preserve_declaration_order(self):
+        table = SpecificationTable.from_questions(
+            [], concepts=["z", "a", "m"]
+        )
+        assert table.concepts == ["z", "a", "m"]
+
+
+class TestSpecTableProperties:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.sampled_from(["c1", "c2", "c3"]),
+                st.sampled_from(list(COGNITIVE_LEVELS)),
+            ),
+            max_size=60,
+        )
+    )
+    def test_total_equals_sum_of_level_sums_and_concept_sums(self, data):
+        questions = [
+            tag(i + 1, concept, level) for i, (concept, level) in enumerate(data)
+        ]
+        table = SpecificationTable.from_questions(questions)
+        assert table.total() == len(data)
+        assert sum(table.level_sums()) == len(data)
+        assert sum(table.concept_sum(c) for c in table.concepts) == len(data)
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.sampled_from(["c1", "c2"]),
+                st.sampled_from(list(COGNITIVE_LEVELS)),
+            ),
+            max_size=40,
+        )
+    )
+    def test_has_iff_count_positive(self, data):
+        questions = [
+            tag(i + 1, concept, level) for i, (concept, level) in enumerate(data)
+        ]
+        table = SpecificationTable.from_questions(questions)
+        for concept in table.concepts:
+            for level in COGNITIVE_LEVELS:
+                assert table.has(concept, level) == (
+                    table.count(concept, level) > 0
+                )

@@ -1,0 +1,90 @@
+"""Tests for the SVG figure renderers (repro.core.svg_figures)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.core.exam_analysis import time_vs_answered
+from repro.core.signals import Signal
+from repro.core.svg_figures import (
+    svg_signal_board,
+    svg_time_figure,
+    svg_xy_chart,
+)
+
+
+def parse_svg(text):
+    """SVG must be well-formed XML."""
+    return ET.fromstring(text)
+
+
+class TestSvgXyChart:
+    def test_well_formed(self):
+        root = parse_svg(svg_xy_chart([(0, 0), (1, 2), (2, 1)]))
+        assert root.tag.endswith("svg")
+
+    def test_one_circle_per_point(self):
+        points = [(0, 0), (1, 2), (2, 1), (3, 5)]
+        svg = svg_xy_chart(points)
+        assert svg.count("<circle") == len(points)
+
+    def test_line_path_when_connected(self):
+        assert "<path" in svg_xy_chart([(0, 0), (1, 1)], connect=True)
+        assert "<path" not in svg_xy_chart([(0, 0), (1, 1)], connect=False)
+
+    def test_labels_escaped(self):
+        svg = svg_xy_chart([(0, 0)], x_label="a<b>", title="c&d")
+        assert "a&lt;b&gt;" in svg
+        assert "c&amp;d" in svg
+        parse_svg(svg)
+
+    def test_empty_series_still_valid(self):
+        parse_svg(svg_xy_chart([]))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AnalysisError):
+            svg_xy_chart([(0, 0)], width=10, height=10)
+
+
+class TestSvgTimeFigure:
+    def test_limit_line_drawn(self):
+        analysis = time_vs_answered([[5.0, 10.0]] * 4, time_limit_seconds=8.0)
+        svg = svg_time_figure(analysis)
+        parse_svg(svg)
+        assert "stroke-dasharray" in svg
+
+    def test_no_limit_no_line(self):
+        analysis = time_vs_answered([[5.0, 10.0]] * 4)
+        assert "stroke-dasharray" not in svg_time_figure(analysis)
+
+
+class TestSvgSignalBoard:
+    def test_one_light_per_question(self):
+        signals = [Signal.GREEN, Signal.YELLOW, Signal.RED]
+        svg = svg_signal_board(signals)
+        parse_svg(svg)
+        assert svg.count("<circle") == 3
+
+    def test_colors_match_signals(self):
+        svg = svg_signal_board([Signal.GREEN, Signal.RED])
+        assert "#2ca02c" in svg
+        assert "#d62728" in svg
+        assert "#ffbf00" not in svg
+
+    def test_wraps_rows(self):
+        svg = svg_signal_board([Signal.GREEN] * 25, per_row=10)
+        root = parse_svg(svg)
+        # 3 rows of cell=34 plus chrome
+        assert float(root.get("height")) > 34 * 3
+
+    def test_question_numbers_rendered(self):
+        svg = svg_signal_board([Signal.GREEN] * 3)
+        assert ">1<" in svg and ">3<" in svg
+
+    def test_empty_board_valid(self):
+        parse_svg(svg_signal_board([]))
+
+    def test_bad_per_row_rejected(self):
+        with pytest.raises(AnalysisError):
+            svg_signal_board([Signal.GREEN], per_row=0)

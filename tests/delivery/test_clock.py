@@ -1,0 +1,45 @@
+"""Tests for the clock abstraction (repro.delivery.clock)."""
+
+import pytest
+
+from repro.core.errors import DeliveryError
+from repro.delivery.clock import ManualClock, WallClock
+
+
+class TestManualClock:
+    def test_starts_at_origin(self):
+        assert ManualClock().now() == 0.0
+        assert ManualClock(start=100.0).now() == 100.0
+
+    def test_advance(self):
+        clock = ManualClock()
+        clock.advance(5.5)
+        clock.advance(4.5)
+        assert clock.now() == 10.0
+
+    def test_zero_advance_allowed(self):
+        clock = ManualClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(DeliveryError):
+            ManualClock().advance(-1.0)
+
+    def test_set_forward(self):
+        clock = ManualClock()
+        clock.set(50.0)
+        assert clock.now() == 50.0
+
+    def test_set_backwards_rejected(self):
+        clock = ManualClock(start=10.0)
+        with pytest.raises(DeliveryError):
+            clock.set(5.0)
+
+
+class TestWallClock:
+    def test_monotone_nondecreasing(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first

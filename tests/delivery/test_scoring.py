@@ -1,0 +1,128 @@
+"""Tests for sitting grading (repro.delivery.scoring)."""
+
+import pytest
+
+from repro.core.errors import ResponseError, SessionStateError
+from repro.delivery.clock import ManualClock
+from repro.delivery.scoring import (
+    grade_session,
+    sittings_to_responses,
+)
+from repro.delivery.session import ExamSession
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.items.completion import CompletionItem
+from repro.items.essay import EssayItem
+from repro.items.truefalse import TrueFalseItem
+
+
+def rich_exam():
+    return (
+        ExamBuilder("ex", "Exam")
+        .add_item(
+            MultipleChoiceItem.build("mc", "Pick A.", ["a", "b"], correct_index=0)
+        )
+        .add_item(TrueFalseItem(item_id="tf", question="True?", correct_value=True))
+        .add_item(
+            CompletionItem(
+                item_id="fill",
+                question="2 + 2 = ___",
+                accepted_answers=[["4", "four"]],
+            )
+        )
+        .add_item(EssayItem(item_id="essay", question="Discuss.", max_points=4))
+        .build()
+    )
+
+
+def finished_session(answers):
+    clock = ManualClock()
+    session = ExamSession(rich_exam(), "alice", clock=clock)
+    session.start()
+    for item_id, response in answers.items():
+        clock.advance(10)
+        session.answer(item_id, response)
+    session.submit()
+    return session
+
+
+class TestGradeSession:
+    def test_all_correct(self):
+        session = finished_session(
+            {"mc": "A", "tf": True, "fill": "4", "essay": "long answer text"}
+        )
+        graded = grade_session(session)
+        assert graded.scores["mc"].correct is True
+        assert graded.scores["tf"].correct is True
+        assert graded.scores["fill"].points == 1.0
+        assert graded.scores["essay"].needs_manual_grading
+        # objective points: 3 of 3; essay pending counts 0 of 4
+        assert graded.total_points == 3.0
+        assert graded.max_points == 7.0
+
+    def test_unanswered_items_scored_wrong(self):
+        session = finished_session({"mc": "A"})
+        graded = grade_session(session)
+        assert graded.scores["tf"].correct is False
+        assert graded.scores["fill"].points == 0.0
+
+    def test_percent(self):
+        session = finished_session({"mc": "A", "tf": True})
+        graded = grade_session(session)
+        assert graded.percent == pytest.approx(2 / 7 * 100)
+
+    def test_duration_and_times_recorded(self):
+        session = finished_session({"mc": "A", "tf": False})
+        graded = grade_session(session)
+        assert graded.duration_seconds == 20.0
+        assert graded.answer_times == [10.0, 20.0]
+
+    def test_grading_requires_submission(self):
+        session = ExamSession(rich_exam(), "alice", clock=ManualClock())
+        session.start()
+        with pytest.raises(SessionStateError):
+            grade_session(session)
+
+
+class TestManualGrading:
+    def test_pending_then_graded(self):
+        session = finished_session({"essay": "a thoughtful answer"})
+        graded = grade_session(session)
+        assert graded.pending_items() == ["essay"]
+        assert not graded.is_fully_graded()
+        graded.apply_manual_grade(rich_exam(), "essay", 3.0)
+        assert graded.is_fully_graded()
+        assert graded.scores["essay"].points == 3.0
+        assert graded.total_points == 3.0
+
+    def test_cannot_grade_non_pending(self):
+        session = finished_session({"mc": "A"})
+        graded = grade_session(session)
+        with pytest.raises(ResponseError):
+            graded.apply_manual_grade(rich_exam(), "mc", 1.0)
+
+    def test_cannot_grade_unknown_item(self):
+        session = finished_session({"mc": "A"})
+        graded = grade_session(session)
+        with pytest.raises(ResponseError):
+            graded.apply_manual_grade(rich_exam(), "ghost", 1.0)
+
+
+class TestSittingsToResponses:
+    def test_choice_selections_extracted(self):
+        exam = rich_exam()
+        sittings = [
+            grade_session(finished_session({"mc": "A", "tf": True})),
+            grade_session(finished_session({"mc": "B"})),
+        ]
+        responses = sittings_to_responses(exam, sittings)
+        assert len(responses) == 2
+        # analyzable items: mc, tf
+        assert responses[0].selections == ("A", "true")
+        assert responses[1].selections == ("B", None)
+
+    def test_durations_forwarded(self):
+        exam = rich_exam()
+        sittings = [grade_session(finished_session({"mc": "A", "tf": True}))]
+        responses = sittings_to_responses(exam, sittings)
+        assert responses[0].duration_seconds == 20.0

@@ -1,0 +1,235 @@
+"""Tests for the exam session state machine (repro.delivery.session)."""
+
+import pytest
+
+from repro.core.errors import (
+    NotFoundError,
+    SessionStateError,
+    TimeLimitExceeded,
+)
+from repro.core.metadata import DisplayType
+from repro.delivery.clock import ManualClock
+from repro.delivery.session import ExamSession, SessionState
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.items.truefalse import TrueFalseItem
+
+
+def build_exam(resumable=True, time_limit=None, display=DisplayType.FIXED_ORDER):
+    builder = (
+        ExamBuilder("ex1", "Exam One")
+        .display(display)
+        .resumable(resumable)
+    )
+    if time_limit is not None:
+        builder.time_limit(time_limit)
+    builder.add_item(
+        MultipleChoiceItem.build(
+            "q1", "Pick A.", ["a", "b", "c"], correct_index=0
+        )
+    )
+    builder.add_item(TrueFalseItem(item_id="q2", question="True?", correct_value=True))
+    return builder.build()
+
+
+def make_session(**kwargs):
+    clock = ManualClock()
+    session = ExamSession(build_exam(**kwargs), "alice", clock=clock)
+    return session, clock
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        session, _ = make_session()
+        assert session.state is SessionState.CREATED
+        assert session.elapsed_seconds() == 0.0
+
+    def test_start_returns_presentation_order(self):
+        session, _ = make_session()
+        order = session.start()
+        assert order == ["q1", "q2"]
+        assert session.state is SessionState.IN_PROGRESS
+
+    def test_double_start_rejected(self):
+        session, _ = make_session()
+        session.start()
+        with pytest.raises(SessionStateError):
+            session.start()
+
+    def test_answer_before_start_rejected(self):
+        session, _ = make_session()
+        with pytest.raises(SessionStateError):
+            session.answer("q1", "A")
+
+    def test_submit_freezes(self):
+        session, _ = make_session()
+        session.start()
+        session.answer("q1", "A")
+        session.submit()
+        assert session.state is SessionState.SUBMITTED
+        with pytest.raises(SessionStateError):
+            session.answer("q2", True)
+
+    def test_double_submit_rejected(self):
+        session, _ = make_session()
+        session.start()
+        session.submit()
+        with pytest.raises(SessionStateError):
+            session.submit()
+
+    def test_submit_from_suspended_allowed(self):
+        session, _ = make_session()
+        session.start()
+        session.suspend()
+        session.submit()
+        assert session.state is SessionState.SUBMITTED
+
+    def test_empty_learner_rejected(self):
+        with pytest.raises(SessionStateError):
+            ExamSession(build_exam(), "")
+
+
+class TestAnswering:
+    def test_answer_recorded_with_time(self):
+        session, clock = make_session()
+        session.start()
+        clock.advance(42.0)
+        event = session.answer("q1", "A")
+        assert event.elapsed_seconds == 42.0
+        assert session.response_to("q1") == "A"
+
+    def test_answer_overwrite(self):
+        session, clock = make_session()
+        session.start()
+        session.answer("q1", "A")
+        clock.advance(10)
+        session.answer("q1", "B")
+        assert session.response_to("q1") == "B"
+        assert len(session.answered_item_ids()) == 1
+        assert len(session.answer_events()) == 2  # both commits logged
+        assert session.answer_times() == [10.0]  # final answer time only
+
+    def test_unknown_item_rejected(self):
+        session, _ = make_session()
+        session.start()
+        with pytest.raises(NotFoundError):
+            session.answer("ghost", "A")
+
+    def test_invalid_response_rejected(self):
+        from repro.core.errors import ResponseError
+
+        session, _ = make_session()
+        session.start()
+        with pytest.raises(ResponseError):
+            session.answer("q1", "Z")
+
+    def test_response_to_unknown_item(self):
+        session, _ = make_session()
+        with pytest.raises(NotFoundError):
+            session.response_to("ghost")
+
+
+class TestTiming:
+    def test_elapsed_tracks_clock(self):
+        session, clock = make_session()
+        session.start()
+        clock.advance(30)
+        assert session.elapsed_seconds() == 30.0
+
+    def test_suspend_pauses_the_clock(self):
+        session, clock = make_session()
+        session.start()
+        clock.advance(30)
+        session.suspend()
+        clock.advance(1000)  # time passes while paused
+        assert session.elapsed_seconds() == 30.0
+        session.resume()
+        clock.advance(15)
+        assert session.elapsed_seconds() == 45.0
+
+    def test_remaining_seconds(self):
+        session, clock = make_session(time_limit=100)
+        session.start()
+        clock.advance(40)
+        assert session.remaining_seconds() == 60.0
+
+    def test_no_limit_means_unlimited(self):
+        session, _ = make_session()
+        session.start()
+        assert session.remaining_seconds() is None
+        assert not session.time_expired()
+
+    def test_answer_after_expiry_rejected(self):
+        session, clock = make_session(time_limit=100)
+        session.start()
+        clock.advance(101)
+        assert session.time_expired()
+        with pytest.raises(TimeLimitExceeded):
+            session.answer("q1", "A")
+
+    def test_answer_at_boundary_allowed(self):
+        session, clock = make_session(time_limit=100)
+        session.start()
+        clock.advance(99.5)
+        session.answer("q1", "A")  # still inside the limit
+
+    def test_submit_after_expiry_allowed(self):
+        session, clock = make_session(time_limit=100)
+        session.start()
+        session.answer("q1", "A")
+        clock.advance(200)
+        session.submit()
+        assert session.duration_seconds() == 200.0
+
+    def test_duration_requires_submit(self):
+        session, _ = make_session()
+        session.start()
+        with pytest.raises(SessionStateError):
+            session.duration_seconds()
+
+
+class TestSuspendResume:
+    def test_resume_resumable_exam(self):
+        session, _ = make_session(resumable=True)
+        session.start()
+        session.suspend()
+        session.resume()
+        assert session.state is SessionState.IN_PROGRESS
+
+    def test_non_resumable_exam_cannot_resume(self):
+        """§3.2 VI.B: false means paused at a later time — for good."""
+        session, _ = make_session(resumable=False)
+        session.start()
+        session.suspend()
+        with pytest.raises(SessionStateError):
+            session.resume()
+
+    def test_suspend_requires_in_progress(self):
+        session, _ = make_session()
+        with pytest.raises(SessionStateError):
+            session.suspend()
+
+    def test_resume_requires_suspended(self):
+        session, _ = make_session()
+        session.start()
+        with pytest.raises(SessionStateError):
+            session.resume()
+
+    def test_answers_survive_suspend_resume(self):
+        session, _ = make_session()
+        session.start()
+        session.answer("q1", "A")
+        session.suspend()
+        session.resume()
+        assert session.response_to("q1") == "A"
+
+
+class TestRandomOrderSession:
+    def test_start_respects_random_order(self):
+        exam = build_exam(display=DisplayType.RANDOM_ORDER)
+        orders = set()
+        for learner in ("a", "b", "c", "d", "e", "f"):
+            session = ExamSession(exam, learner, clock=ManualClock())
+            orders.add(tuple(session.start()))
+        # with 2 items both orders should eventually appear
+        assert len(orders) == 2

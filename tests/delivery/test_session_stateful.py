@@ -1,0 +1,147 @@
+"""Stateful property testing of the exam-session state machine.
+
+Hypothesis drives random sequences of session operations (start, answer,
+suspend, resume, submit, clock advances) and checks the machine's
+invariants after every step: elapsed time never decreases, never grows
+while suspended, answers are only recordable in progress, and the final
+answer set is consistent with what was recorded.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.errors import SessionStateError, TimeLimitExceeded
+from repro.delivery.clock import ManualClock
+from repro.delivery.session import ExamSession, SessionState
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+
+ITEM_IDS = [f"q{i}" for i in range(4)]
+
+
+def build_exam():
+    builder = ExamBuilder("sm", "State machine exam").time_limit(1000)
+    for item_id in ITEM_IDS:
+        builder.add_item(
+            MultipleChoiceItem.build(
+                item_id, f"Question {item_id}?", ["a", "b", "c"], correct_index=0
+            )
+        )
+    return builder.build()
+
+
+class SessionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = ManualClock()
+        self.session = ExamSession(build_exam(), "prop", clock=self.clock)
+        self.model_answers = {}
+        self.last_elapsed = 0.0
+
+    # -- operations ---------------------------------------------------------
+
+    @rule(seconds=st.floats(min_value=0.0, max_value=300.0))
+    def advance_clock(self, seconds):
+        self.clock.advance(seconds)
+
+    @rule()
+    def start(self):
+        if self.session.state is SessionState.CREATED:
+            order = self.session.start()
+            assert sorted(order) == sorted(ITEM_IDS)
+        else:
+            try:
+                self.session.start()
+                raise AssertionError("start succeeded twice")
+            except SessionStateError:
+                pass
+
+    @rule(
+        item=st.sampled_from(ITEM_IDS),
+        option=st.sampled_from(["a", "b", "c"]),
+    )
+    def answer(self, item, option):
+        label = {"a": "A", "b": "B", "c": "C"}[option]
+        state = self.session.state
+        expired = self.session.time_expired()
+        try:
+            self.session.answer(item, label)
+        except SessionStateError:
+            assert state is not SessionState.IN_PROGRESS
+        except TimeLimitExceeded:
+            assert expired
+        else:
+            assert state is SessionState.IN_PROGRESS and not expired
+            self.model_answers[item] = label
+
+    @rule()
+    def suspend(self):
+        state = self.session.state
+        try:
+            self.session.suspend()
+        except SessionStateError:
+            assert state is not SessionState.IN_PROGRESS
+        else:
+            assert state is SessionState.IN_PROGRESS
+
+    @rule()
+    def resume(self):
+        state = self.session.state
+        try:
+            self.session.resume()
+        except SessionStateError:
+            assert state is not SessionState.SUSPENDED or not (
+                self.session.exam.resumable
+            )
+        else:
+            assert state is SessionState.SUSPENDED
+
+    @rule()
+    def submit(self):
+        state = self.session.state
+        try:
+            self.session.submit()
+        except SessionStateError:
+            assert state in (SessionState.CREATED, SessionState.SUBMITTED)
+        else:
+            assert state in (
+                SessionState.IN_PROGRESS,
+                SessionState.SUSPENDED,
+            )
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def elapsed_never_decreases(self):
+        elapsed = self.session.elapsed_seconds()
+        assert elapsed >= self.last_elapsed - 1e-9
+        self.last_elapsed = elapsed
+
+    @invariant()
+    def answers_match_model(self):
+        for item, label in self.model_answers.items():
+            assert self.session.response_to(item) == label
+
+    @invariant()
+    def remaining_nonnegative(self):
+        remaining = self.session.remaining_seconds()
+        assert remaining is None or remaining >= 0.0
+
+    @invariant()
+    def suspended_clock_frozen(self):
+        if self.session.state is SessionState.SUSPENDED:
+            before = self.session.elapsed_seconds()
+            self.clock.advance(50.0)
+            assert self.session.elapsed_seconds() == before
+
+
+TestSessionStateMachine = SessionMachine.TestCase
+TestSessionStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,127 @@
+"""Tests for blueprint-driven assembly (repro.exams.blueprint)."""
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import BlueprintError
+from repro.bank.itembank import ItemBank
+from repro.exams.blueprint import Blueprint, assemble
+from repro.items.choice import MultipleChoiceItem
+
+
+def mc(item_id, subject, level, difficulty=None):
+    item = MultipleChoiceItem.build(
+        item_id,
+        f"Question {item_id}?",
+        ["right", "wrong1", "wrong2"],
+        correct_index=0,
+        subject=subject,
+        cognition_level=level,
+    )
+    if difficulty is not None:
+        item.metadata.assessment.individual_test.item_difficulty_index = difficulty
+    return item
+
+
+def stocked_bank():
+    bank = ItemBank()
+    bank.add(mc("s-k-1", "sorting", CognitionLevel.KNOWLEDGE, 0.8))
+    bank.add(mc("s-k-2", "sorting", CognitionLevel.KNOWLEDGE, 0.3))
+    bank.add(mc("s-c-1", "sorting", CognitionLevel.COMPREHENSION))
+    bank.add(mc("h-k-1", "hashing", CognitionLevel.KNOWLEDGE, 0.6))
+    bank.add(mc("h-a-1", "hashing", CognitionLevel.APPLICATION, 0.5))
+    return bank
+
+
+class TestBlueprint:
+    def test_require_accumulates(self):
+        blueprint = (
+            Blueprint()
+            .require("sorting", CognitionLevel.KNOWLEDGE)
+            .require("sorting", CognitionLevel.KNOWLEDGE)
+        )
+        assert blueprint.targets[("sorting", CognitionLevel.KNOWLEDGE)] == 2
+        assert blueprint.total() == 2
+
+    def test_concepts_in_order(self):
+        blueprint = (
+            Blueprint()
+            .require("b", CognitionLevel.KNOWLEDGE)
+            .require("a", CognitionLevel.KNOWLEDGE)
+        )
+        assert blueprint.concepts() == ["b", "a"]
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(BlueprintError):
+            Blueprint().require("x", CognitionLevel.KNOWLEDGE, count=0)
+
+    def test_empty_concept_rejected(self):
+        with pytest.raises(BlueprintError):
+            Blueprint().require("", CognitionLevel.KNOWLEDGE)
+
+
+class TestAssemble:
+    def test_satisfiable_blueprint(self):
+        blueprint = (
+            Blueprint()
+            .require("sorting", CognitionLevel.KNOWLEDGE, 2)
+            .require("hashing", CognitionLevel.APPLICATION, 1)
+        )
+        exam = assemble("e", "Exam", stocked_bank(), blueprint)
+        ids = {item.item_id for item in exam.items}
+        assert ids == {"s-k-1", "s-k-2", "h-a-1"}
+
+    def test_spec_table_of_result_matches_blueprint(self):
+        blueprint = (
+            Blueprint()
+            .require("sorting", CognitionLevel.KNOWLEDGE, 2)
+            .require("sorting", CognitionLevel.COMPREHENSION, 1)
+        )
+        exam = assemble("e", "Exam", stocked_bank(), blueprint)
+        table = exam.specification_table()
+        assert table.count("sorting", CognitionLevel.KNOWLEDGE) == 2
+        assert table.count("sorting", CognitionLevel.COMPREHENSION) == 1
+
+    def test_shortfall_reported_per_cell(self):
+        blueprint = (
+            Blueprint()
+            .require("sorting", CognitionLevel.EVALUATION, 1)
+            .require("graphs", CognitionLevel.KNOWLEDGE, 2)
+        )
+        with pytest.raises(BlueprintError) as excinfo:
+            assemble("e", "Exam", stocked_bank(), blueprint)
+        message = str(excinfo.value)
+        assert "(sorting, Evaluation): need 1, bank has 0" in message
+        assert "(graphs, Knowledge): need 2, bank has 0" in message
+
+    def test_difficulty_band_filters(self):
+        blueprint = Blueprint().require("sorting", CognitionLevel.KNOWLEDGE, 1)
+        exam = assemble(
+            "e", "Exam", stocked_bank(), blueprint, difficulty_band=(0.2, 0.4)
+        )
+        assert exam.items[0].item_id == "s-k-2"
+
+    def test_unrated_items_pass_difficulty_filter(self):
+        blueprint = Blueprint().require("sorting", CognitionLevel.COMPREHENSION, 1)
+        exam = assemble(
+            "e", "Exam", stocked_bank(), blueprint, difficulty_band=(0.0, 0.1)
+        )
+        assert exam.items[0].item_id == "s-c-1"
+
+    def test_empty_blueprint_rejected(self):
+        with pytest.raises(BlueprintError):
+            assemble("e", "Exam", stocked_bank(), Blueprint())
+
+    def test_time_limit_forwarded(self):
+        blueprint = Blueprint().require("sorting", CognitionLevel.KNOWLEDGE, 1)
+        exam = assemble(
+            "e", "Exam", stocked_bank(), blueprint, time_limit_seconds=600
+        )
+        assert exam.time_limit_seconds == 600
+
+    def test_item_not_selected_twice(self):
+        bank = ItemBank()
+        bank.add(mc("only", "sorting", CognitionLevel.KNOWLEDGE))
+        blueprint = Blueprint().require("sorting", CognitionLevel.KNOWLEDGE, 2)
+        with pytest.raises(BlueprintError):
+            assemble("e", "Exam", bank, blueprint)

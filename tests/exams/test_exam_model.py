@@ -1,0 +1,202 @@
+"""Tests for the exam model and builder (repro.exams)."""
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import (
+    AuthoringError,
+    DuplicateIdError,
+    NotFoundError,
+)
+from repro.core.metadata import DisplayType
+from repro.bank.itembank import ItemBank
+from repro.exams.authoring import ExamBuilder
+from repro.exams.exam import Exam, ExamGroup
+from repro.items.choice import MultipleChoiceItem
+from repro.items.essay import EssayItem
+from repro.items.truefalse import TrueFalseItem
+
+
+def mc(item_id, subject="sorting", level=CognitionLevel.KNOWLEDGE):
+    return MultipleChoiceItem.build(
+        item_id,
+        f"Question {item_id}?",
+        ["right", "wrong1", "wrong2"],
+        correct_index=0,
+        subject=subject,
+        cognition_level=level,
+    )
+
+
+class TestExamBuilder:
+    def test_fluent_construction(self):
+        exam = (
+            ExamBuilder("mid", "Midterm")
+            .add_item(mc("q1"))
+            .add_item(mc("q2"))
+            .group("part-a", ["q1", "q2"])
+            .time_limit(1800)
+            .display(DisplayType.RANDOM_ORDER)
+            .resumable(False)
+            .build()
+        )
+        assert exam.exam_id == "mid"
+        assert len(exam.items) == 2
+        assert exam.groups[0].name == "part-a"
+        assert exam.time_limit_seconds == 1800
+        assert exam.display_type is DisplayType.RANDOM_ORDER
+        assert exam.resumable is False
+
+    def test_add_from_bank(self):
+        bank = ItemBank()
+        bank.add(mc("q1"))
+        bank.add(mc("q2"))
+        exam = ExamBuilder("e", "E").add_from_bank(bank, "q1", "q2").build()
+        assert [item.item_id for item in exam.items] == ["q1", "q2"]
+
+    def test_combine_bank_and_own_items(self):
+        """§5: 'instructors can combine their own problems with the
+        problems from database'."""
+        bank = ItemBank()
+        bank.add(mc("from-bank"))
+        exam = (
+            ExamBuilder("e", "E")
+            .add_from_bank(bank, "from-bank")
+            .add_item(mc("own-item"))
+            .build()
+        )
+        assert len(exam.items) == 2
+
+    def test_duplicate_item_rejected(self):
+        builder = ExamBuilder("e", "E").add_item(mc("q1"))
+        with pytest.raises(DuplicateIdError):
+            builder.add_item(mc("q1"))
+
+    def test_group_unknown_item_rejected(self):
+        builder = ExamBuilder("e", "E").add_item(mc("q1"))
+        with pytest.raises(AuthoringError):
+            builder.group("g", ["ghost"])
+
+    def test_duplicate_group_rejected(self):
+        builder = ExamBuilder("e", "E").add_item(mc("q1")).group("g", ["q1"])
+        with pytest.raises(DuplicateIdError):
+            builder.group("g", ["q1"])
+
+    def test_empty_exam_rejected_at_build(self):
+        with pytest.raises(AuthoringError):
+            ExamBuilder("e", "E").build()
+
+    def test_bad_time_limit_rejected(self):
+        with pytest.raises(AuthoringError):
+            ExamBuilder("e", "E").time_limit(0)
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(AuthoringError):
+            ExamBuilder("", "E")
+        with pytest.raises(AuthoringError):
+            ExamBuilder("e", "")
+
+
+class TestExamValidation:
+    def test_item_in_two_groups_rejected(self):
+        exam = Exam(
+            exam_id="e",
+            title="E",
+            items=[mc("q1")],
+            groups=[
+                ExamGroup(name="g1", item_ids=["q1"]),
+                ExamGroup(name="g2", item_ids=["q1"]),
+            ],
+        )
+        with pytest.raises(AuthoringError):
+            exam.validate()
+
+    def test_group_with_duplicate_items_rejected(self):
+        with pytest.raises(AuthoringError):
+            ExamGroup(name="g", item_ids=["q1", "q1"])
+
+    def test_group_referencing_missing_item_rejected(self):
+        exam = Exam(
+            exam_id="e",
+            title="E",
+            items=[mc("q1")],
+            groups=[ExamGroup(name="g", item_ids=["ghost"])],
+        )
+        with pytest.raises(NotFoundError):
+            exam.validate()
+
+    def test_metadata_synced(self):
+        exam = Exam(
+            exam_id="e",
+            title="Final",
+            items=[mc("q1")],
+            time_limit_seconds=900,
+        )
+        assert exam.metadata.general.identifier == "e"
+        assert exam.metadata.general.title == "Final"
+        assert exam.metadata.assessment.exam.test_time_seconds == 900
+
+
+class TestExamViews:
+    def build(self):
+        return (
+            ExamBuilder("e", "E")
+            .add_item(mc("q1"))
+            .add_item(TrueFalseItem(item_id="q2", question="X?", subject="s"))
+            .add_item(EssayItem(item_id="q3", question="Discuss.", max_points=5))
+            .group("g", ["q1", "q2"])
+            .build()
+        )
+
+    def test_item_lookup(self):
+        exam = self.build()
+        assert exam.item("q2").item_id == "q2"
+        with pytest.raises(NotFoundError):
+            exam.item("ghost")
+
+    def test_item_index(self):
+        exam = self.build()
+        assert exam.item_index("q3") == 2
+
+    def test_objective_items(self):
+        exam = self.build()
+        # essay without model answer is subjective
+        assert [i.item_id for i in exam.objective_items()] == ["q1", "q2"]
+
+    def test_max_score_counts_points(self):
+        exam = self.build()
+        # q1: 1, q2: 1, q3 (essay): 5
+        assert exam.max_score() == 7.0
+
+    def test_group_of(self):
+        exam = self.build()
+        assert exam.group_of("q1").name == "g"
+        assert exam.group_of("q3") is None
+
+    def test_question_specs_cover_choice_styles_only(self):
+        exam = self.build()
+        specs = exam.question_specs()
+        assert len(specs) == 2
+        assert specs[0].options == ("A", "B", "C")  # option labels
+        assert specs[0].correct == "A"
+        assert specs[1].options == ("true", "false")
+        assert [i.item_id for i in exam.analyzable_items()] == ["q1", "q2"]
+
+    def test_specification_table_from_tags(self):
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(mc("q1", subject="sorting", level=CognitionLevel.KNOWLEDGE))
+            .add_item(mc("q2", subject="hashing", level=CognitionLevel.ANALYSIS))
+            .build()
+        )
+        table = exam.specification_table(concepts=["sorting", "hashing", "trees"])
+        assert table.count("sorting", CognitionLevel.KNOWLEDGE) == 1
+        assert table.lost_concepts() == ["trees"]
+
+    def test_untagged_items_excluded_from_spec_table(self):
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(TrueFalseItem(item_id="q1", question="X?"))
+            .build()
+        )
+        assert exam.specification_table().total() == 0

@@ -1,0 +1,161 @@
+"""Tests for coverage-gap analysis (repro.exams.gap)."""
+
+import pytest
+
+from repro.core.cognition import COGNITIVE_LEVELS, CognitionLevel
+from repro.core.errors import BlueprintError
+from repro.core.spec_table import SpecificationTable, TaggedQuestion
+from repro.bank.itembank import ItemBank
+from repro.exams.authoring import ExamBuilder
+from repro.exams.gap import coverage_gaps, repair_exam
+from repro.items.choice import MultipleChoiceItem
+
+
+def tag(number, concept, level):
+    return TaggedQuestion(number=number, concept=concept, level=level)
+
+
+def mc(item_id, subject, level):
+    return MultipleChoiceItem.build(
+        item_id, f"Q {item_id}?", ["a", "b", "c"], correct_index=0,
+        subject=subject, cognition_level=level,
+    )
+
+
+class TestCoverageGaps:
+    def test_covered_table_has_no_gaps(self):
+        table = SpecificationTable.from_questions(
+            [
+                tag(1, "c1", CognitionLevel.KNOWLEDGE),
+                tag(2, "c1", CognitionLevel.COMPREHENSION),
+            ],
+            concepts=["c1"],
+        )
+        gaps = coverage_gaps(table)
+        assert gaps.is_covered
+        assert "covers every concept" in gaps.describe()
+
+    def test_lost_concept_requires_one_question(self):
+        table = SpecificationTable.from_questions(
+            [tag(1, "c1", CognitionLevel.KNOWLEDGE)], concepts=["c1", "c2"]
+        )
+        gaps = coverage_gaps(table)
+        assert gaps.lost_concepts == ["c2"]
+        assert gaps.blueprint.targets[("c2", CognitionLevel.KNOWLEDGE)] == 1
+        assert "c2" in gaps.describe()
+
+    def test_pyramid_shortfall_computed_bottom_up(self):
+        # counts A..F = [0, 0, 0, 0, 0, 2] -> every level below F needs 2
+        table = SpecificationTable.from_questions(
+            [
+                tag(1, "c1", CognitionLevel.EVALUATION),
+                tag(2, "c1", CognitionLevel.EVALUATION),
+            ]
+        )
+        gaps = coverage_gaps(table)
+        assert gaps.pyramid_shortfall == [2, 2, 2, 2, 2, 0]
+        assert not gaps.is_covered
+
+    def test_partial_pyramid_shortfall(self):
+        # A=3, B=1, C=2 -> B must reach 2
+        questions = (
+            [tag(i, "c1", CognitionLevel.KNOWLEDGE) for i in range(3)]
+            + [tag(3, "c1", CognitionLevel.COMPREHENSION)]
+            + [tag(i + 4, "c1", CognitionLevel.APPLICATION) for i in range(2)]
+        )
+        gaps = coverage_gaps(SpecificationTable.from_questions(questions))
+        assert gaps.pyramid_shortfall == [0, 1, 0, 0, 0, 0]
+        assert gaps.blueprint.targets[("c1", CognitionLevel.COMPREHENSION)] == 1
+
+    def test_repairing_blueprint_actually_repairs(self):
+        """Applying the shortfall makes the pyramid hold."""
+        table = SpecificationTable.from_questions(
+            [
+                tag(1, "c1", CognitionLevel.EVALUATION),
+                tag(2, "c1", CognitionLevel.KNOWLEDGE),
+            ]
+        )
+        gaps = coverage_gaps(table)
+        repaired = [
+            have + add
+            for have, add in zip(table.level_sums(), gaps.pyramid_shortfall)
+        ]
+        assert all(
+            repaired[i] >= repaired[i + 1] for i in range(len(repaired) - 1)
+        )
+
+    def test_pyramid_concept_override(self):
+        table = SpecificationTable.from_questions(
+            [tag(1, "c9", CognitionLevel.EVALUATION)]
+        )
+        gaps = coverage_gaps(table, pyramid_concept="remedial")
+        assert any(
+            concept == "remedial" for concept, _ in gaps.blueprint.targets
+        )
+
+
+class TestRepairExam:
+    def stocked_bank(self):
+        bank = ItemBank()
+        for index, level in enumerate(COGNITIVE_LEVELS):
+            for copy in range(3):
+                bank.add(mc(f"s-{index}-{copy}", "sorting", level))
+                bank.add(mc(f"h-{index}-{copy}", "hashing", level))
+        return bank
+
+    def test_repair_adds_missing_concept(self):
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(mc("own-1", "sorting", CognitionLevel.KNOWLEDGE))
+            .build()
+        )
+        repaired = repair_exam(
+            exam, self.stocked_bank(), concepts=["sorting", "hashing"]
+        )
+        table = repaired.specification_table(concepts=["sorting", "hashing"])
+        assert table.lost_concepts() == []
+        assert repaired.exam_id == "e-v2"
+        assert {item.item_id for item in exam.items} <= {
+            item.item_id for item in repaired.items
+        }
+
+    def test_repair_restores_pyramid(self):
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(mc("own-1", "sorting", CognitionLevel.EVALUATION))
+            .build()
+        )
+        repaired = repair_exam(exam, self.stocked_bank(), concepts=["sorting"])
+        table = repaired.specification_table(concepts=["sorting"])
+        assert table.pyramid_violations() == []
+
+    def test_covered_exam_returned_unchanged(self):
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(mc("own-1", "sorting", CognitionLevel.KNOWLEDGE))
+            .build()
+        )
+        assert repair_exam(exam, self.stocked_bank(), concepts=["sorting"]) is exam
+
+    def test_insufficient_bank_raises(self):
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(mc("own-1", "graphs", CognitionLevel.KNOWLEDGE))
+            .build()
+        )
+        with pytest.raises(BlueprintError):
+            repair_exam(
+                exam, ItemBank(), concepts=["graphs", "never-written"]
+            )
+
+    def test_exam_attributes_preserved(self):
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(mc("own-1", "sorting", CognitionLevel.EVALUATION))
+            .time_limit(900)
+            .resumable(False)
+            .build()
+        )
+        repaired = repair_exam(exam, self.stocked_bank(), concepts=["sorting"])
+        assert repaired.time_limit_seconds == 900
+        assert repaired.resumable is False

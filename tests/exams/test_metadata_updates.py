@@ -1,0 +1,98 @@
+"""Tests for statistics write-back (repro.exams.metadata_updates)."""
+
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    analyze_cohort,
+)
+from repro.bank.search import Query, search
+from repro.bank.itembank import ItemBank
+from repro.exams.authoring import ExamBuilder
+from repro.exams.metadata_updates import write_back_statistics
+from repro.items.choice import MultipleChoiceItem
+from repro.items.essay import EssayItem
+
+
+def exam_and_cohort():
+    exam = (
+        ExamBuilder("wb", "Write-back exam")
+        .add_item(
+            MultipleChoiceItem.build("q1", "Easy?", ["a", "b"], correct_index=0)
+        )
+        .add_item(
+            MultipleChoiceItem.build("q2", "Hard?", ["a", "b"], correct_index=0)
+        )
+        .add_item(EssayItem(item_id="q3", question="Discuss."))
+        .build()
+    )
+    responses = []
+    for index in range(16):
+        q1 = "A" if index < 14 else "B"  # easy
+        q2 = "A" if index < 6 else "B"  # harder
+        responses.append(ExamineeResponses.of(f"s{index:02d}", [q1, q2]))
+    cohort = analyze_cohort(responses, exam.question_specs())
+    return exam, cohort
+
+
+class TestWriteBack:
+    def test_items_updated(self):
+        exam, cohort = exam_and_cohort()
+        updated = write_back_statistics(exam, cohort)
+        assert updated == 2  # the two analyzable items
+        q1 = exam.item("q1").metadata.assessment.individual_test
+        q2 = exam.item("q2").metadata.assessment.individual_test
+        assert q1.item_difficulty_index > q2.item_difficulty_index
+        assert q1.item_discrimination_index is not None
+        assert q1.distraction  # distraction summary recorded
+
+    def test_essay_untouched(self):
+        exam, cohort = exam_and_cohort()
+        write_back_statistics(exam, cohort)
+        q3 = exam.item("q3").metadata.assessment.individual_test
+        assert q3.item_difficulty_index is None
+
+    def test_average_time_written(self):
+        exam, cohort = exam_and_cohort()
+        write_back_statistics(exam, cohort, durations_seconds=[100, 200, 300])
+        assert exam.metadata.assessment.exam.average_time_seconds == 200.0
+
+    def test_isi_mean_written(self):
+        exam, cohort = exam_and_cohort()
+        write_back_statistics(
+            exam,
+            cohort,
+            instructional_sensitivity={"q1": 0.4, "q2": 0.2, "ghost": 9.9},
+        )
+        assert exam.metadata.assessment.exam.instructional_sensitivity_index == (
+            pytest.approx(0.3)
+        )
+
+    def test_mismatched_cohort_rejected(self):
+        exam, _ = exam_and_cohort()
+        other = (
+            ExamBuilder("other", "Other")
+            .add_item(
+                MultipleChoiceItem.build("x", "X?", ["a", "b"], correct_index=0)
+            )
+            .build()
+        )
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A" if i < 4 else "B"])
+            for i in range(8)
+        ]
+        small_cohort = analyze_cohort(responses, other.question_specs())
+        with pytest.raises(AnalysisError):
+            write_back_statistics(exam, small_cohort)
+
+    def test_write_back_enables_difficulty_search(self):
+        """The full loop: administer -> write back -> search the bank by
+        measured difficulty."""
+        exam, cohort = exam_and_cohort()
+        write_back_statistics(exam, cohort)
+        bank = ItemBank()
+        for item in exam.items:
+            bank.add(item)
+        easy = search(bank, Query().with_difficulty(0.6, 1.0))
+        assert [item.item_id for item in easy] == ["q1"]

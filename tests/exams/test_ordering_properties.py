@@ -1,0 +1,98 @@
+"""Property-based tests for presentation ordering (repro.exams.ordering)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metadata import DisplayType
+from repro.exams.authoring import ExamBuilder
+from repro.exams.ordering import presentation_order
+from repro.items.truefalse import TrueFalseItem
+
+
+def build_exam(n, group_spec, display=DisplayType.RANDOM_ORDER):
+    builder = ExamBuilder("prop", "Property exam").display(display)
+    for index in range(n):
+        builder.add_item(
+            TrueFalseItem(item_id=f"q{index}", question=f"Statement {index}.")
+        )
+    for name, ids in group_spec:
+        builder.group(name, ids)
+    return builder.build()
+
+
+@st.composite
+def exam_shapes(draw):
+    """An exam size plus a valid, non-overlapping grouping of its items."""
+    n = draw(st.integers(min_value=2, max_value=14))
+    indices = list(range(n))
+    groups = []
+    position = 0
+    group_number = 0
+    while position < n:
+        take = draw(st.integers(min_value=1, max_value=4))
+        block = indices[position : position + take]
+        position += take
+        if len(block) >= 2 and draw(st.booleans()):
+            groups.append(
+                (f"g{group_number}", [f"q{i}" for i in block])
+            )
+            group_number += 1
+    return n, groups
+
+
+class TestOrderingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(shape=exam_shapes(), learner=st.text(min_size=1, max_size=12))
+    def test_always_a_permutation(self, shape, learner):
+        n, groups = shape
+        exam = build_exam(n, groups)
+        order = presentation_order(exam, learner)
+        assert sorted(order) == list(range(n))
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=exam_shapes(), learner=st.text(min_size=1, max_size=12))
+    def test_deterministic_per_learner(self, shape, learner):
+        n, groups = shape
+        exam = build_exam(n, groups)
+        assert presentation_order(exam, learner) == presentation_order(
+            exam, learner
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=exam_shapes(), learner=st.text(min_size=1, max_size=12))
+    def test_groups_always_contiguous(self, shape, learner):
+        n, groups = shape
+        exam = build_exam(n, groups)
+        order = presentation_order(exam, learner)
+        for _, ids in groups:
+            positions = sorted(order.index(int(item_id[1:])) for item_id in ids)
+            assert positions == list(
+                range(positions[0], positions[0] + len(positions))
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape=exam_shapes())
+    def test_fixed_order_ignores_learner(self, shape):
+        n, groups = shape
+        exam = build_exam(n, groups, display=DisplayType.FIXED_ORDER)
+        assert presentation_order(exam, "a") == list(range(n))
+        assert presentation_order(exam, "b") == list(range(n))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shape=exam_shapes(),
+        learners=st.lists(
+            st.text(min_size=1, max_size=8), min_size=2, max_size=6,
+            unique=True,
+        ),
+    )
+    def test_group_internal_order_preserved(self, shape, learners):
+        """Within a group, items keep their authored relative order."""
+        n, groups = shape
+        exam = build_exam(n, groups)
+        for learner in learners:
+            order = presentation_order(exam, learner)
+            for _, ids in groups:
+                numeric = [int(item_id[1:]) for item_id in ids]
+                positions = [order.index(i) for i in numeric]
+                assert positions == sorted(positions)

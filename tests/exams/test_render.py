@@ -1,0 +1,81 @@
+"""Tests for printable exam papers (repro.exams.render)."""
+
+import pytest
+
+from repro.core.metadata import DisplayType
+from repro.exams.authoring import ExamBuilder
+from repro.exams.render import render_answer_key, render_exam_paper
+from repro.items.choice import MultipleChoiceItem
+from repro.items.essay import EssayItem
+from repro.items.truefalse import TrueFalseItem
+
+
+def build_exam(display=DisplayType.FIXED_ORDER):
+    return (
+        ExamBuilder("paper-1", "Midterm Paper")
+        .display(display)
+        .time_limit(1800)
+        .resumable(False)
+        .add_item(
+            MultipleChoiceItem.build(
+                "q1", "Which is a tree?", ["AVL", "queue"], correct_index=0
+            )
+        )
+        .add_item(TrueFalseItem(item_id="q2", question="Heaps are trees.",
+                                correct_value=True))
+        .add_item(EssayItem(item_id="q3", question="Discuss B-trees."))
+        .group("objective", ["q1", "q2"])
+        .build()
+    )
+
+
+class TestExamPaper:
+    def test_header_content(self):
+        paper = render_exam_paper(build_exam())
+        assert "Midterm Paper" in paper
+        assert "3 questions" in paper
+        assert "time limit 30 minutes" in paper
+        assert "cannot be resumed" in paper
+
+    def test_resumable_wording(self):
+        exam = build_exam()
+        exam.resumable = True
+        assert "may be paused and resumed" in render_exam_paper(exam)
+
+    def test_items_numbered_in_order(self):
+        paper = render_exam_paper(build_exam())
+        assert "1. Which is a tree?" in paper
+        assert "2. Heaps are trees." in paper
+        assert "3. Discuss B-trees." in paper
+
+    def test_group_header_present(self):
+        paper = render_exam_paper(build_exam())
+        assert "--- objective ---" in paper
+
+    def test_random_order_respects_learner_seed(self):
+        exam = build_exam(display=DisplayType.RANDOM_ORDER)
+        paper_alice = render_exam_paper(exam, "alice")
+        paper_alice_again = render_exam_paper(exam, "alice")
+        assert paper_alice == paper_alice_again
+
+    def test_options_rendered(self):
+        paper = render_exam_paper(build_exam())
+        assert "(A) AVL" in paper
+        assert "( ) True    ( ) False" in paper
+
+
+class TestAnswerKey:
+    def test_objective_answers_listed(self):
+        key = render_answer_key(build_exam())
+        assert "[q1] A" in key
+        assert "[q2] true" in key
+
+    def test_subjective_marked_manual(self):
+        key = render_answer_key(build_exam())
+        assert "[q3] (manually graded)" in key
+
+    def test_numbered_in_authored_order(self):
+        key = render_answer_key(build_exam())
+        lines = key.splitlines()
+        assert lines[1].strip().startswith("1.")
+        assert lines[3].strip().startswith("3.")

@@ -1,0 +1,155 @@
+"""End-to-end integration: the paper's whole architecture (Figure 3).
+
+Author problems → store in the problem & exam database → assemble an exam
+→ publish a SCORM package to the external repository → another instructor
+reuses it → offer on the LMS → a simulated class takes it (with the exam
+monitor capturing) → analysis produces the §4 report → analysis results
+are written back into the metadata.
+"""
+
+import random
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.metadata_xml import from_xml, to_xml
+from repro.core.signals import Signal
+from repro.bank.itembank import ItemBank
+from repro.bank.search import Query, search
+from repro.delivery.clock import ManualClock
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.lms.tracking import EventKind
+from repro.scorm.repository import PackageRepository
+from repro.sim.learner_model import ItemParameters, SimulatedLearner, sample_selection
+
+
+CONCEPTS = ["sorting", "hashing", "graphs"]
+
+
+def author_bank():
+    bank = ItemBank()
+    for index in range(12):
+        concept = CONCEPTS[index % 3]
+        level = (
+            CognitionLevel.KNOWLEDGE
+            if index < 6
+            else CognitionLevel.COMPREHENSION
+        )
+        bank.add(
+            MultipleChoiceItem.build(
+                f"item-{index:02d}",
+                f"Question {index} about {concept}?",
+                ["right answer", "wrong 1", "wrong 2", "wrong 3"],
+                correct_index=0,
+                subject=concept,
+                cognition_level=level,
+            )
+        )
+    return bank
+
+
+class TestFullArchitecture:
+    def test_author_to_analysis_round_trip(self, tmp_path):
+        # 1. authoring: search the database, assemble an exam
+        bank = author_bank()
+        sorting_items = search(bank, Query().with_subject("sorting"))
+        hashing_items = search(bank, Query().with_subject("hashing"))
+        exam = (
+            ExamBuilder("mid-2004", "Midterm 2004")
+            .add_items(sorting_items[:2])
+            .add_items(hashing_items[:2])
+            .time_limit(1200)
+            .build()
+        )
+
+        # 2. publish to the SCORM repository; a colleague re-imports it
+        repository = PackageRepository(tmp_path / "repo")
+        repository.publish(exam)
+        reused = repository.fetch_exam("mid-2004")
+        assert [i.item_id for i in reused.items] == [
+            i.item_id for i in exam.items
+        ]
+
+        # 3. offer on the LMS and run a class of 24 through it
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(reused)
+        rng = random.Random(42)
+        for index in range(24):
+            learner_id = f"stu-{index:02d}"
+            lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+            lms.enroll(learner_id, "mid-2004")
+            lms.start_exam(learner_id, "mid-2004")
+            ability = 2.0 if index < 12 else -2.0
+            learner = SimulatedLearner(learner_id, ability)
+            for item in reused.items:
+                clock.advance(rng.uniform(20, 60))
+                selection = sample_selection(
+                    rng,
+                    learner,
+                    ItemParameters(a=1.8, b=0.0),
+                    item.labels,
+                    item.correct_label,
+                )
+                if selection is not None:
+                    lms.answer(learner_id, "mid-2004", item.item_id, selection)
+            lms.submit(learner_id, "mid-2004")
+
+        # 4. the monitor captured frames for every sitting
+        assert len(lms.monitor.monitored_sittings()) == 24
+
+        # 5. tracking recorded the full lifecycle
+        counts = lms.tracking.counts_by_kind()
+        assert counts[EventKind.ENROLLED] == 24
+        assert counts[EventKind.LAUNCHED] == 24
+        assert counts[EventKind.SUBMITTED] == 24
+
+        # 6. analysis: strong/weak split should discriminate well
+        report = lms.report_for("mid-2004", concepts=CONCEPTS)
+        text = report.render()
+        assert "Signal representation" in text
+        assert "Concept lost in the exam: graphs" in text
+        greens = sum(
+            1 for q in report.cohort.questions if q.signal is Signal.GREEN
+        )
+        assert greens >= 3  # items engineered to discriminate
+
+        # 7. write analysis records back into metadata and round-trip XML
+        records = report.analysis_records()
+        metadata = reused.metadata
+        metadata.assessment.analyses = records
+        restored = from_xml(to_xml(metadata))
+        assert len(restored.assessment.analyses) == len(reused.items)
+        assert restored.assessment.analyses[0].signal in (
+            "green",
+            "yellow",
+            "red",
+        )
+
+    def test_suspend_resume_through_scorm_rte(self, tmp_path):
+        """A learner pauses mid-exam; SCORM suspend data reflects it and
+        the sitting resumes with state intact."""
+        bank = author_bank()
+        exam = (
+            ExamBuilder("quiz", "Quiz")
+            .add_from_bank(bank, "item-00", "item-01")
+            .build()
+        )
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(exam)
+        lms.register_learner(Learner(learner_id="s1", name="S1"))
+        lms.enroll("s1", "quiz")
+        lms.start_exam("s1", "quiz")
+        lms.answer("s1", "quiz", "item-00", "A")
+        lms.suspend("s1", "quiz")
+        snapshot = lms.rte.record("s1", "quiz").last_snapshot
+        assert snapshot["suspend_data"] == "answered=1"
+        assert snapshot["core"]["exit"] == "suspend"
+        lms.resume("s1", "quiz")
+        lms.answer("s1", "quiz", "item-01", "A")
+        graded = lms.submit("s1", "quiz")
+        assert graded.percent == 100.0

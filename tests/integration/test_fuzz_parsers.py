@@ -1,0 +1,136 @@
+"""Fuzz/robustness tests: every parser rejects malformed input with the
+library's typed errors — never an unhandled exception.
+
+Covers the metadata XML binding, the QTI item binding, imsmanifest.xml,
+content packages, and the bank JSON loaders.
+"""
+
+import io
+import json
+import zipfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AssessmentError
+from repro.core.metadata_xml import MINE_NAMESPACE, from_xml
+from repro.bank.storage import item_from_record, load_bank
+from repro.items.qti import item_from_qti_xml
+from repro.scorm.manifest import manifest_from_xml
+from repro.scorm.package import ContentPackage
+
+TEXT = st.text(max_size=300)
+
+
+class TestMetadataXmlFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(blob=TEXT)
+    def test_arbitrary_text_never_crashes(self, blob):
+        try:
+            from_xml(blob)
+        except AssessmentError:
+            pass  # typed rejection is the contract
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=TEXT)
+    def test_wellformed_but_wrong_content(self, payload):
+        safe = payload.replace("&", "").replace("<", "").replace("]", "")
+        xml = (
+            f'<mineMetadata xmlns="{MINE_NAMESPACE}">'
+            f"<assessment><individualTest>"
+            f"<itemDifficultyIndex>{safe}</itemDifficultyIndex>"
+            f"</individualTest></assessment></mineMetadata>"
+        )
+        try:
+            metadata = from_xml(xml)
+        except AssessmentError:
+            return
+        # if it parsed, the value must be a float or None
+        value = metadata.assessment.individual_test.item_difficulty_index
+        assert value is None or isinstance(value, float)
+
+
+class TestQtiFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(blob=TEXT)
+    def test_arbitrary_text_never_crashes(self, blob):
+        try:
+            item_from_qti_xml(blob)
+        except AssessmentError:
+            pass
+
+    @settings(max_examples=40, deadline=None)
+    @given(style=st.sampled_from(
+        ["multiple_choice", "true_false", "match", "completion",
+         "essay", "questionnaire", "bogus"]
+    ))
+    def test_skeleton_items(self, style):
+        xml = f"<item ident='x' mine_style='{style}'/>"
+        try:
+            item_from_qti_xml(xml)
+        except AssessmentError:
+            pass
+
+
+class TestManifestFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(blob=TEXT)
+    def test_arbitrary_text_never_crashes(self, blob):
+        try:
+            manifest_from_xml(blob)
+        except AssessmentError:
+            pass
+
+
+class TestPackageFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(blob=st.binary(max_size=2000))
+    def test_arbitrary_bytes_never_crash(self, blob):
+        try:
+            ContentPackage(blob)
+        except AssessmentError:
+            pass
+
+    @settings(max_examples=20, deadline=None)
+    @given(manifest_text=TEXT)
+    def test_zip_with_garbage_manifest(self, manifest_text):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("imsmanifest.xml", manifest_text)
+        try:
+            ContentPackage(buffer.getvalue())
+        except AssessmentError:
+            pass
+
+
+class TestBankRecordFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        record=st.dictionaries(
+            keys=st.sampled_from(
+                ["style", "item_id", "subject", "content", "cognition_level"]
+            ),
+            values=st.one_of(
+                st.none(), st.text(max_size=20), st.integers(),
+                st.dictionaries(st.text(max_size=5), st.text(max_size=5),
+                                max_size=3),
+            ),
+        )
+    )
+    def test_arbitrary_records_never_crash(self, record):
+        try:
+            item_from_record(record)
+        except (AssessmentError, ValueError, TypeError):
+            # ValueError/TypeError allowed only for cognition parse / type
+            # coercion paths, which are themselves explicit validations
+            pass
+
+    def test_bank_file_with_garbage_items(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text(json.dumps({
+            "format": "mine-bank-v1",
+            "items": [{"style": "riddle"}],
+        }))
+        with pytest.raises(AssessmentError):
+            load_bank(path)

@@ -1,0 +1,141 @@
+"""Integration: a semester's lifecycle across every subsystem.
+
+Term start: author a bank, publish the exam to the repository, stand up
+the LMS.  Mid-term: the class sits the exam; the LMS state is saved to
+disk (server restart) and restored; a second exam is taken on the
+restored instance.  Term end: statistics are written back into item
+metadata, a CAT pool is calibrated from them, an individualized make-up
+exam is assembled for the weakest learner, and transcripts go out.
+"""
+
+import random
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.adaptive.calibration import calibrate_pool_from_bank
+from repro.adaptive.individualized import assemble_individualized_exam
+from repro.bank.itembank import ItemBank
+from repro.delivery.clock import ManualClock
+from repro.exams.authoring import ExamBuilder
+from repro.exams.metadata_updates import write_back_statistics
+from repro.items.choice import MultipleChoiceItem
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.lms.persistence import load_lms, save_lms
+from repro.lms.transcripts import build_transcript
+from repro.scorm.repository import PackageRepository
+from repro.sim.learner_model import ItemParameters, SimulatedLearner, sample_selection
+
+
+def build_bank(size=16):
+    bank = ItemBank()
+    for index in range(size):
+        bank.add(
+            MultipleChoiceItem.build(
+                f"q{index:02d}",
+                f"Question {index} on algorithms?",
+                ["right", "w1", "w2", "w3"],
+                correct_index=0,
+                subject="algorithms" if index % 2 else "data-structures",
+                cognition_level=CognitionLevel.KNOWLEDGE,
+            )
+        )
+    return bank
+
+
+def sit_class(lms, exam, abilities, seed):
+    rng = random.Random(seed)
+    for learner_id, ability in abilities.items():
+        lms.start_exam(learner_id, exam.exam_id)
+        learner = SimulatedLearner(learner_id, ability)
+        for item in exam.items:
+            selection = sample_selection(
+                rng,
+                learner,
+                ItemParameters(a=1.4, b=0.0),
+                item.labels,
+                item.correct_label,
+            )
+            if selection is not None:
+                lms.answer(learner_id, exam.exam_id, item.item_id, selection)
+        lms.submit(learner_id, exam.exam_id)
+
+
+class TestSemesterLifecycle:
+    def test_full_semester(self, tmp_path):
+        bank = build_bank()
+        repository = PackageRepository(tmp_path / "repo")
+
+        midterm = (
+            ExamBuilder("midterm", "Algorithms Midterm")
+            .add_from_bank(bank, *[f"q{i:02d}" for i in range(8)])
+            .time_limit(1800)
+            .build()
+        )
+        repository.publish(midterm)
+
+        lms = Lms(clock=ManualClock())
+        lms.offer_exam(repository.fetch_exam("midterm"))
+        abilities = {
+            f"stu-{index:02d}": 1.5 if index < 6 else -1.5
+            for index in range(12)
+        }
+        for learner_id in abilities:
+            lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+            lms.enroll(learner_id, "midterm")
+        sit_class(lms, lms.exam("midterm"), abilities, seed=1)
+        assert len(lms.results_for("midterm")) == 12
+
+        # server restart: save, reload, verify results survive
+        state_path = tmp_path / "lms-state.json"
+        save_lms(lms, state_path)
+        lms = load_lms(state_path, clock=ManualClock())
+        assert len(lms.results_for("midterm")) == 12
+
+        # second exam taken on the restored instance
+        final = (
+            ExamBuilder("final", "Algorithms Final")
+            .add_from_bank(bank, *[f"q{i:02d}" for i in range(8, 16)])
+            .build()
+        )
+        lms.offer_exam(final)
+        for learner_id in abilities:
+            lms.enroll(learner_id, "final")
+        sit_class(lms, final, abilities, seed=2)
+
+        # write measured statistics back into the midterm's items
+        cohort = lms.analyze_exam("midterm")
+        updated = write_back_statistics(
+            lms.exam("midterm"),
+            cohort,
+            durations_seconds=[
+                sitting.duration_seconds
+                for sitting in lms.results_for("midterm")
+            ],
+        )
+        assert updated == 8
+        # push the rated items back into the bank
+        for item in lms.exam("midterm").items:
+            bank.add_or_update(item)
+
+        # calibrate a CAT pool and build an individualized make-up exam
+        pool = calibrate_pool_from_bank(bank)
+        weakest = min(
+            lms.results_for("final"), key=lambda sitting: sitting.percent
+        )
+        makeup = assemble_individualized_exam(
+            "makeup", "Make-up", bank, pool, ability=-1.0, length=5
+        )
+        assert len(makeup.items) == 5
+
+        # transcripts record both exams for every learner
+        transcript = build_transcript(lms, weakest.learner_id)
+        assert [row.exam_id for row in transcript.rows] == ["midterm", "final"]
+        rendered = transcript.render()
+        assert "Algorithms Midterm" in rendered
+        assert "Algorithms Final" in rendered
+
+        # the strong half passed both exams
+        strong_transcript = build_transcript(lms, "stu-00")
+        assert strong_transcript.passed_count == 2

@@ -1,0 +1,139 @@
+"""Tests for multiple-choice items (repro.items.choice)."""
+
+import pytest
+
+from repro.core.errors import ItemError, ResponseError
+from repro.core.metadata import QuestionStyle
+from repro.items.choice import Choice, MultipleChoiceItem
+
+
+def sample_item(**kwargs):
+    return MultipleChoiceItem.build(
+        "q1",
+        "Which structure gives O(1) average lookup?",
+        ["hash table", "linked list", "binary tree", "stack"],
+        correct_index=0,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_build_default_labels(self):
+        item = sample_item()
+        assert item.labels == ("A", "B", "C", "D")
+        assert item.correct_label == "A"
+
+    def test_build_custom_labels(self):
+        item = MultipleChoiceItem.build(
+            "q1", "stem?", ["x", "y"], correct_index=1, labels=["i", "ii"]
+        )
+        assert item.correct_label == "ii"
+
+    def test_style(self):
+        assert sample_item().style() is QuestionStyle.MULTIPLE_CHOICE
+
+    def test_answer_text(self):
+        assert sample_item().answer_text() == "A"
+
+    def test_is_objective(self):
+        assert sample_item().is_objective()
+
+    def test_metadata_synced(self):
+        item = sample_item()
+        assert item.metadata.assessment.question_style is (
+            QuestionStyle.MULTIPLE_CHOICE
+        )
+        assert item.metadata.assessment.individual_test.answer == "A"
+        assert item.metadata.general.identifier == "q1"
+
+    def test_bad_correct_index(self):
+        with pytest.raises(ItemError):
+            MultipleChoiceItem.build("q1", "stem?", ["a", "b"], correct_index=5)
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ItemError):
+            MultipleChoiceItem.build(
+                "q1", "stem?", ["a", "b"], correct_index=0, labels=["A"]
+            )
+
+    def test_empty_item_id_rejected(self):
+        with pytest.raises(ItemError):
+            MultipleChoiceItem.build("", "stem?", ["a", "b"], correct_index=0)
+
+    def test_empty_question_rejected(self):
+        with pytest.raises(ItemError):
+            MultipleChoiceItem.build("q1", "", ["a", "b"], correct_index=0)
+
+    def test_empty_choice_text_rejected(self):
+        with pytest.raises(ItemError):
+            Choice(label="A", text="")
+
+    def test_empty_choice_label_rejected(self):
+        with pytest.raises(ItemError):
+            Choice(label="", text="x")
+
+
+class TestValidation:
+    def test_needs_two_options(self):
+        item = MultipleChoiceItem(
+            item_id="q1",
+            question="stem?",
+            choices=[Choice("A", "only one")],
+            correct_label="A",
+        )
+        with pytest.raises(ItemError):
+            item.validate()
+
+    def test_duplicate_labels_rejected(self):
+        item = MultipleChoiceItem(
+            item_id="q1",
+            question="stem?",
+            choices=[Choice("A", "x"), Choice("A", "y")],
+            correct_label="A",
+        )
+        with pytest.raises(ItemError):
+            item.validate()
+
+    def test_correct_label_must_exist(self):
+        item = MultipleChoiceItem(
+            item_id="q1",
+            question="stem?",
+            choices=[Choice("A", "x"), Choice("B", "y")],
+            correct_label="Z",
+        )
+        with pytest.raises(ItemError):
+            item.validate()
+
+
+class TestScoring:
+    def test_correct_selection(self):
+        result = sample_item().score("A")
+        assert result.correct is True
+        assert result.points == 1.0
+        assert result.selected == "A"
+
+    def test_wrong_selection(self):
+        result = sample_item().score("B")
+        assert result.correct is False
+        assert result.points == 0.0
+
+    def test_skip_scores_zero(self):
+        result = sample_item().score(None)
+        assert result.correct is False
+        assert result.selected is None
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ResponseError):
+            sample_item().score("Z")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ResponseError):
+            sample_item().score(3)
+
+
+class TestContentFields:
+    def test_round_trippable_dict(self):
+        fields = sample_item().content_fields()
+        assert fields["correct_label"] == "A"
+        assert fields["options"][0] == {"label": "A", "text": "hash table"}
+        assert len(fields["options"]) == 4

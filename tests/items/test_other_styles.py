@@ -1,0 +1,343 @@
+"""Tests for true/false, essay, match, completion, and questionnaire items."""
+
+import pytest
+
+from repro.core.errors import ItemError, ResponseError
+from repro.core.metadata import DisplayType, QuestionStyle
+from repro.items.completion import CompletionItem
+from repro.items.essay import EssayItem
+from repro.items.matching import MatchItem
+from repro.items.questionnaire import QuestionnaireItem
+from repro.items.truefalse import TrueFalseItem
+
+
+class TestTrueFalse:
+    def make(self, correct=True):
+        return TrueFalseItem(
+            item_id="tf1",
+            question="A stack is LIFO.",
+            hint="think of plates",
+            correct_value=correct,
+        )
+
+    def test_style(self):
+        assert self.make().style() is QuestionStyle.TRUE_FALSE
+
+    def test_answer_text(self):
+        assert self.make(True).answer_text() == "true"
+        assert self.make(False).answer_text() == "false"
+
+    def test_score_bool(self):
+        assert self.make(True).score(True).correct is True
+        assert self.make(True).score(False).correct is False
+
+    @pytest.mark.parametrize("word,expected", [
+        ("true", True), ("TRUE", True), ("t", True), ("yes", True), ("1", True),
+        ("false", False), ("F", False), ("no", False), ("0", False),
+    ])
+    def test_score_words(self, word, expected):
+        result = self.make(True).score(word)
+        assert result.correct is (expected is True)
+
+    def test_skip(self):
+        assert self.make().score(None).correct is False
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ResponseError):
+            self.make().score("maybe")
+        with pytest.raises(ResponseError):
+            self.make().score(3.14)
+
+    def test_hint_preserved(self):
+        assert self.make().hint == "think of plates"
+
+
+class TestEssay:
+    def make(self, **kwargs):
+        defaults = dict(
+            item_id="e1",
+            question="Explain the CAP theorem.",
+            model_answer="consistency, availability, partition tolerance",
+            max_points=5.0,
+        )
+        defaults.update(kwargs)
+        return EssayItem(**defaults)
+
+    def test_style(self):
+        assert self.make().style() is QuestionStyle.ESSAY
+
+    def test_answer_text_is_model_answer(self):
+        assert "consistency" in self.make().answer_text()
+
+    def test_no_model_answer_means_subjective(self):
+        item = self.make(model_answer="")
+        assert item.answer_text() is None
+        assert not item.is_objective()
+
+    def test_score_pends_manual_grading(self):
+        result = self.make().score("CAP says pick two of three...")
+        assert result.needs_manual_grading
+        assert result.correct is None
+        assert result.points == 0.0
+        assert result.max_points == 5.0
+
+    def test_empty_response_is_wrong(self):
+        result = self.make().score("   ")
+        assert result.correct is False
+        assert not result.needs_manual_grading
+
+    def test_min_length_enforced(self):
+        item = self.make(min_length=20)
+        assert item.score("too short").correct is False
+        assert item.score("x" * 25).needs_manual_grading
+
+    def test_skip(self):
+        assert self.make().score(None).correct is False
+
+    def test_grade(self):
+        result = self.make().grade("an answer", 4.0)
+        assert result.points == 4.0
+        assert result.correct is False
+        assert not result.needs_manual_grading
+        full = self.make().grade("an answer", 5.0)
+        assert full.correct is True
+
+    def test_grade_out_of_range_rejected(self):
+        with pytest.raises(ResponseError):
+            self.make().grade("x", 6.0)
+
+    def test_non_text_rejected(self):
+        with pytest.raises(ResponseError):
+            self.make().score(["not", "text"])
+
+    def test_nonpositive_max_points_rejected(self):
+        with pytest.raises(ItemError):
+            self.make(max_points=0).validate()
+
+
+class TestMatch:
+    def make(self):
+        return MatchItem(
+            item_id="m1",
+            question="Match each algorithm to its complexity.",
+            premises=["quicksort", "binary search", "bubble sort"],
+            options=["O(n log n)", "O(log n)", "O(n^2)", "O(1)"],
+            key={
+                "quicksort": "O(n log n)",
+                "binary search": "O(log n)",
+                "bubble sort": "O(n^2)",
+            },
+        )
+
+    def test_style(self):
+        assert self.make().style() is QuestionStyle.MATCH
+
+    def test_validates(self):
+        self.make().validate()
+
+    def test_answer_text_lists_pairs(self):
+        text = self.make().answer_text()
+        assert "quicksort -> O(n log n)" in text
+
+    def test_perfect_score(self):
+        item = self.make()
+        result = item.score(item.key)
+        assert result.points == 3.0
+        assert result.correct is True
+
+    def test_partial_credit(self):
+        item = self.make()
+        result = item.score(
+            {
+                "quicksort": "O(n log n)",
+                "binary search": "O(n^2)",
+                "bubble sort": "O(n^2)",
+            }
+        )
+        assert result.points == 2.0
+        assert result.correct is False
+
+    def test_incomplete_response_allowed(self):
+        result = self.make().score({"quicksort": "O(n log n)"})
+        assert result.points == 1.0
+
+    def test_skip(self):
+        result = self.make().score(None)
+        assert result.points == 0.0
+        assert result.max_points == 3.0
+
+    def test_unknown_premise_rejected(self):
+        with pytest.raises(ResponseError):
+            self.make().score({"mergesort": "O(n log n)"})
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ResponseError):
+            self.make().score({"quicksort": "O(2^n)"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ResponseError):
+            self.make().score("quicksort")
+
+    def test_needs_two_premises(self):
+        item = MatchItem(
+            item_id="m2",
+            question="match",
+            premises=["only"],
+            options=["a"],
+            key={"only": "a"},
+        )
+        with pytest.raises(ItemError):
+            item.validate()
+
+    def test_missing_key_rejected(self):
+        item = MatchItem(
+            item_id="m3",
+            question="match",
+            premises=["p1", "p2"],
+            options=["a", "b"],
+            key={"p1": "a"},
+        )
+        with pytest.raises(ItemError):
+            item.validate()
+
+    def test_key_target_must_be_option(self):
+        item = MatchItem(
+            item_id="m4",
+            question="match",
+            premises=["p1", "p2"],
+            options=["a", "b"],
+            key={"p1": "a", "p2": "z"},
+        )
+        with pytest.raises(ItemError):
+            item.validate()
+
+
+class TestCompletion:
+    def make(self, **kwargs):
+        defaults = dict(
+            item_id="c1",
+            question="The ___ of a binary heap insert is O(___).",
+            accepted_answers=[["time complexity", "complexity"], ["log n", "logn"]],
+        )
+        defaults.update(kwargs)
+        return CompletionItem(**defaults)
+
+    def test_style(self):
+        assert self.make().style() is QuestionStyle.COMPLETION
+
+    def test_blank_count(self):
+        assert self.make().blank_count == 2
+
+    def test_validates(self):
+        self.make().validate()
+
+    def test_answer_text_uses_first_accepted(self):
+        assert self.make().answer_text() == "time complexity | log n"
+
+    def test_perfect(self):
+        result = self.make().score(["complexity", "log n"])
+        assert result.points == 2.0
+        assert result.correct is True
+
+    def test_case_insensitive_by_default(self):
+        assert self.make().score(["COMPLEXITY", "Log N"]).points == 2.0
+
+    def test_case_sensitive_mode(self):
+        item = self.make(case_sensitive=True)
+        assert item.score(["COMPLEXITY", "log n"]).points == 1.0
+
+    def test_whitespace_stripped(self):
+        assert self.make().score(["  complexity ", " log n"]).points == 2.0
+
+    def test_partial(self):
+        result = self.make().score(["wrong", "log n"])
+        assert result.points == 1.0
+
+    def test_none_blank_skipped(self):
+        result = self.make().score([None, "log n"])
+        assert result.points == 1.0
+
+    def test_single_blank_accepts_bare_string(self):
+        item = CompletionItem(
+            item_id="c2",
+            question="LIFO stands for last in, first ___.",
+            accepted_answers=[["out"]],
+        )
+        assert item.score("out").points == 1.0
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ResponseError):
+            self.make().score(["only one"])
+
+    def test_skip(self):
+        assert self.make().score(None).points == 0.0
+
+    def test_no_blanks_rejected(self):
+        item = CompletionItem(
+            item_id="c3", question="no blanks here", accepted_answers=[]
+        )
+        with pytest.raises(ItemError):
+            item.validate()
+
+    def test_blank_answer_mismatch_rejected(self):
+        item = self.make(accepted_answers=[["only one list"]])
+        with pytest.raises(ItemError):
+            item.validate()
+
+    def test_empty_accepted_list_rejected(self):
+        item = self.make(accepted_answers=[["a"], []])
+        with pytest.raises(ItemError):
+            item.validate()
+
+
+class TestQuestionnaire:
+    def make(self, **kwargs):
+        defaults = dict(
+            item_id="s1",
+            question="The course pace was appropriate.",
+            scale=["strongly disagree", "disagree", "agree", "strongly agree"],
+        )
+        defaults.update(kwargs)
+        return QuestionnaireItem(**defaults)
+
+    def test_style(self):
+        assert self.make().style() is QuestionStyle.QUESTIONNAIRE
+
+    def test_no_correct_answer(self):
+        item = self.make()
+        assert item.answer_text() is None
+        assert not item.is_objective()
+
+    def test_scores_zero_points(self):
+        result = self.make().score("agree")
+        assert result.points == 0.0
+        assert result.max_points == 0.0
+        assert result.correct is None
+        assert result.selected == "agree"
+
+    def test_off_scale_rejected(self):
+        with pytest.raises(ResponseError):
+            self.make().score("whatever")
+
+    def test_free_text_when_no_scale(self):
+        item = self.make(scale=[])
+        assert item.score("loved it").selected == "loved it"
+
+    def test_skip(self):
+        assert self.make().score(None).selected is None
+
+    def test_metadata_carries_resumable_and_display(self):
+        item = self.make(resumable=False, display_type=DisplayType.RANDOM_ORDER)
+        assert item.metadata.assessment.questionnaire.resumable is False
+        assert (
+            item.metadata.assessment.questionnaire.display_type
+            is DisplayType.RANDOM_ORDER
+        )
+
+    def test_duplicate_scale_rejected(self):
+        with pytest.raises(ItemError):
+            self.make(scale=["a", "a"]).validate()
+
+    def test_empty_scale_label_rejected(self):
+        with pytest.raises(ItemError):
+            self.make(scale=["a", ""]).validate()

@@ -1,0 +1,173 @@
+"""Tests for the QTI binding (repro.items.qti)."""
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import MetadataError
+from repro.core.metadata import DisplayType
+from repro.items.choice import MultipleChoiceItem
+from repro.items.completion import CompletionItem
+from repro.items.essay import EssayItem
+from repro.items.matching import MatchItem
+from repro.items.qti import item_from_qti_xml, item_to_qti_xml
+from repro.items.questionnaire import QuestionnaireItem
+from repro.items.truefalse import TrueFalseItem
+
+
+def choice_item():
+    return MultipleChoiceItem.build(
+        "mc1",
+        "Which sort is stable?",
+        ["mergesort", "quicksort", "heapsort"],
+        correct_index=0,
+        hint="think of equal keys",
+        subject="sorting",
+        cognition_level=CognitionLevel.COMPREHENSION,
+    )
+
+
+class TestChoiceRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = choice_item()
+        restored = item_from_qti_xml(item_to_qti_xml(original))
+        assert isinstance(restored, MultipleChoiceItem)
+        assert restored.item_id == "mc1"
+        assert restored.question == original.question
+        assert restored.hint == original.hint
+        assert restored.subject == "sorting"
+        assert restored.cognition_level is CognitionLevel.COMPREHENSION
+        assert restored.correct_label == "A"
+        assert [c.text for c in restored.choices] == [
+            "mergesort",
+            "quicksort",
+            "heapsort",
+        ]
+
+    def test_xml_looks_like_qti(self):
+        xml = item_to_qti_xml(choice_item())
+        for tag in ("<item", "<presentation>", "<response_lid",
+                    "<render_choice>", "<resprocessing>", "<varequal>"):
+            assert tag in xml
+
+
+class TestTrueFalseRoundTrip:
+    @pytest.mark.parametrize("value", [True, False])
+    def test_round_trip(self, value):
+        original = TrueFalseItem(
+            item_id="tf1", question="Quicksort is stable.", correct_value=value
+        )
+        restored = item_from_qti_xml(item_to_qti_xml(original))
+        assert isinstance(restored, TrueFalseItem)
+        assert restored.correct_value is value
+
+
+class TestMatchRoundTrip:
+    def test_round_trip(self):
+        original = MatchItem(
+            item_id="m1",
+            question="Match structure to operation.",
+            premises=["stack", "queue"],
+            options=["LIFO", "FIFO"],
+            key={"stack": "LIFO", "queue": "FIFO"},
+        )
+        restored = item_from_qti_xml(item_to_qti_xml(original))
+        assert isinstance(restored, MatchItem)
+        assert restored.premises == ["stack", "queue"]
+        assert restored.options == ["LIFO", "FIFO"]
+        assert restored.key == {"stack": "LIFO", "queue": "FIFO"}
+
+
+class TestCompletionRoundTrip:
+    def test_round_trip(self):
+        original = CompletionItem(
+            item_id="c1",
+            question="A ___ sorts in O(n log n) worst case; a ___ does not.",
+            accepted_answers=[["heapsort", "mergesort"], ["quicksort"]],
+            case_sensitive=True,
+        )
+        restored = item_from_qti_xml(item_to_qti_xml(original))
+        assert isinstance(restored, CompletionItem)
+        assert restored.accepted_answers == [
+            ["heapsort", "mergesort"],
+            ["quicksort"],
+        ]
+        assert restored.case_sensitive is True
+
+
+class TestEssayRoundTrip:
+    def test_round_trip(self):
+        original = EssayItem(
+            item_id="e1",
+            question="Discuss amortized analysis.",
+            model_answer="aggregate, accounting, potential methods",
+            max_points=10.0,
+            min_length=50,
+        )
+        restored = item_from_qti_xml(item_to_qti_xml(original))
+        assert isinstance(restored, EssayItem)
+        assert restored.model_answer == original.model_answer
+        assert restored.max_points == 10.0
+        assert restored.min_length == 50
+
+
+class TestQuestionnaireRoundTrip:
+    def test_round_trip(self):
+        original = QuestionnaireItem(
+            item_id="s1",
+            question="Lectures were clear.",
+            scale=["no", "somewhat", "yes"],
+            resumable=False,
+            display_type=DisplayType.RANDOM_ORDER,
+        )
+        restored = item_from_qti_xml(item_to_qti_xml(original))
+        assert isinstance(restored, QuestionnaireItem)
+        assert restored.scale == ["no", "somewhat", "yes"]
+        assert restored.resumable is False
+        assert restored.display_type is DisplayType.RANDOM_ORDER
+
+    def test_free_text_questionnaire(self):
+        original = QuestionnaireItem(item_id="s2", question="Any comments?")
+        restored = item_from_qti_xml(item_to_qti_xml(original))
+        assert restored.scale == []
+
+
+class TestParsingErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(MetadataError):
+            item_from_qti_xml("<item")
+
+    def test_wrong_root(self):
+        with pytest.raises(MetadataError):
+            item_from_qti_xml("<exam/>")
+
+    def test_missing_style(self):
+        with pytest.raises(MetadataError):
+            item_from_qti_xml("<item ident='x'/>")
+
+    def test_unknown_style(self):
+        with pytest.raises(MetadataError):
+            item_from_qti_xml(
+                "<item ident='x' mine_style='riddle'>"
+                "<presentation><material><mattext>t</mattext></material>"
+                "</presentation></item>"
+            )
+
+    def test_missing_stem(self):
+        with pytest.raises(MetadataError):
+            item_from_qti_xml(
+                "<item ident='x' mine_style='true_false'/>"
+            )
+
+    def test_choice_without_key(self):
+        xml = (
+            "<item ident='x' mine_style='multiple_choice'>"
+            "<presentation><material><mattext>stem</mattext></material>"
+            "<response_lid ident='MC'><render_choice>"
+            "<response_label ident='A'><material><mattext>a</mattext>"
+            "</material></response_label>"
+            "<response_label ident='B'><material><mattext>b</mattext>"
+            "</material></response_label>"
+            "</render_choice></response_lid></presentation></item>"
+        )
+        with pytest.raises(MetadataError):
+            item_from_qti_xml(xml)

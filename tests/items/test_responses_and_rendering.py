@@ -1,0 +1,95 @@
+"""Tests for ScoredResponse invariants and item text rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ResponseError
+from repro.items.choice import MultipleChoiceItem
+from repro.items.matching import MatchItem
+from repro.items.questionnaire import QuestionnaireItem
+from repro.items.rendering import render_item
+from repro.items.responses import ScoredResponse
+from repro.items.truefalse import TrueFalseItem
+
+
+class TestScoredResponse:
+    def test_right(self):
+        result = ScoredResponse.right(max_points=2.0, selected="A")
+        assert result.points == 2.0
+        assert result.correct is True
+
+    def test_wrong(self):
+        result = ScoredResponse.wrong()
+        assert result.points == 0.0
+        assert result.correct is False
+
+    def test_partial_full_marks_is_correct(self):
+        assert ScoredResponse.partial(3.0, 3.0).correct is True
+        assert ScoredResponse.partial(2.0, 3.0).correct is False
+
+    def test_pending(self):
+        result = ScoredResponse.pending(max_points=5.0)
+        assert result.needs_manual_grading
+        assert result.correct is None
+
+    def test_points_above_max_rejected(self):
+        with pytest.raises(ResponseError):
+            ScoredResponse(points=2.0, max_points=1.0, correct=True)
+
+    def test_negative_points_rejected(self):
+        with pytest.raises(ResponseError):
+            ScoredResponse(points=-1.0, max_points=1.0, correct=False)
+
+    def test_negative_max_rejected(self):
+        with pytest.raises(ResponseError):
+            ScoredResponse(points=0.0, max_points=-1.0, correct=False)
+
+    @given(
+        max_points=st.floats(min_value=0.1, max_value=100),
+        fraction=st.floats(min_value=0, max_value=1),
+    )
+    def test_partial_always_valid(self, max_points, fraction):
+        points = max_points * fraction
+        result = ScoredResponse.partial(points, max_points)
+        assert 0 <= result.points <= result.max_points
+
+
+class TestRenderItem:
+    def test_choice_rendering(self):
+        item = MultipleChoiceItem.build(
+            "q1", "Pick one.", ["alpha", "beta"], correct_index=0, hint="easy"
+        )
+        text = render_item(item, number=3)
+        assert text.startswith("3. Pick one.")
+        assert "(A) alpha" in text
+        assert "(B) beta" in text
+        assert "Hint: easy" in text
+
+    def test_truefalse_rendering(self):
+        item = TrueFalseItem(item_id="tf", question="Sky is blue.")
+        text = render_item(item)
+        assert "( ) True    ( ) False" in text
+
+    def test_match_rendering(self):
+        item = MatchItem(
+            item_id="m",
+            question="Match.",
+            premises=["a", "b"],
+            options=["1", "2"],
+            key={"a": "1", "b": "2"},
+        )
+        text = render_item(item)
+        assert "a  ->  ____" in text
+        assert "choices: 1, 2" in text
+
+    def test_questionnaire_rendering(self):
+        item = QuestionnaireItem(
+            item_id="s", question="Rate it.", scale=["bad", "good"]
+        )
+        text = render_item(item)
+        assert "scale: bad / good" in text
+
+    def test_unnumbered(self):
+        item = TrueFalseItem(item_id="tf", question="Water is wet.")
+        assert render_item(item).startswith("Water is wet.")

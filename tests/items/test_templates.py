@@ -1,0 +1,170 @@
+"""Tests for presentation templates (repro.items.templates)."""
+
+import pytest
+
+from repro.core.errors import AuthoringError, NotFoundError
+from repro.items.base import Picture
+from repro.items.choice import MultipleChoiceItem
+from repro.items.rendering import render_layout
+from repro.items.templates import (
+    Slot,
+    Template,
+    TemplateLibrary,
+    apply_template,
+    default_choice_template,
+)
+
+
+def choice_item(pictures=None):
+    item = MultipleChoiceItem.build(
+        "q1",
+        "Which tree is self-balancing?",
+        ["AVL", "plain BST", "trie", "heap"],
+        correct_index=0,
+        hint="named after its inventors",
+    )
+    if pictures:
+        item.pictures = pictures
+    return item
+
+
+class TestSlot:
+    def test_negative_position_rejected(self):
+        with pytest.raises(AuthoringError):
+            Slot(role="question", x=-1, y=0)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(AuthoringError):
+            Slot(role="question", width=0)
+
+    def test_empty_role_rejected(self):
+        with pytest.raises(AuthoringError):
+            Slot(role="")
+
+
+class TestTemplate:
+    def test_slot_lookup(self):
+        template = default_choice_template()
+        assert template.slot_for("question").y == 0
+        assert template.slot_for("nonexistent") is None
+
+    def test_move_slot(self):
+        template = default_choice_template()
+        template.move_slot("question", 10, 5)
+        slot = template.slot_for("question")
+        assert (slot.x, slot.y) == (10, 5)
+
+    def test_move_unknown_slot_rejected(self):
+        with pytest.raises(NotFoundError):
+            default_choice_template().move_slot("banner", 0, 0)
+
+    def test_move_to_negative_rejected(self):
+        with pytest.raises(AuthoringError):
+            default_choice_template().move_slot("question", -1, 0)
+
+    def test_copy_as_is_deep(self):
+        original = default_choice_template()
+        duplicate = original.copy_as("copy")
+        duplicate.move_slot("question", 9, 9)
+        assert original.slot_for("question").x == 0
+        assert duplicate.name == "copy"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AuthoringError):
+            Template(name="")
+
+
+class TestTemplateLibrary:
+    def test_add_get(self):
+        library = TemplateLibrary()
+        library.add(default_choice_template())
+        assert "default-choice" in library
+        assert library.get("default-choice").name == "default-choice"
+
+    def test_duplicate_add_rejected(self):
+        library = TemplateLibrary()
+        library.add(default_choice_template())
+        with pytest.raises(AuthoringError):
+            library.add(default_choice_template())
+
+    def test_delete(self):
+        library = TemplateLibrary()
+        library.add(default_choice_template())
+        library.delete("default-choice")
+        assert len(library) == 0
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(NotFoundError):
+            TemplateLibrary().delete("ghost")
+
+    def test_copy_into_library(self):
+        library = TemplateLibrary()
+        library.add(default_choice_template())
+        library.copy("default-choice", "variant")
+        assert sorted(library.names()) == ["default-choice", "variant"]
+
+    def test_iteration(self):
+        library = TemplateLibrary()
+        library.add(default_choice_template())
+        assert [template.name for template in library] == ["default-choice"]
+
+
+class TestApplyTemplate:
+    def test_layout_positions_follow_template(self):
+        elements = apply_template(choice_item(), default_choice_template())
+        question = next(e for e in elements if e.role == "question")
+        assert (question.x, question.y) == (0, 0)
+        option0 = next(e for e in elements if e.role == "option0")
+        assert (option0.x, option0.y) == (4, 2)
+
+    def test_elements_sorted_by_position(self):
+        elements = apply_template(choice_item(), default_choice_template())
+        ys = [element.y for element in elements]
+        assert ys == sorted(ys)
+
+    def test_hint_included(self):
+        elements = apply_template(choice_item(), default_choice_template())
+        hint = next(e for e in elements if e.role == "hint")
+        assert "inventors" in hint.text
+
+    def test_picture_uses_its_own_position(self):
+        """§5.3: a picture is placed at its (x, y)."""
+        item = choice_item(pictures=[Picture(resource="tree.gif", x=40, y=1)])
+        elements = apply_template(item, default_choice_template())
+        picture = next(e for e in elements if e.role == "picture0")
+        assert (picture.x, picture.y) == (40, 1)
+        assert "tree.gif" in picture.text
+
+    def test_unslotted_elements_fall_below(self):
+        template = Template(name="bare", slots=[Slot(role="question", x=0, y=0)])
+        elements = apply_template(choice_item(), template)
+        roles = [element.role for element in elements]
+        assert "option3" in roles  # options still rendered
+
+    def test_width_truncates(self):
+        template = Template(
+            name="narrow", slots=[Slot(role="question", x=0, y=0, width=10)]
+        )
+        elements = apply_template(choice_item(), template)
+        question = next(e for e in elements if e.role == "question")
+        assert len(question.text) == 10
+
+
+class TestRenderLayout:
+    def test_canvas_respects_positions(self):
+        elements = apply_template(choice_item(), default_choice_template())
+        canvas = render_layout(elements)
+        lines = canvas.splitlines()
+        assert lines[0].startswith("Which tree")
+        assert lines[2].startswith("    A. AVL")
+
+    def test_empty_layout(self):
+        assert render_layout([]) == ""
+
+    def test_narrow_canvas_rejected(self):
+        from repro.core.errors import ItemError
+
+        with pytest.raises(ItemError):
+            render_layout(
+                apply_template(choice_item(), default_choice_template()), width=5
+            )

@@ -1,0 +1,249 @@
+"""Tests for the LMS (repro.lms.lms) and learner registry."""
+
+import pytest
+
+from repro.core.errors import (
+    DuplicateIdError,
+    NotFoundError,
+    SessionStateError,
+)
+from repro.delivery.clock import ManualClock
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.lms.learners import Learner, LearnerRegistry
+from repro.lms.lms import Lms
+from repro.lms.tracking import EventKind
+from repro.scorm.api import ApiState
+
+
+def two_question_exam(exam_id="ex1"):
+    return (
+        ExamBuilder(exam_id, "Exam")
+        .add_item(
+            MultipleChoiceItem.build("q1", "Pick A.", ["a", "b"], correct_index=0)
+        )
+        .add_item(
+            MultipleChoiceItem.build("q2", "Pick B.", ["a", "b"], correct_index=1)
+        )
+        .time_limit(600)
+        .build()
+    )
+
+
+def fresh_lms():
+    lms = Lms(clock=ManualClock())
+    lms.offer_exam(two_question_exam())
+    lms.register_learner(Learner(learner_id="alice", name="Alice"))
+    lms.enroll("alice", "ex1")
+    return lms
+
+
+class TestLearnerRegistry:
+    def test_register_get(self):
+        registry = LearnerRegistry()
+        registry.register(Learner(learner_id="a", name="A"))
+        assert registry.get("a").name == "A"
+        assert "a" in registry and len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = LearnerRegistry()
+        registry.register(Learner(learner_id="a", name="A"))
+        with pytest.raises(DuplicateIdError):
+            registry.register(Learner(learner_id="a", name="A2"))
+
+    def test_missing_learner(self):
+        with pytest.raises(NotFoundError):
+            LearnerRegistry().get("ghost")
+
+    def test_record_result_keeps_best_score(self):
+        learner = Learner(learner_id="a", name="A")
+        learner.record_result("c1", "failed", 40.0)
+        learner.record_result("c1", "passed", 80.0)
+        learner.record_result("c1", "passed", 60.0)
+        assert learner.course_scores["c1"] == 80.0
+        assert learner.status_for("c1") == "passed"
+        assert learner.status_for("other") == "not attempted"
+
+
+class TestOfferingAndEnrollment:
+    def test_offer_and_enroll(self):
+        lms = fresh_lms()
+        assert lms.offered_exams() == ["ex1"]
+        assert lms.enrolled("ex1") == ["alice"]
+
+    def test_duplicate_offer_rejected(self):
+        lms = fresh_lms()
+        with pytest.raises(DuplicateIdError):
+            lms.offer_exam(two_question_exam())
+
+    def test_enroll_unknown_learner(self):
+        lms = fresh_lms()
+        with pytest.raises(NotFoundError):
+            lms.enroll("ghost", "ex1")
+
+    def test_enroll_unknown_exam(self):
+        lms = fresh_lms()
+        with pytest.raises(NotFoundError):
+            lms.enroll("alice", "ghost")
+
+    def test_enrollment_tracked(self):
+        lms = fresh_lms()
+        assert len(lms.tracking.events(kind=EventKind.ENROLLED)) == 1
+
+
+class TestSittingFlow:
+    def test_full_sitting(self):
+        lms = fresh_lms()
+        sitting = lms.start_exam("alice", "ex1")
+        assert sitting.api.state is ApiState.RUNNING
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.answer("alice", "ex1", "q2", "B")
+        graded = lms.submit("alice", "ex1")
+        assert graded.percent == 100.0
+        assert sitting.api.state is ApiState.FINISHED
+
+    def test_start_requires_enrollment(self):
+        lms = fresh_lms()
+        lms.register_learner(Learner(learner_id="bob", name="Bob"))
+        with pytest.raises(SessionStateError):
+            lms.start_exam("bob", "ex1")
+
+    def test_cannot_open_two_sittings(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        with pytest.raises(SessionStateError):
+            lms.start_exam("alice", "ex1")
+
+    def test_cmi_interactions_recorded(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.answer("alice", "ex1", "q2", "A")  # wrong
+        lms.submit("alice", "ex1")
+        record = lms.rte.record("alice", "ex1")
+        interactions = record.last_snapshot["interactions"]
+        assert len(interactions) == 2
+        assert interactions[0]["id"] == "q1"
+        assert interactions[0]["result"] == "correct"
+        assert interactions[1]["result"] == "wrong"
+
+    def test_cmi_score_and_status(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.submit("alice", "ex1")
+        record = lms.rte.record("alice", "ex1")
+        assert record.score_raw == 50.0
+        assert record.lesson_status == "failed"
+
+    def test_passing_status(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.answer("alice", "ex1", "q2", "B")
+        lms.submit("alice", "ex1")
+        assert lms.rte.record("alice", "ex1").lesson_status == "passed"
+        assert lms.learners.get("alice").course_scores["ex1"] == 100.0
+
+    def test_suspend_resume_flow(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.suspend("alice", "ex1")
+        lms.resume("alice", "ex1")
+        lms.answer("alice", "ex1", "q2", "B")
+        graded = lms.submit("alice", "ex1")
+        assert graded.percent == 100.0
+        kinds = [e.kind for e in lms.tracking.events(learner_id="alice")]
+        assert EventKind.SUSPENDED in kinds
+        assert EventKind.RESUMED in kinds
+
+    def test_suspend_commits_suspend_data(self):
+        lms = fresh_lms()
+        sitting = lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.suspend("alice", "ex1")
+        snapshot = lms.rte.record("alice", "ex1").last_snapshot
+        assert snapshot["suspend_data"] == "answered=1"
+
+    def test_tracking_sequence(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.submit("alice", "ex1")
+        kinds = [event.kind for event in lms.tracking]
+        assert kinds == [
+            EventKind.ENROLLED,
+            EventKind.LAUNCHED,
+            EventKind.ANSWERED,
+            EventKind.SUBMITTED,
+            EventKind.GRADED,
+        ]
+
+    def test_sitting_lookup(self):
+        lms = fresh_lms()
+        with pytest.raises(NotFoundError):
+            lms.sitting("alice", "ex1")
+        lms.start_exam("alice", "ex1")
+        assert lms.sitting("alice", "ex1").learner_id == "alice"
+
+
+class TestMonitorIntegration:
+    def test_frames_captured_during_sitting(self):
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(two_question_exam())
+        lms.register_learner(Learner(learner_id="alice", name="Alice"))
+        lms.enroll("alice", "ex1")
+        lms.start_exam("alice", "ex1")  # capture at t=0
+        clock.advance(31)
+        lms.answer("alice", "ex1", "q1", "A")  # capture due
+        clock.advance(5)
+        lms.answer("alice", "ex1", "q2", "B")  # too soon, no capture
+        frames = lms.monitor.frames_for("alice", "ex1")
+        assert len(frames) == 2
+
+
+class TestAnalysisIntegration:
+    def test_analyze_exam_over_cohort(self):
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(two_question_exam())
+        for index in range(12):
+            learner_id = f"s{index:02d}"
+            lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+            lms.enroll(learner_id, "ex1")
+            lms.start_exam(learner_id, "ex1")
+            # top half answer both right; bottom half both wrong
+            if index < 6:
+                lms.answer(learner_id, "ex1", "q1", "A")
+                lms.answer(learner_id, "ex1", "q2", "B")
+            else:
+                lms.answer(learner_id, "ex1", "q1", "B")
+                lms.answer(learner_id, "ex1", "q2", "A")
+            clock.advance(30)
+            lms.submit(learner_id, "ex1")
+        analysis = lms.analyze_exam("ex1")
+        assert len(analysis.questions) == 2
+        for question in analysis.questions:
+            assert question.discrimination == 1.0
+
+    def test_report_for_exam(self):
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(two_question_exam())
+        for index in range(8):
+            learner_id = f"s{index}"
+            lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+            lms.enroll(learner_id, "ex1")
+            lms.start_exam(learner_id, "ex1")
+            clock.advance(10)
+            lms.answer(learner_id, "ex1", "q1", "A" if index < 4 else "B")
+            clock.advance(10)
+            lms.answer(learner_id, "ex1", "q2", "B" if index < 4 else "A")
+            lms.submit(learner_id, "ex1")
+        report = lms.report_for("ex1")
+        text = report.render()
+        assert "Number representation" in text
+        assert "Signal representation" in text
+        assert "time limit 600" in text

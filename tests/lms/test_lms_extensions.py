@@ -1,0 +1,147 @@
+"""Tests for LMS questionnaire tabulation and report reliability."""
+
+import pytest
+
+from repro.delivery.clock import ManualClock
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.items.questionnaire import QuestionnaireItem
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+
+
+def exam_with_questionnaire():
+    return (
+        ExamBuilder("course-eval", "Course with evaluation")
+        .add_item(
+            MultipleChoiceItem.build("q1", "Pick A.", ["a", "b"], correct_index=0)
+        )
+        .add_item(
+            MultipleChoiceItem.build("q2", "Pick B.", ["a", "b"], correct_index=1)
+        )
+        .add_item(
+            QuestionnaireItem(
+                item_id="opinion",
+                question="The unit was well paced.",
+                scale=["disagree", "neutral", "agree"],
+            )
+        )
+        .build()
+    )
+
+
+def run_class(n=12):
+    lms = Lms(clock=ManualClock())
+    lms.offer_exam(exam_with_questionnaire())
+    opinions = ["agree", "agree", "neutral", "disagree"]
+    for index in range(n):
+        learner_id = f"s{index:02d}"
+        lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+        lms.enroll(learner_id, "course-eval")
+        lms.start_exam(learner_id, "course-eval")
+        lms.answer(learner_id, "course-eval", "q1", "A" if index < n // 2 else "B")
+        lms.answer(learner_id, "course-eval", "q2", "B" if index < n // 2 else "A")
+        if index % 4 != 3:  # one in four skips the questionnaire
+            lms.answer(
+                learner_id, "course-eval", "opinion", opinions[index % 4]
+            )
+        lms.submit(learner_id, "course-eval")
+    return lms
+
+
+class TestQuestionnaireSummaries:
+    def test_one_summary_per_questionnaire_item(self):
+        lms = run_class()
+        summaries = lms.questionnaire_summaries("course-eval")
+        assert len(summaries) == 1
+        assert summaries[0].question == "The unit was well paced."
+
+    def test_counts_and_omissions(self):
+        lms = run_class(n=12)
+        summary = lms.questionnaire_summaries("course-eval")[0]
+        # pattern repeats every 4 learners: agree, agree, neutral, skip
+        assert summary.counts["agree"] == 6
+        assert summary.counts["neutral"] == 3
+        assert summary.counts["disagree"] == 0
+        assert summary.omissions == 3
+        assert summary.respondents == 9
+
+    def test_mean_position(self):
+        lms = run_class(n=12)
+        summary = lms.questionnaire_summaries("course-eval")[0]
+        # positions: agree=3 (x6), neutral=2 (x3) -> (18+6)/9
+        assert summary.mean_position == pytest.approx(24 / 9)
+
+    def test_exam_without_questionnaires(self):
+        lms = Lms(clock=ManualClock())
+        exam = (
+            ExamBuilder("plain", "Plain")
+            .add_item(
+                MultipleChoiceItem.build("q", "Pick.", ["a", "b"], correct_index=0)
+            )
+            .build()
+        )
+        lms.offer_exam(exam)
+        assert lms.questionnaire_summaries("plain") == []
+
+
+class TestReportReliability:
+    def test_report_includes_kr20_and_sem(self):
+        lms = run_class(n=16)
+        report = lms.report_for("course-eval")
+        assert report.reliability is not None
+        assert report.reliability <= 1.0
+        assert report.sem is not None and report.sem >= 0.0
+        assert "KR-20" in report.render()
+
+    def test_export_includes_reliability(self):
+        from repro.core.export import report_to_dict
+
+        lms = run_class(n=16)
+        payload = report_to_dict(lms.report_for("course-eval"))
+        assert "reliability" in payload
+        assert payload["reliability"]["kr20"] == pytest.approx(
+            lms.report_for("course-eval").reliability
+        )
+
+    def test_degenerate_cohort_omits_reliability(self):
+        """Everyone identical -> zero variance -> section omitted."""
+        lms = Lms(clock=ManualClock())
+        exam = (
+            ExamBuilder("flat", "Flat")
+            .add_item(
+                MultipleChoiceItem.build("q1", "A.", ["a", "b"], correct_index=0)
+            )
+            .add_item(
+                MultipleChoiceItem.build("q2", "B.", ["a", "b"], correct_index=0)
+            )
+            .build()
+        )
+        lms.offer_exam(exam)
+        for index in range(8):
+            learner_id = f"s{index}"
+            lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+            lms.enroll(learner_id, "flat")
+            lms.start_exam(learner_id, "flat")
+            lms.answer(learner_id, "flat", "q1", "A")
+            lms.answer(learner_id, "flat", "q2", "A")
+            lms.submit(learner_id, "flat")
+        report = lms.report_for("flat")
+        assert report.reliability is None
+        assert "KR-20" not in report.render()
+
+
+class TestConceptPerformanceInReport:
+    def test_report_renders_remediation_section(self):
+        lms = run_class(n=16)
+        text = lms.report_for("course-eval").render()
+        assert "Concept performance" in text
+
+    def test_export_includes_concept_rows(self):
+        from repro.core.export import report_to_dict
+
+        lms = run_class(n=16)
+        payload = report_to_dict(lms.report_for("course-eval"))
+        assert "concept_performance" in payload
+        rows = payload["concept_performance"]
+        assert all("needs_remedial_course" in row for row in rows)

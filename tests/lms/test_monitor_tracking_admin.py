@@ -1,0 +1,163 @@
+"""Tests for the exam monitor, tracking service, and administrator role."""
+
+import pytest
+
+from repro.core.errors import MonitorError, NotFoundError
+from repro.delivery.clock import ManualClock
+from repro.exams.authoring import ExamBuilder
+from repro.items.truefalse import TrueFalseItem
+from repro.lms.admin import Administrator
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.lms.monitor import ExamMonitor
+from repro.lms.tracking import EventKind, TrackingService
+
+
+class TestMonitorCapture:
+    def test_capture_produces_frame(self):
+        monitor = ExamMonitor()
+        frame = monitor.capture("alice", "ex1", 0.0)
+        assert frame.learner_id == "alice"
+        assert frame.sequence == 0
+        assert frame.payload.startswith(b"MINEPIC0")
+        assert len(frame.payload) > 1000
+
+    def test_frames_deterministic(self):
+        a = ExamMonitor().capture("alice", "ex1", 0.0)
+        b = ExamMonitor().capture("alice", "ex1", 0.0)
+        assert a.checksum() == b.checksum()
+
+    def test_different_sittings_different_frames(self):
+        monitor = ExamMonitor()
+        a = monitor.capture("alice", "ex1", 0.0)
+        b = monitor.capture("bob", "ex1", 0.0)
+        assert a.checksum() != b.checksum()
+
+    def test_poll_respects_interval(self):
+        monitor = ExamMonitor(interval_seconds=30)
+        assert monitor.poll("a", "e", 0.0) is not None
+        assert monitor.poll("a", "e", 10.0) is None
+        assert monitor.poll("a", "e", 29.9) is None
+        assert monitor.poll("a", "e", 30.0) is not None
+
+    def test_sequence_increments(self):
+        monitor = ExamMonitor()
+        first = monitor.capture("a", "e", 0.0)
+        second = monitor.capture("a", "e", 31.0)
+        assert (first.sequence, second.sequence) == (0, 1)
+
+    def test_retention_bound(self):
+        monitor = ExamMonitor(interval_seconds=1, max_frames=5)
+        for tick in range(8):
+            monitor.capture("a", "e", float(tick))
+        frames = monitor.frames_for("a", "e")
+        assert len(frames) == 5
+        assert monitor.dropped_count("a", "e") == 3
+        # oldest retained frame is sequence 3
+        assert frames[0].sequence == 3
+        assert frames[-1].sequence == 7
+
+    def test_disabled_monitor(self):
+        monitor = ExamMonitor(enabled=False)
+        assert monitor.poll("a", "e", 0.0) is None
+        with pytest.raises(MonitorError):
+            monitor.capture("a", "e", 0.0)
+
+    def test_clear(self):
+        monitor = ExamMonitor()
+        monitor.capture("a", "e", 0.0)
+        assert monitor.clear("a", "e") == 1
+        assert monitor.frames_for("a", "e") == []
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(MonitorError):
+            ExamMonitor().poll("a", "e", -1.0)
+
+    @pytest.mark.parametrize("interval", [0, -5])
+    def test_bad_interval_rejected(self, interval):
+        with pytest.raises(MonitorError):
+            ExamMonitor(interval_seconds=interval)
+
+    def test_bad_retention_rejected(self):
+        with pytest.raises(MonitorError):
+            ExamMonitor(max_frames=0)
+
+
+class TestTrackingService:
+    def test_record_and_filter(self):
+        tracking = TrackingService()
+        tracking.record(EventKind.LAUNCHED, "a", "e1", 0.0)
+        tracking.record(EventKind.ANSWERED, "a", "e1", 1.0, detail="q1")
+        tracking.record(EventKind.ANSWERED, "b", "e1", 2.0, detail="q1")
+        tracking.record(EventKind.ANSWERED, "a", "e2", 3.0, detail="q9")
+        assert len(tracking) == 4
+        assert len(tracking.events(kind=EventKind.ANSWERED)) == 3
+        assert len(tracking.events(learner_id="a")) == 3
+        assert len(tracking.events(course_id="e1")) == 3
+        assert (
+            len(tracking.events(kind=EventKind.ANSWERED, learner_id="a",
+                                course_id="e1"))
+            == 1
+        )
+
+    def test_counts_by_kind(self):
+        tracking = TrackingService()
+        tracking.record(EventKind.LAUNCHED, "a", "e", 0.0)
+        tracking.record(EventKind.ANSWERED, "a", "e", 1.0)
+        tracking.record(EventKind.ANSWERED, "a", "e", 2.0)
+        counts = tracking.counts_by_kind()
+        assert counts[EventKind.ANSWERED] == 2
+        assert counts[EventKind.LAUNCHED] == 1
+
+
+def lms_with_sitting():
+    clock = ManualClock()
+    lms = Lms(clock=clock)
+    exam = (
+        ExamBuilder("e1", "E")
+        .add_item(TrueFalseItem(item_id="q1", question="True?"))
+        .build()
+    )
+    lms.offer_exam(exam)
+    lms.register_learner(Learner(learner_id="alice", name="Alice"))
+    lms.enroll("alice", "e1")
+    lms.start_exam("alice", "e1")
+    return lms
+
+
+class TestAdministrator:
+    def test_monitor_toggle(self):
+        lms = lms_with_sitting()
+        admin = Administrator(lms)
+        admin.disable_monitor()
+        assert lms.monitor.enabled is False
+        admin.enable_monitor()
+        assert lms.monitor.enabled is True
+
+    def test_capture_interval(self):
+        admin = Administrator(lms_with_sitting())
+        admin.set_capture_interval(10.0)
+        assert admin.lms.monitor.interval_seconds == 10.0
+        with pytest.raises(MonitorError):
+            admin.set_capture_interval(0)
+
+    def test_purge_footage(self):
+        lms = lms_with_sitting()
+        admin = Administrator(lms)
+        assert admin.monitored_sittings() == [("alice", "e1")]
+        assert admin.purge_footage("alice", "e1") == 1
+        assert admin.monitored_sittings() == []
+
+    def test_withdraw_exam(self):
+        lms = lms_with_sitting()
+        admin = Administrator(lms)
+        admin.withdraw_exam("e1")
+        assert lms.offered_exams() == []
+        with pytest.raises(NotFoundError):
+            admin.withdraw_exam("e1")
+
+    def test_remove_learner_clears_enrollment(self):
+        lms = lms_with_sitting()
+        admin = Administrator(lms)
+        admin.remove_learner("alice")
+        assert "alice" not in lms.learners

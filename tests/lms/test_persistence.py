@@ -1,0 +1,131 @@
+"""Tests for LMS persistence (repro.lms.persistence)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import BankError
+from repro.delivery.clock import ManualClock
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.items.essay import EssayItem
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.lms.persistence import load_lms, save_lms
+from repro.lms.tracking import EventKind
+
+
+def busy_lms():
+    lms = Lms(clock=ManualClock())
+    exam = (
+        ExamBuilder("ex1", "Exam One")
+        .add_item(
+            MultipleChoiceItem.build("q1", "Pick A.", ["a", "b"], correct_index=0)
+        )
+        .add_item(EssayItem(item_id="q2", question="Discuss.", max_points=4))
+        .time_limit(600)
+        .build()
+    )
+    lms.offer_exam(exam)
+    for learner_id in ("amy", "bob"):
+        lms.register_learner(Learner(learner_id=learner_id, name=learner_id.title()))
+        lms.enroll(learner_id, "ex1")
+    lms.start_exam("amy", "ex1")
+    lms.answer("amy", "ex1", "q1", "A")
+    lms.answer("amy", "ex1", "q2", "a long enough essay answer")
+    lms.submit("amy", "ex1")
+    return lms
+
+
+class TestSaveLoad:
+    def test_round_trip_core_state(self, tmp_path):
+        lms = busy_lms()
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        restored = load_lms(path, clock=ManualClock())
+        assert restored.offered_exams() == ["ex1"]
+        assert restored.exam("ex1").title == "Exam One"
+        assert sorted(restored.learners.ids()) == ["amy", "bob"]
+        assert restored.enrolled("ex1") == ["amy", "bob"]
+
+    def test_results_restored(self, tmp_path):
+        lms = busy_lms()
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        restored = load_lms(path)
+        sittings = restored.results_for("ex1")
+        assert len(sittings) == 1
+        sitting = sittings[0]
+        assert sitting.learner_id == "amy"
+        assert sitting.scores["q1"].correct is True
+        assert sitting.scores["q2"].needs_manual_grading
+        assert sitting.pending_items() == ["q2"]
+
+    def test_learner_progress_restored(self, tmp_path):
+        lms = busy_lms()
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        restored = load_lms(path)
+        amy = restored.learners.get("amy")
+        assert amy.status_for("ex1") in ("passed", "failed", "incomplete")
+        assert "ex1" in amy.course_scores
+
+    def test_tracking_restored(self, tmp_path):
+        lms = busy_lms()
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        restored = load_lms(path)
+        assert len(restored.tracking) == len(lms.tracking)
+        assert restored.tracking.counts_by_kind()[EventKind.SUBMITTED] == 1
+
+    def test_restored_lms_accepts_new_sittings(self, tmp_path):
+        """The reloaded LMS is live: bob can sit the exam."""
+        path = tmp_path / "lms.json"
+        save_lms(busy_lms(), path)
+        restored = load_lms(path, clock=ManualClock())
+        restored.start_exam("bob", "ex1")
+        restored.answer("bob", "ex1", "q1", "A")
+        graded = restored.submit("bob", "ex1")
+        assert graded.learner_id == "bob"
+        assert len(restored.results_for("ex1")) == 2
+
+    def test_analysis_works_on_restored_results(self, tmp_path):
+        lms = Lms(clock=ManualClock())
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(
+                MultipleChoiceItem.build("q1", "A?", ["a", "b"], correct_index=0)
+            )
+            .build()
+        )
+        lms.offer_exam(exam)
+        for index in range(8):
+            learner_id = f"s{index}"
+            lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+            lms.enroll(learner_id, "e")
+            lms.start_exam(learner_id, "e")
+            lms.answer(learner_id, "e", "q1", "A" if index < 4 else "B")
+            lms.submit(learner_id, "e")
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        restored = load_lms(path)
+        analysis = restored.analyze_exam("e")
+        assert analysis.questions[0].discrimination == 1.0
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BankError):
+            load_lms(tmp_path / "ghost.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(BankError):
+            load_lms(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(BankError):
+            load_lms(path)

@@ -1,0 +1,110 @@
+"""Tests for learner transcripts (repro.lms.transcripts)."""
+
+import pytest
+
+from repro.core.errors import NotFoundError
+from repro.delivery.clock import ManualClock
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.lms.transcripts import build_transcript
+
+
+def two_exam_lms():
+    lms = Lms(clock=ManualClock())
+    for exam_id, title in (("math", "Math Exam"), ("cs", "CS Exam")):
+        lms.offer_exam(
+            ExamBuilder(exam_id, title)
+            .add_item(
+                MultipleChoiceItem.build(
+                    f"{exam_id}-q1", "Pick A.", ["a", "b"], correct_index=0
+                )
+            )
+            .add_item(
+                MultipleChoiceItem.build(
+                    f"{exam_id}-q2", "Pick B.", ["a", "b"], correct_index=1
+                )
+            )
+            .build()
+        )
+    lms.register_learner(Learner(learner_id="amy", name="Amy"))
+    lms.enroll("amy", "math")
+    lms.enroll("amy", "cs")
+    return lms
+
+
+def sit(lms, exam_id, answers):
+    lms.start_exam("amy", exam_id)
+    for item_id, response in answers.items():
+        lms.answer("amy", exam_id, item_id, response)
+    return lms.submit("amy", exam_id)
+
+
+class TestTranscript:
+    def test_rows_cover_enrolled_exams(self):
+        lms = two_exam_lms()
+        sit(lms, "math", {"math-q1": "A", "math-q2": "B"})
+        transcript = build_transcript(lms, "amy")
+        assert [row.exam_id for row in transcript.rows] == ["math", "cs"]
+
+    def test_passed_exam_row(self):
+        lms = two_exam_lms()
+        sit(lms, "math", {"math-q1": "A", "math-q2": "B"})
+        transcript = build_transcript(lms, "amy")
+        math_row = transcript.rows[0]
+        assert math_row.status == "passed"
+        assert math_row.best_score_percent == 100.0
+        assert math_row.attempts == 1
+        assert math_row.sittings == 1
+
+    def test_unattempted_exam_row(self):
+        lms = two_exam_lms()
+        transcript = build_transcript(lms, "amy")
+        cs_row = transcript.rows[1]
+        assert cs_row.status == "not attempted"
+        assert cs_row.best_score_percent is None
+        assert cs_row.sittings == 0
+
+    def test_best_score_across_sittings(self):
+        lms = two_exam_lms()
+        sit(lms, "math", {"math-q1": "A"})  # 50% -> failed
+        sit(lms, "math", {"math-q1": "A", "math-q2": "B"})  # 100%
+        transcript = build_transcript(lms, "amy")
+        math_row = transcript.rows[0]
+        assert math_row.best_score_percent == 100.0
+        assert math_row.attempts == 2
+        assert math_row.sittings == 2
+
+    def test_passed_count(self):
+        lms = two_exam_lms()
+        sit(lms, "math", {"math-q1": "A", "math-q2": "B"})
+        sit(lms, "cs", {"cs-q1": "B"})  # 0% -> failed
+        transcript = build_transcript(lms, "amy")
+        assert transcript.passed_count == 1
+
+    def test_render(self):
+        lms = two_exam_lms()
+        sit(lms, "math", {"math-q1": "A", "math-q2": "B"})
+        text = build_transcript(lms, "amy").render()
+        assert "Amy" in text
+        assert "Math Exam" in text
+        assert "passed" in text
+        assert "1 of 2 exams passed" in text
+
+    def test_render_empty(self):
+        lms = Lms(clock=ManualClock())
+        lms.register_learner(Learner(learner_id="new", name="New"))
+        text = build_transcript(lms, "new").render()
+        assert "no exams taken" in text
+
+    def test_unknown_learner_rejected(self):
+        with pytest.raises(NotFoundError):
+            build_transcript(two_exam_lms(), "ghost")
+
+    def test_unenrolled_exams_excluded(self):
+        lms = two_exam_lms()
+        lms.register_learner(Learner(learner_id="bob", name="Bob"))
+        lms.enroll("bob", "math")
+        transcript = build_transcript(lms, "bob")
+        assert [row.exam_id for row in transcript.rows] == ["math"]

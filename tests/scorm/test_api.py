@@ -1,0 +1,198 @@
+"""Tests for the SCORM API adapter (repro.scorm.api) and RTE launch."""
+
+import pytest
+
+from repro.core.errors import DeliveryError
+from repro.scorm.api import ApiAdapter, ApiState
+from repro.scorm.datamodel import CmiDataModel
+from repro.scorm.errors import ScormError
+from repro.scorm.rte import RunTimeEnvironment
+
+
+class TestApiStateMachine:
+    def test_initial_state(self):
+        assert ApiAdapter().state is ApiState.NOT_INITIALIZED
+
+    def test_initialize(self):
+        api = ApiAdapter()
+        assert api.LMSInitialize("") == "true"
+        assert api.state is ApiState.RUNNING
+        assert api.LMSGetLastError() == "0"
+
+    def test_double_initialize_fails(self):
+        api = ApiAdapter()
+        api.LMSInitialize("")
+        assert api.LMSInitialize("") == "false"
+        assert api.LMSGetLastError() == str(int(ScormError.GENERAL_EXCEPTION))
+
+    def test_initialize_with_parameter_fails(self):
+        api = ApiAdapter()
+        assert api.LMSInitialize("junk") == "false"
+        assert api.LMSGetLastError() == str(int(ScormError.INVALID_ARGUMENT))
+
+    def test_get_before_initialize(self):
+        api = ApiAdapter()
+        assert api.LMSGetValue("cmi.core.lesson_status") == ""
+        assert api.LMSGetLastError() == str(int(ScormError.NOT_INITIALIZED))
+
+    def test_set_before_initialize(self):
+        api = ApiAdapter()
+        assert api.LMSSetValue("cmi.core.lesson_status", "passed") == "false"
+        assert api.LMSGetLastError() == str(int(ScormError.NOT_INITIALIZED))
+
+    def test_commit_before_initialize(self):
+        api = ApiAdapter()
+        assert api.LMSCommit("") == "false"
+
+    def test_finish(self):
+        api = ApiAdapter()
+        api.LMSInitialize("")
+        assert api.LMSFinish("") == "true"
+        assert api.state is ApiState.FINISHED
+
+    def test_finish_before_initialize(self):
+        assert ApiAdapter().LMSFinish("") == "false"
+
+    def test_no_calls_after_finish(self):
+        api = ApiAdapter()
+        api.LMSInitialize("")
+        api.LMSFinish("")
+        assert api.LMSSetValue("cmi.core.lesson_status", "passed") == "false"
+        assert api.LMSGetValue("cmi.core.lesson_status") == ""
+
+
+class TestDataTransfer:
+    def make_running(self):
+        api = ApiAdapter(CmiDataModel(student_id="s1", student_name="Ada"))
+        api.LMSInitialize("")
+        return api
+
+    def test_get_set_round_trip(self):
+        api = self.make_running()
+        assert api.LMSSetValue("cmi.core.lesson_status", "completed") == "true"
+        assert api.LMSGetValue("cmi.core.lesson_status") == "completed"
+
+    def test_get_student_identity(self):
+        api = self.make_running()
+        assert api.LMSGetValue("cmi.core.student_id") == "s1"
+        assert api.LMSGetValue("cmi.core.student_name") == "Ada"
+
+    def test_set_error_propagates(self):
+        api = self.make_running()
+        assert api.LMSSetValue("cmi.core.student_id", "x") == "false"
+        assert api.LMSGetLastError() == str(int(ScormError.ELEMENT_IS_READ_ONLY))
+
+    def test_get_error_returns_empty(self):
+        api = self.make_running()
+        assert api.LMSGetValue("cmi.unknown") == ""
+        assert api.LMSGetLastError() == str(int(ScormError.INVALID_ARGUMENT))
+
+    def test_error_string(self):
+        api = self.make_running()
+        assert api.LMSGetErrorString("403") == "Element is read only"
+        assert api.LMSGetErrorString("0") == "No error"
+        assert api.LMSGetErrorString("999") == ""
+        assert api.LMSGetErrorString("junk") == ""
+
+    def test_diagnostic(self):
+        api = ApiAdapter()
+        api.LMSInitialize("")
+        api.LMSInitialize("")  # error with diagnostic
+        assert "twice" in api.LMSGetDiagnostic("101")
+        assert api.LMSGetDiagnostic("junk") == ""
+
+
+class TestCommit:
+    def test_commit_invokes_callback(self):
+        snapshots = []
+        api = ApiAdapter(on_commit=snapshots.append)
+        api.LMSInitialize("")
+        api.LMSSetValue("cmi.core.lesson_status", "passed")
+        assert api.LMSCommit("") == "true"
+        assert len(snapshots) == 1
+        assert snapshots[0]["core"]["lesson_status"] == "passed"
+
+    def test_finish_also_commits(self):
+        snapshots = []
+        api = ApiAdapter(on_commit=snapshots.append)
+        api.LMSInitialize("")
+        api.LMSFinish("")
+        assert len(snapshots) == 1
+
+    def test_commit_with_parameter_fails(self):
+        api = ApiAdapter()
+        api.LMSInitialize("")
+        assert api.LMSCommit("junk") == "false"
+
+
+class TestRunTimeEnvironment:
+    def test_launch_fresh_attempt(self):
+        rte = RunTimeEnvironment()
+        api = rte.launch("s1", "exam-1", learner_name="Ada")
+        assert api.LMSInitialize("") == "true"
+        assert api.LMSGetValue("cmi.core.entry") == "ab-initio"
+        assert rte.record("s1", "exam-1").attempts == 1
+
+    def test_commit_persists_snapshot(self):
+        rte = RunTimeEnvironment()
+        api = rte.launch("s1", "exam-1")
+        api.LMSInitialize("")
+        api.LMSSetValue("cmi.core.score.raw", "80")
+        api.LMSSetValue("cmi.core.lesson_status", "passed")
+        api.LMSFinish("")
+        record = rte.record("s1", "exam-1")
+        assert record.lesson_status == "passed"
+        assert record.score_raw == 80.0
+        assert record.commits == 1
+
+    def test_suspend_and_resume(self):
+        rte = RunTimeEnvironment()
+        first = rte.launch("s1", "exam-1")
+        first.LMSInitialize("")
+        first.LMSSetValue("cmi.suspend_data", "q=3")
+        first.LMSSetValue("cmi.core.exit", "suspend")
+        first.LMSFinish("")
+        second = rte.launch("s1", "exam-1")
+        second.LMSInitialize("")
+        assert second.LMSGetValue("cmi.core.entry") == "resume"
+        assert second.LMSGetValue("cmi.suspend_data") == "q=3"
+        assert rte.record("s1", "exam-1").attempts == 2
+
+    def test_normal_exit_does_not_resume(self):
+        rte = RunTimeEnvironment()
+        first = rte.launch("s1", "exam-1")
+        first.LMSInitialize("")
+        first.LMSSetValue("cmi.suspend_data", "q=3")
+        first.LMSFinish("")
+        second = rte.launch("s1", "exam-1")
+        second.LMSInitialize("")
+        assert second.LMSGetValue("cmi.core.entry") == "ab-initio"
+        assert second.LMSGetValue("cmi.suspend_data") == ""
+
+    def test_concurrent_launch_rejected(self):
+        rte = RunTimeEnvironment()
+        api = rte.launch("s1", "exam-1")
+        api.LMSInitialize("")
+        with pytest.raises(DeliveryError):
+            rte.launch("s1", "exam-1")
+
+    def test_relaunch_after_finish_allowed(self):
+        rte = RunTimeEnvironment()
+        api = rte.launch("s1", "exam-1")
+        api.LMSInitialize("")
+        api.LMSFinish("")
+        rte.launch("s1", "exam-1")  # no error
+
+    def test_different_learners_independent(self):
+        rte = RunTimeEnvironment()
+        api1 = rte.launch("s1", "exam-1")
+        api2 = rte.launch("s2", "exam-1")
+        api1.LMSInitialize("")
+        api2.LMSInitialize("")
+        assert len(rte.active_attempts()) == 2
+
+    def test_records_listing(self):
+        rte = RunTimeEnvironment()
+        rte.launch("s1", "exam-1")
+        rte.launch("s2", "exam-1")
+        assert len(rte.all_records()) == 2

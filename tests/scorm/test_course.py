@@ -1,0 +1,118 @@
+"""Tests for the course hierarchy (repro.scorm.course)."""
+
+import pytest
+
+from repro.core.errors import AuthoringError, NotFoundError
+from repro.scorm.course import (
+    Block,
+    Course,
+    Sco,
+    course_to_organization,
+    organization_to_course,
+)
+from repro.scorm.manifest import (
+    Manifest,
+    Resource,
+    manifest_from_xml,
+    manifest_to_xml,
+)
+
+
+def sample_course():
+    course = Course(course_id="cs101", title="Intro to CS")
+    chapter1 = Block(block_id="ch1", title="Chapter 1")
+    chapter1.add(Sco(sco_id="lesson-1-1", title="Variables", resource_id="res-a"))
+    chapter1.add(Sco(sco_id="lesson-1-2", title="Loops", resource_id="res-b",
+                     mastery_score=70.0))
+    chapter2 = Block(block_id="ch2", title="Chapter 2")
+    chapter2.add(Sco(sco_id="lesson-2-1", title="Functions", resource_id="res-c"))
+    course.root.add(chapter1)
+    course.root.add(chapter2)
+    course.root.add(Sco(sco_id="final-exam", title="Final", resource_id="res-d"))
+    return course
+
+
+class TestCourseModel:
+    def test_scos_in_document_order(self):
+        course = sample_course()
+        assert [sco.sco_id for sco in course.scos()] == [
+            "lesson-1-1",
+            "lesson-1-2",
+            "lesson-2-1",
+            "final-exam",
+        ]
+
+    def test_blocks(self):
+        assert [b.block_id for b in sample_course().blocks()] == ["ch1", "ch2"]
+
+    def test_find_sco(self):
+        course = sample_course()
+        assert course.find_sco("lesson-2-1").title == "Functions"
+        with pytest.raises(NotFoundError):
+            course.find_sco("ghost")
+
+    def test_validate_ok(self):
+        sample_course().validate()
+
+    def test_duplicate_ids_rejected(self):
+        course = sample_course()
+        course.root.add(Sco(sco_id="lesson-1-1", title="dup", resource_id="x"))
+        with pytest.raises(AuthoringError):
+            course.validate()
+
+    def test_empty_course_rejected(self):
+        with pytest.raises(AuthoringError):
+            Course(course_id="empty", title="Empty").validate()
+
+    def test_bad_mastery_score_rejected(self):
+        with pytest.raises(AuthoringError):
+            Sco(sco_id="s", title="t", mastery_score=150)
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(AuthoringError):
+            Sco(sco_id="", title="t")
+        with pytest.raises(AuthoringError):
+            Block(block_id="", title="t")
+        with pytest.raises(AuthoringError):
+            Course(course_id="", title="t")
+
+
+class TestOrganizationMapping:
+    def test_course_to_organization_structure(self):
+        organization = course_to_organization(sample_course())
+        assert organization.identifier == "org-cs101"
+        assert len(organization.items) == 3  # ch1, ch2, final-exam
+        chapter1 = organization.items[0]
+        assert chapter1.identifier == "item-ch1"
+        assert len(chapter1.children) == 2
+        assert chapter1.children[0].identifierref == "res-a"
+
+    def test_round_trip(self):
+        original = sample_course()
+        organization = course_to_organization(original)
+        restored = organization_to_course(organization)
+        assert restored.course_id == "cs101"
+        assert [sco.sco_id for sco in restored.scos()] == [
+            sco.sco_id for sco in original.scos()
+        ]
+        assert [block.block_id for block in restored.blocks()] == ["ch1", "ch2"]
+
+    def test_round_trip_through_manifest_xml(self):
+        course = sample_course()
+        manifest = Manifest(
+            identifier="pkg-cs101",
+            organizations=[course_to_organization(course)],
+            resources=[
+                Resource(identifier=f"res-{letter}", href=f"{letter}.html")
+                for letter in "abcd"
+            ],
+            default_organization="org-cs101",
+        )
+        manifest.validate()
+        restored_manifest = manifest_from_xml(manifest_to_xml(manifest))
+        restored_course = organization_to_course(
+            restored_manifest.organizations[0]
+        )
+        assert [s.sco_id for s in restored_course.scos()] == [
+            s.sco_id for s in course.scos()
+        ]

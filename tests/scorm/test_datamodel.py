@@ -1,0 +1,226 @@
+"""Tests for the CMI data model (repro.scorm.datamodel)."""
+
+import pytest
+
+from repro.scorm.datamodel import CMI_VOCABULARIES, CmiDataModel
+from repro.scorm.errors import ScormError
+
+
+@pytest.fixture
+def model():
+    return CmiDataModel(student_id="s001", student_name="Ada Lovelace")
+
+
+class TestReadOnlyWriteOnly:
+    def test_student_id_readable(self, model):
+        value, error = model.get("cmi.core.student_id")
+        assert (value, error) == ("s001", ScormError.NO_ERROR)
+
+    def test_student_id_not_writable(self, model):
+        assert model.set("cmi.core.student_id", "hacked") is (
+            ScormError.ELEMENT_IS_READ_ONLY
+        )
+
+    def test_session_time_write_only(self, model):
+        assert model.set("cmi.core.session_time", "00:30:00") is (
+            ScormError.NO_ERROR
+        )
+        value, error = model.get("cmi.core.session_time")
+        assert error is ScormError.ELEMENT_IS_WRITE_ONLY
+        assert value == ""
+
+    def test_exit_write_only(self, model):
+        assert model.set("cmi.core.exit", "suspend") is ScormError.NO_ERROR
+        _, error = model.get("cmi.core.exit")
+        assert error is ScormError.ELEMENT_IS_WRITE_ONLY
+
+    def test_lesson_location_read_write(self, model):
+        assert model.set("cmi.core.lesson_location", "q5") is ScormError.NO_ERROR
+        value, error = model.get("cmi.core.lesson_location")
+        assert (value, error) == ("q5", ScormError.NO_ERROR)
+
+    def test_launch_data_read_only(self, model):
+        assert model.set("cmi.launch_data", "x") is ScormError.ELEMENT_IS_READ_ONLY
+
+    def test_total_time_read_only(self, model):
+        assert model.set("cmi.core.total_time", "0001:00:00") is (
+            ScormError.ELEMENT_IS_READ_ONLY
+        )
+
+
+class TestVocabularies:
+    @pytest.mark.parametrize("status", CMI_VOCABULARIES["cmi.core.lesson_status"])
+    def test_valid_lesson_statuses(self, model, status):
+        assert model.set("cmi.core.lesson_status", status) is ScormError.NO_ERROR
+
+    def test_invalid_lesson_status(self, model):
+        assert model.set("cmi.core.lesson_status", "aced") is (
+            ScormError.INCORRECT_DATA_TYPE
+        )
+
+    def test_invalid_exit(self, model):
+        assert model.set("cmi.core.exit", "rage-quit") is (
+            ScormError.INCORRECT_DATA_TYPE
+        )
+
+
+class TestScore:
+    def test_valid_score(self, model):
+        assert model.set("cmi.core.score.raw", "85.5") is ScormError.NO_ERROR
+        value, _ = model.get("cmi.core.score.raw")
+        assert value == "85.5"
+
+    @pytest.mark.parametrize("bad", ["abc", "101", "-5", "1e3"])
+    def test_invalid_scores(self, model, bad):
+        assert model.set("cmi.core.score.raw", bad) is (
+            ScormError.INCORRECT_DATA_TYPE
+        )
+
+
+class TestChildrenAndCount:
+    def test_core_children(self, model):
+        value, error = model.get("cmi.core._children")
+        assert error is ScormError.NO_ERROR
+        assert "lesson_status" in value
+        assert "score" in value
+
+    def test_score_children(self, model):
+        value, _ = model.get("cmi.core.score._children")
+        assert value == "raw,min,max"
+
+    def test_interactions_count_starts_zero(self, model):
+        value, error = model.get("cmi.interactions._count")
+        assert (value, error) == ("0", ScormError.NO_ERROR)
+
+    def test_children_not_settable(self, model):
+        assert model.set("cmi.core._children", "x") is (
+            ScormError.INVALID_SET_VALUE
+        )
+
+    def test_count_not_settable(self, model):
+        assert model.set("cmi.interactions._count", "5") is (
+            ScormError.INVALID_SET_VALUE
+        )
+
+    def test_count_on_non_array(self, model):
+        _, error = model.get("cmi.core.score._count")
+        assert error is ScormError.ELEMENT_NOT_AN_ARRAY
+
+
+class TestInteractions:
+    def test_record_interaction(self, model):
+        assert model.set("cmi.interactions.0.id", "q1") is ScormError.NO_ERROR
+        assert model.set("cmi.interactions.0.type", "choice") is (
+            ScormError.NO_ERROR
+        )
+        assert model.set("cmi.interactions.0.student_response", "A") is (
+            ScormError.NO_ERROR
+        )
+        assert model.set("cmi.interactions.0.result", "correct") is (
+            ScormError.NO_ERROR
+        )
+        value, _ = model.get("cmi.interactions._count")
+        assert value == "1"
+
+    def test_interactions_write_only(self, model):
+        model.set("cmi.interactions.0.id", "q1")
+        _, error = model.get("cmi.interactions.0.id")
+        assert error is ScormError.ELEMENT_IS_WRITE_ONLY
+
+    def test_must_grow_contiguously(self, model):
+        assert model.set("cmi.interactions.5.id", "q5") is (
+            ScormError.INVALID_ARGUMENT
+        )
+
+    def test_correct_responses_pattern(self, model):
+        model.set("cmi.interactions.0.id", "q1")
+        assert model.set(
+            "cmi.interactions.0.correct_responses.0.pattern", "A"
+        ) is ScormError.NO_ERROR
+        recorded = model.interactions()[0]
+        assert recorded["correct_responses"] == ["A"]
+
+    def test_invalid_interaction_type(self, model):
+        model.set("cmi.interactions.0.id", "q1")
+        assert model.set("cmi.interactions.0.type", "puzzle") is (
+            ScormError.INCORRECT_DATA_TYPE
+        )
+
+    def test_invalid_result(self, model):
+        model.set("cmi.interactions.0.id", "q1")
+        assert model.set("cmi.interactions.0.result", "sorta") is (
+            ScormError.INCORRECT_DATA_TYPE
+        )
+
+    def test_latency_format(self, model):
+        model.set("cmi.interactions.0.id", "q1")
+        assert model.set("cmi.interactions.0.latency", "00:01:30.5") is (
+            ScormError.NO_ERROR
+        )
+        assert model.set("cmi.interactions.0.latency", "90 seconds") is (
+            ScormError.INCORRECT_DATA_TYPE
+        )
+
+    def test_multiple_interactions(self, model):
+        for index in range(3):
+            model.set(f"cmi.interactions.{index}.id", f"q{index}")
+        assert model.get("cmi.interactions._count")[0] == "3"
+        assert len(model.interactions()) == 3
+
+
+class TestObjectives:
+    def test_record_objective(self, model):
+        assert model.set("cmi.objectives.0.id", "concept-sorting") is (
+            ScormError.NO_ERROR
+        )
+        assert model.set("cmi.objectives.0.score.raw", "75") is (
+            ScormError.NO_ERROR
+        )
+        assert model.set("cmi.objectives.0.status", "passed") is (
+            ScormError.NO_ERROR
+        )
+        value, error = model.get("cmi.objectives.0.id")
+        assert (value, error) == ("concept-sorting", ScormError.NO_ERROR)
+
+    def test_objective_count(self, model):
+        model.set("cmi.objectives.0.id", "x")
+        assert model.get("cmi.objectives._count")[0] == "1"
+
+    def test_unknown_objective_read(self, model):
+        _, error = model.get("cmi.objectives.3.id")
+        assert error is ScormError.INVALID_ARGUMENT
+
+
+class TestUnknownElements:
+    def test_unknown_get(self, model):
+        _, error = model.get("cmi.core.shoe_size")
+        assert error is ScormError.INVALID_ARGUMENT
+
+    def test_unknown_set(self, model):
+        assert model.set("cmi.core.shoe_size", "42") is (
+            ScormError.INVALID_ARGUMENT
+        )
+
+    def test_empty_element(self, model):
+        _, error = model.get("")
+        assert error is ScormError.INVALID_ARGUMENT
+
+
+class TestResume:
+    def test_resume_seeding(self):
+        model = CmiDataModel(entry="resume", suspend_data="answered=3")
+        assert model.get("cmi.core.entry")[0] == "resume"
+        assert model.get("cmi.suspend_data")[0] == "answered=3"
+
+
+class TestSnapshot:
+    def test_snapshot_contains_everything(self, model):
+        model.set("cmi.core.lesson_status", "passed")
+        model.set("cmi.core.score.raw", "90")
+        model.set("cmi.suspend_data", "state")
+        model.set("cmi.interactions.0.id", "q1")
+        snapshot = model.snapshot()
+        assert snapshot["core"]["lesson_status"] == "passed"
+        assert snapshot["core"]["score.raw"] == "90"
+        assert snapshot["suspend_data"] == "state"
+        assert len(snapshot["interactions"]) == 1

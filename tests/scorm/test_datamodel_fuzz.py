@@ -1,0 +1,111 @@
+"""Property/fuzz tests for the CMI data model and API adapter.
+
+Random element names and values must never crash the data model — every
+call resolves to a SCORM error code.  Random API call sequences must
+keep the adapter's state machine consistent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scorm.api import ApiAdapter, ApiState
+from repro.scorm.datamodel import CmiDataModel
+from repro.scorm.errors import ScormError
+
+ELEMENTS = st.one_of(
+    st.text(max_size=40),
+    st.sampled_from(
+        [
+            "cmi.core.lesson_status",
+            "cmi.core.score.raw",
+            "cmi.core.student_id",
+            "cmi.core.exit",
+            "cmi.core._children",
+            "cmi.interactions._count",
+            "cmi.interactions.0.id",
+            "cmi.interactions.0.type",
+            "cmi.interactions.99.id",
+            "cmi.objectives.0.id",
+            "cmi.objectives.0.score.raw",
+            "cmi.suspend_data",
+        ]
+    ),
+)
+VALUES = st.one_of(
+    st.text(max_size=40),
+    st.sampled_from(["passed", "failed", "85", "suspend", "choice", "true"]),
+)
+
+
+class TestDataModelFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(element=ELEMENTS)
+    def test_get_always_returns_code(self, element):
+        value, error = CmiDataModel().get(element)
+        assert isinstance(value, str)
+        assert error in set(ScormError)
+
+    @settings(max_examples=150, deadline=None)
+    @given(element=ELEMENTS, value=VALUES)
+    def test_set_always_returns_code(self, element, value):
+        assert CmiDataModel().set(element, value) in set(ScormError)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.booleans(), ELEMENTS, VALUES), max_size=30
+        )
+    )
+    def test_random_sequences_keep_invariants(self, operations):
+        model = CmiDataModel(student_id="s")
+        for is_set, element, value in operations:
+            if is_set:
+                model.set(element, value)
+            else:
+                model.get(element)
+        # invariants: counts match collection lengths; snapshot builds
+        count, error = model.get("cmi.interactions._count")
+        assert error is ScormError.NO_ERROR
+        assert int(count) == len(model.interactions())
+        snapshot = model.snapshot()
+        assert "core" in snapshot
+        # lesson_status stays within the vocabulary
+        status, _ = model.get("cmi.core.lesson_status")
+        assert status in (
+            "passed", "completed", "failed", "incomplete", "browsed",
+            "not attempted",
+        )
+
+
+class TestApiFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        calls=st.lists(
+            st.sampled_from(
+                ["init", "finish", "commit", "get", "set", "error"]
+            ),
+            max_size=25,
+        )
+    )
+    def test_random_call_sequences(self, calls):
+        api = ApiAdapter()
+        for call in calls:
+            if call == "init":
+                api.LMSInitialize("")
+            elif call == "finish":
+                api.LMSFinish("")
+            elif call == "commit":
+                api.LMSCommit("")
+            elif call == "get":
+                api.LMSGetValue("cmi.core.lesson_status")
+            elif call == "set":
+                api.LMSSetValue("cmi.core.lesson_status", "passed")
+            else:
+                code = api.LMSGetLastError()
+                assert code.isdigit()
+                api.LMSGetErrorString(code)
+        # the state machine only ever occupies its three states
+        assert api.state in set(ApiState)
+        # a finished adapter refuses further data transfer
+        if api.state is ApiState.FINISHED:
+            assert api.LMSSetValue("cmi.core.lesson_status", "failed") == "false"

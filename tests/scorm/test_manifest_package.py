@@ -1,0 +1,329 @@
+"""Tests for imsmanifest.xml and content packaging (repro.scorm)."""
+
+import zipfile
+import io
+
+import pytest
+
+from repro.core.cognition import CognitionLevel
+from repro.core.errors import ManifestError, NotFoundError, PackagingError
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.items.essay import EssayItem
+from repro.scorm.manifest import (
+    Manifest,
+    ManifestItem,
+    Organization,
+    Resource,
+    manifest_from_xml,
+    manifest_to_xml,
+)
+from repro.scorm.package import (
+    API_WRAPPER_JS,
+    ContentPackage,
+    extract_exam,
+    package_exam,
+)
+from repro.scorm.repository import PackageRepository
+
+
+def sample_manifest():
+    return Manifest(
+        identifier="pkg-1",
+        organizations=[
+            Organization(
+                identifier="org-1",
+                title="Course",
+                items=[
+                    ManifestItem(
+                        identifier="item-1",
+                        title="Lesson 1",
+                        identifierref="res-1",
+                    ),
+                    ManifestItem(
+                        identifier="chapter-1",
+                        title="Chapter",
+                        children=[
+                            ManifestItem(
+                                identifier="item-2",
+                                title="Lesson 2",
+                                identifierref="res-2",
+                            )
+                        ],
+                    ),
+                ],
+            )
+        ],
+        resources=[
+            Resource(
+                identifier="res-1",
+                href="lesson1.html",
+                scorm_type="sco",
+                metadata_href="lesson1.metadata.xml",
+            ),
+            Resource(
+                identifier="res-2",
+                href="lesson2.html",
+                scorm_type="asset",
+                dependencies=["res-1"],
+            ),
+        ],
+        default_organization="org-1",
+    )
+
+
+class TestManifestModel:
+    def test_validates(self):
+        sample_manifest().validate()
+
+    def test_walk(self):
+        manifest = sample_manifest()
+        identifiers = [item.identifier for item in manifest.organizations[0].walk()]
+        assert identifiers == ["item-1", "chapter-1", "item-2"]
+
+    def test_dangling_identifierref_rejected(self):
+        manifest = sample_manifest()
+        manifest.organizations[0].items[0].identifierref = "ghost"
+        with pytest.raises(ManifestError):
+            manifest.validate()
+
+    def test_duplicate_resources_rejected(self):
+        manifest = sample_manifest()
+        manifest.resources.append(manifest.resources[0])
+        with pytest.raises(ManifestError):
+            manifest.validate()
+
+    def test_missing_default_org_rejected(self):
+        manifest = sample_manifest()
+        manifest.default_organization = "ghost"
+        with pytest.raises(ManifestError):
+            manifest.validate()
+
+    def test_dangling_dependency_rejected(self):
+        manifest = sample_manifest()
+        manifest.resources[1].dependencies = ["ghost"]
+        with pytest.raises(ManifestError):
+            manifest.validate()
+
+    def test_leaf_with_children_rejected(self):
+        with pytest.raises(ManifestError):
+            ManifestItem(
+                identifier="x",
+                title="t",
+                identifierref="res",
+                children=[ManifestItem(identifier="y", title="u")],
+            )
+
+    def test_bad_scormtype_rejected(self):
+        with pytest.raises(ManifestError):
+            Resource(identifier="r", href="f.html", scorm_type="thing")
+
+    def test_href_always_in_files(self):
+        resource = Resource(identifier="r", href="main.html", files=["extra.css"])
+        assert resource.files[0] == "main.html"
+
+    def test_all_files(self):
+        manifest = sample_manifest()
+        files = manifest.all_files()
+        assert "lesson1.html" in files
+        assert "lesson1.metadata.xml" in files
+
+    def test_resource_lookup(self):
+        manifest = sample_manifest()
+        assert manifest.resource("res-1").href == "lesson1.html"
+        with pytest.raises(ManifestError):
+            manifest.resource("ghost")
+
+
+class TestManifestXml:
+    def test_round_trip(self):
+        original = sample_manifest()
+        restored = manifest_from_xml(manifest_to_xml(original))
+        restored.validate()
+        assert restored.identifier == "pkg-1"
+        assert restored.default_organization == "org-1"
+        assert len(restored.organizations) == 1
+        assert restored.organizations[0].items[1].children[0].identifier == "item-2"
+        assert restored.resource("res-1").scorm_type == "sco"
+        assert restored.resource("res-1").metadata_href == "lesson1.metadata.xml"
+        assert restored.resource("res-2").dependencies == ["res-1"]
+
+    def test_xml_has_scorm_markers(self):
+        xml = manifest_to_xml(sample_manifest())
+        assert "ADL SCORM" in xml
+        assert "adlcp:scormtype" in xml
+        assert "imsmanifest" not in xml  # file name, not content
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ManifestError):
+            manifest_from_xml("<manifest")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ManifestError):
+            manifest_from_xml("<other/>")
+
+
+def sample_exam():
+    return (
+        ExamBuilder("final-04", "Final Exam 2004")
+        .add_item(
+            MultipleChoiceItem.build(
+                "q1",
+                "Which layer routes packets?",
+                ["network", "transport", "session"],
+                correct_index=0,
+                subject="networking",
+                cognition_level=CognitionLevel.KNOWLEDGE,
+            )
+        )
+        .add_item(
+            MultipleChoiceItem.build(
+                "q2",
+                "Which protocol is connectionless?",
+                ["UDP", "TCP"],
+                correct_index=0,
+                subject="networking",
+                cognition_level=CognitionLevel.COMPREHENSION,
+            )
+        )
+        .add_item(EssayItem(item_id="q3", question="Explain congestion control."))
+        .group("choices", ["q1", "q2"])
+        .time_limit(1800)
+        .build()
+    )
+
+
+class TestPackageExam:
+    def test_package_is_valid_zip_with_manifest(self):
+        data = package_exam(sample_exam())
+        archive = zipfile.ZipFile(io.BytesIO(data))
+        names = archive.namelist()
+        assert "imsmanifest.xml" in names
+        assert "exam.json" in names
+        assert "APIWrapper.js" in names
+
+    def test_every_item_has_qti_and_metadata_files(self):
+        """§5.5: each file has a descriptive xml file at the same level."""
+        data = package_exam(sample_exam())
+        names = set(zipfile.ZipFile(io.BytesIO(data)).namelist())
+        for item_id in ("q1", "q2", "q3"):
+            assert f"items/{item_id}.xml" in names
+            assert f"items/{item_id}.metadata.xml" in names
+
+    def test_api_wrapper_contains_scorm_calls(self):
+        for call in ("LMSInitialize", "LMSFinish", "LMSGetValue",
+                     "LMSSetValue", "LMSCommit", "LMSGetLastError"):
+            assert call in API_WRAPPER_JS
+
+    def test_content_package_validates(self):
+        package = ContentPackage(package_exam(sample_exam()))
+        assert package.manifest.identifier == "pkg-final-04"
+        assert package.manifest.default_organization == "org-1"
+
+    def test_groups_appear_in_course_structure(self):
+        package = ContentPackage(package_exam(sample_exam()))
+        identifiers = [
+            item.identifier
+            for item in package.manifest.organizations[0].walk()
+        ]
+        assert "group-choices" in identifiers
+        assert "item-q3" in identifiers  # loose item
+
+    def test_extract_exam_round_trip(self):
+        exam = sample_exam()
+        restored = extract_exam(ContentPackage(package_exam(exam)))
+        assert restored.exam_id == exam.exam_id
+        assert [item.item_id for item in restored.items] == ["q1", "q2", "q3"]
+        assert restored.time_limit_seconds == 1800
+        assert restored.groups[0].name == "choices"
+
+    def test_package_written_to_file(self, tmp_path):
+        path = tmp_path / "exam.zip"
+        package_exam(sample_exam(), path)
+        assert path.exists()
+        ContentPackage.from_file(path)
+
+    def test_bad_zip_rejected(self):
+        with pytest.raises(PackagingError):
+            ContentPackage(b"not a zip")
+
+    def test_zip_without_manifest_rejected(self):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("readme.txt", "hello")
+        with pytest.raises(PackagingError):
+            ContentPackage(buffer.getvalue())
+
+    def test_missing_referenced_file_rejected(self):
+        data = package_exam(sample_exam())
+        source = zipfile.ZipFile(io.BytesIO(data))
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as target:
+            for name in source.namelist():
+                if name != "items/q1.xml":
+                    target.writestr(name, source.read(name))
+        with pytest.raises(PackagingError):
+            ContentPackage(buffer.getvalue())
+
+    def test_read_missing_file(self):
+        package = ContentPackage(package_exam(sample_exam()))
+        with pytest.raises(PackagingError):
+            package.read("ghost.txt")
+
+
+class TestRepository:
+    def test_publish_and_fetch(self, tmp_path):
+        repository = PackageRepository(tmp_path / "repo")
+        entry = repository.publish(sample_exam())
+        assert entry.identifier == "final-04"
+        assert entry.item_count == 3
+        assert "final-04" in repository
+        fetched = repository.fetch_exam("final-04")
+        assert fetched.title == "Final Exam 2004"
+
+    def test_catalog_listing(self, tmp_path):
+        repository = PackageRepository(tmp_path / "repo")
+        repository.publish(sample_exam())
+        entries = repository.list_entries()
+        assert len(entries) == 1
+        assert entries[0].title == "Final Exam 2004"
+
+    def test_duplicate_publish_rejected(self, tmp_path):
+        from repro.core.errors import DuplicateIdError
+
+        repository = PackageRepository(tmp_path / "repo")
+        repository.publish(sample_exam())
+        with pytest.raises(DuplicateIdError):
+            repository.publish(sample_exam())
+
+    def test_fetch_missing_rejected(self, tmp_path):
+        repository = PackageRepository(tmp_path / "repo")
+        with pytest.raises(NotFoundError):
+            repository.fetch("ghost")
+
+    def test_remove(self, tmp_path):
+        repository = PackageRepository(tmp_path / "repo")
+        repository.publish(sample_exam())
+        repository.remove("final-04")
+        assert len(repository) == 0
+        with pytest.raises(NotFoundError):
+            repository.remove("final-04")
+
+    def test_publish_external_package(self, tmp_path):
+        repository = PackageRepository(tmp_path / "repo")
+        data = package_exam(sample_exam())
+        repository.publish_package("imported-1", data, title="Imported")
+        assert "imported-1" in repository
+        package = repository.fetch("imported-1")
+        assert package.manifest.identifier == "pkg-final-04"
+
+    def test_publish_invalid_external_rejected(self, tmp_path):
+        repository = PackageRepository(tmp_path / "repo")
+        with pytest.raises(PackagingError):
+            repository.publish_package("bad", b"junk")
+
+    def test_catalog_persists_across_instances(self, tmp_path):
+        root = tmp_path / "repo"
+        PackageRepository(root).publish(sample_exam())
+        reopened = PackageRepository(root)
+        assert "final-04" in reopened

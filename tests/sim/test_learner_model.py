@@ -1,0 +1,269 @@
+"""Tests for the simulated learner response model (repro.sim)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AnalysisError
+from repro.sim.learner_model import (
+    ItemParameters,
+    SimulatedLearner,
+    probability_correct,
+    sample_selection,
+)
+from repro.sim.population import ability_grid, make_population
+from repro.sim.response_time import cumulative_answer_times, sample_item_time
+
+
+class TestProbabilityCorrect:
+    def test_ability_at_difficulty_gives_half_for_2pl(self):
+        params = ItemParameters(a=1.5, b=0.7)
+        assert probability_correct(0.7, params) == pytest.approx(0.5)
+
+    def test_monotone_in_ability(self):
+        params = ItemParameters(a=1.2, b=0.0)
+        probabilities = [
+            probability_correct(theta, params) for theta in (-2, -1, 0, 1, 2)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_guessing_floor(self):
+        params = ItemParameters(a=2.0, b=0.0, c=0.25)
+        assert probability_correct(-10.0, params) == pytest.approx(0.25, abs=1e-6)
+
+    def test_ceiling_is_one(self):
+        params = ItemParameters(a=2.0, b=0.0, c=0.25)
+        assert probability_correct(10.0, params) == pytest.approx(1.0, abs=1e-6)
+
+    def test_extreme_values_do_not_overflow(self):
+        params = ItemParameters(a=5.0, b=0.0)
+        assert probability_correct(-500.0, params) == pytest.approx(0.0)
+        assert probability_correct(500.0, params) == pytest.approx(1.0)
+
+    @given(
+        ability=st.floats(min_value=-5, max_value=5),
+        a=st.floats(min_value=0.2, max_value=3),
+        b=st.floats(min_value=-3, max_value=3),
+        c=st.floats(min_value=0, max_value=0.4),
+    )
+    def test_always_a_probability(self, ability, a, b, c):
+        p = probability_correct(ability, ItemParameters(a=a, b=b, c=c))
+        assert 0.0 <= p <= 1.0
+
+
+class TestItemParameters:
+    def test_nonpositive_a_rejected(self):
+        with pytest.raises(AnalysisError):
+            ItemParameters(a=0)
+
+    def test_bad_c_rejected(self):
+        with pytest.raises(AnalysisError):
+            ItemParameters(c=1.0)
+        with pytest.raises(AnalysisError):
+            ItemParameters(c=-0.1)
+
+    def test_negative_attraction_rejected(self):
+        with pytest.raises(AnalysisError):
+            ItemParameters(attractions={"B": -1})
+
+
+class TestSampleSelection:
+    def options(self):
+        return ("A", "B", "C", "D")
+
+    def test_able_learner_usually_correct(self):
+        rng = random.Random(1)
+        learner = SimulatedLearner("s", ability=3.0)
+        params = ItemParameters(a=2.0, b=-1.0)
+        picks = [
+            sample_selection(rng, learner, params, self.options(), "A")
+            for _ in range(200)
+        ]
+        assert picks.count("A") > 190
+
+    def test_weak_learner_usually_wrong(self):
+        rng = random.Random(2)
+        learner = SimulatedLearner("s", ability=-3.0)
+        params = ItemParameters(a=2.0, b=1.0)
+        picks = [
+            sample_selection(rng, learner, params, self.options(), "A")
+            for _ in range(200)
+        ]
+        assert picks.count("A") < 30
+
+    def test_zero_attraction_distractor_never_chosen(self):
+        rng = random.Random(3)
+        learner = SimulatedLearner("s", ability=-3.0)
+        params = ItemParameters(
+            a=2.0, b=1.0, attractions={"B": 0.0, "C": 1.0, "D": 1.0}
+        )
+        picks = [
+            sample_selection(rng, learner, params, self.options(), "A")
+            for _ in range(300)
+        ]
+        assert "B" not in picks
+
+    def test_attraction_weights_shape_distribution(self):
+        rng = random.Random(4)
+        learner = SimulatedLearner("s", ability=-5.0)
+        params = ItemParameters(
+            a=3.0, b=2.0, attractions={"B": 10.0, "C": 1.0, "D": 1.0}
+        )
+        picks = [
+            sample_selection(rng, learner, params, self.options(), "A")
+            for _ in range(600)
+        ]
+        assert picks.count("B") > picks.count("C") * 2
+
+    def test_all_zero_attractions_fall_back_to_key(self):
+        rng = random.Random(5)
+        learner = SimulatedLearner("s", ability=-5.0)
+        params = ItemParameters(
+            a=3.0, b=2.0, attractions={"B": 0.0, "C": 0.0, "D": 0.0}
+        )
+        picks = {
+            sample_selection(rng, learner, params, self.options(), "A")
+            for _ in range(50)
+        }
+        assert picks == {"A"}
+
+    def test_omit_rate(self):
+        rng = random.Random(6)
+        learner = SimulatedLearner("s", ability=0.0)
+        params = ItemParameters()
+        picks = [
+            sample_selection(
+                rng, learner, params, self.options(), "A", omit_rate=0.5
+            )
+            for _ in range(400)
+        ]
+        omitted = sum(1 for pick in picks if pick is None)
+        assert 120 < omitted < 280
+
+    def test_unknown_correct_rejected(self):
+        with pytest.raises(AnalysisError):
+            sample_selection(
+                random.Random(0),
+                SimulatedLearner("s", 0.0),
+                ItemParameters(),
+                ("A", "B"),
+                "Z",
+            )
+
+    def test_bad_omit_rate_rejected(self):
+        with pytest.raises(AnalysisError):
+            sample_selection(
+                random.Random(0),
+                SimulatedLearner("s", 0.0),
+                ItemParameters(),
+                ("A", "B"),
+                "A",
+                omit_rate=1.0,
+            )
+
+    def test_single_option_item(self):
+        pick = sample_selection(
+            random.Random(0),
+            SimulatedLearner("s", -10.0),
+            ItemParameters(a=3.0, b=5.0),
+            ("A",),
+            "A",
+        )
+        assert pick == "A"
+
+
+class TestPopulation:
+    def test_size_and_ids(self):
+        population = make_population(25, seed=1)
+        assert len(population) == 25
+        assert len({learner.learner_id for learner in population}) == 25
+
+    def test_seeded_reproducibility(self):
+        a = make_population(10, seed=42)
+        b = make_population(10, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = make_population(10, seed=1)
+        b = make_population(10, seed=2)
+        assert a != b
+
+    def test_mean_ability_respected(self):
+        population = make_population(2000, mean_ability=1.5, seed=3)
+        mean = sum(learner.ability for learner in population) / len(population)
+        assert mean == pytest.approx(1.5, abs=0.1)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(AnalysisError):
+            make_population(0)
+
+    def test_negative_sd_rejected(self):
+        with pytest.raises(AnalysisError):
+            make_population(5, sd_ability=-1)
+
+    def test_ability_grid(self):
+        grid = ability_grid(-3, 3, 7)
+        assert grid[0] == -3.0
+        assert grid[-1] == 3.0
+        assert len(grid) == 7
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(AnalysisError):
+            ability_grid(steps=1)
+        with pytest.raises(AnalysisError):
+            ability_grid(low=2, high=1)
+
+
+class TestResponseTime:
+    def test_positive_times(self):
+        rng = random.Random(0)
+        learner = SimulatedLearner("s", 0.0)
+        times = [
+            sample_item_time(rng, learner, ItemParameters()) for _ in range(100)
+        ]
+        assert all(t > 0 for t in times)
+
+    def test_slow_pace_takes_longer(self):
+        fast = SimulatedLearner("f", 0.0, pace=0.5)
+        slow = SimulatedLearner("s", 0.0, pace=2.0)
+        fast_mean = sum(
+            sample_item_time(random.Random(i), fast, ItemParameters())
+            for i in range(100)
+        )
+        slow_mean = sum(
+            sample_item_time(random.Random(i), slow, ItemParameters())
+            for i in range(100)
+        )
+        assert slow_mean > fast_mean * 2
+
+    def test_harder_items_take_longer_on_average(self):
+        learner = SimulatedLearner("s", 0.0)
+        easy = sum(
+            sample_item_time(
+                random.Random(i), learner, ItemParameters(b=-2.0)
+            )
+            for i in range(200)
+        )
+        hard = sum(
+            sample_item_time(random.Random(i), learner, ItemParameters(b=2.0))
+            for i in range(200)
+        )
+        assert hard > easy
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(AnalysisError):
+            sample_item_time(
+                random.Random(0),
+                SimulatedLearner("s", 0.0),
+                ItemParameters(),
+                base_seconds=0,
+            )
+
+    def test_cumulative(self):
+        assert cumulative_answer_times([10.0, 5.0, 2.5]) == [10.0, 15.0, 17.5]
+
+    def test_cumulative_rejects_negative(self):
+        with pytest.raises(AnalysisError):
+            cumulative_answer_times([5.0, -1.0])

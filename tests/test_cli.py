@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTree:
+    def test_prints_metadata_tree(self, capsys):
+        assert main(["tree"]) == 0
+        out = capsys.readouterr().out
+        assert "MINE SCORM Meta-data" in out
+        assert "assessment" in out
+
+
+class TestRules:
+    def test_prints_all_four_examples(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for number in (1, 2, 3, 4):
+            assert f"Example {number}" in out
+            assert f"Rule {number}" in out
+
+    def test_example_1_flags_option_c(self, capsys):
+        main(["rules"])
+        out = capsys.readouterr().out
+        assert "option(s) C attracted nobody" in out
+
+
+class TestSimulate:
+    def test_prints_full_report(self, capsys):
+        assert main(["simulate", "--students", "44", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Number representation" in out
+        assert "Signal representation" in out
+        assert "Two-way specification table" in out
+
+    def test_too_few_students_rejected(self, capsys):
+        assert main(["simulate", "--students", "4"]) == 2
+
+    def test_custom_split(self, capsys):
+        assert main(["simulate", "--students", "40", "--split", "0.3"]) == 0
+
+
+class TestPackageAndInspect:
+    def test_package_then_inspect(self, tmp_path, capsys):
+        out_path = str(tmp_path / "exam.zip")
+        assert main(["package", "--out", out_path]) == 0
+        first = capsys.readouterr().out
+        assert "wrote" in first
+        assert main(["inspect", out_path]) == 0
+        second = capsys.readouterr().out
+        assert "manifest: pkg-classroom-mid" in second
+        assert "resources:" in second
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "ghost.zip")]) == 2
+        assert "cannot read package" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExport:
+    def test_json_export_parses(self, capsys):
+        import json
+
+        assert main(["export", "--students", "20", "--seed", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["title"] == "Classroom Midterm"
+        assert len(payload["questions"]) == 10
+        assert payload["time_analysis"]["time_limit_seconds"] == 2700
+
+    def test_csv_export_has_paper_header(self, capsys):
+        assert main(["export", "--students", "20", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("No,PH,PL,D=PH-PL,P=(PH+PL)/2,signal")
+        assert len(out.strip().splitlines()) == 11
+
+    def test_too_few_students_rejected(self):
+        assert main(["export", "--students", "4"]) == 2
+
+
+class TestPaper:
+    def test_paper_rendered(self, capsys):
+        assert main(["paper", "--questions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Classroom Midterm" in out
+        assert "1. Question 1" in out
+        assert "(A) alpha" in out
+
+    def test_answer_key(self, capsys):
+        assert main(["paper", "--questions", "3", "--key"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Answer key")
+        assert "[q01]" in out

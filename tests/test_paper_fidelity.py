@@ -1,0 +1,247 @@
+"""The paper-fidelity contract: every literal number and claim the paper
+prints, asserted in one file.
+
+This suite is the quick way to audit the reproduction: each test quotes
+the paper and checks our implementation reproduces it exactly (to the
+paper's own rounding).  The benchmarks regenerate the same artifacts
+with timing; this file is the pure fidelity contract.
+"""
+
+import pytest
+
+from repro.core.cognition import COGNITIVE_LEVELS, CognitionLevel, Domain
+from repro.core.grouping import (
+    ACCEPTABLE_RANGE,
+    KELLY_OPTIMUM,
+    PAPER_FRACTION,
+    GroupSplit,
+)
+from repro.core.indices import difficulty_index
+from repro.core.metadata import MINE_SECTION_NAMES, QuestionStyle
+from repro.core.question_analysis import analyze_matrix
+from repro.core.rules import (
+    DEFAULT_SPREAD_THRESHOLD,
+    OptionMatrix,
+    Status,
+    evaluate_rules,
+)
+from repro.core.signals import DEFAULT_POLICY, Signal
+
+
+class TestSection3_1_Bloom:
+    def test_three_domains(self):
+        """'Bloom proposed the taxonomy of educational objectives into
+        three domain ... cognitive domain, psychomotor domain and
+        affective domain.'"""
+        assert len(list(Domain)) == 3
+
+    def test_six_cognitive_levels(self):
+        """'In cognitive domain, it includes knowledge, comprehension,
+        application, analysis, synthesis, and evaluation.'"""
+        assert [level.name.lower() for level in COGNITIVE_LEVELS] == [
+            "knowledge",
+            "comprehension",
+            "application",
+            "analysis",
+            "synthesis",
+            "evaluation",
+        ]
+
+    def test_letters_a_to_f(self):
+        """§4.2.2 (1): 'Cognition level divided into six level, each named
+        from A to F.'"""
+        assert [level.letter for level in COGNITIVE_LEVELS] == list("ABCDEF")
+
+
+class TestSection3_2_QuestionStyles:
+    def test_the_six_styles(self):
+        """Essay, True False Item, Multiple Choice, Match Item,
+        Completion Item, Questionnaire."""
+        assert len(list(QuestionStyle)) == 6
+
+
+class TestFigure1:
+    def test_ten_sections(self):
+        """'Our proposed assessment tree consists of ten sections.'"""
+        assert len(MINE_SECTION_NAMES) == 10
+
+
+class TestSection3_3_DifficultyExample:
+    def test_r800_n1000(self):
+        """'For example, R=800, N=1000, then P=R/N=800/1000=0.8 (80%)'"""
+        assert difficulty_index(800, 1000) == 0.8
+
+
+class TestSection4_1_1_KellyAndSplit:
+    def test_kelly_1939(self):
+        """'Prof. Kelly said that the best percentage is 27%, and the
+        acceptable percentage is 25%-33% (Kelly, 1939).'"""
+        assert KELLY_OPTIMUM == 0.27
+        assert ACCEPTABLE_RANGE == (0.25, 0.33)
+
+    def test_paper_uses_25_percent(self):
+        """'We tried to define the percentage 25% in this paper.'"""
+        assert PAPER_FRACTION == 0.25
+        assert GroupSplit().fraction == 0.25
+
+    def test_class_of_44_gives_groups_of_11(self):
+        """'Assume that the class size is 44 students, the high score
+        group and low score group is 11.'"""
+        assert GroupSplit().group_size(44) == 11
+
+
+class TestSection4_1_2_Examples:
+    def test_example_1(self):
+        """'There are 6 people choose option A, 4 people choose option B,
+        0 people choose option C ... The option C didn't attract any one
+        of the low score group ... the option's allure is low.'"""
+        outcome = evaluate_rules(
+            OptionMatrix.from_rows([12, 2, 0, 3, 3], [6, 4, 0, 5, 5], "A")
+        )
+        match = next(m for m in outcome.matches if m.rule == 1)
+        assert match.options == ("C",)
+
+    def test_example_2(self):
+        """'the people who choose option C in low score group is greater
+        than high score group ... option E is wrong, but the people in
+        high score group is greater than low score group.'"""
+        outcome = evaluate_rules(
+            OptionMatrix.from_rows([1, 2, 10, 0, 7], [2, 2, 13, 1, 2], "C")
+        )
+        match = next(m for m in outcome.matches if m.rule == 2)
+        assert set(match.options) == {"C", "E"}
+
+    def test_example_3_arithmetic(self):
+        """'LM=5, Lm=2, and LS=20. |LM-Lm|=3 <= 4=LS*20%.'"""
+        matrix = OptionMatrix.from_rows(
+            [15, 2, 2, 0, 1], [5, 4, 5, 4, 2], "A"
+        )
+        assert matrix.low_max == 5
+        assert matrix.low_min == 2
+        assert matrix.low_sum == 20
+        assert abs(matrix.low_max - matrix.low_min) == 3
+        assert matrix.low_sum * DEFAULT_SPREAD_THRESHOLD == 4
+        assert evaluate_rules(matrix).rule_fired(3)
+
+    def test_example_4_arithmetic(self):
+        """'LM=5, Lm=2, LS=20, HM=6, Hm=2 and HS=20. |LM-Lm|=3 <= 4 ...
+        and |HM-Hm|=4 <= HS*20%.'"""
+        matrix = OptionMatrix.from_rows(
+            [4, 4, 4, 2, 6], [5, 4, 5, 4, 2], "A"
+        )
+        assert (matrix.high_max, matrix.high_min, matrix.high_sum) == (6, 2, 20)
+        assert (matrix.low_max, matrix.low_min, matrix.low_sum) == (5, 2, 20)
+        outcome = evaluate_rules(matrix)
+        assert outcome.rule_fired(3) and outcome.rule_fired(4)
+
+    def test_twenty_percent_threshold(self):
+        assert DEFAULT_SPREAD_THRESHOLD == 0.20
+
+
+class TestTable2:
+    def test_rule_one_status(self):
+        outcome = evaluate_rules(
+            OptionMatrix.from_rows([12, 2, 0, 3, 3], [6, 4, 0, 5, 5], "A")
+        )
+        assert Status.LOW_ALLURE in outcome.statuses
+
+    def test_rule_four_statuses(self):
+        outcome = evaluate_rules(
+            OptionMatrix.from_rows([4, 4, 4, 2, 6], [5, 4, 5, 4, 2], "A")
+        )
+        assert Status.LOW_GROUP_LACKS_CONCEPT in outcome.statuses
+        assert Status.HIGH_GROUP_LACKS_CONCEPT in outcome.statuses
+
+
+class TestTable3AndWorkedQuestions:
+    def test_band_thresholds(self):
+        """'Good Green Higher 0.3 / Fix Yellow 0.2-0.29 /
+        Eliminate or fix Red Lower 0.19'"""
+        assert DEFAULT_POLICY.green_min == 0.30
+        assert DEFAULT_POLICY.yellow_min == 0.20
+        assert Signal.GREEN.status == "Good"
+        assert Signal.YELLOW.status == "Fix"
+        assert Signal.RED.status == "Eliminate or fix"
+
+    def test_question_no_2(self):
+        """'PH=10/11=0.909≅0.91  PL=4/11=0.36 / D=PH-PL=0.91-0.36=0.55
+        D>0.3 The signal is green. / P=(PH+PL)/2=(0.91+0.36)/2=0.635'"""
+        analysis = analyze_matrix(
+            OptionMatrix.from_rows([0, 0, 10, 1], [3, 2, 4, 2], "C"),
+            high_size=11,
+            low_size=11,
+            number=2,
+        )
+        assert round(analysis.p_high, 2) == 0.91
+        assert round(analysis.p_low, 2) == 0.36
+        assert round(analysis.discrimination, 2) == 0.55
+        assert analysis.discrimination > 0.3
+        assert analysis.signal is Signal.GREEN
+        # the paper's 0.635 comes from averaging the rounded 0.91/0.36
+        assert (0.91 + 0.36) / 2 == 0.635
+
+    def test_question_no_6(self):
+        """'PH=5/11=0.45  PL=4/11=0.36 / D=PH-PL=0.45-0.36=0.09 /
+        P=(PH+PL)/2=(0.45+0.36)/2=0.41 / Rule1: ... The allure of option
+        A is low.'"""
+        analysis = analyze_matrix(
+            OptionMatrix.from_rows([1, 1, 4, 5], [0, 2, 4, 4], "D"),
+            high_size=11,
+            low_size=11,
+            number=6,
+        )
+        assert round(analysis.p_high, 2) == 0.45
+        assert round(analysis.p_low, 2) == 0.36
+        assert round(analysis.discrimination, 2) == 0.09
+        assert round((0.45 + 0.36) / 2, 2) == 0.41
+        assert analysis.signal is Signal.RED
+        rule1 = next(m for m in analysis.rules.matches if m.rule == 1)
+        assert rule1.options == ("A",)
+
+
+class TestSection4_2_2_Definitions:
+    def test_sum_f3_example(self):
+        """'ex. SUM(F3)=3, there are 3 questions of evaluation level in
+        concept 3.'"""
+        from repro.core.spec_table import SpecificationTable, TaggedQuestion
+
+        table = SpecificationTable.from_questions(
+            [
+                TaggedQuestion(n, "concept3", CognitionLevel.EVALUATION)
+                for n in (1, 2, 3)
+            ]
+        )
+        assert table.count("concept3", CognitionLevel.EVALUATION) == 3
+
+    def test_sum_a10_f10_example(self):
+        """'SUM(A10-F10)=8, there are 8 questions (From Knowledge to
+        Evaluation level) in concept 10.'"""
+        from repro.core.spec_table import SpecificationTable, TaggedQuestion
+
+        levels = list(CognitionLevel)
+        table = SpecificationTable.from_questions(
+            [
+                TaggedQuestion(n, "concept10", levels[n % 6])
+                for n in range(8)
+            ]
+        )
+        assert table.concept_sum("concept10") == 8
+
+
+class TestSection4_2_3_Analyses:
+    def test_concept_lost(self):
+        """'If (A1|B1|C1|D1|E1|F1)=FALSE, Concept 1 lost in the exam.'"""
+        from repro.core.spec_table import SpecificationTable, TaggedQuestion
+
+        table = SpecificationTable.from_questions(
+            [TaggedQuestion(1, "concept2", CognitionLevel.KNOWLEDGE)],
+            concepts=["concept1", "concept2"],
+        )
+        assert table.lost_concepts() == ["concept1"]
+
+    def test_pyramid_relation(self):
+        """'SUM(A1-Ai) >= SUM(B1-Bi) >= ... >= SUM(F1-Fi)'"""
+        from repro.core.cognition import expected_pyramid
+
+        assert expected_pyramid([6, 5, 4, 3, 2, 1]) == []
+        assert expected_pyramid([1, 2, 3, 4, 5, 6]) == [0, 1, 2, 3, 4]
