@@ -15,7 +15,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.grouping import GroupSplit
-from repro.core.question_analysis import analyze_cohort
 from repro.sim.population import make_population
 from repro.sim.workloads import (
     classroom_exam,
@@ -38,7 +37,8 @@ def classroom():
 @pytest.fixture(scope="session")
 def classroom_analysis(classroom):
     _, _, data = classroom
-    return analyze_cohort(data.responses, data.specs, split=GroupSplit())
+    # routed through the engine switch: columnar by default
+    return data.analyze(split=GroupSplit())
 
 
 def show(title: str, body: str) -> None:

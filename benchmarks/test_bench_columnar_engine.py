@@ -1,0 +1,174 @@
+"""Engine shoot-out — columnar vs reference §4.1 analysis at scale.
+
+No table in the paper reports runtime, but the roadmap's target is heavy
+traffic: the analysis runs after every submission in the LMS.  This bench
+compares the two engines on identical cohorts at 1k/10k (and 100k with
+``MINE_BENCH_FULL=1``) examinees × 50 questions, asserts they produce
+equal results, and measures the incremental ``add_sitting`` path that
+keeps a live analysis warm instead of recomputing from raw responses.
+"""
+
+import os
+import random
+import time
+
+from repro.core.columnar import LiveCohortAnalysis, fast_analyze_cohort
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    QuestionSpec,
+    analyze_cohort,
+)
+
+from conftest import show
+
+try:
+    import numpy  # noqa: F401 - only to pick assertion strictness
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+QUESTIONS = 50
+OPTIONS = ("A", "B", "C", "D", "E")
+SIZES = (1_000, 10_000) + (
+    (100_000,) if os.environ.get("MINE_BENCH_FULL") else ()
+)
+#: the acceptance threshold at 10k x 50; the stdlib fallback still wins,
+#: but only the vectorized path is held to the full 5x bar
+SPEEDUP_FLOOR = 5.0 if HAVE_NUMPY else 1.5
+
+
+def synth_cohort(size, seed=0):
+    """A plain random cohort — cheap to generate, ability-correlated so
+    the split and rules see realistic structure."""
+    rng = random.Random(seed)
+    specs = [
+        QuestionSpec(options=OPTIONS, correct=rng.choice(OPTIONS))
+        for _ in range(QUESTIONS)
+    ]
+    correct = [spec.correct for spec in specs]
+    responses = []
+    for index in range(size):
+        p_correct = min(0.95, max(0.05, rng.gauss(0.55, 0.2)))
+        selections = [
+            key if rng.random() < p_correct else rng.choice(OPTIONS)
+            for key in correct
+        ]
+        responses.append(ExamineeResponses.of(f"s{index:06d}", selections))
+    return responses, specs
+
+
+def best_of(runs, fn):
+    timings = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def test_bench_columnar_vs_reference(benchmark):
+    datasets = {size: synth_cohort(size, seed=size) for size in SIZES}
+
+    # equality spot-check at the smallest size (the differential suite
+    # covers this exhaustively; here it guards the bench inputs)
+    responses, specs = datasets[SIZES[0]]
+    assert fast_analyze_cohort(responses, specs) == analyze_cohort(
+        responses, specs, engine="reference"
+    )
+
+    lines = ["examinees   reference     columnar     speedup"]
+    speedups = {}
+    for size in SIZES:
+        responses, specs = datasets[size]
+        # best-of-several with an untimed warm-up pass each: the assertion
+        # below must not flake on a transiently loaded machine
+        runs = 5 if size <= 10_000 else 1
+        analyze_cohort(responses, specs, engine="reference")
+        ref = best_of(
+            runs,
+            lambda: analyze_cohort(responses, specs, engine="reference"),
+        )
+        fast_analyze_cohort(responses, specs)
+        col = best_of(runs, lambda: fast_analyze_cohort(responses, specs))
+        speedups[size] = ref / col
+        lines.append(
+            f"{size:>9}   {ref * 1000:>8.1f} ms   {col * 1000:>8.1f} ms   "
+            f"{speedups[size]:>6.1f}x"
+        )
+    show("Columnar vs reference engine (50 questions)", "\n".join(lines))
+
+    assert speedups[10_000] >= SPEEDUP_FLOOR
+
+    responses, specs = datasets[10_000]
+    result = benchmark(lambda: fast_analyze_cohort(responses, specs))
+    assert len(result.questions) == QUESTIONS
+
+
+def test_bench_columnar_incremental(benchmark):
+    responses, specs = synth_cohort(10_000, seed=7)
+    tail = responses[-200:]
+    body = responses[:-200]
+
+    live = LiveCohortAnalysis(specs)
+    for response in body:
+        live.add_sitting(response)
+    live.analysis()  # warm the cache
+
+    # (a) add_sitting alone is O(Q): its cost must not scale with N
+    def time_adds(base_size, seed):
+        extra, _ = synth_cohort(200, seed=seed)
+        extra = [
+            ExamineeResponses.of(f"x{seed}_{i:04d}", r.selections)
+            for i, r in enumerate(extra)
+        ]
+        small = LiveCohortAnalysis(specs)
+        for response in responses[:base_size]:
+            small.add_sitting(response)
+        start = time.perf_counter()
+        for response in extra:
+            small.add_sitting(response)
+        return (time.perf_counter() - start) / len(extra)
+
+    per_add_small = time_adds(1_000, seed=21)
+    per_add_large = time_adds(9_800, seed=22)
+
+    # (b) one submission folded into a warm analysis vs full recomputes
+    def warm_update(response):
+        live.invalidate(response.examinee_id)
+        live.add_sitting(response)
+        return live.analysis()
+
+    start = time.perf_counter()
+    for response in tail:
+        warm_update(response)
+    warm = (time.perf_counter() - start) / len(tail)
+
+    full_fast = best_of(3, lambda: fast_analyze_cohort(responses, specs))
+    full_ref = best_of(
+        1, lambda: analyze_cohort(responses, specs, engine="reference")
+    )
+
+    show(
+        "Incremental add_sitting vs full recompute (10k x 50)",
+        "\n".join(
+            [
+                f"add_sitting at N=1k:    {per_add_small * 1e6:>9.1f} us",
+                f"add_sitting at N=9.8k:  {per_add_large * 1e6:>9.1f} us",
+                f"warm update (add+analyze): {warm * 1000:>8.2f} ms",
+                f"full columnar recompute:   {full_fast * 1000:>8.2f} ms",
+                f"full reference recompute:  {full_ref * 1000:>8.2f} ms",
+                f"warm vs columnar: {full_fast / warm:.1f}x, "
+                f"vs reference: {full_ref / warm:.1f}x",
+            ]
+        ),
+    )
+
+    # sublinear: folding one sitting in is far cheaper than any full
+    # recompute, and the per-add cost is flat in cohort size
+    assert warm < full_fast
+    assert warm < full_ref
+    assert per_add_large < per_add_small * 8 + 50e-6  # flat, jitter-tolerant
+
+    final = benchmark(lambda: warm_update(tail[-1]))
+    assert len(final.scores) == len(responses)

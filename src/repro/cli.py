@@ -17,7 +17,6 @@ from typing import List, Optional
 
 from repro.core.grouping import GroupSplit
 from repro.core.metadata import MineMetadata
-from repro.core.question_analysis import analyze_cohort
 from repro.core.report import build_report
 from repro.core.rules import OptionMatrix, evaluate_rules
 from repro.core.spec_table import SpecificationTable, TaggedQuestion
@@ -65,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--split", type=float, default=0.25,
         help="extreme-group fraction (paper: 0.25)",
     )
+    simulate.add_argument(
+        "--engine", choices=("columnar", "reference"), default="columnar",
+        help="analysis engine (columnar = fast path, reference = baseline)",
+    )
 
     package = subparsers.add_parser(
         "package", help="SCORM package output service (section 5.5)"
@@ -96,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("json", "csv"), default="json",
         help="json = full report; csv = the 4.1.1 table",
     )
+    export.add_argument(
+        "--engine", choices=("columnar", "reference"), default="columnar",
+        help="analysis engine (columnar = fast path, reference = baseline)",
+    )
     return parser
 
 
@@ -125,8 +132,9 @@ def _build_simulated_report(args):
     parameters = classroom_parameters(args.questions)
     learners = make_population(args.students, seed=args.seed)
     data = simulate_sitting_data(exam, parameters, learners, seed=args.seed + 1)
-    cohort = analyze_cohort(
-        data.responses, data.specs, split=GroupSplit(fraction=args.split)
+    cohort = data.analyze(
+        split=GroupSplit(fraction=args.split),
+        engine=getattr(args, "engine", "columnar"),
     )
     correct_flags = {
         response.examinee_id: [

@@ -11,6 +11,11 @@ Import the commonly used names directly from this package::
 
 from repro.core.advice import Advice, advise
 from repro.core.cognition import COGNITIVE_LEVELS, CognitionLevel, Domain
+from repro.core.columnar import (
+    LiveCohortAnalysis,
+    ResponseMatrix,
+    fast_analyze_cohort,
+)
 from repro.core.errors import (
     AnalysisError,
     AssessmentError,
@@ -149,6 +154,10 @@ __all__ = [
     "analyze_matrix",
     "number_representation_rows",
     "render_number_representation",
+    # columnar engine
+    "fast_analyze_cohort",
+    "ResponseMatrix",
+    "LiveCohortAnalysis",
     # exam analysis
     "TimeAnalysis",
     "time_vs_answered",

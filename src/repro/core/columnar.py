@@ -1,0 +1,556 @@
+"""Columnar §4.1 analysis engine — the fast path behind ``analyze_cohort``.
+
+The reference pipeline (:mod:`repro.core.question_analysis`) walks Python
+object lists per examinee per question: scoring is ``N x Q`` generator
+steps over :class:`ExamineeResponses` tuples, and the option matrices are
+built with per-member dict increments.  That is faithful to the paper but
+cannot serve the roadmap's "heavy traffic" target.
+
+This module keeps the *exact same semantics* in a columnar layout:
+
+* option labels are interned to small integer codes per question
+  (``None``/skip is the sentinel ``SKIP`` = 0xFF);
+* the whole cohort lives in one contiguous row-major ``bytearray``
+  (:class:`ResponseMatrix`), so a question's column is a C-speed stride
+  slice and a sitting's row is a Q-byte append;
+* scores, the high/low split, and every option matrix come out of a
+  single fused sweep over the codes — vectorized with numpy when it is
+  available, pure-stdlib (``bytes.translate`` + ``map``) otherwise;
+* the per-question arithmetic (PH, PL, D, P, rules, signals, advice) is
+  delegated to the same :func:`~repro.core.question_analysis.analyze_matrix`
+  the reference engine uses, so the floats are bit-identical by
+  construction.
+
+:func:`fast_analyze_cohort` is the drop-in replacement proven equal to the
+reference by ``tests/core/test_columnar_differential.py``;
+:class:`LiveCohortAnalysis` is the incremental API (``add_sitting`` /
+``invalidate``) that keeps an analysis warm across submissions instead of
+recomputing from raw responses every time.
+"""
+
+from __future__ import annotations
+
+from itertools import chain as _chain, cycle as _cycle
+from operator import add as _add, attrgetter as _attrgetter, getitem as _getitem
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import AnalysisError, EmptyCohortError
+from repro.core.grouping import GroupSplit
+from repro.core.question_analysis import (
+    CohortAnalysis,
+    ExamineeResponses,
+    QuestionAnalysis,
+    QuestionSpec,
+    analyze_matrix,
+)
+from repro.core.rules import DEFAULT_SPREAD_THRESHOLD, OptionMatrix
+from repro.core.signals import DEFAULT_POLICY, SignalPolicy
+
+try:  # numpy accelerates the fused sweep; the stdlib path is kept working
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+__all__ = [
+    "SKIP",
+    "MAX_OPTION_CODES",
+    "ColumnarCapacityError",
+    "ResponseMatrix",
+    "LiveCohortAnalysis",
+    "fast_analyze_cohort",
+]
+
+#: Interned code for a skipped question (``selections[i] is None``).
+SKIP = 0xFF
+
+#: Distinct labels (options + stray unknown selections) a question can
+#: intern: one byte per cell minus the skip sentinel.
+MAX_OPTION_CODES = 0xFF
+
+_selections_of = _attrgetter("selections")
+_id_of = _attrgetter("examinee_id")
+
+
+class ColumnarCapacityError(AnalysisError):
+    """A cohort exceeds the byte-code capacity of the columnar layout.
+
+    ``fast_analyze_cohort`` catches this and falls back to the reference
+    engine, so callers never see it unless they use :class:`ResponseMatrix`
+    directly.
+    """
+
+
+class ResponseMatrix:
+    """Columnar store for one cohort's selections on one exam.
+
+    The matrix is row-major: examinee ``i``'s codes occupy bytes
+    ``[i*Q, (i+1)*Q)`` of ``_codes``, so ``add_sitting`` is an O(Q)
+    append and question ``q``'s column is the stride slice
+    ``_codes[q::Q]``.  Scores are maintained alongside, one pass per
+    sitting, so an analysis never has to re-walk raw responses.
+    """
+
+    def __init__(self, questions: Sequence[QuestionSpec]) -> None:
+        if not questions:
+            raise AnalysisError("no questions to analyse")
+        self.questions: Tuple[QuestionSpec, ...] = tuple(questions)
+        self.width = len(self.questions)
+        # per-question interning tables; None is pre-seeded so skips
+        # encode in the same C-level map() pass as real selections
+        self._tables: List[Dict[Optional[str], int]] = []
+        self._labels: List[List[str]] = []
+        self._correct: List[int] = []
+        for spec in self.questions:
+            if len(spec.options) > MAX_OPTION_CODES - 1:
+                raise ColumnarCapacityError(
+                    f"question with {len(spec.options)} options exceeds the "
+                    f"columnar capacity of {MAX_OPTION_CODES - 1}"
+                )
+            table: Dict[Optional[str], int] = {None: SKIP}
+            for code, option in enumerate(spec.options):
+                table[option] = code
+            self._tables.append(table)
+            self._labels.append(list(spec.options))
+            # the key itself is interned like any label, so an invalid
+            # spec surfaces exactly where the reference engine raises
+            # (OptionMatrix validation), not earlier
+            self._correct.append(self._intern(len(self._labels) - 1, spec.correct))
+        self._codes = bytearray()
+        self.examinee_ids: List[str] = []
+        self.scores: List[int] = []
+        self._row_of: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.examinee_ids)
+
+    def __contains__(self, examinee_id: str) -> bool:
+        return examinee_id in self._row_of
+
+    # -- ingestion -----------------------------------------------------------
+
+    def _intern(self, question_index: int, label: Optional[str]) -> int:
+        """The code for ``label`` on a question, interning it if new."""
+        table = self._tables[question_index]
+        code = table.get(label)
+        if code is not None:
+            return code
+        labels = self._labels[question_index]
+        code = len(labels)
+        if code >= MAX_OPTION_CODES:
+            raise ColumnarCapacityError(
+                f"question {question_index + 1} saw more than "
+                f"{MAX_OPTION_CODES} distinct selection labels"
+            )
+        table[label] = code
+        labels.append(label)  # type: ignore[arg-type]  # only str reaches here
+        return code
+
+    def _encode(self, response: ExamineeResponses) -> bytes:
+        """One sitting's selections as a row of interned codes."""
+        return self._encode_row(response.selections)
+
+    def _encode_row(self, selections: Sequence[Optional[str]]) -> bytes:
+        try:
+            # single C-level pass: getitem(tables[q], selections[q]) per q
+            return bytes(map(_getitem, self._tables, selections))
+        except KeyError:
+            # a label outside the question's options: intern it (the
+            # analysis raises later only if it lands in an extreme group,
+            # matching the reference engine's behavior)
+            return bytes(
+                self._intern(index, selection)
+                for index, selection in enumerate(selections)
+            )
+
+    def _check_new(self, response: ExamineeResponses) -> None:
+        if len(response.selections) != self.width:
+            raise AnalysisError(
+                f"examinee {response.examinee_id!r} answered "
+                f"{len(response.selections)} questions; exam has {self.width}"
+            )
+        if response.examinee_id in self._row_of:
+            raise AnalysisError(
+                f"duplicate examinee id {response.examinee_id!r} in cohort"
+            )
+
+    def add_sitting(self, response: ExamineeResponses) -> int:
+        """Append one sitting; O(Q), independent of cohort size.
+
+        Returns the new row index.  Raises :class:`AnalysisError` when the
+        selections length disagrees with the exam width or the examinee id
+        is already present.
+        """
+        self._check_new(response)
+        row = self._encode(response)
+        score = sum(
+            1 for code, key in zip(row, self._correct) if code == key
+        )
+        index = len(self.examinee_ids)
+        self._codes.extend(row)
+        self.examinee_ids.append(response.examinee_id)
+        self.scores.append(score)
+        self._row_of[response.examinee_id] = index
+        return index
+
+    def extend(self, responses: Sequence[ExamineeResponses]) -> None:
+        """Bulk-ingest a cohort: validate everything, then one fused pass.
+
+        Validation order matches the reference engine: every width is
+        checked before any scoring happens, then duplicate ids.  Both
+        checks run at C speed (``set``/``map``); the slow loops only run
+        to name the first offender once a violation is known.
+        """
+        if not responses:
+            return
+        selections = list(map(_selections_of, responses))
+        if set(map(len, selections)) != {self.width}:
+            for response in responses:
+                if len(response.selections) != self.width:
+                    raise AnalysisError(
+                        f"examinee {response.examinee_id!r} answered "
+                        f"{len(response.selections)} questions; exam has "
+                        f"{self.width}"
+                    )
+        ids = list(map(_id_of, responses))
+        if len(set(ids)) != len(ids) or not self._row_of.keys().isdisjoint(
+            ids
+        ):
+            seen = set(self._row_of)
+            for identifier in ids:
+                if identifier in seen:
+                    raise AnalysisError(
+                        f"duplicate examinee id {identifier!r} in cohort"
+                    )
+                seen.add(identifier)
+        joined = self._bulk_encode(selections)
+        base = len(self.examinee_ids)
+        self._codes.extend(joined)
+        self.examinee_ids.extend(ids)
+        self._row_of.update(zip(ids, range(base, base + len(ids))))
+        self.scores.extend(self._bulk_scores(joined, len(ids)))
+
+    def _bulk_encode(self, selections: Sequence[Sequence[Optional[str]]]) -> bytes:
+        """All rows' interned codes in one buffer, row-major."""
+        if _np is not None and len(selections) * self.width >= 2048:
+            joined = self._vector_encode(selections)
+            if joined is not None:
+                return joined
+        try:
+            # every row has exactly `width` cells (validated by extend),
+            # so the interning tables cycle in lockstep with the
+            # flattened selections: one C-level pass over all cells
+            return bytes(
+                map(
+                    _getitem,
+                    _cycle(self._tables),
+                    _chain.from_iterable(selections),
+                )
+            )
+        except KeyError:
+            # some label is outside its question's options: fall back to
+            # per-row encoding, which interns the stray labels
+            return b"".join(map(self._encode_row, selections))
+
+    #: `_vector_encode` marker for "label not in this question's table";
+    #: distinct from any real code because interning stops at 0xFE labels
+    _UNSEEN = 0xFE
+
+    def _vector_encode(
+        self, selections: Sequence[Sequence[Optional[str]]]
+    ) -> Optional[bytes]:
+        """Vectorized encode for the common case: single-character ASCII
+        labels and no skips.
+
+        The whole cohort flattens with two C-level ``str.join`` passes;
+        the ASCII bytes then index a per-question lookup table in one
+        numpy gather — no per-cell Python dispatch at all.  Returns
+        ``None`` whenever the cohort does not fit the fast shape (a
+        skipped answer, a multi-character or non-ASCII label, a label
+        that still needs interning), and the caller falls back.
+        """
+        if any(len(labels) >= self._UNSEEN for labels in self._labels):
+            return None  # a real code could collide with the marker
+        try:
+            flat = "".join(map("".join, selections))
+        except TypeError:
+            return None  # a skipped answer (None) somewhere
+        total = len(selections) * self.width
+        if len(flat) != total:
+            return None  # some label is not a single character
+        raw = flat.encode()
+        if len(raw) != total:
+            return None  # non-ASCII labels
+        lut = _np.full((self.width, 128), self._UNSEEN, _np.uint8)
+        for question, table in enumerate(self._tables):
+            for label, code in table.items():
+                if label is not None and len(label) == 1 and ord(label) < 128:
+                    lut[question, ord(label)] = code
+        # flat gather: shift each column's codepoints into its question's
+        # 128-wide stripe of the flattened table (`take` beats 2-d fancy
+        # indexing by ~3x here)
+        points = _np.frombuffer(raw, dtype=_np.uint8)
+        points = points.reshape(len(selections), self.width)
+        points = points.astype(_np.uint16)
+        points += (_np.arange(self.width, dtype=_np.uint16) * 128)[None, :]
+        codes = lut.ravel().take(points.ravel())
+        if (codes == self._UNSEEN).any():
+            return None  # stray labels must be interned on the slow path
+        return codes.tobytes()
+
+    def _bulk_scores(self, joined: bytes, count: int) -> List[int]:
+        """Scores for freshly encoded rows, one vectorized pass."""
+        if not count:
+            return []
+        if _np is not None:
+            arr = _np.frombuffer(joined, dtype=_np.uint8)
+            arr = arr.reshape(count, self.width)
+            key = _np.array(self._correct, dtype=_np.uint8)
+            return (arr == key[None, :]).sum(axis=1).tolist()
+        # stdlib path: per question, translate the column to 0/1 and fold
+        # it into the running scores with a C-level map(add, ...)
+        scores = [0] * count
+        for question in range(self.width):
+            key = self._correct[question]
+            table = bytes(1 if code == key else 0 for code in range(256))
+            column = joined[question :: self.width].translate(table)
+            scores = list(map(_add, scores, column))
+        return scores
+
+    def remove_sitting(self, examinee_id: str) -> bool:
+        """Drop one sitting (resubmission, invalidated exam); False if absent."""
+        index = self._row_of.pop(examinee_id, None)
+        if index is None:
+            return False
+        width = self.width
+        del self._codes[index * width : (index + 1) * width]
+        del self.examinee_ids[index]
+        del self.scores[index]
+        for identifier in self.examinee_ids[index:]:
+            self._row_of[identifier] -= 1
+        return True
+
+    # -- the fused analysis sweep -------------------------------------------
+
+    def analyze(
+        self,
+        split: GroupSplit = GroupSplit(),
+        policy: SignalPolicy = DEFAULT_POLICY,
+        spread_threshold: float = DEFAULT_SPREAD_THRESHOLD,
+    ) -> CohortAnalysis:
+        """The full §4.1 result for the current cohort state.
+
+        Field-for-field equal to the reference engine: the split reuses
+        :class:`GroupSplit` on the cached score vector, the counts come
+        from the code columns, and every per-question result is produced
+        by the shared :func:`analyze_matrix`.
+        """
+        count = len(self.examinee_ids)
+        if count == 0:
+            raise EmptyCohortError("no examinee responses to analyse")
+        scores = self.scores
+        high_idx, low_idx = self._split_indices(split, count)
+        high_counts = self._group_counts(high_idx)
+        low_counts = self._group_counts(low_idx)
+
+        analyses: List[QuestionAnalysis] = []
+        for index, spec in enumerate(self.questions):
+            known = len(spec.options)
+            self._check_unknown(index, high_counts[index], high_idx, known)
+            self._check_unknown(index, low_counts[index], low_idx, known)
+            matrix = OptionMatrix(
+                options=spec.options,
+                high={
+                    option: int(high_counts[index][code])
+                    for code, option in enumerate(spec.options)
+                },
+                low={
+                    option: int(low_counts[index][code])
+                    for code, option in enumerate(spec.options)
+                },
+                correct=spec.correct,
+            )
+            analyses.append(
+                analyze_matrix(
+                    matrix,
+                    high_size=len(high_idx),
+                    low_size=len(low_idx),
+                    number=index + 1,
+                    policy=policy,
+                    spread_threshold=spread_threshold,
+                )
+            )
+        return CohortAnalysis(
+            questions=analyses,
+            high_group=[self.examinee_ids[i] for i in high_idx],
+            low_group=[self.examinee_ids[i] for i in low_idx],
+            scores=dict(zip(self.examinee_ids, scores)),
+        )
+
+    def _split_indices(
+        self, split: GroupSplit, count: int
+    ) -> Tuple[List[int], List[int]]:
+        """High/low row indices, exactly as ``GroupSplit.split`` orders them.
+
+        ``GroupSplit`` sorts by ``(-score, index)``; a stable descending
+        sort on the score alone is the same ordering (equal scores keep
+        their original index order), which lets the fast path skip the
+        per-element key tuples — or hand the whole sort to numpy.  Any
+        subclass with its own ``split`` keeps its behavior via the
+        fallback.
+        """
+        if split.__class__ is not GroupSplit:
+            return split.split(range(count), self.scores.__getitem__)
+        size = split.group_size(count)
+        if _np is not None:
+            order = _np.argsort(
+                -_np.asarray(self.scores, dtype=_np.int64), kind="stable"
+            )
+            return order[:size].tolist(), order[-size:].tolist()
+        order = sorted(
+            range(count), key=self.scores.__getitem__, reverse=True
+        )
+        return order[:size], order[-size:]
+
+    def _group_counts(self, indices: Sequence[int]) -> List[Sequence[int]]:
+        """Per question: selection counts per code over the group rows."""
+        width = self.width
+        if _np is not None:
+            arr = _np.frombuffer(self._codes, dtype=_np.uint8)
+            arr = arr.reshape(len(self.examinee_ids), width)
+            sub = arr[_np.asarray(indices, dtype=_np.intp)]
+            # shift each column into its own 256-wide bucket range so one
+            # bincount counts every (question, code) pair at once
+            offsets = sub.astype(_np.int64) + (
+                _np.arange(width, dtype=_np.int64) * 256
+            )[None, :]
+            counts = _np.bincount(offsets.ravel(), minlength=width * 256)
+            return counts.reshape(width, 256)
+        counts: List[Sequence[int]] = []
+        for question in range(width):
+            column = self._codes[question::width]
+            per_code = [0] * 256
+            for row in indices:
+                per_code[column[row]] += 1
+            counts.append(per_code)
+        return counts
+
+    def _check_unknown(
+        self,
+        question_index: int,
+        code_counts: Sequence[int],
+        indices: Sequence[int],
+        known: int,
+    ) -> None:
+        """Raise like the reference engine when a group member selected a
+        label outside the question's options."""
+        stray = code_counts[known:SKIP]
+        if not (stray.any() if _np is not None and isinstance(
+            stray, _np.ndarray
+        ) else any(stray)):
+            return
+        width = self.width
+        column = self._codes[question_index::width]
+        for row in indices:
+            code = column[row]
+            if known <= code < SKIP:
+                raise AnalysisError(
+                    f"examinee {self.examinee_ids[row]!r} selected unknown "
+                    f"option {self._labels[question_index][code]!r} on "
+                    f"question {question_index + 1}"
+                )
+
+
+class LiveCohortAnalysis:
+    """An incrementally maintained §4.1 analysis for a live exam offering.
+
+    The LMS monitor and delivery layer call :meth:`add_sitting` as each
+    submission grades; :meth:`analysis` serves the current
+    :class:`CohortAnalysis` from cache, re-running only the fused columnar
+    sweep (split + counts) when the cohort changed — the interning and
+    scoring work done at ingest time is never repeated, so keeping an
+    analysis warm is far cheaper than recomputing from raw responses.
+    """
+
+    def __init__(
+        self,
+        questions: Sequence[QuestionSpec],
+        split: GroupSplit = GroupSplit(),
+        policy: SignalPolicy = DEFAULT_POLICY,
+        spread_threshold: float = DEFAULT_SPREAD_THRESHOLD,
+    ) -> None:
+        self._matrix = ResponseMatrix(questions)
+        self._split = split
+        self._policy = policy
+        self._spread_threshold = spread_threshold
+        self._cached: Optional[CohortAnalysis] = None
+
+    def __len__(self) -> int:
+        return len(self._matrix)
+
+    def __contains__(self, examinee_id: str) -> bool:
+        return examinee_id in self._matrix
+
+    def add_sitting(self, response: ExamineeResponses) -> None:
+        """Fold one submission in; O(Q) regardless of cohort size."""
+        self._matrix.add_sitting(response)
+        self._cached = None
+
+    def invalidate(self, examinee_id: Optional[str] = None) -> bool:
+        """Drop one examinee's sitting (``examinee_id`` given), or just the
+        cached result (no argument).  Returns whether anything changed."""
+        if examinee_id is None:
+            self._cached = None
+            return True
+        removed = self._matrix.remove_sitting(examinee_id)
+        if removed:
+            self._cached = None
+        return removed
+
+    def analysis(self) -> CohortAnalysis:
+        """The current cohort's analysis (cached until the cohort changes)."""
+        if self._cached is None:
+            self._cached = self._matrix.analyze(
+                split=self._split,
+                policy=self._policy,
+                spread_threshold=self._spread_threshold,
+            )
+        return self._cached
+
+
+def fast_analyze_cohort(
+    responses: Sequence[ExamineeResponses],
+    questions: Sequence[QuestionSpec],
+    split: GroupSplit = GroupSplit(),
+    policy: SignalPolicy = DEFAULT_POLICY,
+    spread_threshold: float = DEFAULT_SPREAD_THRESHOLD,
+) -> CohortAnalysis:
+    """Columnar drop-in for :func:`repro.core.question_analysis.analyze_cohort`.
+
+    Produces a :class:`CohortAnalysis` exactly equal — grouping, option
+    matrices, PH/PL/D/P, rule outcomes, signals, advice — to the reference
+    engine's on the same input (the differential suite asserts this on
+    randomized cohorts).  Cohorts that overflow the byte-code layout
+    (>254 distinct labels on one question) fall back to the reference
+    implementation transparently.
+    """
+    if not responses:
+        raise EmptyCohortError("no examinee responses to analyse")
+    if not questions:
+        raise AnalysisError("no questions to analyse")
+    try:
+        matrix = ResponseMatrix(questions)
+        matrix.extend(responses)
+    except ColumnarCapacityError:
+        from repro.core.question_analysis import analyze_cohort
+
+        return analyze_cohort(
+            responses,
+            questions,
+            split=split,
+            policy=policy,
+            spread_threshold=spread_threshold,
+            engine="reference",
+        )
+    return matrix.analyze(
+        split=split, policy=policy, spread_threshold=spread_threshold
+    )

@@ -187,6 +187,7 @@ def analyze_cohort(
     split: GroupSplit = GroupSplit(),
     policy: SignalPolicy = DEFAULT_POLICY,
     spread_threshold: float = DEFAULT_SPREAD_THRESHOLD,
+    engine: str = "columnar",
 ) -> CohortAnalysis:
     """Run the full §4.1 pipeline over a cohort's raw responses.
 
@@ -194,7 +195,28 @@ def analyze_cohort(
     high/low groups with ``split`` (paper default: top and bottom 25%),
     builds each question's option matrix from group selections, and
     analyses every question.
+
+    ``engine`` selects the implementation: ``"columnar"`` (default) is
+    the single-pass engine of :mod:`repro.core.columnar`; ``"reference"``
+    is the original per-object pipeline kept as the paper-faithful
+    baseline.  Both produce field-for-field equal results (the
+    differential suite in ``tests/core`` enforces this).
     """
+    if engine == "columnar":
+        from repro.core.columnar import fast_analyze_cohort
+
+        return fast_analyze_cohort(
+            responses,
+            questions,
+            split=split,
+            policy=policy,
+            spread_threshold=spread_threshold,
+        )
+    if engine != "reference":
+        raise AnalysisError(
+            f"unknown analysis engine {engine!r}; "
+            f"expected 'columnar' or 'reference'"
+        )
     if not responses:
         raise EmptyCohortError("no examinee responses to analyse")
     if not questions:
@@ -206,6 +228,13 @@ def analyze_cohort(
                 f"examinee {response.examinee_id!r} answered "
                 f"{len(response.selections)} questions; exam has {width}"
             )
+    seen_ids = set()
+    for response in responses:
+        if response.examinee_id in seen_ids:
+            raise AnalysisError(
+                f"duplicate examinee id {response.examinee_id!r} in cohort"
+            )
+        seen_ids.add(response.examinee_id)
 
     scores: Dict[str, int] = {}
     for response in responses:

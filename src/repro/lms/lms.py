@@ -19,7 +19,12 @@ from repro.core.errors import (
     NotFoundError,
     SessionStateError,
 )
-from repro.core.question_analysis import CohortAnalysis, analyze_cohort
+from repro.core.columnar import LiveCohortAnalysis
+from repro.core.question_analysis import (
+    CohortAnalysis,
+    ExamineeResponses,
+    analyze_cohort,
+)
 from repro.core.report import AssessmentReport, build_report
 from repro.delivery.clock import Clock, WallClock
 from repro.delivery.scoring import (
@@ -76,6 +81,7 @@ class Lms:
         self._enrollment: Dict[str, set] = {}  # exam_id -> learner ids
         self._sittings: Dict[Tuple[str, str], LmsSitting] = {}
         self._results: Dict[str, List[GradedSitting]] = {}
+        self._live: Dict[str, LiveCohortAnalysis] = {}  # warm analyses
 
     # -- catalog & enrollment ---------------------------------------------------
 
@@ -244,6 +250,13 @@ class Lms:
             self.clock.now(),
             detail=f"{graded.percent:.1f}%",
         )
+        live = self._live.get(exam_id)
+        if live is not None:
+            response = sittings_to_responses(
+                sitting.session.exam, [graded]
+            )[0]
+            live.invalidate(response.examinee_id)  # drop any earlier sitting
+            live.add_sitting(response)
         return graded
 
     # -- results & analysis -----------------------------------------------------
@@ -278,11 +291,49 @@ class Lms:
             )
         return summaries
 
-    def analyze_exam(self, exam_id: str) -> CohortAnalysis:
+    def _cohort_responses(self, exam: Exam) -> List[ExamineeResponses]:
+        """Analysis-ready responses, one per learner (latest sitting wins).
+
+        A learner who re-sat an exam appears once; previously duplicate
+        learner ids silently mis-grouped the cohort (the score table kept
+        the last sitting while the option matrices counted every sitting).
+        """
+        responses = sittings_to_responses(
+            exam, self.results_for(exam.exam_id)
+        )
+        latest: Dict[str, ExamineeResponses] = {}
+        for response in responses:
+            # pop-then-insert ranks a re-sitter at their most recent
+            # submission, matching the warm LiveCohortAnalysis path
+            # (boundary ties in the 25% split break by cohort order)
+            latest.pop(response.examinee_id, None)
+            latest[response.examinee_id] = response
+        return list(latest.values())
+
+    def analyze_exam(
+        self, exam_id: str, engine: str = "columnar"
+    ) -> CohortAnalysis:
         """Run the §4.1 analysis over every submitted sitting."""
         exam = self.exam(exam_id)
-        responses = sittings_to_responses(exam, self.results_for(exam_id))
-        return analyze_cohort(responses, exam.question_specs())
+        responses = self._cohort_responses(exam)
+        return analyze_cohort(responses, exam.question_specs(), engine=engine)
+
+    def live_analysis(self, exam_id: str) -> CohortAnalysis:
+        """The §4.1 analysis kept warm across submissions.
+
+        The first call seeds a :class:`LiveCohortAnalysis` from the
+        submitted sittings; afterwards every :meth:`submit` folds the new
+        sitting in incrementally, so serving the current analysis never
+        re-walks the raw responses.
+        """
+        exam = self.exam(exam_id)
+        live = self._live.get(exam_id)
+        if live is None:
+            live = LiveCohortAnalysis(exam.question_specs())
+            for response in self._cohort_responses(exam):
+                live.add_sitting(response)
+            self._live[exam_id] = live
+        return live.analysis()
 
     def report_for(
         self, exam_id: str, concepts: Optional[List[str]] = None
@@ -290,7 +341,7 @@ class Lms:
         """The full §4 report: number/signal analysis, figures, spec table."""
         exam = self.exam(exam_id)
         sittings = self.results_for(exam_id)
-        responses = sittings_to_responses(exam, sittings)
+        responses = self._cohort_responses(exam)
         specs = exam.question_specs()
         cohort = analyze_cohort(responses, specs)
         correct_flags = {

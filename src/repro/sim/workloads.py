@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cognition import CognitionLevel
+from repro.core.grouping import GroupSplit
 from repro.core.question_analysis import ExamineeResponses, QuestionSpec
 from repro.exams.authoring import ExamBuilder
 from repro.exams.exam import Exam
@@ -55,6 +56,26 @@ class SimulatedSittingData:
     def durations(self) -> List[float]:
         """Total sitting duration per examinee (last commit time)."""
         return [times[-1] if times else 0.0 for times in self.answer_times]
+
+    def analyze(
+        self,
+        split: Optional[GroupSplit] = None,
+        engine: str = "columnar",
+    ):
+        """Run the §4.1 analysis over the simulated sitting.
+
+        Routed through :func:`repro.core.question_analysis.analyze_cohort`
+        so simulation workloads exercise the same engine switch as the
+        production layers (columnar by default).
+        """
+        from repro.core.question_analysis import analyze_cohort
+
+        return analyze_cohort(
+            self.responses,
+            self.specs,
+            split=split if split is not None else GroupSplit(),
+            engine=engine,
+        )
 
 
 def simulate_sitting_data(

@@ -1,0 +1,387 @@
+"""Differential harness: the columnar engine must be *exactly* equal to
+the reference §4.1 pipeline — field for field, including rule outcomes
+and signal colors — on randomized cohorts.
+
+This is the correctness story for ``repro.core.columnar``: any drift
+between ``fast_analyze_cohort`` and the reference ``analyze_cohort``
+fails here before it can reach the delivery, simulation, or LMS layers.
+"""
+
+import pytest
+from columnar_cases import make_random_cohort
+
+from repro.core.columnar import (
+    LiveCohortAnalysis,
+    ResponseMatrix,
+    fast_analyze_cohort,
+)
+from repro.core.errors import AnalysisError, EmptyCohortError
+from repro.core.grouping import GroupSplit
+from repro.core.question_analysis import (
+    ExamineeResponses,
+    QuestionSpec,
+    analyze_cohort,
+)
+
+#: ≥ 20 seeded cohort shapes: sizes, option counts, skip rates, tie-heavy
+#: score distributions, and split-fraction variations.
+COHORT_CASES = [
+    # (seed, size, questions, option_count, skip_rate, tie_heavy, fraction)
+    (0, 8, 1, 2, 0.0, False, 0.25),
+    (1, 12, 3, 3, 0.0, False, 0.25),
+    (2, 20, 5, 4, 0.0, False, 0.25),
+    (3, 44, 10, 5, 0.0, False, 0.25),  # the paper's class of 44
+    (4, 60, 8, 4, 0.1, False, 0.25),
+    (5, 75, 12, 5, 0.3, False, 0.25),
+    (6, 100, 6, 4, 0.6, False, 0.25),  # skip-heavy
+    (7, 100, 6, 4, 0.9, False, 0.25),  # nearly everything skipped
+    (8, 50, 4, 4, 0.0, True, 0.25),  # tie-heavy
+    (9, 80, 5, 5, 0.0, True, 0.25),
+    (10, 120, 3, 3, 0.2, True, 0.25),  # ties + skips
+    (11, 200, 10, 4, 0.0, True, 0.25),
+    (12, 33, 7, 6, 0.05, False, 0.25),
+    (13, 9, 2, 2, 0.5, False, 0.25),  # tiny cohort, heavy skips
+    (14, 150, 20, 4, 0.0, False, 0.25),
+    (15, 64, 1, 8, 0.15, False, 0.25),  # single question, many options
+    (16, 40, 10, 2, 0.0, True, 0.25),  # binary items tie constantly
+    (17, 44, 10, 5, 0.1, True, 0.27),  # Kelly's optimum fraction
+    (18, 90, 8, 4, 0.0, False, 0.33),
+    (19, 90, 8, 4, 0.25, True, 0.5),  # everyone in a group
+    (20, 300, 15, 5, 0.05, False, 0.25),
+    (21, 16, 4, 26, 0.0, False, 0.25),  # full A-Z option alphabet
+    (22, 55, 9, 3, 0.4, True, 0.3),
+    (23, 500, 5, 4, 0.0, True, 0.25),  # big tie-heavy cohort
+]
+
+
+def both_engines(responses, specs, fraction=0.25):
+    split = GroupSplit(fraction=fraction)
+    fast = fast_analyze_cohort(responses, specs, split=split)
+    reference = analyze_cohort(responses, specs, split=split, engine="reference")
+    return fast, reference
+
+
+@pytest.mark.parametrize(
+    "seed,size,questions,option_count,skip_rate,tie_heavy,fraction",
+    COHORT_CASES,
+)
+def test_engines_bit_identical(
+    seed, size, questions, option_count, skip_rate, tie_heavy, fraction
+):
+    responses, specs = make_random_cohort(
+        seed, size, questions, option_count, skip_rate, tie_heavy
+    )
+    fast, reference = both_engines(responses, specs, fraction)
+
+    # whole-tree equality first (dataclass eq covers every nested field) ...
+    assert fast == reference
+
+    # ... then field-for-field so a failure pinpoints the drifting field
+    assert fast.high_group == reference.high_group
+    assert fast.low_group == reference.low_group
+    assert fast.scores == reference.scores
+    assert len(fast.questions) == len(reference.questions)
+    for ours, theirs in zip(fast.questions, reference.questions):
+        assert ours.number == theirs.number
+        assert ours.matrix.options == theirs.matrix.options
+        assert dict(ours.matrix.high) == dict(theirs.matrix.high)
+        assert dict(ours.matrix.low) == dict(theirs.matrix.low)
+        assert ours.matrix.correct == theirs.matrix.correct
+        # exact float equality, not approx: the engines share analyze_matrix
+        assert ours.p_high == theirs.p_high
+        assert ours.p_low == theirs.p_low
+        assert ours.difficulty == theirs.difficulty
+        assert ours.discrimination == theirs.discrimination
+        assert ours.signal is theirs.signal
+        assert ours.rules.fired_rules == theirs.rules.fired_rules
+        assert ours.rules.statuses == theirs.rules.statuses
+        assert [m.explanation for m in ours.rules.matches] == [
+            m.explanation for m in theirs.rules.matches
+        ]
+        assert ours.advice == theirs.advice
+        assert ours.distraction == theirs.distraction
+
+
+@pytest.mark.parametrize("spread_threshold", [0.05, 0.2, 0.5])
+@pytest.mark.parametrize("seed", [30, 31])
+def test_engines_agree_across_spread_thresholds(seed, spread_threshold):
+    responses, specs = make_random_cohort(seed, 48, 6, 4, 0.1, True)
+    fast = fast_analyze_cohort(
+        responses, specs, spread_threshold=spread_threshold
+    )
+    reference = analyze_cohort(
+        responses, specs, spread_threshold=spread_threshold, engine="reference"
+    )
+    assert fast == reference
+
+
+def test_dispatch_default_is_columnar():
+    responses, specs = make_random_cohort(40, 32, 4, 4, 0.1, False)
+    assert analyze_cohort(responses, specs) == fast_analyze_cohort(
+        responses, specs
+    )
+
+
+def test_unknown_engine_rejected():
+    responses, specs = make_random_cohort(41, 8, 1, 2, 0.0, False)
+    with pytest.raises(AnalysisError, match="unknown analysis engine"):
+        analyze_cohort(responses, specs, engine="turbo")
+
+
+class TestErrorParity:
+    """Both engines must reject malformed cohorts the same way."""
+
+    def test_empty_cohort(self):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")]
+        for engine in ("columnar", "reference"):
+            with pytest.raises(EmptyCohortError):
+                analyze_cohort([], specs, engine=engine)
+
+    def test_no_questions(self):
+        responses = [ExamineeResponses.of("s1", [])]
+        for engine in ("columnar", "reference"):
+            with pytest.raises(AnalysisError):
+                analyze_cohort(responses, [], engine=engine)
+
+    def test_ragged_selections(self):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")] * 3
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A", "B", "A"]) for i in range(7)
+        ] + [ExamineeResponses.of("short", ["A"])]
+        for engine in ("columnar", "reference"):
+            with pytest.raises(AnalysisError, match="answered 1 questions"):
+                analyze_cohort(responses, specs, engine=engine)
+
+    def test_duplicate_examinee_ids(self):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")]
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A"]) for i in range(7)
+        ] + [ExamineeResponses.of("s0", ["B"])]
+        for engine in ("columnar", "reference"):
+            with pytest.raises(AnalysisError, match="duplicate examinee id"):
+                analyze_cohort(responses, specs, engine=engine)
+
+    def test_unknown_option_in_extreme_group(self):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")]
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["Z"]) for i in range(8)
+        ]
+        for engine in ("columnar", "reference"):
+            with pytest.raises(AnalysisError, match="unknown option 'Z'"):
+                analyze_cohort(responses, specs, engine=engine)
+
+    def test_unknown_option_outside_groups_tolerated(self):
+        # an unknown label on a mid-ranked examinee never enters the
+        # option matrices; the reference engine accepts it, so the
+        # columnar engine must too
+        specs = [QuestionSpec(options=("A", "B"), correct="A")] * 2
+        responses = (
+            [ExamineeResponses.of(f"hi{i}", ["A", "A"]) for i in range(3)]
+            + [ExamineeResponses.of("mid", ["A", "Z"])]
+            + [ExamineeResponses.of(f"lo{i}", ["B", "B"]) for i in range(4)]
+        )
+        fast, reference = both_engines(responses, specs)
+        assert fast == reference
+
+
+class TestCapacityFallback:
+    def test_overwide_question_falls_back_to_reference(self):
+        # 300 options cannot be interned into one byte; the dispatch must
+        # transparently produce the reference result instead of failing
+        options = tuple(f"o{i}" for i in range(300))
+        specs = [QuestionSpec(options=options, correct="o0")]
+        responses = [
+            ExamineeResponses.of(f"s{i}", [options[i % 300]]) for i in range(16)
+        ]
+        fast = fast_analyze_cohort(responses, specs)
+        reference = analyze_cohort(responses, specs, engine="reference")
+        assert fast == reference
+
+    def test_response_matrix_itself_rejects_overwide_questions(self):
+        from repro.core.columnar import ColumnarCapacityError
+
+        options = tuple(f"o{i}" for i in range(300))
+        with pytest.raises(ColumnarCapacityError):
+            ResponseMatrix([QuestionSpec(options=options, correct="o0")])
+
+
+class TestIncrementalDifferential:
+    """The live analyzer must track the from-scratch result at every step."""
+
+    def test_add_sitting_matches_full_recompute_at_each_prefix(self):
+        responses, specs = make_random_cohort(50, 40, 5, 4, 0.2, True)
+        live = LiveCohortAnalysis(specs)
+        for count, response in enumerate(responses, start=1):
+            live.add_sitting(response)
+            if count >= 8:  # enough for a 25% split
+                expected = analyze_cohort(
+                    responses[:count], specs, engine="reference"
+                )
+                assert live.analysis() == expected
+
+    def test_invalidate_matches_recompute_without_examinee(self):
+        responses, specs = make_random_cohort(51, 30, 4, 4, 0.0, False)
+        live = LiveCohortAnalysis(specs)
+        for response in responses:
+            live.add_sitting(response)
+        dropped = responses[7].examinee_id
+        assert live.invalidate(dropped) is True
+        assert dropped not in live
+        remaining = [r for r in responses if r.examinee_id != dropped]
+        assert live.analysis() == analyze_cohort(
+            remaining, specs, engine="reference"
+        )
+
+    def test_invalidate_unknown_id_is_a_noop(self):
+        responses, specs = make_random_cohort(52, 12, 2, 3, 0.0, False)
+        live = LiveCohortAnalysis(specs)
+        for response in responses:
+            live.add_sitting(response)
+        before = live.analysis()
+        assert live.invalidate("nobody") is False
+        assert live.analysis() == before
+
+    def test_resubmission_via_invalidate_then_add(self):
+        responses, specs = make_random_cohort(53, 20, 3, 4, 0.0, False)
+        live = LiveCohortAnalysis(specs)
+        for response in responses:
+            live.add_sitting(response)
+        resat = ExamineeResponses.of(
+            responses[0].examinee_id, [specs[i].correct for i in range(3)]
+        )
+        live.invalidate(resat.examinee_id)
+        live.add_sitting(resat)
+        expected = analyze_cohort(
+            responses[1:] + [resat], specs, engine="reference"
+        )
+        assert live.analysis() == expected
+
+    def test_live_rejects_ragged_and_duplicate_sittings(self):
+        responses, specs = make_random_cohort(54, 10, 3, 4, 0.0, False)
+        live = LiveCohortAnalysis(specs)
+        live.add_sitting(responses[0])
+        with pytest.raises(AnalysisError, match="answered 1 questions"):
+            live.add_sitting(ExamineeResponses.of("ragged", ["A"]))
+        with pytest.raises(AnalysisError, match="duplicate examinee id"):
+            live.add_sitting(responses[0])
+
+    def test_analysis_is_cached_until_cohort_changes(self):
+        responses, specs = make_random_cohort(55, 16, 2, 4, 0.0, False)
+        live = LiveCohortAnalysis(specs)
+        for response in responses:
+            live.add_sitting(response)
+        first = live.analysis()
+        assert live.analysis() is first  # cached object served
+        live.invalidate()  # cache drop only
+        second = live.analysis()
+        assert second is not first
+        assert second == first
+
+
+class TestStdlibFallback:
+    """The columnar engine must stay bit-identical without numpy: the
+    pure-stdlib sweep (translate + map) replaces every vectorized kernel
+    when ``repro.core.columnar._np`` is None."""
+
+    FALLBACK_CASES = [0, 3, 6, 8, 19, 23]  # indices into COHORT_CASES
+
+    @pytest.mark.parametrize("case", FALLBACK_CASES)
+    def test_engines_bit_identical_without_numpy(self, case, monkeypatch):
+        import repro.core.columnar as columnar
+
+        monkeypatch.setattr(columnar, "_np", None)
+        seed, size, questions, options, skip, ties, fraction = COHORT_CASES[
+            case
+        ]
+        responses, specs = make_random_cohort(
+            seed, size, questions, options, skip, ties
+        )
+        fast, reference = both_engines(responses, specs, fraction)
+        assert fast == reference
+
+    def test_incremental_without_numpy(self, monkeypatch):
+        import repro.core.columnar as columnar
+
+        monkeypatch.setattr(columnar, "_np", None)
+        responses, specs = make_random_cohort(60, 30, 5, 4, 0.1, True)
+        live = LiveCohortAnalysis(specs)
+        for response in responses:
+            live.add_sitting(response)
+        assert live.analysis() == analyze_cohort(
+            responses, specs, engine="reference"
+        )
+
+
+class TestVectorEncodeFallbacks:
+    """Cohort shapes the vectorized encode cannot take must degrade to the
+    per-cell path, not change results: multi-character labels, non-ASCII
+    labels, skips, stray unknown labels."""
+
+    def _bulk(self, size=60):
+        # large enough that _bulk_encode tries the vectorized path
+        options = ("alpha", "beta", "gamma", "delta")
+        specs = [
+            QuestionSpec(options=options, correct=options[i % 4])
+            for i in range(40)
+        ]
+        import random
+
+        rng = random.Random(77)
+        responses = [
+            ExamineeResponses.of(
+                f"s{i:03d}", [rng.choice(options) for _ in range(40)]
+            )
+            for i in range(size)
+        ]
+        return responses, specs
+
+    def test_multi_character_labels(self):
+        responses, specs = self._bulk()
+        fast, reference = both_engines(responses, specs)
+        assert fast == reference
+
+    def test_non_ascii_labels(self):
+        options = ("α", "β", "γ", "δ")
+        specs = [
+            QuestionSpec(options=options, correct=options[i % 4])
+            for i in range(40)
+        ]
+        import random
+
+        rng = random.Random(78)
+        responses = [
+            ExamineeResponses.of(
+                f"s{i:03d}", [rng.choice(options) for _ in range(40)]
+            )
+            for i in range(60)
+        ]
+        fast, reference = both_engines(responses, specs)
+        assert fast == reference
+
+    def test_single_skip_forces_fallback(self):
+        responses, specs = make_random_cohort(79, 80, 40, 4, 0.0, False)
+        damaged = list(responses)
+        damaged[17] = ExamineeResponses.of(
+            damaged[17].examinee_id,
+            [None] + list(damaged[17].selections[1:]),
+        )
+        fast, reference = both_engines(damaged, specs)
+        assert fast == reference
+
+    def test_stray_label_outside_groups_forces_interning(self):
+        # a mid-scoring examinee picks a label no question offers: both
+        # engines must tolerate it (it never lands in an extreme group)
+        responses, specs = make_random_cohort(80, 81, 6, 4, 0.0, True)
+        scores = analyze_cohort(responses, specs, engine="reference").scores
+        ranked = sorted(responses, key=lambda r: scores[r.examinee_id])
+        mid = ranked[len(ranked) // 2]
+        altered = [
+            ExamineeResponses.of(
+                r.examinee_id, ["ZZZ"] + list(r.selections[1:])
+            )
+            if r is mid
+            else r
+            for r in responses
+        ]
+        fast, reference = both_engines(altered, specs)
+        assert fast == reference

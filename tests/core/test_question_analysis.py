@@ -169,6 +169,43 @@ class TestAnalyzeCohort:
         with pytest.raises(AnalysisError):
             analyze_cohort(responses, specs)
 
+    @pytest.mark.parametrize("engine", ["columnar", "reference"])
+    def test_ragged_responses_error_names_the_examinee(self, engine):
+        """Regression: a selections/answer-key length mismatch must raise a
+        clear AnalysisError naming the examinee and both lengths — never
+        silently mis-group."""
+        specs = [QuestionSpec(options=("A", "B"), correct="A")] * 3
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A", "B", "A"]) for i in range(7)
+        ] + [ExamineeResponses.of("truncated", ["A", "B"])]
+        with pytest.raises(
+            AnalysisError,
+            match=r"'truncated' answered 2 questions; exam has 3",
+        ):
+            analyze_cohort(responses, specs, engine=engine)
+
+    @pytest.mark.parametrize("engine", ["columnar", "reference"])
+    def test_overlong_responses_rejected(self, engine):
+        specs = [QuestionSpec(options=("A", "B"), correct="A")]
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A"]) for i in range(7)
+        ] + [ExamineeResponses.of("padded", ["A", "B"])]
+        with pytest.raises(
+            AnalysisError, match=r"'padded' answered 2 questions; exam has 1"
+        ):
+            analyze_cohort(responses, specs, engine=engine)
+
+    @pytest.mark.parametrize("engine", ["columnar", "reference"])
+    def test_duplicate_examinee_ids_rejected(self, engine):
+        """Regression: duplicate ids used to mis-group silently (the score
+        table kept one sitting while the matrices counted both)."""
+        specs = [QuestionSpec(options=("A", "B"), correct="A")]
+        responses = [
+            ExamineeResponses.of(f"s{i}", ["A"]) for i in range(8)
+        ] + [ExamineeResponses.of("s3", ["B"])]
+        with pytest.raises(AnalysisError, match="duplicate examinee id 's3'"):
+            analyze_cohort(responses, specs, engine=engine)
+
     def test_question_lookup(self):
         responses, specs = make_cohort(questions=3)
         result = analyze_cohort(responses, specs)

@@ -228,6 +228,62 @@ class TestAnalysisIntegration:
         for question in analysis.questions:
             assert question.discrimination == 1.0
 
+    def _run_cohort(self, lms, clock, count=12, start=0):
+        for index in range(start, start + count):
+            learner_id = f"s{index:02d}"
+            lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+            lms.enroll(learner_id, "ex1")
+            lms.start_exam(learner_id, "ex1")
+            if index % 2 == 0:
+                lms.answer(learner_id, "ex1", "q1", "A")
+                lms.answer(learner_id, "ex1", "q2", "B")
+            else:
+                lms.answer(learner_id, "ex1", "q1", "B")
+                lms.answer(learner_id, "ex1", "q2", "A")
+            clock.advance(30)
+            lms.submit(learner_id, "ex1")
+
+    def test_analyze_exam_engines_agree(self):
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(two_question_exam())
+        self._run_cohort(lms, clock)
+        assert lms.analyze_exam("ex1", engine="columnar") == lms.analyze_exam(
+            "ex1", engine="reference"
+        )
+
+    def test_live_analysis_tracks_submissions_incrementally(self):
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(two_question_exam())
+        self._run_cohort(lms, clock)
+        # seed the warm analyzer, then submit more sittings on top
+        first = lms.live_analysis("ex1")
+        assert first == lms.analyze_exam("ex1")
+        self._run_cohort(lms, clock, count=8, start=12)
+        warm = lms.live_analysis("ex1")
+        assert warm == lms.analyze_exam("ex1")
+        assert len(warm.scores) == 20
+
+    def test_live_analysis_replaces_resubmitted_sittings(self):
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(two_question_exam())
+        self._run_cohort(lms, clock)
+        lms.live_analysis("ex1")  # warm it before the re-sit
+        # s01 re-sits and aces the exam; the latest sitting must win in
+        # both the warm path and the from-scratch path
+        lms.start_exam("s01", "ex1")
+        lms.answer("s01", "ex1", "q1", "A")
+        lms.answer("s01", "ex1", "q2", "B")
+        clock.advance(30)
+        lms.submit("s01", "ex1")
+        warm = lms.live_analysis("ex1")
+        cold = lms.analyze_exam("ex1")
+        assert warm == cold
+        assert warm.scores["s01"] == 2
+        assert len(warm.scores) == 12  # s01 still counted once
+
     def test_report_for_exam(self):
         clock = ManualClock()
         lms = Lms(clock=clock)
