@@ -290,8 +290,11 @@ class ResponseMatrix:
         # indexing by ~3x here)
         points = _np.frombuffer(raw, dtype=_np.uint8)
         points = points.reshape(len(selections), self.width)
-        points = points.astype(_np.uint16)
-        points += (_np.arange(self.width, dtype=_np.uint16) * 128)[None, :]
+        # int64 offsets: uint16 would wrap past 512 questions (512*128)
+        # and silently gather through other questions' stripes
+        points = points.astype(_np.int64) + (
+            _np.arange(self.width, dtype=_np.int64) * 128
+        )[None, :]
         codes = lut.ravel().take(points.ravel())
         if (codes == self._UNSEEN).any():
             return None  # stray labels must be interned on the slow path

@@ -291,24 +291,27 @@ class Lms:
             )
         return summaries
 
-    def _cohort_responses(self, exam: Exam) -> List[ExamineeResponses]:
-        """Analysis-ready responses, one per learner (latest sitting wins).
+    def _latest_sittings(self, exam_id: str) -> List[GradedSitting]:
+        """Submitted sittings deduped to one per learner (latest wins).
 
         A learner who re-sat an exam appears once; previously duplicate
         learner ids silently mis-grouped the cohort (the score table kept
         the last sitting while the option matrices counted every sitting).
         """
-        responses = sittings_to_responses(
-            exam, self.results_for(exam.exam_id)
-        )
-        latest: Dict[str, ExamineeResponses] = {}
-        for response in responses:
+        latest: Dict[str, GradedSitting] = {}
+        for sitting in self.results_for(exam_id):
             # pop-then-insert ranks a re-sitter at their most recent
             # submission, matching the warm LiveCohortAnalysis path
             # (boundary ties in the 25% split break by cohort order)
-            latest.pop(response.examinee_id, None)
-            latest[response.examinee_id] = response
+            latest.pop(sitting.learner_id, None)
+            latest[sitting.learner_id] = sitting
         return list(latest.values())
+
+    def _cohort_responses(self, exam: Exam) -> List[ExamineeResponses]:
+        """Analysis-ready responses, one per learner (latest sitting wins)."""
+        return sittings_to_responses(
+            exam, self._latest_sittings(exam.exam_id)
+        )
 
     def analyze_exam(
         self, exam_id: str, engine: str = "columnar"
@@ -340,8 +343,11 @@ class Lms:
     ) -> AssessmentReport:
         """The full §4 report: number/signal analysis, figures, spec table."""
         exam = self.exam(exam_id)
-        sittings = self.results_for(exam_id)
-        responses = self._cohort_responses(exam)
+        # the same latest-sitting-per-learner set feeds the cohort, the
+        # correctness flags, and the time figures, so a re-sitter is not
+        # double-counted in any of them
+        sittings = self._latest_sittings(exam_id)
+        responses = sittings_to_responses(exam, sittings)
         specs = exam.question_specs()
         cohort = analyze_cohort(responses, specs)
         correct_flags = {

@@ -51,6 +51,8 @@ COHORT_CASES = [
     (21, 16, 4, 26, 0.0, False, 0.25),  # full A-Z option alphabet
     (22, 55, 9, 3, 0.4, True, 0.3),
     (23, 500, 5, 4, 0.0, True, 0.25),  # big tie-heavy cohort
+    (24, 40, 520, 4, 0.0, False, 0.25),  # >512 questions: wide gather offsets
+    (25, 30, 1000, 4, 0.0, False, 0.25),  # very wide exam
 ]
 
 
@@ -366,6 +368,53 @@ class TestVectorEncodeFallbacks:
             [None] + list(damaged[17].selections[1:]),
         )
         fast, reference = both_engines(damaged, specs)
+        assert fast == reference
+
+    @staticmethod
+    def _wide_heterogeneous_cohort(questions=520, size=40, seed=85):
+        # option *order* rotates with period 3 (3 does not divide 512),
+        # so question q's label->code table differs from question
+        # (q - 512)'s: a wrapped gather decodes through the wrong table
+        # and yields wrong codes, not a detectable _UNSEEN marker
+        import random
+
+        base = ("A", "B", "C", "D")
+
+        def rotated(index):
+            shift = index % 3
+            return base[shift:] + base[:shift]
+
+        specs = [
+            QuestionSpec(options=rotated(i), correct=rotated(i)[0])
+            for i in range(questions)
+        ]
+        rng = random.Random(seed)
+        responses = [
+            ExamineeResponses.of(
+                f"s{i:03d}", [rng.choice(s.options) for s in specs]
+            )
+            for i in range(size)
+        ]
+        return responses, specs
+
+    def test_wide_exam_vector_encode_is_exact(self):
+        # regression: uint16 gather offsets wrapped past question 512
+        # (512 * 128 = 65536), decoding wide exams through other
+        # questions' interning tables and silently corrupting results
+        import repro.core.columnar as columnar
+
+        if columnar._np is None:  # pragma: no cover
+            pytest.skip("numpy unavailable")
+        responses, specs = self._wide_heterogeneous_cohort()
+        matrix = ResponseMatrix(specs)
+        selections = [r.selections for r in responses]
+        encoded = matrix._vector_encode(selections)
+        assert encoded is not None  # the fast shape must actually engage
+        assert encoded == b"".join(map(matrix._encode_row, selections))
+
+    def test_wide_exam_engines_bit_identical(self):
+        responses, specs = self._wide_heterogeneous_cohort()
+        fast, reference = both_engines(responses, specs)
         assert fast == reference
 
     def test_stray_label_outside_groups_forces_interning(self):

@@ -303,3 +303,36 @@ class TestAnalysisIntegration:
         assert "Number representation" in text
         assert "Signal representation" in text
         assert "time limit 600" in text
+
+    def test_report_time_figures_count_resitters_once(self):
+        # regression: answer_times used every graded sitting while the
+        # cohort kept only each learner's latest, so a re-sitter was
+        # double-counted in the time figures
+        from repro.core.exam_analysis import time_vs_answered
+
+        clock = ManualClock()
+        lms = Lms(clock=clock)
+        lms.offer_exam(two_question_exam())
+        for index in range(8):
+            learner_id = f"s{index}"
+            lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+            lms.enroll(learner_id, "ex1")
+            lms.start_exam(learner_id, "ex1")
+            clock.advance(10)
+            lms.answer(learner_id, "ex1", "q1", "A" if index < 4 else "B")
+            clock.advance(10)
+            lms.answer(learner_id, "ex1", "q2", "B" if index < 4 else "A")
+            lms.submit(learner_id, "ex1")
+        # s0 re-sits on a different schedule; only the re-sit may count
+        lms.start_exam("s0", "ex1")
+        clock.advance(40)
+        lms.answer("s0", "ex1", "q1", "A")
+        clock.advance(40)
+        lms.answer("s0", "ex1", "q2", "B")
+        lms.submit("s0", "ex1")
+        report = lms.report_for("ex1")
+        expected = time_vs_answered(
+            [[10.0, 20.0]] * 7 + [[40.0, 80.0]], time_limit_seconds=600
+        )
+        assert report.time_analysis == expected
+        assert len(report.cohort.scores) == 8
