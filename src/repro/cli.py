@@ -68,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("columnar", "reference"), default="columnar",
         help="analysis engine (columnar = fast path, reference = baseline)",
     )
+    simulate.add_argument(
+        "--sim-engine", dest="sim_engine",
+        choices=("scalar", "vectorized", "auto"), default="scalar",
+        help=(
+            "cohort generator (scalar = per-learner loop, vectorized = "
+            "numpy batch engine, auto = vectorized when numpy is present)"
+        ),
+    )
 
     package = subparsers.add_parser(
         "package", help="SCORM package output service (section 5.5)"
@@ -103,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("columnar", "reference"), default="columnar",
         help="analysis engine (columnar = fast path, reference = baseline)",
     )
+    export.add_argument(
+        "--sim-engine", dest="sim_engine",
+        choices=("scalar", "vectorized", "auto"), default="scalar",
+        help=(
+            "cohort generator (scalar = per-learner loop, vectorized = "
+            "numpy batch engine, auto = vectorized when numpy is present)"
+        ),
+    )
     return parser
 
 
@@ -131,7 +147,13 @@ def _build_simulated_report(args):
     exam = classroom_exam(args.questions)
     parameters = classroom_parameters(args.questions)
     learners = make_population(args.students, seed=args.seed)
-    data = simulate_sitting_data(exam, parameters, learners, seed=args.seed + 1)
+    data = simulate_sitting_data(
+        exam,
+        parameters,
+        learners,
+        seed=args.seed + 1,
+        sim_engine=getattr(args, "sim_engine", "scalar"),
+    )
     cohort = data.analyze(
         split=GroupSplit(fraction=args.split),
         engine=getattr(args, "engine", "columnar"),

@@ -126,6 +126,107 @@ class ResponseMatrix:
     def __contains__(self, examinee_id: str) -> bool:
         return examinee_id in self._row_of
 
+    @classmethod
+    def from_arrays(
+        cls,
+        questions: Sequence[QuestionSpec],
+        examinee_ids: Sequence[str],
+        codes: "bytes | bytearray | memoryview | _np.ndarray",
+    ) -> "ResponseMatrix":
+        """Build a matrix straight from pre-encoded option codes.
+
+        ``codes`` is the row-major cohort: examinee ``i``'s code for
+        question ``q`` at flat index ``i * Q + q`` (a bytes-like buffer
+        or an ``(N, Q)`` uint8 array).  Codes are the question's option
+        indices in spec order; :data:`SKIP` marks an omitted answer.
+        This is the ingestion path for array-native producers
+        (:mod:`repro.sim.vectorized`): no per-learner
+        :class:`ExamineeResponses` objects, no interning dict lookups —
+        the buffer is validated and adopted wholesale.
+        """
+        matrix = cls(questions)
+        matrix.extend_codes(examinee_ids, codes)
+        return matrix
+
+    def extend_codes(
+        self,
+        examinee_ids: Sequence[str],
+        codes: "bytes | bytearray | memoryview | _np.ndarray",
+    ) -> None:
+        """Bulk-append pre-encoded rows (the array-native ``extend``).
+
+        Validates shape, duplicate ids, and that every code is either one
+        of its question's option indices or :data:`SKIP` — stray labels
+        have no code representation, so unlike :meth:`extend` nothing is
+        interned here.  Scores are computed in the same fused pass used
+        by :meth:`extend`.
+        """
+        ids = list(examinee_ids)
+        if _np is not None and isinstance(codes, _np.ndarray):
+            if codes.ndim == 2 and codes.shape[1] != self.width:
+                raise AnalysisError(
+                    f"code matrix has {codes.shape[1]} questions; "
+                    f"exam has {self.width}"
+                )
+            buffer = codes.astype(_np.uint8, copy=False).tobytes()
+        else:
+            buffer = bytes(codes)
+        if not ids and not buffer:
+            return
+        if len(buffer) != len(ids) * self.width:
+            raise AnalysisError(
+                f"code buffer holds {len(buffer)} cells; "
+                f"{len(ids)} examinees x {self.width} questions "
+                f"needs {len(ids) * self.width}"
+            )
+        if len(set(ids)) != len(ids) or not self._row_of.keys().isdisjoint(
+            ids
+        ):
+            seen = set(self._row_of)
+            for identifier in ids:
+                if identifier in seen:
+                    raise AnalysisError(
+                        f"duplicate examinee id {identifier!r} in cohort"
+                    )
+                seen.add(identifier)
+        self._validate_codes(buffer, ids)
+        base = len(self.examinee_ids)
+        self._codes.extend(buffer)
+        self.examinee_ids.extend(ids)
+        self._row_of.update(zip(ids, range(base, base + len(ids))))
+        self.scores.extend(self._bulk_scores(buffer, len(ids)))
+
+    def _validate_codes(self, buffer: bytes, ids: Sequence[str]) -> None:
+        """Every cell must be an option index of its question or SKIP."""
+        known = [len(spec.options) for spec in self.questions]
+        if _np is not None:
+            arr = _np.frombuffer(buffer, dtype=_np.uint8)
+            arr = arr.reshape(len(ids), self.width)
+            bad = (arr >= _np.array(known, dtype=_np.uint8)[None, :]) & (
+                arr != SKIP
+            )
+            if not bad.any():
+                return
+            row, question = map(int, _np.argwhere(bad)[0])
+        else:
+            width = self.width
+            offender = next(
+                (
+                    index
+                    for index, code in enumerate(buffer)
+                    if code != SKIP and code >= known[index % width]
+                ),
+                None,
+            )
+            if offender is None:
+                return
+            row, question = divmod(offender, width)
+        raise AnalysisError(
+            f"examinee {ids[row]!r} has code {buffer[row * self.width + question]}"
+            f" on question {question + 1}, which has only "
+            f"{known[question]} options"
+        )
+
     # -- ingestion -----------------------------------------------------------
 
     def _intern(self, question_index: int, label: Optional[str]) -> int:
@@ -493,9 +594,29 @@ class LiveCohortAnalysis:
     def __contains__(self, examinee_id: str) -> bool:
         return examinee_id in self._matrix
 
+    @property
+    def width(self) -> int:
+        """Questions per sitting (mirrors :attr:`ResponseMatrix.width`)."""
+        return self._matrix.width
+
     def add_sitting(self, response: ExamineeResponses) -> None:
         """Fold one submission in; O(Q) regardless of cohort size."""
         self._matrix.add_sitting(response)
+        self._cached = None
+
+    def extend_codes(
+        self,
+        examinee_ids: Sequence[str],
+        codes: "bytes | bytearray | memoryview | _np.ndarray",
+    ) -> None:
+        """Fold a pre-encoded shard in (see :meth:`ResponseMatrix.extend_codes`).
+
+        This is the streaming sink for sharded array-native producers:
+        ``repro.sim.vectorized.simulate_sharded(..., into=live)`` keeps a
+        live analysis warm over a cohort far larger than any Python
+        object list could hold.
+        """
+        self._matrix.extend_codes(examinee_ids, codes)
         self._cached = None
 
     def invalidate(self, examinee_id: Optional[str] = None) -> bool:

@@ -10,6 +10,12 @@ from repro.sim.learner_model import (
 )
 from repro.sim.population import ability_grid, make_population
 from repro.sim.response_time import cumulative_answer_times, sample_item_time
+from repro.sim.vectorized import (
+    SimShard,
+    VectorizedSittingData,
+    simulate_sharded,
+    simulate_sitting_arrays,
+)
 from repro.sim.workloads import (
     SimulatedSittingData,
     classroom_exam,
@@ -19,6 +25,10 @@ from repro.sim.workloads import (
 )
 
 __all__ = [
+    "SimShard",
+    "VectorizedSittingData",
+    "simulate_sharded",
+    "simulate_sitting_arrays",
     "ItemParameters",
     "SimulatedLearner",
     "probability_correct",

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Mapping, Optional, Sequence
 
 from repro.core.errors import AnalysisError
@@ -98,13 +99,18 @@ def sample_selection(
     if not distractors:
         return correct
     weights = [params.attractions.get(option, 1.0) for option in distractors]
-    total = sum(weights)
-    if total == 0:
+    # precompute the cumulative sums once and compare strictly: the draw
+    # is scaled by the *accumulated* total (not an independently summed
+    # one), so the final distractor keeps its exact share, and `draw <
+    # bound` keeps a zero-weight distractor unreachable even when
+    # rng.random() returns exactly 0.0 (`draw <= cumulative` at a 0.0
+    # bound would have picked it)
+    bounds = list(accumulate(weights))
+    total = bounds[-1]
+    if total <= 0:
         return correct
     draw = rng.random() * total
-    cumulative = 0.0
-    for option, weight in zip(distractors, weights):
-        cumulative += weight
-        if draw <= cumulative:
+    for option, bound in zip(distractors, bounds):
+        if draw < bound:
             return option
     return distractors[-1]

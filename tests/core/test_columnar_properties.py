@@ -151,6 +151,54 @@ def test_rule_4_implies_rule_3_and_option_sums_bound(shape):
         assert analysis.matrix.low_sum <= group_size
 
 
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=cohort_shapes,
+    stray_rate=st.sampled_from((0.0, 0.0, 0.15)),
+)
+def test_extend_equals_repeated_add_sitting(shape, stray_rate):
+    """Bulk ``extend`` and one-at-a-time ``add_sitting`` build identical
+    matrices — codes, scores, ids, and interning tables — including when
+    some selections are labels outside the question's options (the
+    interning path, exercised at ``stray_rate``)."""
+    from repro.core.columnar import ResponseMatrix
+
+    seed, size, questions, option_count, skip_rate, tie_heavy = shape
+    responses, specs = make_random_cohort(
+        seed, size, questions, option_count, skip_rate, tie_heavy
+    )
+    if stray_rate:
+        rng = random.Random(seed ^ 0xACE)
+        responses = [
+            ExamineeResponses.of(
+                response.examinee_id,
+                [
+                    f"?{rng.randrange(3)}"
+                    if rng.random() < stray_rate
+                    else selection
+                    for selection in response.selections
+                ],
+            )
+            for response in responses
+        ]
+
+    bulk = ResponseMatrix(specs)
+    bulk.extend(responses)
+    incremental = ResponseMatrix(specs)
+    for response in responses:
+        incremental.add_sitting(response)
+
+    assert bytes(bulk._codes) == bytes(incremental._codes)
+    assert bulk.scores == incremental.scores
+    assert bulk.examinee_ids == incremental.examinee_ids
+    assert bulk._labels == incremental._labels
+    assert bulk._tables == incremental._tables
+    if not stray_rate:
+        # stray labels can make analyze() raise (by design, matching the
+        # reference engine); clean cohorts must analyze identically
+        assert bulk.analyze() == incremental.analyze()
+
+
 @settings(max_examples=15, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=2**31),

@@ -142,6 +142,67 @@ class TestSampleSelection:
         omitted = sum(1 for pick in picks if pick is None)
         assert 120 < omitted < 280
 
+    def test_cumulative_boundary_skips_dead_distractor(self):
+        """Pin the cumulative-weight boundary: a draw of exactly 0.0 must
+        not select a zero-weight distractor (the old ``draw <=
+        cumulative`` scan picked it at the 0.0 bound)."""
+
+        class ScriptedRandom:
+            def __init__(self, values):
+                self._values = list(values)
+
+            def random(self):
+                return self._values.pop(0)
+
+        learner = SimulatedLearner("s", ability=-10.0)
+        params = ItemParameters(
+            a=3.0, b=5.0, attractions={"B": 0.0, "C": 1.0, "D": 1.0}
+        )
+        # first draw: 0.99 -> incorrect; second draw: 0.0 -> the
+        # distractor boundary; B (weight 0, bound 0.0) must be skipped
+        pick = ScriptedRandom([0.99, 0.0])
+        assert sample_selection(pick, learner, params, self.options(), "A") == "C"
+
+    def test_cumulative_boundary_between_live_distractors(self):
+        """A draw landing exactly on an interior bound goes to the *next*
+        distractor (strict comparison), so each keeps its exact share."""
+
+        class ScriptedRandom:
+            def __init__(self, values):
+                self._values = list(values)
+
+            def random(self):
+                return self._values.pop(0)
+
+        learner = SimulatedLearner("s", ability=-10.0)
+        params = ItemParameters(a=3.0, b=5.0)  # uniform attractions
+        # bounds over B, C, D are [1, 2, 3]; draw = 1/3 * 3 = 1.0 == the
+        # B/C boundary, which belongs to C
+        pick = ScriptedRandom([0.99, 1.0 / 3.0])
+        assert sample_selection(pick, learner, params, self.options(), "A") == "C"
+
+    def test_final_distractor_keeps_its_share(self):
+        """A draw just under the accumulated total lands on the final
+        distractor — its share is never truncated by float accumulation
+        (the draw is scaled by the same accumulated total it is compared
+        against)."""
+
+        class ScriptedRandom:
+            def __init__(self, values):
+                self._values = list(values)
+
+            def random(self):
+                return self._values.pop(0)
+
+        learner = SimulatedLearner("s", ability=-10.0)
+        # ten tiny equal weights accumulate with float error; the last
+        # option must still catch the top of the draw range
+        params = ItemParameters(
+            a=3.0, b=5.0, attractions={"B": 0.1, "C": 0.1, "D": 0.1}
+        )
+        pick = ScriptedRandom([0.99, 1.0 - 2**-53])
+        assert sample_selection(pick, learner, params, self.options(), "A") == "D"
+
     def test_unknown_correct_rejected(self):
         with pytest.raises(AnalysisError):
             sample_selection(

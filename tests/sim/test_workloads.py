@@ -126,3 +126,44 @@ class TestPrePost:
         assert [r.examinee_id for r in pre.responses] == [
             r.examinee_id for r in post.responses
         ]
+
+    def test_omit_rate_threads_to_both_sittings(self):
+        # regression: omit_rate used to be silently dropped, so ISI
+        # studies could not model omission at all
+        exam = classroom_exam()
+        pre, post = pre_post_cohorts(
+            exam, classroom_parameters(), size=60, seed=3, omit_rate=0.4
+        )
+        for data in (pre, post):
+            omitted = sum(
+                1
+                for response in data.responses
+                for selection in response.selections
+                if selection is None
+            )
+            assert abs(omitted / (60 * 10) - 0.4) < 0.1
+
+    def test_base_seconds_threads_to_both_sittings(self):
+        exam = classroom_exam()
+        slow_pre, slow_post = pre_post_cohorts(
+            exam, classroom_parameters(), size=40, seed=3, base_seconds=90.0
+        )
+        fast_pre, fast_post = pre_post_cohorts(
+            exam, classroom_parameters(), size=40, seed=3, base_seconds=9.0
+        )
+        for slow, fast in ((slow_pre, fast_pre), (slow_post, fast_post)):
+            # identical seeds: only the base rescales, exactly 10x
+            ratio = sum(slow.durations) / sum(fast.durations)
+            assert ratio == pytest.approx(10.0, rel=1e-9)
+
+    def test_sim_engine_threads_through(self):
+        from repro.sim.vectorized import VectorizedSittingData
+
+        exam = classroom_exam()
+        pre, post = pre_post_cohorts(
+            exam, classroom_parameters(), size=40, seed=3,
+            sim_engine="vectorized",
+        )
+        assert isinstance(pre, VectorizedSittingData)
+        assert isinstance(post, VectorizedSittingData)
+        assert sum(post.scores) > sum(pre.scores)

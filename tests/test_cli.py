@@ -41,6 +41,23 @@ class TestSimulate:
     def test_custom_split(self, capsys):
         assert main(["simulate", "--students", "40", "--split", "0.3"]) == 0
 
+    def test_vectorized_sim_engine(self, capsys):
+        assert main(
+            ["simulate", "--students", "44", "--sim-engine", "vectorized"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Number representation" in out
+        assert "Signal representation" in out
+
+    def test_auto_sim_engine_export(self, capsys):
+        import json
+
+        assert main(
+            ["export", "--students", "20", "--sim-engine", "auto"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["scores"]) == 20
+
 
 class TestPackageAndInspect:
     def test_package_then_inspect(self, tmp_path, capsys):
