@@ -1,0 +1,143 @@
+"""Observability tax — what does the instrumentation cost when off?
+
+The ``repro.obs`` helpers sit on the hottest paths in the system
+(cohort generation, columnar analysis, report building).  Their design
+contract is that the *disabled* path — one flag check returning a
+shared no-op — costs under 5% on the 10k x 50 end-to-end benchmark.
+
+Three configurations are timed over the same workload:
+
+* **bare** — the module helpers replaced by empty stubs, approximating
+  the un-instrumented code of PR 2;
+* **disabled** — the shipping default (registry off, flag check taken);
+* **enabled** — full span/counter recording into the registry.
+
+Results go into ``BENCH_obs.json`` at the repo root; the acceptance
+assertion holds the disabled overhead under 5% (with a small absolute
+floor so scheduler noise on a quiet run cannot fail the build).
+"""
+
+import json
+import os
+import time
+
+from repro import obs
+from repro.obs import NOOP_SPAN, Registry
+from repro.sim.population import make_population
+from repro.sim.vectorized import simulate_sitting_arrays
+from repro.sim.workloads import classroom_exam, classroom_parameters
+
+from conftest import show
+
+try:
+    import numpy  # noqa: F401 - recorded into the artifact
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+QUESTIONS = 50
+LEARNERS = 10_000
+RUNS = 3
+#: the acceptance ceiling, plus an absolute floor under which a "miss"
+#: is indistinguishable from timer noise
+OVERHEAD_CEILING_PCT = 5.0
+NOISE_FLOOR_S = 0.010
+
+ARTIFACT = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
+
+
+def best_of(runs, fn):
+    timings = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _bare_span(name, **tags):
+    return NOOP_SPAN
+
+
+def _bare_count(name, value=1, **tags):
+    return None
+
+
+def _bare_gauge(name, value, **tags):
+    return None
+
+
+class _PatchedObs:
+    """Swap the module-level helpers for stubs, restore on exit."""
+
+    def __enter__(self):
+        self._saved = (obs.span, obs.count, obs.gauge)
+        obs.span, obs.count, obs.gauge = _bare_span, _bare_count, _bare_gauge
+        return self
+
+    def __exit__(self, *exc_info):
+        obs.span, obs.count, obs.gauge = self._saved
+
+
+def test_bench_obs_overhead(benchmark):
+    exam = classroom_exam(QUESTIONS)
+    parameters = classroom_parameters(QUESTIONS)
+    learners = make_population(LEARNERS, seed=LEARNERS)
+
+    def workload():
+        data = simulate_sitting_arrays(exam, parameters, learners, seed=1)
+        return data.analyze()
+
+    workload()  # warm-up: imports, interning caches
+
+    with _PatchedObs():
+        bare_s = best_of(RUNS, workload)
+
+    previous = obs.set_registry(Registry(enabled=False))
+    try:
+        disabled_s = best_of(RUNS, workload)
+
+        obs.enable()
+        enabled_s = best_of(RUNS, workload)
+        spans_recorded = len(obs.get_registry().roots)
+        counters = obs.get_registry().counters()
+    finally:
+        obs.set_registry(previous)
+
+    disabled_pct = (disabled_s - bare_s) / bare_s * 100.0
+    enabled_pct = (enabled_s - bare_s) / bare_s * 100.0
+
+    payload = {
+        "workload": f"{LEARNERS} x {QUESTIONS} generate+analyze",
+        "numpy": HAVE_NUMPY,
+        "bare_s": round(bare_s, 6),
+        "disabled_s": round(disabled_s, 6),
+        "enabled_s": round(enabled_s, 6),
+        "disabled_overhead_pct": round(disabled_pct, 2),
+        "enabled_overhead_pct": round(enabled_pct, 2),
+        "enabled_spans_per_run": spans_recorded // RUNS,
+    }
+    with open(ARTIFACT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    show(
+        f"Observability overhead ({LEARNERS} x {QUESTIONS})",
+        f"bare: {bare_s * 1000:.1f} ms   disabled: {disabled_s * 1000:.1f} ms"
+        f" ({disabled_pct:+.1f}%)   enabled: {enabled_s * 1000:.1f} ms"
+        f" ({enabled_pct:+.1f}%)",
+    )
+
+    # instrumentation actually fired when enabled
+    assert spans_recorded >= RUNS  # at least the sim.generate roots
+    assert counters.get("sim.learners.generated", 0) == LEARNERS * RUNS
+
+    # the acceptance bar: disabled is within 5% of bare (or within the
+    # absolute noise floor, whichever is more permissive)
+    assert (
+        disabled_pct < OVERHEAD_CEILING_PCT
+        or (disabled_s - bare_s) < NOISE_FLOOR_S
+    ), f"disabled-path overhead {disabled_pct:.1f}% over bare"
+
+    benchmark(workload)

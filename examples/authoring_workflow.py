@@ -13,14 +13,13 @@ template, renders a problem the way the authoring GUI lays it out
 import tempfile
 from pathlib import Path
 
+from repro import ContentPackage, ExamBuilder, MultipleChoiceItem, package_exam
 from repro.core.cognition import CognitionLevel
 from repro.bank import ItemBank, Query, search
-from repro.exams import ExamBuilder
 from repro.items import (
     CompletionItem,
     EssayItem,
     MatchItem,
-    MultipleChoiceItem,
     QuestionnaireItem,
     TrueFalseItem,
     apply_template,
@@ -28,7 +27,6 @@ from repro.items import (
     render_item,
     render_layout,
 )
-from repro.scorm import ContentPackage, package_exam
 
 
 def author_problems() -> ItemBank:

@@ -12,16 +12,16 @@ two-way specification table, and learner feedback for the weakest
 student.
 """
 
-from repro.adaptive import build_feedback
-from repro.delivery.clock import ManualClock
-from repro.lms import Learner, Lms
-from repro.sim import (
+from repro import (
+    Learner,
+    Lms,
     classroom_exam,
     classroom_parameters,
     make_population,
-    sample_item_time,
-    sample_selection,
 )
+from repro.adaptive import build_feedback
+from repro.delivery.clock import ManualClock
+from repro.sim import sample_item_time, sample_selection
 
 import random
 

@@ -17,13 +17,16 @@ history auditable.
 
 import random
 
-from repro.core.grouping import GroupSplit
-from repro.core.question_analysis import analyze_cohort
+from repro import (
+    ExamBuilder,
+    GroupSplit,
+    ItemParameters,
+    MultipleChoiceItem,
+    analyze_cohort,
+    make_population,
+)
 from repro.bank.versioning import VersionedItemBank
-from repro.exams.authoring import ExamBuilder
-from repro.items.choice import MultipleChoiceItem
-from repro.sim.learner_model import ItemParameters, sample_selection
-from repro.sim.population import make_population
+from repro.sim.learner_model import sample_selection
 
 
 def administer(exam, parameters, seed):
@@ -32,7 +35,7 @@ def administer(exam, parameters, seed):
     rng = random.Random(seed + 1)
     specs = exam.question_specs()
     responses = []
-    from repro.core.question_analysis import ExamineeResponses
+    from repro import ExamineeResponses
 
     for learner in learners:
         selections = []

@@ -9,14 +9,8 @@ discrimination / rules / signal analysis, and prints the teacher report —
 the shortest possible tour of the core API.
 """
 
-from repro.core import (
-    ExamineeResponses,
-    GroupSplit,
-    QuestionSpec,
-    analyze_cohort,
-    render_number_representation,
-    render_signal_board,
-)
+from repro import ExamineeResponses, GroupSplit, QuestionSpec, analyze_cohort
+from repro.core import render_number_representation, render_signal_board
 
 
 def main() -> None:

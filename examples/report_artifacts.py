@@ -12,24 +12,24 @@ board and the §4.2.1 figures — into ``./report-artifacts/``.
 
 from pathlib import Path
 
+from repro import (
+    GroupSplit,
+    analyze_cohort,
+    build_report,
+    classroom_exam,
+    classroom_parameters,
+    make_population,
+    simulate_sitting_data,
+)
 from repro.core.export import (
     number_representation_csv,
     report_to_json,
 )
-from repro.core.grouping import GroupSplit
-from repro.core.question_analysis import analyze_cohort
-from repro.core.report import build_report
 from repro.core.significance import discrimination_significance
 from repro.core.svg_figures import (
     svg_score_difficulty_figure,
     svg_signal_board,
     svg_time_figure,
-)
-from repro.sim import (
-    classroom_exam,
-    classroom_parameters,
-    make_population,
-    simulate_sitting_data,
 )
 
 OUT_DIR = Path("report-artifacts")

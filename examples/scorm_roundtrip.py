@@ -13,8 +13,8 @@ score, LMSCommit, LMSFinish — including a suspend/resume cycle.
 import tempfile
 from pathlib import Path
 
+from repro import classroom_exam
 from repro.scorm import RunTimeEnvironment, PackageRepository
-from repro.sim import classroom_exam
 
 
 def main() -> None:

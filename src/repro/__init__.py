@@ -1,34 +1,134 @@
 """repro — reproduction of "A Cognition Assessment Authoring System for
-E-Learning" (Hung et al., 2004).
+E-Learning" (Hung et al., 2004), grown into a production-scale system.
 
-The library has four layers:
+This module is the **public API facade**: the canonical entrypoints of
+every layer re-exported at the top, lazily (PEP 562), so ``import
+repro`` costs microseconds and pulls in only what you touch.  The deep
+module paths remain importable — the facade is the stable surface,
+``docs/api.md`` maps one to the other.
 
-* :mod:`repro.core` — the paper's contribution: the MINE SCORM assessment
-  metadata model (§3) and the analysis model (§4): difficulty and
-  discrimination indices, the four diagnostic rules, traffic-light
-  signals, and whole-test analyses;
+The library's layers:
+
+* :mod:`repro.core` — the paper's contribution: the MINE SCORM
+  assessment metadata model (§3) and the analysis model (§4) with its
+  columnar fast path;
 * :mod:`repro.items`, :mod:`repro.exams`, :mod:`repro.bank` — the
-  authoring system (§5): question styles, templates, exam assembly, and
-  the problem & exam database;
+  authoring system (§5);
 * :mod:`repro.scorm`, :mod:`repro.lms`, :mod:`repro.delivery` — the
-  substrate: SCORM packaging and run-time environment, an LMS with the
-  on-line exam monitor, and the exam delivery session machine;
+  SCORM/LMS substrate with the on-line exam monitor;
 * :mod:`repro.sim`, :mod:`repro.adaptive`, :mod:`repro.baselines` —
-  simulated learner cohorts used by the benchmarks, the adaptive-testing
-  extension the paper lists as future work, and classical-test-theory
-  baselines.
+  simulated cohorts (scalar, vectorized, and sharded engines),
+  adaptive testing, and classical baselines;
+* :mod:`repro.obs` — spans, counters, and pluggable sinks threaded
+  through all of the above (``--profile`` on the CLI).
 
 Quickstart::
 
-    from repro.core import analyze_cohort, ExamineeResponses, QuestionSpec
+    import repro
 
-    specs = [QuestionSpec(options=("A", "B", "C", "D"), correct="A")]
-    cohort = [ExamineeResponses.of(f"s{i}", ["A" if i % 2 else "B"])
-              for i in range(20)]
-    result = analyze_cohort(cohort, specs)
+    exam = repro.author("quiz-1", "Quiz 1").add_item(...).build()
+    data = repro.simulate_sitting_data(exam, params, learners)
+    result = repro.analyze_cohort(data.responses, data.specs)
     print(result.questions[0].advice.render())
 """
 
-__version__ = "1.0.0"
+from typing import TYPE_CHECKING
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+#: facade name -> (module, attribute); ``None`` attribute re-exports the
+#: module itself.  Everything here is importable as ``repro.<name>``.
+_EXPORTS = {
+    # authoring
+    "Exam": ("repro.exams.exam", "Exam"),
+    "ExamBuilder": ("repro.exams.authoring", "ExamBuilder"),
+    "author": ("repro.exams.authoring", "ExamBuilder"),
+    "MultipleChoiceItem": ("repro.items.choice", "MultipleChoiceItem"),
+    # analysis (§4.1)
+    "analyze_cohort": ("repro.core.question_analysis", "analyze_cohort"),
+    "ExamineeResponses": ("repro.core.question_analysis", "ExamineeResponses"),
+    "QuestionSpec": ("repro.core.question_analysis", "QuestionSpec"),
+    "CohortAnalysis": ("repro.core.question_analysis", "CohortAnalysis"),
+    "GroupSplit": ("repro.core.grouping", "GroupSplit"),
+    "LiveCohortAnalysis": ("repro.core.columnar", "LiveCohortAnalysis"),
+    "ResponseMatrix": ("repro.core.columnar", "ResponseMatrix"),
+    "build_report": ("repro.core.report", "build_report"),
+    "AssessmentReport": ("repro.core.report", "AssessmentReport"),
+    # simulation
+    "simulate_sitting_data": ("repro.sim.workloads", "simulate_sitting_data"),
+    "simulate_sharded": ("repro.sim.vectorized", "simulate_sharded"),
+    "classroom_exam": ("repro.sim.workloads", "classroom_exam"),
+    "classroom_parameters": ("repro.sim.workloads", "classroom_parameters"),
+    "pre_post_cohorts": ("repro.sim.workloads", "pre_post_cohorts"),
+    "make_population": ("repro.sim.population", "make_population"),
+    "ItemParameters": ("repro.sim.learner_model", "ItemParameters"),
+    # LMS / delivery
+    "Lms": ("repro.lms.lms", "Lms"),
+    "Learner": ("repro.lms.learners", "Learner"),
+    "ExamMonitor": ("repro.lms.monitor", "ExamMonitor"),
+    # SCORM packaging
+    "package_exam": ("repro.scorm.package", "package_exam"),
+    "build_package": ("repro.scorm.package", "package_exam"),
+    "ContentPackage": ("repro.scorm.package", "ContentPackage"),
+    "extract_exam": ("repro.scorm.package", "extract_exam"),
+    # observability
+    "obs": ("repro.obs", None),
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name):
+    """Lazy facade resolution (PEP 562): import on first attribute use."""
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attribute is None else getattr(module, attribute)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
+    from repro import obs  # noqa: F401
+    from repro.core.columnar import (  # noqa: F401
+        LiveCohortAnalysis,
+        ResponseMatrix,
+    )
+    from repro.core.grouping import GroupSplit  # noqa: F401
+    from repro.core.question_analysis import (  # noqa: F401
+        CohortAnalysis,
+        ExamineeResponses,
+        QuestionSpec,
+        analyze_cohort,
+    )
+    from repro.core.report import AssessmentReport, build_report  # noqa: F401
+    from repro.exams.authoring import ExamBuilder  # noqa: F401
+    from repro.exams.authoring import ExamBuilder as author  # noqa: F401
+    from repro.exams.exam import Exam  # noqa: F401
+    from repro.items.choice import MultipleChoiceItem  # noqa: F401
+    from repro.lms.learners import Learner  # noqa: F401
+    from repro.lms.lms import Lms  # noqa: F401
+    from repro.lms.monitor import ExamMonitor  # noqa: F401
+    from repro.scorm.package import ContentPackage  # noqa: F401
+    from repro.scorm.package import extract_exam  # noqa: F401
+    from repro.scorm.package import package_exam  # noqa: F401
+    from repro.scorm.package import package_exam as build_package  # noqa: F401
+    from repro.sim.learner_model import ItemParameters  # noqa: F401
+    from repro.sim.population import make_population  # noqa: F401
+    from repro.sim.vectorized import simulate_sharded  # noqa: F401
+    from repro.sim.workloads import (  # noqa: F401
+        classroom_exam,
+        classroom_parameters,
+        pre_post_cohorts,
+        simulate_sitting_data,
+    )

@@ -15,6 +15,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.core.grouping import GroupSplit
 from repro.core.metadata import MineMetadata
 from repro.core.report import build_report
@@ -38,6 +39,37 @@ _PAPER_EXAMPLES = [
 ]
 
 
+def _profile_parent() -> argparse.ArgumentParser:
+    """Options every subcommand gets: the observability switch."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help=(
+            "record spans/counters for this run and print the profile to "
+            "stderr; with PATH, also append JSON-lines events to PATH"
+        ),
+    )
+    return parent
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """Options shared by every analysis-running subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--engine", choices=("columnar", "reference"), default="columnar",
+        help="analysis engine (columnar = fast path, reference = baseline)",
+    )
+    parent.add_argument(
+        "--sim-engine", dest="sim_engine",
+        choices=("scalar", "vectorized", "auto"), default="scalar",
+        help=(
+            "cohort generator (scalar = per-learner loop, vectorized = "
+            "numpy batch engine, auto = vectorized when numpy is present)"
+        ),
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the mine-assess argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
@@ -48,14 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    profile = _profile_parent()
+    engines = _engine_parent()
 
-    subparsers.add_parser("tree", help="print the Figure 1 metadata tree")
     subparsers.add_parser(
-        "rules", help="run the paper's four diagnostic-rule examples"
+        "tree", parents=[profile],
+        help="print the Figure 1 metadata tree",
+    )
+    subparsers.add_parser(
+        "rules", parents=[profile],
+        help="run the paper's four diagnostic-rule examples",
     )
 
     simulate = subparsers.add_parser(
-        "simulate", help="simulate a class sitting and print the analysis"
+        "simulate", parents=[profile, engines],
+        help="simulate a class sitting and print the analysis",
     )
     simulate.add_argument("--students", type=int, default=44)
     simulate.add_argument("--questions", type=int, default=10)
@@ -64,32 +103,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--split", type=float, default=0.25,
         help="extreme-group fraction (paper: 0.25)",
     )
-    simulate.add_argument(
-        "--engine", choices=("columnar", "reference"), default="columnar",
-        help="analysis engine (columnar = fast path, reference = baseline)",
-    )
-    simulate.add_argument(
-        "--sim-engine", dest="sim_engine",
-        choices=("scalar", "vectorized", "auto"), default="scalar",
-        help=(
-            "cohort generator (scalar = per-learner loop, vectorized = "
-            "numpy batch engine, auto = vectorized when numpy is present)"
-        ),
-    )
 
     package = subparsers.add_parser(
-        "package", help="SCORM package output service (section 5.5)"
+        "package", parents=[profile],
+        help="SCORM package output service (section 5.5)",
     )
     package.add_argument("--out", required=True, help="output .zip path")
     package.add_argument("--questions", type=int, default=10)
 
     inspect = subparsers.add_parser(
-        "inspect", help="list a content package's manifest"
+        "inspect", parents=[profile],
+        help="list a content package's manifest",
     )
     inspect.add_argument("package", help="path to a .zip content package")
 
     paper = subparsers.add_parser(
-        "paper", help="render an exam paper and its answer key"
+        "paper", parents=[profile],
+        help="render an exam paper and its answer key",
     )
     paper.add_argument("--questions", type=int, default=10)
     paper.add_argument("--learner", default="",
@@ -98,7 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the answer key instead of the paper")
 
     export = subparsers.add_parser(
-        "export", help="simulate a class and export the analysis"
+        "export", parents=[profile, engines],
+        help="simulate a class and export the analysis",
     )
     export.add_argument("--students", type=int, default=44)
     export.add_argument("--questions", type=int, default=10)
@@ -106,18 +137,6 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument(
         "--format", choices=("json", "csv"), default="json",
         help="json = full report; csv = the 4.1.1 table",
-    )
-    export.add_argument(
-        "--engine", choices=("columnar", "reference"), default="columnar",
-        help="analysis engine (columnar = fast path, reference = baseline)",
-    )
-    export.add_argument(
-        "--sim-engine", dest="sim_engine",
-        choices=("scalar", "vectorized", "auto"), default="scalar",
-        help=(
-            "cohort generator (scalar = per-learner loop, vectorized = "
-            "numpy batch engine, auto = vectorized when numpy is present)"
-        ),
     )
     return parser
 
@@ -261,9 +280,36 @@ _COMMANDS = {
 }
 
 
+def _run_profiled(args) -> int:
+    """Run a command under the observability registry, then report."""
+    sink = None
+    if args.profile != "-":
+        sink = obs.JsonLinesSink(args.profile)
+    obs.enable(*([sink] if sink else []))
+    try:
+        with obs.span(f"cli.{args.command}"):
+            code = _COMMANDS[args.command](args)
+        obs.flush()
+        print(obs.render(), file=sys.stderr)
+        if sink is not None:
+            print(
+                f"profile: {sink.lines_written} events -> {args.profile}",
+                file=sys.stderr,
+            )
+    finally:
+        obs.disable()
+        obs.reset()
+        if sink is not None:
+            obs.get_registry().remove_sink(sink)
+            sink.close()
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", None) is not None:
+        return _run_profiled(args)
     return _COMMANDS[args.command](args)
 
 

@@ -34,6 +34,7 @@ from itertools import chain as _chain, cycle as _cycle
 from operator import add as _add, attrgetter as _attrgetter, getitem as _getitem
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.errors import AnalysisError, EmptyCohortError
 from repro.core.grouping import GroupSplit
 from repro.core.question_analysis import (
@@ -451,6 +452,18 @@ class ResponseMatrix:
         count = len(self.examinee_ids)
         if count == 0:
             raise EmptyCohortError("no examinee responses to analyse")
+        with obs.span(
+            "analyze.columnar", examinees=count, questions=self.width
+        ):
+            return self._analyze_impl(split, policy, spread_threshold, count)
+
+    def _analyze_impl(
+        self,
+        split: GroupSplit,
+        policy: SignalPolicy,
+        spread_threshold: float,
+        count: int,
+    ) -> CohortAnalysis:
         scores = self.scores
         high_idx, low_idx = self._split_indices(split, count)
         high_counts = self._group_counts(high_idx)
@@ -602,7 +615,10 @@ class LiveCohortAnalysis:
     def add_sitting(self, response: ExamineeResponses) -> None:
         """Fold one submission in; O(Q) regardless of cohort size."""
         self._matrix.add_sitting(response)
+        if self._cached is not None:
+            obs.count("live.cache.invalidations")
         self._cached = None
+        obs.count("live.sittings.added")
 
     def extend_codes(
         self,
@@ -617,11 +633,16 @@ class LiveCohortAnalysis:
         object list could hold.
         """
         self._matrix.extend_codes(examinee_ids, codes)
+        if self._cached is not None:
+            obs.count("live.cache.invalidations")
         self._cached = None
+        obs.count("live.rows.extended", len(examinee_ids))
 
     def invalidate(self, examinee_id: Optional[str] = None) -> bool:
         """Drop one examinee's sitting (``examinee_id`` given), or just the
         cached result (no argument).  Returns whether anything changed."""
+        if self._cached is not None:
+            obs.count("live.cache.invalidations")
         if examinee_id is None:
             self._cached = None
             return True
@@ -633,11 +654,14 @@ class LiveCohortAnalysis:
     def analysis(self) -> CohortAnalysis:
         """The current cohort's analysis (cached until the cohort changes)."""
         if self._cached is None:
+            obs.count("live.cache.misses")
             self._cached = self._matrix.analyze(
                 split=self._split,
                 policy=self._policy,
                 spread_threshold=self._spread_threshold,
             )
+        else:
+            obs.count("live.cache.hits")
         return self._cached
 
 
@@ -667,6 +691,7 @@ def fast_analyze_cohort(
     except ColumnarCapacityError:
         from repro.core.question_analysis import analyze_cohort
 
+        obs.count("analyze.columnar.fallbacks")
         return analyze_cohort(
             responses,
             questions,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.advice import Advice, advise
 from repro.core.errors import AnalysisError, EmptyCohortError
 from repro.core.grouping import GroupSplit
@@ -217,6 +218,28 @@ def analyze_cohort(
             f"unknown analysis engine {engine!r}; "
             f"expected 'columnar' or 'reference'"
         )
+    with obs.span(
+        "analyze.reference",
+        examinees=len(responses),
+        questions=len(questions),
+    ):
+        return _reference_analyze_cohort(
+            responses,
+            questions,
+            split=split,
+            policy=policy,
+            spread_threshold=spread_threshold,
+        )
+
+
+def _reference_analyze_cohort(
+    responses: Sequence[ExamineeResponses],
+    questions: Sequence[QuestionSpec],
+    split: GroupSplit,
+    policy: SignalPolicy,
+    spread_threshold: float,
+) -> CohortAnalysis:
+    """The paper-faithful per-object pipeline (the ``reference`` engine)."""
     if not responses:
         raise EmptyCohortError("no examinee responses to analyse")
     if not questions:

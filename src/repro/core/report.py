@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.core.concept_mastery import ConceptPerformance, concept_performance
 from repro.core.errors import AnalysisError
 from repro.core.exam_analysis import (
@@ -163,6 +164,27 @@ def build_report(
     :class:`~repro.core.question_analysis.QuestionSpec` list the cohort
     was analyzed against) enables the per-concept remediation section.
     """
+    with obs.span("report.build", examinees=len(cohort.scores)):
+        return _build_report(
+            title,
+            cohort,
+            correct_flags,
+            answer_times,
+            time_limit_seconds,
+            spec_table,
+            specs,
+        )
+
+
+def _build_report(
+    title: str,
+    cohort: CohortAnalysis,
+    correct_flags: Optional[Dict[str, Sequence[bool]]],
+    answer_times: Optional[Sequence[Sequence[float]]],
+    time_limit_seconds: Optional[float],
+    spec_table: Optional[SpecificationTable],
+    specs: Optional[Sequence],
+) -> AssessmentReport:
     time_analysis = None
     if answer_times:
         time_analysis = time_vs_answered(

@@ -14,11 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.errors import (
     DuplicateIdError,
     NotFoundError,
     SessionStateError,
 )
+from repro.core.grouping import GroupSplit
+from repro.core.rules import DEFAULT_SPREAD_THRESHOLD
+from repro.core.signals import DEFAULT_POLICY, SignalPolicy
 from repro.core.columnar import LiveCohortAnalysis
 from repro.core.question_analysis import (
     CohortAnalysis,
@@ -125,6 +129,12 @@ class Lms:
 
     def start_exam(self, learner_id: str, exam_id: str) -> LmsSitting:
         """Launch a sitting: SCORM launch + API initialize + session start."""
+        with obs.span("lms.start_exam", exam_id=exam_id):
+            sitting = self._start_exam(learner_id, exam_id)
+        obs.count("lms.sittings.started")
+        return sitting
+
+    def _start_exam(self, learner_id: str, exam_id: str) -> LmsSitting:
         exam = self.exam(exam_id)
         learner = self.learners.get(learner_id)
         if learner_id not in self._enrollment[exam_id]:
@@ -169,6 +179,14 @@ class Lms:
         self, learner_id: str, exam_id: str, item_id: str, response: object
     ) -> ScoredResponse:
         """Record an answer: session event + CMI interaction + monitor poll."""
+        with obs.span("lms.answer", exam_id=exam_id):
+            scored = self._answer(learner_id, exam_id, item_id, response)
+        obs.count("lms.answers.recorded")
+        return scored
+
+    def _answer(
+        self, learner_id: str, exam_id: str, item_id: str, response: object
+    ) -> ScoredResponse:
         sitting = self.sitting(learner_id, exam_id)
         sitting.session.answer(item_id, response)
         item = sitting.session.exam.item(item_id)
@@ -203,6 +221,11 @@ class Lms:
 
     def suspend(self, learner_id: str, exam_id: str) -> None:
         """Pause a sitting; commits SCORM suspend data."""
+        with obs.span("lms.suspend", exam_id=exam_id):
+            self._suspend(learner_id, exam_id)
+        obs.count("lms.sittings.suspended")
+
+    def _suspend(self, learner_id: str, exam_id: str) -> None:
         sitting = self.sitting(learner_id, exam_id)
         sitting.session.suspend()
         api = sitting.api
@@ -218,14 +241,22 @@ class Lms:
 
     def resume(self, learner_id: str, exam_id: str) -> None:
         """Continue a suspended sitting (resumable exams only)."""
-        sitting = self.sitting(learner_id, exam_id)
-        sitting.session.resume()
-        self.tracking.record(
-            EventKind.RESUMED, learner_id, exam_id, self.clock.now()
-        )
+        with obs.span("lms.resume", exam_id=exam_id):
+            sitting = self.sitting(learner_id, exam_id)
+            sitting.session.resume()
+            self.tracking.record(
+                EventKind.RESUMED, learner_id, exam_id, self.clock.now()
+            )
+        obs.count("lms.sittings.resumed")
 
     def submit(self, learner_id: str, exam_id: str) -> GradedSitting:
         """Close and grade a sitting; updates CMI core and learner record."""
+        with obs.span("lms.submit", exam_id=exam_id):
+            graded = self._submit(learner_id, exam_id)
+        obs.count("lms.sittings.submitted")
+        return graded
+
+    def _submit(self, learner_id: str, exam_id: str) -> GradedSitting:
         sitting = self.sitting(learner_id, exam_id)
         sitting.session.submit()
         graded = grade_session(sitting.session)
@@ -314,12 +345,31 @@ class Lms:
         )
 
     def analyze_exam(
-        self, exam_id: str, engine: str = "columnar"
+        self,
+        exam_id: str,
+        engine: str = "columnar",
+        split: GroupSplit = GroupSplit(),
+        policy: SignalPolicy = DEFAULT_POLICY,
+        spread_threshold: float = DEFAULT_SPREAD_THRESHOLD,
     ) -> CohortAnalysis:
-        """Run the §4.1 analysis over every submitted sitting."""
-        exam = self.exam(exam_id)
-        responses = self._cohort_responses(exam)
-        return analyze_cohort(responses, exam.question_specs(), engine=engine)
+        """Run the §4.1 analysis over every submitted sitting.
+
+        ``split``, ``policy``, and ``spread_threshold`` are forwarded to
+        :func:`~repro.core.question_analysis.analyze_cohort` (they used
+        to be silently unreachable from the LMS, so an operator could not
+        analyze with a non-default extreme-group fraction).
+        """
+        with obs.span("lms.analyze_exam", exam_id=exam_id, engine=engine):
+            exam = self.exam(exam_id)
+            responses = self._cohort_responses(exam)
+            return analyze_cohort(
+                responses,
+                exam.question_specs(),
+                split=split,
+                policy=policy,
+                spread_threshold=spread_threshold,
+                engine=engine,
+            )
 
     def live_analysis(self, exam_id: str) -> CohortAnalysis:
         """The §4.1 analysis kept warm across submissions.
@@ -329,19 +379,39 @@ class Lms:
         sitting in incrementally, so serving the current analysis never
         re-walks the raw responses.
         """
-        exam = self.exam(exam_id)
-        live = self._live.get(exam_id)
-        if live is None:
-            live = LiveCohortAnalysis(exam.question_specs())
-            for response in self._cohort_responses(exam):
-                live.add_sitting(response)
-            self._live[exam_id] = live
-        return live.analysis()
+        with obs.span("lms.live_analysis", exam_id=exam_id):
+            exam = self.exam(exam_id)
+            live = self._live.get(exam_id)
+            if live is None:
+                obs.count("lms.live_analysis.seeded")
+                live = LiveCohortAnalysis(exam.question_specs())
+                for response in self._cohort_responses(exam):
+                    live.add_sitting(response)
+                self._live[exam_id] = live
+            return live.analysis()
 
     def report_for(
-        self, exam_id: str, concepts: Optional[List[str]] = None
+        self,
+        exam_id: str,
+        concepts: Optional[List[str]] = None,
+        engine: str = "columnar",
+        split: GroupSplit = GroupSplit(),
     ) -> AssessmentReport:
-        """The full §4 report: number/signal analysis, figures, spec table."""
+        """The full §4 report: number/signal analysis, figures, spec table.
+
+        ``engine`` and ``split`` are forwarded to the cohort analysis
+        (previously hardwired to the defaults).
+        """
+        with obs.span("lms.report_for", exam_id=exam_id):
+            return self._report_for(exam_id, concepts, engine, split)
+
+    def _report_for(
+        self,
+        exam_id: str,
+        concepts: Optional[List[str]],
+        engine: str,
+        split: GroupSplit,
+    ) -> AssessmentReport:
         exam = self.exam(exam_id)
         # the same latest-sitting-per-learner set feeds the cohort, the
         # correctness flags, and the time figures, so a re-sitter is not
@@ -349,7 +419,7 @@ class Lms:
         sittings = self._latest_sittings(exam_id)
         responses = sittings_to_responses(exam, sittings)
         specs = exam.question_specs()
-        cohort = analyze_cohort(responses, specs)
+        cohort = analyze_cohort(responses, specs, split=split, engine=engine)
         correct_flags = {
             response.examinee_id: [
                 selection == spec.correct

@@ -18,6 +18,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.errors import MonitorError
 
 __all__ = ["CapturedFrame", "ExamMonitor"]
@@ -72,6 +73,8 @@ class ExamMonitor:
         self._frames: Dict[Tuple[str, str], List[CapturedFrame]] = {}
         self._last_capture: Dict[Tuple[str, str], float] = {}
         self._dropped: Dict[Tuple[str, str], int] = {}
+        self._captured_total = 0
+        self._polls_total = 0
 
     # -- capturing -----------------------------------------------------------
 
@@ -88,6 +91,7 @@ class ExamMonitor:
             return None
         if elapsed_seconds < 0:
             raise MonitorError(f"elapsed time cannot be negative: {elapsed_seconds}")
+        self._polls_total += 1
         key = (learner_id, exam_id)
         last = self._last_capture.get(key)
         if last is not None and elapsed_seconds - last < self.interval_seconds:
@@ -111,9 +115,12 @@ class ExamMonitor:
             payload=_synthetic_picture(learner_id, exam_id, sequence),
         )
         frames.append(frame)
+        self._captured_total += 1
+        obs.count("monitor.frames.captured")
         if len(frames) > self.max_frames:
             frames.pop(0)
             self._dropped[key] = self._dropped.get(key, 0) + 1
+            obs.count("monitor.frames.dropped")
         self._last_capture[key] = elapsed_seconds
         return frame
 
@@ -130,6 +137,37 @@ class ExamMonitor:
     def monitored_sittings(self) -> List[Tuple[str, str]]:
         """(learner, exam) pairs with retained frames."""
         return list(self._frames)
+
+    # -- live metrics (the Fig. 6 progress view, animated) -------------------
+
+    def metrics(self) -> Dict[str, int]:
+        """Live monitor counters — the paper's Fig. 6 progress panel.
+
+        ``frames_captured`` and ``polls`` are lifetime totals (they
+        survive :meth:`clear`); the rest reflect the current frame
+        store.  The same numbers flow into
+        :mod:`repro.obs` counters (``monitor.frames.*``) when profiling
+        is enabled, so a ``--profile`` run shows capture pressure next to
+        the span tree.
+        """
+        return {
+            "sittings_monitored": len(self._frames),
+            "frames_captured": self._captured_total,
+            "frames_retained": sum(
+                len(frames) for frames in self._frames.values()
+            ),
+            "frames_dropped": sum(self._dropped.values()),
+            "polls": self._polls_total,
+        }
+
+    def sitting_metrics(self, learner_id: str, exam_id: str) -> Dict[str, float]:
+        """One sitting's live view: frames held, dropped, last capture."""
+        key = (learner_id, exam_id)
+        return {
+            "frames_retained": len(self._frames.get(key, ())),
+            "frames_dropped": self._dropped.get(key, 0),
+            "last_capture_elapsed": self._last_capture.get(key, -1.0),
+        }
 
     def clear(self, learner_id: str, exam_id: str) -> int:
         """Purge a sitting's frames (after review); returns count purged."""

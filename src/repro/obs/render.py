@@ -1,0 +1,100 @@
+"""Human-readable rendering of a registry's spans and counters.
+
+The CLI's ``--profile`` prints this after any subcommand: an aggregated
+span tree (same-named siblings under the same parent path merge into
+one line with a call count) followed by the counter and gauge tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import Registry, SpanRecord
+
+__all__ = ["render_span_tree", "render_counters", "render_profile"]
+
+
+class _Node:
+    __slots__ = ("wall", "cpu", "calls", "errors", "children")
+
+    def __init__(self) -> None:
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.calls = 0
+        self.errors = 0
+        self.children: "Dict[str, _Node]" = {}
+
+
+def _fold(record: SpanRecord, into: Dict[str, "_Node"]) -> None:
+    node = into.get(record.name)
+    if node is None:
+        node = into[record.name] = _Node()
+    node.wall += record.wall_seconds
+    node.cpu += record.cpu_seconds
+    node.calls += 1
+    if record.error is not None:
+        node.errors += 1
+    for child in record.children:
+        _fold(child, node.children)
+
+
+def render_span_tree(registry: Registry) -> str:
+    """The aggregated span tree, indented, widest timings first.
+
+    Sibling spans with the same name merge (calls column counts them);
+    children sort by total wall time so the hot path reads top-down.
+    """
+    tree: Dict[str, _Node] = {}
+    for root in registry.roots:
+        _fold(root, tree)
+    if not tree:
+        return "span tree: (no spans recorded)"
+    lines = [
+        f"{'span':<44} {'wall ms':>10} {'cpu ms':>10} {'calls':>7}"
+    ]
+
+    def emit(nodes: Dict[str, "_Node"], depth: int) -> None:
+        ordered: List[Tuple[str, _Node]] = sorted(
+            nodes.items(), key=lambda kv: -kv[1].wall
+        )
+        for name, node in ordered:
+            label = "  " * depth + name
+            if node.errors:
+                label += f" [!{node.errors}]"
+            lines.append(
+                f"{label:<44} {node.wall * 1000:>10.2f}"
+                f" {node.cpu * 1000:>10.2f} {node.calls:>7}"
+            )
+            emit(node.children, depth + 1)
+
+    emit(tree, 0)
+    return "\n".join(lines)
+
+
+def render_counters(registry: Registry) -> str:
+    """Counter and gauge tables, alphabetical."""
+    counters = registry.counters()
+    gauges = registry.gauges()
+    if not counters and not gauges:
+        return "counters: (none recorded)"
+    lines: List[str] = []
+    if counters:
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<50} {_fmt(counters[name]):>12}")
+    if gauges:
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<50} {_fmt(gauges[name]):>12}")
+    return "\n".join(lines)
+
+
+def render_profile(registry: Registry) -> str:
+    """The full ``--profile`` report: span tree + counters + gauges."""
+    return render_span_tree(registry) + "\n\n" + render_counters(registry)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return str(int(value))

@@ -1,0 +1,86 @@
+"""Pluggable sinks for the observability registry.
+
+A sink is anything with ``emit(event: dict)``; ``flush()`` and
+``close()`` are optional.  Events are JSON-ready dicts: one per
+completed root span tree (``{"type": "span", ...}``, children nested),
+plus counter/gauge snapshots on flush (``{"type": "counters", ...}``).
+
+Two concrete sinks ship here:
+
+* :class:`RingBufferSink` — bounded in-memory retention, the default
+  for tests and live inspection (the exam monitor's metrics view);
+* :class:`JsonLinesSink` — one JSON object per line to a file, the
+  exchange format the CLI's ``--profile=PATH`` writes and CI parses.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = ["RingBufferSink", "JsonLinesSink"]
+
+
+class RingBufferSink:
+    """Keep the last ``maxlen`` events in memory."""
+
+    def __init__(self, maxlen: int = 1024) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self._events: "deque[Dict[str, Any]]" = deque(maxlen=maxlen)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """Retained events, oldest first (snapshot copy)."""
+        return list(self._events)
+
+    def of_type(self, kind: str) -> List[Dict[str, Any]]:
+        """Retained events of one type (``"span"``, ``"counters"``...)."""
+        return [e for e in self._events if e.get("type") == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonLinesSink:
+    """Append every event as one JSON line to a file (or writable).
+
+    ``path`` may be a filesystem path (opened lazily, truncated on the
+    first write) or any text-mode writable object.  Lines are written
+    eagerly so a crashed run still leaves a parseable prefix.
+    """
+
+    def __init__(self, path: Union[str, Path, io.TextIOBase]) -> None:
+        self._own_handle = not hasattr(path, "write")
+        self._path = Path(path) if self._own_handle else None
+        self._handle: Optional[Any] = None if self._own_handle else path
+        self.lines_written = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open(self._path, "w", encoding="utf-8")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self.lines_written += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._own_handle and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def parse_jsonl(text: str) -> Iterable[Dict[str, Any]]:
+    """Parse JSONL sink output back into event dicts (CI smoke helper)."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]

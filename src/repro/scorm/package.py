@@ -25,6 +25,7 @@ import zipfile
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.core.errors import PackagingError
 from repro.core.metadata_xml import to_xml as metadata_to_xml
 from repro.bank.exambank import exam_from_record, exam_to_record
@@ -90,6 +91,18 @@ def package_exam(exam: Exam, path: "Optional[str | Path]" = None) -> bytes:
 
     Returns the zip bytes; also writes them to ``path`` when given.
     """
+    with obs.span(
+        "scorm.package", exam_id=exam.exam_id, items=len(exam.items)
+    ):
+        payload = _package_exam(exam)
+    obs.count("scorm.packages.written")
+    obs.count("scorm.bytes.written", len(payload))
+    if path is not None:
+        Path(path).write_bytes(payload)
+    return payload
+
+
+def _package_exam(exam: Exam) -> bytes:
     exam.validate()
     files: Dict[str, bytes] = {}
     resources: List[Resource] = [
@@ -142,10 +155,7 @@ def package_exam(exam: Exam, path: "Optional[str | Path]" = None) -> bytes:
     with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
         for name in sorted(files):
             archive.writestr(name, files[name])
-    payload = buffer.getvalue()
-    if path is not None:
-        Path(path).write_bytes(payload)
-    return payload
+    return buffer.getvalue()
 
 
 def _organization_items(exam: Exam) -> List[ManifestItem]:

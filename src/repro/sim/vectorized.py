@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from itertools import accumulate
 from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.columnar import SKIP, ResponseMatrix
 from repro.core.errors import AnalysisError
 from repro.core.grouping import GroupSplit
@@ -246,12 +247,30 @@ class VectorizedSittingData:
         self,
         split: Optional[GroupSplit] = None,
         engine: str = "columnar",
+        policy=None,
+        spread_threshold: Optional[float] = None,
     ):
         """Run the §4.1 analysis; the columnar engine consumes the code
-        buffer directly (no object materialization)."""
+        buffer directly (no object materialization).
+
+        ``policy`` and ``spread_threshold`` forward to the engine like
+        :meth:`SimulatedSittingData.analyze` (kwargs-threading audit:
+        they were previously only reachable on the object path).
+        """
+        from repro.core.rules import DEFAULT_SPREAD_THRESHOLD
+        from repro.core.signals import DEFAULT_POLICY
+
+        policy = policy if policy is not None else DEFAULT_POLICY
+        spread_threshold = (
+            spread_threshold
+            if spread_threshold is not None
+            else DEFAULT_SPREAD_THRESHOLD
+        )
         if engine == "columnar":
             return self.to_matrix().analyze(
-                split=split if split is not None else GroupSplit()
+                split=split if split is not None else GroupSplit(),
+                policy=policy,
+                spread_threshold=spread_threshold,
             )
         from repro.core.question_analysis import analyze_cohort
 
@@ -259,6 +278,8 @@ class VectorizedSittingData:
             self.responses,
             self.specs,
             split=split if split is not None else GroupSplit(),
+            policy=policy,
+            spread_threshold=spread_threshold,
             engine=engine,
         )
 
@@ -414,16 +435,30 @@ def simulate_sitting_arrays(
     ids = [learner.learner_id for learner in learners]
     abilities = [learner.ability for learner in learners]
     paces = [learner.pace for learner in learners]
-    if _np is None:
-        codes, scores, commits = _generate_python(
-            tables, abilities, paces, random.Random(seed),
-            base_seconds, omit_rate, sigma,
-        )
-    else:
-        codes, scores, commits = _generate_numpy(
-            tables, abilities, paces, _np.random.default_rng(seed),
-            base_seconds, omit_rate, sigma,
-        )
+    backend = "stdlib" if _np is None else "numpy"
+    with obs.span(
+        "sim.generate",
+        engine="vectorized",
+        backend=backend,
+        learners=len(ids),
+        questions=len(specs),
+    ):
+        # the whole cohort is one generation unit — a single shard in
+        # the sharded driver's terms, so profiles of either path show
+        # the same span shape
+        with obs.span("sim.shard", index=0, learners=len(ids)):
+            if _np is None:
+                codes, scores, commits = _generate_python(
+                    tables, abilities, paces, random.Random(seed),
+                    base_seconds, omit_rate, sigma,
+                )
+            else:
+                codes, scores, commits = _generate_numpy(
+                    tables, abilities, paces, _np.random.default_rng(seed),
+                    base_seconds, omit_rate, sigma,
+                )
+    obs.count("sim.shards.generated")
+    obs.count("sim.learners.generated", len(ids))
     return VectorizedSittingData(specs, ids, codes, commits, scores)
 
 
@@ -557,19 +592,38 @@ def simulate_sharded(
         )
         for index, start in enumerate(range(0, size, shard_size))
     ]
-    if workers is not None and workers > 1 and len(tasks) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    with obs.span(
+        "sim.sharded",
+        learners=size,
+        questions=len(specs),
+        shards=len(tasks),
+        workers=workers or 1,
+    ):
+        if workers is not None and workers > 1 and len(tasks) > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            shards = pool.map(_generate_shard, tasks)
-            for shard in shards:
-                sink.extend_codes(shard.examinee_ids, shard.codes)
-                if on_shard is not None:
-                    on_shard(shard)
-    else:
-        for task in tasks:
-            shard = _generate_shard(task)
-            sink.extend_codes(shard.examinee_ids, shard.codes)
-            if on_shard is not None:
-                on_shard(shard)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                shards = pool.map(_generate_shard, tasks)
+                for index, shard in enumerate(shards):
+                    # generation ran in a worker process; this span times
+                    # the in-process half (receive + ingest) of the shard
+                    with obs.span(
+                        "sim.shard", index=index, learners=len(shard.examinee_ids)
+                    ):
+                        sink.extend_codes(shard.examinee_ids, shard.codes)
+                        if on_shard is not None:
+                            on_shard(shard)
+                    obs.count("sim.shards.generated")
+        else:
+            for index, task in enumerate(tasks):
+                with obs.span(
+                    "sim.shard", index=index, learners=task[3]
+                ):
+                    shard = _generate_shard(task)
+                    sink.extend_codes(shard.examinee_ids, shard.codes)
+                    if on_shard is not None:
+                        on_shard(shard)
+                obs.count("sim.shards.generated")
+    obs.count("sim.learners.generated", size)
+    obs.gauge("sim.cohort_size", size)
     return sink

@@ -21,10 +21,13 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.cognition import CognitionLevel
 from repro.core.errors import AnalysisError
 from repro.core.grouping import GroupSplit
 from repro.core.question_analysis import ExamineeResponses, QuestionSpec
+from repro.core.rules import DEFAULT_SPREAD_THRESHOLD
+from repro.core.signals import DEFAULT_POLICY, SignalPolicy
 from repro.exams.authoring import ExamBuilder
 from repro.exams.exam import Exam
 from repro.items.choice import MultipleChoiceItem
@@ -62,12 +65,16 @@ class SimulatedSittingData:
         self,
         split: Optional[GroupSplit] = None,
         engine: str = "columnar",
+        policy: SignalPolicy = DEFAULT_POLICY,
+        spread_threshold: float = DEFAULT_SPREAD_THRESHOLD,
     ):
         """Run the §4.1 analysis over the simulated sitting.
 
         Routed through :func:`repro.core.question_analysis.analyze_cohort`
         so simulation workloads exercise the same engine switch as the
-        production layers (columnar by default).
+        production layers (columnar by default).  ``policy`` and
+        ``spread_threshold`` are forwarded (the kwargs-threading audit
+        found them silently unreachable from simulated workloads).
         """
         from repro.core.question_analysis import analyze_cohort
 
@@ -75,6 +82,8 @@ class SimulatedSittingData:
             self.responses,
             self.specs,
             split=split if split is not None else GroupSplit(),
+            policy=policy,
+            spread_threshold=spread_threshold,
             engine=engine,
         )
 
@@ -86,13 +95,17 @@ def simulate_sitting_data(
     seed: int = 0,
     base_seconds: float = 45.0,
     omit_rate: float = 0.0,
+    sigma: float = 0.35,
     sim_engine: str = "scalar",
 ):
     """Simulate every learner answering every analyzable item.
 
     ``parameters`` maps item ids to their IRT parameters; items without
     an entry get defaults.  Selections, times, and omissions are all
-    drawn from one seeded RNG, so runs are reproducible.
+    drawn from one seeded RNG, so runs are reproducible.  ``sigma`` is
+    the lognormal spread of the per-item time model, threaded to both
+    engines (it used to be reachable only by calling the vectorized
+    engine directly).
 
     ``sim_engine`` selects the generator: ``"scalar"`` (default) is this
     per-learner loop, byte-stable across releases; ``"vectorized"`` is
@@ -116,41 +129,52 @@ def simulate_sitting_data(
             seed=seed,
             base_seconds=base_seconds,
             omit_rate=omit_rate,
+            sigma=sigma,
         )
     if sim_engine != "scalar":
         raise AnalysisError(
             f"unknown sim engine {sim_engine!r}; "
             f"expected 'scalar', 'vectorized', or 'auto'"
         )
-    rng = random.Random(seed)
-    specs = exam.question_specs()
-    items = exam.analyzable_items()
-    responses: List[ExamineeResponses] = []
-    answer_times: List[List[float]] = []
-    default = ItemParameters()
-    for learner in learners:
-        selections: List[Optional[str]] = []
-        item_times: List[float] = []
-        for item, spec in zip(items, specs):
-            params = parameters.get(item.item_id, default)
-            selections.append(
-                sample_selection(
-                    rng, learner, params, spec.options, spec.correct,
-                    omit_rate=omit_rate,
+    with obs.span(
+        "sim.generate",
+        engine="scalar",
+        learners=len(learners),
+        questions=len(exam.analyzable_items()),
+    ):
+        rng = random.Random(seed)
+        specs = exam.question_specs()
+        items = exam.analyzable_items()
+        responses: List[ExamineeResponses] = []
+        answer_times: List[List[float]] = []
+        default = ItemParameters()
+        for learner in learners:
+            selections: List[Optional[str]] = []
+            item_times: List[float] = []
+            for item, spec in zip(items, specs):
+                params = parameters.get(item.item_id, default)
+                selections.append(
+                    sample_selection(
+                        rng, learner, params, spec.options, spec.correct,
+                        omit_rate=omit_rate,
+                    )
+                )
+                item_times.append(
+                    sample_item_time(
+                        rng, learner, params,
+                        base_seconds=base_seconds, sigma=sigma,
+                    )
+                )
+            commits = cumulative_answer_times(item_times)
+            responses.append(
+                ExamineeResponses.of(
+                    learner.learner_id,
+                    selections,
+                    duration_seconds=commits[-1] if commits else 0.0,
                 )
             )
-            item_times.append(
-                sample_item_time(rng, learner, params, base_seconds=base_seconds)
-            )
-        commits = cumulative_answer_times(item_times)
-        responses.append(
-            ExamineeResponses.of(
-                learner.learner_id,
-                selections,
-                duration_seconds=commits[-1] if commits else 0.0,
-            )
-        )
-        answer_times.append(commits)
+            answer_times.append(commits)
+    obs.count("sim.learners.generated", len(responses))
     return SimulatedSittingData(
         responses=responses, answer_times=answer_times, specs=specs
     )
@@ -239,15 +263,16 @@ def pre_post_cohorts(
     seed: int = 7,
     base_seconds: float = 45.0,
     omit_rate: float = 0.0,
+    sigma: float = 0.35,
     sim_engine: str = "scalar",
 ) -> Tuple[SimulatedSittingData, SimulatedSittingData]:
     """Simulate the same class before and after teaching (§3.4 ISI).
 
     The post-teaching cohort is the same population with every ability
     shifted up by ``teaching_gain`` logits.  ``base_seconds``,
-    ``omit_rate``, and ``sim_engine`` are threaded through to *both*
-    sittings (they used to be silently dropped, so ISI studies could not
-    model omission or pacing at all).
+    ``omit_rate``, ``sigma``, and ``sim_engine`` are threaded through to
+    *both* sittings (they used to be silently dropped, so ISI studies
+    could not model omission or pacing at all).
     """
     before = make_population(size, mean_ability=-0.6, seed=seed)
     after = [
@@ -265,6 +290,7 @@ def pre_post_cohorts(
         seed=seed + 1,
         base_seconds=base_seconds,
         omit_rate=omit_rate,
+        sigma=sigma,
         sim_engine=sim_engine,
     )
     post = simulate_sitting_data(
@@ -274,6 +300,7 @@ def pre_post_cohorts(
         seed=seed + 2,
         base_seconds=base_seconds,
         omit_rate=omit_rate,
+        sigma=sigma,
         sim_engine=sim_engine,
     )
     return pre, post

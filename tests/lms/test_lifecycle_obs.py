@@ -1,0 +1,175 @@
+"""LMS lifecycle sequencing, monitor metrics, and obs instrumentation."""
+
+import pytest
+
+from repro import obs
+from repro.core.errors import SessionStateError
+from repro.delivery.clock import ManualClock
+from repro.exams.authoring import ExamBuilder
+from repro.items.choice import MultipleChoiceItem
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.obs import Registry
+
+
+@pytest.fixture()
+def fresh_registry():
+    registry = Registry(enabled=True)
+    previous = obs.set_registry(registry)
+    try:
+        yield registry
+    finally:
+        obs.set_registry(previous)
+
+
+def build_exam(exam_id="ex1"):
+    return (
+        ExamBuilder(exam_id, "Lifecycle Exam")
+        .add_item(
+            MultipleChoiceItem.build("q1", "Pick A.", ["a", "b"], correct_index=0)
+        )
+        .add_item(
+            MultipleChoiceItem.build("q2", "Pick B.", ["a", "b"], correct_index=1)
+        )
+        .time_limit(600)
+        .build()
+    )
+
+
+def fresh_lms():
+    lms = Lms(clock=ManualClock())
+    lms.offer_exam(build_exam())
+    lms.register_learner(Learner(learner_id="alice", name="Alice"))
+    lms.enroll("alice", "ex1")
+    return lms
+
+
+class TestLifecycleSequencing:
+    def test_suspend_resume_submit_round_trip(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.suspend("alice", "ex1")
+        # a suspended sitting cannot take answers...
+        with pytest.raises(SessionStateError):
+            lms.answer("alice", "ex1", "q2", "B")
+        lms.resume("alice", "ex1")
+        lms.answer("alice", "ex1", "q2", "B")
+        graded = lms.submit("alice", "ex1")
+        assert graded.percent == 100.0
+
+    def test_double_submit_rejected(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.submit("alice", "ex1")
+        with pytest.raises(SessionStateError):
+            lms.submit("alice", "ex1")
+
+    def test_resume_without_suspend_rejected(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        with pytest.raises(SessionStateError):
+            lms.resume("alice", "ex1")
+
+    def test_restart_of_open_sitting_rejected(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        with pytest.raises(SessionStateError):
+            lms.start_exam("alice", "ex1")
+
+
+class TestLifecycleCounters:
+    def test_full_lifecycle_counts_every_stage(self, fresh_registry):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.suspend("alice", "ex1")
+        lms.resume("alice", "ex1")
+        lms.answer("alice", "ex1", "q2", "B")
+        lms.submit("alice", "ex1")
+        counters = fresh_registry.counters()
+        assert counters["lms.sittings.started"] == 1
+        assert counters["lms.answers.recorded"] == 2
+        assert counters["lms.sittings.suspended"] == 1
+        assert counters["lms.sittings.resumed"] == 1
+        assert counters["lms.sittings.submitted"] == 1
+        names = {root.name for root in fresh_registry.roots}
+        assert {
+            "lms.start_exam",
+            "lms.answer",
+            "lms.suspend",
+            "lms.resume",
+            "lms.submit",
+        } <= names
+
+    def test_failed_operation_does_not_count(self, fresh_registry):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.submit("alice", "ex1")
+        with pytest.raises(SessionStateError):
+            lms.submit("alice", "ex1")
+        assert fresh_registry.counter("lms.sittings.submitted") == 1
+        errored = [r for r in fresh_registry.roots if r.error is not None]
+        assert [r.name for r in errored] == ["lms.submit"]
+
+    def test_analyze_and_report_spans(self, fresh_registry):
+        lms = fresh_lms()
+        for learner_id in ("alice", "bob", "carol", "dave",
+                           "erin", "frank", "grace", "heidi"):
+            if learner_id != "alice":
+                lms.register_learner(
+                    Learner(learner_id=learner_id, name=learner_id)
+                )
+                lms.enroll(learner_id, "ex1")
+            lms.start_exam(learner_id, "ex1")
+            lms.answer(learner_id, "ex1", "q1", "A")
+            lms.answer(learner_id, "ex1", "q2", "A")
+            lms.submit(learner_id, "ex1")
+        lms.analyze_exam("ex1")
+        lms.report_for("ex1")
+        names = {root.name for root in fresh_registry.roots}
+        assert "lms.analyze_exam" in names
+        assert "lms.report_for" in names
+
+
+class TestMonitorMetrics:
+    def test_metrics_reflect_monitored_activity(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        lms.answer("alice", "ex1", "q2", "B")
+        metrics = lms.monitor.metrics()
+        assert metrics["sittings_monitored"] == 1
+        assert metrics["polls"] >= 3  # launch + two answers
+        assert metrics["frames_retained"] >= 1
+        assert metrics["frames_captured"] >= metrics["frames_retained"]
+        assert metrics["frames_dropped"] == (
+            metrics["frames_captured"] - metrics["frames_retained"]
+        )
+
+    def test_sitting_metrics_for_one_learner(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        per = lms.monitor.sitting_metrics("alice", "ex1")
+        assert per["frames_retained"] >= 1
+        assert per["last_capture_elapsed"] >= 0.0
+
+    def test_lifetime_totals_survive_clear(self):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        before = lms.monitor.metrics()
+        lms.monitor.clear("alice", "ex1")
+        after = lms.monitor.metrics()
+        assert after["frames_captured"] == before["frames_captured"]
+        assert after["polls"] == before["polls"]
+        assert after["frames_retained"] == 0
+
+    def test_monitor_counters_under_obs(self, fresh_registry):
+        lms = fresh_lms()
+        lms.start_exam("alice", "ex1")
+        lms.answer("alice", "ex1", "q1", "A")
+        captured = fresh_registry.counter("monitor.frames.captured")
+        assert captured == lms.monitor.metrics()["frames_captured"]

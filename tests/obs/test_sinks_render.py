@@ -1,0 +1,145 @@
+"""Tests for observability sinks and the profile renderer."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonLinesSink,
+    Registry,
+    RingBufferSink,
+    parse_jsonl,
+    render_counters,
+    render_profile,
+    render_span_tree,
+)
+
+
+class TestRingBufferSink:
+    def test_receives_completed_root_spans(self):
+        sink = RingBufferSink()
+        registry = Registry(enabled=True)
+        registry.add_sink(sink)
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        assert len(sink) == 1
+        (event,) = sink.events
+        assert event["type"] == "span" and event["name"] == "outer"
+        assert event["children"][0]["name"] == "inner"
+
+    def test_bounded_retention(self):
+        sink = RingBufferSink(maxlen=2)
+        for index in range(5):
+            sink.emit({"type": "span", "name": f"s{index}"})
+        assert [event["name"] for event in sink.events] == ["s3", "s4"]
+
+    def test_of_type_and_clear(self):
+        sink = RingBufferSink()
+        sink.emit({"type": "span", "name": "a"})
+        sink.emit({"type": "counters", "values": {}})
+        assert len(sink.of_type("counters")) == 1
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_invalid_maxlen(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(maxlen=0)
+
+    def test_flush_emits_counter_and_gauge_snapshots(self):
+        sink = RingBufferSink()
+        registry = Registry(enabled=True)
+        registry.add_sink(sink)
+        registry.count("jobs", 3)
+        registry.gauge("depth", 7)
+        registry.flush()
+        (counters,) = sink.of_type("counters")
+        (gauges,) = sink.of_type("gauges")
+        assert counters["values"] == {"jobs": 3}
+        assert gauges["values"] == {"depth": 7}
+
+    def test_remove_sink(self):
+        sink = RingBufferSink()
+        registry = Registry(enabled=True)
+        registry.add_sink(sink)
+        assert registry.remove_sink(sink) is True
+        assert registry.remove_sink(sink) is False
+        with registry.span("quiet"):
+            pass
+        assert len(sink) == 0
+
+
+class TestJsonLinesSink:
+    def test_writes_parseable_lines_to_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        registry = Registry(enabled=True)
+        registry.add_sink(JsonLinesSink(path))
+        with registry.span("job", index=1):
+            pass
+        registry.count("done")
+        registry.close()
+        events = parse_jsonl(path.read_text(encoding="utf-8"))
+        kinds = [event["type"] for event in events]
+        assert kinds == ["span", "counters"]
+        assert events[0]["name"] == "job"
+        assert events[1]["values"] == {"done": 1}
+
+    def test_accepts_writable_object(self):
+        buffer = io.StringIO()
+        sink = JsonLinesSink(buffer)
+        sink.emit({"type": "span", "name": "x"})
+        sink.close()  # must not close a handle it does not own
+        assert json.loads(buffer.getvalue()) == {"type": "span", "name": "x"}
+        assert sink.lines_written == 1
+
+    def test_lazy_open_writes_nothing_when_unused(self, tmp_path):
+        path = tmp_path / "untouched.jsonl"
+        sink = JsonLinesSink(path)
+        sink.flush()
+        sink.close()
+        assert not path.exists()
+
+
+class TestRender:
+    def _registry(self):
+        registry = Registry(enabled=True)
+        for _ in range(2):
+            with registry.span("batch"):
+                with registry.span("step"):
+                    pass
+                with registry.span("step"):
+                    pass
+        registry.count("rows", 10)
+        registry.gauge("size", 3)
+        return registry
+
+    def test_span_tree_merges_same_named_siblings(self):
+        text = render_span_tree(self._registry())
+        lines = text.splitlines()
+        assert "span" in lines[0] and "calls" in lines[0]
+        batch_line = next(line for line in lines if "batch" in line)
+        step_line = next(line for line in lines if "step" in line)
+        assert batch_line.split()[-1] == "2"  # two roots folded
+        assert step_line.split()[-1] == "4"  # four children folded
+        assert step_line.startswith("  ")  # indented under batch
+
+    def test_error_marker(self):
+        registry = Registry(enabled=True)
+        try:
+            with registry.span("bad"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "[!1]" in render_span_tree(registry)
+
+    def test_counters_table(self):
+        text = render_counters(self._registry())
+        assert "counters" in text and "rows" in text
+        assert "gauges" in text and "size" in text
+
+    def test_empty_registry_renders_placeholders(self):
+        registry = Registry(enabled=True)
+        profile = render_profile(registry)
+        assert "(no spans recorded)" in profile
+        assert "(none recorded)" in profile

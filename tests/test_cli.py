@@ -105,6 +105,57 @@ class TestExport:
         assert main(["export", "--students", "4"]) == 2
 
 
+class TestProfile:
+    def test_profile_prints_span_tree_to_stderr(self, capsys):
+        assert main(["simulate", "--students", "20", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "Number representation" in captured.out  # report untouched
+        err = captured.err
+        assert "cli.simulate" in err
+        assert "sim.generate" in err
+        assert "analyze.columnar" in err
+        assert "report.build" in err
+        assert "sim.learners.generated" in err
+
+    def test_profile_available_on_every_subcommand(self, capsys):
+        assert main(["tree", "--profile"]) == 0
+        assert "cli.tree" in capsys.readouterr().err
+        assert main(["rules", "--profile"]) == 0
+        assert "cli.rules" in capsys.readouterr().err
+
+    def test_profile_path_writes_parseable_jsonl(self, tmp_path, capsys):
+        from repro.obs import parse_jsonl
+
+        path = tmp_path / "profile.jsonl"
+        assert main(
+            ["simulate", "--students", "20", "--profile", str(path)]
+        ) == 0
+        events = parse_jsonl(path.read_text(encoding="utf-8"))
+        kinds = {event["type"] for event in events}
+        assert "span" in kinds and "counters" in kinds
+        (root,) = [e for e in events if e["type"] == "span"]
+        assert root["name"] == "cli.simulate"
+        child_names = {child["name"] for child in root["children"]}
+        assert "sim.generate" in child_names
+        assert "report.build" in child_names
+
+    def test_profile_cleans_up_registry(self, capsys):
+        from repro import obs
+
+        assert main(["tree", "--profile"]) == 0
+        capsys.readouterr()
+        assert obs.enabled() is False
+        assert obs.get_registry().sinks == []
+        assert obs.snapshot()["spans"] == []
+
+    def test_without_profile_nothing_recorded(self, capsys):
+        from repro import obs
+
+        assert main(["simulate", "--students", "20"]) == 0
+        capsys.readouterr()
+        assert obs.snapshot()["spans"] == []
+
+
 class TestPaper:
     def test_paper_rendered(self, capsys):
         assert main(["paper", "--questions", "3"]) == 0
