@@ -1,0 +1,92 @@
+"""Serving throughput — the wire cost of exam delivery at cohort scale.
+
+``run_loadgen`` drives the full classroom scenario (200 simulated
+learners x 20 items; offer, register, enroll, start, answer item by
+item, submit) against an in-process :class:`ExamServer` over real
+sockets with keep-alive connections.  The acceptance bar from the
+serving milestone: **>= 500 requests/second sustained** with the
+**answer-route p99 under 50 ms** — comfortably within reach of the
+stdlib threaded server once Nagle is disabled on both ends, and a
+regression tripwire for anything that puts a syscall or a lock sleep
+back on the per-request path.
+
+Results go into ``BENCH_server.json`` at the repo root.
+"""
+
+import http.client
+import json
+import os
+
+from repro.server.app import ExamServer
+from repro.server.loadgen import run_loadgen
+
+from conftest import show
+
+LEARNERS = 200
+QUESTIONS = 20
+WORKERS = 8
+
+#: the acceptance bars (see docs/server.md)
+MIN_THROUGHPUT_RPS = 500.0
+MAX_ANSWER_P99_MS = 50.0
+
+ARTIFACT = os.path.join(os.path.dirname(__file__), "..", "BENCH_server.json")
+
+
+def test_bench_server_loadgen(benchmark):
+    with ExamServer(max_in_flight=64) as server:
+        report = run_loadgen(
+            server.url,
+            learners=LEARNERS,
+            questions=QUESTIONS,
+            seed=7,
+            workers=WORKERS,
+        )
+        in_flight_after = server.in_flight.current()
+
+        # time one keep-alive round trip for the per-request floor
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=10
+        )
+
+        def round_trip():
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            response.read()
+
+        try:
+            benchmark(round_trip)
+        finally:
+            connection.close()
+
+    answer = report.routes["answer"]
+    payload = {
+        "workload": (
+            f"{LEARNERS} x {QUESTIONS} full sittings over HTTP, "
+            f"{WORKERS} workers"
+        ),
+        **report.to_dict(),
+    }
+    with open(ARTIFACT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    show(
+        f"Server load ({LEARNERS} x {QUESTIONS}, {WORKERS} workers)",
+        report.render(),
+    )
+
+    # sanity: the run actually happened, cleanly
+    assert report.errors == 0
+    assert report.routes["submit"].count == LEARNERS
+    assert answer.count == LEARNERS * QUESTIONS
+    assert in_flight_after == 0  # the server drained
+
+    # the acceptance bars
+    assert report.throughput_rps >= MIN_THROUGHPUT_RPS, (
+        f"{report.throughput_rps:.0f} req/s sustained, "
+        f"need >= {MIN_THROUGHPUT_RPS:.0f}"
+    )
+    assert answer.p99_ms < MAX_ANSWER_P99_MS, (
+        f"answer p99 {answer.p99_ms:.2f} ms, need < {MAX_ANSWER_P99_MS} ms"
+    )

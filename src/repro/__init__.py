@@ -16,6 +16,9 @@ The library's layers:
   authoring system (§5);
 * :mod:`repro.scorm`, :mod:`repro.lms`, :mod:`repro.delivery` — the
   SCORM/LMS substrate with the on-line exam monitor;
+* :mod:`repro.server` — the HTTP exam-delivery and analysis service
+  over the LMS, with its load-generation client
+  (``mine-assess serve`` / ``mine-assess loadgen``);
 * :mod:`repro.sim`, :mod:`repro.adaptive`, :mod:`repro.baselines` —
   simulated cohorts (scalar, vectorized, and sharded engines),
   adaptive testing, and classical baselines;
@@ -34,7 +37,7 @@ Quickstart::
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: facade name -> (module, attribute); ``None`` attribute re-exports the
 #: module itself.  Everything here is importable as ``repro.<name>``.
@@ -66,6 +69,12 @@ _EXPORTS = {
     "Lms": ("repro.lms.lms", "Lms"),
     "Learner": ("repro.lms.learners", "Learner"),
     "ExamMonitor": ("repro.lms.monitor", "ExamMonitor"),
+    "save_lms": ("repro.lms.persistence", "save_lms"),
+    "load_lms": ("repro.lms.persistence", "load_lms"),
+    # HTTP serving
+    "ExamServer": ("repro.server.app", "ExamServer"),
+    "run_loadgen": ("repro.server.loadgen", "run_loadgen"),
+    "LoadgenReport": ("repro.server.loadgen", "LoadgenReport"),
     # SCORM packaging
     "package_exam": ("repro.scorm.package", "package_exam"),
     "build_package": ("repro.scorm.package", "package_exam"),
@@ -119,6 +128,9 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
     from repro.lms.learners import Learner  # noqa: F401
     from repro.lms.lms import Lms  # noqa: F401
     from repro.lms.monitor import ExamMonitor  # noqa: F401
+    from repro.lms.persistence import load_lms, save_lms  # noqa: F401
+    from repro.server.app import ExamServer  # noqa: F401
+    from repro.server.loadgen import LoadgenReport, run_loadgen  # noqa: F401
     from repro.scorm.package import ContentPackage  # noqa: F401
     from repro.scorm.package import extract_exam  # noqa: F401
     from repro.scorm.package import package_exam  # noqa: F401

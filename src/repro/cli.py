@@ -7,6 +7,8 @@ Subcommands mirror what the paper's GUI offers, driven from a terminal::
     mine-assess simulate --students 44    # simulate a class, print the report
     mine-assess package --out exam.zip    # §5.5 SCORM package output
     mine-assess inspect exam.zip          # read a package's manifest
+    mine-assess serve --port 8321         # HTTP exam-delivery service
+    mine-assess loadgen --url http://127.0.0.1:8321   # drive a cohort at it
 """
 
 from __future__ import annotations
@@ -137,6 +139,52 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument(
         "--format", choices=("json", "csv"), default="json",
         help="json = full report; csv = the 4.1.1 table",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", parents=[profile],
+        help="run the HTTP exam-delivery service (repro.server)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--state", metavar="PATH", default=None,
+        help=(
+            "LMS state file: loaded at startup when it exists, written "
+            "atomically on snapshots and at shutdown"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SECONDS",
+        help="take a periodic snapshot to --state every SECONDS",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=64,
+        help="requests in service before 503 backpressure kicks in",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen", parents=[profile],
+        help="drive a simulated cohort through a running server",
+    )
+    loadgen.add_argument(
+        "--url", required=True,
+        help="base URL of a running mine-assess serve instance",
+    )
+    loadgen.add_argument("--students", type=int, default=200)
+    loadgen.add_argument("--questions", type=int, default=20)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--workers", type=int, default=8)
+    loadgen.add_argument(
+        "--no-setup", action="store_true",
+        help="skip offering the exam / registering learners first",
+    )
+    loadgen.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON summary (throughput, percentiles) here",
     )
     return parser
 
@@ -269,6 +317,58 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro.lms.lms import Lms
+    from repro.lms.persistence import load_lms
+    from repro.server.app import ExamServer
+
+    if args.state is not None and os.path.exists(args.state):
+        lms = load_lms(args.state)
+        print(f"restored LMS state from {args.state}", file=sys.stderr)
+    else:
+        lms = Lms()
+    server = ExamServer(
+        lms,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        snapshot_path=args.state,
+        snapshot_interval_seconds=args.snapshot_interval,
+    )
+    print(f"serving on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight requests)", file=sys.stderr)
+        server.shutdown()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.server.loadgen import run_loadgen
+
+    report = run_loadgen(
+        args.url,
+        learners=args.students,
+        questions=args.questions,
+        seed=args.seed,
+        workers=args.workers,
+        setup=not args.no_setup,
+    )
+    print(report.render())
+    if args.out:
+        import json as json_module
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json_module.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "tree": _cmd_tree,
     "rules": _cmd_rules,
@@ -277,6 +377,8 @@ _COMMANDS = {
     "export": _cmd_export,
     "package": _cmd_package,
     "inspect": _cmd_inspect,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

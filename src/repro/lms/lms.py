@@ -11,7 +11,8 @@ the session and as ``cmi.interactions.n.*`` → ``LMSCommit`` →
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
@@ -56,6 +57,8 @@ class LmsSitting:
     session: ExamSession
     api: ApiAdapter
     interaction_count: int = 0
+    #: item ids in this learner's presentation order (set at start)
+    item_order: List[str] = field(default_factory=list)
 
     @property
     def learner_id(self) -> str:
@@ -81,6 +84,12 @@ class Lms:
         self.tracking = TrackingService()
         self.monitor = monitor if monitor is not None else ExamMonitor()
         self.rte = RunTimeEnvironment()
+        #: coarse re-entrant lock guarding ALL mutable LMS state.  Every
+        #: public method takes it, so the LMS is safe to share across the
+        #: worker threads of :mod:`repro.server` (or any embedder); hold
+        #: it yourself to make a multi-call sequence atomic (e.g.
+        #: snapshotting via :func:`repro.lms.persistence.save_lms`).
+        self.lock = threading.RLock()
         self._exams: Dict[str, Exam] = {}
         self._enrollment: Dict[str, set] = {}  # exam_id -> learner ids
         self._sittings: Dict[Tuple[str, str], LmsSitting] = {}
@@ -91,45 +100,53 @@ class Lms:
 
     def offer_exam(self, exam: Exam) -> None:
         """Publish an exam as a course offering."""
-        if exam.exam_id in self._exams:
-            raise DuplicateIdError(f"exam {exam.exam_id!r} already offered")
-        exam.validate()
-        self._exams[exam.exam_id] = exam
-        self._enrollment[exam.exam_id] = set()
+        with self.lock:
+            if exam.exam_id in self._exams:
+                raise DuplicateIdError(
+                    f"exam {exam.exam_id!r} already offered"
+                )
+            exam.validate()
+            self._exams[exam.exam_id] = exam
+            self._enrollment[exam.exam_id] = set()
 
     def exam(self, exam_id: str) -> Exam:
         """The offered exam with this id; NotFoundError otherwise."""
-        try:
-            return self._exams[exam_id]
-        except KeyError:
-            raise NotFoundError(f"no exam {exam_id!r} offered") from None
+        with self.lock:
+            try:
+                return self._exams[exam_id]
+            except KeyError:
+                raise NotFoundError(f"no exam {exam_id!r} offered") from None
 
     def offered_exams(self) -> List[str]:
         """Every offered exam id, in offering order."""
-        return list(self._exams)
+        with self.lock:
+            return list(self._exams)
 
     def register_learner(self, learner: Learner) -> None:
         """Add a learner to the registry."""
-        self.learners.register(learner)
+        with self.lock:
+            self.learners.register(learner)
 
     def enroll(self, learner_id: str, exam_id: str) -> None:
         """Enroll a registered learner in an offered exam."""
-        learner = self.learners.get(learner_id)  # existence check
-        exam = self.exam(exam_id)
-        self._enrollment[exam.exam_id].add(learner.learner_id)
-        self.tracking.record(
-            EventKind.ENROLLED, learner_id, exam_id, self.clock.now()
-        )
+        with self.lock:
+            learner = self.learners.get(learner_id)  # existence check
+            exam = self.exam(exam_id)
+            self._enrollment[exam.exam_id].add(learner.learner_id)
+            self.tracking.record(
+                EventKind.ENROLLED, learner_id, exam_id, self.clock.now()
+            )
 
     def enrolled(self, exam_id: str) -> List[str]:
         """Sorted learner ids enrolled in an exam."""
-        return sorted(self._enrollment.get(exam_id, ()))
+        with self.lock:
+            return sorted(self._enrollment.get(exam_id, ()))
 
     # -- delivery ------------------------------------------------------------------
 
     def start_exam(self, learner_id: str, exam_id: str) -> LmsSitting:
         """Launch a sitting: SCORM launch + API initialize + session start."""
-        with obs.span("lms.start_exam", exam_id=exam_id):
+        with obs.span("lms.start_exam", exam_id=exam_id), self.lock:
             sitting = self._start_exam(learner_id, exam_id)
         obs.count("lms.sittings.started")
         return sitting
@@ -157,8 +174,8 @@ class Lms:
         if api.LMSInitialize("") != "true":
             raise SessionStateError("SCORM API failed to initialize")
         session = ExamSession(exam, learner_id, clock=self.clock)
-        session.start()
-        sitting = LmsSitting(session=session, api=api)
+        item_order = session.start()
+        sitting = LmsSitting(session=session, api=api, item_order=item_order)
         self._sittings[key] = sitting
         self.tracking.record(
             EventKind.LAUNCHED, learner_id, exam_id, self.clock.now()
@@ -168,18 +185,19 @@ class Lms:
 
     def sitting(self, learner_id: str, exam_id: str) -> LmsSitting:
         """The in-flight sitting; NotFoundError when none exists."""
-        try:
-            return self._sittings[(learner_id, exam_id)]
-        except KeyError:
-            raise NotFoundError(
-                f"no sitting of {exam_id!r} by {learner_id!r}"
-            ) from None
+        with self.lock:
+            try:
+                return self._sittings[(learner_id, exam_id)]
+            except KeyError:
+                raise NotFoundError(
+                    f"no sitting of {exam_id!r} by {learner_id!r}"
+                ) from None
 
     def answer(
         self, learner_id: str, exam_id: str, item_id: str, response: object
     ) -> ScoredResponse:
         """Record an answer: session event + CMI interaction + monitor poll."""
-        with obs.span("lms.answer", exam_id=exam_id):
+        with obs.span("lms.answer", exam_id=exam_id), self.lock:
             scored = self._answer(learner_id, exam_id, item_id, response)
         obs.count("lms.answers.recorded")
         return scored
@@ -221,7 +239,7 @@ class Lms:
 
     def suspend(self, learner_id: str, exam_id: str) -> None:
         """Pause a sitting; commits SCORM suspend data."""
-        with obs.span("lms.suspend", exam_id=exam_id):
+        with obs.span("lms.suspend", exam_id=exam_id), self.lock:
             self._suspend(learner_id, exam_id)
         obs.count("lms.sittings.suspended")
 
@@ -241,7 +259,7 @@ class Lms:
 
     def resume(self, learner_id: str, exam_id: str) -> None:
         """Continue a suspended sitting (resumable exams only)."""
-        with obs.span("lms.resume", exam_id=exam_id):
+        with obs.span("lms.resume", exam_id=exam_id), self.lock:
             sitting = self.sitting(learner_id, exam_id)
             sitting.session.resume()
             self.tracking.record(
@@ -251,7 +269,7 @@ class Lms:
 
     def submit(self, learner_id: str, exam_id: str) -> GradedSitting:
         """Close and grade a sitting; updates CMI core and learner record."""
-        with obs.span("lms.submit", exam_id=exam_id):
+        with obs.span("lms.submit", exam_id=exam_id), self.lock:
             graded = self._submit(learner_id, exam_id)
         obs.count("lms.sittings.submitted")
         return graded
@@ -294,7 +312,8 @@ class Lms:
 
     def results_for(self, exam_id: str) -> List[GradedSitting]:
         """Every graded sitting of an exam, submission order."""
-        return list(self._results.get(exam_id, ()))
+        with self.lock:
+            return list(self._results.get(exam_id, ()))
 
     def questionnaire_summaries(self, exam_id: str):
         """Tabulate every questionnaire item's responses (§3.2 VI).
@@ -305,8 +324,9 @@ class Lms:
         from repro.core.questionnaire_analysis import tabulate_questionnaire
         from repro.items.questionnaire import QuestionnaireItem
 
-        exam = self.exam(exam_id)
-        sittings = self.results_for(exam_id)
+        with self.lock:
+            exam = self.exam(exam_id)
+            sittings = self.results_for(exam_id)
         summaries = []
         for item in exam.items:
             if not isinstance(item, QuestionnaireItem):
@@ -359,7 +379,8 @@ class Lms:
         to be silently unreachable from the LMS, so an operator could not
         analyze with a non-default extreme-group fraction).
         """
-        with obs.span("lms.analyze_exam", exam_id=exam_id, engine=engine):
+        with obs.span("lms.analyze_exam", exam_id=exam_id, engine=engine), \
+                self.lock:
             exam = self.exam(exam_id)
             responses = self._cohort_responses(exam)
             return analyze_cohort(
@@ -379,7 +400,7 @@ class Lms:
         sitting in incrementally, so serving the current analysis never
         re-walks the raw responses.
         """
-        with obs.span("lms.live_analysis", exam_id=exam_id):
+        with obs.span("lms.live_analysis", exam_id=exam_id), self.lock:
             exam = self.exam(exam_id)
             live = self._live.get(exam_id)
             if live is None:
@@ -402,7 +423,7 @@ class Lms:
         ``engine`` and ``split`` are forwarded to the cohort analysis
         (previously hardwired to the defaults).
         """
-        with obs.span("lms.report_for", exam_id=exam_id):
+        with obs.span("lms.report_for", exam_id=exam_id), self.lock:
             return self._report_for(exam_id, concepts, engine, split)
 
     def _report_for(

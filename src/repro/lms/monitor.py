@@ -14,6 +14,7 @@ number), so tests can verify integrity.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -175,3 +176,76 @@ class ExamMonitor:
         self._last_capture.pop((learner_id, exam_id), None)
         self._dropped.pop((learner_id, exam_id), None)
         return len(frames)
+
+    # -- persistence -----------------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """The monitor's full durable state as a JSON-compatible dict.
+
+        Everything a restart would otherwise lose: configuration, the
+        retained frames (payloads base64-encoded), the capture schedule,
+        per-sitting drop counts, and the lifetime totals.  Consumed by
+        :func:`repro.lms.persistence.save_lms`.
+        """
+        frames = [
+            {
+                "learner_id": frame.learner_id,
+                "exam_id": frame.exam_id,
+                "sequence": frame.sequence,
+                "elapsed_seconds": frame.elapsed_seconds,
+                "payload_b64": base64.b64encode(frame.payload).decode(
+                    "ascii"
+                ),
+            }
+            for sitting_frames in self._frames.values()
+            for frame in sitting_frames
+        ]
+        return {
+            "interval_seconds": self.interval_seconds,
+            "max_frames": self.max_frames,
+            "enabled": self.enabled,
+            "frames": frames,
+            "last_capture": [
+                {"learner_id": lid, "exam_id": eid, "elapsed_seconds": at}
+                for (lid, eid), at in self._last_capture.items()
+            ],
+            "dropped": [
+                {"learner_id": lid, "exam_id": eid, "count": count}
+                for (lid, eid), count in self._dropped.items()
+            ],
+            "captured_total": self._captured_total,
+            "polls_total": self._polls_total,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ExamMonitor":
+        """Rebuild a monitor from :meth:`export_state` output."""
+        monitor = cls(
+            interval_seconds=float(state.get("interval_seconds", 30.0)),
+            max_frames=int(state.get("max_frames", 200)),
+            enabled=bool(state.get("enabled", True)),
+        )
+        for record in state.get("frames", []):
+            key = (record["learner_id"], record["exam_id"])
+            monitor._frames.setdefault(key, []).append(
+                CapturedFrame(
+                    learner_id=record["learner_id"],
+                    exam_id=record["exam_id"],
+                    sequence=int(record["sequence"]),
+                    elapsed_seconds=float(record["elapsed_seconds"]),
+                    payload=base64.b64decode(record["payload_b64"]),
+                )
+            )
+        for frames in monitor._frames.values():
+            frames.sort(key=lambda frame: frame.sequence)
+        for record in state.get("last_capture", []):
+            monitor._last_capture[
+                (record["learner_id"], record["exam_id"])
+            ] = float(record["elapsed_seconds"])
+        for record in state.get("dropped", []):
+            monitor._dropped[
+                (record["learner_id"], record["exam_id"])
+            ] = int(record["count"])
+        monitor._captured_total = int(state.get("captured_total", 0))
+        monitor._polls_total = int(state.get("polls_total", 0))
+        return monitor

@@ -2,16 +2,25 @@
 
 A real LMS survives restarts.  This module serializes the durable parts
 of an :class:`~repro.lms.lms.Lms` — offered exams, learners with their
-progress, enrollment, graded results, and the tracking log — to a JSON
-file and restores them.  In-flight sittings and SCORM API instances are
-deliberately *not* persisted (they are live conversations; on restart a
-learner relaunches and, for resumable exams, the RTE suspend data brings
-them back), matching how browser-based LMSes behave.
+progress, enrollment, graded results, the tracking log, and the exam
+monitor's proctoring record (captured frames, capture schedule, drop
+counts) — to a JSON file and restores them.  In-flight sittings and
+SCORM API instances are deliberately *not* persisted (they are live
+conversations; on restart a learner relaunches and, for resumable
+exams, the RTE suspend data brings them back), matching how
+browser-based LMSes behave.
+
+Writes are **atomic**: the payload lands in a temporary file in the
+destination directory and is :func:`os.replace`-d into place, so a crash
+(or a killed snapshot thread) mid-write can never leave a truncated,
+unloadable state file behind — the previous snapshot survives intact.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List
 
@@ -21,6 +30,7 @@ from repro.delivery.scoring import GradedSitting
 from repro.items.responses import ScoredResponse
 from repro.lms.learners import Learner
 from repro.lms.lms import Lms
+from repro.lms.monitor import ExamMonitor
 from repro.lms.tracking import EventKind
 
 __all__ = ["save_lms", "load_lms"]
@@ -48,8 +58,38 @@ def _scored_from_record(record: Dict[str, object]) -> ScoredResponse:
     )
 
 
+def _write_atomic(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp + rename."""
+    directory = path.parent if str(path.parent) else Path(".")
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_lms(lms: Lms, path: "str | Path") -> None:
-    """Write the LMS's durable state to a JSON file."""
+    """Write the LMS's durable state to a JSON file, atomically.
+
+    The whole collection happens under :attr:`Lms.lock`, so a snapshot
+    taken while server threads are mutating the LMS is a consistent
+    point-in-time view, and the temp-file + :func:`os.replace` dance
+    guarantees the file on disk is always a complete snapshot.
+    """
+    with lms.lock:
+        payload = _collect_payload(lms)
+    _write_atomic(Path(path), json.dumps(payload, indent=2))
+
+
+def _collect_payload(lms: Lms) -> Dict[str, object]:
     learners: List[Dict[str, object]] = []
     for learner in lms.learners:
         learners.append(
@@ -87,7 +127,7 @@ def save_lms(lms: Lms, path: "str | Path") -> None:
         }
         for event in lms.tracking
     ]
-    payload = {
+    return {
         "format": _FORMAT,
         "exams": [exam_to_record(lms.exam(e)) for e in lms.offered_exams()],
         "learners": learners,
@@ -97,8 +137,8 @@ def save_lms(lms: Lms, path: "str | Path") -> None:
         },
         "results": results,
         "tracking": events,
+        "monitor": lms.monitor.export_state(),
     }
-    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
 
 def load_lms(path: "str | Path", clock=None) -> Lms:
@@ -114,7 +154,15 @@ def load_lms(path: "str | Path", clock=None) -> Lms:
         raise BankError(
             f"unrecognized LMS state format: {payload.get('format')!r}"
         )
-    lms = Lms(clock=clock)
+    # restore the proctoring record; files written before the monitor
+    # section existed simply get a fresh monitor
+    monitor_state = payload.get("monitor")
+    monitor = (
+        ExamMonitor.from_state(monitor_state)
+        if isinstance(monitor_state, dict)
+        else None
+    )
+    lms = Lms(clock=clock, monitor=monitor)
     for record in payload.get("exams", []):
         lms.offer_exam(exam_from_record(record))
     for record in payload.get("learners", []):

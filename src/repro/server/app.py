@@ -1,0 +1,383 @@
+"""The HTTP application: :class:`ExamServer` over ``http.server``.
+
+A dependency-free threaded REST service wrapping one
+:class:`~repro.lms.lms.Lms` (which is itself concurrency-safe — every
+public method takes its coarse lock).  The app layer adds what the
+in-process API doesn't have:
+
+* **routing + JSON** via :mod:`repro.server.router` /
+  :mod:`repro.server.serialize`, with library errors mapped to 4xx JSON
+  bodies (:mod:`repro.server.errors`) — a stack trace never reaches the
+  wire;
+* **backpressure** — a bounded in-flight budget; when ``max_in_flight``
+  requests are already being served, new ones are rejected immediately
+  with ``503`` + ``Retry-After`` instead of queueing without bound;
+* **observability** — every request runs under a per-route
+  :mod:`repro.obs` span (``http.<route>``) with request / error /
+  rejected counters and an in-flight gauge, rendered by ``/metrics``;
+* **graceful shutdown** — :meth:`ExamServer.shutdown` stops accepting,
+  then drains requests already in flight before returning;
+* **snapshotting** — optional periodic (and on-demand, via
+  ``POST /admin/snapshot``) atomic :func:`~repro.lms.persistence.
+  save_lms` of the LMS state.
+
+Usage::
+
+    server = ExamServer(lms)           # port=0 → ephemeral port
+    server.start()                     # background accept loop
+    print(server.url)                  # http://127.0.0.1:<port>
+    ...
+    server.shutdown()                  # drain + close
+
+or ``server.serve_forever()`` to own the calling thread (the CLI's
+``mine-assess serve`` does this).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro import obs
+from repro.lms.lms import Lms
+from repro.server.errors import ApiError, api_error_from_exception
+from repro.server.handlers import ServerContext, build_router
+from repro.server.serialize import parse_json_body
+
+__all__ = ["ExamServer"]
+
+#: requests concurrently in service before 503s start (default)
+DEFAULT_MAX_IN_FLIGHT = 64
+#: what a 503 tells the client to wait before retrying (seconds)
+RETRY_AFTER_SECONDS = 1
+
+
+class _InFlightBudget:
+    """A bounded in-flight request counter with an idle-drain wait."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {limit}")
+        self.limit = limit
+        self._count = 0
+        self._condition = threading.Condition()
+
+    def try_acquire(self) -> bool:
+        """Claim a slot; False when the budget is exhausted."""
+        with self._condition:
+            if self._count >= self.limit:
+                return False
+            self._count += 1
+            return True
+
+    def release(self) -> None:
+        with self._condition:
+            self._count -= 1
+            self._condition.notify_all()
+
+    def current(self) -> int:
+        """Requests being served right now."""
+        with self._condition:
+            return self._count
+
+    def wait_idle(self, timeout: Optional[float]) -> bool:
+        """Block until nothing is in flight; False on timeout."""
+        with self._condition:
+            return self._condition.wait_for(
+                lambda: self._count == 0, timeout=timeout
+            )
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Glue between ``http.server`` and the router/handler layer."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: one connection, many requests
+    server_version = "mine-assess"
+    sys_version = ""
+    # headers and body go out as separate writes; without TCP_NODELAY,
+    # Nagle holds the second one for the client's delayed ACK (~40 ms
+    # per request)
+    disable_nagle_algorithm = True
+    #: idle keep-alive connections are dropped after this many seconds,
+    #: so a drained shutdown is never held hostage by a quiet client
+    timeout = 10
+
+    # the ExamServer injects itself here via the HTTPServer instance
+    @property
+    def app(self) -> "ExamServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def handle_one_request(self) -> None:  # pragma: no cover - socket glue
+        try:
+            super().handle_one_request()
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            self.close_connection = True
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        """Per-request stderr chatter is replaced by obs counters."""
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return b""
+        if length > self.app.max_body_bytes:
+            raise ApiError(
+                413,
+                "payload_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.app.max_body_bytes}-byte limit",
+            )
+        return self.rfile.read(length)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: object,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, method: str) -> None:
+        app = self.app
+        registry = app.context.registry
+        if not app.in_flight.try_acquire():
+            # saturated: shed load *now* rather than queueing unboundedly
+            registry.count("server.rejected")
+            self._send_json(
+                503,
+                ApiError(
+                    503,
+                    "overloaded",
+                    f"server is at its in-flight limit "
+                    f"({app.in_flight.limit}); retry shortly",
+                ).body(),
+                retry_after=RETRY_AFTER_SECONDS,
+            )
+            return
+        try:
+            registry.gauge("server.in_flight", app.in_flight.current())
+            self._handle_routed(method, registry)
+        finally:
+            app.in_flight.release()
+
+    def _handle_routed(self, method: str, registry) -> None:
+        path, _, query = self.path.partition("?")
+        route_name = "unrouted"
+        try:
+            match = self.app.router.resolve(method, path)
+            route_name = match.route.name
+            body = parse_json_body(self._read_body())
+            with registry.span(f"http.{route_name}", method=method):
+                result = match.route.handler(
+                    self.app.context, match.params, body, query
+                )
+            status, payload = _normalize_result(result)
+            registry.count("server.requests", route=route_name)
+            self._send_json(status, payload)
+        except Exception as exc:  # noqa: BLE001 - the service boundary
+            error = api_error_from_exception(exc)
+            if error.status >= 500:
+                # internals stay out of the response body; surface them
+                # to the operator through the registry instead
+                registry.count(
+                    "server.internal_errors", type=type(exc).__name__
+                )
+            registry.count(
+                "server.errors", route=route_name, status=error.status
+            )
+            self._send_json(error.status, error.body(), error.retry_after)
+
+
+def _normalize_result(result: object) -> Tuple[int, object]:
+    """Handlers may return ``payload`` or ``(status, payload)``."""
+    if (
+        isinstance(result, tuple)
+        and len(result) == 2
+        and isinstance(result[0], int)
+    ):
+        return result[0], result[1]
+    return 200, result
+
+
+class _Http(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for many short keep-alive requests."""
+
+    daemon_threads = True
+    block_on_close = False  # drain is handled by the in-flight budget
+
+    def __init__(self, address, app: "ExamServer") -> None:
+        super().__init__(address, _RequestHandler)
+        self.app = app
+
+
+class ExamServer:
+    """The exam-delivery and analysis service over one LMS."""
+
+    def __init__(
+        self,
+        lms: Optional[Lms] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        snapshot_path: Optional["str | Path"] = None,
+        snapshot_interval_seconds: Optional[float] = None,
+        registry: Optional["obs.Registry"] = None,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        sample_every: int = 1,
+    ) -> None:
+        self.lms = lms if lms is not None else Lms()
+        self.router = build_router()
+        self.in_flight = _InFlightBudget(max_in_flight)
+        self.max_body_bytes = max_body_bytes
+        if registry is None:
+            # the server records even when global profiling is off:
+            # /metrics must always have data
+            registry = obs.Registry(enabled=True, sample_every=sample_every)
+        self.context = ServerContext(lms=self.lms, registry=registry)
+        self.context.in_flight = self.in_flight.current
+        self.snapshot_path = (
+            Path(snapshot_path) if snapshot_path is not None else None
+        )
+        self.snapshot_interval_seconds = snapshot_interval_seconds
+        if self.snapshot_path is not None:
+            self.context.snapshot = self.snapshot_now
+        self._httpd = _Http((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+        self._snapshot_stop = threading.Event()
+        self._snapshot_thread: Optional[threading.Thread] = None
+        self._shut_down = False
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The service's base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ExamServer":
+        """Serve in a background thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="mine-assess-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._start_snapshotting()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path); blocks."""
+        self._start_snapshotting()
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self._stop_snapshotting()
+
+    def shutdown(self, drain_timeout: Optional[float] = 10.0) -> bool:
+        """Stop accepting, drain in-flight requests, release the socket.
+
+        Returns True when the drain completed within ``drain_timeout``
+        (False means requests were still running when time ran out; the
+        worker threads are daemons and cannot outlive the process).  A
+        final snapshot is taken when snapshotting is configured.
+        """
+        if self._shut_down:
+            return True
+        self._shut_down = True
+        self._httpd.shutdown()  # stops the accept loop, new conns refused
+        drained = self.in_flight.wait_idle(drain_timeout)
+        self._stop_snapshotting()
+        if self.snapshot_path is not None:
+            self.snapshot_now()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return drained
+
+    # -- snapshotting ---------------------------------------------------------
+
+    def snapshot_now(self) -> Path:
+        """Write an atomic LMS snapshot immediately; returns the path."""
+        if self.snapshot_path is None:
+            raise RuntimeError("no snapshot_path configured")
+        from repro.lms.persistence import save_lms
+
+        save_lms(self.lms, self.snapshot_path)
+        self.context.registry.count("server.snapshots")
+        return self.snapshot_path
+
+    def _start_snapshotting(self) -> None:
+        if (
+            self.snapshot_path is None
+            or self.snapshot_interval_seconds is None
+            or self._snapshot_thread is not None
+        ):
+            return
+        interval = float(self.snapshot_interval_seconds)
+
+        def loop() -> None:
+            while not self._snapshot_stop.wait(interval):
+                try:
+                    self.snapshot_now()
+                except Exception:  # noqa: BLE001 - keep the beat going
+                    self.context.registry.count("server.snapshot_errors")
+
+        self._snapshot_thread = threading.Thread(
+            target=loop, name="mine-assess-snapshots", daemon=True
+        )
+        self._snapshot_thread.start()
+
+    def _stop_snapshotting(self) -> None:
+        self._snapshot_stop.set()
+        if self._snapshot_thread is not None:
+            self._snapshot_thread.join(timeout=5.0)
+            self._snapshot_thread = None
+
+    # -- context-manager sugar ------------------------------------------------
+
+    def __enter__(self) -> "ExamServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,90 @@
+"""HTTP error mapping for :mod:`repro.server`.
+
+Every error a handler can produce becomes an :class:`ApiError` carrying
+an HTTP status, a stable machine-readable ``code``, and a human
+``message`` — rendered as a JSON body, never a stack trace.  Library
+exceptions (:class:`~repro.core.errors.AssessmentError` subclasses) map
+onto 4xx families here, so the service boundary exposes the same
+taxonomy the in-process API raises:
+
+* not-found lookups → 404;
+* duplicate offers/registrations → 409 ``conflict``;
+* sitting lifecycle violations (double submit, answering a closed
+  sitting, resuming a non-resumable exam) → 409 ``invalid_state``;
+* the exam's test-time limit expiring → 409 ``time_expired``;
+* malformed response payloads / bank records → 400 ``bad_request``;
+* analysis over unusable cohorts (empty, bad split) → 422
+  ``unprocessable``.
+
+Anything unrecognized becomes a 500 with a generic body; the detail goes
+to the server's log hook, not the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.errors import (
+    AnalysisError,
+    AssessmentError,
+    BankError,
+    DuplicateIdError,
+    ItemError,
+    NotFoundError,
+    ResponseError,
+    SessionStateError,
+    TimeLimitExceeded,
+)
+
+__all__ = ["ApiError", "api_error_from_exception"]
+
+
+class ApiError(Exception):
+    """An HTTP-mappable request failure."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        #: seconds for a ``Retry-After`` header (503 backpressure)
+        self.retry_after = retry_after
+
+    def body(self) -> Dict[str, object]:
+        """The JSON error body the client receives."""
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+#: exception class -> (status, code); order matters (subclasses first).
+_MAPPING = (
+    (NotFoundError, (404, "not_found")),
+    (DuplicateIdError, (409, "conflict")),
+    (TimeLimitExceeded, (409, "time_expired")),
+    (SessionStateError, (409, "invalid_state")),
+    (ResponseError, (400, "bad_request")),
+    (ItemError, (400, "bad_request")),
+    (BankError, (400, "bad_request")),
+    (AnalysisError, (422, "unprocessable")),
+    (AssessmentError, (400, "bad_request")),
+)
+
+
+def api_error_from_exception(exc: BaseException) -> ApiError:
+    """Translate a library exception into its HTTP shape.
+
+    Unknown exception types become an opaque 500 — their message is NOT
+    leaked to the client (it may contain paths or internals); callers
+    log the original exception separately.
+    """
+    if isinstance(exc, ApiError):
+        return exc
+    for exc_type, (status, code) in _MAPPING:
+        if isinstance(exc, exc_type):
+            return ApiError(status, code, str(exc))
+    return ApiError(500, "internal_error", "internal server error")

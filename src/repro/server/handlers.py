@@ -1,0 +1,275 @@
+"""Route handlers: the REST surface over an :class:`~repro.lms.lms.Lms`.
+
+Each handler is a plain function ``(ctx, params, body, query) ->
+payload | (status, payload)`` — no HTTP types leak in; the app layer
+owns sockets, headers, and error rendering.  The full route table lives
+in :func:`build_router`; ``docs/server.md`` documents every endpoint
+with its JSON schema.
+
+Handlers never lock explicitly: the :class:`Lms` itself is
+concurrency-safe (every public method takes ``lms.lock``), so a handler
+is free to make several LMS calls — the only multi-call sequences here
+are read-only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro import obs
+from repro.bank.exambank import exam_from_record, exam_to_record
+from repro.core.export import report_to_dict
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.server.errors import ApiError
+from repro.server.router import Router
+from repro.server.serialize import (
+    BodySpec,
+    analysis_to_dict,
+    graded_to_dict,
+    learner_to_dict,
+    scored_to_dict,
+)
+
+__all__ = ["ServerContext", "build_router"]
+
+
+@dataclass
+class ServerContext:
+    """What every handler can reach: the LMS and the server's registry."""
+
+    lms: Lms
+    registry: "obs.Registry" = field(default_factory=lambda: obs.Registry())
+    started_at: float = field(default_factory=time.time)
+    #: filled by the app layer so /metrics can report live saturation
+    in_flight: Optional[object] = None
+    #: filled by the app layer when periodic snapshotting is configured
+    snapshot: Optional[object] = None
+
+    def uptime_seconds(self) -> float:
+        """Seconds since the context (≈ server) came up."""
+        return time.time() - self.started_at
+
+
+# -- meta ---------------------------------------------------------------------
+
+
+def _healthz(ctx: ServerContext, params, body, query):
+    return {
+        "status": "ok",
+        "uptime_seconds": round(ctx.uptime_seconds(), 3),
+        "exams_offered": len(ctx.lms.offered_exams()),
+    }
+
+
+def _metrics(ctx: ServerContext, params, body, query):
+    snapshot = ctx.registry.snapshot()
+    payload = {
+        "uptime_seconds": round(ctx.uptime_seconds(), 3),
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "monitor": ctx.lms.monitor.metrics(),
+    }
+    if ctx.in_flight is not None:
+        payload["in_flight"] = ctx.in_flight()
+    return payload
+
+
+# -- catalog ------------------------------------------------------------------
+
+_OFFER_SPEC = BodySpec(
+    required={"exam_id": str, "title": str, "items": list},
+    optional={
+        "display_type": str,
+        "time_limit_seconds": object,
+        "resumable": bool,
+        "groups": list,
+    },
+)
+
+
+def _offer_exam(ctx: ServerContext, params, body, query):
+    exam = exam_from_record(_OFFER_SPEC.validate(body))
+    ctx.lms.offer_exam(exam)
+    return 201, {"exam_id": exam.exam_id, "items": len(exam.items)}
+
+
+def _list_exams(ctx: ServerContext, params, body, query):
+    return {"exams": ctx.lms.offered_exams()}
+
+
+def _get_exam(ctx: ServerContext, params, body, query):
+    return exam_to_record(ctx.lms.exam(params["exam_id"]))
+
+
+# -- learners & enrollment ----------------------------------------------------
+
+_REGISTER_SPEC = BodySpec(
+    required={"learner_id": str},
+    optional={"name": str, "email": str},
+)
+
+
+def _register_learner(ctx: ServerContext, params, body, query):
+    body = _REGISTER_SPEC.validate(body)
+    learner = Learner(
+        learner_id=body["learner_id"],
+        name=str(body.get("name", "")),
+        email=str(body.get("email", "")),
+    )
+    ctx.lms.register_learner(learner)
+    return 201, {"learner_id": learner.learner_id}
+
+
+def _get_learner(ctx: ServerContext, params, body, query):
+    return learner_to_dict(ctx.lms.learners.get(params["learner_id"]))
+
+
+_ENROLL_SPEC = BodySpec(required={"learner_id": str})
+
+
+def _enroll(ctx: ServerContext, params, body, query):
+    body = _ENROLL_SPEC.validate(body)
+    ctx.lms.enroll(body["learner_id"], params["exam_id"])
+    return 201, {
+        "learner_id": body["learner_id"],
+        "exam_id": params["exam_id"],
+    }
+
+
+def _roster(ctx: ServerContext, params, body, query):
+    exam_id = params["exam_id"]
+    ctx.lms.exam(exam_id)  # 404 for unknown exams, not an empty roster
+    return {"exam_id": exam_id, "enrolled": ctx.lms.enrolled(exam_id)}
+
+
+# -- sitting lifecycle --------------------------------------------------------
+
+
+def _start(ctx: ServerContext, params, body, query):
+    sitting = ctx.lms.start_exam(params["learner_id"], params["exam_id"])
+    return 201, {
+        "learner_id": sitting.learner_id,
+        "exam_id": sitting.exam_id,
+        "state": sitting.session.state.value,
+        "item_order": list(sitting.item_order),
+        "time_limit_seconds": sitting.session.exam.time_limit_seconds,
+    }
+
+
+_ANSWER_SPEC = BodySpec(required={"item_id": str, "response": object})
+
+
+def _answer(ctx: ServerContext, params, body, query):
+    body = _ANSWER_SPEC.validate(body)
+    scored = ctx.lms.answer(
+        params["learner_id"],
+        params["exam_id"],
+        body["item_id"],
+        body["response"],
+    )
+    return {"item_id": body["item_id"], "scored": scored_to_dict(scored)}
+
+
+def _sitting_status(ctx: ServerContext, params, body, query):
+    sitting = ctx.lms.sitting(params["learner_id"], params["exam_id"])
+    session = sitting.session
+    return {
+        "learner_id": sitting.learner_id,
+        "exam_id": sitting.exam_id,
+        "state": session.state.value,
+        "answered": session.answered_item_ids(),
+        "elapsed_seconds": session.elapsed_seconds(),
+        "remaining_seconds": session.remaining_seconds(),
+    }
+
+
+def _suspend(ctx: ServerContext, params, body, query):
+    ctx.lms.suspend(params["learner_id"], params["exam_id"])
+    return {"state": "suspended"}
+
+
+def _resume(ctx: ServerContext, params, body, query):
+    ctx.lms.resume(params["learner_id"], params["exam_id"])
+    return {"state": "in_progress"}
+
+
+def _submit(ctx: ServerContext, params, body, query):
+    graded = ctx.lms.submit(params["learner_id"], params["exam_id"])
+    return graded_to_dict(graded)
+
+
+# -- results & analysis -------------------------------------------------------
+
+
+def _results(ctx: ServerContext, params, body, query):
+    exam_id = params["exam_id"]
+    ctx.lms.exam(exam_id)
+    return {
+        "exam_id": exam_id,
+        "results": [
+            graded_to_dict(graded) for graded in ctx.lms.results_for(exam_id)
+        ],
+    }
+
+
+def _analysis(ctx: ServerContext, params, body, query):
+    cohort = ctx.lms.live_analysis(params["exam_id"])
+    return analysis_to_dict(cohort)
+
+
+def _report(ctx: ServerContext, params, body, query):
+    return report_to_dict(ctx.lms.report_for(params["exam_id"]))
+
+
+def _monitor_metrics(ctx: ServerContext, params, body, query):
+    return ctx.lms.monitor.metrics()
+
+
+# -- admin --------------------------------------------------------------------
+
+
+def _snapshot_now(ctx: ServerContext, params, body, query):
+    if ctx.snapshot is None:
+        raise ApiError(
+            409,
+            "invalid_state",
+            "server was started without a snapshot path",
+        )
+    path = ctx.snapshot()
+    return {"snapshot": str(path)}
+
+
+def build_router() -> Router:
+    """The service's full route table."""
+    router = Router()
+    router.add("GET", "/healthz", _healthz, "healthz")
+    router.add("GET", "/metrics", _metrics, "metrics")
+    router.add("GET", "/exams", _list_exams, "exams.list")
+    router.add("POST", "/exams", _offer_exam, "exams.offer")
+    router.add("GET", "/exams/{exam_id}", _get_exam, "exams.get")
+    router.add("POST", "/learners", _register_learner, "learners.register")
+    router.add("GET", "/learners/{learner_id}", _get_learner, "learners.get")
+    router.add(
+        "POST", "/exams/{exam_id}/enrollments", _enroll, "enrollments.create"
+    )
+    router.add(
+        "GET", "/exams/{exam_id}/enrollments", _roster, "enrollments.list"
+    )
+    sitting = "/exams/{exam_id}/sittings/{learner_id}"
+    router.add("POST", sitting + "/start", _start, "sittings.start")
+    router.add("POST", sitting + "/answer", _answer, "sittings.answer")
+    router.add("POST", sitting + "/suspend", _suspend, "sittings.suspend")
+    router.add("POST", sitting + "/resume", _resume, "sittings.resume")
+    router.add("POST", sitting + "/submit", _submit, "sittings.submit")
+    router.add("GET", sitting, _sitting_status, "sittings.status")
+    router.add("GET", "/exams/{exam_id}/results", _results, "results")
+    router.add("GET", "/exams/{exam_id}/analysis", _analysis, "analysis")
+    router.add("GET", "/exams/{exam_id}/report", _report, "report")
+    router.add(
+        "GET", "/monitor/metrics", _monitor_metrics, "monitor.metrics"
+    )
+    router.add("POST", "/admin/snapshot", _snapshot_now, "admin.snapshot")
+    return router

@@ -1,0 +1,436 @@
+"""Load generation: seeded simulated cohorts over the HTTP API.
+
+:func:`run_loadgen` is the client side of the serving story: it takes
+the same learner population and 3PL response model the in-process
+simulation uses (:mod:`repro.sim`), and drives every simulated learner
+through the *wire* protocol — enroll, start, answer item by item,
+submit — from a pool of worker threads with keep-alive connections.
+The run is fully seeded: the selections each learner posts are
+reproducible, and they are returned in the report so callers can prove
+the server-side ``live_analysis`` equals an in-process
+``analyze_cohort`` over the exact same responses (the differential
+test in ``tests/server/test_loadgen_e2e.py`` does exactly that).
+
+Timing: every request's wall latency is recorded per route;
+:class:`LoadgenReport` summarizes throughput and p50/p90/p99 latency —
+the numbers ``BENCH_server.json`` tracks.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.bank.exambank import exam_to_record
+from repro.core.errors import AssessmentError
+from repro.core.question_analysis import ExamineeResponses
+from repro.exams.exam import Exam
+from repro.sim.learner_model import (
+    ItemParameters,
+    SimulatedLearner,
+    sample_selection,
+)
+from repro.sim.population import make_population
+from repro.sim.workloads import classroom_exam, classroom_parameters
+
+__all__ = ["LoadgenError", "LoadgenReport", "RouteTimings", "run_loadgen"]
+
+
+class LoadgenError(AssessmentError):
+    """The load generator hit an unexpected server response."""
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending series (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+@dataclass
+class RouteTimings:
+    """Latency summary for one route (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def of(cls, latencies_seconds: List[float]) -> "RouteTimings":
+        ordered = sorted(latencies_seconds)
+        to_ms = 1000.0
+        return cls(
+            count=len(ordered),
+            mean_ms=(sum(ordered) / len(ordered)) * to_ms if ordered else 0.0,
+            p50_ms=_percentile(ordered, 0.50) * to_ms,
+            p90_ms=_percentile(ordered, 0.90) * to_ms,
+            p99_ms=_percentile(ordered, 0.99) * to_ms,
+            max_ms=ordered[-1] * to_ms if ordered else 0.0,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p90_ms": round(self.p90_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+@dataclass
+class LoadgenReport:
+    """What a load-generation run produced and how fast it went."""
+
+    learners: int
+    questions: int
+    requests: int
+    errors: int
+    retries_503: int
+    duration_seconds: float
+    routes: Dict[str, RouteTimings]
+    #: the selections every learner posted, in learner order — the raw
+    #: material for differential checks against the server's analysis
+    responses: List[ExamineeResponses] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Sustained requests per second over the whole run."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.requests / self.duration_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (responses excluded — they are inputs)."""
+        return {
+            "learners": self.learners,
+            "questions": self.questions,
+            "requests": self.requests,
+            "errors": self.errors,
+            "retries_503": self.retries_503,
+            "duration_seconds": round(self.duration_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "routes": {
+                name: timings.to_dict()
+                for name, timings in sorted(self.routes.items())
+            },
+        }
+
+    def render(self) -> str:
+        """A terminal-friendly summary table."""
+        lines = [
+            f"loadgen: {self.learners} learners x {self.questions} "
+            f"questions -> {self.requests} requests in "
+            f"{self.duration_seconds:.2f}s "
+            f"({self.throughput_rps:.0f} req/s, {self.errors} errors, "
+            f"{self.retries_503} x 503 retried)",
+            f"{'route':<10} {'count':>7} {'mean':>8} {'p50':>8} "
+            f"{'p90':>8} {'p99':>8} {'max':>8}  (ms)",
+        ]
+        for name, timing in sorted(self.routes.items()):
+            lines.append(
+                f"{name:<10} {timing.count:>7} {timing.mean_ms:>8.2f} "
+                f"{timing.p50_ms:>8.2f} {timing.p90_ms:>8.2f} "
+                f"{timing.p99_ms:>8.2f} {timing.max_ms:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+class _Client:
+    """A keep-alive JSON client bound to one worker thread."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._connection.connect()
+            # without TCP_NODELAY, Nagle on this side + delayed ACK on
+            # the server turns every small POST into a ~40 ms stall
+            self._connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict, Dict[str, str]]:
+        """One round trip; reconnects once on a dropped keep-alive."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                TimeoutError,
+                OSError,
+            ):
+                self.close()
+                if attempt == 2:
+                    raise
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        return response.status, data, dict(response.headers.items())
+
+
+@dataclass
+class _Recorder:
+    """Thread-safe latency + error accumulation across workers."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    requests: int = 0
+    errors: int = 0
+    retries_503: int = 0
+
+    def note(self, route: str, elapsed: float, status: int) -> None:
+        with self.lock:
+            self.requests += 1
+            self.latencies.setdefault(route, []).append(elapsed)
+            if status >= 400:
+                self.errors += 1
+
+    def note_retry(self) -> None:
+        with self.lock:
+            self.requests += 1
+            self.retries_503 += 1
+
+
+def _timed(
+    client: _Client,
+    recorder: _Recorder,
+    route: str,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    expect: Tuple[int, ...] = (200, 201),
+    max_retries_503: int = 50,
+) -> dict:
+    """One request with timing; backs off briefly on 503 and retries."""
+    for _ in range(max_retries_503 + 1):
+        began = time.perf_counter()
+        status, data, headers = client.request(method, path, payload)
+        elapsed = time.perf_counter() - began
+        if status == 503:
+            recorder.note_retry()
+            retry_after = headers.get("Retry-After")
+            time.sleep(min(float(retry_after or 0.05), 0.1))
+            continue
+        recorder.note(route, elapsed, status)
+        if status not in expect:
+            raise LoadgenError(
+                f"{method} {path} -> {status}: {data!r} "
+                f"(expected one of {expect})"
+            )
+        return data
+    raise LoadgenError(
+        f"{method} {path} still 503 after {max_retries_503} retries"
+    )
+
+
+def _sample_learner_selections(
+    exam: Exam,
+    parameters: Dict[str, ItemParameters],
+    learner: SimulatedLearner,
+    seed: int,
+    omit_rate: float,
+) -> List[Tuple[str, Optional[str]]]:
+    """(item_id, selection) per analyzable item, deterministically.
+
+    Seeding is per-learner (not positional in a shared stream), so any
+    worker can run any learner and the cohort's selections stay
+    byte-identical run to run regardless of scheduling.
+    """
+    rng = random.Random(f"{seed}:{learner.learner_id}")
+    default = ItemParameters()
+    pairs: List[Tuple[str, Optional[str]]] = []
+    for item, spec in zip(exam.analyzable_items(), exam.question_specs()):
+        selection = sample_selection(
+            rng,
+            learner,
+            parameters.get(item.item_id, default),
+            spec.options,
+            spec.correct,
+            omit_rate=omit_rate,
+        )
+        pairs.append((item.item_id, selection))
+    return pairs
+
+
+def run_loadgen(
+    url: str,
+    learners: int = 200,
+    questions: int = 20,
+    seed: int = 0,
+    workers: int = 8,
+    omit_rate: float = 0.0,
+    exam: Optional[Exam] = None,
+    parameters: Optional[Dict[str, ItemParameters]] = None,
+    setup: bool = True,
+    timeout: float = 30.0,
+) -> LoadgenReport:
+    """Drive a simulated cohort through a running server; measure it.
+
+    ``url`` — the server base URL (e.g. ``http://127.0.0.1:8321``).
+    With ``setup=True`` (default) the exam is offered and every learner
+    registered + enrolled first (setup traffic is timed under its own
+    routes).  ``exam``/``parameters`` default to the classroom scenario
+    of :mod:`repro.sim.workloads` at ``questions`` items.
+
+    Every learner's sitting is start → answer (one request per item,
+    omitted items skipped) → submit.  Work is spread over ``workers``
+    threads, each with its own keep-alive connection; 503 backpressure
+    responses are honoured (short sleep, retry) and counted separately
+    rather than treated as failures.
+    """
+    pieces = urlsplit(url if "//" in url else f"http://{url}")
+    host, port = pieces.hostname, pieces.port
+    if host is None or port is None:
+        raise LoadgenError(f"loadgen needs host:port in the url, got {url!r}")
+    if exam is None:
+        exam = classroom_exam(questions)
+    if parameters is None:
+        parameters = classroom_parameters(questions)
+    population = make_population(learners, seed=seed)
+    recorder = _Recorder()
+
+    if setup:
+        client = _Client(host, port, timeout)
+        try:
+            _timed(
+                client,
+                recorder,
+                "offer",
+                "POST",
+                "/exams",
+                exam_to_record(exam),
+                expect=(201,),
+            )
+            for learner in population:
+                _timed(
+                    client,
+                    recorder,
+                    "register",
+                    "POST",
+                    "/learners",
+                    {"learner_id": learner.learner_id},
+                    expect=(201,),
+                )
+                _timed(
+                    client,
+                    recorder,
+                    "enroll",
+                    "POST",
+                    f"/exams/{exam.exam_id}/enrollments",
+                    {"learner_id": learner.learner_id},
+                    expect=(201,),
+                )
+        finally:
+            client.close()
+
+    # pre-sample every learner's selections so worker threads only do I/O
+    scripts = {
+        learner.learner_id: _sample_learner_selections(
+            exam, parameters, learner, seed, omit_rate
+        )
+        for learner in population
+    }
+
+    queue: List[SimulatedLearner] = list(population)
+    queue_lock = threading.Lock()
+    failures: List[BaseException] = []
+
+    def worker() -> None:
+        client = _Client(host, port, timeout)
+        try:
+            while True:
+                with queue_lock:
+                    if not queue:
+                        return
+                    learner = queue.pop()
+                base = f"/exams/{exam.exam_id}/sittings/{learner.learner_id}"
+                _timed(
+                    client, recorder, "start", "POST", base + "/start",
+                    expect=(201,),
+                )
+                for item_id, selection in scripts[learner.learner_id]:
+                    if selection is None:
+                        continue  # an omitted item: no request at all
+                    _timed(
+                        client,
+                        recorder,
+                        "answer",
+                        "POST",
+                        base + "/answer",
+                        {"item_id": item_id, "response": selection},
+                    )
+                _timed(client, recorder, "submit", "POST", base + "/submit")
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with queue_lock:
+                failures.append(exc)
+        finally:
+            client.close()
+
+    began = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{index}", daemon=True)
+        for index in range(max(1, workers))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - began
+    if failures:
+        raise failures[0]
+
+    responses = [
+        ExamineeResponses.of(
+            learner.learner_id,
+            [selection for _, selection in scripts[learner.learner_id]],
+        )
+        for learner in population
+    ]
+    return LoadgenReport(
+        learners=learners,
+        questions=len(exam.analyzable_items()),
+        requests=recorder.requests,
+        errors=recorder.errors,
+        retries_503=recorder.retries_503,
+        duration_seconds=duration,
+        routes={
+            name: RouteTimings.of(values)
+            for name, values in recorder.latencies.items()
+        },
+        responses=responses,
+    )

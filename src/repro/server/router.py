@@ -1,0 +1,106 @@
+"""A tiny method + path-template router for :mod:`repro.server`.
+
+Routes are declared as ``METHOD /path/{param}/...`` templates.  Matching
+extracts the ``{param}`` segments as strings and hands them to the
+handler; an unknown path 404s, a known path with the wrong method 405s
+(with an ``Allow`` set in the error message).  No regexes in route
+declarations, no dependencies — the template is split into literal and
+parameter segments once at registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.server.errors import ApiError
+
+__all__ = ["Route", "RouteMatch", "Router"]
+
+#: handler(ctx, params, body, query) -> (status, payload) | payload
+Handler = Callable[..., object]
+
+
+def _split(path: str) -> List[str]:
+    """Path -> non-empty segments ('/exams/e1/' -> ['exams', 'e1'])."""
+    return [segment for segment in path.split("/") if segment]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered route: a method, a parsed template, its handler."""
+
+    method: str
+    template: str
+    segments: Tuple[str, ...]  # literal text or '{param}' markers
+    handler: Handler
+    name: str
+
+    def match(self, parts: List[str]) -> Optional[Dict[str, str]]:
+        """Path params when ``parts`` fits this template, else None."""
+        if len(parts) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for segment, part in zip(self.segments, parts):
+            if segment.startswith("{") and segment.endswith("}"):
+                params[segment[1:-1]] = part
+            elif segment != part:
+                return None
+        return params
+
+
+@dataclass(frozen=True)
+class RouteMatch:
+    """A resolved request: the route plus its extracted path params."""
+
+    route: Route
+    params: Dict[str, str]
+
+
+class Router:
+    """Holds the route table and resolves (method, path) pairs."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(
+        self,
+        method: str,
+        template: str,
+        handler: Handler,
+        name: Optional[str] = None,
+    ) -> Route:
+        """Register a route; ``name`` defaults to the handler's name."""
+        route = Route(
+            method=method.upper(),
+            template=template,
+            segments=tuple(_split(template)),
+            handler=handler,
+            name=name or handler.__name__.lstrip("_"),
+        )
+        self._routes.append(route)
+        return route
+
+    def routes(self) -> List[Route]:
+        """Every registered route, in registration order."""
+        return list(self._routes)
+
+    def resolve(self, method: str, path: str) -> RouteMatch:
+        """The matching route, or ApiError 404/405."""
+        parts = _split(path)
+        allowed: List[str] = []
+        for route in self._routes:
+            params = route.match(parts)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return RouteMatch(route=route, params=params)
+            allowed.append(route.method)
+        if allowed:
+            raise ApiError(
+                405,
+                "method_not_allowed",
+                f"{method} not allowed on {path}; "
+                f"allowed: {', '.join(sorted(set(allowed)))}",
+            )
+        raise ApiError(404, "not_found", f"no route for {method} {path}")

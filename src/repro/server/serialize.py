@@ -1,0 +1,186 @@
+"""Typed request parsing and response serialization for the service.
+
+Request side: :func:`parse_json_body` plus the :class:`BodySpec` field
+validator — handlers declare the fields they accept with expected types
+and get one 400 ``bad_request`` shape for every malformed payload
+(invalid JSON, non-object bodies, missing/mistyped/unknown fields).
+
+Response side: plain functions turning the library's dataclasses
+(:class:`~repro.core.question_analysis.CohortAnalysis`,
+:class:`~repro.delivery.scoring.GradedSitting`, …) into JSON-compatible
+dicts.  :func:`analysis_to_dict` is intentionally field-complete and
+deterministic — the loadgen differential test compares the server's
+rendering of ``live_analysis`` against a local ``analyze_cohort`` run
+through this same function, so any drift between the two fails CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Type
+
+from repro.core.question_analysis import CohortAnalysis
+from repro.delivery.scoring import GradedSitting
+from repro.items.responses import ScoredResponse
+from repro.lms.learners import Learner
+from repro.server.errors import ApiError
+
+__all__ = [
+    "parse_json_body",
+    "BodySpec",
+    "analysis_to_dict",
+    "graded_to_dict",
+    "scored_to_dict",
+    "learner_to_dict",
+]
+
+
+def parse_json_body(raw: bytes) -> Dict[str, object]:
+    """Decode a request body as a JSON object; ApiError 400 otherwise."""
+    if not raw:
+        return {}
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ApiError(
+            400, "bad_request", f"request body is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ApiError(
+            400,
+            "bad_request",
+            f"request body must be a JSON object, "
+            f"got {type(payload).__name__}",
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class BodySpec:
+    """Declares a handler's accepted JSON fields with expected types.
+
+    ``required``/``optional`` map field name -> expected python type
+    (``object`` accepts anything, e.g. free-form item responses).
+    Unknown fields are rejected unless ``allow_extra`` — typos like
+    ``"learner"`` for ``"learner_id"`` fail loudly instead of silently
+    doing nothing.
+    """
+
+    required: Dict[str, Type] = field(default_factory=dict)
+    optional: Dict[str, Type] = field(default_factory=dict)
+    allow_extra: bool = False
+
+    def validate(self, body: Dict[str, object]) -> Dict[str, object]:
+        """The validated body; raises ApiError 400 on any violation."""
+        for name, expected in self.required.items():
+            if name not in body:
+                raise ApiError(
+                    400, "bad_request", f"missing required field {name!r}"
+                )
+        if not self.allow_extra:
+            known = set(self.required) | set(self.optional)
+            extra = sorted(set(body) - known)
+            if extra:
+                raise ApiError(
+                    400,
+                    "bad_request",
+                    f"unknown field(s): {', '.join(extra)}",
+                )
+        for name, expected in {**self.required, **self.optional}.items():
+            if name not in body or expected is object:
+                continue
+            value = body[name]
+            if expected is float and isinstance(value, int):
+                continue  # JSON has one number type
+            if not isinstance(value, expected) or (
+                expected is not bool and isinstance(value, bool)
+            ):
+                raise ApiError(
+                    400,
+                    "bad_request",
+                    f"field {name!r} must be {expected.__name__}, "
+                    f"got {type(value).__name__}",
+                )
+        return body
+
+
+# -- response serialization --------------------------------------------------
+
+
+def analysis_to_dict(cohort: CohortAnalysis) -> Dict[str, object]:
+    """A :class:`CohortAnalysis` as a JSON-compatible dict."""
+    questions: List[Dict[str, object]] = []
+    for question in cohort.questions:
+        questions.append(
+            {
+                "number": question.number,
+                "p_high": question.p_high,
+                "p_low": question.p_low,
+                "difficulty": question.difficulty,
+                "discrimination": question.discrimination,
+                "signal": question.signal.value,
+                "rules_fired": list(question.rules.fired_rules),
+                "statuses": [
+                    str(status) for status in question.rules.statuses
+                ],
+                "advice": question.advice.render(),
+                "distraction": (
+                    question.distraction.describe()
+                    if question.distraction is not None
+                    else None
+                ),
+                "option_matrix": {
+                    "options": list(question.matrix.options),
+                    "high": dict(question.matrix.high),
+                    "low": dict(question.matrix.low),
+                    "correct": question.matrix.correct,
+                },
+            }
+        )
+    return {
+        "questions": questions,
+        "high_group": list(cohort.high_group),
+        "low_group": list(cohort.low_group),
+        "scores": dict(cohort.scores),
+    }
+
+
+def scored_to_dict(score: ScoredResponse) -> Dict[str, object]:
+    """A :class:`ScoredResponse` as a JSON-compatible dict."""
+    return {
+        "points": score.points,
+        "max_points": score.max_points,
+        "correct": score.correct,
+        "needs_manual_grading": score.needs_manual_grading,
+        "selected": score.selected,
+    }
+
+
+def graded_to_dict(graded: GradedSitting) -> Dict[str, object]:
+    """A :class:`GradedSitting` as a JSON-compatible dict."""
+    return {
+        "exam_id": graded.exam_id,
+        "learner_id": graded.learner_id,
+        "total_points": graded.total_points,
+        "max_points": graded.max_points,
+        "percent": graded.percent,
+        "duration_seconds": graded.duration_seconds,
+        "answer_times": list(graded.answer_times),
+        "pending_items": graded.pending_items(),
+        "scores": {
+            item_id: scored_to_dict(score)
+            for item_id, score in graded.scores.items()
+        },
+    }
+
+
+def learner_to_dict(learner: Learner) -> Dict[str, object]:
+    """A :class:`Learner` record as a JSON-compatible dict."""
+    return {
+        "learner_id": learner.learner_id,
+        "name": learner.name,
+        "email": learner.email,
+        "course_status": dict(learner.course_status),
+        "course_scores": dict(learner.course_scores),
+    }

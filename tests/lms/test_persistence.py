@@ -113,6 +113,124 @@ class TestSaveLoad:
         assert analysis.questions[0].discrimination == 1.0
 
 
+class TestMonitorRoundTrip:
+    """save_lms/load_lms used to drop the proctoring record entirely."""
+
+    def test_frames_and_totals_survive_restart(self, tmp_path):
+        lms = busy_lms()
+        # force extra captures beyond the poll-driven one
+        lms.monitor.capture("amy", "ex1", 31.0)
+        lms.monitor.capture("amy", "ex1", 62.0)
+        before = lms.monitor
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        restored = load_lms(path)
+        after = restored.monitor
+        assert after.metrics() == before.metrics()
+        previous = before.frames_for("amy", "ex1")
+        current = after.frames_for("amy", "ex1")
+        assert [frame.sequence for frame in current] == [
+            frame.sequence for frame in previous
+        ]
+        # payload integrity: byte-identical frames, checksums included
+        assert [frame.checksum() for frame in current] == [
+            frame.checksum() for frame in previous
+        ]
+        assert [frame.elapsed_seconds for frame in current] == [
+            frame.elapsed_seconds for frame in previous
+        ]
+
+    def test_capture_schedule_survives(self, tmp_path):
+        """The restored monitor does not double-capture immediately."""
+        lms = busy_lms()
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        restored = load_lms(path)
+        # last capture was at elapsed 0.0 during start; a poll inside the
+        # interval must not capture again
+        assert restored.monitor.poll("amy", "ex1", 1.0) is None
+        assert restored.monitor.poll("amy", "ex1", 31.0) is not None
+
+    def test_dropped_counts_and_config_survive(self, tmp_path):
+        from repro.lms.monitor import ExamMonitor
+
+        monitor = ExamMonitor(interval_seconds=5.0, max_frames=2)
+        lms = Lms(clock=ManualClock(), monitor=monitor)
+        exam = (
+            ExamBuilder("e", "E")
+            .add_item(
+                MultipleChoiceItem.build("q1", "A?", ["a", "b"], correct_index=0)
+            )
+            .build()
+        )
+        lms.offer_exam(exam)
+        for elapsed in (0.0, 5.0, 10.0, 15.0):
+            monitor.capture("x", "e", elapsed)
+        assert monitor.dropped_count("x", "e") == 2
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        restored = load_lms(path)
+        assert restored.monitor.interval_seconds == 5.0
+        assert restored.monitor.max_frames == 2
+        assert restored.monitor.dropped_count("x", "e") == 2
+        # sequences continue where they left off (no reused frame ids)
+        frame = restored.monitor.capture("x", "e", 20.0)
+        assert frame.sequence == 4
+
+    def test_old_state_files_without_monitor_section_load(self, tmp_path):
+        lms = busy_lms()
+        path = tmp_path / "lms.json"
+        save_lms(lms, path)
+        payload = json.loads(path.read_text())
+        del payload["monitor"]
+        path.write_text(json.dumps(payload))
+        restored = load_lms(path)
+        assert restored.monitor.metrics()["frames_captured"] == 0
+
+
+class TestAtomicWrite:
+    def test_failed_save_leaves_previous_snapshot_intact(self, tmp_path):
+        path = tmp_path / "lms.json"
+        save_lms(busy_lms(), path)
+        good = path.read_text()
+
+        lms = busy_lms()
+        # sabotage serialization mid-collect: an unserializable monitor
+        lms.monitor.export_state = lambda: {"bad": object()}  # type: ignore
+        with pytest.raises(TypeError):
+            save_lms(lms, path)
+        # the old file is untouched and still loads
+        assert path.read_text() == good
+        assert load_lms(path).offered_exams() == ["ex1"]
+
+    def test_no_temp_file_debris_after_failure(self, tmp_path):
+        path = tmp_path / "lms.json"
+        lms = busy_lms()
+        lms.monitor.export_state = lambda: {"bad": object()}  # type: ignore
+        with pytest.raises(TypeError):
+            save_lms(lms, path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_replace_failure_cleans_up_the_temp_file(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.lms import persistence
+
+        def boom(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(persistence.os, "replace", boom)
+        with pytest.raises(OSError, match="disk on fire"):
+            persistence._write_atomic(tmp_path / "x.json", "{}")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_into_current_directory_path(self, tmp_path, monkeypatch):
+        """A bare filename (no directory part) writes atomically too."""
+        monkeypatch.chdir(tmp_path)
+        save_lms(busy_lms(), "lms.json")
+        assert load_lms("lms.json").offered_exams() == ["ex1"]
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(BankError):

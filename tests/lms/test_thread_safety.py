@@ -1,0 +1,152 @@
+"""Concurrency stress tests for the LMS (the invariant repro.server
+rests on: one Lms shared by many worker threads must not lose answers,
+double-grade, or serve a torn live analysis)."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import SessionStateError
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.server.serialize import analysis_to_dict
+from repro.sim.workloads import classroom_exam
+
+EXAM_ID = "classroom-mid"
+QUESTIONS = 10
+THREADS = 16
+LEARNERS_PER_THREAD = 5
+
+
+def build_lms(learner_ids):
+    lms = Lms()
+    lms.offer_exam(classroom_exam(QUESTIONS))
+    for learner_id in learner_ids:
+        lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+        lms.enroll(learner_id, EXAM_ID)
+    return lms
+
+
+def run_sitting(lms, learner_id, offset):
+    sitting = lms.start_exam(learner_id, EXAM_ID)
+    exam = sitting.session.exam
+    for index, item in enumerate(exam.items):
+        # a deterministic per-learner answer pattern
+        label = item.labels[(offset + index) % len(item.labels)]
+        lms.answer(learner_id, EXAM_ID, item.item_id, label)
+    return lms.submit(learner_id, EXAM_ID)
+
+
+class TestConcurrentSittings:
+    def test_no_lost_answers_no_duplicate_gradings(self):
+        ids = [
+            f"t{thread:02d}-l{index}"
+            for thread in range(THREADS)
+            for index in range(LEARNERS_PER_THREAD)
+        ]
+        lms = build_lms(ids)
+        # seed the warm live analysis BEFORE the storm so every submit
+        # folds into it incrementally under contention
+        with pytest.raises(Exception):
+            lms.live_analysis(EXAM_ID)  # empty cohort: analysis error
+        errors = []
+        barrier = threading.Barrier(THREADS)
+
+        def work(thread_index):
+            try:
+                barrier.wait()
+                for index in range(LEARNERS_PER_THREAD):
+                    learner_id = f"t{thread_index:02d}-l{index}"
+                    run_sitting(lms, learner_id, thread_index + index)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(index,))
+            for index in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+
+        results = lms.results_for(EXAM_ID)
+        # exactly one graded sitting per learner: nothing lost, nothing
+        # double-graded
+        assert len(results) == THREADS * LEARNERS_PER_THREAD
+        assert sorted(r.learner_id for r in results) == sorted(ids)
+        # every sitting kept every answer
+        for graded in results:
+            assert len(graded.scores) == QUESTIONS
+            assert all(
+                score.selected is not None
+                for score in graded.scores.values()
+            )
+
+    def test_live_analysis_consistent_after_the_storm(self):
+        ids = [f"w{index:03d}" for index in range(40)]
+        lms = build_lms(ids)
+        threads = [
+            threading.Thread(
+                target=run_sitting, args=(lms, learner_id, offset)
+            )
+            for offset, learner_id in enumerate(ids)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # the incrementally-maintained live analysis equals a cold
+        # re-analysis over the full cohort
+        live = lms.live_analysis(EXAM_ID)
+        cold = lms.analyze_exam(EXAM_ID)
+        assert analysis_to_dict(live) == analysis_to_dict(cold)
+
+    def test_double_start_race_single_winner(self):
+        """Many threads race to start the SAME sitting: exactly one wins."""
+        lms = build_lms(["amy"])
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            try:
+                lms.start_exam("amy", EXAM_ID)
+                outcomes.append("started")
+            except SessionStateError:
+                outcomes.append("rejected")
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count("started") == 1
+        assert outcomes.count("rejected") == 7
+
+    def test_concurrent_submit_race_single_winner(self):
+        """Two threads race to submit one sitting: one grading, one 409."""
+        lms = build_lms(["bob"])
+        sitting = lms.start_exam("bob", EXAM_ID)
+        exam = sitting.session.exam
+        for item in exam.items:
+            lms.answer("bob", EXAM_ID, item.item_id, item.labels[0])
+        outcomes = []
+        barrier = threading.Barrier(6)
+
+        def race():
+            barrier.wait()
+            try:
+                lms.submit("bob", EXAM_ID)
+                outcomes.append("graded")
+            except SessionStateError:
+                outcomes.append("rejected")
+
+        threads = [threading.Thread(target=race) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count("graded") == 1
+        assert len(lms.results_for(EXAM_ID)) == 1

@@ -1,0 +1,171 @@
+"""The acceptance end-to-end: a full seeded cohort over the wire.
+
+``run_loadgen`` drives >= 200 simulated learners x 20 items through the
+HTTP API against an in-process :class:`ExamServer`, then the test
+proves the server-side ``live_analysis`` (as served by
+``GET /exams/{id}/analysis``) equals an in-process ``analyze_cohort``
+over the exact same responses.
+
+The one subtlety: the server's cohort order is *submission* order,
+which is nondeterministic under concurrent workers — and split-boundary
+ties break by cohort order.  So the client-side responses are reordered
+to the server's ``GET /exams/{id}/results`` order before the local
+analysis runs; both sides then see the identical cohort.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.question_analysis import analyze_cohort
+from repro.server.app import ExamServer
+from repro.server.loadgen import run_loadgen
+from repro.server.serialize import analysis_to_dict
+from repro.sim.workloads import classroom_exam
+
+LEARNERS = 200
+QUESTIONS = 20
+
+
+def get_json(server, path):
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=30
+    )
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        assert response.status == 200, path
+        return json.loads(response.read())
+    finally:
+        connection.close()
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One shared cohort run: server, loadgen report, server analysis."""
+    exam = classroom_exam(QUESTIONS)
+    with ExamServer() as server:
+        report = run_loadgen(
+            server.url,
+            learners=LEARNERS,
+            questions=QUESTIONS,
+            seed=7,
+            workers=8,
+        )
+        results = get_json(server, f"/exams/{exam.exam_id}/results")
+        analysis = get_json(server, f"/exams/{exam.exam_id}/analysis")
+        healthz = get_json(server, "/healthz")
+        metrics = get_json(server, "/metrics")
+    return {
+        "exam": exam,
+        "report": report,
+        "results": results,
+        "analysis": analysis,
+        "healthz": healthz,
+        "metrics": metrics,
+    }
+
+
+class TestCohortOverTheWire:
+    def test_every_learner_graded_exactly_once(self, run):
+        results = run["results"]["results"]
+        assert len(results) == LEARNERS
+        learner_ids = [graded["learner_id"] for graded in results]
+        assert len(set(learner_ids)) == LEARNERS
+
+    def test_no_errors_and_expected_request_count(self, run):
+        report = run["report"]
+        assert report.errors == 0
+        # setup (1 offer + 2 per learner) + start + submit per learner +
+        # one answer per non-omitted selection (omit_rate=0 -> all)
+        expected = 1 + LEARNERS * 2 + LEARNERS * 2 + LEARNERS * QUESTIONS
+        assert report.requests == expected + report.retries_503
+        assert report.learners == LEARNERS
+        assert report.questions == QUESTIONS
+
+    def test_every_answer_arrived_intact(self, run):
+        """The server's stored selections == the client's script."""
+        by_learner = {
+            graded["learner_id"]: graded for graded in run["results"]["results"]
+        }
+        exam = run["exam"]
+        item_ids = [item.item_id for item in exam.analyzable_items()]
+        for responses in run["report"].responses:
+            graded = by_learner[responses.examinee_id]
+            for item_id, selection in zip(item_ids, responses.selections):
+                assert graded["scores"][item_id]["selected"] == selection
+
+    def test_server_analysis_equals_local_analyze_cohort(self, run):
+        """THE differential: wire-served live analysis == local analysis."""
+        exam = run["exam"]
+        # reorder client responses into the server's cohort order
+        server_order = [
+            graded["learner_id"] for graded in run["results"]["results"]
+        ]
+        by_id = {r.examinee_id: r for r in run["report"].responses}
+        reordered = [by_id[learner_id] for learner_id in server_order]
+        local = analyze_cohort(reordered, exam.question_specs())
+        assert run["analysis"] == analysis_to_dict(local)
+
+    def test_health_and_metrics_after_the_storm(self, run):
+        assert run["healthz"]["status"] == "ok"
+        counters = run["metrics"]["counters"]
+        assert counters["server.requests{route=sittings.submit}"] == LEARNERS
+        assert (
+            counters["server.requests{route=sittings.answer}"]
+            == LEARNERS * QUESTIONS
+        )
+        # nothing was dropped on the floor mid-run
+        assert run["metrics"]["in_flight"] <= 1  # just the /metrics call
+
+    def test_loadgen_is_seeded_and_reproducible(self, run):
+        """A second run with the same seed posts identical selections."""
+        exam = classroom_exam(QUESTIONS)
+        with ExamServer() as server:
+            again = run_loadgen(
+                server.url,
+                learners=LEARNERS,
+                questions=QUESTIONS,
+                seed=7,
+                workers=4,  # different scheduling, same selections
+            )
+        first = {
+            r.examinee_id: list(r.selections)
+            for r in run["report"].responses
+        }
+        second = {
+            r.examinee_id: list(r.selections) for r in again.responses
+        }
+        assert first == second
+
+
+class TestOmissions:
+    def test_omitted_items_are_skipped_not_posted(self):
+        with ExamServer() as server:
+            report = run_loadgen(
+                server.url,
+                learners=30,
+                questions=8,
+                seed=3,
+                workers=4,
+                omit_rate=0.3,
+            )
+            results = get_json(server, "/exams/classroom-mid/results")
+        omitted = sum(
+            1
+            for responses in report.responses
+            for selection in responses.selections
+            if selection is None
+        )
+        assert omitted > 0  # the scenario actually exercised omissions
+        answered = report.routes["answer"].count
+        assert answered == 30 * 8 - omitted
+        # and the server shows those items unanswered
+        unanswered_server = sum(
+            1
+            for graded in results["results"]
+            for score in graded["scores"].values()
+            if score["selected"] is None
+        )
+        assert unanswered_server == omitted

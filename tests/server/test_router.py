@@ -1,0 +1,66 @@
+"""Unit tests for the path-template router."""
+
+import pytest
+
+from repro.server.errors import ApiError
+from repro.server.router import Router
+
+
+def handler(ctx, params, body, query):
+    return params
+
+
+@pytest.fixture
+def router():
+    r = Router()
+    r.add("GET", "/healthz", handler, "health")
+    r.add("GET", "/exams", handler, "exams.list")
+    r.add("POST", "/exams", handler, "exams.offer")
+    r.add("GET", "/exams/{exam_id}", handler, "exams.get")
+    r.add(
+        "POST",
+        "/exams/{exam_id}/sittings/{learner_id}/answer",
+        handler,
+        "answer",
+    )
+    return r
+
+
+class TestResolve:
+    def test_literal_route(self, router):
+        match = router.resolve("GET", "/healthz")
+        assert match.route.name == "health"
+        assert match.params == {}
+
+    def test_params_extracted(self, router):
+        match = router.resolve("POST", "/exams/mid-1/sittings/amy/answer")
+        assert match.params == {"exam_id": "mid-1", "learner_id": "amy"}
+
+    def test_trailing_slash_tolerated(self, router):
+        assert router.resolve("GET", "/exams/").route.name == "exams.list"
+
+    def test_method_disambiguates(self, router):
+        assert router.resolve("GET", "/exams").route.name == "exams.list"
+        assert router.resolve("POST", "/exams").route.name == "exams.offer"
+
+    def test_unknown_path_404(self, router):
+        with pytest.raises(ApiError) as excinfo:
+            router.resolve("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_depth_404(self, router):
+        with pytest.raises(ApiError) as excinfo:
+            router.resolve("GET", "/exams/mid-1/extra")
+        assert excinfo.value.status == 404
+
+    def test_known_path_wrong_method_405(self, router):
+        with pytest.raises(ApiError) as excinfo:
+            router.resolve("DELETE", "/exams")
+        assert excinfo.value.status == 405
+        assert "GET" in excinfo.value.message
+        assert "POST" in excinfo.value.message
+
+    def test_name_defaults_to_handler_name(self):
+        r = Router()
+        route = r.add("GET", "/x", handler)
+        assert route.name == "handler"

@@ -169,3 +169,89 @@ class TestPaper:
         out = capsys.readouterr().out
         assert out.startswith("Answer key")
         assert "[q01]" in out
+
+
+class TestServe:
+    def test_serve_boots_restores_state_and_answers_http(self, tmp_path):
+        import http.client
+        import json
+        import subprocess
+        import sys
+
+        from repro.lms.learners import Learner
+        from repro.lms.lms import Lms
+        from repro.lms.persistence import save_lms
+        from repro.sim.workloads import classroom_exam
+
+        # a pre-existing state file the server must restore at boot
+        lms = Lms()
+        lms.offer_exam(classroom_exam(3))
+        lms.register_learner(Learner(learner_id="amy", name="Amy"))
+        state = tmp_path / "lms.json"
+        save_lms(lms, state)
+
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--state", str(state),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = process.stdout.readline().strip()
+            assert line.startswith("serving on http://"), line
+            host, port = line.rsplit("/", 1)[1].split(":")
+            connection = http.client.HTTPConnection(
+                host, int(port), timeout=10
+            )
+            try:
+                connection.request("GET", "/exams")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read()) == {
+                    "exams": ["classroom-mid"]
+                }
+                connection.request("GET", "/learners/amy")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["name"] == "Amy"
+            finally:
+                connection.close()
+        finally:
+            process.terminate()
+            assert process.wait(timeout=10) is not None
+
+
+class TestLoadgen:
+    def test_loadgen_against_in_process_server(self, tmp_path, capsys):
+        import json
+
+        from repro.server.app import ExamServer
+
+        out = tmp_path / "loadgen.json"
+        with ExamServer() as server:
+            code = main(
+                [
+                    "loadgen",
+                    "--url", server.url,
+                    "--students", "12",
+                    "--questions", "4",
+                    "--seed", "5",
+                    "--workers", "3",
+                    "--out", str(out),
+                ]
+            )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "12 learners x 4 questions" in printed
+        assert "answer" in printed
+        summary = json.loads(out.read_text())
+        assert summary["learners"] == 12
+        assert summary["errors"] == 0
+        assert summary["routes"]["answer"]["count"] == 12 * 4
+        assert summary["throughput_rps"] > 0
+
+    def test_loadgen_url_required(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen"])
