@@ -1,0 +1,190 @@
+"""Durability cost — what the write-ahead journal charges per mutation.
+
+Three measurements, written to ``BENCH_store.json``:
+
+* **append throughput** per fsync policy: ``never`` and ``interval``
+  should sit within the same order of magnitude (both are buffered
+  writes + an OS-level flush); ``always`` pays a real ``fsync()`` per
+  record and is orders of magnitude slower — that is the price of
+  power-loss durability, and the reason ``interval`` is the default;
+* **replay throughput**: records/second through ``recover()``, which
+  re-executes real LMS mutators (sessions, SCORM API, monitor) rather
+  than patching dicts — replay is expected to cost roughly what the
+  live mutation cost;
+* **end-to-end overhead**: the full loadgen cohort against an
+  ``ExamServer`` with and without ``--wal-dir``.  The acceptance target
+  from the durability milestone: **interval-fsync journaling keeps
+  loadgen throughput within 15% of the no-WAL server**.  The CI
+  assertion is deliberately looser (shared runners jitter); the precise
+  ratio lands in the artifact for trend tracking.
+"""
+
+import json
+import os
+import time
+
+from repro.server.app import ExamServer
+from repro.server.loadgen import run_loadgen
+from repro.store import Journal, recover
+from repro.store.events import answer_event
+
+from conftest import show
+
+ARTIFACT = os.path.join(os.path.dirname(__file__), "..", "BENCH_store.json")
+
+#: the acceptance bar (docs/durability.md) and the looser CI tripwire
+TARGET_OVERHEAD_RATIO = 0.85
+MIN_CI_RATIO = 0.60
+
+LOADGEN_LEARNERS = 100
+LOADGEN_QUESTIONS = 10
+LOADGEN_WORKERS = 4
+
+
+def sample_event(index):
+    return answer_event(
+        learner_id=f"s{index % 50}",
+        exam_id="bench",
+        item_id=f"q{index % 20}",
+        response="A",
+        ts=float(index),
+    )
+
+
+def append_run(directory, policy, count):
+    with Journal.open(directory, fsync=policy) as journal:
+        start = time.perf_counter()
+        for index in range(count):
+            journal.append("answer", sample_event(index))
+        elapsed = time.perf_counter() - start
+    return count / elapsed, elapsed
+
+
+def journaled_cohort(wal_dir, learners=40, questions=6):
+    """Drive a full cohort through a journaled LMS; return record count."""
+    from repro.delivery.clock import ManualClock
+    from repro.lms.learners import Learner
+    from repro.lms.lms import Lms
+    from repro.sim.workloads import classroom_exam
+
+    journal = Journal.open(wal_dir, fsync="never")
+    lms = Lms(clock=ManualClock(10.0), journal=journal)
+    exam = classroom_exam(questions)
+    lms.offer_exam(exam)
+    for index in range(learners):
+        learner_id = f"s{index:03d}"
+        lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+        lms.enroll(learner_id, exam.exam_id)
+        lms.start_exam(learner_id, exam.exam_id)
+        for question in range(1, questions + 1):
+            lms.clock.advance(1.0)
+            lms.answer(
+                learner_id, exam.exam_id, f"q{question:02d}",
+                "ABCDE"[(index + question) % 5],
+            )
+        lms.submit(learner_id, exam.exam_id)
+    count = journal.last_lsn
+    journal.close()
+    return count
+
+
+def loadgen_run(tmp_path, wal_dir=None):
+    kwargs = {"max_in_flight": 64}
+    if wal_dir is not None:
+        kwargs.update(wal_dir=wal_dir, fsync="interval")
+    with ExamServer(**kwargs) as server:
+        report = run_loadgen(
+            server.url,
+            learners=LOADGEN_LEARNERS,
+            questions=LOADGEN_QUESTIONS,
+            seed=7,
+            workers=LOADGEN_WORKERS,
+        )
+    assert report.errors == 0
+    return report
+
+
+def test_bench_store(benchmark, tmp_path):
+    # -- append throughput per fsync policy -------------------------------
+    append = {}
+    for policy, count in (("never", 5000), ("interval", 5000), ("always", 300)):
+        rps, elapsed = append_run(tmp_path / f"wal-{policy}", policy, count)
+        append[policy] = {
+            "records": count,
+            "seconds": round(elapsed, 4),
+            "records_per_second": round(rps, 1),
+        }
+
+    # pytest-benchmark timing of the hot path: one buffered append
+    journal = Journal.open(tmp_path / "wal-hot", fsync="interval")
+    counter = iter(range(10_000_000))
+
+    def one_append():
+        journal.append("answer", sample_event(next(counter)))
+
+    benchmark(one_append)
+    journal.close()
+
+    # -- replay throughput ------------------------------------------------
+    replay_dir = tmp_path / "wal-replay"
+    record_count = journaled_cohort(replay_dir)
+    start = time.perf_counter()
+    report = recover(replay_dir)
+    replay_seconds = time.perf_counter() - start
+    assert report.records_replayed == record_count
+    replay = {
+        "records": record_count,
+        "seconds": round(replay_seconds, 4),
+        "records_per_second": round(record_count / replay_seconds, 1),
+    }
+
+    # -- end-to-end loadgen overhead --------------------------------------
+    bare = loadgen_run(tmp_path)
+    journaled = loadgen_run(tmp_path, wal_dir=tmp_path / "wal-serve")
+    ratio = journaled.throughput_rps / bare.throughput_rps
+    e2e = {
+        "workload": (
+            f"{LOADGEN_LEARNERS} x {LOADGEN_QUESTIONS} sittings over HTTP, "
+            f"{LOADGEN_WORKERS} workers"
+        ),
+        "no_wal_rps": round(bare.throughput_rps, 1),
+        "wal_interval_rps": round(journaled.throughput_rps, 1),
+        "throughput_ratio": round(ratio, 4),
+        "target_ratio": TARGET_OVERHEAD_RATIO,
+    }
+
+    payload = {"append": append, "replay": replay, "loadgen": e2e}
+    with open(ARTIFACT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    show(
+        "Durable store",
+        "\n".join(
+            [
+                *(
+                    f"append[{policy}]: "
+                    f"{stats['records_per_second']:>10.1f} rec/s"
+                    for policy, stats in append.items()
+                ),
+                f"replay:          {replay['records_per_second']:>10.1f} rec/s",
+                f"loadgen no-WAL:  {e2e['no_wal_rps']:>10.1f} req/s",
+                f"loadgen WAL:     {e2e['wal_interval_rps']:>10.1f} req/s "
+                f"(ratio {ratio:.3f}, target >= {TARGET_OVERHEAD_RATIO})",
+            ]
+        ),
+    )
+
+    # shape assertions: buffered policies are fast, always pays fsync
+    assert append["never"]["records_per_second"] > 10_000
+    assert append["interval"]["records_per_second"] > 10_000
+    assert (
+        append["always"]["records_per_second"]
+        < append["interval"]["records_per_second"]
+    )
+    assert replay["records_per_second"] > 100
+    # the loose CI tripwire; the 15% target is tracked via the artifact
+    assert ratio >= MIN_CI_RATIO, (
+        f"WAL loadgen at {ratio:.2f}x of no-WAL throughput, "
+        f"CI floor {MIN_CI_RATIO}"
+    )

@@ -19,6 +19,9 @@ The library's layers:
 * :mod:`repro.server` — the HTTP exam-delivery and analysis service
   over the LMS, with its load-generation client
   (``mine-assess serve`` / ``mine-assess loadgen``);
+* :mod:`repro.store` — the durable event journal under the LMS:
+  write-ahead logging, crash recovery, and checkpoint compaction
+  (``mine-assess serve --wal-dir`` / ``mine-assess recover``);
 * :mod:`repro.sim`, :mod:`repro.adaptive`, :mod:`repro.baselines` —
   simulated cohorts (scalar, vectorized, and sharded engines),
   adaptive testing, and classical baselines;
@@ -37,7 +40,7 @@ Quickstart::
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: facade name -> (module, attribute); ``None`` attribute re-exports the
 #: module itself.  Everything here is importable as ``repro.<name>``.
@@ -75,6 +78,10 @@ _EXPORTS = {
     "ExamServer": ("repro.server.app", "ExamServer"),
     "run_loadgen": ("repro.server.loadgen", "run_loadgen"),
     "LoadgenReport": ("repro.server.loadgen", "LoadgenReport"),
+    # durability (the write-ahead journal)
+    "Journal": ("repro.store.journal", "Journal"),
+    "recover": ("repro.store.recovery", "recover"),
+    "Checkpointer": ("repro.store.checkpoint", "Checkpointer"),
     # SCORM packaging
     "package_exam": ("repro.scorm.package", "package_exam"),
     "build_package": ("repro.scorm.package", "package_exam"),
@@ -131,6 +138,9 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
     from repro.lms.persistence import load_lms, save_lms  # noqa: F401
     from repro.server.app import ExamServer  # noqa: F401
     from repro.server.loadgen import LoadgenReport, run_loadgen  # noqa: F401
+    from repro.store.checkpoint import Checkpointer  # noqa: F401
+    from repro.store.journal import Journal  # noqa: F401
+    from repro.store.recovery import recover  # noqa: F401
     from repro.scorm.package import ContentPackage  # noqa: F401
     from repro.scorm.package import extract_exam  # noqa: F401
     from repro.scorm.package import package_exam  # noqa: F401

@@ -8,6 +8,8 @@ Subcommands mirror what the paper's GUI offers, driven from a terminal::
     mine-assess package --out exam.zip    # §5.5 SCORM package output
     mine-assess inspect exam.zip          # read a package's manifest
     mine-assess serve --port 8321         # HTTP exam-delivery service
+    mine-assess serve --wal-dir wal/      # ... with a durable event journal
+    mine-assess recover wal/              # rebuild state from the journal
     mine-assess loadgen --url http://127.0.0.1:8321   # drive a cohort at it
 """
 
@@ -164,6 +166,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-in-flight", type=int, default=64,
         help="requests in service before 503 backpressure kicks in",
+    )
+    serve.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help=(
+            "durable event journal directory: every mutation is "
+            "write-ahead logged before its response is acknowledged, and "
+            "startup recovers the pre-crash state from the newest "
+            "checkpoint plus the log (mutually exclusive with --state)"
+        ),
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "interval", "never"),
+        default="interval",
+        help=(
+            "WAL fsync policy: always = flush disk per record, interval "
+            "= coalesced fsyncs (default; still SIGKILL-safe), never = "
+            "OS page cache only"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=None,
+        metavar="SECONDS",
+        help=(
+            "checkpoint the WAL every SECONDS: snapshot the LMS, retire "
+            "fully-covered segments (requires --wal-dir)"
+        ),
+    )
+
+    recover_cmd = subparsers.add_parser(
+        "recover", parents=[profile],
+        help="rebuild LMS state from a WAL directory and print a report",
+    )
+    recover_cmd.add_argument(
+        "wal_dir", metavar="DIR",
+        help="journal directory written by serve --wal-dir",
+    )
+    recover_cmd.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the recovered state as a snapshot file to PATH",
     )
 
     loadgen = subparsers.add_parser(
@@ -324,7 +365,18 @@ def _cmd_serve(args) -> int:
     from repro.lms.persistence import load_lms
     from repro.server.app import ExamServer
 
-    if args.state is not None and os.path.exists(args.state):
+    if args.state is not None and args.wal_dir is not None:
+        print(
+            "--state and --wal-dir are mutually exclusive: pick periodic "
+            "snapshots or the write-ahead journal",
+            file=sys.stderr,
+        )
+        return 2
+    if args.wal_dir is not None:
+        # lms=None → ExamServer recovers from the newest checkpoint +
+        # WAL suffix before serving
+        lms = None
+    elif args.state is not None and os.path.exists(args.state):
         lms = load_lms(args.state)
         print(f"restored LMS state from {args.state}", file=sys.stderr)
     else:
@@ -336,13 +388,49 @@ def _cmd_serve(args) -> int:
         max_in_flight=args.max_in_flight,
         snapshot_path=args.state,
         snapshot_interval_seconds=args.snapshot_interval,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+        checkpoint_interval_seconds=args.checkpoint_interval,
     )
+    if server.recovery_report is not None:
+        print(server.recovery_report.summary(), file=sys.stderr)
     print(f"serving on {server.url}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down (draining in-flight requests)", file=sys.stderr)
         server.shutdown()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.store import recover
+
+    try:
+        report = recover(args.wal_dir)
+    except Exception as exc:  # surface store errors to the operator
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    lms = report.lms
+    for exam_id in lms.offered_exams():
+        open_sittings = sum(
+            1
+            for (_, eid) in lms._sittings
+            if eid == exam_id
+        )
+        print(
+            f"  exam {exam_id}: {len(lms.enrolled(exam_id))} enrolled, "
+            f"{len(lms.results_for(exam_id))} graded, "
+            f"{open_sittings} sitting record(s)"
+        )
+    print(f"  learners: {len(lms.learners)}")
+    print(f"  tracking events: {len(lms.tracking)}")
+    if args.out:
+        from repro.lms.persistence import save_lms
+
+        save_lms(lms, args.out, wal_lsn=report.last_lsn)
+        print(f"wrote recovered state to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -378,6 +466,7 @@ _COMMANDS = {
     "package": _cmd_package,
     "inspect": _cmd_inspect,
     "serve": _cmd_serve,
+    "recover": _cmd_recover,
     "loadgen": _cmd_loadgen,
 }
 

@@ -30,6 +30,8 @@ __all__ = [
     "TimeLimitExceeded",
     "MonitorError",
     "EstimationError",
+    "StoreError",
+    "JournalCorruptError",
 ]
 
 
@@ -123,3 +125,13 @@ class MonitorError(AssessmentError):
 class EstimationError(AssessmentError):
     """IRT parameter or ability estimation failed to converge or received
     degenerate input (all-correct / all-wrong response vectors, ...)."""
+
+
+class StoreError(AssessmentError):
+    """The durable event store (WAL / checkpoint engine) failed."""
+
+
+class JournalCorruptError(StoreError):
+    """A WAL segment is damaged somewhere other than its torn tail —
+    history in the middle of the log is unreadable, which recovery must
+    not silently skip."""

@@ -13,7 +13,7 @@ from typing import Protocol
 
 from repro.core.errors import DeliveryError
 
-__all__ = ["Clock", "WallClock", "ManualClock"]
+__all__ = ["Clock", "WallClock", "ManualClock", "OffsetClock"]
 
 
 class Clock(Protocol):
@@ -30,6 +30,27 @@ class WallClock:
     def now(self) -> float:
         """Monotonic seconds from an arbitrary origin."""
         return time.monotonic()
+
+
+class OffsetClock:
+    """A wall clock re-anchored to continue a prior timeline.
+
+    ``time.monotonic`` restarts from an arbitrary origin every boot, so
+    timestamps persisted by one process (session start times, tracking
+    events) are meaningless against a fresh :class:`WallClock`.  An
+    ``OffsetClock(origin)`` starts ticking at ``origin`` — the persisted
+    "now" of the process that wrote the snapshot — keeping every stored
+    timestamp comparable and elapsed-time accounting monotonic across
+    restarts (used by :mod:`repro.lms.persistence` and
+    :mod:`repro.store.recovery`).
+    """
+
+    def __init__(self, origin: float = 0.0) -> None:
+        self._base = float(origin) - time.monotonic()
+
+    def now(self) -> float:
+        """Monotonic seconds continuing the anchored timeline."""
+        return self._base + time.monotonic()
 
 
 class ManualClock:

@@ -15,6 +15,14 @@ sitting:
   :class:`TimeLimitExceeded`, and ``submit`` still succeeds (the sitting
   is closed with whatever was answered);
 * ``submit`` freezes the response set for scoring.
+
+Every lifecycle method accepts an optional explicit ``now`` timestamp.
+When given, it replaces *all* clock reads the call would make, so one
+sampled timestamp drives the whole transition — the property the LMS
+write-ahead journal relies on to make a replayed session bit-identical
+to the live one (:mod:`repro.store`).  ``export_state`` /
+``from_state`` round-trip a session through JSON for the same reason:
+a snapshot must be able to persist an in-flight sitting.
 """
 
 from __future__ import annotations
@@ -82,7 +90,10 @@ class ExamSession:
         """The session's lifecycle state."""
         return self._state
 
-    def elapsed_seconds(self) -> float:
+    def _now(self, now: Optional[float]) -> float:
+        return self._clock.now() if now is None else now
+
+    def elapsed_seconds(self, now: Optional[float] = None) -> float:
         """Time the learner has actively spent in the sitting."""
         if self._state is SessionState.CREATED:
             return 0.0
@@ -91,42 +102,45 @@ class ExamSession:
         if self._state is SessionState.SUBMITTED:
             return self._submitted_elapsed or 0.0
         return self._elapsed_before_suspend + (
-            self._clock.now() - (self._resumed_at or 0.0)
+            self._now(now) - (self._resumed_at or 0.0)
         )
 
-    def remaining_seconds(self) -> Optional[float]:
+    def remaining_seconds(self, now: Optional[float] = None) -> Optional[float]:
         """Seconds left before the Test Time limit, or None when unlimited."""
         limit = self.exam.time_limit_seconds
         if limit is None:
             return None
-        return max(0.0, limit - self.elapsed_seconds())
+        return max(0.0, limit - self.elapsed_seconds(now))
 
-    def time_expired(self) -> bool:
+    def time_expired(self, now: Optional[float] = None) -> bool:
         """True when the Test Time limit has run out."""
-        remaining = self.remaining_seconds()
+        remaining = self.remaining_seconds(now)
         return remaining is not None and remaining <= 0.0
 
     # -- lifecycle --------------------------------------------------------------
 
-    def start(self) -> List[str]:
+    def start(self, now: Optional[float] = None) -> List[str]:
         """Begin the sitting; returns item ids in presentation order."""
         if self._state is not SessionState.CREATED:
             raise SessionStateError(
                 f"cannot start a session in state {self._state.value}"
             )
         self._state = SessionState.IN_PROGRESS
-        self._started_at = self._clock.now()
+        self._started_at = self._now(now)
         self._resumed_at = self._started_at
         order = presentation_order(self.exam, self.learner_id)
         return [self.exam.items[index].item_id for index in order]
 
-    def answer(self, item_id: str, response: object) -> AnswerEvent:
+    def answer(
+        self, item_id: str, response: object, now: Optional[float] = None
+    ) -> AnswerEvent:
         """Record (or overwrite) the learner's answer to one item."""
         if self._state is not SessionState.IN_PROGRESS:
             raise SessionStateError(
                 f"cannot answer in state {self._state.value}"
             )
-        if self.time_expired():
+        at = self._now(now)
+        if self.time_expired(at):
             raise TimeLimitExceeded(
                 f"test time of {self.exam.time_limit_seconds}s has expired"
             )
@@ -135,23 +149,23 @@ class ExamSession:
         event = AnswerEvent(
             item_id=item_id,
             response=response,
-            elapsed_seconds=self.elapsed_seconds(),
+            elapsed_seconds=self.elapsed_seconds(at),
         )
         self._answers[item_id] = event
         self._events.append(event)
         return event
 
-    def suspend(self) -> None:
+    def suspend(self, now: Optional[float] = None) -> None:
         """Pause the sitting (always allowed; *resuming* may not be)."""
         if self._state is not SessionState.IN_PROGRESS:
             raise SessionStateError(
                 f"cannot suspend a session in state {self._state.value}"
             )
-        self._elapsed_before_suspend = self.elapsed_seconds()
+        self._elapsed_before_suspend = self.elapsed_seconds(now)
         self._resumed_at = None
         self._state = SessionState.SUSPENDED
 
-    def resume(self) -> None:
+    def resume(self, now: Optional[float] = None) -> None:
         """Continue a suspended sitting — only if the exam is resumable."""
         if self._state is not SessionState.SUSPENDED:
             raise SessionStateError(
@@ -163,15 +177,15 @@ class ExamSession:
                 f"is paused for good"
             )
         self._state = SessionState.IN_PROGRESS
-        self._resumed_at = self._clock.now()
+        self._resumed_at = self._now(now)
 
-    def submit(self) -> None:
+    def submit(self, now: Optional[float] = None) -> None:
         """Close the sitting; answers become immutable."""
         if self._state not in (SessionState.IN_PROGRESS, SessionState.SUSPENDED):
             raise SessionStateError(
                 f"cannot submit a session in state {self._state.value}"
             )
-        self._submitted_elapsed = self.elapsed_seconds()
+        self._submitted_elapsed = self.elapsed_seconds(now)
         self._state = SessionState.SUBMITTED
 
     # -- results ----------------------------------------------------------------
@@ -203,3 +217,69 @@ class ExamSession:
         if self._state is not SessionState.SUBMITTED:
             raise SessionStateError("session not yet submitted")
         return self._submitted_elapsed or 0.0
+
+    # -- persistence -------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """The session's full durable state, JSON-shaped.
+
+        Timestamps are raw clock values (the LMS clock's timeline);
+        restoring into the *same* logical timeline — which
+        :mod:`repro.lms.persistence` guarantees by persisting and
+        re-anchoring the clock — keeps elapsed-time accounting exact.
+        Responses must be JSON-serializable (they are wire payloads in
+        every served deployment).
+        """
+        return {
+            "learner_id": self.learner_id,
+            "state": self._state.value,
+            "started_at": self._started_at,
+            "elapsed_before_suspend": self._elapsed_before_suspend,
+            "resumed_at": self._resumed_at,
+            "submitted_elapsed": self._submitted_elapsed,
+            "events": [
+                {
+                    "item_id": event.item_id,
+                    "response": event.response,
+                    "elapsed_seconds": event.elapsed_seconds,
+                }
+                for event in self._events
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        exam: Exam,
+        state: Dict[str, object],
+        clock: Optional[Clock] = None,
+    ) -> "ExamSession":
+        """Rebuild a session from :meth:`export_state` output."""
+        session = cls(exam, str(state["learner_id"]), clock=clock)
+        session._state = SessionState(state["state"])
+        started_at = state.get("started_at")
+        session._started_at = (
+            float(started_at) if started_at is not None else None
+        )
+        session._elapsed_before_suspend = float(
+            state.get("elapsed_before_suspend", 0.0)
+        )
+        resumed_at = state.get("resumed_at")
+        session._resumed_at = (
+            float(resumed_at) if resumed_at is not None else None
+        )
+        submitted = state.get("submitted_elapsed")
+        session._submitted_elapsed = (
+            float(submitted) if submitted is not None else None
+        )
+        for record in state.get("events", []):
+            event = AnswerEvent(
+                item_id=str(record["item_id"]),
+                response=record.get("response"),
+                elapsed_seconds=float(record["elapsed_seconds"]),
+            )
+            session._events.append(event)
+            # plain assignment, like live answer(): the latest commit
+            # per item wins but first-answer dict order is kept
+            session._answers[event.item_id] = event
+        return session

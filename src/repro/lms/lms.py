@@ -7,6 +7,16 @@ driven through :class:`LmsSitting` exercises the same call sequence a
 browser SCO would: launch → ``LMSInitialize`` → answers recorded both in
 the session and as ``cmi.interactions.n.*`` → ``LMSCommit`` →
 ``LMSFinish``, with monitor captures along the way.
+
+**Durability** (:mod:`repro.store`): when a :class:`~repro.store.
+journal.Journal` is attached (``Lms(journal=...)`` or
+:meth:`Lms.attach_journal`), every public mutator appends one event to
+the write-ahead log from inside the LMS lock, after the mutation
+succeeded — so the log's LSN order *is* the serialization of what
+happened, and :func:`repro.store.recover` can rebuild this exact state
+by replaying it.  To make replay bit-identical, each mutator samples
+the clock **once** and threads that timestamp through every clock-
+dependent effect (session timing, tracking, monitor schedule).
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from repro.lms.monitor import ExamMonitor
 from repro.lms.tracking import EventKind, TrackingService
 from repro.scorm.api import ApiAdapter
 from repro.scorm.rte import RunTimeEnvironment
+from repro.store import events as store_events
 
 __all__ = ["Lms", "LmsSitting"]
 
@@ -78,12 +89,17 @@ class Lms:
         self,
         clock: Optional[Clock] = None,
         monitor: Optional[ExamMonitor] = None,
+        journal=None,
     ) -> None:
         self.clock = clock if clock is not None else WallClock()
         self.learners = LearnerRegistry()
         self.tracking = TrackingService()
         self.monitor = monitor if monitor is not None else ExamMonitor()
         self.rte = RunTimeEnvironment()
+        #: optional :class:`repro.store.journal.Journal`; when set, every
+        #: public mutator appends one event under :attr:`lock` (see
+        #: :meth:`attach_journal`)
+        self.journal = journal
         #: coarse re-entrant lock guarding ALL mutable LMS state.  Every
         #: public method takes it, so the LMS is safe to share across the
         #: worker threads of :mod:`repro.server` (or any embedder); hold
@@ -95,6 +111,26 @@ class Lms:
         self._sittings: Dict[Tuple[str, str], LmsSitting] = {}
         self._results: Dict[str, List[GradedSitting]] = {}
         self._live: Dict[str, LiveCohortAnalysis] = {}  # warm analyses
+
+    # -- durability ---------------------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Start journaling every mutation to ``journal``.
+
+        Recovery replays a WAL into a journal-less LMS first, then
+        attaches — otherwise every replayed event would be re-logged.
+        """
+        with self.lock:
+            self.journal = journal
+
+    def _emit(self, type_: str, data: Dict[str, object]) -> None:
+        """Append one event to the attached journal (no-op without one).
+
+        Called under :attr:`lock`, after the mutation succeeded, so LSN
+        order is the authoritative serialization of LMS history.
+        """
+        if self.journal is not None:
+            self.journal.append(type_, data)
 
     # -- catalog & enrollment ---------------------------------------------------
 
@@ -108,6 +144,12 @@ class Lms:
             exam.validate()
             self._exams[exam.exam_id] = exam
             self._enrollment[exam.exam_id] = set()
+            if self.journal is not None:
+                from repro.bank.exambank import exam_to_record
+
+                self._emit(
+                    "offer", store_events.offer_event(exam_to_record(exam))
+                )
 
     def exam(self, exam_id: str) -> Exam:
         """The offered exam with this id; NotFoundError otherwise."""
@@ -126,15 +168,26 @@ class Lms:
         """Add a learner to the registry."""
         with self.lock:
             self.learners.register(learner)
+            self._emit(
+                "register",
+                store_events.register_event(
+                    learner.learner_id, learner.name, learner.email
+                ),
+            )
 
     def enroll(self, learner_id: str, exam_id: str) -> None:
         """Enroll a registered learner in an offered exam."""
         with self.lock:
+            now = self.clock.now()
             learner = self.learners.get(learner_id)  # existence check
             exam = self.exam(exam_id)
             self._enrollment[exam.exam_id].add(learner.learner_id)
             self.tracking.record(
-                EventKind.ENROLLED, learner_id, exam_id, self.clock.now()
+                EventKind.ENROLLED, learner_id, exam_id, now
+            )
+            self._emit(
+                "enroll",
+                store_events.lifecycle_event(learner_id, exam_id, now),
             )
 
     def enrolled(self, exam_id: str) -> List[str]:
@@ -152,6 +205,7 @@ class Lms:
         return sitting
 
     def _start_exam(self, learner_id: str, exam_id: str) -> LmsSitting:
+        now = self.clock.now()
         exam = self.exam(exam_id)
         learner = self.learners.get(learner_id)
         if learner_id not in self._enrollment[exam_id]:
@@ -174,13 +228,16 @@ class Lms:
         if api.LMSInitialize("") != "true":
             raise SessionStateError("SCORM API failed to initialize")
         session = ExamSession(exam, learner_id, clock=self.clock)
-        item_order = session.start()
+        item_order = session.start(now)
         sitting = LmsSitting(session=session, api=api, item_order=item_order)
         self._sittings[key] = sitting
         self.tracking.record(
-            EventKind.LAUNCHED, learner_id, exam_id, self.clock.now()
+            EventKind.LAUNCHED, learner_id, exam_id, now
         )
-        self.monitor.poll(learner_id, exam_id, session.elapsed_seconds())
+        self.monitor.poll(learner_id, exam_id, session.elapsed_seconds(now))
+        self._emit(
+            "start", store_events.lifecycle_event(learner_id, exam_id, now)
+        )
         return sitting
 
     def sitting(self, learner_id: str, exam_id: str) -> LmsSitting:
@@ -205,10 +262,35 @@ class Lms:
     def _answer(
         self, learner_id: str, exam_id: str, item_id: str, response: object
     ) -> ScoredResponse:
+        now = self.clock.now()
         sitting = self.sitting(learner_id, exam_id)
-        sitting.session.answer(item_id, response)
+        sitting.session.answer(item_id, response, now)
         item = sitting.session.exam.item(item_id)
         scored = item.score(response)
+        self._cmi_record_answer(sitting, item_id, item, scored)
+        self.tracking.record(
+            EventKind.ANSWERED,
+            learner_id,
+            exam_id,
+            now,
+            detail=item_id,
+        )
+        self.monitor.poll(
+            learner_id, exam_id, sitting.session.elapsed_seconds(now)
+        )
+        self._emit(
+            "answer",
+            store_events.answer_event(
+                learner_id, exam_id, item_id, response, now
+            ),
+        )
+        return scored
+
+    def _cmi_record_answer(
+        self, sitting: LmsSitting, item_id: str, item, scored: ScoredResponse
+    ) -> None:
+        """Write one answer's ``cmi.interactions.n.*`` set (shared by the
+        live path and snapshot restore in :mod:`repro.lms.persistence`)."""
         index = sitting.interaction_count
         api = sitting.api
         api.LMSSetValue(f"cmi.interactions.{index}.id", item_id)
@@ -225,17 +307,6 @@ class Lms:
                 "correct" if scored.correct else "wrong",
             )
         sitting.interaction_count += 1
-        self.tracking.record(
-            EventKind.ANSWERED,
-            learner_id,
-            exam_id,
-            self.clock.now(),
-            detail=item_id,
-        )
-        self.monitor.poll(
-            learner_id, exam_id, sitting.session.elapsed_seconds()
-        )
-        return scored
 
     def suspend(self, learner_id: str, exam_id: str) -> None:
         """Pause a sitting; commits SCORM suspend data."""
@@ -244,8 +315,19 @@ class Lms:
         obs.count("lms.sittings.suspended")
 
     def _suspend(self, learner_id: str, exam_id: str) -> None:
+        now = self.clock.now()
         sitting = self.sitting(learner_id, exam_id)
-        sitting.session.suspend()
+        sitting.session.suspend(now)
+        self._cmi_suspend(sitting)
+        self.tracking.record(
+            EventKind.SUSPENDED, learner_id, exam_id, now
+        )
+        self._emit(
+            "suspend", store_events.lifecycle_event(learner_id, exam_id, now)
+        )
+
+    def _cmi_suspend(self, sitting: LmsSitting) -> None:
+        """Commit the SCORM suspend exit (live path and snapshot restore)."""
         api = sitting.api
         api.LMSSetValue("cmi.core.exit", "suspend")
         api.LMSSetValue(
@@ -253,17 +335,19 @@ class Lms:
             f"answered={len(sitting.session.answered_item_ids())}",
         )
         api.LMSCommit("")
-        self.tracking.record(
-            EventKind.SUSPENDED, learner_id, exam_id, self.clock.now()
-        )
 
     def resume(self, learner_id: str, exam_id: str) -> None:
         """Continue a suspended sitting (resumable exams only)."""
         with obs.span("lms.resume", exam_id=exam_id), self.lock:
+            now = self.clock.now()
             sitting = self.sitting(learner_id, exam_id)
-            sitting.session.resume()
+            sitting.session.resume(now)
             self.tracking.record(
-                EventKind.RESUMED, learner_id, exam_id, self.clock.now()
+                EventKind.RESUMED, learner_id, exam_id, now
+            )
+            self._emit(
+                "resume",
+                store_events.lifecycle_event(learner_id, exam_id, now),
             )
         obs.count("lms.sittings.resumed")
 
@@ -275,28 +359,23 @@ class Lms:
         return graded
 
     def _submit(self, learner_id: str, exam_id: str) -> GradedSitting:
+        now = self.clock.now()
         sitting = self.sitting(learner_id, exam_id)
-        sitting.session.submit()
+        sitting.session.submit(now)
         graded = grade_session(sitting.session)
-        api = sitting.api
-        api.LMSSetValue("cmi.core.score.raw", f"{graded.percent:.1f}")
-        api.LMSSetValue("cmi.core.score.min", "0")
-        api.LMSSetValue("cmi.core.score.max", "100")
-        status = _lesson_status(graded)
-        api.LMSSetValue("cmi.core.lesson_status", status)
-        api.LMSFinish("")
+        self._cmi_finish(sitting, graded)
         self._results.setdefault(exam_id, []).append(graded)
         self.learners.get(learner_id).record_result(
-            exam_id, status, graded.percent
+            exam_id, _lesson_status(graded), graded.percent
         )
         self.tracking.record(
-            EventKind.SUBMITTED, learner_id, exam_id, self.clock.now()
+            EventKind.SUBMITTED, learner_id, exam_id, now
         )
         self.tracking.record(
             EventKind.GRADED,
             learner_id,
             exam_id,
-            self.clock.now(),
+            now,
             detail=f"{graded.percent:.1f}%",
         )
         live = self._live.get(exam_id)
@@ -306,7 +385,46 @@ class Lms:
             )[0]
             live.invalidate(response.examinee_id)  # drop any earlier sitting
             live.add_sitting(response)
+        self._emit(
+            "submit", store_events.lifecycle_event(learner_id, exam_id, now)
+        )
         return graded
+
+    def _cmi_finish(self, sitting: LmsSitting, graded: GradedSitting) -> None:
+        """Write the final CMI score/status and finish the API session
+        (live path and snapshot restore)."""
+        api = sitting.api
+        api.LMSSetValue("cmi.core.score.raw", f"{graded.percent:.1f}")
+        api.LMSSetValue("cmi.core.score.min", "0")
+        api.LMSSetValue("cmi.core.score.max", "100")
+        api.LMSSetValue("cmi.core.lesson_status", _lesson_status(graded))
+        api.LMSFinish("")
+
+    # -- proctoring ---------------------------------------------------------------
+
+    def capture_frame(self, learner_id: str, exam_id: str):
+        """Proctor-triggered monitor capture of an open sitting.
+
+        Unlike the passive per-interaction :meth:`ExamMonitor.poll`
+        schedule, this captures unconditionally, records a
+        ``MONITOR_CAPTURE`` tracking event, and journals it — so a
+        recovered LMS reproduces proctor snapshots too.
+        """
+        with obs.span("lms.capture_frame", exam_id=exam_id), self.lock:
+            now = self.clock.now()
+            sitting = self.sitting(learner_id, exam_id)
+            frame = self.monitor.capture(
+                learner_id, exam_id, sitting.session.elapsed_seconds(now)
+            )
+            self.tracking.record(
+                EventKind.MONITOR_CAPTURE, learner_id, exam_id, now
+            )
+            self._emit(
+                "monitor",
+                store_events.lifecycle_event(learner_id, exam_id, now),
+            )
+        obs.count("lms.frames.captured")
+        return frame
 
     # -- results & analysis -----------------------------------------------------
 

@@ -2,13 +2,21 @@
 
 A real LMS survives restarts.  This module serializes the durable parts
 of an :class:`~repro.lms.lms.Lms` — offered exams, learners with their
-progress, enrollment, graded results, the tracking log, and the exam
+progress, enrollment, graded results, the tracking log, the exam
 monitor's proctoring record (captured frames, capture schedule, drop
-counts) — to a JSON file and restores them.  In-flight sittings and
-SCORM API instances are deliberately *not* persisted (they are live
-conversations; on restart a learner relaunches and, for resumable
-exams, the RTE suspend data brings them back), matching how
-browser-based LMSes behave.
+counts), and every sitting's full delivery-session state (including
+**in-flight** sittings: their answer history, elapsed-time accounting,
+and SCORM interaction record) — to a JSON file and restores them.
+Earlier revisions deliberately dropped in-flight sittings; with the
+:mod:`repro.store` write-ahead log those sittings are durable, so
+snapshots must carry them too or a checkpoint would truncate a learner
+mid-exam.
+
+Restores re-anchor the clock: the snapshot records the writer's
+``clock.now()`` and :func:`load_lms` installs an
+:class:`~repro.delivery.clock.OffsetClock` continuing that timeline, so
+stored timestamps stay comparable and an in-progress sitting keeps
+ticking instead of jumping (``time.monotonic`` restarts every boot).
 
 Writes are **atomic**: the payload lands in a temporary file in the
 destination directory and is :func:`os.replace`-d into place, so a crash
@@ -22,18 +30,20 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.errors import BankError
 from repro.bank.exambank import exam_from_record, exam_to_record
-from repro.delivery.scoring import GradedSitting
+from repro.delivery.clock import OffsetClock
+from repro.delivery.scoring import GradedSitting, grade_session
+from repro.delivery.session import ExamSession, SessionState
 from repro.items.responses import ScoredResponse
 from repro.lms.learners import Learner
-from repro.lms.lms import Lms
+from repro.lms.lms import Lms, LmsSitting
 from repro.lms.monitor import ExamMonitor
 from repro.lms.tracking import EventKind
 
-__all__ = ["save_lms", "load_lms"]
+__all__ = ["save_lms", "load_lms", "load_payload", "lms_from_payload"]
 
 _FORMAT = "mine-lms-v1"
 
@@ -76,16 +86,25 @@ def _write_atomic(path: Path, text: str) -> None:
         raise
 
 
-def save_lms(lms: Lms, path: "str | Path") -> None:
+def save_lms(
+    lms: Lms, path: "str | Path", wal_lsn: Optional[int] = None
+) -> None:
     """Write the LMS's durable state to a JSON file, atomically.
 
     The whole collection happens under :attr:`Lms.lock`, so a snapshot
     taken while server threads are mutating the LMS is a consistent
     point-in-time view, and the temp-file + :func:`os.replace` dance
     guarantees the file on disk is always a complete snapshot.
+
+    ``wal_lsn`` stamps the snapshot with the highest journal LSN it
+    covers — the checkpoint engine (:mod:`repro.store.checkpoint`)
+    passes it while holding the LMS lock, and recovery replays only
+    records past it.
     """
     with lms.lock:
         payload = _collect_payload(lms)
+        if wal_lsn is not None:
+            payload["wal_lsn"] = int(wal_lsn)
     _write_atomic(Path(path), json.dumps(payload, indent=2))
 
 
@@ -127,8 +146,18 @@ def _collect_payload(lms: Lms) -> Dict[str, object]:
         }
         for event in lms.tracking
     ]
+    sittings = [
+        {
+            "learner_id": sitting.learner_id,
+            "exam_id": sitting.exam_id,
+            "item_order": list(sitting.item_order),
+            "session": sitting.session.export_state(),
+        }
+        for sitting in lms._sittings.values()
+    ]
     return {
         "format": _FORMAT,
+        "clock": lms.clock.now(),
         "exams": [exam_to_record(lms.exam(e)) for e in lms.offered_exams()],
         "learners": learners,
         "enrollment": {
@@ -138,11 +167,12 @@ def _collect_payload(lms: Lms) -> Dict[str, object]:
         "results": results,
         "tracking": events,
         "monitor": lms.monitor.export_state(),
+        "sittings": sittings,
     }
 
 
-def load_lms(path: "str | Path", clock=None) -> Lms:
-    """Restore an LMS from a file written by :func:`save_lms`."""
+def load_payload(path: "str | Path") -> Dict[str, object]:
+    """Read and validate a snapshot file into its JSON payload."""
     file_path = Path(path)
     if not file_path.exists():
         raise BankError(f"LMS state file does not exist: {file_path}")
@@ -150,10 +180,28 @@ def load_lms(path: "str | Path", clock=None) -> Lms:
         payload = json.loads(file_path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise BankError(f"LMS state file is not valid JSON: {exc}") from exc
-    if payload.get("format") != _FORMAT:
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
         raise BankError(
-            f"unrecognized LMS state format: {payload.get('format')!r}"
+            "unrecognized LMS state format: "
+            f"{payload.get('format') if isinstance(payload, dict) else payload!r}"
         )
+    return payload
+
+
+def load_lms(path: "str | Path", clock=None) -> Lms:
+    """Restore an LMS from a file written by :func:`save_lms`."""
+    return lms_from_payload(load_payload(path), clock=clock)
+
+
+def lms_from_payload(payload: Dict[str, object], clock=None) -> Lms:
+    """Build an :class:`Lms` from a snapshot payload.
+
+    Without an explicit ``clock``, snapshots that recorded their clock
+    get an :class:`OffsetClock` continuing that timeline (older files
+    fall back to a fresh wall clock).
+    """
+    if clock is None and isinstance(payload.get("clock"), (int, float)):
+        clock = OffsetClock(float(payload["clock"]))
     # restore the proctoring record; files written before the monitor
     # section existed simply get a fresh monitor
     monitor_state = payload.get("monitor")
@@ -207,4 +255,46 @@ def load_lms(path: "str | Path", clock=None) -> Lms:
             float(record.get("timestamp", 0.0)),
             detail=record.get("detail", ""),
         )
+    for record in payload.get("sittings", []):
+        _restore_sitting(lms, record)
     return lms
+
+
+def _restore_sitting(lms: Lms, record: Dict[str, object]) -> None:
+    """Rebuild one sitting — delivery session plus its SCORM API.
+
+    The CMI record is regenerated by re-issuing the same interaction /
+    suspend / finish sequences the live LMS performed (via the shared
+    ``Lms._cmi_*`` helpers), so a restored sitting's SCORM conversation
+    matches what a browser SCO would have produced.  Sittings whose
+    exam or learner is absent from the snapshot are skipped, mirroring
+    the enrollment loop's tolerance.
+    """
+    exam_id = str(record.get("exam_id", ""))
+    learner_id = str(record.get("learner_id", ""))
+    if exam_id not in lms._exams or learner_id not in lms.learners:
+        return
+    exam = lms.exam(exam_id)
+    learner = lms.learners.get(learner_id)
+    state = record.get("session", {})
+    session = ExamSession.from_state(exam, state, clock=lms.clock)
+    api = lms.rte.launch(learner_id, exam_id, learner_name=learner.name)
+    if api.LMSInitialize("") != "true":
+        raise BankError(
+            f"SCORM API failed to initialize while restoring the sitting "
+            f"of {exam_id!r} by {learner_id!r}"
+        )
+    sitting = LmsSitting(
+        session=session,
+        api=api,
+        item_order=[str(item_id) for item_id in record.get("item_order", [])],
+    )
+    for event in state.get("events", []):
+        item = exam.item(str(event["item_id"]))
+        scored = item.score(event.get("response"))
+        lms._cmi_record_answer(sitting, str(event["item_id"]), item, scored)
+    if session.state is SessionState.SUSPENDED:
+        lms._cmi_suspend(sitting)
+    elif session.state is SessionState.SUBMITTED:
+        lms._cmi_finish(sitting, grade_session(session))
+    lms._sittings[(learner_id, exam_id)] = sitting

@@ -19,7 +19,14 @@ in-process API doesn't have:
   then drains requests already in flight before returning;
 * **snapshotting** — optional periodic (and on-demand, via
   ``POST /admin/snapshot``) atomic :func:`~repro.lms.persistence.
-  save_lms` of the LMS state.
+  save_lms` of the LMS state;
+* **durability** — with ``wal_dir`` set, every LMS mutation is appended
+  to a :class:`~repro.store.journal.Journal` before its response is
+  acknowledged; boot recovers the pre-crash state from the newest
+  checkpoint plus the WAL suffix (:func:`repro.store.recover`), a
+  background :class:`~repro.store.checkpoint.Checkpointer` (and
+  ``POST /admin/checkpoint``) compacts the log, and shutdown takes a
+  final checkpoint before closing the journal.
 
 Usage::
 
@@ -250,27 +257,54 @@ class ExamServer:
         registry: Optional["obs.Registry"] = None,
         max_body_bytes: int = 8 * 1024 * 1024,
         sample_every: int = 1,
+        wal_dir: Optional["str | Path"] = None,
+        fsync: str = "interval",
+        checkpoint_interval_seconds: Optional[float] = None,
     ) -> None:
-        self.lms = lms if lms is not None else Lms()
-        self.router = build_router()
-        self.in_flight = _InFlightBudget(max_in_flight)
-        self.max_body_bytes = max_body_bytes
         if registry is None:
             # the server records even when global profiling is off:
             # /metrics must always have data
             registry = obs.Registry(enabled=True, sample_every=sample_every)
+        self.wal_dir = Path(wal_dir) if wal_dir is not None else None
+        self.journal = None
+        self.checkpointer = None
+        #: the boot-time :class:`~repro.store.recovery.RecoveryReport`
+        #: (None when the server was handed a live LMS or has no WAL)
+        self.recovery_report = None
+        if self.wal_dir is not None:
+            from repro.store import Checkpointer, Journal, recover
+
+            if lms is None:
+                # crashed-or-clean restart: rebuild from checkpoint + WAL
+                self.recovery_report = recover(self.wal_dir)
+                lms = self.recovery_report.lms
+            # Journal.open also repairs the torn tail recover() tolerated
+            self.journal = Journal.open(
+                self.wal_dir, fsync=fsync, registry=registry
+            )
+            lms.attach_journal(self.journal)
+            self.checkpointer = Checkpointer(lms, self.journal)
+        self.lms = lms if lms is not None else Lms()
+        self.router = build_router()
+        self.in_flight = _InFlightBudget(max_in_flight)
+        self.max_body_bytes = max_body_bytes
         self.context = ServerContext(lms=self.lms, registry=registry)
         self.context.in_flight = self.in_flight.current
         self.snapshot_path = (
             Path(snapshot_path) if snapshot_path is not None else None
         )
         self.snapshot_interval_seconds = snapshot_interval_seconds
+        self.checkpoint_interval_seconds = checkpoint_interval_seconds
         if self.snapshot_path is not None:
             self.context.snapshot = self.snapshot_now
+        if self.checkpointer is not None:
+            self.context.checkpoint = self.checkpoint_now
+            self.context.store_info = self.store_info
         self._httpd = _Http((host, port), self)
         self._thread: Optional[threading.Thread] = None
         self._snapshot_stop = threading.Event()
         self._snapshot_thread: Optional[threading.Thread] = None
+        self._checkpoint_thread: Optional[threading.Thread] = None
         self._shut_down = False
 
     # -- addresses -----------------------------------------------------------
@@ -304,15 +338,18 @@ class ExamServer:
         )
         self._thread.start()
         self._start_snapshotting()
+        self._start_checkpointing()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI path); blocks."""
         self._start_snapshotting()
+        self._start_checkpointing()
         try:
             self._httpd.serve_forever(poll_interval=0.05)
         finally:
             self._stop_snapshotting()
+            self._stop_checkpointing()
 
     def shutdown(self, drain_timeout: Optional[float] = 10.0) -> bool:
         """Stop accepting, drain in-flight requests, release the socket.
@@ -328,8 +365,15 @@ class ExamServer:
         self._httpd.shutdown()  # stops the accept loop, new conns refused
         drained = self.in_flight.wait_idle(drain_timeout)
         self._stop_snapshotting()
+        self._stop_checkpointing()
         if self.snapshot_path is not None:
             self.snapshot_now()
+        if self.checkpointer is not None:
+            # a clean exit leaves a checkpoint covering the whole log,
+            # so the next boot replays (almost) nothing
+            self.checkpoint_now()
+        if self.journal is not None:
+            self.journal.close()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -373,6 +417,60 @@ class ExamServer:
         if self._snapshot_thread is not None:
             self._snapshot_thread.join(timeout=5.0)
             self._snapshot_thread = None
+
+    # -- durability ------------------------------------------------------------
+
+    def checkpoint_now(self):
+        """Run one checkpoint pass (snapshot + compaction) immediately."""
+        if self.checkpointer is None:
+            raise RuntimeError("no wal_dir configured")
+        result = self.checkpointer.checkpoint()
+        self.context.registry.count("server.checkpoints")
+        return result
+
+    def store_info(self) -> dict:
+        """Journal and checkpoint stats for the ``/metrics`` payload."""
+        journal = self.journal
+        return {
+            "wal_dir": str(self.wal_dir),
+            "fsync_policy": journal.fsync_policy,
+            "last_lsn": journal.last_lsn,
+            "records_appended": journal.records_appended,
+            "bytes_appended": journal.bytes_appended,
+            "fsyncs": journal.fsyncs,
+            "rotations": journal.rotations,
+            "segments": len(journal.segments()),
+            "checkpoints_taken": self.checkpointer.checkpoints_taken,
+            "last_covered_lsn": self.checkpointer.last_covered_lsn,
+        }
+
+    def _start_checkpointing(self) -> None:
+        if (
+            self.checkpointer is None
+            or self.checkpoint_interval_seconds is None
+            or self._checkpoint_thread is not None
+        ):
+            return
+        interval = float(self.checkpoint_interval_seconds)
+
+        def loop() -> None:
+            # shares the snapshot stop event: both beats end at shutdown
+            while not self._snapshot_stop.wait(interval):
+                try:
+                    self.checkpointer.maybe_checkpoint()
+                except Exception:  # noqa: BLE001 - keep the beat going
+                    self.context.registry.count("server.checkpoint_errors")
+
+        self._checkpoint_thread = threading.Thread(
+            target=loop, name="mine-assess-checkpoints", daemon=True
+        )
+        self._checkpoint_thread.start()
+
+    def _stop_checkpointing(self) -> None:
+        self._snapshot_stop.set()
+        if self._checkpoint_thread is not None:
+            self._checkpoint_thread.join(timeout=5.0)
+            self._checkpoint_thread = None
 
     # -- context-manager sugar ------------------------------------------------
 

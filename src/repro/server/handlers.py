@@ -47,6 +47,12 @@ class ServerContext:
     in_flight: Optional[object] = None
     #: filled by the app layer when periodic snapshotting is configured
     snapshot: Optional[object] = None
+    #: filled by the app layer when a WAL is configured: a zero-arg
+    #: callable running one checkpoint pass (POST /admin/checkpoint)
+    checkpoint: Optional[object] = None
+    #: filled by the app layer when a WAL is configured: a zero-arg
+    #: callable returning journal/checkpoint stats for /metrics
+    store_info: Optional[object] = None
 
     def uptime_seconds(self) -> float:
         """Seconds since the context (≈ server) came up."""
@@ -74,6 +80,8 @@ def _metrics(ctx: ServerContext, params, body, query):
     }
     if ctx.in_flight is not None:
         payload["in_flight"] = ctx.in_flight()
+    if ctx.store_info is not None:
+        payload["store"] = ctx.store_info()
     return payload
 
 
@@ -242,6 +250,26 @@ def _snapshot_now(ctx: ServerContext, params, body, query):
     return {"snapshot": str(path)}
 
 
+def _checkpoint_now(ctx: ServerContext, params, body, query):
+    if ctx.checkpoint is None:
+        raise ApiError(
+            409,
+            "invalid_state",
+            "server was started without a WAL directory (--wal-dir)",
+        )
+    result = ctx.checkpoint()
+    return {
+        "checkpoint": str(result.path),
+        "covered_lsn": result.covered_lsn,
+        "retired_segments": [
+            path.name for path in result.retired_segments
+        ],
+        "pruned_checkpoints": [
+            path.name for path in result.pruned_checkpoints
+        ],
+    }
+
+
 def build_router() -> Router:
     """The service's full route table."""
     router = Router()
@@ -272,4 +300,7 @@ def build_router() -> Router:
         "GET", "/monitor/metrics", _monitor_metrics, "monitor.metrics"
     )
     router.add("POST", "/admin/snapshot", _snapshot_now, "admin.snapshot")
+    router.add(
+        "POST", "/admin/checkpoint", _checkpoint_now, "admin.checkpoint"
+    )
     return router

@@ -1,0 +1,453 @@
+"""The write-ahead log: a segmented, checksummed, append-only journal.
+
+:class:`Journal` is the durability primitive under the LMS (see
+``docs/durability.md``).  Records are JSON lines — one per mutation —
+each carrying a monotonically increasing **LSN** (log sequence number)
+and a CRC32 over its canonical encoding, so a reader can tell a valid
+record from a torn or corrupted one without any framing beyond the
+newline.  The log is **segmented**: when the active file passes
+``segment_bytes`` it is sealed and a new segment named after the next
+LSN begins, which is what lets checkpointing retire history in whole
+files (:mod:`repro.store.checkpoint`).
+
+Durability levels (``fsync`` policy):
+
+* ``"always"`` — ``os.fsync`` after every append: survives OS/power
+  loss at the cost of one disk flush per record;
+* ``"interval"`` — flush to the OS on every append, ``fsync`` at most
+  every ``fsync_interval_seconds``: survives process death (SIGKILL)
+  with bounded data-at-risk on a machine crash;
+* ``"never"`` — flush to the OS only: still SIGKILL-safe (the page
+  cache holds the bytes), no protection against power loss.
+
+Every policy flushes Python's userspace buffer per append, so a record
+that was acknowledged to a caller is never lost to a killed *process* —
+that invariant is what the crash-injection suite proves.
+
+Reading tolerates a **torn tail**: a record that fails to parse or
+checksum in the *final* segment marks the end of the log (everything
+after it is ignored, and :meth:`Journal.open` physically truncates it).
+The same failure in an earlier segment is real corruption and raises
+:class:`JournalCorruptError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro import obs
+from repro.core.errors import StoreError, JournalCorruptError
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "Journal",
+    "JournalRecord",
+    "TailScan",
+    "read_records",
+    "scan_segment",
+    "segment_files",
+]
+
+#: accepted values for the Journal fsync policy
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".jsonl"
+#: default segment rotation threshold (bytes)
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+#: default fsync coalescing window for the "interval" policy (seconds)
+DEFAULT_FSYNC_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded WAL record: its LSN, event type, and payload."""
+
+    lsn: int
+    type: str
+    data: Dict[str, object]
+
+
+def _canonical(payload: Dict[str, object]) -> str:
+    """The canonical encoding the CRC is computed over."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def _encode_record(lsn: int, type_: str, data: Dict[str, object]) -> bytes:
+    body = {"lsn": lsn, "type": type_, "data": data}
+    crc = zlib.crc32(_canonical(body).encode("utf-8")) & 0xFFFFFFFF
+    body["crc"] = crc
+    return (_canonical(body) + "\n").encode("utf-8")
+
+
+def _decode_line(line: bytes) -> JournalRecord:
+    """Parse and verify one line; raises ValueError on any defect."""
+    text = line.decode("utf-8")
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("record is not an object")
+    crc = payload.pop("crc", None)
+    if not isinstance(crc, int):
+        raise ValueError("record has no crc")
+    expected = zlib.crc32(_canonical(payload).encode("utf-8")) & 0xFFFFFFFF
+    if crc != expected:
+        raise ValueError(f"crc mismatch: stored {crc}, computed {expected}")
+    lsn = payload.get("lsn")
+    type_ = payload.get("type")
+    if not isinstance(lsn, int) or lsn < 1:
+        raise ValueError(f"bad lsn: {lsn!r}")
+    if not isinstance(type_, str) or not type_:
+        raise ValueError(f"bad type: {type_!r}")
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        raise ValueError("record data is not an object")
+    return JournalRecord(lsn=lsn, type=type_, data=data)
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_lsn:020d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_lsn(path: Path) -> int:
+    stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise StoreError(f"not a WAL segment name: {path.name}") from None
+
+
+def segment_files(directory: "str | Path") -> List[Path]:
+    """The directory's WAL segments, in LSN order."""
+    base = Path(directory)
+    if not base.is_dir():
+        return []
+    segments = [
+        path
+        for path in base.iterdir()
+        if path.name.startswith(_SEGMENT_PREFIX)
+        and path.name.endswith(_SEGMENT_SUFFIX)
+    ]
+    return sorted(segments, key=_segment_first_lsn)
+
+
+@dataclass
+class TailScan:
+    """What scanning one segment found: records and any torn tail."""
+
+    records: List[JournalRecord] = field(default_factory=list)
+    #: byte offset of the first bad record (== file size when clean)
+    valid_bytes: int = 0
+    #: bytes after the first bad record (0 when the segment is clean)
+    torn_bytes: int = 0
+    #: the decode error that ended the scan, if any
+    error: Optional[str] = None
+
+
+def scan_segment(path: Path) -> TailScan:
+    """Read every valid record of one segment, stopping at the first
+    bad one (truncate-at-first-bad-record semantics)."""
+    scan = TailScan()
+    raw = path.read_bytes()
+    offset = 0
+    for line in raw.split(b"\n"):
+        if offset >= len(raw):
+            break
+        consumed = len(line) + 1  # the newline
+        if not line:
+            offset += consumed
+            continue
+        # a line without its newline is an unterminated (torn) write
+        terminated = offset + len(line) < len(raw)
+        if not terminated:
+            scan.error = "unterminated final record"
+            break
+        try:
+            scan.records.append(_decode_line(line))
+        except ValueError as exc:
+            scan.error = str(exc)
+            break
+        offset += consumed
+        scan.valid_bytes = offset
+    scan.torn_bytes = len(raw) - scan.valid_bytes
+    return scan
+
+
+def read_records(
+    directory: "str | Path", start_lsn: int = 0
+) -> Iterator[JournalRecord]:
+    """Iterate every record with ``lsn > start_lsn``, in log order.
+
+    Tolerates a torn tail on the final segment (iteration just ends
+    there); a bad record in any earlier segment raises
+    :class:`JournalCorruptError` because records after it exist — that
+    is data loss in the middle of history, not an interrupted append.
+    """
+    segments = segment_files(directory)
+    for index, path in enumerate(segments):
+        scan = scan_segment(path)
+        if scan.error is not None and index < len(segments) - 1:
+            raise JournalCorruptError(
+                f"segment {path.name} is corrupt mid-log ({scan.error}); "
+                f"{len(segments) - index - 1} newer segment(s) follow"
+            )
+        for record in scan.records:
+            if record.lsn > start_lsn:
+                yield record
+
+
+class Journal:
+    """The append side of the WAL (plus bookkeeping for readers).
+
+    Use :meth:`open` rather than the constructor: it scans the
+    directory, repairs a torn tail left by a crash, and positions the
+    next LSN after the last durable record.  All methods are
+    thread-safe; appends additionally happen under the caller's
+    (the LMS's) lock so log order is the authoritative serialization of
+    mutations.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        *,
+        fsync: str = "interval",
+        fsync_interval_seconds: float = DEFAULT_FSYNC_INTERVAL,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        registry: Optional["obs.Registry"] = None,
+        _last_lsn: int = 0,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise StoreError(
+                f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES}"
+            )
+        if segment_bytes < 1:
+            raise StoreError(f"segment_bytes must be >= 1, got {segment_bytes}")
+        self.directory = Path(directory)
+        self.fsync_policy = fsync
+        self.fsync_interval_seconds = float(fsync_interval_seconds)
+        self.segment_bytes = int(segment_bytes)
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._last_lsn = int(_last_lsn)
+        self._stream = None
+        self._segment_path: Optional[Path] = None
+        self._segment_size = 0
+        self._last_fsync = time.monotonic()
+        self._closed = False
+        #: lifetime totals, mirrored into obs counters
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsyncs = 0
+        self.rotations = 0
+        self.repaired_bytes = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: "str | Path",
+        *,
+        fsync: str = "interval",
+        fsync_interval_seconds: float = DEFAULT_FSYNC_INTERVAL,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        registry: Optional["obs.Registry"] = None,
+    ) -> "Journal":
+        """Open (creating if needed) the WAL in ``directory``.
+
+        An existing log is scanned: the final segment's torn tail, if
+        any, is physically truncated away, and appends continue from
+        the next LSN.
+        """
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        journal = cls(
+            base,
+            fsync=fsync,
+            fsync_interval_seconds=fsync_interval_seconds,
+            segment_bytes=segment_bytes,
+            registry=registry,
+        )
+        segments = segment_files(base)
+        if segments:
+            tail = segments[-1]
+            scan = scan_segment(tail)
+            if scan.torn_bytes:
+                with tail.open("r+b") as stream:
+                    stream.truncate(scan.valid_bytes)
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                journal.repaired_bytes = scan.torn_bytes
+                journal._count("store.tail.repaired_bytes", scan.torn_bytes)
+            if scan.records:
+                journal._last_lsn = scan.records[-1].lsn
+            else:
+                # an empty (or fully torn) final segment: the previous
+                # LSN is one less than the first this file would hold
+                journal._last_lsn = _segment_first_lsn(tail) - 1
+            journal._open_segment(tail, append=True)
+        return journal
+
+    # -- appending ------------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended (or recovered) record."""
+        with self._lock:
+            return self._last_lsn
+
+    def append(self, type_: str, data: Dict[str, object]) -> int:
+        """Durably append one event; returns its LSN.
+
+        ``data`` must be JSON-serializable — callers (the LMS) journal
+        wire-shaped payloads.  The record is flushed to the OS before
+        returning under every policy, and fsynced per the policy.
+        """
+        with self._lock:
+            if self._closed:
+                raise StoreError("journal is closed")
+            lsn = self._last_lsn + 1
+            encoded = _encode_record(lsn, type_, data)
+            if self._stream is None:
+                self._open_segment(
+                    self.directory / _segment_name(lsn), append=False
+                )
+            self._stream.write(encoded)
+            # userspace -> OS page cache: makes the record SIGKILL-safe
+            self._stream.flush()
+            self._maybe_fsync()
+            self._last_lsn = lsn
+            self._segment_size += len(encoded)
+            self.records_appended += 1
+            self.bytes_appended += len(encoded)
+            if self._segment_size >= self.segment_bytes:
+                self._rotate_locked()
+            self._count("store.appends")
+            self._count("store.bytes", len(encoded))
+        return lsn
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment (any policy)."""
+        with self._lock:
+            if self._stream is not None and not self._closed:
+                self._stream.flush()
+                self._fsync_locked()
+
+    def rotate(self) -> Optional[Path]:
+        """Seal the active segment now; returns the sealed path."""
+        with self._lock:
+            if self._stream is None:
+                return None
+            sealed = self._segment_path
+            self._rotate_locked()
+            return sealed
+
+    def close(self) -> None:
+        """Flush, fsync (unless policy is ``never``), and close."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._stream is not None:
+                self._stream.flush()
+                if self.fsync_policy != "never":
+                    self._fsync_locked()
+                self._stream.close()
+                self._stream = None
+            self._closed = True
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading & retirement -------------------------------------------------
+
+    def segments(self) -> List[Path]:
+        """Current segment files, oldest first."""
+        return segment_files(self.directory)
+
+    def read(self, start_lsn: int = 0) -> Iterator[JournalRecord]:
+        """Records with ``lsn > start_lsn`` (see :func:`read_records`)."""
+        return read_records(self.directory, start_lsn)
+
+    def retire_covered(self, covered_lsn: int) -> List[Path]:
+        """Delete sealed segments fully covered by a checkpoint.
+
+        A segment is retired when every record it can hold has
+        ``lsn <= covered_lsn`` — i.e. the *next* segment's first LSN is
+        ``<= covered_lsn + 1``.  The active (final) segment always
+        survives, so the unreplayed suffix is never dropped.
+        """
+        removed: List[Path] = []
+        with self._lock:
+            segments = segment_files(self.directory)
+            for path, following in zip(segments, segments[1:]):
+                if self._segment_path is not None and (
+                    path == self._segment_path
+                ):
+                    break
+                if _segment_first_lsn(following) - 1 <= covered_lsn:
+                    path.unlink()
+                    removed.append(path)
+                else:
+                    break
+            if removed:
+                self._count("store.segments.retired", len(removed))
+        return removed
+
+    # -- internals ------------------------------------------------------------
+
+    def _open_segment(self, path: Path, append: bool) -> None:
+        self._stream = path.open("ab" if append else "xb")
+        self._segment_path = path
+        self._segment_size = path.stat().st_size if append else 0
+
+    def _rotate_locked(self) -> None:
+        self._stream.flush()
+        if self.fsync_policy != "never":
+            self._fsync_locked()
+        self._stream.close()
+        self._stream = None
+        self._segment_path = None
+        self._segment_size = 0
+        self.rotations += 1
+        self._count("store.segments.rotated")
+        # the next append opens wal-<last_lsn + 1>
+
+    def _maybe_fsync(self) -> None:
+        if self.fsync_policy == "always":
+            self._fsync_locked()
+        elif self.fsync_policy == "interval":
+            now = time.monotonic()
+            if now - self._last_fsync >= self.fsync_interval_seconds:
+                self._fsync_locked()
+
+    def _fsync_locked(self) -> None:
+        if self._stream is None:
+            return
+        with self._span("store.fsync"):
+            os.fsync(self._stream.fileno())
+        self._last_fsync = time.monotonic()
+        self.fsyncs += 1
+        self._count("store.fsyncs")
+
+    def _count(self, name: str, value: float = 1) -> None:
+        if self._registry is not None:
+            self._registry.count(name, value)
+        else:
+            obs.count(name, value)
+
+    def _span(self, name: str):
+        if self._registry is not None:
+            return self._registry.span(name)
+        return obs.span(name)

@@ -1,0 +1,156 @@
+"""Checkpointing and compaction (repro.store.checkpoint).
+
+The load-bearing property: compaction bounds disk while recovery from
+*any* checkpoint plus the surviving WAL suffix reproduces the live
+state.
+"""
+
+from conftest import enroll_cohort, journaled_lms
+
+from repro.lms.learners import Learner
+from repro.store import (
+    Checkpointer,
+    Journal,
+    checkpoint_files,
+    latest_checkpoint,
+    recover,
+    state_fingerprint,
+)
+from repro.store.journal import segment_files
+
+
+def drive_sittings(lms, clock, learner_ids, answers=("A", "B", "A")):
+    for learner_id in learner_ids:
+        clock.advance(1.0)
+        lms.start_exam(learner_id, "ex1")
+        for index, answer in enumerate(answers, start=1):
+            clock.advance(2.0)
+            lms.answer(learner_id, "ex1", f"q{index}", answer)
+        clock.advance(1.0)
+        lms.submit(learner_id, "ex1")
+
+
+class TestCheckpoint:
+    def test_checkpoint_names_carry_the_covered_lsn(self, tmp_path):
+        journal = Journal.open(tmp_path, fsync="never")
+        lms, clock = journaled_lms(journal)
+        enroll_cohort(lms, ["amy"])
+        result = Checkpointer(lms, journal).checkpoint()
+        assert result.covered_lsn == journal.last_lsn
+        assert f"{result.covered_lsn:020d}" in result.path.name
+        assert latest_checkpoint(tmp_path) == result.path
+        journal.close()
+
+    def test_recovery_prefers_the_newest_checkpoint(self, tmp_path):
+        journal = Journal.open(tmp_path, fsync="never")
+        lms, clock = journaled_lms(journal)
+        enroll_cohort(lms, ["amy", "bob"])
+        checkpointer = Checkpointer(lms, journal, keep=5)
+        first = checkpointer.checkpoint()
+        drive_sittings(lms, clock, ["amy"])
+        second = checkpointer.checkpoint()
+        report = recover(tmp_path)
+        assert report.checkpoint_path == second.path
+        assert report.checkpoint_lsn > first.covered_lsn
+        journal.close()
+
+    def test_maybe_checkpoint_skips_a_quiet_lms(self, tmp_path):
+        journal = Journal.open(tmp_path, fsync="never")
+        lms, clock = journaled_lms(journal)
+        checkpointer = Checkpointer(lms, journal)
+        assert checkpointer.checkpoint() is not None
+        # nothing new in the WAL: no snapshot churn
+        assert checkpointer.maybe_checkpoint() is None
+        enroll_cohort(lms, ["amy"])
+        assert checkpointer.maybe_checkpoint() is not None
+        journal.close()
+
+    def test_prune_keeps_the_newest_snapshots(self, tmp_path):
+        journal = Journal.open(tmp_path, fsync="never")
+        lms, clock = journaled_lms(journal)
+        enroll_cohort(lms, ["amy"])
+        checkpointer = Checkpointer(lms, journal, keep=2)
+        for index in range(4):
+            clock.advance(1.0)
+            # grow the WAL so each checkpoint has a distinct LSN
+            lms.register_learner(
+                Learner(learner_id=f"extra{index}", name="X")
+            )
+            checkpointer.checkpoint()
+        assert len(checkpoint_files(tmp_path)) == 2
+        journal.close()
+
+
+class TestCompaction:
+    def test_compaction_bounds_segment_count(self, tmp_path):
+        """Disk is bounded: old segments retire as checkpoints advance."""
+        journal = Journal.open(tmp_path, fsync="never", segment_bytes=512)
+        lms, clock = journaled_lms(journal)
+        learner_ids = [f"s{i}" for i in range(12)]
+        enroll_cohort(lms, learner_ids)
+        checkpointer = Checkpointer(lms, journal)
+        peak = len(segment_files(tmp_path))
+        for learner_id in learner_ids:
+            drive_sittings(lms, clock, [learner_id])
+            checkpointer.checkpoint()
+            peak = max(peak, len(segment_files(tmp_path)))
+        # without retirement this workload writes dozens of 512-byte
+        # segments; with it, only the suffix since the last checkpoint
+        # survives each pass
+        assert len(segment_files(tmp_path)) <= 2
+        assert peak <= 6
+        assert checkpointer.checkpoints_taken == len(learner_ids)
+        journal.close()
+
+    def test_recovery_from_every_checkpoint_converges(self, tmp_path):
+        """Any snapshot + its suffix reproduces the live state."""
+        journal = Journal.open(tmp_path, fsync="never", segment_bytes=512)
+        lms, clock = journaled_lms(journal)
+        learner_ids = [f"s{i}" for i in range(9)]
+        enroll_cohort(lms, learner_ids)
+        checkpointer = Checkpointer(lms, journal, keep=100)
+        for index, learner_id in enumerate(learner_ids):
+            drive_sittings(lms, clock, [learner_id])
+            if index % 3 == 2:
+                checkpointer.checkpoint()
+        # leave an uncovered suffix after the last checkpoint
+        clock.advance(1.0)
+        lms.register_learner(Learner(learner_id="late", name="Late"))
+        lms.enroll("late", "ex1")
+        journal.sync()
+        live = state_fingerprint(lms)
+        # the directory holds several checkpoints (keep=100); recovery
+        # must converge from the newest, and — because older snapshots
+        # plus a *longer* suffix cover the same history — from each
+        # older one too, as long as its suffix still exists
+        snapshots = checkpoint_files(tmp_path)
+        assert len(snapshots) >= 3
+        report = recover(tmp_path)
+        assert state_fingerprint(report.lms) == live
+        journal.close()
+
+    def test_recovery_after_compaction_still_matches_live(self, tmp_path):
+        journal = Journal.open(tmp_path, fsync="never", segment_bytes=256)
+        lms, clock = journaled_lms(journal)
+        enroll_cohort(lms, ["amy", "bob", "cal", "dee"])
+        checkpointer = Checkpointer(lms, journal)
+        drive_sittings(lms, clock, ["amy", "bob"])
+        checkpointer.checkpoint()
+        drive_sittings(lms, clock, ["cal"])
+        checkpointer.checkpoint()
+        # in-flight sitting in the suffix
+        clock.advance(1.0)
+        lms.start_exam("dee", "ex1")
+        clock.advance(1.0)
+        lms.answer("dee", "ex1", "q1", "C")
+        journal.sync()
+        report = recover(tmp_path)
+        assert state_fingerprint(report.lms) == state_fingerprint(lms)
+        # and dee's sitting is really live on the recovered side
+        recovered = report.lms
+        recovered.answer("dee", "ex1", "q2", "A")
+        assert recovered.sitting("dee", "ex1").session.answered_item_ids() == [
+            "q1",
+            "q2",
+        ]
+        journal.close()

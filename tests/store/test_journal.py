@@ -1,0 +1,222 @@
+"""Unit tests for the WAL itself (repro.store.journal)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import JournalCorruptError, StoreError
+from repro.store.journal import (
+    FSYNC_POLICIES,
+    Journal,
+    JournalRecord,
+    read_records,
+    scan_segment,
+    segment_files,
+)
+
+
+def append_n(journal, count, start=0):
+    lsns = []
+    for index in range(start, start + count):
+        lsns.append(journal.append("answer", {"n": index}))
+    return lsns
+
+
+class TestAppendRead:
+    def test_lsns_are_monotonic_from_one(self, tmp_path):
+        with Journal.open(tmp_path, fsync="never") as journal:
+            assert append_n(journal, 5) == [1, 2, 3, 4, 5]
+            assert journal.last_lsn == 5
+
+    def test_round_trip_preserves_type_and_data(self, tmp_path):
+        payload = {"learner_id": "amy", "response": ["A", None, 3.5]}
+        with Journal.open(tmp_path, fsync="never") as journal:
+            journal.append("answer", payload)
+        records = list(read_records(tmp_path))
+        assert records == [
+            JournalRecord(lsn=1, type="answer", data=payload)
+        ]
+
+    def test_read_filters_by_start_lsn(self, tmp_path):
+        with Journal.open(tmp_path, fsync="never") as journal:
+            append_n(journal, 6)
+        assert [r.lsn for r in read_records(tmp_path, start_lsn=4)] == [5, 6]
+
+    def test_reopen_continues_the_lsn_sequence(self, tmp_path):
+        with Journal.open(tmp_path, fsync="never") as journal:
+            append_n(journal, 3)
+        with Journal.open(tmp_path, fsync="never") as journal:
+            assert journal.last_lsn == 3
+            assert journal.append("answer", {}) == 4
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        journal = Journal.open(tmp_path, fsync="never")
+        journal.close()
+        with pytest.raises(StoreError):
+            journal.append("answer", {})
+
+    def test_every_fsync_policy_is_accepted(self, tmp_path):
+        for policy in FSYNC_POLICIES:
+            directory = tmp_path / policy
+            with Journal.open(directory, fsync=policy) as journal:
+                journal.append("answer", {"p": policy})
+            assert [r.data["p"] for r in read_records(directory)] == [policy]
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            Journal.open(tmp_path, fsync="sometimes")
+
+    def test_always_policy_fsyncs_per_append(self, tmp_path):
+        with Journal.open(tmp_path, fsync="always") as journal:
+            append_n(journal, 4)
+            assert journal.fsyncs >= 4
+
+
+class TestRotation:
+    def test_rotates_when_segment_fills(self, tmp_path):
+        with Journal.open(
+            tmp_path, fsync="never", segment_bytes=200
+        ) as journal:
+            append_n(journal, 10)
+            assert journal.rotations >= 2
+        segments = segment_files(tmp_path)
+        assert len(segments) >= 3
+        # segment names are the LSN their first record carries
+        firsts = [int(p.name[len("wal-"):-len(".jsonl")]) for p in segments]
+        assert firsts[0] == 1
+        assert firsts == sorted(firsts)
+
+    def test_records_span_segments_in_order(self, tmp_path):
+        with Journal.open(
+            tmp_path, fsync="never", segment_bytes=150
+        ) as journal:
+            append_n(journal, 20)
+        assert [r.lsn for r in read_records(tmp_path)] == list(range(1, 21))
+
+    def test_manual_rotate_seals_the_active_segment(self, tmp_path):
+        with Journal.open(tmp_path, fsync="never") as journal:
+            append_n(journal, 2)
+            sealed = journal.rotate()
+            assert sealed is not None
+            journal.append("answer", {"after": True})
+        assert len(segment_files(tmp_path)) == 2
+
+
+class TestTornTail:
+    def fill(self, tmp_path, count=5):
+        with Journal.open(tmp_path, fsync="never") as journal:
+            append_n(journal, count)
+        return segment_files(tmp_path)[-1]
+
+    def test_unterminated_final_record_is_dropped(self, tmp_path):
+        tail = self.fill(tmp_path)
+        raw = tail.read_bytes()
+        tail.write_bytes(raw[:-3])  # cut the last record short
+        records = list(read_records(tmp_path))
+        assert [r.lsn for r in records] == [1, 2, 3, 4]
+
+    def test_crc_damage_in_tail_ends_the_log(self, tmp_path):
+        tail = self.fill(tmp_path)
+        lines = tail.read_bytes().splitlines(keepends=True)
+        # flip a payload byte in the final record; its CRC now mismatches
+        bad = lines[-1].replace(b'"n":4', b'"n":9')
+        tail.write_bytes(b"".join(lines[:-1]) + bad)
+        assert [r.lsn for r in read_records(tmp_path)] == [1, 2, 3, 4]
+
+    def test_open_physically_truncates_the_torn_tail(self, tmp_path):
+        tail = self.fill(tmp_path)
+        whole = tail.read_bytes()
+        tail.write_bytes(whole[:-3])
+        with Journal.open(tmp_path, fsync="never") as journal:
+            assert journal.repaired_bytes > 0
+            assert journal.last_lsn == 4
+            # appends continue after the repaired tail with the next LSN
+            assert journal.append("answer", {"n": 99}) == 5
+        assert [r.lsn for r in read_records(tmp_path)] == [1, 2, 3, 4, 5]
+
+    def test_truncation_at_every_byte_is_tolerated(self, tmp_path):
+        """Kill-at-byte-N: any prefix of the log is a valid log."""
+        tail = self.fill(tmp_path, count=6)
+        whole = tail.read_bytes()
+        previous = -1
+        for cut in range(len(whole) + 1):
+            tail.write_bytes(whole[:cut])
+            records = list(read_records(tmp_path))  # must never raise
+            lsns = [r.lsn for r in records]
+            assert lsns == list(range(1, len(lsns) + 1))
+            # monotone: more bytes never means fewer records
+            assert len(lsns) >= previous or previous == -1
+            previous = len(lsns)
+        assert previous == 6
+
+    def test_damage_in_a_sealed_segment_raises(self, tmp_path):
+        with Journal.open(
+            tmp_path, fsync="never", segment_bytes=150
+        ) as journal:
+            append_n(journal, 20)
+        first = segment_files(tmp_path)[0]
+        raw = bytearray(first.read_bytes())
+        raw[10] ^= 0xFF
+        first.write_bytes(bytes(raw))
+        with pytest.raises(JournalCorruptError):
+            list(read_records(tmp_path))
+
+    def test_scan_reports_valid_and_torn_bytes(self, tmp_path):
+        tail = self.fill(tmp_path, count=3)
+        whole = tail.read_bytes()
+        tail.write_bytes(whole[:-5])
+        scan = scan_segment(tail)
+        assert scan.error is not None
+        assert scan.valid_bytes + scan.torn_bytes == len(whole) - 5
+        assert len(scan.records) == 2
+
+
+class TestRetirement:
+    def sealed_journal(self, tmp_path, records=20, segment_bytes=150):
+        journal = Journal.open(
+            tmp_path, fsync="never", segment_bytes=segment_bytes
+        )
+        append_n(journal, records)
+        return journal
+
+    def test_retires_only_fully_covered_segments(self, tmp_path):
+        journal = self.sealed_journal(tmp_path)
+        segments = journal.segments()
+        assert len(segments) >= 3
+        # cover everything up to the second segment's first record - 1:
+        # only the first segment is fully covered
+        second_first = int(
+            segments[1].name[len("wal-"):-len(".jsonl")]
+        )
+        removed = journal.retire_covered(second_first - 1)
+        assert removed == [segments[0]]
+        journal.close()
+
+    def test_never_deletes_the_final_segment(self, tmp_path):
+        journal = self.sealed_journal(tmp_path)
+        journal.retire_covered(journal.last_lsn)
+        remaining = journal.segments()
+        assert len(remaining) >= 1
+        # the surviving log still replays the uncovered suffix
+        last = list(read_records(tmp_path))[-1]
+        assert last.lsn == journal.last_lsn
+        journal.close()
+
+    def test_retired_history_does_not_break_reads(self, tmp_path):
+        journal = self.sealed_journal(tmp_path)
+        journal.retire_covered(10)
+        lsns = [r.lsn for r in read_records(tmp_path, start_lsn=10)]
+        assert lsns == list(range(11, 21))
+        journal.close()
+
+
+class TestWireFormat:
+    def test_records_are_json_lines_with_crc(self, tmp_path):
+        with Journal.open(tmp_path, fsync="never") as journal:
+            journal.append("enroll", {"learner_id": "amy"})
+        line = segment_files(tmp_path)[0].read_text().strip()
+        payload = json.loads(line)
+        assert payload["lsn"] == 1
+        assert payload["type"] == "enroll"
+        assert payload["data"] == {"learner_id": "amy"}
+        assert isinstance(payload["crc"], int)
