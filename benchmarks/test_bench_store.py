@@ -1,12 +1,20 @@
 """Durability cost — what the write-ahead journal charges per mutation.
 
-Three measurements, written to ``BENCH_store.json``:
+Five measurements, written to ``BENCH_store.json``:
 
 * **append throughput** per fsync policy: ``never`` and ``interval``
   should sit within the same order of magnitude (both are buffered
   writes + an OS-level flush); ``always`` pays a real ``fsync()`` per
   record and is orders of magnitude slower — that is the price of
   power-loss durability, and the reason ``interval`` is the default;
+* **batch + group commit** under ``always``: ``append_batch`` amortizes
+  one fsync over K records, and group commit coalesces concurrent
+  writers into shared flushes.  The acceptance targets from the batch
+  milestone: **batched always-fsync appends >= 3x the single-record
+  rate**, and it must never regress below the *v1 JSONL* single-record
+  number (the pre-batch baseline);
+* **wire formats**: binary v2 vs JSONL v1 append rate and bytes per
+  record — v2 must be strictly smaller on disk;
 * **replay throughput**: records/second through ``recover()``, which
   re-executes real LMS mutators (sessions, SCORM API, monitor) rather
   than patching dicts — replay is expected to cost roughly what the
@@ -21,11 +29,12 @@ Three measurements, written to ``BENCH_store.json``:
 
 import json
 import os
+import threading
 import time
 
 from repro.server.app import ExamServer
 from repro.server.loadgen import run_loadgen
-from repro.store import Journal, recover
+from repro.store import Journal, recover, segment_files
 from repro.store.events import answer_event
 
 from conftest import show
@@ -35,6 +44,11 @@ ARTIFACT = os.path.join(os.path.dirname(__file__), "..", "BENCH_store.json")
 #: the acceptance bar (docs/durability.md) and the looser CI tripwire
 TARGET_OVERHEAD_RATIO = 0.85
 MIN_CI_RATIO = 0.60
+
+#: batch-milestone bars: target tracked in the artifact, tripwire in CI
+TARGET_BATCH_SPEEDUP = 3.0
+MIN_BATCH_SPEEDUP = 2.0
+BATCH_K = 10
 
 LOADGEN_LEARNERS = 100
 LOADGEN_QUESTIONS = 10
@@ -51,13 +65,57 @@ def sample_event(index):
     )
 
 
-def append_run(directory, policy, count):
-    with Journal.open(directory, fsync=policy) as journal:
+def append_run(directory, policy, count, format=2):
+    with Journal.open(directory, fsync=policy, format=format) as journal:
         start = time.perf_counter()
         for index in range(count):
             journal.append("answer", sample_event(index))
         elapsed = time.perf_counter() - start
-    return count / elapsed, elapsed
+        size = sum(p.stat().st_size for p in segment_files(directory))
+    return count / elapsed, elapsed, size
+
+
+def batch_append_run(directory, batches, k):
+    """``batches`` x ``append_batch(K)`` under always-fsync."""
+    with Journal.open(directory, fsync="always") as journal:
+        start = time.perf_counter()
+        for index in range(batches):
+            journal.append_batch(
+                [
+                    ("answer", sample_event(index * k + offset))
+                    for offset in range(k)
+                ]
+            )
+        elapsed = time.perf_counter() - start
+        fsyncs = journal.fsyncs
+    return (batches * k) / elapsed, elapsed, fsyncs
+
+
+def concurrent_append_run(directory, threads, per_thread, group_commit):
+    """N always-fsync writer threads, with or without group commit."""
+    journal = Journal.open(
+        directory, fsync="always", group_commit=group_commit
+    )
+
+    def writer(worker):
+        for index in range(per_thread):
+            journal.append(
+                "answer", sample_event(worker * per_thread + index)
+            )
+
+    pool = [
+        threading.Thread(target=writer, args=(worker,))
+        for worker in range(threads)
+    ]
+    start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    fsyncs = journal.fsyncs
+    journal.close()
+    return (threads * per_thread) / elapsed, elapsed, fsyncs
 
 
 def journaled_cohort(wal_dir, learners=40, questions=6):
@@ -108,11 +166,55 @@ def test_bench_store(benchmark, tmp_path):
     # -- append throughput per fsync policy -------------------------------
     append = {}
     for policy, count in (("never", 5000), ("interval", 5000), ("always", 300)):
-        rps, elapsed = append_run(tmp_path / f"wal-{policy}", policy, count)
+        rps, elapsed, _ = append_run(tmp_path / f"wal-{policy}", policy, count)
         append[policy] = {
             "records": count,
             "seconds": round(elapsed, 4),
             "records_per_second": round(rps, 1),
+        }
+
+    # -- batched ingestion + group commit under always-fsync --------------
+    single_always_rps = append["always"]["records_per_second"]
+    v1_always_rps, _, _ = append_run(
+        tmp_path / "wal-always-v1", "always", 300, format=1
+    )
+    batched_rps, batched_elapsed, batched_fsyncs = batch_append_run(
+        tmp_path / "wal-batch", batches=300, k=BATCH_K
+    )
+    plain_mt_rps, _, plain_mt_fsyncs = concurrent_append_run(
+        tmp_path / "wal-mt-plain", threads=8, per_thread=250,
+        group_commit=False,
+    )
+    gc_rps, _, gc_fsyncs = concurrent_append_run(
+        tmp_path / "wal-mt-gc", threads=8, per_thread=250, group_commit=True
+    )
+    batch = {
+        "k": BATCH_K,
+        "single_always_rps": round(single_always_rps, 1),
+        "single_always_v1_rps": round(v1_always_rps, 1),
+        "batched_always_rps": round(batched_rps, 1),
+        "batched_fsyncs": batched_fsyncs,
+        "batched_ms_per_record": round(
+            1000.0 * batched_elapsed / (300 * BATCH_K), 4
+        ),
+        "batch_speedup": round(batched_rps / single_always_rps, 2),
+        "target_batch_speedup": TARGET_BATCH_SPEEDUP,
+        "concurrent_plain_rps": round(plain_mt_rps, 1),
+        "concurrent_plain_fsyncs": plain_mt_fsyncs,
+        "concurrent_group_commit_rps": round(gc_rps, 1),
+        "concurrent_group_commit_fsyncs": gc_fsyncs,
+        "group_commit_speedup": round(gc_rps / plain_mt_rps, 2),
+    }
+
+    # -- wire formats: binary v2 vs JSONL v1 ------------------------------
+    formats = {}
+    for fmt in (1, 2):
+        rps, _, size = append_run(
+            tmp_path / f"wal-fmt{fmt}", "never", 5000, format=fmt
+        )
+        formats[f"v{fmt}"] = {
+            "records_per_second": round(rps, 1),
+            "bytes_per_record": round(size / 5000, 1),
         }
 
     # pytest-benchmark timing of the hot path: one buffered append
@@ -153,7 +255,13 @@ def test_bench_store(benchmark, tmp_path):
         "target_ratio": TARGET_OVERHEAD_RATIO,
     }
 
-    payload = {"append": append, "replay": replay, "loadgen": e2e}
+    payload = {
+        "append": append,
+        "batch": batch,
+        "formats": formats,
+        "replay": replay,
+        "loadgen": e2e,
+    }
     with open(ARTIFACT, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -167,6 +275,16 @@ def test_bench_store(benchmark, tmp_path):
                     f"{stats['records_per_second']:>10.1f} rec/s"
                     for policy, stats in append.items()
                 ),
+                f"batch[K={BATCH_K}]:    "
+                f"{batch['batched_always_rps']:>10.1f} rec/s "
+                f"({batch['batch_speedup']}x single always)",
+                f"group commit:    "
+                f"{batch['concurrent_group_commit_rps']:>10.1f} rec/s "
+                f"({batch['group_commit_speedup']}x plain, "
+                f"{gc_fsyncs} vs {plain_mt_fsyncs} fsyncs)",
+                f"format v1/v2:    "
+                f"{formats['v1']['bytes_per_record']:.0f} -> "
+                f"{formats['v2']['bytes_per_record']:.0f} bytes/rec",
                 f"replay:          {replay['records_per_second']:>10.1f} rec/s",
                 f"loadgen no-WAL:  {e2e['no_wal_rps']:>10.1f} req/s",
                 f"loadgen WAL:     {e2e['wal_interval_rps']:>10.1f} req/s "
@@ -183,6 +301,26 @@ def test_bench_store(benchmark, tmp_path):
         < append["interval"]["records_per_second"]
     )
     assert replay["records_per_second"] > 100
+    # batch-milestone gates: K-record batches amortize the fsync ...
+    assert batch["batch_speedup"] >= MIN_BATCH_SPEEDUP, (
+        f"batched always-fsync at {batch['batch_speedup']}x single-record, "
+        f"CI floor {MIN_BATCH_SPEEDUP}x (target {TARGET_BATCH_SPEEDUP}x)"
+    )
+    # ... and never fall below the pre-batch v1 single-record baseline
+    assert batched_rps >= v1_always_rps, (
+        f"batched v2 throughput {batched_rps:.0f} rec/s regressed below "
+        f"the v1 single-record baseline {v1_always_rps:.0f} rec/s"
+    )
+    # group commit coalesces concurrent writers into shared flushes
+    assert gc_fsyncs < plain_mt_fsyncs
+    assert gc_rps >= plain_mt_rps, (
+        f"group commit ({gc_rps:.0f} rec/s) slower than plain "
+        f"always-fsync under contention ({plain_mt_rps:.0f} rec/s)"
+    )
+    # the binary format is strictly smaller on the wire
+    assert (
+        formats["v2"]["bytes_per_record"] < formats["v1"]["bytes_per_record"]
+    )
     # the loose CI tripwire; the 15% target is tracked via the artifact
     assert ratio >= MIN_CI_RATIO, (
         f"WAL loadgen at {ratio:.2f}x of no-WAL throughput, "

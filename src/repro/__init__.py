@@ -40,7 +40,7 @@ Quickstart::
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: facade name -> (module, attribute); ``None`` attribute re-exports the
 #: module itself.  Everything here is importable as ``repro.<name>``.
@@ -81,6 +81,7 @@ _EXPORTS = {
     # durability (the write-ahead journal)
     "Journal": ("repro.store.journal", "Journal"),
     "recover": ("repro.store.recovery", "recover"),
+    "state_fingerprint": ("repro.store.recovery", "state_fingerprint"),
     "Checkpointer": ("repro.store.checkpoint", "Checkpointer"),
     # SCORM packaging
     "package_exam": ("repro.scorm.package", "package_exam"),
@@ -140,7 +141,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
     from repro.server.loadgen import LoadgenReport, run_loadgen  # noqa: F401
     from repro.store.checkpoint import Checkpointer  # noqa: F401
     from repro.store.journal import Journal  # noqa: F401
-    from repro.store.recovery import recover  # noqa: F401
+    from repro.store.recovery import recover, state_fingerprint  # noqa: F401
     from repro.scorm.package import ContentPackage  # noqa: F401
     from repro.scorm.package import extract_exam  # noqa: F401
     from repro.scorm.package import package_exam  # noqa: F401

@@ -186,6 +186,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--wal-format", type=int, choices=(1, 2), default=2,
+        help=(
+            "wire format for NEW WAL segments: 1 = JSON lines, 2 = "
+            "compact binary (default); existing segments of either "
+            "format are read transparently"
+        ),
+    )
+    serve.add_argument(
+        "--group-commit", action="store_true",
+        help=(
+            "with --fsync always, coalesce concurrent writers' fsyncs "
+            "into one flush per group instead of one per record"
+        ),
+    )
+    serve.add_argument(
         "--checkpoint-interval", type=float, default=None,
         metavar="SECONDS",
         help=(
@@ -219,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--questions", type=int, default=20)
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--workers", type=int, default=8)
+    loadgen.add_argument(
+        "--batch", type=int, default=0, metavar="K",
+        help=(
+            "post answers K at a time via answers:batch (the final "
+            "chunk submits the sitting); 0 = one request per answer"
+        ),
+    )
     loadgen.add_argument(
         "--no-setup", action="store_true",
         help="skip offering the exam / registering learners first",
@@ -390,6 +412,8 @@ def _cmd_serve(args) -> int:
         snapshot_interval_seconds=args.snapshot_interval,
         wal_dir=args.wal_dir,
         fsync=args.fsync,
+        wal_format=args.wal_format,
+        group_commit=args.group_commit,
         checkpoint_interval_seconds=args.checkpoint_interval,
     )
     if server.recovery_report is not None:
@@ -444,6 +468,7 @@ def _cmd_loadgen(args) -> int:
         seed=args.seed,
         workers=args.workers,
         setup=not args.no_setup,
+        batch=args.batch,
     )
     print(report.render())
     if args.out:

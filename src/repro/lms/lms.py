@@ -29,7 +29,9 @@ from repro import obs
 from repro.core.errors import (
     DuplicateIdError,
     NotFoundError,
+    ResponseError,
     SessionStateError,
+    TimeLimitExceeded,
 )
 from repro.core.grouping import GroupSplit
 from repro.core.rules import DEFAULT_SPREAD_THRESHOLD
@@ -111,6 +113,9 @@ class Lms:
         self._sittings: Dict[Tuple[str, str], LmsSitting] = {}
         self._results: Dict[str, List[GradedSitting]] = {}
         self._live: Dict[str, LiveCohortAnalysis] = {}  # warm analyses
+        #: when a batch mutator is in flight, _emit collects events here
+        #: so the whole batch lands in one Journal.append_batch call
+        self._event_buffer: Optional[List[Tuple[str, Dict[str, object]]]] = None
 
     # -- durability ---------------------------------------------------------------
 
@@ -127,9 +132,14 @@ class Lms:
         """Append one event to the attached journal (no-op without one).
 
         Called under :attr:`lock`, after the mutation succeeded, so LSN
-        order is the authoritative serialization of LMS history.
+        order is the authoritative serialization of LMS history.  While
+        a batch mutator is in flight the event is buffered instead, and
+        the whole buffer goes to the journal as one
+        :meth:`~repro.store.journal.Journal.append_batch`.
         """
-        if self.journal is not None:
+        if self._event_buffer is not None:
+            self._event_buffer.append((type_, data))
+        elif self.journal is not None:
             self.journal.append(type_, data)
 
     # -- catalog & enrollment ---------------------------------------------------
@@ -285,6 +295,111 @@ class Lms:
             ),
         )
         return scored
+
+    def answer_batch(
+        self,
+        learner_id: str,
+        exam_id: str,
+        answers: "List[Tuple[str, object]]",
+        submit: bool = False,
+    ) -> Tuple[List[ScoredResponse], Optional[GradedSitting]]:
+        """Record K answers atomically under one lock acquisition.
+
+        ``answers`` is a sequence of ``(item_id, response)`` pairs.  The
+        whole batch is validated **before** anything is applied — the
+        first invalid answer raises its domain error (message prefixed
+        with ``answers[i]``) and the sitting, tracking, monitor, and
+        journal are all untouched.  On success every answer is applied
+        exactly as :meth:`answer` would, sharing one clock sample, and
+        the journal receives the batch as a single ``answers`` event in
+        one group-committed append — K answers, one fsync.
+
+        With ``submit=True`` the sitting is also submitted and graded
+        in the same critical section, and its ``submit`` event rides
+        the same durable append.  Returns ``(scored, graded)`` where
+        ``graded`` is None unless ``submit`` was requested.
+        """
+        with obs.span("lms.answer_batch", exam_id=exam_id), self.lock:
+            scored, graded = self._answer_batch(
+                learner_id, exam_id, answers, submit
+            )
+        obs.count("lms.answers.recorded", len(scored))
+        obs.count("lms.answer_batches")
+        if graded is not None:
+            obs.count("lms.sittings.submitted")
+        return scored, graded
+
+    def _answer_batch(
+        self,
+        learner_id: str,
+        exam_id: str,
+        answers: "List[Tuple[str, object]]",
+        submit: bool,
+    ) -> Tuple[List[ScoredResponse], Optional[GradedSitting]]:
+        pairs = [(item_id, response) for item_id, response in answers]
+        if not pairs:
+            raise ResponseError("answers batch is empty")
+        now = self.clock.now()
+        sitting = self.sitting(learner_id, exam_id)
+        session = sitting.session
+        # Phase 1 — validate every answer up front, mirroring the exact
+        # check order of ExamSession.answer, so the first bad answer
+        # rejects the whole batch before any state or journal change.
+        if session.state is not SessionState.IN_PROGRESS:
+            raise SessionStateError(
+                f"cannot answer in state {session.state.value}"
+            )
+        if session.time_expired(now):
+            raise TimeLimitExceeded(
+                f"test time of {session.exam.time_limit_seconds}s has expired"
+            )
+        for index, (item_id, response) in enumerate(pairs):
+            try:
+                item = session.exam.item(item_id)
+                item.score(response)
+            except Exception as exc:
+                raise type(exc)(
+                    f"answers[{index}] ({item_id!r}): {exc}"
+                ) from exc
+        # Phase 2 — apply.  Everything below is deterministic given the
+        # validated inputs and the single timestamp, so it cannot fail
+        # partway: the batch is all-or-nothing.
+        scored: List[ScoredResponse] = []
+        self._event_buffer = buffer = []
+        try:
+            for item_id, response in pairs:
+                session.answer(item_id, response, now)
+                item = session.exam.item(item_id)
+                one = item.score(response)
+                self._cmi_record_answer(sitting, item_id, item, one)
+                self.tracking.record(
+                    EventKind.ANSWERED,
+                    learner_id,
+                    exam_id,
+                    now,
+                    detail=item_id,
+                )
+                self.monitor.poll(
+                    learner_id, exam_id, session.elapsed_seconds(now)
+                )
+                scored.append(one)
+            buffer.append(
+                (
+                    "answers",
+                    store_events.answer_batch_event(
+                        learner_id, exam_id, pairs, now
+                    ),
+                )
+            )
+            graded = None
+            if submit:
+                # its "submit" event lands in the buffer, after ours
+                graded = self._submit(learner_id, exam_id)
+        finally:
+            self._event_buffer = None
+        if self.journal is not None:
+            self.journal.append_batch(buffer)
+        return scored, graded
 
     def _cmi_record_answer(
         self, sitting: LmsSitting, item_id: str, item, scored: ScoredResponse

@@ -143,10 +143,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
         """Per-request stderr chatter is replaced by obs counters."""
 
     def _read_body(self) -> bytes:
+        self._body_consumed = True
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             return b""
         if length > self.app.max_body_bytes:
+            # refusing to read it leaves the bytes on the socket, so
+            # this connection cannot serve another request
+            self.close_connection = True
             raise ApiError(
                 413,
                 "payload_too_large",
@@ -154,6 +158,23 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 f"{self.app.max_body_bytes}-byte limit",
             )
         return self.rfile.read(length)
+
+    def _drain_body(self) -> None:
+        """Consume an unread request body before an early rejection.
+
+        A response sent while the body still sits in the socket buffer
+        poisons the keep-alive connection: the stale bytes parse as the
+        next request line.  Bodies too large to swallow force a close
+        instead.
+        """
+        if getattr(self, "_body_consumed", False):
+            return
+        self._body_consumed = True
+        length = int(self.headers.get("Content-Length") or 0)
+        if 0 < length <= self.app.max_body_bytes:
+            self.rfile.read(length)
+        elif length > self.app.max_body_bytes:
+            self.close_connection = True
 
     def _send_json(
         self,
@@ -173,9 +194,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         app = self.app
         registry = app.context.registry
+        # one handler instance serves every request of a keep-alive
+        # connection: the drain bookkeeping is per-request state
+        self._body_consumed = False
         if not app.in_flight.try_acquire():
             # saturated: shed load *now* rather than queueing unboundedly
             registry.count("server.rejected")
+            self._drain_body()
             self._send_json(
                 503,
                 ApiError(
@@ -218,6 +243,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             registry.count(
                 "server.errors", route=route_name, status=error.status
             )
+            self._drain_body()  # errors before the body read (404/405)
             self._send_json(error.status, error.body(), error.retry_after)
 
 
@@ -259,7 +285,10 @@ class ExamServer:
         sample_every: int = 1,
         wal_dir: Optional["str | Path"] = None,
         fsync: str = "interval",
+        wal_format: int = 2,
+        group_commit: bool = False,
         checkpoint_interval_seconds: Optional[float] = None,
+        max_batch_answers: int = 500,
     ) -> None:
         if registry is None:
             # the server records even when global profiling is off:
@@ -280,7 +309,11 @@ class ExamServer:
                 lms = self.recovery_report.lms
             # Journal.open also repairs the torn tail recover() tolerated
             self.journal = Journal.open(
-                self.wal_dir, fsync=fsync, registry=registry
+                self.wal_dir,
+                fsync=fsync,
+                format=wal_format,
+                group_commit=group_commit,
+                registry=registry,
             )
             lms.attach_journal(self.journal)
             self.checkpointer = Checkpointer(lms, self.journal)
@@ -288,7 +321,11 @@ class ExamServer:
         self.router = build_router()
         self.in_flight = _InFlightBudget(max_in_flight)
         self.max_body_bytes = max_body_bytes
-        self.context = ServerContext(lms=self.lms, registry=registry)
+        self.context = ServerContext(
+            lms=self.lms,
+            registry=registry,
+            max_batch_answers=max_batch_answers,
+        )
         self.context.in_flight = self.in_flight.current
         self.snapshot_path = (
             Path(snapshot_path) if snapshot_path is not None else None
@@ -434,10 +471,14 @@ class ExamServer:
         return {
             "wal_dir": str(self.wal_dir),
             "fsync_policy": journal.fsync_policy,
+            "format": journal.format,
+            "group_commit": journal.group_commit,
             "last_lsn": journal.last_lsn,
             "records_appended": journal.records_appended,
             "bytes_appended": journal.bytes_appended,
             "fsyncs": journal.fsyncs,
+            "batch_appends": journal.batch_appends,
+            "group_commits": journal.group_commits,
             "rotations": journal.rotations,
             "segments": len(journal.segments()),
             "checkpoints_taken": self.checkpointer.checkpoints_taken,

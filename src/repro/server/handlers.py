@@ -53,6 +53,8 @@ class ServerContext:
     #: filled by the app layer when a WAL is configured: a zero-arg
     #: callable returning journal/checkpoint stats for /metrics
     store_info: Optional[object] = None
+    #: hard cap on answers per ``answers:batch`` request (413 above it)
+    max_batch_answers: int = 500
 
     def uptime_seconds(self) -> float:
         """Seconds since the context (≈ server) came up."""
@@ -181,6 +183,50 @@ def _answer(ctx: ServerContext, params, body, query):
     return {"item_id": body["item_id"], "scored": scored_to_dict(scored)}
 
 
+_BATCH_SPEC = BodySpec(
+    required={"answers": list},
+    optional={"submit": bool},
+    elements={"answers": _ANSWER_SPEC},
+)
+
+
+def _answers_batch(ctx: ServerContext, params, body, query):
+    """K answers in one request — and optionally the submit too.
+
+    All-or-nothing: the first invalid answer rejects the whole batch
+    with a 4xx naming its index (``answers[i]``), and nothing — not the
+    sitting, not the journal — is touched.  With ``"submit": true`` the
+    sitting is graded in the same critical section and the grade rides
+    the same durable journal append (the whole-sitting variant).
+    """
+    body = _BATCH_SPEC.validate(body)
+    answers = body["answers"]
+    if len(answers) > ctx.max_batch_answers:
+        raise ApiError(
+            413,
+            "payload_too_large",
+            f"batch of {len(answers)} answers exceeds the per-request "
+            f"limit of {ctx.max_batch_answers}",
+        )
+    scored, graded = ctx.lms.answer_batch(
+        params["learner_id"],
+        params["exam_id"],
+        [(entry["item_id"], entry["response"]) for entry in answers],
+        submit=bool(body.get("submit", False)),
+    )
+    payload = {
+        "count": len(scored),
+        "scored": [
+            {"item_id": entry["item_id"], "scored": scored_to_dict(one)}
+            for entry, one in zip(answers, scored)
+        ],
+        "submitted": graded is not None,
+    }
+    if graded is not None:
+        payload["graded"] = graded_to_dict(graded)
+    return payload
+
+
 def _sitting_status(ctx: ServerContext, params, body, query):
     sitting = ctx.lms.sitting(params["learner_id"], params["exam_id"])
     session = sitting.session
@@ -289,6 +335,12 @@ def build_router() -> Router:
     sitting = "/exams/{exam_id}/sittings/{learner_id}"
     router.add("POST", sitting + "/start", _start, "sittings.start")
     router.add("POST", sitting + "/answer", _answer, "sittings.answer")
+    router.add(
+        "POST",
+        sitting + "/answers:batch",
+        _answers_batch,
+        "sittings.answers_batch",
+    )
     router.add("POST", sitting + "/suspend", _suspend, "sittings.suspend")
     router.add("POST", sitting + "/resume", _resume, "sittings.resume")
     router.add("POST", sitting + "/submit", _submit, "sittings.submit")

@@ -103,6 +103,10 @@ class LoadgenReport:
     retries_503: int
     duration_seconds: float
     routes: Dict[str, RouteTimings]
+    #: answers per batched request (0 = one request per answer)
+    batch: int = 0
+    #: total answers delivered (across single and batched requests)
+    answers_posted: int = 0
     #: the selections every learner posted, in learner order — the raw
     #: material for differential checks against the server's analysis
     responses: List[ExamineeResponses] = field(default_factory=list)
@@ -122,6 +126,8 @@ class LoadgenReport:
             "requests": self.requests,
             "errors": self.errors,
             "retries_503": self.retries_503,
+            "batch": self.batch,
+            "answers_posted": self.answers_posted,
             "duration_seconds": round(self.duration_seconds, 4),
             "throughput_rps": round(self.throughput_rps, 1),
             "routes": {
@@ -132,12 +138,13 @@ class LoadgenReport:
 
     def render(self) -> str:
         """A terminal-friendly summary table."""
+        batched = f", batch={self.batch}" if self.batch else ""
         lines = [
             f"loadgen: {self.learners} learners x {self.questions} "
             f"questions -> {self.requests} requests in "
             f"{self.duration_seconds:.2f}s "
             f"({self.throughput_rps:.0f} req/s, {self.errors} errors, "
-            f"{self.retries_503} x 503 retried)",
+            f"{self.retries_503} x 503 retried{batched})",
             f"{'route':<10} {'count':>7} {'mean':>8} {'p50':>8} "
             f"{'p90':>8} {'p99':>8} {'max':>8}  (ms)",
         ]
@@ -298,6 +305,7 @@ def run_loadgen(
     parameters: Optional[Dict[str, ItemParameters]] = None,
     setup: bool = True,
     timeout: float = 30.0,
+    batch: int = 0,
 ) -> LoadgenReport:
     """Drive a simulated cohort through a running server; measure it.
 
@@ -308,11 +316,17 @@ def run_loadgen(
     of :mod:`repro.sim.workloads` at ``questions`` items.
 
     Every learner's sitting is start → answer (one request per item,
-    omitted items skipped) → submit.  Work is spread over ``workers``
-    threads, each with its own keep-alive connection; 503 backpressure
-    responses are honoured (short sleep, retry) and counted separately
-    rather than treated as failures.
+    omitted items skipped) → submit.  With ``batch=K`` the answers go
+    up K at a time through ``POST .../answers:batch`` instead (route
+    ``answer_batch``), and the final chunk carries ``"submit": true``
+    so the grade rides the same request — the whole-sitting variant.
+    Work is spread over ``workers`` threads, each with its own
+    keep-alive connection; 503 backpressure responses are honoured
+    (short sleep, retry) and counted separately rather than treated as
+    failures.
     """
+    if batch < 0:
+        raise LoadgenError(f"batch must be >= 0, got {batch}")
     pieces = urlsplit(url if "//" in url else f"http://{url}")
     host, port = pieces.hostname, pieces.port
     if host is None or port is None:
@@ -383,18 +397,49 @@ def run_loadgen(
                     client, recorder, "start", "POST", base + "/start",
                     expect=(201,),
                 )
-                for item_id, selection in scripts[learner.learner_id]:
-                    if selection is None:
-                        continue  # an omitted item: no request at all
+                pairs = [
+                    (item_id, selection)
+                    for item_id, selection in scripts[learner.learner_id]
+                    if selection is not None  # omitted: no request at all
+                ]
+                if batch > 0:
+                    for begin in range(0, len(pairs), batch):
+                        chunk = pairs[begin: begin + batch]
+                        payload = {
+                            "answers": [
+                                {"item_id": item_id, "response": selection}
+                                for item_id, selection in chunk
+                            ]
+                        }
+                        if begin + batch >= len(pairs):
+                            payload["submit"] = True
+                        _timed(
+                            client,
+                            recorder,
+                            "answer_batch",
+                            "POST",
+                            base + "/answers:batch",
+                            payload,
+                        )
+                    if not pairs:
+                        # an all-omitted sitting still has to close
+                        _timed(
+                            client, recorder, "submit", "POST",
+                            base + "/submit",
+                        )
+                else:
+                    for item_id, selection in pairs:
+                        _timed(
+                            client,
+                            recorder,
+                            "answer",
+                            "POST",
+                            base + "/answer",
+                            {"item_id": item_id, "response": selection},
+                        )
                     _timed(
-                        client,
-                        recorder,
-                        "answer",
-                        "POST",
-                        base + "/answer",
-                        {"item_id": item_id, "response": selection},
+                        client, recorder, "submit", "POST", base + "/submit"
                     )
-                _timed(client, recorder, "submit", "POST", base + "/submit")
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with queue_lock:
                 failures.append(exc)
@@ -421,12 +466,20 @@ def run_loadgen(
         )
         for learner in population
     ]
+    answers_posted = sum(
+        1
+        for script in scripts.values()
+        for _, selection in script
+        if selection is not None
+    )
     return LoadgenReport(
         learners=learners,
         questions=len(exam.analyzable_items()),
         requests=recorder.requests,
         errors=recorder.errors,
         retries_503=recorder.retries_503,
+        batch=batch,
+        answers_posted=answers_posted,
         duration_seconds=duration,
         routes={
             name: RouteTimings.of(values)

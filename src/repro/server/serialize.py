@@ -65,18 +65,36 @@ class BodySpec:
     Unknown fields are rejected unless ``allow_extra`` — typos like
     ``"learner"`` for ``"learner_id"`` fail loudly instead of silently
     doing nothing.
+
+    ``elements`` maps a list-typed field name to the :class:`BodySpec`
+    each of its elements must satisfy.  Violations inside an element —
+    including a non-object element, which used to escape as an opaque
+    500 when the handler indexed into it — surface as the same 400
+    ``bad_request`` shape with a JSON pointer locating the offender
+    (e.g. ``/answers/3/item_id``).
     """
 
     required: Dict[str, Type] = field(default_factory=dict)
     optional: Dict[str, Type] = field(default_factory=dict)
     allow_extra: bool = False
+    elements: Dict[str, "BodySpec"] = field(default_factory=dict)
 
-    def validate(self, body: Dict[str, object]) -> Dict[str, object]:
-        """The validated body; raises ApiError 400 on any violation."""
+    def validate(
+        self, body: Dict[str, object], pointer: str = ""
+    ) -> Dict[str, object]:
+        """The validated body; raises ApiError 400 on any violation.
+
+        ``pointer`` is the JSON pointer of ``body`` within the request
+        ("" at the top level); it prefixes the paths in error messages
+        when validating nested elements.
+        """
+        at = f" at {pointer}" if pointer else ""
         for name, expected in self.required.items():
             if name not in body:
                 raise ApiError(
-                    400, "bad_request", f"missing required field {name!r}"
+                    400,
+                    "bad_request",
+                    f"missing required field {name!r}{at}",
                 )
         if not self.allow_extra:
             known = set(self.required) | set(self.optional)
@@ -85,7 +103,7 @@ class BodySpec:
                 raise ApiError(
                     400,
                     "bad_request",
-                    f"unknown field(s): {', '.join(extra)}",
+                    f"unknown field(s){at}: {', '.join(extra)}",
                 )
         for name, expected in {**self.required, **self.optional}.items():
             if name not in body or expected is object:
@@ -99,9 +117,23 @@ class BodySpec:
                 raise ApiError(
                     400,
                     "bad_request",
-                    f"field {name!r} must be {expected.__name__}, "
+                    f"field {name!r}{at} must be {expected.__name__}, "
                     f"got {type(value).__name__}",
                 )
+        for name, spec in self.elements.items():
+            value = body.get(name)
+            if not isinstance(value, list):
+                continue  # absence/type already reported above
+            for index, element in enumerate(value):
+                child = f"{pointer}/{name}/{index}"
+                if not isinstance(element, dict):
+                    raise ApiError(
+                        400,
+                        "bad_request",
+                        f"element at {child} must be an object, "
+                        f"got {type(element).__name__}",
+                    )
+                spec.validate(element, pointer=child)
         return body
 
 

@@ -3,8 +3,10 @@
 An append-only, checksummed write-ahead log plus a snapshot/compaction
 engine (see ``docs/durability.md``):
 
-* :class:`Journal` — segmented JSONL WAL with per-record CRC32 and
-  monotonic LSNs, configurable fsync policy, and torn-tail repair;
+* :class:`Journal` — segmented WAL with per-record CRC32 and monotonic
+  LSNs, configurable fsync policy, torn-tail repair, batched appends
+  with group commit, and two auto-detected wire formats (JSONL v1 and
+  the compact binary v2 of :mod:`repro.store.format`);
 * :mod:`repro.store.events` — one journaled event per LMS mutation,
   emitted under the LMS lock, replayed through the same public
   mutators;
@@ -23,10 +25,13 @@ from typing import TYPE_CHECKING
 
 _EXPORTS = {
     "FSYNC_POLICIES": ("repro.store.journal", "FSYNC_POLICIES"),
+    "JOURNAL_FORMATS": ("repro.store.journal", "JOURNAL_FORMATS"),
     "Journal": ("repro.store.journal", "Journal"),
     "JournalRecord": ("repro.store.journal", "JournalRecord"),
     "read_records": ("repro.store.journal", "read_records"),
+    "scan_segment": ("repro.store.journal", "scan_segment"),
     "segment_files": ("repro.store.journal", "segment_files"),
+    "segment_format": ("repro.store.journal", "segment_format"),
     "recover": ("repro.store.recovery", "recover"),
     "RecoveryReport": ("repro.store.recovery", "RecoveryReport"),
     "ReplayClock": ("repro.store.recovery", "ReplayClock"),
@@ -70,10 +75,13 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
     from repro.store.events import EVENT_TYPES, apply_event  # noqa: F401
     from repro.store.journal import (  # noqa: F401
         FSYNC_POLICIES,
+        JOURNAL_FORMATS,
         Journal,
         JournalRecord,
         read_records,
+        scan_segment,
         segment_files,
+        segment_format,
     )
     from repro.store.recovery import (  # noqa: F401
         RecoveryReport,

@@ -29,6 +29,7 @@ __all__ = [
     "register_event",
     "lifecycle_event",
     "answer_event",
+    "answer_batch_event",
 ]
 
 #: every event type a Journal written by the LMS can contain
@@ -38,6 +39,7 @@ EVENT_TYPES = (
     "enroll",
     "start",
     "answer",
+    "answers",
     "suspend",
     "resume",
     "submit",
@@ -80,6 +82,26 @@ def answer_event(
     }
 
 
+def answer_batch_event(
+    learner_id: str,
+    exam_id: str,
+    answers: "list",
+    ts: float,
+) -> Dict[str, object]:
+    """K answers recorded as one durable unit (``answers:batch``).
+
+    ``answers`` is a list of ``[item_id, response]`` pairs — flat pairs
+    rather than K per-answer dicts, so a whole batch replays from one
+    event without per-record key/dict overhead.
+    """
+    return {
+        "learner_id": learner_id,
+        "exam_id": exam_id,
+        "answers": [[item_id, response] for item_id, response in answers],
+        "ts": ts,
+    }
+
+
 # -- replay --------------------------------------------------------------------
 
 
@@ -115,6 +137,16 @@ def _apply_answer(lms, data):
     )
 
 
+def _apply_answer_batch(lms, data):
+    # the recovery fast-path: one event -> K answers through the batch
+    # mutator, under a single lock/validation pass
+    lms.answer_batch(
+        data["learner_id"],
+        data["exam_id"],
+        [(pair[0], pair[1]) for pair in data["answers"]],
+    )
+
+
 def _apply_suspend(lms, data):
     lms.suspend(data["learner_id"], data["exam_id"])
 
@@ -137,6 +169,7 @@ _APPLY: Dict[str, Callable] = {
     "enroll": _apply_enroll,
     "start": _apply_start,
     "answer": _apply_answer,
+    "answers": _apply_answer_batch,
     "suspend": _apply_suspend,
     "resume": _apply_resume,
     "submit": _apply_submit,

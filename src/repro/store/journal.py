@@ -1,14 +1,24 @@
 """The write-ahead log: a segmented, checksummed, append-only journal.
 
 :class:`Journal` is the durability primitive under the LMS (see
-``docs/durability.md``).  Records are JSON lines — one per mutation —
-each carrying a monotonically increasing **LSN** (log sequence number)
-and a CRC32 over its canonical encoding, so a reader can tell a valid
-record from a torn or corrupted one without any framing beyond the
-newline.  The log is **segmented**: when the active file passes
-``segment_bytes`` it is sealed and a new segment named after the next
-LSN begins, which is what lets checkpointing retire history in whole
-files (:mod:`repro.store.checkpoint`).
+``docs/durability.md``).  Each record carries a monotonically
+increasing **LSN** (log sequence number) and a CRC32, so a reader can
+tell a valid record from a torn or corrupted one.  The log is
+**segmented**: when the active file passes ``segment_bytes`` it is
+sealed and a new segment named after the next LSN begins, which is what
+lets checkpointing retire history in whole files
+(:mod:`repro.store.checkpoint`).
+
+Two wire formats coexist, selected per segment by file suffix and
+auto-detected on read, so a directory can mix them (old logs recover
+unchanged after an upgrade):
+
+* ``format=1`` — JSON lines (``wal-<lsn>.jsonl``): one canonical JSON
+  object per line with an embedded ``crc`` field;
+* ``format=2`` — compact binary (``wal-<lsn>.walb``): an 8-byte header
+  (magic + version) then length-prefixed records
+  (varint length + u32 CRC32 + struct-packed body; see
+  :mod:`repro.store.format`).  The default for new journals.
 
 Durability levels (``fsync`` policy):
 
@@ -24,6 +34,17 @@ Every policy flushes Python's userspace buffer per append, so a record
 that was acknowledged to a caller is never lost to a killed *process* —
 that invariant is what the crash-injection suite proves.
 
+**Group commit** (``group_commit=True``) changes how the ``"always"``
+policy pays for its durability: instead of one fsync per append, a
+writer that finds another thread's fsync in flight waits for it to
+finish and then rides the *next* one, so N concurrent writers share
+O(1) flushes instead of issuing N.  An append still never returns
+before its record is on disk — the coalescing moves the fsync, never
+skips it.  ``group_commit_window_seconds`` optionally holds the leader
+back to let more writers pile in (0 = rely on natural batching).
+:meth:`append_batch` applies the same idea within one caller: K records
+become one write + one flush + one fsync.
+
 Reading tolerates a **torn tail**: a record that fails to parse or
 checksum in the *final* segment marks the end of the log (everything
 after it is ignored, and :meth:`Journal.open` physically truncates it).
@@ -35,35 +56,45 @@ from __future__ import annotations
 
 import json
 import os
+import struct
 import threading
 import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.errors import StoreError, JournalCorruptError
+from repro.store import format as binfmt
 
 __all__ = [
     "FSYNC_POLICIES",
+    "JOURNAL_FORMATS",
     "Journal",
     "JournalRecord",
     "TailScan",
     "read_records",
     "scan_segment",
     "segment_files",
+    "segment_format",
 ]
 
 #: accepted values for the Journal fsync policy
 FSYNC_POLICIES = ("always", "interval", "never")
+#: accepted values for the Journal wire format
+JOURNAL_FORMATS = (1, 2)
 
 _SEGMENT_PREFIX = "wal-"
-_SEGMENT_SUFFIX = ".jsonl"
+#: per-format segment suffix; the suffix is how readers auto-detect
+_FORMAT_SUFFIXES = {1: ".jsonl", 2: ".walb"}
+_SUFFIX_FORMATS = {suffix: fmt for fmt, suffix in _FORMAT_SUFFIXES.items()}
 #: default segment rotation threshold (bytes)
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
 #: default fsync coalescing window for the "interval" policy (seconds)
 DEFAULT_FSYNC_INTERVAL = 0.05
+
+_CRC32 = struct.Struct("<I")
 
 
 @dataclass(frozen=True)
@@ -76,21 +107,30 @@ class JournalRecord:
 
 
 def _canonical(payload: Dict[str, object]) -> str:
-    """The canonical encoding the CRC is computed over."""
+    """The canonical encoding the v1 CRC is computed over."""
     return json.dumps(
         payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
     )
 
 
-def _encode_record(lsn: int, type_: str, data: Dict[str, object]) -> bytes:
+def _encode_record_v1(lsn: int, type_: str, data: Dict[str, object]) -> bytes:
     body = {"lsn": lsn, "type": type_, "data": data}
     crc = zlib.crc32(_canonical(body).encode("utf-8")) & 0xFFFFFFFF
     body["crc"] = crc
     return (_canonical(body) + "\n").encode("utf-8")
 
 
+def _encode_record_v2(lsn: int, type_: str, data: Dict[str, object]) -> bytes:
+    body = binfmt.encode_body(lsn, type_, data)
+    return (
+        binfmt.encode_varint(len(body))
+        + _CRC32.pack(zlib.crc32(body) & 0xFFFFFFFF)
+        + body
+    )
+
+
 def _decode_line(line: bytes) -> JournalRecord:
-    """Parse and verify one line; raises ValueError on any defect."""
+    """Parse and verify one v1 line; raises ValueError on any defect."""
     text = line.decode("utf-8")
     payload = json.loads(text)
     if not isinstance(payload, dict):
@@ -113,12 +153,20 @@ def _decode_line(line: bytes) -> JournalRecord:
     return JournalRecord(lsn=lsn, type=type_, data=data)
 
 
-def _segment_name(first_lsn: int) -> str:
-    return f"{_SEGMENT_PREFIX}{first_lsn:020d}{_SEGMENT_SUFFIX}"
+def _segment_name(first_lsn: int, format: int = 1) -> str:
+    return f"{_SEGMENT_PREFIX}{first_lsn:020d}{_FORMAT_SUFFIXES[format]}"
+
+
+def segment_format(path: Path) -> int:
+    """The wire format a segment file uses (from its suffix)."""
+    fmt = _SUFFIX_FORMATS.get(path.suffix)
+    if fmt is None:
+        raise StoreError(f"not a WAL segment name: {path.name}")
+    return fmt
 
 
 def _segment_first_lsn(path: Path) -> int:
-    stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    stem = path.name[len(_SEGMENT_PREFIX): -len(path.suffix)]
     try:
         return int(stem)
     except ValueError:
@@ -126,7 +174,7 @@ def _segment_first_lsn(path: Path) -> int:
 
 
 def segment_files(directory: "str | Path") -> List[Path]:
-    """The directory's WAL segments, in LSN order."""
+    """The directory's WAL segments (either format), in LSN order."""
     base = Path(directory)
     if not base.is_dir():
         return []
@@ -134,7 +182,7 @@ def segment_files(directory: "str | Path") -> List[Path]:
         path
         for path in base.iterdir()
         if path.name.startswith(_SEGMENT_PREFIX)
-        and path.name.endswith(_SEGMENT_SUFFIX)
+        and path.suffix in _SUFFIX_FORMATS
     ]
     return sorted(segments, key=_segment_first_lsn)
 
@@ -152,11 +200,7 @@ class TailScan:
     error: Optional[str] = None
 
 
-def scan_segment(path: Path) -> TailScan:
-    """Read every valid record of one segment, stopping at the first
-    bad one (truncate-at-first-bad-record semantics)."""
-    scan = TailScan()
-    raw = path.read_bytes()
+def _scan_v1(raw: bytes, scan: TailScan) -> None:
     offset = 0
     for line in raw.split(b"\n"):
         if offset >= len(raw):
@@ -177,6 +221,54 @@ def scan_segment(path: Path) -> TailScan:
             break
         offset += consumed
         scan.valid_bytes = offset
+
+
+def _scan_v2(raw: bytes, scan: TailScan) -> None:
+    if not raw:
+        # created but never written (crash before the header): clean-empty
+        return
+    try:
+        binfmt.check_segment_header(raw)
+    except ValueError as exc:
+        # a torn header means no record ever landed; the whole file is
+        # the torn tail and repair truncates it back to nothing
+        scan.error = str(exc)
+        return
+    offset = binfmt.SEGMENT_HEADER_LEN
+    scan.valid_bytes = offset
+    while offset < len(raw):
+        try:
+            body_len, body_start = binfmt.decode_varint(raw, offset)
+            body_start += _CRC32.size
+            end = body_start + body_len
+            if body_start > len(raw) or end > len(raw):
+                raise ValueError("record truncated")
+            (crc,) = _CRC32.unpack_from(raw, body_start - _CRC32.size)
+            body = raw[body_start:end]
+            if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                raise ValueError(
+                    f"crc mismatch: stored {crc}, "
+                    f"computed {zlib.crc32(body) & 0xFFFFFFFF}"
+                )
+            lsn, type_, data = binfmt.decode_body(body)
+        except ValueError as exc:
+            scan.error = str(exc)
+            break
+        scan.records.append(JournalRecord(lsn=lsn, type=type_, data=data))
+        offset = end
+        scan.valid_bytes = offset
+
+
+def scan_segment(path: Path) -> TailScan:
+    """Read every valid record of one segment, stopping at the first
+    bad one (truncate-at-first-bad-record semantics).  The wire format
+    is auto-detected from the file suffix."""
+    scan = TailScan()
+    raw = path.read_bytes()
+    if segment_format(path) == 2:
+        _scan_v2(raw, scan)
+    else:
+        _scan_v1(raw, scan)
     scan.torn_bytes = len(raw) - scan.valid_bytes
     return scan
 
@@ -186,10 +278,11 @@ def read_records(
 ) -> Iterator[JournalRecord]:
     """Iterate every record with ``lsn > start_lsn``, in log order.
 
-    Tolerates a torn tail on the final segment (iteration just ends
-    there); a bad record in any earlier segment raises
-    :class:`JournalCorruptError` because records after it exist — that
-    is data loss in the middle of history, not an interrupted append.
+    Segments of both wire formats are read transparently.  Tolerates a
+    torn tail on the final segment (iteration just ends there); a bad
+    record in any earlier segment raises :class:`JournalCorruptError`
+    because records after it exist — that is data loss in the middle of
+    history, not an interrupted append.
     """
     segments = segment_files(directory)
     for index, path in enumerate(segments):
@@ -222,6 +315,9 @@ class Journal:
         fsync: str = "interval",
         fsync_interval_seconds: float = DEFAULT_FSYNC_INTERVAL,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        format: int = 2,
+        group_commit: bool = False,
+        group_commit_window_seconds: float = 0.0,
         registry: Optional["obs.Registry"] = None,
         _last_lsn: int = 0,
     ) -> None:
@@ -229,12 +325,23 @@ class Journal:
             raise StoreError(
                 f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES}"
             )
+        if format not in JOURNAL_FORMATS:
+            raise StoreError(
+                f"unknown journal format {format!r}; "
+                f"use one of {JOURNAL_FORMATS}"
+            )
         if segment_bytes < 1:
             raise StoreError(f"segment_bytes must be >= 1, got {segment_bytes}")
         self.directory = Path(directory)
         self.fsync_policy = fsync
         self.fsync_interval_seconds = float(fsync_interval_seconds)
         self.segment_bytes = int(segment_bytes)
+        self.format = int(format)
+        self.group_commit = bool(group_commit)
+        self.group_commit_window_seconds = float(group_commit_window_seconds)
+        self._encode_one = (
+            _encode_record_v2 if self.format == 2 else _encode_record_v1
+        )
         self._registry = registry
         self._lock = threading.Lock()
         self._last_lsn = int(_last_lsn)
@@ -243,12 +350,20 @@ class Journal:
         self._segment_size = 0
         self._last_fsync = time.monotonic()
         self._closed = False
+        # group-commit leader/follower state: _gc_synced is the highest
+        # LSN known to be on disk; one leader at a time runs the fsync
+        # while followers wait on the condition and re-check
+        self._gc_cond = threading.Condition()
+        self._gc_synced = 0
+        self._gc_leader_active = False
         #: lifetime totals, mirrored into obs counters
         self.records_appended = 0
         self.bytes_appended = 0
         self.fsyncs = 0
         self.rotations = 0
         self.repaired_bytes = 0
+        self.batch_appends = 0
+        self.group_commits = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -260,13 +375,20 @@ class Journal:
         fsync: str = "interval",
         fsync_interval_seconds: float = DEFAULT_FSYNC_INTERVAL,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        format: int = 2,
+        group_commit: bool = False,
+        group_commit_window_seconds: float = 0.0,
         registry: Optional["obs.Registry"] = None,
     ) -> "Journal":
         """Open (creating if needed) the WAL in ``directory``.
 
         An existing log is scanned: the final segment's torn tail, if
         any, is physically truncated away, and appends continue from
-        the next LSN.
+        the next LSN.  ``format`` governs segments this journal
+        *creates*; existing segments keep their own format, so opening
+        an old JSONL directory with ``format=2`` upgrades the log
+        mid-stream — the tail segment is sealed as-is and the next
+        append starts a binary one.
         """
         base = Path(directory)
         base.mkdir(parents=True, exist_ok=True)
@@ -275,6 +397,9 @@ class Journal:
             fsync=fsync,
             fsync_interval_seconds=fsync_interval_seconds,
             segment_bytes=segment_bytes,
+            format=format,
+            group_commit=group_commit,
+            group_commit_window_seconds=group_commit_window_seconds,
             registry=registry,
         )
         segments = segment_files(base)
@@ -294,7 +419,10 @@ class Journal:
                 # an empty (or fully torn) final segment: the previous
                 # LSN is one less than the first this file would hold
                 journal._last_lsn = _segment_first_lsn(tail) - 1
-            journal._open_segment(tail, append=True)
+            if segment_format(tail) == journal.format:
+                journal._open_segment(tail, append=True)
+            # else: leave the tail sealed; the next append opens a new
+            # segment in the configured format (mid-stream upgrade)
         return journal
 
     # -- appending ------------------------------------------------------------
@@ -313,27 +441,30 @@ class Journal:
         returning under every policy, and fsynced per the policy.
         """
         with self._lock:
-            if self._closed:
-                raise StoreError("journal is closed")
-            lsn = self._last_lsn + 1
-            encoded = _encode_record(lsn, type_, data)
-            if self._stream is None:
-                self._open_segment(
-                    self.directory / _segment_name(lsn), append=False
-                )
-            self._stream.write(encoded)
-            # userspace -> OS page cache: makes the record SIGKILL-safe
-            self._stream.flush()
-            self._maybe_fsync()
-            self._last_lsn = lsn
-            self._segment_size += len(encoded)
-            self.records_appended += 1
-            self.bytes_appended += len(encoded)
-            if self._segment_size >= self.segment_bytes:
-                self._rotate_locked()
-            self._count("store.appends")
-            self._count("store.bytes", len(encoded))
+            lsn = self._append_locked(((type_, data),))
+        if self._gc_enabled():
+            self._commit_group(lsn)
         return lsn
+
+    def append_batch(
+        self, events: Sequence[Tuple[str, Dict[str, object]]]
+    ) -> List[int]:
+        """Durably append K events as one write; returns their LSNs.
+
+        The whole batch is encoded, written, flushed, and (per policy)
+        fsynced once, so the per-record cost of lock traffic, syscalls,
+        and disk flushes is amortized K ways.  Records are contiguous
+        in the log: no other writer's record lands between them.
+        """
+        if not events:
+            return []
+        with self._lock:
+            last = self._append_locked(tuple(events))
+            self.batch_appends += 1
+            self._count("store.batch_appends")
+        if self._gc_enabled():
+            self._commit_group(last)
+        return list(range(last - len(events) + 1, last + 1))
 
     def sync(self) -> None:
         """Force an fsync of the active segment (any policy)."""
@@ -363,6 +494,10 @@ class Journal:
                 self._stream.close()
                 self._stream = None
             self._closed = True
+        # release any group-commit followers parked on the condition
+        with self._gc_cond:
+            self._gc_synced = max(self._gc_synced, self._last_lsn)
+            self._gc_cond.notify_all()
 
     def __enter__(self) -> "Journal":
         return self
@@ -407,10 +542,90 @@ class Journal:
 
     # -- internals ------------------------------------------------------------
 
+    def _append_locked(
+        self, events: Iterable[Tuple[str, Dict[str, object]]]
+    ) -> int:
+        """Encode + write + flush ``events`` under ``self._lock``;
+        returns the last LSN assigned.  Fsync happens here per policy
+        unless group commit will handle it after the lock is released.
+        """
+        if self._closed:
+            raise StoreError("journal is closed")
+        lsn = self._last_lsn
+        chunks = []
+        for type_, data in events:
+            lsn += 1
+            chunks.append(self._encode_one(lsn, type_, data))
+        encoded = b"".join(chunks)
+        if self._stream is None:
+            self._open_segment(
+                self.directory
+                / _segment_name(self._last_lsn + 1, self.format),
+                append=False,
+            )
+        self._stream.write(encoded)
+        # userspace -> OS page cache: makes the records SIGKILL-safe
+        self._stream.flush()
+        if not self._gc_enabled():
+            self._maybe_fsync()
+        appended = lsn - self._last_lsn
+        self._last_lsn = lsn
+        self._segment_size += len(encoded)
+        self.records_appended += appended
+        self.bytes_appended += len(encoded)
+        if self._segment_size >= self.segment_bytes:
+            self._rotate_locked()
+        self._count("store.appends", appended)
+        self._count("store.bytes", len(encoded))
+        return lsn
+
+    def _gc_enabled(self) -> bool:
+        # group commit only changes the "always" policy: the other
+        # policies already coalesce (or skip) their fsyncs
+        return self.group_commit and self.fsync_policy == "always"
+
+    def _commit_group(self, lsn: int) -> None:
+        """Block until ``lsn`` is fsynced, coalescing with other
+        writers: one leader flushes for everyone who arrived while the
+        previous flush was in flight."""
+        with self._gc_cond:
+            while True:
+                if self._gc_synced >= lsn:
+                    return  # somebody's flush already covered us
+                if not self._gc_leader_active:
+                    self._gc_leader_active = True
+                    break
+                self._gc_cond.wait()
+        high = lsn
+        try:
+            if self.group_commit_window_seconds > 0:
+                # optional hold-back so more writers join this flush
+                time.sleep(self.group_commit_window_seconds)
+            with self._lock:
+                if self._stream is not None and not self._closed:
+                    self._stream.flush()
+                # everything appended so far is covered: sealed
+                # segments were fsynced at rotation, the active one by
+                # the fsync below
+                high = max(high, self._last_lsn)
+                self._fsync_locked()
+            self.group_commits += 1
+            self._count("store.group_commits")
+        finally:
+            with self._gc_cond:
+                self._gc_synced = max(self._gc_synced, high)
+                self._gc_leader_active = False
+                self._gc_cond.notify_all()
+
     def _open_segment(self, path: Path, append: bool) -> None:
         self._stream = path.open("ab" if append else "xb")
         self._segment_path = path
         self._segment_size = path.stat().st_size if append else 0
+        if segment_format(path) == 2 and self._segment_size == 0:
+            header = binfmt.segment_header()
+            self._stream.write(header)
+            self._stream.flush()
+            self._segment_size = len(header)
 
     def _rotate_locked(self) -> None:
         self._stream.flush()

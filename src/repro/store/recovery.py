@@ -88,6 +88,10 @@ class RecoveryReport:
     last_lsn: int = 0
     #: bytes dropped from the final segment's torn tail (0 = clean)
     torn_bytes: int = 0
+    #: individual answers replayed via batched ``answers`` events —
+    #: each such record fans out through the Lms batch fast-path, so
+    #: records_replayed alone understates the replayed work
+    batched_answers: int = 0
 
     def summary(self) -> str:
         """One human line, for the CLI and server boot log."""
@@ -101,10 +105,15 @@ class RecoveryReport:
             if self.torn_bytes
             else ""
         )
+        batched = (
+            f", {self.batched_answers} answer(s) via batch events"
+            if self.batched_answers
+            else ""
+        )
         return (
             f"recovered from {source} + {self.records_replayed} WAL "
             f"record(s) (skipped {self.records_skipped} already covered, "
-            f"last lsn {self.last_lsn}){torn}"
+            f"last lsn {self.last_lsn}){batched}{torn}"
         )
 
 
@@ -156,6 +165,8 @@ def recover(
         clock.pin(store_events.event_timestamp(record.type, record.data))
         store_events.apply_event(lms, record.type, record.data)
         report.records_replayed += 1
+        if record.type == "answers":
+            report.batched_answers += len(record.data.get("answers", ()))
         report.last_lsn = record.lsn
     clock.go_live()
     return report

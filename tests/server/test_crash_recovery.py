@@ -38,7 +38,7 @@ BOOTSTRAP = (
 )
 
 
-def spawn_server(wal_dir):
+def spawn_server(wal_dir, fsync="never", extra=()):
     env = dict(os.environ)
     env["PYTHONPATH"] = REPO_SRC
     process = subprocess.Popen(
@@ -52,7 +52,8 @@ def spawn_server(wal_dir):
             "--wal-dir",
             str(wal_dir),
             "--fsync",
-            "never",
+            fsync,
+            *extra,
         ],
         env=env,
         stdout=subprocess.PIPE,
@@ -249,6 +250,140 @@ class TestSigkillRecovery:
                 f"/exams/{crashed_run['exam_id']}/sittings/crash09/submit",
             )
             assert status == 200
+
+
+@pytest.fixture(scope="module")
+def crashed_batch_run(tmp_path_factory):
+    """The batched variant: group-committed ``answers:batch`` requests
+    (including the whole-sitting submit form) acked, then SIGKILL."""
+    wal_dir = tmp_path_factory.mktemp("crash-batch-wal")
+    exam = classroom_exam(QUESTIONS)
+    record = exam_to_record(exam)
+    process, host, port = spawn_server(
+        wal_dir, fsync="always", extra=("--group-commit",)
+    )
+    acked = {"answers": [], "submitted": [], "checkpoint": None}
+    try:
+        status, _ = request(host, port, "POST", "/exams", record)
+        assert status == 201
+        learner_ids = [f"batch{i:02d}" for i in range(8)]
+        for learner_id in learner_ids:
+            request(
+                host, port, "POST", "/learners",
+                {"learner_id": learner_id, "name": learner_id},
+            )
+            request(
+                host, port, "POST",
+                f"/exams/{exam.exam_id}/enrollments",
+                {"learner_id": learner_id},
+            )
+            status, _ = request(
+                host, port, "POST",
+                f"/exams/{exam.exam_id}/sittings/{learner_id}/start",
+            )
+            assert status == 201
+        # learners 0-5: the whole sitting in ONE batch request
+        for index, learner_id in enumerate(learner_ids[:6]):
+            answers = [
+                {
+                    "item_id": f"q{question:02d}",
+                    "response": LABELS[(index + question) % len(LABELS)],
+                }
+                for question in range(1, QUESTIONS + 1)
+            ]
+            status, body = request(
+                host, port, "POST",
+                f"/exams/{exam.exam_id}/sittings/{learner_id}/answers:batch",
+                {"answers": answers, "submit": True},
+            )
+            assert status == 200 and body["submitted"] is True
+            for entry in answers:
+                acked["answers"].append(
+                    (learner_id, entry["item_id"], entry["response"])
+                )
+            acked["submitted"].append(learner_id)
+        # learners 6-7: a partial batch, mid-sitting at the kill
+        for index, learner_id in enumerate(learner_ids[6:], start=6):
+            answers = [
+                {
+                    "item_id": f"q{question:02d}",
+                    "response": LABELS[(index * question) % len(LABELS)],
+                }
+                for question in range(1, 4)
+            ]
+            status, _ = request(
+                host, port, "POST",
+                f"/exams/{exam.exam_id}/sittings/{learner_id}/answers:batch",
+                {"answers": answers},
+            )
+            assert status == 200
+            for entry in answers:
+                acked["answers"].append(
+                    (learner_id, entry["item_id"], entry["response"])
+                )
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+    return {
+        "wal_dir": wal_dir,
+        "exam": exam,
+        "exam_id": exam.exam_id,
+        "acked": acked,
+    }
+
+
+class TestBatchSigkillRecovery:
+    def test_every_acked_batched_answer_survives(self, crashed_batch_run):
+        report = recover(crashed_batch_run["wal_dir"])
+        acked = crashed_batch_run["acked"]
+        assert acked["answers"], "cohort never ran"
+        # the WAL really does carry batch events, not per-answer ones
+        assert report.batched_answers >= len(acked["answers"])
+        for learner_id, item_id, label in acked["answers"]:
+            assert_answer_recovered(
+                report.lms, crashed_batch_run["exam_id"],
+                learner_id, item_id, label, acked,
+            )
+
+    def test_batched_submits_are_graded(self, crashed_batch_run):
+        report = recover(crashed_batch_run["wal_dir"])
+        graded_ids = {
+            g.learner_id
+            for g in report.lms.results_for(crashed_batch_run["exam_id"])
+        }
+        assert graded_ids == set(crashed_batch_run["acked"]["submitted"])
+
+    def test_recovered_server_resumes_the_partial_batches(
+        self, crashed_batch_run
+    ):
+        from repro.server.app import ExamServer
+
+        exam_id = crashed_batch_run["exam_id"]
+        with ExamServer(
+            lms=None, wal_dir=crashed_batch_run["wal_dir"]
+        ) as server:
+            status, body = request(
+                server.host, server.port, "GET",
+                f"/exams/{exam_id}/sittings/batch07",
+            )
+            assert status == 200
+            assert body["state"] == "in_progress"
+            assert len(body["answered"]) == 3
+            # finish the sitting with another batch over the new server
+            answers = [
+                {"item_id": f"q{q:02d}", "response": "A"}
+                for q in range(4, QUESTIONS + 1)
+            ]
+            status, body = request(
+                server.host, server.port, "POST",
+                f"/exams/{exam_id}/sittings/batch07/answers:batch",
+                {"answers": answers, "submit": True},
+            )
+            assert status == 200
+            assert body["submitted"] is True
 
 
 class TestTornWriteFuzz:

@@ -1,0 +1,166 @@
+"""Unit tests for the binary WAL codec (repro.store.format).
+
+The codec is the byte-level contract of format-2 segments: every value
+the JSONL format can carry must round-trip, every truncation must raise
+``ValueError`` (the journal scanner's torn-tail signal), and the header
+must reject anything that is not a v2 segment.
+"""
+
+import pytest
+
+from repro.store.format import (
+    SEGMENT_HEADER_LEN,
+    SEGMENT_MAGIC,
+    check_segment_header,
+    decode_body,
+    decode_varint,
+    decode_value,
+    encode_body,
+    encode_varint,
+    encode_value,
+    segment_header,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 255, 300, 2**14, 2**31, 2**63, 2**64 - 1]
+    )
+    def test_round_trip(self, value):
+        raw = encode_varint(value)
+        decoded, offset = decode_varint(raw, 0)
+        assert decoded == value
+        assert offset == len(raw)
+
+    def test_small_values_take_one_byte(self):
+        assert len(encode_varint(0)) == 1
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        raw = encode_varint(2**31)
+        for cut in range(len(raw)):
+            with pytest.raises(ValueError):
+                decode_varint(raw[:cut], 0)
+
+    def test_unterminated_run_raises(self):
+        # continuation bit set on every byte: never terminates
+        with pytest.raises(ValueError):
+            decode_varint(b"\xff" * 11, 0)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            1,
+            42,
+            -(2**40),
+            2**40,
+            0.0,
+            3.5,
+            -2.25,
+            1e300,
+            "",
+            "amy",
+            "naïve résumé — 試験",
+            [],
+            [1, "a", None, True],
+            {},
+            {"learner_id": "amy", "score": 0.75},
+            {"nested": {"list": [1, [2, {"deep": None}]]}},
+        ],
+    )
+    def test_round_trip(self, value):
+        raw = encode_value(value)
+        decoded, offset = decode_value(raw)
+        assert decoded == value
+        assert type(decoded) is type(value)
+        assert offset == len(raw)
+
+    def test_bool_is_not_confused_with_int(self):
+        # bool is an int subclass; the codec must keep them distinct
+        assert decode_value(encode_value(True))[0] is True
+        assert decode_value(encode_value(1))[0] == 1
+        assert decode_value(encode_value(1))[0] is not True
+
+    def test_every_truncation_raises(self):
+        raw = encode_value(
+            {"learner_id": "amy", "response": ["B", None, 3.5], "ok": True}
+        )
+        for cut in range(len(raw)):
+            with pytest.raises(ValueError):
+                decode_value(raw[:cut])
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError):
+            decode_value(b"\x7f")
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ValueError):
+            encode_value({"bad": object()})
+
+    def test_non_string_dict_key_raises(self):
+        with pytest.raises(ValueError):
+            encode_value({1: "a"})
+
+
+class TestSegmentHeader:
+    def test_header_layout(self):
+        raw = segment_header()
+        assert len(raw) == SEGMENT_HEADER_LEN
+        assert raw.startswith(SEGMENT_MAGIC)
+        check_segment_header(raw)  # does not raise
+
+    def test_truncated_header_raises(self):
+        for cut in range(SEGMENT_HEADER_LEN):
+            with pytest.raises(ValueError):
+                check_segment_header(segment_header()[:cut])
+
+    def test_bad_magic_raises(self):
+        raw = bytearray(segment_header())
+        raw[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            check_segment_header(bytes(raw))
+
+    def test_unsupported_version_raises(self):
+        with pytest.raises(ValueError):
+            check_segment_header(segment_header(version=99))
+
+
+class TestBody:
+    def test_round_trip(self):
+        body = encode_body(7, "answer", {"learner_id": "amy", "n": 3})
+        assert decode_body(body) == (
+            7,
+            "answer",
+            {"learner_id": "amy", "n": 3},
+        )
+
+    def test_trailing_bytes_rejected(self):
+        body = encode_body(1, "answer", {})
+        with pytest.raises(ValueError):
+            decode_body(body + b"\x00")
+
+    def test_nonpositive_lsn_rejected(self):
+        with pytest.raises(ValueError):
+            decode_body(encode_body(0, "answer", {}))
+
+    def test_non_dict_data_rejected(self):
+        bad = encode_varint(1) + encode_value("answer") + encode_value("x")
+        with pytest.raises(ValueError):
+            decode_body(bad)
+
+    def test_non_string_type_rejected(self):
+        bad = encode_varint(1) + encode_value(5) + encode_value({})
+        with pytest.raises(ValueError):
+            decode_body(bad)

@@ -20,7 +20,13 @@ from repro.core.errors import AssessmentError
 from repro.delivery.clock import ManualClock
 from repro.lms.learners import Learner
 from repro.lms.lms import Lms
-from repro.store import Checkpointer, Journal, recover, state_fingerprint
+from repro.store import (
+    Checkpointer,
+    Journal,
+    recover,
+    segment_files,
+    state_fingerprint,
+)
 
 LEARNERS = ["l0", "l1", "l2"]
 ITEMS = ["q1", "q2", "q3", "q9"]  # q9 does not exist in the exam
@@ -110,7 +116,7 @@ def test_recovery_tolerates_a_torn_tail(tmp_path_factory, ops, cut):
         apply_operation(lms, clock, checkpointer, op)
     journal.sync()
     journal.close()
-    segments = sorted(wal_dir.glob("wal-*.jsonl"))
+    segments = segment_files(wal_dir)
     if segments:
         tail = segments[-1]
         raw = tail.read_bytes()
