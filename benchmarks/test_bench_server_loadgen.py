@@ -38,6 +38,23 @@ MAX_BATCH_ANSWER_MS = 5.0
 ARTIFACT = os.path.join(os.path.dirname(__file__), "..", "BENCH_server.json")
 
 
+def merge_artifact(updates):
+    """Read-modify-write ``BENCH_server.json``: each bench owns its own
+    keys (this one the single-process numbers, the cluster bench the
+    ``sharded`` section) and must not clobber the others'."""
+    payload = {}
+    if os.path.exists(ARTIFACT):
+        try:
+            with open(ARTIFACT) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(updates)
+    with open(ARTIFACT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def test_bench_server_loadgen(benchmark):
     with ExamServer(max_in_flight=64) as server:
         report = run_loadgen(
@@ -79,21 +96,20 @@ def test_bench_server_loadgen(benchmark):
     effective_answer_ms = batch_report.routes["answer_batch"].mean_ms / BATCH_K
 
     answer = report.routes["answer"]
-    payload = {
-        "workload": (
-            f"{LEARNERS} x {QUESTIONS} full sittings over HTTP, "
-            f"{WORKERS} workers"
-        ),
-        **report.to_dict(),
-        "batched": {
-            **batch_report.to_dict(),
-            "effective_ms_per_answer": round(effective_answer_ms, 4),
-            "target_ms_per_answer": TARGET_BATCH_ANSWER_MS,
-        },
-    }
-    with open(ARTIFACT, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    merge_artifact(
+        {
+            "workload": (
+                f"{LEARNERS} x {QUESTIONS} full sittings over HTTP, "
+                f"{WORKERS} workers"
+            ),
+            **report.to_dict(),
+            "batched": {
+                **batch_report.to_dict(),
+                "effective_ms_per_answer": round(effective_answer_ms, 4),
+                "target_ms_per_answer": TARGET_BATCH_ANSWER_MS,
+            },
+        }
+    )
 
     show(
         f"Server load ({LEARNERS} x {QUESTIONS}, {WORKERS} workers)",

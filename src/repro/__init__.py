@@ -22,6 +22,9 @@ The library's layers:
 * :mod:`repro.store` — the durable event journal under the LMS:
   write-ahead logging, crash recovery, and checkpoint compaction
   (``mine-assess serve --wal-dir`` / ``mine-assess recover``);
+* :mod:`repro.cluster` — the sharded multi-process delivery tier:
+  consistent-hash learner placement, worker supervision, and
+  scatter-gather analytics (``mine-assess serve --workers N``);
 * :mod:`repro.sim`, :mod:`repro.adaptive`, :mod:`repro.baselines` —
   simulated cohorts (scalar, vectorized, and sharded engines),
   adaptive testing, and classical baselines;
@@ -40,7 +43,7 @@ Quickstart::
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: facade name -> (module, attribute); ``None`` attribute re-exports the
 #: module itself.  Everything here is importable as ``repro.<name>``.
@@ -78,6 +81,9 @@ _EXPORTS = {
     "ExamServer": ("repro.server.app", "ExamServer"),
     "run_loadgen": ("repro.server.loadgen", "run_loadgen"),
     "LoadgenReport": ("repro.server.loadgen", "LoadgenReport"),
+    # sharded delivery (the multi-process cluster)
+    "ExamCluster": ("repro.cluster.supervisor", "ExamCluster"),
+    "HashRing": ("repro.cluster.ring", "HashRing"),
     # durability (the write-ahead journal)
     "Journal": ("repro.store.journal", "Journal"),
     "recover": ("repro.store.recovery", "recover"),
@@ -121,6 +127,8 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
         LiveCohortAnalysis,
         ResponseMatrix,
     )
+    from repro.cluster.ring import HashRing  # noqa: F401
+    from repro.cluster.supervisor import ExamCluster  # noqa: F401
     from repro.core.grouping import GroupSplit  # noqa: F401
     from repro.core.question_analysis import (  # noqa: F401
         CohortAnalysis,

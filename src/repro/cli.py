@@ -153,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (0 = pick an ephemeral port and print it)",
     )
     serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help=(
+            "run a sharded delivery tier: N worker processes behind one "
+            "SO_REUSEPORT front port, learners consistent-hashed across "
+            "them; with --wal-dir each shard journals to its own "
+            "subdirectory (DIR/shard-0, DIR/shard-1, ...)"
+        ),
+    )
+    serve.add_argument(
         "--state", metavar="PATH", default=None,
         help=(
             "LMS state file: loaded at startup when it exists, written "
@@ -214,8 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild LMS state from a WAL directory and print a report",
     )
     recover_cmd.add_argument(
-        "wal_dir", metavar="DIR",
-        help="journal directory written by serve --wal-dir",
+        "wal_dir", metavar="DIR", nargs="+",
+        help=(
+            "journal directory written by serve --wal-dir; pass several "
+            "(or one cluster root containing shard-* subdirectories) to "
+            "merge per-shard recoveries into one whole-cohort state"
+        ),
     )
     recover_cmd.add_argument(
         "--out", metavar="PATH", default=None,
@@ -239,6 +252,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "post answers K at a time via answers:batch (the final "
             "chunk submits the sitting); 0 = one request per answer"
+        ),
+    )
+    loadgen.add_argument(
+        "--cluster", action="store_true",
+        help=(
+            "topology-aware mode against serve --workers: fetch "
+            "/cluster/topology, rebuild the hash ring client-side, and "
+            "drive each learner directly at the shard that owns them"
         ),
     )
     loadgen.add_argument(
@@ -394,6 +415,8 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers > 1:
+        return _serve_cluster(args)
     if args.wal_dir is not None:
         # lms=None → ExamServer recovers from the newest checkpoint +
         # WAL suffix before serving
@@ -427,16 +450,102 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _serve_cluster(args) -> int:
+    """serve --workers N: the sharded multi-process delivery tier."""
+    from repro.cluster.supervisor import ExamCluster
+
+    if args.state is not None or args.snapshot_interval is not None:
+        print(
+            "--workers runs each shard on its own WAL; --state / "
+            "--snapshot-interval snapshots are single-process only",
+            file=sys.stderr,
+        )
+        return 2
+    cluster = ExamCluster(
+        workers=args.workers,
+        host=args.host,
+        front_port=args.port,
+        wal_root=args.wal_dir,
+        fsync=args.fsync,
+        wal_format=args.wal_format,
+        group_commit=args.group_commit,
+        max_in_flight=args.max_in_flight,
+        checkpoint_interval_seconds=args.checkpoint_interval,
+    )
+    with cluster:
+        for shard in cluster.shards:
+            print(
+                f"  {shard}: {cluster.worker_url(shard)}", file=sys.stderr
+            )
+        print(
+            f"serving on {cluster.url} ({args.workers} workers)", flush=True
+        )
+        try:
+            import signal as signal_module
+            import threading as threading_module
+
+            stop = threading_module.Event()
+            signal_module.signal(
+                signal_module.SIGTERM, lambda *_: stop.set()
+            )
+            while not stop.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            print("shutting down workers", file=sys.stderr)
+    return 0
+
+
+def _recover_wal_dirs(args) -> List[str]:
+    """The journal directories to recover: explicit list, or the
+    shard-* subdirectories of a single cluster root."""
+    import os
+
+    dirs = list(args.wal_dir)
+    if len(dirs) == 1:
+        shard_dirs = sorted(
+            entry.path
+            for entry in os.scandir(dirs[0])
+            if entry.is_dir() and entry.name.startswith("shard-")
+        )
+        if shard_dirs:
+            print(
+                f"cluster root: merging {len(shard_dirs)} shard "
+                f"journals", file=sys.stderr,
+            )
+            return shard_dirs
+    return dirs
+
+
 def _cmd_recover(args) -> int:
+    from repro.lms.persistence import lms_from_payload, merge_payloads
     from repro.store import recover
 
     try:
-        report = recover(args.wal_dir)
+        wal_dirs = _recover_wal_dirs(args)
+        reports = [recover(wal_dir) for wal_dir in wal_dirs]
     except Exception as exc:  # surface store errors to the operator
         print(f"recovery failed: {exc}", file=sys.stderr)
         return 2
-    print(report.summary())
-    lms = report.lms
+    for report in reports:
+        print(report.summary())
+    if len(reports) == 1:
+        lms = reports[0].lms
+    else:
+        # merge the per-shard recoveries into one whole-cohort LMS:
+        # export each shard's state, merge the payloads (learners are
+        # disjoint; exams are broadcast duplicates), reload
+        from repro.lms.persistence import _collect_payload
+
+        try:
+            lms = lms_from_payload(
+                merge_payloads(
+                    [_collect_payload(report.lms) for report in reports]
+                )
+            )
+        except Exception as exc:
+            print(f"merge failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"merged {len(reports)} shard recoveries")
     for exam_id in lms.offered_exams():
         open_sittings = sum(
             1
@@ -453,7 +562,13 @@ def _cmd_recover(args) -> int:
     if args.out:
         from repro.lms.persistence import save_lms
 
-        save_lms(lms, args.out, wal_lsn=report.last_lsn)
+        # per-shard LSN sequences are independent; for a merged export
+        # the max is informational only
+        save_lms(
+            lms,
+            args.out,
+            wal_lsn=max(report.last_lsn for report in reports),
+        )
         print(f"wrote recovered state to {args.out}", file=sys.stderr)
     return 0
 
@@ -469,6 +584,7 @@ def _cmd_loadgen(args) -> int:
         workers=args.workers,
         setup=not args.no_setup,
         batch=args.batch,
+        cluster=args.cluster,
     )
     print(report.render())
     if args.out:

@@ -1,0 +1,35 @@
+"""Sharded multi-process delivery tier (ROADMAP item 1).
+
+One process and one coarse lock cap exam delivery at a few thousand
+requests per second.  This package scales the tier *out* instead of up:
+
+* :class:`~repro.cluster.ring.HashRing` — consistent hashing with
+  virtual nodes; each learner id maps to exactly one shard, and adding
+  or removing a shard remaps only ~1/N of the population.
+* :class:`~repro.cluster.context.ClusterContext` — the per-worker view
+  of the topology: which shard this process is, where its peers listen,
+  and the forwarding/scatter plumbing the HTTP layer uses to route
+  per-learner requests to their owner and to gather per-shard analysis
+  partials.
+* :class:`~repro.cluster.supervisor.ExamCluster` — the parent process:
+  reserves the ports, forks N workers (each its own
+  :class:`~repro.server.app.ExamServer` over its own
+  :class:`~repro.lms.lms.Lms` and WAL directory), watches them, and
+  restarts any that die so a SIGKILL'd shard recovers from its journal.
+
+Every worker listens on two sockets: the shared **front port**
+(``SO_REUSEPORT`` — the kernel load-balances incoming connections
+across workers) and its own **direct port** (where peers forward and
+where a topology-aware load generator drives a shard directly).  A
+request landing on the wrong worker is proxied to the owner, so any
+worker can serve any request; cohort analytics scatter to every shard
+and merge the columnar partials
+(:func:`repro.core.columnar.merge_partials`) into an answer
+bit-identical to a single process holding the whole cohort.
+"""
+
+from repro.cluster.context import ClusterContext
+from repro.cluster.ring import HashRing
+from repro.cluster.supervisor import ExamCluster
+
+__all__ = ["ClusterContext", "ExamCluster", "HashRing"]

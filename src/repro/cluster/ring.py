@@ -1,0 +1,95 @@
+"""Consistent hashing for learner→shard placement.
+
+The classic ring: every shard contributes ``replicas`` virtual points
+hashed onto a 64-bit circle; a key belongs to the first shard point at
+or clockwise of the key's own hash.  Virtual points smooth the load
+(with 64 replicas the largest shard is within a few percent of the
+mean), and the defining property is *stability*: adding or removing a
+shard only moves the keys whose arc it owned — about ``1/N`` of the
+population — while every other key keeps its shard.  That is what makes
+resharding a recovery-sized event instead of a full-state migration.
+
+Hashes come from :func:`hashlib.blake2b`, not the built-in ``hash`` —
+the built-in is salted per process (``PYTHONHASHSEED``), and a ring
+that routes differently in every worker would scatter each learner's
+state across the fleet.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from hashlib import blake2b
+from typing import Iterable, List, Tuple
+
+from repro.core.errors import AnalysisError
+
+__all__ = ["HashRing"]
+
+#: virtual points per shard (64 keeps the worst shard within a few
+#: percent of uniform while the ring stays tiny)
+DEFAULT_REPLICAS = 64
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit position on the circle for ``label``."""
+    return int.from_bytes(
+        blake2b(label.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over named shards."""
+
+    def __init__(
+        self,
+        shards: Iterable[str] = (),
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if replicas < 1:
+            raise AnalysisError(
+                f"ring replicas must be positive, got {replicas}"
+            )
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []
+        self._shards: List[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    @property
+    def shards(self) -> List[str]:
+        """The member shards, in insertion order."""
+        return list(self._shards)
+
+    def add(self, shard: str) -> None:
+        """Join a shard: its virtual points enter the circle."""
+        if shard in self._shards:
+            raise AnalysisError(f"shard {shard!r} already on the ring")
+        self._shards.append(shard)
+        for replica in range(self.replicas):
+            self._points.append((_point(f"{shard}#{replica}"), shard))
+        self._points.sort()
+
+    def remove(self, shard: str) -> None:
+        """Leave: the shard's arcs fall to their clockwise successors."""
+        if shard not in self._shards:
+            raise AnalysisError(f"shard {shard!r} is not on the ring")
+        self._shards.remove(shard)
+        self._points = [
+            point for point in self._points if point[1] != shard
+        ]
+
+    def route(self, key: str) -> str:
+        """The shard owning ``key`` — first point clockwise of its hash."""
+        if not self._points:
+            raise AnalysisError("cannot route on an empty ring")
+        position = _point(key)
+        index = bisect_left(self._points, (position, ""))
+        if index == len(self._points):
+            index = 0  # wrap: past the last point means the first shard
+        return self._points[index][1]

@@ -30,6 +30,7 @@ recomputing from raw responses every time.
 
 from __future__ import annotations
 
+import base64
 from itertools import chain as _chain, cycle as _cycle
 from operator import add as _add, attrgetter as _attrgetter, getitem as _getitem
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -59,6 +60,7 @@ __all__ = [
     "ResponseMatrix",
     "LiveCohortAnalysis",
     "fast_analyze_cohort",
+    "merge_partials",
 ]
 
 #: Interned code for a skipped question (``selections[i] is None``).
@@ -421,6 +423,27 @@ class ResponseMatrix:
             scores = list(map(_add, scores, column))
         return scores
 
+    def export_partial(self) -> Dict[str, object]:
+        """This shard's cohort as a JSON-safe scatter-gather partial.
+
+        The payload carries everything :func:`merge_partials` needs to
+        rebuild the rows elsewhere: the examinee ids (row order), the
+        raw row-major code buffer (base64), and each question's interned
+        label list — options in spec order first, then any stray labels
+        this shard happened to see.  Scores are *not* shipped; the merge
+        recomputes them from the codes, so a corrupt partial cannot
+        smuggle in a wrong score.
+        """
+        return {
+            "format": "mine-partial-v1",
+            "width": self.width,
+            "examinee_ids": list(self.examinee_ids),
+            "codes_b64": base64.b64encode(bytes(self._codes)).decode(
+                "ascii"
+            ),
+            "labels": [list(labels) for labels in self._labels],
+        }
+
     def remove_sitting(self, examinee_id: str) -> bool:
         """Drop one sitting (resubmission, invalidated exam); False if absent."""
         index = self._row_of.pop(examinee_id, None)
@@ -638,6 +661,11 @@ class LiveCohortAnalysis:
         self._cached = None
         obs.count("live.rows.extended", len(examinee_ids))
 
+    def export_partial(self) -> Dict[str, object]:
+        """The warm cohort as a scatter-gather partial (see
+        :meth:`ResponseMatrix.export_partial`)."""
+        return self._matrix.export_partial()
+
     def invalidate(self, examinee_id: Optional[str] = None) -> bool:
         """Drop one examinee's sitting (``examinee_id`` given), or just the
         cached result (no argument).  Returns whether anything changed."""
@@ -663,6 +691,94 @@ class LiveCohortAnalysis:
         else:
             obs.count("live.cache.hits")
         return self._cached
+
+
+def merge_partials(
+    questions: Sequence[QuestionSpec],
+    partials: Sequence[Dict[str, object]],
+) -> ResponseMatrix:
+    """Gather per-shard partials into one cohort matrix.
+
+    ``partials`` are :meth:`ResponseMatrix.export_partial` payloads, one
+    per shard.  The merged cohort is put in **canonical order** — rows
+    sorted by examinee id — so the result is a pure function of *who
+    answered what*, independent of how learners were sharded or which
+    shard replied first; analyzing it is bit-identical to running
+    ``analyze_cohort`` over the same sittings sorted the same way
+    (extreme-group boundary ties break by cohort order, hence the
+    canonical sort).
+
+    Fast path: when no shard interned a stray label (every label table
+    is exactly the spec's options), the raw byte rows are reordered and
+    adopted wholesale via :meth:`ResponseMatrix.extend_codes`.  A shard
+    that saw stray labels drops the merge to the decode path, where each
+    row is rebuilt label-by-label and re-interned, preserving the
+    reference engine's stray-label semantics.  Duplicate examinee ids
+    across shards (a routing bug — shards own disjoint learners) raise
+    :class:`~repro.core.errors.AnalysisError`.
+    """
+    specs = tuple(questions)
+    width = len(specs)
+    option_lists = [list(spec.options) for spec in specs]
+    rows: List[Tuple[str, bytes, Sequence[List[str]]]] = []
+    clean = True
+    for partial in partials:
+        if partial.get("format") != "mine-partial-v1":
+            raise AnalysisError(
+                f"unknown partial format {partial.get('format')!r}"
+            )
+        if int(partial["width"]) != width:
+            raise AnalysisError(
+                f"partial has {partial['width']} questions; exam has {width}"
+            )
+        ids = list(partial["examinee_ids"])
+        codes = base64.b64decode(partial["codes_b64"])
+        if len(codes) != len(ids) * width:
+            raise AnalysisError(
+                f"partial code buffer holds {len(codes)} cells; "
+                f"{len(ids)} examinees x {width} questions "
+                f"needs {len(ids) * width}"
+            )
+        labels = [list(per_question) for per_question in partial["labels"]]
+        if labels != option_lists:
+            clean = False
+        for index, examinee_id in enumerate(ids):
+            rows.append(
+                (
+                    str(examinee_id),
+                    codes[index * width : (index + 1) * width],
+                    labels,
+                )
+            )
+    rows.sort(key=lambda row: row[0])
+    merged = ResponseMatrix(specs)
+    if not rows:
+        return merged
+    if clean:
+        merged.extend_codes(
+            [row[0] for row in rows], b"".join(row[1] for row in rows)
+        )
+        return merged
+    responses = []
+    for examinee_id, row, labels in rows:
+        selections: List[Optional[str]] = []
+        for question, code in enumerate(row):
+            if code == SKIP:
+                selections.append(None)
+            elif code < len(labels[question]):
+                selections.append(labels[question][code])
+            else:
+                raise AnalysisError(
+                    f"examinee {examinee_id!r} has unmapped code {code} "
+                    f"on question {question + 1}"
+                )
+        responses.append(
+            ExamineeResponses(
+                examinee_id=examinee_id, selections=tuple(selections)
+            )
+        )
+    merged.extend(responses)
+    return merged
 
 
 def fast_analyze_cohort(

@@ -11,12 +11,23 @@ the session and as ``cmi.interactions.n.*`` → ``LMSCommit`` →
 **Durability** (:mod:`repro.store`): when a :class:`~repro.store.
 journal.Journal` is attached (``Lms(journal=...)`` or
 :meth:`Lms.attach_journal`), every public mutator appends one event to
-the write-ahead log from inside the LMS lock, after the mutation
-succeeded — so the log's LSN order *is* the serialization of what
-happened, and :func:`repro.store.recover` can rebuild this exact state
+the write-ahead log while still holding its sitting's lock, after the
+mutation succeeded — so the log's per-sitting LSN order *is* the
+serialization of that sitting's history (events on different sittings
+commute), and :func:`repro.store.recover` can rebuild this exact state
 by replaying it.  To make replay bit-identical, each mutator samples
 the clock **once** and threads that timestamp through every clock-
 dependent effect (session timing, tracking, monitor schedule).
+
+**Concurrency** (:mod:`repro.lms.locks`): the old coarse ``RLock`` is
+now a :class:`~repro.lms.locks.ShardLock`.  ``with lms.lock:`` still
+quiesces the whole LMS (snapshots, checkpoints, fingerprints), but the
+per-learner hot paths — answer, batch, suspend, resume, submit — take
+it in *shared* mode plus the sitting's own lock, so a slow submit
+cannot stall unrelated learners.  Structural mutations (offer,
+register, enroll, start) stay exclusive.  Shared result structures
+(``_results``, ``_live``, learner records) are guarded by a small
+``_commit_lock`` held only for the final appends of a submit.
 """
 
 from __future__ import annotations
@@ -53,6 +64,7 @@ from repro.delivery.session import ExamSession, SessionState
 from repro.exams.exam import Exam
 from repro.items.responses import ScoredResponse
 from repro.lms.learners import Learner, LearnerRegistry
+from repro.lms.locks import InstrumentedRLock, LockStats, ShardLock
 from repro.lms.monitor import ExamMonitor
 from repro.lms.tracking import EventKind, TrackingService
 from repro.scorm.api import ApiAdapter
@@ -72,6 +84,11 @@ class LmsSitting:
     interaction_count: int = 0
     #: item ids in this learner's presentation order (set at start)
     item_order: List[str] = field(default_factory=list)
+    #: this sitting's own lock: two requests for the *same* sitting
+    #: serialize here while unrelated sittings proceed concurrently
+    lock: InstrumentedRLock = field(
+        default_factory=InstrumentedRLock, repr=False, compare=False
+    )
 
     @property
     def learner_id(self) -> str:
@@ -102,20 +119,30 @@ class Lms:
         #: public mutator appends one event under :attr:`lock` (see
         #: :meth:`attach_journal`)
         self.journal = journal
-        #: coarse re-entrant lock guarding ALL mutable LMS state.  Every
-        #: public method takes it, so the LMS is safe to share across the
-        #: worker threads of :mod:`repro.server` (or any embedder); hold
-        #: it yourself to make a multi-call sequence atomic (e.g.
+        #: per-scope lock contention counters, served under ``"locks"``
+        #: in the server's ``/metrics``
+        self.lock_stats = LockStats()
+        #: the shard-level lock guarding the LMS's shared structures.
+        #: ``with lms.lock:`` takes it **exclusively** — the world is
+        #: quiesced, exactly the old coarse-``RLock`` semantics (hold it
+        #: yourself to make a multi-call sequence atomic, e.g.
         #: snapshotting via :func:`repro.lms.persistence.save_lms`).
-        self.lock = threading.RLock()
+        #: Hot paths take :meth:`ShardLock.shared` plus the sitting's
+        #: own lock instead, so unrelated learners proceed in parallel.
+        self.lock = ShardLock(self.lock_stats)
+        #: guards _results, _live, and learner progress records during
+        #: shared-mode submits (exclusive holders exclude it implicitly)
+        self._commit_lock = threading.Lock()
         self._exams: Dict[str, Exam] = {}
         self._enrollment: Dict[str, set] = {}  # exam_id -> learner ids
         self._sittings: Dict[Tuple[str, str], LmsSitting] = {}
         self._results: Dict[str, List[GradedSitting]] = {}
         self._live: Dict[str, LiveCohortAnalysis] = {}  # warm analyses
-        #: when a batch mutator is in flight, _emit collects events here
-        #: so the whole batch lands in one Journal.append_batch call
-        self._event_buffer: Optional[List[Tuple[str, Dict[str, object]]]] = None
+        #: while a batch mutator is in flight on a thread, _emit collects
+        #: that thread's events here so the whole batch lands in one
+        #: Journal.append_batch call (thread-local: concurrent batches on
+        #: different sittings must not interleave their buffers)
+        self._batch_state = threading.local()
 
     # -- durability ---------------------------------------------------------------
 
@@ -131,14 +158,16 @@ class Lms:
     def _emit(self, type_: str, data: Dict[str, object]) -> None:
         """Append one event to the attached journal (no-op without one).
 
-        Called under :attr:`lock`, after the mutation succeeded, so LSN
-        order is the authoritative serialization of LMS history.  While
-        a batch mutator is in flight the event is buffered instead, and
-        the whole buffer goes to the journal as one
+        Called after the mutation succeeded, while still holding the
+        locks that serialized it, so per-sitting LSN order is the
+        authoritative serialization of that sitting's history.  While a
+        batch mutator is in flight on this thread the event is buffered
+        instead, and the whole buffer goes to the journal as one
         :meth:`~repro.store.journal.Journal.append_batch`.
         """
-        if self._event_buffer is not None:
-            self._event_buffer.append((type_, data))
+        buffer = getattr(self._batch_state, "buffer", None)
+        if buffer is not None:
+            buffer.append((type_, data))
         elif self.journal is not None:
             self.journal.append(type_, data)
 
@@ -163,7 +192,7 @@ class Lms:
 
     def exam(self, exam_id: str) -> Exam:
         """The offered exam with this id; NotFoundError otherwise."""
-        with self.lock:
+        with self.lock.shared():
             try:
                 return self._exams[exam_id]
             except KeyError:
@@ -171,7 +200,7 @@ class Lms:
 
     def offered_exams(self) -> List[str]:
         """Every offered exam id, in offering order."""
-        with self.lock:
+        with self.lock.shared():
             return list(self._exams)
 
     def register_learner(self, learner: Learner) -> None:
@@ -202,7 +231,7 @@ class Lms:
 
     def enrolled(self, exam_id: str) -> List[str]:
         """Sorted learner ids enrolled in an exam."""
-        with self.lock:
+        with self.lock.shared():
             return sorted(self._enrollment.get(exam_id, ()))
 
     # -- delivery ------------------------------------------------------------------
@@ -239,7 +268,14 @@ class Lms:
             raise SessionStateError("SCORM API failed to initialize")
         session = ExamSession(exam, learner_id, clock=self.clock)
         item_order = session.start(now)
-        sitting = LmsSitting(session=session, api=api, item_order=item_order)
+        sitting = LmsSitting(
+            session=session,
+            api=api,
+            item_order=item_order,
+            lock=InstrumentedRLock(
+                self.lock_stats, "sitting", f"{learner_id}:{exam_id}"
+            ),
+        )
         self._sittings[key] = sitting
         self.tracking.record(
             EventKind.LAUNCHED, learner_id, exam_id, now
@@ -252,7 +288,7 @@ class Lms:
 
     def sitting(self, learner_id: str, exam_id: str) -> LmsSitting:
         """The in-flight sitting; NotFoundError when none exists."""
-        with self.lock:
+        with self.lock.shared():
             try:
                 return self._sittings[(learner_id, exam_id)]
             except KeyError:
@@ -264,7 +300,7 @@ class Lms:
         self, learner_id: str, exam_id: str, item_id: str, response: object
     ) -> ScoredResponse:
         """Record an answer: session event + CMI interaction + monitor poll."""
-        with obs.span("lms.answer", exam_id=exam_id), self.lock:
+        with obs.span("lms.answer", exam_id=exam_id), self.lock.shared():
             scored = self._answer(learner_id, exam_id, item_id, response)
         obs.count("lms.answers.recorded")
         return scored
@@ -272,28 +308,29 @@ class Lms:
     def _answer(
         self, learner_id: str, exam_id: str, item_id: str, response: object
     ) -> ScoredResponse:
-        now = self.clock.now()
         sitting = self.sitting(learner_id, exam_id)
-        sitting.session.answer(item_id, response, now)
-        item = sitting.session.exam.item(item_id)
-        scored = item.score(response)
-        self._cmi_record_answer(sitting, item_id, item, scored)
-        self.tracking.record(
-            EventKind.ANSWERED,
-            learner_id,
-            exam_id,
-            now,
-            detail=item_id,
-        )
-        self.monitor.poll(
-            learner_id, exam_id, sitting.session.elapsed_seconds(now)
-        )
-        self._emit(
-            "answer",
-            store_events.answer_event(
-                learner_id, exam_id, item_id, response, now
-            ),
-        )
+        with sitting.lock:
+            now = self.clock.now()
+            sitting.session.answer(item_id, response, now)
+            item = sitting.session.exam.item(item_id)
+            scored = item.score(response)
+            self._cmi_record_answer(sitting, item_id, item, scored)
+            self.tracking.record(
+                EventKind.ANSWERED,
+                learner_id,
+                exam_id,
+                now,
+                detail=item_id,
+            )
+            self.monitor.poll(
+                learner_id, exam_id, sitting.session.elapsed_seconds(now)
+            )
+            self._emit(
+                "answer",
+                store_events.answer_event(
+                    learner_id, exam_id, item_id, response, now
+                ),
+            )
         return scored
 
     def answer_batch(
@@ -319,7 +356,8 @@ class Lms:
         the same durable append.  Returns ``(scored, graded)`` where
         ``graded`` is None unless ``submit`` was requested.
         """
-        with obs.span("lms.answer_batch", exam_id=exam_id), self.lock:
+        with obs.span("lms.answer_batch", exam_id=exam_id), \
+                self.lock.shared():
             scored, graded = self._answer_batch(
                 learner_id, exam_id, answers, submit
             )
@@ -339,66 +377,71 @@ class Lms:
         pairs = [(item_id, response) for item_id, response in answers]
         if not pairs:
             raise ResponseError("answers batch is empty")
-        now = self.clock.now()
         sitting = self.sitting(learner_id, exam_id)
-        session = sitting.session
-        # Phase 1 — validate every answer up front, mirroring the exact
-        # check order of ExamSession.answer, so the first bad answer
-        # rejects the whole batch before any state or journal change.
-        if session.state is not SessionState.IN_PROGRESS:
-            raise SessionStateError(
-                f"cannot answer in state {session.state.value}"
-            )
-        if session.time_expired(now):
-            raise TimeLimitExceeded(
-                f"test time of {session.exam.time_limit_seconds}s has expired"
-            )
-        for index, (item_id, response) in enumerate(pairs):
+        with sitting.lock:
+            now = self.clock.now()
+            session = sitting.session
+            # Phase 1 — validate every answer up front, mirroring the
+            # exact check order of ExamSession.answer, so the first bad
+            # answer rejects the whole batch before any state or journal
+            # change.
+            if session.state is not SessionState.IN_PROGRESS:
+                raise SessionStateError(
+                    f"cannot answer in state {session.state.value}"
+                )
+            if session.time_expired(now):
+                raise TimeLimitExceeded(
+                    f"test time of {session.exam.time_limit_seconds}s "
+                    f"has expired"
+                )
+            for index, (item_id, response) in enumerate(pairs):
+                try:
+                    item = session.exam.item(item_id)
+                    item.score(response)
+                except Exception as exc:
+                    raise type(exc)(
+                        f"answers[{index}] ({item_id!r}): {exc}"
+                    ) from exc
+            # Phase 2 — apply.  Everything below is deterministic given
+            # the validated inputs and the single timestamp, so it cannot
+            # fail partway: the batch is all-or-nothing.
+            scored: List[ScoredResponse] = []
+            self._batch_state.buffer = buffer = []
             try:
-                item = session.exam.item(item_id)
-                item.score(response)
-            except Exception as exc:
-                raise type(exc)(
-                    f"answers[{index}] ({item_id!r}): {exc}"
-                ) from exc
-        # Phase 2 — apply.  Everything below is deterministic given the
-        # validated inputs and the single timestamp, so it cannot fail
-        # partway: the batch is all-or-nothing.
-        scored: List[ScoredResponse] = []
-        self._event_buffer = buffer = []
-        try:
-            for item_id, response in pairs:
-                session.answer(item_id, response, now)
-                item = session.exam.item(item_id)
-                one = item.score(response)
-                self._cmi_record_answer(sitting, item_id, item, one)
-                self.tracking.record(
-                    EventKind.ANSWERED,
-                    learner_id,
-                    exam_id,
-                    now,
-                    detail=item_id,
+                for item_id, response in pairs:
+                    session.answer(item_id, response, now)
+                    item = session.exam.item(item_id)
+                    one = item.score(response)
+                    self._cmi_record_answer(sitting, item_id, item, one)
+                    self.tracking.record(
+                        EventKind.ANSWERED,
+                        learner_id,
+                        exam_id,
+                        now,
+                        detail=item_id,
+                    )
+                    self.monitor.poll(
+                        learner_id, exam_id, session.elapsed_seconds(now)
+                    )
+                    scored.append(one)
+                buffer.append(
+                    (
+                        "answers",
+                        store_events.answer_batch_event(
+                            learner_id, exam_id, pairs, now
+                        ),
+                    )
                 )
-                self.monitor.poll(
-                    learner_id, exam_id, session.elapsed_seconds(now)
-                )
-                scored.append(one)
-            buffer.append(
-                (
-                    "answers",
-                    store_events.answer_batch_event(
-                        learner_id, exam_id, pairs, now
-                    ),
-                )
-            )
-            graded = None
-            if submit:
-                # its "submit" event lands in the buffer, after ours
-                graded = self._submit(learner_id, exam_id)
-        finally:
-            self._event_buffer = None
-        if self.journal is not None:
-            self.journal.append_batch(buffer)
+                graded = None
+                if submit:
+                    # its "submit" event lands in the buffer, after ours
+                    graded = self._submit(learner_id, exam_id)
+            finally:
+                self._batch_state.buffer = None
+            # still under the sitting lock: the journal's LSN order for
+            # this sitting must match the order the batches applied
+            if self.journal is not None:
+                self.journal.append_batch(buffer)
         return scored, graded
 
     def _cmi_record_answer(
@@ -425,21 +468,23 @@ class Lms:
 
     def suspend(self, learner_id: str, exam_id: str) -> None:
         """Pause a sitting; commits SCORM suspend data."""
-        with obs.span("lms.suspend", exam_id=exam_id), self.lock:
+        with obs.span("lms.suspend", exam_id=exam_id), self.lock.shared():
             self._suspend(learner_id, exam_id)
         obs.count("lms.sittings.suspended")
 
     def _suspend(self, learner_id: str, exam_id: str) -> None:
-        now = self.clock.now()
         sitting = self.sitting(learner_id, exam_id)
-        sitting.session.suspend(now)
-        self._cmi_suspend(sitting)
-        self.tracking.record(
-            EventKind.SUSPENDED, learner_id, exam_id, now
-        )
-        self._emit(
-            "suspend", store_events.lifecycle_event(learner_id, exam_id, now)
-        )
+        with sitting.lock:
+            now = self.clock.now()
+            sitting.session.suspend(now)
+            self._cmi_suspend(sitting)
+            self.tracking.record(
+                EventKind.SUSPENDED, learner_id, exam_id, now
+            )
+            self._emit(
+                "suspend",
+                store_events.lifecycle_event(learner_id, exam_id, now),
+            )
 
     def _cmi_suspend(self, sitting: LmsSitting) -> None:
         """Commit the SCORM suspend exit (live path and snapshot restore)."""
@@ -453,56 +498,64 @@ class Lms:
 
     def resume(self, learner_id: str, exam_id: str) -> None:
         """Continue a suspended sitting (resumable exams only)."""
-        with obs.span("lms.resume", exam_id=exam_id), self.lock:
-            now = self.clock.now()
+        with obs.span("lms.resume", exam_id=exam_id), self.lock.shared():
             sitting = self.sitting(learner_id, exam_id)
-            sitting.session.resume(now)
-            self.tracking.record(
-                EventKind.RESUMED, learner_id, exam_id, now
-            )
-            self._emit(
-                "resume",
-                store_events.lifecycle_event(learner_id, exam_id, now),
-            )
+            with sitting.lock:
+                now = self.clock.now()
+                sitting.session.resume(now)
+                self.tracking.record(
+                    EventKind.RESUMED, learner_id, exam_id, now
+                )
+                self._emit(
+                    "resume",
+                    store_events.lifecycle_event(learner_id, exam_id, now),
+                )
         obs.count("lms.sittings.resumed")
 
     def submit(self, learner_id: str, exam_id: str) -> GradedSitting:
         """Close and grade a sitting; updates CMI core and learner record."""
-        with obs.span("lms.submit", exam_id=exam_id), self.lock:
+        with obs.span("lms.submit", exam_id=exam_id), self.lock.shared():
             graded = self._submit(learner_id, exam_id)
         obs.count("lms.sittings.submitted")
         return graded
 
     def _submit(self, learner_id: str, exam_id: str) -> GradedSitting:
-        now = self.clock.now()
         sitting = self.sitting(learner_id, exam_id)
-        sitting.session.submit(now)
-        graded = grade_session(sitting.session)
-        self._cmi_finish(sitting, graded)
-        self._results.setdefault(exam_id, []).append(graded)
-        self.learners.get(learner_id).record_result(
-            exam_id, _lesson_status(graded), graded.percent
-        )
-        self.tracking.record(
-            EventKind.SUBMITTED, learner_id, exam_id, now
-        )
-        self.tracking.record(
-            EventKind.GRADED,
-            learner_id,
-            exam_id,
-            now,
-            detail=f"{graded.percent:.1f}%",
-        )
-        live = self._live.get(exam_id)
-        if live is not None:
-            response = sittings_to_responses(
-                sitting.session.exam, [graded]
-            )[0]
-            live.invalidate(response.examinee_id)  # drop any earlier sitting
-            live.add_sitting(response)
-        self._emit(
-            "submit", store_events.lifecycle_event(learner_id, exam_id, now)
-        )
+        with sitting.lock:
+            now = self.clock.now()
+            sitting.session.submit(now)
+            graded = grade_session(sitting.session)
+            self._cmi_finish(sitting, graded)
+            # shared result structures: hold the commit mutex only for
+            # the appends, not for grading — a slow grade never blocks
+            # another learner's submit from committing
+            with self._commit_lock:
+                self._results.setdefault(exam_id, []).append(graded)
+                self.learners.get(learner_id).record_result(
+                    exam_id, _lesson_status(graded), graded.percent
+                )
+                self.tracking.record(
+                    EventKind.SUBMITTED, learner_id, exam_id, now
+                )
+                self.tracking.record(
+                    EventKind.GRADED,
+                    learner_id,
+                    exam_id,
+                    now,
+                    detail=f"{graded.percent:.1f}%",
+                )
+                live = self._live.get(exam_id)
+                if live is not None:
+                    response = sittings_to_responses(
+                        sitting.session.exam, [graded]
+                    )[0]
+                    # drop any earlier sitting by this learner
+                    live.invalidate(response.examinee_id)
+                    live.add_sitting(response)
+            self._emit(
+                "submit",
+                store_events.lifecycle_event(learner_id, exam_id, now),
+            )
         return graded
 
     def _cmi_finish(self, sitting: LmsSitting, graded: GradedSitting) -> None:
@@ -525,19 +578,21 @@ class Lms:
         ``MONITOR_CAPTURE`` tracking event, and journals it — so a
         recovered LMS reproduces proctor snapshots too.
         """
-        with obs.span("lms.capture_frame", exam_id=exam_id), self.lock:
-            now = self.clock.now()
+        with obs.span("lms.capture_frame", exam_id=exam_id), \
+                self.lock.shared():
             sitting = self.sitting(learner_id, exam_id)
-            frame = self.monitor.capture(
-                learner_id, exam_id, sitting.session.elapsed_seconds(now)
-            )
-            self.tracking.record(
-                EventKind.MONITOR_CAPTURE, learner_id, exam_id, now
-            )
-            self._emit(
-                "monitor",
-                store_events.lifecycle_event(learner_id, exam_id, now),
-            )
+            with sitting.lock:
+                now = self.clock.now()
+                frame = self.monitor.capture(
+                    learner_id, exam_id, sitting.session.elapsed_seconds(now)
+                )
+                self.tracking.record(
+                    EventKind.MONITOR_CAPTURE, learner_id, exam_id, now
+                )
+                self._emit(
+                    "monitor",
+                    store_events.lifecycle_event(learner_id, exam_id, now),
+                )
         obs.count("lms.frames.captured")
         return frame
 
@@ -545,7 +600,7 @@ class Lms:
 
     def results_for(self, exam_id: str) -> List[GradedSitting]:
         """Every graded sitting of an exam, submission order."""
-        with self.lock:
+        with self.lock.shared(), self._commit_lock:
             return list(self._results.get(exam_id, ()))
 
     def questionnaire_summaries(self, exam_id: str):
@@ -557,7 +612,7 @@ class Lms:
         from repro.core.questionnaire_analysis import tabulate_questionnaire
         from repro.items.questionnaire import QuestionnaireItem
 
-        with self.lock:
+        with self.lock.shared():
             exam = self.exam(exam_id)
             sittings = self.results_for(exam_id)
         summaries = []
@@ -582,14 +637,7 @@ class Lms:
         learner ids silently mis-grouped the cohort (the score table kept
         the last sitting while the option matrices counted every sitting).
         """
-        latest: Dict[str, GradedSitting] = {}
-        for sitting in self.results_for(exam_id):
-            # pop-then-insert ranks a re-sitter at their most recent
-            # submission, matching the warm LiveCohortAnalysis path
-            # (boundary ties in the 25% split break by cohort order)
-            latest.pop(sitting.learner_id, None)
-            latest[sitting.learner_id] = sitting
-        return list(latest.values())
+        return _dedupe_latest(self.results_for(exam_id))
 
     def _cohort_responses(self, exam: Exam) -> List[ExamineeResponses]:
         """Analysis-ready responses, one per learner (latest sitting wins)."""
@@ -613,7 +661,7 @@ class Lms:
         analyze with a non-default extreme-group fraction).
         """
         with obs.span("lms.analyze_exam", exam_id=exam_id, engine=engine), \
-                self.lock:
+                self.lock.shared():
             exam = self.exam(exam_id)
             responses = self._cohort_responses(exam)
             return analyze_cohort(
@@ -633,16 +681,44 @@ class Lms:
         sitting in incrementally, so serving the current analysis never
         re-walks the raw responses.
         """
-        with obs.span("lms.live_analysis", exam_id=exam_id), self.lock:
+        with obs.span("lms.live_analysis", exam_id=exam_id), \
+                self.lock.shared():
             exam = self.exam(exam_id)
-            live = self._live.get(exam_id)
-            if live is None:
-                obs.count("lms.live_analysis.seeded")
-                live = LiveCohortAnalysis(exam.question_specs())
-                for response in self._cohort_responses(exam):
-                    live.add_sitting(response)
-                self._live[exam_id] = live
-            return live.analysis()
+            # the commit mutex serializes seeding against in-flight
+            # submits (which fold into the live analysis under it)
+            with self._commit_lock:
+                return self._live_locked(exam).analysis()
+
+    def _live_locked(self, exam: Exam) -> LiveCohortAnalysis:
+        """The exam's warm analysis, seeded if absent.  Caller holds the
+        shard lock (shared or exclusive) **and** ``_commit_lock``."""
+        live = self._live.get(exam.exam_id)
+        if live is None:
+            obs.count("lms.live_analysis.seeded")
+            live = LiveCohortAnalysis(exam.question_specs())
+            sittings = _dedupe_latest(
+                list(self._results.get(exam.exam_id, ()))
+            )
+            for response in sittings_to_responses(exam, sittings):
+                live.add_sitting(response)
+            self._live[exam.exam_id] = live
+        return live
+
+    def analysis_partial(self, exam_id: str) -> Dict[str, object]:
+        """This LMS's cohort as a scatter-gather partial.
+
+        A sharded deployment calls this on every worker and merges the
+        payloads with :func:`repro.core.columnar.merge_partials`; the
+        merged matrix analyzes bit-identically to a single process that
+        held all the sittings (see ``repro.cluster``).  An exam with no
+        submissions yet returns an empty partial — the gather side
+        treats that as zero rows, not an error.
+        """
+        with obs.span("lms.analysis_partial", exam_id=exam_id), \
+                self.lock.shared():
+            exam = self.exam(exam_id)
+            with self._commit_lock:
+                return self._live_locked(exam).export_partial()
 
     def report_for(
         self,
@@ -656,7 +732,8 @@ class Lms:
         ``engine`` and ``split`` are forwarded to the cohort analysis
         (previously hardwired to the defaults).
         """
-        with obs.span("lms.report_for", exam_id=exam_id), self.lock:
+        with obs.span("lms.report_for", exam_id=exam_id), \
+                self.lock.shared():
             return self._report_for(exam_id, concepts, engine, split)
 
     def _report_for(
@@ -691,6 +768,20 @@ class Lms:
             spec_table=exam.specification_table(concepts=concepts),
             specs=specs,
         )
+
+
+def _dedupe_latest(sittings: List[GradedSitting]) -> List[GradedSitting]:
+    """Dedupe graded sittings to one per learner, latest submission wins.
+
+    pop-then-insert ranks a re-sitter at their most recent submission,
+    matching the warm LiveCohortAnalysis path (boundary ties in the 25%
+    split break by cohort order).
+    """
+    latest: Dict[str, GradedSitting] = {}
+    for sitting in sittings:
+        latest.pop(sitting.learner_id, None)
+        latest[sitting.learner_id] = sitting
+    return list(latest.values())
 
 
 def _interaction_type(item) -> str:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import base64
 import hashlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -76,6 +77,9 @@ class ExamMonitor:
         self._dropped: Dict[Tuple[str, str], int] = {}
         self._captured_total = 0
         self._polls_total = 0
+        # leaf lock: the LMS polls the monitor from concurrent sittings
+        # (shared-mode hot paths), so the frame store guards itself
+        self._lock = threading.RLock()
 
     # -- capturing -----------------------------------------------------------
 
@@ -92,12 +96,16 @@ class ExamMonitor:
             return None
         if elapsed_seconds < 0:
             raise MonitorError(f"elapsed time cannot be negative: {elapsed_seconds}")
-        self._polls_total += 1
-        key = (learner_id, exam_id)
-        last = self._last_capture.get(key)
-        if last is not None and elapsed_seconds - last < self.interval_seconds:
-            return None
-        return self.capture(learner_id, exam_id, elapsed_seconds)
+        with self._lock:
+            self._polls_total += 1
+            key = (learner_id, exam_id)
+            last = self._last_capture.get(key)
+            if (
+                last is not None
+                and elapsed_seconds - last < self.interval_seconds
+            ):
+                return None
+            return self.capture(learner_id, exam_id, elapsed_seconds)
 
     def capture(
         self, learner_id: str, exam_id: str, elapsed_seconds: float
@@ -105,39 +113,43 @@ class ExamMonitor:
         """Capture a frame unconditionally (proctor-triggered snapshot)."""
         if not self.enabled:
             raise MonitorError("monitor is disabled")
-        key = (learner_id, exam_id)
-        frames = self._frames.setdefault(key, [])
-        sequence = self._dropped.get(key, 0) + len(frames)
-        frame = CapturedFrame(
-            learner_id=learner_id,
-            exam_id=exam_id,
-            sequence=sequence,
-            elapsed_seconds=elapsed_seconds,
-            payload=_synthetic_picture(learner_id, exam_id, sequence),
-        )
-        frames.append(frame)
-        self._captured_total += 1
-        obs.count("monitor.frames.captured")
-        if len(frames) > self.max_frames:
-            frames.pop(0)
-            self._dropped[key] = self._dropped.get(key, 0) + 1
-            obs.count("monitor.frames.dropped")
-        self._last_capture[key] = elapsed_seconds
-        return frame
+        with self._lock:
+            key = (learner_id, exam_id)
+            frames = self._frames.setdefault(key, [])
+            sequence = self._dropped.get(key, 0) + len(frames)
+            frame = CapturedFrame(
+                learner_id=learner_id,
+                exam_id=exam_id,
+                sequence=sequence,
+                elapsed_seconds=elapsed_seconds,
+                payload=_synthetic_picture(learner_id, exam_id, sequence),
+            )
+            frames.append(frame)
+            self._captured_total += 1
+            obs.count("monitor.frames.captured")
+            if len(frames) > self.max_frames:
+                frames.pop(0)
+                self._dropped[key] = self._dropped.get(key, 0) + 1
+                obs.count("monitor.frames.dropped")
+            self._last_capture[key] = elapsed_seconds
+            return frame
 
     # -- review -----------------------------------------------------------------
 
     def frames_for(self, learner_id: str, exam_id: str) -> List[CapturedFrame]:
         """All retained frames of one sitting, in capture order."""
-        return list(self._frames.get((learner_id, exam_id), []))
+        with self._lock:
+            return list(self._frames.get((learner_id, exam_id), []))
 
     def dropped_count(self, learner_id: str, exam_id: str) -> int:
         """Frames discarded by the retention bound."""
-        return self._dropped.get((learner_id, exam_id), 0)
+        with self._lock:
+            return self._dropped.get((learner_id, exam_id), 0)
 
     def monitored_sittings(self) -> List[Tuple[str, str]]:
         """(learner, exam) pairs with retained frames."""
-        return list(self._frames)
+        with self._lock:
+            return list(self._frames)
 
     # -- live metrics (the Fig. 6 progress view, animated) -------------------
 
@@ -151,31 +163,34 @@ class ExamMonitor:
         is enabled, so a ``--profile`` run shows capture pressure next to
         the span tree.
         """
-        return {
-            "sittings_monitored": len(self._frames),
-            "frames_captured": self._captured_total,
-            "frames_retained": sum(
-                len(frames) for frames in self._frames.values()
-            ),
-            "frames_dropped": sum(self._dropped.values()),
-            "polls": self._polls_total,
-        }
+        with self._lock:
+            return {
+                "sittings_monitored": len(self._frames),
+                "frames_captured": self._captured_total,
+                "frames_retained": sum(
+                    len(frames) for frames in self._frames.values()
+                ),
+                "frames_dropped": sum(self._dropped.values()),
+                "polls": self._polls_total,
+            }
 
     def sitting_metrics(self, learner_id: str, exam_id: str) -> Dict[str, float]:
         """One sitting's live view: frames held, dropped, last capture."""
         key = (learner_id, exam_id)
-        return {
-            "frames_retained": len(self._frames.get(key, ())),
-            "frames_dropped": self._dropped.get(key, 0),
-            "last_capture_elapsed": self._last_capture.get(key, -1.0),
-        }
+        with self._lock:
+            return {
+                "frames_retained": len(self._frames.get(key, ())),
+                "frames_dropped": self._dropped.get(key, 0),
+                "last_capture_elapsed": self._last_capture.get(key, -1.0),
+            }
 
     def clear(self, learner_id: str, exam_id: str) -> int:
         """Purge a sitting's frames (after review); returns count purged."""
-        frames = self._frames.pop((learner_id, exam_id), [])
-        self._last_capture.pop((learner_id, exam_id), None)
-        self._dropped.pop((learner_id, exam_id), None)
-        return len(frames)
+        with self._lock:
+            frames = self._frames.pop((learner_id, exam_id), [])
+            self._last_capture.pop((learner_id, exam_id), None)
+            self._dropped.pop((learner_id, exam_id), None)
+            return len(frames)
 
     # -- persistence -----------------------------------------------------------
 
@@ -187,6 +202,10 @@ class ExamMonitor:
         per-sitting drop counts, and the lifetime totals.  Consumed by
         :func:`repro.lms.persistence.save_lms`.
         """
+        with self._lock:
+            return self._export_state_locked()
+
+    def _export_state_locked(self) -> Dict[str, object]:
         frames = [
             {
                 "learner_id": frame.learner_id,

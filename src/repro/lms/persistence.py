@@ -43,7 +43,13 @@ from repro.lms.lms import Lms, LmsSitting
 from repro.lms.monitor import ExamMonitor
 from repro.lms.tracking import EventKind
 
-__all__ = ["save_lms", "load_lms", "load_payload", "lms_from_payload"]
+__all__ = [
+    "save_lms",
+    "load_lms",
+    "load_payload",
+    "lms_from_payload",
+    "merge_payloads",
+]
 
 _FORMAT = "mine-lms-v1"
 
@@ -298,3 +304,94 @@ def _restore_sitting(lms: Lms, record: Dict[str, object]) -> None:
     elif session.state is SessionState.SUBMITTED:
         lms._cmi_finish(sitting, grade_session(session))
     lms._sittings[(learner_id, exam_id)] = sitting
+
+
+def merge_payloads(payloads: List[Dict[str, object]]) -> Dict[str, object]:
+    """Merge per-shard snapshot payloads into one whole-cohort payload.
+
+    The sharded delivery tier partitions *learners* (and everything
+    hanging off a learner: enrollment, sittings, results, proctoring
+    frames) across workers, while *exams* are broadcast to every shard.
+    Merging is therefore mostly concatenation of disjoint sets — with
+    exams deduplicated by id, tracking ordered by timestamp, and
+    monitor counters summed.  The merged payload loads through
+    :func:`lms_from_payload` exactly like a single-process snapshot.
+    """
+    if not payloads:
+        raise BankError("nothing to merge: no snapshot payloads given")
+    for payload in payloads:
+        if payload.get("format") != _FORMAT:
+            raise BankError(
+                f"cannot merge: unrecognized format {payload.get('format')!r}"
+            )
+    merged: Dict[str, object] = {
+        "format": _FORMAT,
+        # the merged timeline continues from the furthest-along shard
+        "clock": max(
+            float(payload.get("clock", 0.0)) for payload in payloads
+        ),
+        "exams": [],
+        "learners": [],
+        "enrollment": {},
+        "results": {},
+        "tracking": [],
+        "monitor": None,
+        "sittings": [],
+    }
+    seen_exams: set = set()
+    seen_learners: set = set()
+    enrollment: Dict[str, set] = {}
+    results: Dict[str, List[Dict[str, object]]] = {}
+    monitor: Optional[Dict[str, object]] = None
+    wal_lsns: List[int] = []
+    for payload in payloads:
+        for record in payload.get("exams", []):
+            exam_id = record.get("exam_id")
+            if exam_id not in seen_exams:
+                seen_exams.add(exam_id)
+                merged["exams"].append(record)
+        for record in payload.get("learners", []):
+            learner_id = record.get("learner_id")
+            if learner_id in seen_learners:
+                raise BankError(
+                    f"cannot merge: learner {learner_id!r} appears in "
+                    f"more than one shard snapshot"
+                )
+            seen_learners.add(learner_id)
+            merged["learners"].append(record)
+        for exam_id, learner_ids in payload.get("enrollment", {}).items():
+            enrollment.setdefault(exam_id, set()).update(learner_ids)
+        for exam_id, sittings in payload.get("results", {}).items():
+            results.setdefault(exam_id, []).extend(sittings)
+        merged["tracking"].extend(payload.get("tracking", []))
+        merged["sittings"].extend(payload.get("sittings", []))
+        state = payload.get("monitor")
+        if isinstance(state, dict):
+            if monitor is None:
+                monitor = {
+                    key: (list(value) if isinstance(value, list) else value)
+                    for key, value in state.items()
+                }
+            else:
+                for key in ("frames", "last_capture", "dropped"):
+                    monitor[key].extend(state.get(key, []))
+                for key in ("captured_total", "polls_total"):
+                    monitor[key] = int(monitor.get(key, 0)) + int(
+                        state.get(key, 0)
+                    )
+        if isinstance(payload.get("wal_lsn"), int):
+            wal_lsns.append(payload["wal_lsn"])
+    merged["enrollment"] = {
+        exam_id: sorted(learner_ids)
+        for exam_id, learner_ids in enrollment.items()
+    }
+    merged["results"] = results
+    merged["monitor"] = monitor
+    # shard clocks are independent; a cross-shard sort by timestamp is
+    # the best single timeline there is (stable, so same-time events
+    # keep shard order)
+    merged["tracking"].sort(key=lambda event: float(event.get("timestamp", 0.0)))
+    if wal_lsns:
+        # informational only: per-shard LSN sequences are independent
+        merged["wal_lsn"] = max(wal_lsns)
+    return merged

@@ -43,6 +43,7 @@ or ``server.serve_forever()`` to own the calling thread (the CLI's
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -224,7 +225,21 @@ class _RequestHandler(BaseHTTPRequestHandler):
         try:
             match = self.app.router.resolve(method, path)
             route_name = match.route.name
-            body = parse_json_body(self._read_body())
+            raw_body = self._read_body()
+            body = parse_json_body(raw_body)
+            cluster = self.app.cluster
+            if cluster is not None:
+                owner = cluster.owner_for(route_name, match.params, body)
+                if owner is not None and owner != cluster.shard:
+                    # this learner's state lives on another shard:
+                    # proxy the request verbatim to its owner
+                    status, payload, retry_after = cluster.forward(
+                        owner, method, self.path, raw_body
+                    )
+                    registry.count("server.proxied", route=route_name)
+                    registry.count("server.requests", route=route_name)
+                    self._send_json(status, payload, retry_after)
+                    return
             with registry.span(f"http.{route_name}", method=method):
                 result = match.route.handler(
                     self.app.context, match.params, body, query
@@ -263,10 +278,27 @@ class _Http(ThreadingHTTPServer):
 
     daemon_threads = True
     block_on_close = False  # drain is handled by the in-flight budget
+    # socketserver's default backlog of 5 overflows when a burst of
+    # clients connects at once (every loadgen thread's first request);
+    # an overflowed SYN is silently dropped and costs the client a full
+    # ~1 s retransmission timeout
+    request_queue_size = 128
 
-    def __init__(self, address, app: "ExamServer") -> None:
+    def __init__(
+        self, address, app: "ExamServer", reuse_port: bool = False
+    ) -> None:
+        self._reuse_port = reuse_port
         super().__init__(address, _RequestHandler)
         self.app = app
+
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            # sharded tier: several worker processes share one front
+            # port; the kernel load-balances accepted connections
+            self.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+        super().server_bind()
 
 
 class ExamServer:
@@ -289,6 +321,8 @@ class ExamServer:
         group_commit: bool = False,
         checkpoint_interval_seconds: Optional[float] = None,
         max_batch_answers: int = 500,
+        cluster: Optional[object] = None,
+        reuse_port: bool = False,
     ) -> None:
         if registry is None:
             # the server records even when global profiling is off:
@@ -321,10 +355,14 @@ class ExamServer:
         self.router = build_router()
         self.in_flight = _InFlightBudget(max_in_flight)
         self.max_body_bytes = max_body_bytes
+        #: the worker's :class:`~repro.cluster.context.ClusterContext`
+        #: in a sharded deployment; None for the classic single process
+        self.cluster = cluster
         self.context = ServerContext(
             lms=self.lms,
             registry=registry,
             max_batch_answers=max_batch_answers,
+            cluster=cluster,
         )
         self.context.in_flight = self.in_flight.current
         self.snapshot_path = (
@@ -337,7 +375,9 @@ class ExamServer:
         if self.checkpointer is not None:
             self.context.checkpoint = self.checkpoint_now
             self.context.store_info = self.store_info
-        self._httpd = _Http((host, port), self)
+        self._httpd = _Http((host, port), self, reuse_port=reuse_port)
+        self._extra_httpds: list = []
+        self._extra_threads: list = []
         self._thread: Optional[threading.Thread] = None
         self._snapshot_stop = threading.Event()
         self._snapshot_thread: Optional[threading.Thread] = None
@@ -363,6 +403,35 @@ class ExamServer:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def add_front_listener(self, port: int, host: Optional[str] = None) -> None:
+        """Listen on an additional (``SO_REUSEPORT``) port for the same app.
+
+        The sharded tier calls this with the cluster's shared front
+        port: every worker binds it, the kernel spreads incoming
+        connections across them, and requests that land on the wrong
+        worker are proxied by the cluster hook in the dispatch path.
+        Must be called before :meth:`start` / :meth:`serve_forever`.
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        front = _Http(
+            (host if host is not None else self.host, port),
+            self,
+            reuse_port=True,
+        )
+        self._extra_httpds.append(front)
+
+    def _start_extra_listeners(self) -> None:
+        for index, httpd in enumerate(self._extra_httpds):
+            thread = threading.Thread(
+                target=httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name=f"mine-assess-front-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._extra_threads.append(thread)
+
     def start(self) -> "ExamServer":
         """Serve in a background thread; returns self for chaining."""
         if self._thread is not None:
@@ -374,12 +443,14 @@ class ExamServer:
             daemon=True,
         )
         self._thread.start()
+        self._start_extra_listeners()
         self._start_snapshotting()
         self._start_checkpointing()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI path); blocks."""
+        self._start_extra_listeners()
         self._start_snapshotting()
         self._start_checkpointing()
         try:
@@ -400,6 +471,8 @@ class ExamServer:
             return True
         self._shut_down = True
         self._httpd.shutdown()  # stops the accept loop, new conns refused
+        for httpd in self._extra_httpds:
+            httpd.shutdown()
         drained = self.in_flight.wait_idle(drain_timeout)
         self._stop_snapshotting()
         self._stop_checkpointing()
@@ -412,8 +485,12 @@ class ExamServer:
         if self.journal is not None:
             self.journal.close()
         self._httpd.server_close()
+        for httpd in self._extra_httpds:
+            httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        for thread in self._extra_threads:
+            thread.join(timeout=5.0)
         return drained
 
     # -- snapshotting ---------------------------------------------------------

@@ -55,6 +55,11 @@ class ServerContext:
     store_info: Optional[object] = None
     #: hard cap on answers per ``answers:batch`` request (413 above it)
     max_batch_answers: int = 500
+    #: the worker's :class:`~repro.cluster.context.ClusterContext` in a
+    #: sharded deployment; None means the classic single process.
+    #: Cohort-level handlers (analysis, results, roster) scatter-gather
+    #: across shards when this is set.
+    cluster: Optional[object] = None
 
     def uptime_seconds(self) -> float:
         """Seconds since the context (≈ server) came up."""
@@ -79,11 +84,14 @@ def _metrics(ctx: ServerContext, params, body, query):
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
         "monitor": ctx.lms.monitor.metrics(),
+        "locks": ctx.lms.lock_stats.snapshot(),
     }
     if ctx.in_flight is not None:
         payload["in_flight"] = ctx.in_flight()
     if ctx.store_info is not None:
         payload["store"] = ctx.store_info()
+    if ctx.cluster is not None:
+        payload["cluster"] = ctx.cluster.describe()
     return payload
 
 
@@ -101,6 +109,23 @@ _OFFER_SPEC = BodySpec(
 
 
 def _offer_exam(ctx: ServerContext, params, body, query):
+    exam = exam_from_record(_OFFER_SPEC.validate(body))
+    ctx.lms.offer_exam(exam)
+    if ctx.cluster is not None:
+        # the catalog is replicated: every shard must know the exam
+        # before its learners' requests arrive.  Peers already holding
+        # it answer 409, which broadcast() counts as success — offers
+        # are idempotent, so a retried broadcast converges.
+        import json as _json
+
+        ctx.cluster.broadcast(
+            "POST", "/internal/exams", _json.dumps(body).encode("utf-8")
+        )
+    return 201, {"exam_id": exam.exam_id, "items": len(exam.items)}
+
+
+def _offer_exam_local(ctx: ServerContext, params, body, query):
+    """The broadcast leg of an offer: apply here, never re-broadcast."""
     exam = exam_from_record(_OFFER_SPEC.validate(body))
     ctx.lms.offer_exam(exam)
     return 201, {"exam_id": exam.exam_id, "items": len(exam.items)}
@@ -152,6 +177,22 @@ def _enroll(ctx: ServerContext, params, body, query):
 def _roster(ctx: ServerContext, params, body, query):
     exam_id = params["exam_id"]
     ctx.lms.exam(exam_id)  # 404 for unknown exams, not an empty roster
+    enrolled = ctx.lms.enrolled(exam_id)
+    if ctx.cluster is not None:
+        # each shard only knows its own learners: union the fleet
+        merged = set(enrolled)
+        for partial in ctx.cluster.gather(
+            f"/internal/exams/{exam_id}/enrollments:local"
+        ):
+            merged.update(partial["enrolled"])
+        enrolled = sorted(merged)
+    return {"exam_id": exam_id, "enrolled": enrolled}
+
+
+def _roster_local(ctx: ServerContext, params, body, query):
+    """One shard's slice of the roster (the gather leg of ``_roster``)."""
+    exam_id = params["exam_id"]
+    ctx.lms.exam(exam_id)
     return {"exam_id": exam_id, "enrolled": ctx.lms.enrolled(exam_id)}
 
 
@@ -261,6 +302,25 @@ def _submit(ctx: ServerContext, params, body, query):
 def _results(ctx: ServerContext, params, body, query):
     exam_id = params["exam_id"]
     ctx.lms.exam(exam_id)
+    results = [
+        graded_to_dict(graded) for graded in ctx.lms.results_for(exam_id)
+    ]
+    if ctx.cluster is not None:
+        # per-shard lists are in local submission order; the merged view
+        # is put in canonical (learner id) order so it is a pure
+        # function of who submitted, not of shard layout
+        for partial in ctx.cluster.gather(
+            f"/internal/exams/{exam_id}/results:local"
+        ):
+            results.extend(partial["results"])
+        results.sort(key=lambda graded: graded["learner_id"])
+    return {"exam_id": exam_id, "results": results}
+
+
+def _results_local(ctx: ServerContext, params, body, query):
+    """One shard's graded sittings (the gather leg of ``_results``)."""
+    exam_id = params["exam_id"]
+    ctx.lms.exam(exam_id)
     return {
         "exam_id": exam_id,
         "results": [
@@ -270,11 +330,36 @@ def _results(ctx: ServerContext, params, body, query):
 
 
 def _analysis(ctx: ServerContext, params, body, query):
-    cohort = ctx.lms.live_analysis(params["exam_id"])
-    return analysis_to_dict(cohort)
+    exam_id = params["exam_id"]
+    if ctx.cluster is None:
+        return analysis_to_dict(ctx.lms.live_analysis(exam_id))
+    # scatter-gather: every shard exports its warm columnar partial;
+    # the merge (canonical learner order) analyzes bit-identically to a
+    # single process that held the whole cohort
+    from repro.core.columnar import merge_partials
+
+    exam = ctx.lms.exam(exam_id)
+    partials = [ctx.lms.analysis_partial(exam_id)]
+    partials.extend(
+        ctx.cluster.gather(f"/internal/exams/{exam_id}/analysis:partial")
+    )
+    matrix = merge_partials(exam.question_specs(), partials)
+    return analysis_to_dict(matrix.analyze())
+
+
+def _analysis_partial(ctx: ServerContext, params, body, query):
+    """This shard's columnar partial (the gather leg of ``_analysis``)."""
+    return ctx.lms.analysis_partial(params["exam_id"])
 
 
 def _report(ctx: ServerContext, params, body, query):
+    if ctx.cluster is not None:
+        raise ApiError(
+            501,
+            "not_implemented",
+            "the full report is not yet available in sharded mode; "
+            "use /exams/{exam_id}/analysis (scatter-gathered) instead",
+        )
     return report_to_dict(ctx.lms.report_for(params["exam_id"]))
 
 
@@ -296,14 +381,7 @@ def _snapshot_now(ctx: ServerContext, params, body, query):
     return {"snapshot": str(path)}
 
 
-def _checkpoint_now(ctx: ServerContext, params, body, query):
-    if ctx.checkpoint is None:
-        raise ApiError(
-            409,
-            "invalid_state",
-            "server was started without a WAL directory (--wal-dir)",
-        )
-    result = ctx.checkpoint()
+def _checkpoint_payload(result) -> Dict[str, object]:
     return {
         "checkpoint": str(result.path),
         "covered_lsn": result.covered_lsn,
@@ -314,6 +392,47 @@ def _checkpoint_now(ctx: ServerContext, params, body, query):
             path.name for path in result.pruned_checkpoints
         ],
     }
+
+
+def _checkpoint_now(ctx: ServerContext, params, body, query):
+    if ctx.checkpoint is None:
+        raise ApiError(
+            409,
+            "invalid_state",
+            "server was started without a WAL directory (--wal-dir)",
+        )
+    result = ctx.checkpoint()
+    payload = _checkpoint_payload(result)
+    if ctx.cluster is not None:
+        # every shard compacts its own WAL; the admin call fans out
+        payload["peers_checkpointed"] = ctx.cluster.broadcast(
+            "POST", "/internal/admin/checkpoint"
+        )
+    return payload
+
+
+def _checkpoint_local(ctx: ServerContext, params, body, query):
+    """The broadcast leg of a cluster checkpoint: this shard only."""
+    if ctx.checkpoint is None:
+        raise ApiError(
+            409,
+            "invalid_state",
+            "server was started without a WAL directory (--wal-dir)",
+        )
+    return _checkpoint_payload(ctx.checkpoint())
+
+
+# -- cluster ------------------------------------------------------------------
+
+
+def _topology(ctx: ServerContext, params, body, query):
+    if ctx.cluster is None:
+        raise ApiError(
+            409,
+            "invalid_state",
+            "this server is not part of a cluster (serve --workers N)",
+        )
+    return ctx.cluster.describe()
 
 
 def build_router() -> Router:
@@ -354,5 +473,37 @@ def build_router() -> Router:
     router.add("POST", "/admin/snapshot", _snapshot_now, "admin.snapshot")
     router.add(
         "POST", "/admin/checkpoint", _checkpoint_now, "admin.checkpoint"
+    )
+    # cluster-internal peer routes: the gather/broadcast legs of the
+    # scatter-gather handlers above.  They carry no learner affinity
+    # (never proxied) and never fan out themselves — that is what keeps
+    # a scatter from recursing.  Harmless on a single server too.
+    router.add("GET", "/cluster/topology", _topology, "cluster.topology")
+    router.add(
+        "GET",
+        "/internal/exams/{exam_id}/analysis:partial",
+        _analysis_partial,
+        "internal.analysis_partial",
+    )
+    router.add(
+        "GET",
+        "/internal/exams/{exam_id}/results:local",
+        _results_local,
+        "internal.results_local",
+    )
+    router.add(
+        "GET",
+        "/internal/exams/{exam_id}/enrollments:local",
+        _roster_local,
+        "internal.roster_local",
+    )
+    router.add(
+        "POST", "/internal/exams", _offer_exam_local, "internal.offer"
+    )
+    router.add(
+        "POST",
+        "/internal/admin/checkpoint",
+        _checkpoint_local,
+        "internal.checkpoint",
     )
     return router

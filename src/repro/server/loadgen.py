@@ -40,11 +40,43 @@ from repro.sim.learner_model import (
 from repro.sim.population import make_population
 from repro.sim.workloads import classroom_exam, classroom_parameters
 
-__all__ = ["LoadgenError", "LoadgenReport", "RouteTimings", "run_loadgen"]
+__all__ = [
+    "LoadgenError",
+    "LoadgenReport",
+    "RouteTimings",
+    "discover_topology",
+    "run_loadgen",
+]
+
+#: ceiling on one 503 backoff sleep (seconds): the Retry-After hint is
+#: honoured up to this bound so a bench run is never hostage to a
+#: pessimistic server hint
+MAX_RETRY_SLEEP = 0.5
 
 
 class LoadgenError(AssessmentError):
     """The load generator hit an unexpected server response."""
+
+
+def _backoff_seconds(
+    retry_after: Optional[str], rng: random.Random
+) -> float:
+    """How long to sleep before retrying a 503, with jitter.
+
+    The server's ``Retry-After`` is the ceiling (bounded by
+    :data:`MAX_RETRY_SLEEP`); the actual sleep is drawn uniformly from
+    the upper three quarters of it, **per worker**.  Without the
+    jitter every worker that got shed by a saturated or recovering
+    shard wakes on the same tick and stampedes it back down — the
+    classic thundering herd; spreading the wakeups lets the shard
+    absorb the returning load gradually.
+    """
+    try:
+        hint = float(retry_after) if retry_after else 0.1
+    except ValueError:
+        hint = 0.1
+    ceiling = min(max(hint, 0.02), MAX_RETRY_SLEEP)
+    return rng.uniform(ceiling * 0.25, ceiling)
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -220,11 +252,13 @@ class _Recorder:
     errors: int = 0
     retries_503: int = 0
 
-    def note(self, route: str, elapsed: float, status: int) -> None:
+    def note(
+        self, route: str, elapsed: float, status: int, expected: bool = False
+    ) -> None:
         with self.lock:
             self.requests += 1
             self.latencies.setdefault(route, []).append(elapsed)
-            if status >= 400:
+            if status >= 400 and not expected:
                 self.errors += 1
 
     def note_retry(self) -> None:
@@ -242,18 +276,20 @@ def _timed(
     payload: Optional[dict] = None,
     expect: Tuple[int, ...] = (200, 201),
     max_retries_503: int = 50,
+    rng: Optional[random.Random] = None,
 ) -> dict:
-    """One request with timing; backs off briefly on 503 and retries."""
+    """One request with timing; backs off (jittered) on 503 and retries."""
+    if rng is None:
+        rng = random.Random()
     for _ in range(max_retries_503 + 1):
         began = time.perf_counter()
         status, data, headers = client.request(method, path, payload)
         elapsed = time.perf_counter() - began
         if status == 503:
             recorder.note_retry()
-            retry_after = headers.get("Retry-After")
-            time.sleep(min(float(retry_after or 0.05), 0.1))
+            time.sleep(_backoff_seconds(headers.get("Retry-After"), rng))
             continue
-        recorder.note(route, elapsed, status)
+        recorder.note(route, elapsed, status, expected=status in expect)
         if status not in expect:
             raise LoadgenError(
                 f"{method} {path} -> {status}: {data!r} "
@@ -263,6 +299,86 @@ def _timed(
     raise LoadgenError(
         f"{method} {path} still 503 after {max_retries_503} retries"
     )
+
+
+def _split_netloc(url: str) -> Tuple[str, int]:
+    pieces = urlsplit(url if "//" in url else f"http://{url}")
+    if pieces.hostname is None or pieces.port is None:
+        raise LoadgenError(f"need host:port in the url, got {url!r}")
+    return pieces.hostname, pieces.port
+
+
+def discover_topology(url: str, timeout: float = 10.0):
+    """Ask a cluster worker for the topology; returns ``(ring, addrs)``.
+
+    ``ring`` is a client-side :class:`~repro.cluster.ring.HashRing`
+    rebuilt from the server's shard names and replica count — it routes
+    identically to the workers' own rings, so a topology-aware client
+    can send each learner's traffic straight to the owning shard and
+    skip the proxy hop.  ``addrs`` maps shard name to its direct
+    ``(host, port)``.
+    """
+    from repro.cluster.ring import HashRing
+
+    host, port = _split_netloc(url)
+    client = _Client(host, port, timeout)
+    try:
+        status, topology, _ = client.request("GET", "/cluster/topology")
+    finally:
+        client.close()
+    if status != 200:
+        raise LoadgenError(
+            f"GET /cluster/topology -> {status}: not a cluster worker? "
+            f"({topology!r})"
+        )
+    ring = HashRing(
+        [entry["shard"] for entry in topology["shards"]],
+        replicas=int(topology["replicas"]),
+    )
+    addrs = {
+        entry["shard"]: _split_netloc(entry["url"])
+        for entry in topology["shards"]
+    }
+    return ring, addrs
+
+
+class _ClientPool:
+    """One keep-alive client per target shard, owned by one thread.
+
+    In single-server mode the pool holds exactly one client; in
+    topology-aware cluster mode it holds one per shard and
+    :meth:`for_learner` picks the owner, so per-learner traffic never
+    pays the cross-shard proxy hop.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float,
+        ring=None,
+        addrs: Optional[Dict[str, Tuple[str, int]]] = None,
+    ) -> None:
+        self._ring = ring
+        if ring is None:
+            self._clients = {None: _Client(host, port, timeout)}
+        else:
+            self._clients = {
+                shard: _Client(shard_host, shard_port, timeout)
+                for shard, (shard_host, shard_port) in (addrs or {}).items()
+            }
+
+    def for_learner(self, learner_id: str) -> _Client:
+        if self._ring is None:
+            return self._clients[None]
+        return self._clients[self._ring.route(learner_id)]
+
+    def any(self) -> _Client:
+        return next(iter(self._clients.values()))
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
 
 
 def _sample_learner_selections(
@@ -306,6 +422,8 @@ def run_loadgen(
     setup: bool = True,
     timeout: float = 30.0,
     batch: int = 0,
+    cluster: bool = False,
+    population: Optional[Sequence[SimulatedLearner]] = None,
 ) -> LoadgenReport:
     """Drive a simulated cohort through a running server; measure it.
 
@@ -322,35 +440,54 @@ def run_loadgen(
     so the grade rides the same request — the whole-sitting variant.
     Work is spread over ``workers`` threads, each with its own
     keep-alive connection; 503 backpressure responses are honoured
-    (short sleep, retry) and counted separately rather than treated as
-    failures.
+    (``Retry-After``-bounded sleep with per-worker jitter, then retry)
+    and counted separately rather than treated as failures.
+
+    Sharded tiers: with ``cluster=True`` the generator first fetches
+    ``/cluster/topology`` from ``url``, rebuilds the consistent-hash
+    ring client-side, and drives every learner's sitting *directly* at
+    the shard that owns it — one keep-alive connection per (thread,
+    shard) — so no request pays the cross-shard proxy hop.
+    ``population`` substitutes an explicit learner subset for the
+    default seeded cohort (e.g. only the learners one shard owns, for
+    per-shard capacity runs); re-offering an exam a previous run
+    already offered is tolerated (409 = already there).
     """
     if batch < 0:
         raise LoadgenError(f"batch must be >= 0, got {batch}")
-    pieces = urlsplit(url if "//" in url else f"http://{url}")
-    host, port = pieces.hostname, pieces.port
-    if host is None or port is None:
-        raise LoadgenError(f"loadgen needs host:port in the url, got {url!r}")
+    host, port = _split_netloc(url)
     if exam is None:
         exam = classroom_exam(questions)
     if parameters is None:
         parameters = classroom_parameters(questions)
-    population = make_population(learners, seed=seed)
+    if population is None:
+        population = make_population(learners, seed=seed)
+    else:
+        population = list(population)
+        learners = len(population)
+    ring = addrs = None
+    if cluster:
+        ring, addrs = discover_topology(url, timeout=timeout)
     recorder = _Recorder()
 
     if setup:
-        client = _Client(host, port, timeout)
+        pool = _ClientPool(host, port, timeout, ring, addrs)
+        setup_rng = random.Random(f"{seed}:backoff:setup")
         try:
             _timed(
-                client,
+                pool.any(),
                 recorder,
                 "offer",
                 "POST",
                 "/exams",
                 exam_to_record(exam),
-                expect=(201,),
+                # 409 = a previous run (or another shard driver) already
+                # offered it; idempotent setup, not a failure
+                expect=(201, 409),
+                rng=setup_rng,
             )
             for learner in population:
+                client = pool.for_learner(learner.learner_id)
                 _timed(
                     client,
                     recorder,
@@ -359,6 +496,7 @@ def run_loadgen(
                     "/learners",
                     {"learner_id": learner.learner_id},
                     expect=(201,),
+                    rng=setup_rng,
                 )
                 _timed(
                     client,
@@ -368,9 +506,10 @@ def run_loadgen(
                     f"/exams/{exam.exam_id}/enrollments",
                     {"learner_id": learner.learner_id},
                     expect=(201,),
+                    rng=setup_rng,
                 )
         finally:
-            client.close()
+            pool.close()
 
     # pre-sample every learner's selections so worker threads only do I/O
     scripts = {
@@ -384,18 +523,22 @@ def run_loadgen(
     queue_lock = threading.Lock()
     failures: List[BaseException] = []
 
-    def worker() -> None:
-        client = _Client(host, port, timeout)
+    def worker(index: int) -> None:
+        pool = _ClientPool(host, port, timeout, ring, addrs)
+        # per-worker jitter stream: seeded (reproducible runs) but
+        # distinct per thread, so 503 backoffs never synchronize
+        rng = random.Random(f"{seed}:backoff:{index}")
         try:
             while True:
                 with queue_lock:
                     if not queue:
                         return
                     learner = queue.pop()
+                client = pool.for_learner(learner.learner_id)
                 base = f"/exams/{exam.exam_id}/sittings/{learner.learner_id}"
                 _timed(
                     client, recorder, "start", "POST", base + "/start",
-                    expect=(201,),
+                    expect=(201,), rng=rng,
                 )
                 pairs = [
                     (item_id, selection)
@@ -420,12 +563,13 @@ def run_loadgen(
                             "POST",
                             base + "/answers:batch",
                             payload,
+                            rng=rng,
                         )
                     if not pairs:
                         # an all-omitted sitting still has to close
                         _timed(
                             client, recorder, "submit", "POST",
-                            base + "/submit",
+                            base + "/submit", rng=rng,
                         )
                 else:
                     for item_id, selection in pairs:
@@ -436,19 +580,24 @@ def run_loadgen(
                             "POST",
                             base + "/answer",
                             {"item_id": item_id, "response": selection},
+                            rng=rng,
                         )
                     _timed(
-                        client, recorder, "submit", "POST", base + "/submit"
+                        client, recorder, "submit", "POST", base + "/submit",
+                        rng=rng,
                     )
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with queue_lock:
                 failures.append(exc)
         finally:
-            client.close()
+            pool.close()
 
     began = time.perf_counter()
     threads = [
-        threading.Thread(target=worker, name=f"loadgen-{index}", daemon=True)
+        threading.Thread(
+            target=worker, args=(index,),
+            name=f"loadgen-{index}", daemon=True,
+        )
         for index in range(max(1, workers))
     ]
     for thread in threads:

@@ -1,0 +1,185 @@
+"""Scatter-gather partials: merged analysis == single-process analysis.
+
+The sharded tier's correctness claim is *bit-identity*: splitting a
+cohort across shards, exporting each shard's columnar partial, and
+merging must produce the same :class:`CohortAnalysis` — every count,
+score, discrimination index, and diagnostic signal — as one process
+analysing the whole cohort.  These tests split seeded cohorts every
+way the cluster would (hash ring, round-robin, lopsided) and diff the
+serialized analyses.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.core.columnar import (
+    LiveCohortAnalysis,
+    ResponseMatrix,
+    merge_partials,
+)
+from repro.core.errors import AnalysisError
+from repro.core.question_analysis import analyze_cohort
+from repro.server.serialize import analysis_to_dict
+from repro.sim.population import make_population
+from repro.sim.workloads import (
+    classroom_exam,
+    classroom_parameters,
+    simulate_sitting_data,
+)
+
+QUESTIONS = 12
+
+
+def seeded_cohort(students=60, seed=11, omit_rate=0.0):
+    exam = classroom_exam(QUESTIONS)
+    data = simulate_sitting_data(
+        exam,
+        classroom_parameters(QUESTIONS),
+        make_population(students, seed=seed),
+        seed=seed + 1,
+        omit_rate=omit_rate,
+    )
+    return exam, list(data.responses)
+
+
+def analysis_json(specs, responses):
+    """The canonical single-process answer, as the server serializes it."""
+    ordered = sorted(responses, key=lambda response: response.examinee_id)
+    return json.dumps(
+        analysis_to_dict(analyze_cohort(ordered, specs)), sort_keys=True
+    )
+
+
+def merged_json(specs, shards):
+    partials = []
+    for shard_responses in shards:
+        matrix = ResponseMatrix(specs)
+        for response in shard_responses:
+            matrix.extend([response])
+        partials.append(matrix.export_partial())
+    merged = merge_partials(specs, partials)
+    return json.dumps(analysis_to_dict(merged.analyze()), sort_keys=True)
+
+
+def split_by(responses, key):
+    shards = {}
+    for response in responses:
+        shards.setdefault(key(response), []).append(response)
+    return list(shards.values())
+
+
+class TestDifferential:
+    def test_hash_ring_split_matches_single_process(self):
+        exam, responses = seeded_cohort()
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        shards = split_by(
+            responses, lambda response: ring.route(response.examinee_id)
+        )
+        assert len(shards) == 3
+        specs = exam.question_specs()
+        assert merged_json(specs, shards) == analysis_json(specs, responses)
+
+    def test_round_robin_split_matches(self):
+        exam, responses = seeded_cohort(students=45, seed=3)
+        shards = [responses[0::4], responses[1::4], responses[2::4],
+                  responses[3::4]]
+        specs = exam.question_specs()
+        assert merged_json(specs, shards) == analysis_json(specs, responses)
+
+    def test_lopsided_split_matches(self):
+        """One shard holding nearly everything, one nearly empty."""
+        exam, responses = seeded_cohort(students=30, seed=9)
+        shards = [responses[:1], responses[1:]]
+        specs = exam.question_specs()
+        assert merged_json(specs, shards) == analysis_json(specs, responses)
+
+    def test_omits_survive_the_merge(self):
+        exam, responses = seeded_cohort(students=40, seed=5, omit_rate=0.2)
+        assert any(
+            selection is None
+            for response in responses
+            for selection in response.selections
+        )
+        shards = [responses[0::2], responses[1::2]]
+        specs = exam.question_specs()
+        assert merged_json(specs, shards) == analysis_json(specs, responses)
+
+    def test_stray_labels_survive_the_merge(self):
+        """A shard that interned an off-spec selection (stray label)
+        forces the row-decode fallback instead of the byte-copy fast
+        path; the merged matrix state must still be exact (the analysis
+        itself rejects the off-spec pick — identically on both sides)."""
+        from repro.core.question_analysis import ExamineeResponses
+
+        exam, responses = seeded_cohort(students=24, seed=2)
+        values = list(responses[0].selections)
+        values[0] = "Z"  # not one of the question's spec'd options
+        responses[0] = ExamineeResponses.of(
+            responses[0].examinee_id, values
+        )
+        shards = [responses[0::2], responses[1::2]]
+        specs = exam.question_specs()
+        partials = []
+        for shard_responses in shards:
+            matrix = ResponseMatrix(specs)
+            matrix.extend(shard_responses)
+            partials.append(matrix.export_partial())
+        merged = merge_partials(specs, partials)
+        whole = ResponseMatrix(specs)
+        whole.extend(
+            sorted(responses, key=lambda response: response.examinee_id)
+        )
+        assert merged.export_partial() == whole.export_partial()
+
+    def test_single_partial_round_trips(self):
+        exam, responses = seeded_cohort(students=16, seed=4)
+        specs = exam.question_specs()
+        assert merged_json(specs, [responses]) == analysis_json(
+            specs, responses
+        )
+
+    def test_live_analysis_export_matches_matrix_export(self):
+        exam, responses = seeded_cohort(students=16, seed=4)
+        specs = exam.question_specs()
+        live = LiveCohortAnalysis(specs)
+        matrix = ResponseMatrix(specs)
+        for response in responses:
+            live.add_sitting(response)
+            matrix.extend([response])
+        assert live.export_partial() == matrix.export_partial()
+
+
+class TestMergeValidation:
+    def test_duplicate_examinee_across_shards_rejected(self):
+        exam, responses = seeded_cohort(students=10, seed=6)
+        specs = exam.question_specs()
+        matrix = ResponseMatrix(specs)
+        matrix.extend(responses[:5])
+        partial = matrix.export_partial()
+        with pytest.raises(AnalysisError):
+            merge_partials(specs, [partial, partial])
+
+    def test_wrong_format_rejected(self):
+        exam, _ = seeded_cohort(students=8, seed=6)
+        with pytest.raises(AnalysisError):
+            merge_partials(exam.question_specs(), [{"format": "nope"}])
+
+    def test_wrong_width_rejected(self):
+        exam, responses = seeded_cohort(students=8, seed=6)
+        specs = exam.question_specs()
+        matrix = ResponseMatrix(specs)
+        matrix.extend(responses)
+        partial = matrix.export_partial()
+        partial["width"] = partial["width"] + 1
+        with pytest.raises(AnalysisError):
+            merge_partials(specs, [partial])
+
+    def test_empty_partials_merge_to_empty_matrix(self):
+        exam, _ = seeded_cohort(students=8, seed=6)
+        specs = exam.question_specs()
+        merged = merge_partials(
+            specs, [ResponseMatrix(specs).export_partial()]
+        )
+        assert merged.examinee_ids == []

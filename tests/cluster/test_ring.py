@@ -1,0 +1,88 @@
+"""Consistent-hash ring: stable placement, bounded remapping."""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.core.errors import AnalysisError
+
+KEYS = [f"learner-{index:04d}" for index in range(2000)]
+
+
+class TestRouting:
+    def test_same_key_same_shard_always(self):
+        ring = HashRing(["a", "b", "c"])
+        first = {key: ring.route(key) for key in KEYS}
+        for _ in range(3):
+            assert {key: ring.route(key) for key in KEYS} == first
+
+    def test_placement_is_process_independent(self):
+        """Two independently built rings route identically — the hash
+        is keyed content (blake2b), not Python's salted ``hash()``, so
+        every worker process and every client agree on ownership."""
+        one = HashRing(["shard-0", "shard-1", "shard-2"])
+        two = HashRing(["shard-2", "shard-0", "shard-1"])  # any order
+        assert [one.route(key) for key in KEYS] == [
+            two.route(key) for key in KEYS
+        ]
+
+    def test_every_shard_gets_a_fair_share(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        counts = {shard: 0 for shard in ring.shards}
+        for key in KEYS:
+            counts[ring.route(key)] += 1
+        expected = len(KEYS) / len(counts)
+        for shard, count in counts.items():
+            # 64 virtual nodes keep the spread well inside 2x of fair
+            assert expected / 2 < count < expected * 2, (shard, count)
+
+    def test_wraparound_routes_to_first_point(self):
+        ring = HashRing(["only"])
+        assert all(ring.route(key) == "only" for key in KEYS[:50])
+
+
+class TestRemapping:
+    def test_adding_a_shard_remaps_about_one_nth(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {key: ring.route(key) for key in KEYS}
+        ring.add("d")
+        moved = sum(1 for key in KEYS if ring.route(key) != before[key])
+        # consistent hashing: ~1/4 of keys move to the new shard;
+        # naive mod-N hashing would move ~3/4
+        assert 0.10 * len(KEYS) < moved < 0.45 * len(KEYS), moved
+        # and every moved key moved *to* the new shard
+        for key in KEYS:
+            if ring.route(key) != before[key]:
+                assert ring.route(key) == "d"
+
+    def test_removing_a_shard_strands_only_its_keys(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        before = {key: ring.route(key) for key in KEYS}
+        ring.remove("d")
+        for key in KEYS:
+            if before[key] != "d":
+                assert ring.route(key) == before[key]
+            else:
+                assert ring.route(key) != "d"
+
+
+class TestErrors:
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(AnalysisError):
+            HashRing().route("x")
+
+    def test_duplicate_shard_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(AnalysisError):
+            ring.add("a")
+
+    def test_removing_unknown_shard_rejected(self):
+        with pytest.raises(AnalysisError):
+            HashRing(["a"]).remove("b")
+
+    def test_replicas_and_len(self):
+        ring = HashRing(["a", "b"], replicas=8)
+        assert len(ring) == 2
+        assert ring.replicas == 8
+        assert "a" in ring and "z" not in ring
+        assert ring.shards == ["a", "b"]
+        assert HashRing(["x"]).replicas == DEFAULT_REPLICAS

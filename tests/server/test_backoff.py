@@ -1,0 +1,52 @@
+"""Retry-After backoff: honoured, bounded, and jittered per worker."""
+
+import random
+
+from repro.server.loadgen import MAX_RETRY_SLEEP, _backoff_seconds
+
+
+class TestBackoffSeconds:
+    def test_hint_is_the_ceiling(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            sleep = _backoff_seconds("0.3", rng)
+            assert 0.3 * 0.25 <= sleep <= 0.3
+
+    def test_large_hint_clamped(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            assert _backoff_seconds("60", rng) <= MAX_RETRY_SLEEP
+
+    def test_missing_or_garbage_hint_uses_default(self):
+        rng = random.Random(3)
+        for header in (None, "", "soon", "1s"):
+            sleep = _backoff_seconds(header, rng)
+            assert 0.1 * 0.25 <= sleep <= 0.1
+
+    def test_tiny_hint_keeps_a_floor(self):
+        rng = random.Random(4)
+        for _ in range(100):
+            assert _backoff_seconds("0.0001", rng) >= 0.02 * 0.25
+
+    def test_jitter_spreads_workers_apart(self):
+        """Two workers with distinct seeded RNGs (what ``run_loadgen``
+        builds) draw different sleeps from the same hint — the herd
+        does not wake on one tick."""
+        one = random.Random("7:backoff:0")
+        two = random.Random("7:backoff:1")
+        draws_one = [_backoff_seconds("1", one) for _ in range(32)]
+        draws_two = [_backoff_seconds("1", two) for _ in range(32)]
+        assert draws_one != draws_two
+        # and a single worker's own draws vary too
+        assert len(set(draws_one)) > 16
+
+    def test_same_seed_is_reproducible(self):
+        first = [
+            _backoff_seconds("1", random.Random("s:backoff:3"))
+            for _ in range(1)
+        ]
+        second = [
+            _backoff_seconds("1", random.Random("s:backoff:3"))
+            for _ in range(1)
+        ]
+        assert first == second

@@ -190,6 +190,9 @@ class TestBatchLimits:
             try:
                 base = f"/exams/{EXAM_ID}/sittings/amy"
                 client.post(base + "/start")
+                # the handler releases its slot *after* flushing the
+                # response we just read — wait for that, don't race it
+                assert server.in_flight.wait_idle(timeout=5.0)
                 assert server.in_flight.try_acquire()
                 try:
                     status, payload, _ = client.post(
