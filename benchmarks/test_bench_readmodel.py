@@ -1,0 +1,222 @@
+"""Read-model economics — what the CQRS fold costs, and what it buys.
+
+Four measurements, written to ``BENCH_readmodel.json``:
+
+* **fold apply throughput**: events/second through
+  ``ReadModel.apply_all`` over pre-read records (no journal I/O in the
+  timed region) — the ceiling of the follower thread;
+* **rebuild throughput**: records/second through ``rebuild()``, the
+  differential oracle that re-folds the entire journal from LSN 0 —
+  this is the path whose cost *grows with history*;
+* **tail throughput**: records/second through ``JournalTailer.poll``
+  draining a full journal, the feed under the follower;
+* **checkpointed query latency, flat vs 10x history**: the acceptance
+  evidence for the O(1) claim.  The same cohort re-sits the same exam
+  until one journal holds ~10x the records of the other; both carry a
+  read-model checkpoint at the tip.  ``as_of`` (nearest checkpoint +
+  bounded suffix) must answer in ~constant time on both — the CI
+  tripwire allows 3x jitter, the artifact records the precise ratio —
+  while ``rebuild`` over the long journal demonstrably pays the O(n)
+  bill the checkpoint avoids.
+"""
+
+import json
+import os
+import time
+
+from repro.delivery.clock import ManualClock
+from repro.lms.learners import Learner
+from repro.lms.lms import Lms
+from repro.readmodel import ReadModel, as_of, rebuild, save_readmodel
+from repro.sim.workloads import classroom_exam
+from repro.store import Journal, read_records
+from repro.store.tail import JournalTailer
+
+from conftest import show
+
+ARTIFACT = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_readmodel.json"
+)
+
+#: the O(1)-query acceptance: target is flat (1.0); CI tolerates jitter
+TARGET_LATENCY_RATIO = 1.5
+MAX_CI_LATENCY_RATIO = 3.0
+
+LEARNERS = 40
+QUESTIONS = 6
+BASE_ROUNDS = 3
+GROWN_ROUNDS = 30  # ~10x the sitting history of BASE_ROUNDS
+QUERY_REPS = 30
+
+#: small segments so both histories actually rotate: the bounded-suffix
+#: guarantee is O(checkpoint + one segment scan), and it only bites
+#: once the journal spans more than one segment (with the 4 MiB default
+#: both of these cohorts would fit in a single file and every position
+#: scan would read the whole history)
+SEGMENT_BYTES = 64 * 1024
+
+
+def journaled_history(wal_dir, rounds):
+    """One cohort re-sitting the classroom exam ``rounds`` times.
+
+    Re-sits (not a bigger cohort) are what grow the journal while the
+    *model state* stays bounded — the shape under the flat-latency
+    claim.  Returns the journal's final LSN.
+    """
+    journal = Journal.open(
+        wal_dir, fsync="never", segment_bytes=SEGMENT_BYTES
+    )
+    lms = Lms(clock=ManualClock(10.0), journal=journal)
+    exam = classroom_exam(QUESTIONS)
+    lms.offer_exam(exam)
+    for index in range(LEARNERS):
+        learner_id = f"s{index:03d}"
+        lms.register_learner(Learner(learner_id=learner_id, name=learner_id))
+        lms.enroll(learner_id, exam.exam_id)
+    for round_no in range(rounds):
+        for index in range(LEARNERS):
+            learner_id = f"s{index:03d}"
+            lms.start_exam(learner_id, exam.exam_id)
+            for question in range(1, QUESTIONS + 1):
+                lms.clock.advance(1.0)
+                lms.answer(
+                    learner_id, exam.exam_id, f"q{question:02d}",
+                    "ABCDE"[(index + question + round_no) % 5],
+                )
+            lms.submit(learner_id, exam.exam_id)
+    last_lsn = journal.last_lsn
+    journal.close()
+    return last_lsn
+
+
+def timed_rebuild(wal_dir):
+    start = time.perf_counter()
+    model = rebuild(wal_dir)
+    return model, time.perf_counter() - start
+
+
+def query_latency_ms(wal_dir, tip, reps=QUERY_REPS):
+    """Best-of-N ``as_of`` latency at a tip-covering checkpoint."""
+    best = float("inf")
+    replayed_seen = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        _, replayed = as_of(wal_dir, lsn=tip)
+        best = min(best, time.perf_counter() - start)
+        replayed_seen = replayed
+    # the checkpoint sits exactly at the tip: the suffix must be empty,
+    # or the measurement is not the O(1) path at all
+    assert replayed_seen == 0, replayed_seen
+    return best * 1000.0
+
+
+def test_bench_readmodel(benchmark, tmp_path):
+    base_dir = tmp_path / "wal-1x"
+    grown_dir = tmp_path / "wal-10x"
+    base_tip = journaled_history(base_dir, BASE_ROUNDS)
+    grown_tip = journaled_history(grown_dir, GROWN_ROUNDS)
+
+    # -- fold apply throughput (records pre-read, pure fold timed) --------
+    records = list(read_records(grown_dir))
+    fold = ReadModel()
+    start = time.perf_counter()
+    fold.apply_all(records)
+    fold_seconds = time.perf_counter() - start
+    assert fold.applied_lsn == grown_tip
+    apply_stats = {
+        "events": len(records),
+        "seconds": round(fold_seconds, 4),
+        "events_per_second": round(len(records) / fold_seconds, 1),
+    }
+
+    # -- rebuild (journal I/O + fold), at both history sizes --------------
+    base_model, base_rebuild_s = timed_rebuild(base_dir)
+    grown_model, grown_rebuild_s = timed_rebuild(grown_dir)
+    assert base_model.applied_lsn == base_tip
+    assert grown_model.applied_lsn == grown_tip
+    rebuild_stats = {
+        "records_1x": base_tip,
+        "records_10x": grown_tip,
+        "seconds_1x": round(base_rebuild_s, 4),
+        "seconds_10x": round(grown_rebuild_s, 4),
+        "records_per_second": round(grown_tip / grown_rebuild_s, 1),
+    }
+
+    # -- tail throughput: one drain over the full journal -----------------
+    tailer = JournalTailer(grown_dir)
+    start = time.perf_counter()
+    drained = tailer.poll()
+    tail_seconds = time.perf_counter() - start
+    assert len(drained) == grown_tip
+    tail_stats = {
+        "records": len(drained),
+        "seconds": round(tail_seconds, 4),
+        "records_per_second": round(len(drained) / tail_seconds, 1),
+        "segments_followed": tailer.segments_followed,
+    }
+
+    # -- checkpointed query latency, 1x vs 10x history --------------------
+    save_readmodel(base_model, base_dir)
+    save_readmodel(grown_model, grown_dir)
+    base_ms = query_latency_ms(base_dir, base_tip)
+    grown_ms = query_latency_ms(grown_dir, grown_tip)
+    ratio = grown_ms / base_ms
+    query_stats = {
+        "history_growth": round(grown_tip / base_tip, 2),
+        "asof_1x_ms": round(base_ms, 3),
+        "asof_10x_ms": round(grown_ms, 3),
+        "latency_ratio": round(ratio, 3),
+        "target_latency_ratio": TARGET_LATENCY_RATIO,
+        "rebuild_cost_ratio": round(grown_rebuild_s / base_rebuild_s, 2),
+    }
+
+    # pytest-benchmark timing of the hot query over the long history
+    benchmark(lambda: as_of(grown_dir, lsn=grown_tip))
+
+    payload = {
+        "apply": apply_stats,
+        "rebuild": rebuild_stats,
+        "tail": tail_stats,
+        "query": query_stats,
+    }
+    with open(ARTIFACT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    show(
+        "Analytics read model",
+        "\n".join(
+            [
+                f"fold apply:      "
+                f"{apply_stats['events_per_second']:>10.1f} events/s",
+                f"rebuild:         "
+                f"{rebuild_stats['records_per_second']:>10.1f} rec/s "
+                f"({grown_tip} records)",
+                f"tail drain:      "
+                f"{tail_stats['records_per_second']:>10.1f} rec/s "
+                f"({tail_stats['segments_followed']} segments)",
+                f"as_of @1x:       {base_ms:>10.3f} ms "
+                f"({base_tip} records of history)",
+                f"as_of @10x:      {grown_ms:>10.3f} ms "
+                f"({grown_tip} records of history)",
+                f"latency ratio:   {ratio:>10.3f} "
+                f"(target ~{TARGET_LATENCY_RATIO}, CI "
+                f"< {MAX_CI_LATENCY_RATIO}; rebuild pays "
+                f"{query_stats['rebuild_cost_ratio']}x)",
+            ]
+        ),
+    )
+
+    # shape assertions: the fold keeps up with any realistic feed ...
+    assert apply_stats["events_per_second"] > 500
+    assert rebuild_stats["records_per_second"] > 200
+    assert tail_stats["records_per_second"] > 1000
+    # ... the history really did grow an order of magnitude ...
+    assert query_stats["history_growth"] > 5.0
+    # ... rebuild pays for that growth, the checkpointed query does not
+    assert query_stats["rebuild_cost_ratio"] > 1.5
+    assert ratio <= MAX_CI_LATENCY_RATIO, (
+        f"checkpointed as_of slowed {ratio:.2f}x when history grew "
+        f"{query_stats['history_growth']}x — the O(1) claim is broken "
+        f"(CI ceiling {MAX_CI_LATENCY_RATIO}x)"
+    )

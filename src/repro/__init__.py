@@ -25,6 +25,10 @@ The library's layers:
 * :mod:`repro.cluster` — the sharded multi-process delivery tier:
   consistent-hash learner placement, worker supervision, and
   scatter-gather analytics (``mine-assess serve --workers N``);
+* :mod:`repro.readmodel` — the CQRS read side: a journal-fed analytics
+  fold with checkpoints and time-travel queries, served from
+  ``GET /admin/analytics/...`` (``mine-assess serve --readmodel`` /
+  ``mine-assess analytics``);
 * :mod:`repro.sim`, :mod:`repro.adaptive`, :mod:`repro.baselines` —
   simulated cohorts (scalar, vectorized, and sharded engines),
   adaptive testing, and classical baselines;
@@ -43,7 +47,7 @@ Quickstart::
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: facade name -> (module, attribute); ``None`` attribute re-exports the
 #: module itself.  Everything here is importable as ``repro.<name>``.
@@ -89,6 +93,11 @@ _EXPORTS = {
     "recover": ("repro.store.recovery", "recover"),
     "state_fingerprint": ("repro.store.recovery", "state_fingerprint"),
     "Checkpointer": ("repro.store.checkpoint", "Checkpointer"),
+    "JournalTailer": ("repro.store.tail", "JournalTailer"),
+    # analytics read models (the CQRS read side)
+    "ReadModel": ("repro.readmodel.model", "ReadModel"),
+    "ReadModelService": ("repro.readmodel.service", "ReadModelService"),
+    "readmodel": ("repro.readmodel", None),
     # SCORM packaging
     "package_exam": ("repro.scorm.package", "package_exam"),
     "build_package": ("repro.scorm.package", "package_exam"),
@@ -147,8 +156,12 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
     from repro.lms.persistence import load_lms, save_lms  # noqa: F401
     from repro.server.app import ExamServer  # noqa: F401
     from repro.server.loadgen import LoadgenReport, run_loadgen  # noqa: F401
+    from repro import readmodel  # noqa: F401
+    from repro.readmodel.model import ReadModel  # noqa: F401
+    from repro.readmodel.service import ReadModelService  # noqa: F401
     from repro.store.checkpoint import Checkpointer  # noqa: F401
     from repro.store.journal import Journal  # noqa: F401
+    from repro.store.tail import JournalTailer  # noqa: F401
     from repro.store.recovery import recover, state_fingerprint  # noqa: F401
     from repro.scorm.package import ContentPackage  # noqa: F401
     from repro.scorm.package import extract_exam  # noqa: F401

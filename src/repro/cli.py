@@ -9,7 +9,10 @@ Subcommands mirror what the paper's GUI offers, driven from a terminal::
     mine-assess inspect exam.zip          # read a package's manifest
     mine-assess serve --port 8321         # HTTP exam-delivery service
     mine-assess serve --wal-dir wal/      # ... with a durable event journal
+    mine-assess serve --wal-dir wal/ --readmodel   # ... + /admin/analytics
     mine-assess recover wal/              # rebuild state from the journal
+    mine-assess analytics rebuild wal/    # fold the full journal (oracle)
+    mine-assess analytics asof wal/ --ts 1717171717   # time-travel query
     mine-assess loadgen --url http://127.0.0.1:8321   # drive a cohort at it
 """
 
@@ -217,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
             "fully-covered segments (requires --wal-dir)"
         ),
     )
+    serve.add_argument(
+        "--readmodel", action="store_true",
+        help=(
+            "tail the journal into incrementally-maintained analytics "
+            "read models and serve them at GET /admin/analytics/... "
+            "(requires --wal-dir; with --workers each shard follows its "
+            "own journal and the front scatter-gathers)"
+        ),
+    )
 
     recover_cmd = subparsers.add_parser(
         "recover", parents=[profile],
@@ -233,6 +245,48 @@ def build_parser() -> argparse.ArgumentParser:
     recover_cmd.add_argument(
         "--out", metavar="PATH", default=None,
         help="also write the recovered state as a snapshot file to PATH",
+    )
+
+    analytics = subparsers.add_parser(
+        "analytics", parents=[profile],
+        help="fold a WAL into analytics read models offline",
+    )
+    analytics.add_argument(
+        "action", choices=("rebuild", "asof"),
+        help=(
+            "rebuild = fold the full journal from LSN 0 (the "
+            "differential oracle for the live read models); asof = "
+            "time-travel to --lsn/--ts via the nearest read-model "
+            "checkpoint plus a bounded suffix replay"
+        ),
+    )
+    analytics.add_argument(
+        "wal_dir", metavar="DIR", nargs="+",
+        help=(
+            "journal directory written by serve --wal-dir; pass several "
+            "(or one cluster root containing shard-* subdirectories) to "
+            "merge per-shard folds into one whole-cohort answer"
+        ),
+    )
+    analytics.add_argument(
+        "--exam", metavar="EXAM_ID", default=None,
+        help=(
+            "also print this exam's merged summary and full cohort "
+            "analysis (bit-identical to GET /admin/analytics/exams/"
+            "EXAM_ID/analysis over the same journals)"
+        ),
+    )
+    analytics.add_argument(
+        "--lsn", type=int, default=None,
+        help="asof target LSN (single journal only: LSNs are per-shard)",
+    )
+    analytics.add_argument(
+        "--ts", type=float, default=None,
+        help="asof target timestamp (meaningful across shards)",
+    )
+    analytics.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON payload to PATH",
     )
 
     loadgen = subparsers.add_parser(
@@ -415,6 +469,12 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.readmodel and args.wal_dir is None:
+        print(
+            "--readmodel tails the event journal; it requires --wal-dir",
+            file=sys.stderr,
+        )
+        return 2
     if args.workers > 1:
         return _serve_cluster(args)
     if args.wal_dir is not None:
@@ -438,6 +498,7 @@ def _cmd_serve(args) -> int:
         wal_format=args.wal_format,
         group_commit=args.group_commit,
         checkpoint_interval_seconds=args.checkpoint_interval,
+        readmodel=args.readmodel,
     )
     if server.recovery_report is not None:
         print(server.recovery_report.summary(), file=sys.stderr)
@@ -471,6 +532,7 @@ def _serve_cluster(args) -> int:
         group_commit=args.group_commit,
         max_in_flight=args.max_in_flight,
         checkpoint_interval_seconds=args.checkpoint_interval,
+        readmodel=args.readmodel,
     )
     with cluster:
         for shard in cluster.shards:
@@ -573,6 +635,114 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_analytics(args) -> int:
+    """Offline read-model folds: the differential oracle + time travel.
+
+    A single journal's ``--exam`` analysis is computed from the fold's
+    own live matrix (submission order) — bit-identical to what one
+    ``serve --readmodel`` process answers.  Several journals are merged
+    through canonical partials — bit-identical to the cluster's
+    scatter-gathered answer over the same shard journals.
+    """
+    import json as json_module
+
+    from repro.readmodel import as_of, rebuild
+
+    try:
+        wal_dirs = _recover_wal_dirs(args)
+    except Exception as exc:
+        print(f"cannot expand journal dirs: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "asof":
+        if (args.lsn is None) == (args.ts is None):
+            print(
+                "asof needs exactly one of --lsn / --ts", file=sys.stderr
+            )
+            return 2
+        if args.lsn is not None and len(wal_dirs) > 1:
+            print(
+                "--lsn is a per-shard coordinate; use --ts to time-travel "
+                "across shard journals",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.lsn is not None or args.ts is not None:
+        print("--lsn/--ts only apply to the asof action", file=sys.stderr)
+        return 2
+    models = []
+    try:
+        for wal_dir in wal_dirs:
+            if args.action == "asof":
+                model, replayed = as_of(wal_dir, lsn=args.lsn, ts=args.ts)
+                print(
+                    f"{wal_dir}: as of lsn {model.applied_lsn} "
+                    f"({replayed} suffix record(s) replayed)",
+                    file=sys.stderr,
+                )
+            else:
+                model = rebuild(wal_dir)
+                print(
+                    f"{wal_dir}: rebuilt {model.applied_events} event(s) "
+                    f"to lsn {model.applied_lsn}",
+                    file=sys.stderr,
+                )
+            models.append(model)
+        payload = _analytics_payload(models, args.exam)
+    except Exception as exc:
+        print(f"analytics fold failed: {exc}", file=sys.stderr)
+        return 2
+    rendered = json_module.dumps(payload, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _analytics_payload(models, exam_id):
+    """Merge per-journal folds into one whole-cohort JSON payload."""
+    overviews = [model.overview() for model in models]
+    payload = {
+        "journals": len(models),
+        "applied_events": sum(o["applied_events"] for o in overviews),
+        "learners": sum(o["learners"] for o in overviews),
+        "exams": sorted(
+            {entry["exam_id"] for o in overviews for entry in o["exams"]}
+        ),
+    }
+    if exam_id is None:
+        return payload
+    from repro.core.errors import NotFoundError
+    from repro.readmodel.model import merge_summaries
+    from repro.server.serialize import analysis_to_dict
+
+    holders = [
+        model.exam(exam_id) for model in models if exam_id in model.exams
+    ]
+    if not holders:
+        raise NotFoundError(f"no journal holds exam {exam_id!r}")
+    payload["summary"] = merge_summaries(
+        [holder.summary() for holder in holders]
+    )
+    if len(holders) == 1:
+        # one journal: the fold's own matrix, submission order — exactly
+        # what a single serve --readmodel process answers
+        payload["analysis"] = analysis_to_dict(holders[0].analysis())
+    else:
+        # several journals: canonical merge, exactly the cluster's
+        # scatter-gathered answer
+        from repro.core.columnar import merge_partials
+
+        matrix = merge_partials(
+            holders[0].exam.question_specs(),
+            [holder.partial() for holder in holders],
+        )
+        payload["analysis"] = analysis_to_dict(matrix.analyze())
+    return payload
+
+
 def _cmd_loadgen(args) -> int:
     from repro.server.loadgen import run_loadgen
 
@@ -608,6 +778,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "serve": _cmd_serve,
     "recover": _cmd_recover,
+    "analytics": _cmd_analytics,
     "loadgen": _cmd_loadgen,
 }
 

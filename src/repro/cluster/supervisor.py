@@ -126,9 +126,14 @@ class ExamCluster:
         replicas: int = DEFAULT_REPLICAS,
         watchdog: bool = True,
         ready_timeout: float = 30.0,
+        readmodel: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if readmodel and wal_root is None:
+            raise ValueError(
+                "readmodel=True needs per-shard WALs to tail; pass wal_root"
+            )
         if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
             raise RuntimeError(
                 "this platform has no SO_REUSEPORT; the sharded tier "
@@ -171,6 +176,7 @@ class ExamCluster:
                 group_commit=group_commit,
                 max_in_flight=max_in_flight,
                 checkpoint_interval_seconds=checkpoint_interval_seconds,
+                extra_server_kwargs={"readmodel": True} if readmodel else {},
             )
         self._context = multiprocessing.get_context("fork")
         self._processes: Dict[str, multiprocessing.Process] = {}

@@ -1,0 +1,202 @@
+"""Read-model checkpoints, full rebuilds, and time-travel queries.
+
+A read-model checkpoint is the fold state of :class:`~repro.readmodel.
+model.ReadModel` at one LSN, written as ``readmodel-<lsn>.json`` next
+to the WAL segments (prefix-distinct from both ``wal-*`` segments and
+the LMS's ``checkpoint-*`` snapshots, so neither reader picks up the
+other's files).  Restoring one and replaying the journal suffix above
+its stamp reproduces the live fold exactly — which powers the two query
+modes this module adds on top of the streaming service:
+
+* :func:`rebuild` — fold the **entire** journal from LSN 0, ignoring
+  checkpoints.  This is the differential oracle: its analysis must be
+  bit-identical to the serving tier's live engine over the same
+  history.
+* :func:`as_of` — "the cohort as of LSN/time T": restore the nearest
+  checkpoint at or below the target, then replay the bounded suffix up
+  to it.  Cost is O(checkpoint + suffix), never O(full history).
+
+Time targets rely on the journal's per-directory timestamp monotonicity
+(one LMS clock per shard): replay stops at the first *timed* event past
+the target; untimed catalog events (offer/register) carry no clock and
+apply whenever encountered below the LSN bound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro import obs
+from repro.core.errors import StoreError
+from repro.readmodel.model import ReadModel
+from repro.store.events import event_timestamp
+from repro.store.journal import read_records, segment_files, segment_first_lsn
+
+__all__ = [
+    "readmodel_files",
+    "latest_readmodel_checkpoint",
+    "save_readmodel",
+    "load_readmodel",
+    "rebuild",
+    "as_of",
+]
+
+_READMODEL_PREFIX = "readmodel-"
+_READMODEL_SUFFIX = ".json"
+
+
+def _readmodel_name(applied_lsn: int) -> str:
+    return f"{_READMODEL_PREFIX}{applied_lsn:020d}{_READMODEL_SUFFIX}"
+
+
+def _readmodel_lsn(path: Path) -> int:
+    stem = path.name[len(_READMODEL_PREFIX):-len(_READMODEL_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise StoreError(
+            f"not a read-model checkpoint name: {path.name}"
+        ) from None
+
+
+def readmodel_files(directory: "str | Path") -> List[Path]:
+    """Every read-model checkpoint in the directory, oldest first."""
+    base = Path(directory)
+    if not base.is_dir():
+        return []
+    found = [
+        path
+        for path in base.iterdir()
+        if path.name.startswith(_READMODEL_PREFIX)
+        and path.name.endswith(_READMODEL_SUFFIX)
+    ]
+    return sorted(found, key=_readmodel_lsn)
+
+
+def latest_readmodel_checkpoint(
+    directory: "str | Path", at_or_below: Optional[int] = None
+) -> Optional[Path]:
+    """The newest checkpoint (optionally at or below an LSN), or None."""
+    best: Optional[Path] = None
+    for path in readmodel_files(directory):
+        if at_or_below is not None and _readmodel_lsn(path) > at_or_below:
+            break
+        best = path
+    return best
+
+
+def save_readmodel(
+    model: ReadModel, directory: "str | Path", *, keep: int = 2
+) -> Path:
+    """Write the model's snapshot atomically; prune old checkpoints.
+
+    ``keep`` newest files are retained (mirroring the LMS checkpointer's
+    retention) so one corrupt file never strands the follower.
+    """
+    if keep < 1:
+        raise StoreError(f"must keep at least 1 checkpoint, got {keep}")
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    path = base / _readmodel_name(model.applied_lsn)
+    payload = json.dumps(model.snapshot(), separators=(",", ":"))
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("w", encoding="utf-8") as stream:
+        stream.write(payload)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+    for old in readmodel_files(base)[:-keep]:
+        old.unlink()
+    obs.count("readmodel.checkpoints")
+    return path
+
+
+def load_readmodel(path: "str | Path") -> ReadModel:
+    """Restore a read model from one checkpoint file."""
+    with Path(path).open("r", encoding="utf-8") as stream:
+        document = json.load(stream)
+    model = ReadModel.from_snapshot(document)
+    if model.applied_lsn != _readmodel_lsn(Path(path)):
+        raise StoreError(
+            f"checkpoint {Path(path).name} claims lsn "
+            f"{_readmodel_lsn(Path(path))} but holds {model.applied_lsn}"
+        )
+    return model
+
+
+def rebuild(directory: "str | Path") -> ReadModel:
+    """Fold the full journal from LSN 0, ignoring every checkpoint.
+
+    The differential-oracle path: over an unretired journal this
+    reproduces exactly the state the streaming fold reached.  Raises
+    :class:`StoreError` when compaction already retired the journal's
+    head — a rebuild from 0 would silently miss history, so it refuses.
+    """
+    base = Path(directory)
+    segments = segment_files(base)
+    if segments and segment_first_lsn(segments[0]) > 1:
+        raise StoreError(
+            f"cannot rebuild from lsn 0: records 1.."
+            f"{segment_first_lsn(segments[0]) - 1} were retired by "
+            f"checkpoint compaction (oldest surviving segment is "
+            f"{segments[0].name}); use a read-model checkpoint instead"
+        )
+    model = ReadModel()
+    with obs.span("readmodel.rebuild"):
+        model.apply_all(read_records(base))
+    return model
+
+
+def as_of(
+    directory: "str | Path",
+    lsn: Optional[int] = None,
+    ts: Optional[float] = None,
+) -> Tuple[ReadModel, int]:
+    """The read model as of an LSN or timestamp: nearest checkpoint
+    plus a bounded suffix replay.
+
+    Exactly one of ``lsn``/``ts`` must be given.  Returns the model and
+    the number of suffix records replayed on top of the checkpoint (the
+    measure of how bounded the query was).  LSN targets are per-shard
+    coordinates; timestamp targets are meaningful across shards (one
+    wall clock) and are how the cluster surface time-travels.
+    """
+    if (lsn is None) == (ts is None):
+        raise StoreError("as_of needs exactly one of lsn= or ts=")
+    base = Path(directory)
+    checkpoint = latest_readmodel_checkpoint(base, at_or_below=lsn)
+    if checkpoint is not None and ts is not None:
+        # timestamp targets pick by the stamp *inside* the snapshot:
+        # the newest checkpoint whose last timed event is at or below T
+        checkpoint = None
+        for path in readmodel_files(base):
+            with path.open("r", encoding="utf-8") as stream:
+                document = json.load(stream)
+            if float(document.get("last_event_ts", 0.0)) <= ts:
+                checkpoint = path
+            else:
+                break
+    model = load_readmodel(checkpoint) if checkpoint else ReadModel()
+    segments = segment_files(base)
+    if segments and segment_first_lsn(segments[0]) > model.applied_lsn + 1:
+        raise StoreError(
+            f"records {model.applied_lsn + 1}.."
+            f"{segment_first_lsn(segments[0]) - 1} were retired and no "
+            f"read-model checkpoint covers them; checkpoint the read "
+            f"model before compacting"
+        )
+    replayed = 0
+    with obs.span("readmodel.as_of"):
+        for record in read_records(base, start_lsn=model.applied_lsn):
+            if lsn is not None and record.lsn > lsn:
+                break
+            if ts is not None:
+                stamp = event_timestamp(record.type, record.data)
+                if stamp > ts:
+                    break
+            if model.apply(record):
+                replayed += 1
+    return model, replayed

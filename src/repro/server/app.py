@@ -323,6 +323,7 @@ class ExamServer:
         max_batch_answers: int = 500,
         cluster: Optional[object] = None,
         reuse_port: bool = False,
+        readmodel: bool = False,
     ) -> None:
         if registry is None:
             # the server records even when global profiling is off:
@@ -351,6 +352,18 @@ class ExamServer:
             )
             lms.attach_journal(self.journal)
             self.checkpointer = Checkpointer(lms, self.journal)
+        #: the analytics follower behind /admin/analytics (``--readmodel``)
+        self.readmodel = None
+        if readmodel:
+            if self.journal is None:
+                raise ValueError(
+                    "readmodel=True needs a WAL to tail; pass wal_dir"
+                )
+            from repro.readmodel import ReadModelService
+
+            self.readmodel = ReadModelService(
+                self.wal_dir, journal=self.journal
+            )
         self.lms = lms if lms is not None else Lms()
         self.router = build_router()
         self.in_flight = _InFlightBudget(max_in_flight)
@@ -375,6 +388,8 @@ class ExamServer:
         if self.checkpointer is not None:
             self.context.checkpoint = self.checkpoint_now
             self.context.store_info = self.store_info
+        if self.readmodel is not None:
+            self.context.readmodel = self.readmodel
         self._httpd = _Http((host, port), self, reuse_port=reuse_port)
         self._extra_httpds: list = []
         self._extra_threads: list = []
@@ -446,6 +461,8 @@ class ExamServer:
         self._start_extra_listeners()
         self._start_snapshotting()
         self._start_checkpointing()
+        if self.readmodel is not None:
+            self.readmodel.start()
         return self
 
     def serve_forever(self) -> None:
@@ -453,11 +470,15 @@ class ExamServer:
         self._start_extra_listeners()
         self._start_snapshotting()
         self._start_checkpointing()
+        if self.readmodel is not None:
+            self.readmodel.start()
         try:
             self._httpd.serve_forever(poll_interval=0.05)
         finally:
             self._stop_snapshotting()
             self._stop_checkpointing()
+            if self.readmodel is not None:
+                self.readmodel.close()
 
     def shutdown(self, drain_timeout: Optional[float] = 10.0) -> bool:
         """Stop accepting, drain in-flight requests, release the socket.
@@ -482,6 +503,8 @@ class ExamServer:
             # a clean exit leaves a checkpoint covering the whole log,
             # so the next boot replays (almost) nothing
             self.checkpoint_now()
+        if self.readmodel is not None:
+            self.readmodel.close()
         if self.journal is not None:
             self.journal.close()
         self._httpd.server_close()
@@ -538,7 +561,17 @@ class ExamServer:
         """Run one checkpoint pass (snapshot + compaction) immediately."""
         if self.checkpointer is None:
             raise RuntimeError("no wal_dir configured")
+        if self.readmodel is not None:
+            # sync the follower past everything this checkpoint may
+            # retire *before* compaction runs: retire_covered never
+            # removes the active segment, so a caught-up follower can
+            # never be truncated by the pass below
+            self.readmodel.sync()
         result = self.checkpointer.checkpoint()
+        if self.readmodel is not None:
+            # persist the fold at (at least) the covered LSN, so a
+            # restarted follower resumes above the retired history
+            self.readmodel.checkpoint()
         self.context.registry.count("server.checkpoints")
         return result
 
@@ -551,6 +584,7 @@ class ExamServer:
             "format": journal.format,
             "group_commit": journal.group_commit,
             "last_lsn": journal.last_lsn,
+            "durable_lsn": journal.durable_lsn,
             "records_appended": journal.records_appended,
             "bytes_appended": journal.bytes_appended,
             "fsyncs": journal.fsyncs,
@@ -575,7 +609,15 @@ class ExamServer:
             # shares the snapshot stop event: both beats end at shutdown
             while not self._snapshot_stop.wait(interval):
                 try:
-                    self.checkpointer.maybe_checkpoint()
+                    # the quiet-log skip of Checkpointer.maybe_checkpoint,
+                    # but through checkpoint_now so the read-model
+                    # follower is synced before compaction retires
+                    # anything it has not folded yet
+                    if (
+                        self.journal.last_lsn
+                        > self.checkpointer.last_covered_lsn
+                    ):
+                        self.checkpoint_now()
                 except Exception:  # noqa: BLE001 - keep the beat going
                     self.context.registry.count("server.checkpoint_errors")
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+from urllib.parse import parse_qs, urlencode
 
 from repro import obs
 from repro.bank.exambank import exam_from_record, exam_to_record
@@ -60,6 +61,9 @@ class ServerContext:
     #: Cohort-level handlers (analysis, results, roster) scatter-gather
     #: across shards when this is set.
     cluster: Optional[object] = None
+    #: the :class:`~repro.readmodel.service.ReadModelService` behind the
+    #: ``/admin/analytics`` surface; None when ``--readmodel`` is off
+    readmodel: Optional[object] = None
 
     def uptime_seconds(self) -> float:
         """Seconds since the context (≈ server) came up."""
@@ -90,6 +94,8 @@ def _metrics(ctx: ServerContext, params, body, query):
         payload["in_flight"] = ctx.in_flight()
     if ctx.store_info is not None:
         payload["store"] = ctx.store_info()
+    if ctx.readmodel is not None:
+        payload["readmodel"] = ctx.readmodel.info()
     if ctx.cluster is not None:
         payload["cluster"] = ctx.cluster.describe()
     return payload
@@ -422,7 +428,221 @@ def _checkpoint_local(ctx: ServerContext, params, body, query):
     return _checkpoint_payload(ctx.checkpoint())
 
 
+# -- analytics (the read-model tier) ------------------------------------------
+
+
+def _require_readmodel(ctx: ServerContext):
+    if ctx.readmodel is None:
+        raise ApiError(
+            409,
+            "invalid_state",
+            "read models are not enabled (serve --readmodel)",
+        )
+    return ctx.readmodel
+
+
+def _as_of_target(query: str):
+    """``(lsn, ts)`` from an ``as_of_lsn=``/``as_of_ts=`` query string."""
+    options = parse_qs(query or "")
+    lsn = options.get("as_of_lsn", [None])[0]
+    ts = options.get("as_of_ts", [None])[0]
+    if lsn is not None and ts is not None:
+        raise ApiError(
+            400, "bad_request", "pass as_of_lsn or as_of_ts, not both"
+        )
+    try:
+        return (
+            int(lsn) if lsn is not None else None,
+            float(ts) if ts is not None else None,
+        )
+    except ValueError:
+        raise ApiError(
+            400, "bad_request", "as_of_lsn/as_of_ts must be numeric"
+        ) from None
+
+
+def _readmodel_at(service, lsn, ts):
+    """The service's live model, or a bounded time-travel fold."""
+    if lsn is None and ts is None:
+        service.sync()
+        return service.model, None
+    from repro.readmodel.checkpoint import as_of
+
+    model, replayed = as_of(service.directory, lsn=lsn, ts=ts)
+    return model, {"applied_lsn": model.applied_lsn, "replayed": replayed}
+
+
+def _analytics_overview(ctx: ServerContext, params, body, query):
+    payload = _analytics_overview_local(ctx, params, body, query)
+    if ctx.cluster is None:
+        return payload
+    shards = [payload]
+    shards.extend(ctx.cluster.gather("/internal/admin/analytics:overview"))
+    shards.sort(key=lambda entry: entry["shard"])
+    merged = {
+        "applied_events": sum(s["applied_events"] for s in shards),
+        "learners": sum(s["learners"] for s in shards),
+        "open_sittings": sum(s["open_sittings"] for s in shards),
+        "events": {},
+        "exams": {},
+        "shards": [
+            {
+                "shard": s["shard"],
+                "applied_lsn": s["applied_lsn"],
+                "lag": s["follower"].get("lag"),
+            }
+            for s in shards
+        ],
+    }
+    for shard in shards:
+        for type_, count in shard["events"].items():
+            merged["events"][type_] = merged["events"].get(type_, 0) + count
+        for entry in shard["exams"]:
+            rollup = merged["exams"].setdefault(
+                entry["exam_id"],
+                {"exam_id": entry["exam_id"], "submits": 0, "enrolled": 0},
+            )
+            rollup["submits"] += entry["submits"]
+            rollup["enrolled"] += entry["enrolled"]
+    merged["events"] = dict(sorted(merged["events"].items()))
+    merged["exams"] = [
+        merged["exams"][exam_id] for exam_id in sorted(merged["exams"])
+    ]
+    return merged
+
+
+def _analytics_overview_local(ctx: ServerContext, params, body, query):
+    """One process's fold state (also the gather leg of the overview)."""
+    service = _require_readmodel(ctx)
+    service.sync()
+    with service.lock:
+        payload = service.model.overview()
+    payload["follower"] = service.info()
+    payload["shard"] = ctx.cluster.shard if ctx.cluster is not None else ""
+    return payload
+
+
+def _analytics_summary(ctx: ServerContext, params, body, query):
+    payload = _analytics_summary_local(ctx, params, body, query)
+    if ctx.cluster is None:
+        return payload
+    from repro.readmodel.model import merge_summaries
+
+    exam_id = params["exam_id"]
+    summaries = [payload]
+    summaries.extend(
+        ctx.cluster.gather(
+            f"/internal/admin/analytics/{exam_id}/summary:local"
+        )
+    )
+    return merge_summaries(summaries)
+
+
+def _analytics_summary_local(ctx: ServerContext, params, body, query):
+    """One shard's exam aggregates (the gather leg of the summary)."""
+    service = _require_readmodel(ctx)
+    service.sync()
+    with service.lock:
+        return service.model.exam(params["exam_id"]).summary()
+
+
+def _analytics_analysis(ctx: ServerContext, params, body, query):
+    """The read-model cohort analysis, bit-identical to the live
+    ``/exams/{exam_id}/analysis`` over the same journaled history.
+
+    ``?as_of_lsn=N`` / ``?as_of_ts=T`` time-travels: the answer is the
+    fold at that journal position, built from the nearest read-model
+    checkpoint plus a bounded suffix replay.  LSNs are per-shard
+    coordinates, so a sharded deployment only accepts ``as_of_ts``
+    (one wall clock spans the fleet).
+    """
+    service = _require_readmodel(ctx)
+    exam_id = params["exam_id"]
+    lsn, ts = _as_of_target(query)
+    if ctx.cluster is None:
+        model, as_of_info = _readmodel_at(service, lsn, ts)
+        with service.lock:
+            payload = analysis_to_dict(model.exam(exam_id).analysis())
+        if as_of_info is not None:
+            return {"as_of": as_of_info, "analysis": payload}
+        return payload
+    if lsn is not None:
+        raise ApiError(
+            400,
+            "bad_request",
+            "as_of_lsn is a per-shard coordinate; use as_of_ts "
+            "against a cluster",
+        )
+    from repro.core.columnar import merge_partials
+
+    model, as_of_info = _readmodel_at(service, None, ts)
+    with service.lock:
+        exam_model = model.exam(exam_id)
+        exam = exam_model.exam
+        partials = [exam_model.partial()]
+    # urlencode, not an f-string: a float's repr can carry '+' (1e+18),
+    # which would decode to a space on the receiving shard
+    suffix = "?" + urlencode({"as_of_ts": ts}) if ts is not None else ""
+    partials.extend(
+        ctx.cluster.gather(
+            f"/internal/admin/analytics/{exam_id}/analysis:partial{suffix}"
+        )
+    )
+    matrix = merge_partials(exam.question_specs(), partials)
+    payload = analysis_to_dict(matrix.analyze())
+    if as_of_info is not None:
+        return {"as_of": as_of_info, "analysis": payload}
+    return payload
+
+
+def _analytics_partial(ctx: ServerContext, params, body, query):
+    """This shard's read-model partial (the gather leg of the analysis)."""
+    service = _require_readmodel(ctx)
+    lsn, ts = _as_of_target(query)
+    model, _ = _readmodel_at(service, lsn, ts)
+    with service.lock:
+        return model.exam(params["exam_id"]).partial()
+
+
+def _analytics_blueprint(ctx: ServerContext, params, body, query):
+    payload = _analytics_summary(ctx, params, body, query)
+    return {
+        "exam_id": payload["exam_id"],
+        "blueprint": payload["blueprint"],
+    }
+
+
+def _analytics_spec_table(ctx: ServerContext, params, body, query):
+    """The static concept × level aggregate (replicated catalog: any
+    shard's copy is the fleet's)."""
+    service = _require_readmodel(ctx)
+    service.sync()
+    with service.lock:
+        payload = service.model.exam(params["exam_id"]).spec_table()
+    payload["exam_id"] = params["exam_id"]
+    return payload
+
+
 # -- cluster ------------------------------------------------------------------
+
+
+def _shard_lsns(ctx: ServerContext) -> Dict[str, object]:
+    """One shard's WAL coordinates for the topology payload."""
+    payload: Dict[str, object] = {
+        "shard": ctx.cluster.shard if ctx.cluster is not None else ""
+    }
+    if ctx.store_info is not None:
+        info = ctx.store_info()
+        payload["last_lsn"] = info.get("last_lsn")
+        payload["durable_lsn"] = info.get("durable_lsn")
+    if ctx.readmodel is not None:
+        payload["readmodel_lsn"] = ctx.readmodel.info()["applied_lsn"]
+    return payload
+
+
+def _topology_local(ctx: ServerContext, params, body, query):
+    """This worker's LSN coordinates (the gather leg of the topology)."""
+    return _shard_lsns(ctx)
 
 
 def _topology(ctx: ServerContext, params, body, query):
@@ -432,7 +652,18 @@ def _topology(ctx: ServerContext, params, body, query):
             "invalid_state",
             "this server is not part of a cluster (serve --workers N)",
         )
-    return ctx.cluster.describe()
+    payload = ctx.cluster.describe()
+    local = _shard_lsns(ctx)
+    lsns = {local["shard"]: local}
+    for peer in ctx.cluster.gather("/internal/cluster/topology:local"):
+        lsns[peer["shard"]] = peer
+    for entry in payload["shards"]:
+        info = lsns.get(entry["shard"])
+        if info is not None:
+            for key in ("last_lsn", "durable_lsn", "readmodel_lsn"):
+                if key in info:
+                    entry[key] = info[key]
+    return payload
 
 
 def build_router() -> Router:
@@ -474,6 +705,32 @@ def build_router() -> Router:
     router.add(
         "POST", "/admin/checkpoint", _checkpoint_now, "admin.checkpoint"
     )
+    # the read-model analytics surface (read-only; 409 without
+    # --readmodel).  Answers come from the journal-fed fold, never from
+    # the live LMS, so the cost is O(aggregate) regardless of history.
+    router.add(
+        "GET", "/admin/analytics", _analytics_overview, "analytics.overview"
+    )
+    analytics = "/admin/analytics/exams/{exam_id}"
+    router.add("GET", analytics, _analytics_summary, "analytics.summary")
+    router.add(
+        "GET",
+        analytics + "/analysis",
+        _analytics_analysis,
+        "analytics.analysis",
+    )
+    router.add(
+        "GET",
+        analytics + "/blueprint",
+        _analytics_blueprint,
+        "analytics.blueprint",
+    )
+    router.add(
+        "GET",
+        analytics + "/spec-table",
+        _analytics_spec_table,
+        "analytics.spec_table",
+    )
     # cluster-internal peer routes: the gather/broadcast legs of the
     # scatter-gather handlers above.  They carry no learner affinity
     # (never proxied) and never fan out themselves — that is what keeps
@@ -505,5 +762,29 @@ def build_router() -> Router:
         "/internal/admin/checkpoint",
         _checkpoint_local,
         "internal.checkpoint",
+    )
+    router.add(
+        "GET",
+        "/internal/admin/analytics:overview",
+        _analytics_overview_local,
+        "internal.analytics_overview",
+    )
+    router.add(
+        "GET",
+        "/internal/admin/analytics/{exam_id}/summary:local",
+        _analytics_summary_local,
+        "internal.analytics_summary",
+    )
+    router.add(
+        "GET",
+        "/internal/admin/analytics/{exam_id}/analysis:partial",
+        _analytics_partial,
+        "internal.analytics_partial",
+    )
+    router.add(
+        "GET",
+        "/internal/cluster/topology:local",
+        _topology_local,
+        "internal.topology_local",
     )
     return router

@@ -31,7 +31,11 @@ _EXPORTS = {
     "read_records": ("repro.store.journal", "read_records"),
     "scan_segment": ("repro.store.journal", "scan_segment"),
     "segment_files": ("repro.store.journal", "segment_files"),
+    "segment_first_lsn": ("repro.store.journal", "segment_first_lsn"),
     "segment_format": ("repro.store.journal", "segment_format"),
+    "start_segment_index": ("repro.store.journal", "start_segment_index"),
+    "JournalTailer": ("repro.store.tail", "JournalTailer"),
+    "TailTruncatedError": ("repro.store.tail", "TailTruncatedError"),
     "recover": ("repro.store.recovery", "recover"),
     "RecoveryReport": ("repro.store.recovery", "RecoveryReport"),
     "ReplayClock": ("repro.store.recovery", "ReplayClock"),
@@ -81,7 +85,13 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
         read_records,
         scan_segment,
         segment_files,
+        segment_first_lsn,
         segment_format,
+        start_segment_index,
+    )
+    from repro.store.tail import (  # noqa: F401
+        JournalTailer,
+        TailTruncatedError,
     )
     from repro.store.recovery import (  # noqa: F401
         RecoveryReport,

@@ -54,6 +54,7 @@ The same failure in an earlier segment is real corruption and raises
 
 from __future__ import annotations
 
+import bisect
 import json
 import os
 import struct
@@ -77,7 +78,9 @@ __all__ = [
     "read_records",
     "scan_segment",
     "segment_files",
+    "segment_first_lsn",
     "segment_format",
+    "start_segment_index",
 ]
 
 #: accepted values for the Journal fsync policy
@@ -165,12 +168,17 @@ def segment_format(path: Path) -> int:
     return fmt
 
 
-def _segment_first_lsn(path: Path) -> int:
+def segment_first_lsn(path: Path) -> int:
+    """The first LSN a segment file can hold (encoded in its name)."""
     stem = path.name[len(_SEGMENT_PREFIX): -len(path.suffix)]
     try:
         return int(stem)
     except ValueError:
         raise StoreError(f"not a WAL segment name: {path.name}") from None
+
+
+# internal alias kept for callers that predate the public name
+_segment_first_lsn = segment_first_lsn
 
 
 def segment_files(directory: "str | Path") -> List[Path]:
@@ -273,19 +281,44 @@ def scan_segment(path: Path) -> TailScan:
     return scan
 
 
+def start_segment_index(segments: Sequence[Path], start_lsn: int) -> int:
+    """The index of the first segment that can hold ``lsn > start_lsn``.
+
+    Segment names encode their first LSN, so the right starting point is
+    the *last* segment whose first LSN is ``<= start_lsn + 1`` — found by
+    binary search on the filename prefix, never by decoding records.
+    The ``+ 1`` is the rotation boundary: when ``start_lsn`` is exactly
+    the last record of a sealed segment, the next record is the first of
+    the following segment, and scanning the sealed one would decode a
+    whole file for zero yield (and, before this helper existed, an
+    off-by-one here silently re-read the boundary segment).
+    """
+    firsts = [segment_first_lsn(path) for path in segments]
+    index = bisect.bisect_right(firsts, start_lsn + 1) - 1
+    return max(index, 0)
+
+
 def read_records(
     directory: "str | Path", start_lsn: int = 0
 ) -> Iterator[JournalRecord]:
     """Iterate every record with ``lsn > start_lsn``, in log order.
 
-    Segments of both wire formats are read transparently.  Tolerates a
-    torn tail on the final segment (iteration just ends there); a bad
-    record in any earlier segment raises :class:`JournalCorruptError`
-    because records after it exist — that is data loss in the middle of
-    history, not an interrupted append.
+    Segments of both wire formats are read transparently, and segments
+    that cannot contain ``lsn > start_lsn`` are skipped by filename
+    (:func:`start_segment_index`) without decoding a byte — opening a
+    reader at an arbitrary LSN mid-log costs one segment scan, not the
+    whole history.  Tolerates a torn tail on the final segment
+    (iteration just ends there); a bad record in any earlier *scanned*
+    segment raises :class:`JournalCorruptError` because records after
+    it exist — that is data loss in the middle of history, not an
+    interrupted append.
     """
     segments = segment_files(directory)
-    for index, path in enumerate(segments):
+    if not segments:
+        return
+    first = start_segment_index(segments, start_lsn)
+    for index in range(first, len(segments)):
+        path = segments[index]
         scan = scan_segment(path)
         if scan.error is not None and index < len(segments) - 1:
             raise JournalCorruptError(
@@ -345,6 +378,9 @@ class Journal:
         self._registry = registry
         self._lock = threading.Lock()
         self._last_lsn = int(_last_lsn)
+        # the durable high-water mark: the highest LSN known to have
+        # been fsynced to disk (what an external reader may lag behind)
+        self._durable_lsn = int(_last_lsn)
         self._stream = None
         self._segment_path: Optional[Path] = None
         self._segment_size = 0
@@ -419,6 +455,8 @@ class Journal:
                 # an empty (or fully torn) final segment: the previous
                 # LSN is one less than the first this file would hold
                 journal._last_lsn = _segment_first_lsn(tail) - 1
+            # whatever survived the open scan is on disk by definition
+            journal._durable_lsn = journal._last_lsn
             if segment_format(tail) == journal.format:
                 journal._open_segment(tail, append=True)
             # else: leave the tail sealed; the next append opens a new
@@ -432,6 +470,17 @@ class Journal:
         """The LSN of the most recently appended (or recovered) record."""
         with self._lock:
             return self._last_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        """The durable high-water mark: the highest LSN fsynced to disk.
+
+        ``last_lsn - durable_lsn`` is the data-at-risk window on a
+        machine crash; an external read model computes its own lag
+        against this gauge (``/metrics`` exposes both).
+        """
+        with self._lock:
+            return self._durable_lsn
 
     def append(self, type_: str, data: Dict[str, object]) -> int:
         """Durably append one event; returns its LSN.
@@ -653,6 +702,8 @@ class Journal:
         with self._span("store.fsync"):
             os.fsync(self._stream.fileno())
         self._last_fsync = time.monotonic()
+        # everything appended before this flush is now on disk
+        self._durable_lsn = self._last_lsn
         self.fsyncs += 1
         self._count("store.fsyncs")
 

@@ -1,0 +1,158 @@
+"""The admin analytics surface across a real 3-worker cluster.
+
+Each shard follows its own journal; the front worker scatter-gathers
+canonical partials.  The contract under test: the merged admin answer
+is bit-identical to the serving tier's scatter-gathered ``/analysis``
+over the same shard journals, LSN columns appear in the topology, and
+time-travel only accepts the fleet-wide coordinate (a timestamp).
+"""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.cluster.supervisor import ExamCluster
+from repro.server.loadgen import run_loadgen
+
+LEARNERS = 18
+QUESTIONS = 5
+WORKERS = 3
+EXAM_ID = "classroom-mid"
+
+
+def request_json(url, path):
+    host, port = url.rsplit(":", 1)
+    host = host.split("//")[1]
+    connection = http.client.HTTPConnection(host, int(port), timeout=15)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw) if raw else None
+    finally:
+        connection.close()
+
+
+def retry_json(url, path, tries=40, expect=200):
+    for _ in range(tries):
+        status, payload = request_json(url, path)
+        if status == expect:
+            return payload
+        time.sleep(0.25)
+    raise AssertionError(f"{path} never reached {expect}, last {status}")
+
+
+@pytest.fixture(scope="module")
+def tier(tmp_path_factory):
+    wal_root = tmp_path_factory.mktemp("cluster-wal")
+    with ExamCluster(
+        workers=WORKERS, wal_root=wal_root, readmodel=True
+    ) as cluster:
+        report = run_loadgen(
+            cluster.url,
+            learners=LEARNERS,
+            questions=QUESTIONS,
+            seed=23,
+            workers=4,
+            batch=4,
+            cluster=True,
+        )
+        assert report.errors == 0
+        yield {"cluster": cluster, "wal_root": wal_root}
+
+
+class TestScatterGather:
+    def test_admin_analysis_matches_serving_tier_bit_for_bit(self, tier):
+        url = tier["cluster"].url
+        serving = retry_json(url, f"/exams/{EXAM_ID}/analysis")
+        admin = retry_json(url, f"/admin/analytics/exams/{EXAM_ID}/analysis")
+        assert json.dumps(admin, sort_keys=True) == json.dumps(
+            serving, sort_keys=True
+        )
+
+    def test_summary_merges_every_shard(self, tier):
+        payload = retry_json(
+            tier["cluster"].url, f"/admin/analytics/exams/{EXAM_ID}"
+        )
+        assert payload["submits"] == LEARNERS
+        assert payload["enrolled"] == LEARNERS
+        assert sum(payload["distribution"]["buckets"]) == LEARNERS
+        assert payload["blueprint"]["cohort"] == LEARNERS
+
+    def test_overview_reports_per_shard_positions(self, tier):
+        payload = retry_json(tier["cluster"].url, "/admin/analytics")
+        assert payload["learners"] == LEARNERS
+        assert [s["shard"] for s in payload["shards"]] == sorted(
+            tier["cluster"].shards
+        )
+        assert all(s["applied_lsn"] > 0 for s in payload["shards"])
+        assert payload["exams"] == [
+            {
+                "exam_id": EXAM_ID,
+                "submits": LEARNERS,
+                "enrolled": LEARNERS,
+            }
+        ]
+
+    def test_topology_carries_lsn_columns_per_shard(self, tier):
+        payload = retry_json(tier["cluster"].url, "/cluster/topology")
+        assert len(payload["shards"]) == WORKERS
+        for entry in payload["shards"]:
+            assert entry["last_lsn"] >= entry["durable_lsn"] >= 0
+            assert entry["readmodel_lsn"] >= 0
+
+
+class TestTimeTravel:
+    def test_as_of_lsn_is_rejected_as_per_shard(self, tier):
+        status, payload = request_json(
+            tier["cluster"].url,
+            f"/admin/analytics/exams/{EXAM_ID}/analysis?as_of_lsn=5",
+        )
+        assert status == 400
+        assert "as_of_ts" in payload["error"]["message"]
+
+    def test_as_of_ts_spans_the_fleet(self, tier):
+        url = tier["cluster"].url
+        live = retry_json(url, f"/admin/analytics/exams/{EXAM_ID}/analysis")
+        payload = retry_json(
+            url,
+            f"/admin/analytics/exams/{EXAM_ID}/analysis?as_of_ts=1e18",
+        )
+        # far-future target == full history on every shard
+        assert json.dumps(payload["analysis"], sort_keys=True) == json.dumps(
+            live, sort_keys=True
+        )
+
+
+class TestOfflineOracle:
+    def test_cli_rebuild_merges_shards_bit_identically(self, tier):
+        """`mine-assess analytics rebuild <cluster-root> --exam ...`
+        over the live shard journals reproduces the cluster's
+        scatter-gathered answer exactly."""
+        from repro.cli import main
+
+        admin = retry_json(
+            tier["cluster"].url,
+            f"/admin/analytics/exams/{EXAM_ID}/analysis",
+        )
+        out = tier["wal_root"] / "oracle.json"
+        code = main(
+            [
+                "analytics",
+                "rebuild",
+                str(tier["wal_root"]),
+                "--exam",
+                EXAM_ID,
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["journals"] == WORKERS
+        assert payload["learners"] == LEARNERS
+        assert json.dumps(payload["analysis"], sort_keys=True) == json.dumps(
+            admin, sort_keys=True
+        )
