@@ -47,7 +47,7 @@ Quickstart::
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: facade name -> (module, attribute); ``None`` attribute re-exports the
 #: module itself.  Everything here is importable as ``repro.<name>``.
@@ -75,6 +75,20 @@ _EXPORTS = {
     "pre_post_cohorts": ("repro.sim.workloads", "pre_post_cohorts"),
     "make_population": ("repro.sim.population", "make_population"),
     "ItemParameters": ("repro.sim.learner_model", "ItemParameters"),
+    # adaptive testing (online CAT + the calibration loop)
+    "AdaptivePolicy": ("repro.adaptive.online", "AdaptivePolicy"),
+    "AdaptiveSession": ("repro.adaptive.online", "AdaptiveSession"),
+    "ItemInformationTable": (
+        "repro.adaptive.online", "ItemInformationTable"
+    ),
+    "select_next_item": ("repro.adaptive.cat", "select_next_item"),
+    "calibrate_2pl": ("repro.adaptive.item_calibration", "calibrate_2pl"),
+    "classroom_adaptive_exam": (
+        "repro.sim.workloads", "classroom_adaptive_exam"
+    ),
+    "simulate_adaptive_cohort": (
+        "repro.sim.adaptive_cohort", "simulate_adaptive_cohort"
+    ),
     # LMS / delivery
     "Lms": ("repro.lms.lms", "Lms"),
     "Learner": ("repro.lms.learners", "Learner"),
@@ -132,6 +146,16 @@ def __dir__():
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
     from repro import obs  # noqa: F401
+    from repro.adaptive.cat import select_next_item  # noqa: F401
+    from repro.adaptive.item_calibration import calibrate_2pl  # noqa: F401
+    from repro.adaptive.online import (  # noqa: F401
+        AdaptivePolicy,
+        AdaptiveSession,
+        ItemInformationTable,
+    )
+    from repro.sim.adaptive_cohort import (  # noqa: F401
+        simulate_adaptive_cohort,
+    )
     from repro.core.columnar import (  # noqa: F401
         LiveCohortAnalysis,
         ResponseMatrix,
@@ -171,6 +195,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis eyes only
     from repro.sim.population import make_population  # noqa: F401
     from repro.sim.vectorized import simulate_sharded  # noqa: F401
     from repro.sim.workloads import (  # noqa: F401
+        classroom_adaptive_exam,
         classroom_exam,
         classroom_parameters,
         pre_post_cohorts,

@@ -28,8 +28,24 @@ from repro.adaptive.irt import (
     probability_correct,
     test_information,
 )
+from repro.adaptive.online import (
+    AdaptivePolicy,
+    AdaptiveSession,
+    ItemInformationTable,
+    collect_calibration_matrix,
+    latest_calibration_snapshot,
+    list_calibration_snapshots,
+    write_calibration_snapshot,
+)
 
 __all__ = [
+    "AdaptivePolicy",
+    "AdaptiveSession",
+    "ItemInformationTable",
+    "collect_calibration_matrix",
+    "write_calibration_snapshot",
+    "latest_calibration_snapshot",
+    "list_calibration_snapshots",
     "difficulty_to_b",
     "discrimination_to_a",
     "calibrate_pool_from_bank",

@@ -72,6 +72,19 @@ class CatSession:
     def __post_init__(self) -> None:
         if not self.pool:
             raise EstimationError("CAT pool is empty")
+        if len(self.administered) != len(self.responses):
+            raise EstimationError(
+                f"{len(self.administered)} administered items but "
+                f"{len(self.responses)} responses"
+            )
+        foreign = sorted(set(self.administered) - set(self.pool))
+        if foreign:
+            # e.g. a session restored against a recalibrated pool that
+            # dropped items: without this check, record() would KeyError
+            # mid-sitting instead of failing at construction
+            raise EstimationError(
+                f"administered items not in the pool: {foreign}"
+            )
 
     def next_item(self) -> Optional[str]:
         """The item to administer next, or None when the session is done."""
@@ -94,23 +107,34 @@ class CatSession:
 
     def is_done(self) -> bool:
         """True when a stopping rule is met or the pool is exhausted."""
+        return self.stop_reason() is not None
+
+    def stop_reason(self) -> Optional[str]:
+        """Why the session stopped, or None while it should continue.
+
+        Every sitting terminates with exactly one defined reason —
+        ``"max_items"`` (item budget spent; the deterministic backstop
+        for an SE that never converges), ``"pool_exhausted"`` (no unused
+        items left to administer), or ``"se_target"`` (precision
+        reached after the minimum item count).
+        """
         count = len(self.administered)
         if count >= self.config.max_items:
-            return True
-        if count >= len(self.pool):
-            return True
+            return "max_items"
+        if not set(self.pool) - set(self.administered):
+            return "pool_exhausted"
         if count >= self.config.min_items and (
             self.standard_error <= self.config.se_target
         ):
-            return True
-        return False
+            return "se_target"
+        return None
 
     def run(self, answer) -> Tuple[float, float]:
         """Drive the whole session with an ``answer(item_id) -> bool``
         oracle (e.g. a simulated learner); returns (ability, SE)."""
         while not self.is_done():
             item_id = self.next_item()
-            if item_id is None:
+            if item_id is None:  # pragma: no cover - stop_reason covers it
                 break
             self.record(item_id, bool(answer(item_id)))
         return self.ability, self.standard_error

@@ -78,10 +78,15 @@ def calibrate_2pl(
     """Estimate 2PL parameters for every item of a response matrix.
 
     ``correct_matrix[e][i]`` is True when examinee ``e`` answered item
-    ``i`` correctly.  Requires at least 2 items and ~100 examinees for
-    stable estimates (fewer work but noisily).  Estimates are clamped to
-    ``a_bounds``/``b_bounds`` — items everyone (or no one) gets right
-    have unbounded MLEs otherwise.
+    ``i`` correctly, False when they answered it wrong, and **None when
+    the item was never administered** — adaptive sittings serve each
+    learner a subset of the pool, and the EM accumulation simply skips
+    missing cells (missing-at-random given theta, which CAT's
+    theta-driven selection satisfies).  Requires at least 2 items and
+    ~100 examinees for stable estimates (fewer work but noisily).
+    Estimates are clamped to ``a_bounds``/``b_bounds`` — items everyone
+    (or no one) gets right have unbounded MLEs otherwise; items with no
+    observed responses at all keep their starting values.
 
     Returns a :class:`CalibrationResult`; ``converged`` reports whether
     the largest parameter change fell below ``tolerance`` before the
@@ -102,10 +107,14 @@ def calibrate_2pl(
     nodes, weights = _grid(grid_points, grid_half_width)
 
     # start from neutral parameters: a=1, b from the item's raw difficulty
+    # (proportion correct among *observed* responses — None cells are
+    # missing, not wrong)
     a_hat: List[float] = [1.0] * items
     b_hat: List[float] = []
     for item in range(items):
-        p = sum(1 for row in correct_matrix if row[item]) / examinees
+        observed = sum(1 for row in correct_matrix if row[item] is not None)
+        right = sum(1 for row in correct_matrix if row[item])
+        p = right / observed if observed else 0.5
         p = min(max(p, 0.02), 0.98)
         b_hat.append(math.log((1 - p) / p))
 
@@ -126,6 +135,8 @@ def calibrate_2pl(
             posterior = list(weights)
             for item in range(items):
                 correct = row[item]
+                if correct is None:  # never administered: no likelihood term
+                    continue
                 probabilities = p_item_node[item]
                 for k in range(grid_points):
                     posterior[k] *= (
@@ -138,6 +149,8 @@ def calibrate_2pl(
                 posterior[k] *= inverse
             for item in range(items):
                 correct = row[item]
+                if correct is None:  # missing cells carry no pseudo-data
+                    continue
                 expectation_n = expected_n[item]
                 expectation_r = expected_r[item]
                 for k in range(grid_points):

@@ -68,8 +68,13 @@ class ExamBank:
 
 
 def exam_to_record(exam: Exam) -> Dict[str, object]:
-    """Serialize one exam (with embedded items) to a JSON record."""
-    return {
+    """Serialize one exam (with embedded items) to a JSON record.
+
+    The adaptive policy (when present) rides the record too, so an
+    adaptive exam replicates everywhere records travel: ``offer``
+    journal events, HTTP offer bodies, cluster broadcasts, snapshots.
+    """
+    record = {
         "exam_id": exam.exam_id,
         "title": exam.title,
         "display_type": exam.display_type.value,
@@ -85,6 +90,9 @@ def exam_to_record(exam: Exam) -> Dict[str, object]:
             for group in exam.groups
         ],
     }
+    if exam.adaptive is not None:
+        record["adaptive"] = exam.adaptive.to_record()
+    return record
 
 
 def exam_from_record(record: Dict[str, object]) -> Exam:
@@ -95,6 +103,13 @@ def exam_from_record(record: Dict[str, object]) -> Exam:
         raise BankError(
             f"unknown display type: {record.get('display_type')!r}"
         ) from None
+    adaptive = None
+    if record.get("adaptive") is not None:
+        # lazy: the bank layer sits below repro.adaptive, and most exams
+        # never pay for the import
+        from repro.adaptive.online import AdaptivePolicy
+
+        adaptive = AdaptivePolicy.from_record(record["adaptive"])
     exam = Exam(
         exam_id=record.get("exam_id", ""),
         title=record.get("title", ""),
@@ -110,6 +125,7 @@ def exam_from_record(record: Dict[str, object]) -> Exam:
         display_type=display,
         time_limit_seconds=record.get("time_limit_seconds"),
         resumable=bool(record.get("resumable", True)),
+        adaptive=adaptive,
     )
     exam.validate()
     return exam

@@ -14,6 +14,8 @@ Subcommands mirror what the paper's GUI offers, driven from a terminal::
     mine-assess analytics rebuild wal/    # fold the full journal (oracle)
     mine-assess analytics asof wal/ --ts 1717171717   # time-travel query
     mine-assess loadgen --url http://127.0.0.1:8321   # drive a cohort at it
+    mine-assess loadgen --url ... --adaptive   # the CAT next-item loop
+    mine-assess calibrate wal/                 # journal-fed 2PL re-fit
 """
 
 from __future__ import annotations
@@ -317,12 +319,56 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     loadgen.add_argument(
+        "--adaptive", action="store_true",
+        help=(
+            "drive the CAT loop: offer an adaptive exam, let the server "
+            "pick each item via GET .../next-item, answer what it "
+            "chose, submit when the policy says done (incompatible "
+            "with --batch)"
+        ),
+    )
+    loadgen.add_argument(
         "--no-setup", action="store_true",
         help="skip offering the exam / registering learners first",
     )
     loadgen.add_argument(
         "--out", metavar="PATH", default=None,
         help="also write the JSON summary (throughput, percentiles) here",
+    )
+
+    calibrate = subparsers.add_parser(
+        "calibrate", parents=[profile],
+        help=(
+            "re-fit 2PL item parameters from a WAL's completed sittings "
+            "and write a versioned snapshot a server hot-swaps"
+        ),
+    )
+    calibrate.add_argument(
+        "wal_dir", metavar="DIR",
+        help="journal directory written by serve --wal-dir",
+    )
+    calibrate.add_argument(
+        "--exam", metavar="EXAM_ID", default=None,
+        help=(
+            "calibrate only this exam (default: every offered exam "
+            "with an adaptive policy)"
+        ),
+    )
+    calibrate.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help=(
+            "snapshot output directory (default: DIR/calibration, "
+            "where a serving process looks on boot and on "
+            "POST /admin/calibration/reload)"
+        ),
+    )
+    calibrate.add_argument(
+        "--min-sittings", type=int, default=10,
+        help="skip exams with fewer graded sittings than this",
+    )
+    calibrate.add_argument(
+        "--iterations", type=int, default=25,
+        help="EM iterations for the 2PL fit",
     )
     return parser
 
@@ -755,6 +801,7 @@ def _cmd_loadgen(args) -> int:
         setup=not args.no_setup,
         batch=args.batch,
         cluster=args.cluster,
+        adaptive=args.adaptive,
     )
     print(report.render())
     if args.out:
@@ -765,6 +812,91 @@ def _cmd_loadgen(args) -> int:
             json_module.dumps(report.to_dict(), indent=2), encoding="utf-8"
         )
         print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    """The journal-fed calibration loop: WAL -> 2PL fit -> snapshot.
+
+    Recovers the LMS from the journal, harvests the completed-sitting
+    response matrix per adaptive exam (missing = never administered),
+    re-fits via :func:`~repro.adaptive.item_calibration.calibrate_2pl`,
+    and writes a ``params-<exam>-v<N>.json`` snapshot one version above
+    the exam's current one — exactly what a serving process scans for
+    at boot and on ``POST /admin/calibration/reload``.
+    """
+    from pathlib import Path
+
+    from repro.adaptive.item_calibration import calibrate_2pl
+    from repro.adaptive.online import (
+        collect_calibration_matrix,
+        write_calibration_snapshot,
+    )
+    from repro.store import recover
+
+    try:
+        report = recover(args.wal_dir)
+    except Exception as exc:  # surface store errors to the operator
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary(), file=sys.stderr)
+    lms = report.lms
+    out_dir = (
+        Path(args.out_dir)
+        if args.out_dir is not None
+        else Path(args.wal_dir) / "calibration"
+    )
+    exam_ids = (
+        [args.exam] if args.exam is not None else lms.offered_exams()
+    )
+    wrote = 0
+    for exam_id in exam_ids:
+        exam = lms.exam(exam_id)
+        if exam.adaptive is None:
+            if args.exam is not None:
+                print(
+                    f"exam {exam_id!r} has no adaptive policy; nothing "
+                    f"to calibrate",
+                    file=sys.stderr,
+                )
+                return 2
+            continue
+        item_ids, matrix = collect_calibration_matrix(lms, exam_id)
+        if len(matrix) < args.min_sittings:
+            print(
+                f"  {exam_id}: {len(matrix)} graded sitting(s) < "
+                f"--min-sittings {args.min_sittings}; skipped"
+            )
+            continue
+        result = calibrate_2pl(matrix, max_iterations=args.iterations)
+        version = lms.calibration_version(exam_id) + 1
+        path = write_calibration_snapshot(
+            out_dir,
+            exam_id,
+            version,
+            result.as_pool(item_ids),
+            diagnostics={
+                "sittings": len(matrix),
+                "items": len(item_ids),
+                "iterations": result.iterations,
+                "converged": result.converged,
+                "log_likelihood": result.log_likelihood,
+            },
+        )
+        wrote += 1
+        fit = "converged" if result.converged else "NOT converged"
+        print(
+            f"  {exam_id}: fitted {len(item_ids)} item(s) from "
+            f"{len(matrix)} sitting(s) in {result.iterations} EM "
+            f"iteration(s) ({fit}) -> {path}"
+        )
+    if not wrote:
+        print("no calibration snapshots written", file=sys.stderr)
+        return 1
+    print(
+        f"{wrote} snapshot(s) in {out_dir}; a serving process picks "
+        f"them up at boot or on POST /admin/calibration/reload"
+    )
     return 0
 
 
@@ -780,6 +912,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "analytics": _cmd_analytics,
     "loadgen": _cmd_loadgen,
+    "calibrate": _cmd_calibrate,
 }
 
 

@@ -42,6 +42,7 @@ ROUTE_AFFINITY: Dict[str, Tuple[str, str]] = {
     "enrollments.create": ("body", "learner_id"),
     "sittings.start": ("params", "learner_id"),
     "sittings.answer": ("params", "learner_id"),
+    "sittings.next_item": ("params", "learner_id"),
     "sittings.answers_batch": ("params", "learner_id"),
     "sittings.suspend": ("params", "learner_id"),
     "sittings.resume": ("params", "learner_id"),

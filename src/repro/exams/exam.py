@@ -9,7 +9,7 @@ time limit and display type (fixed or random order, §3.2 VI.C).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.errors import AuthoringError, NotFoundError
 from repro.core.metadata import DisplayType, MineMetadata
@@ -18,6 +18,9 @@ from repro.core.spec_table import SpecificationTable, TaggedQuestion
 from repro.items.base import Item
 from repro.items.choice import MultipleChoiceItem
 from repro.items.truefalse import TrueFalseItem
+
+if TYPE_CHECKING:  # pragma: no cover - the exam layer stays below adaptive
+    from repro.adaptive.online import AdaptivePolicy
 
 __all__ = ["ExamGroup", "Exam"]
 
@@ -55,6 +58,10 @@ class Exam:
     time_limit_seconds: Optional[float] = None
     resumable: bool = True
     metadata: MineMetadata = field(default_factory=MineMetadata)
+    #: optional online-CAT configuration (:class:`repro.adaptive.online.
+    #: AdaptivePolicy`); when set, the LMS serves this exam adaptively —
+    #: items are chosen per response, not presented in authored order
+    adaptive: "Optional[AdaptivePolicy]" = None
 
     def __post_init__(self) -> None:
         if not self.exam_id:
@@ -105,6 +112,8 @@ class Exam:
             raise AuthoringError(
                 f"exam {self.exam_id!r}: time limit must be positive"
             )
+        if self.adaptive is not None:
+            self.adaptive.validate(self)
 
     # -- views -----------------------------------------------------------------
 

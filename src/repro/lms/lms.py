@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.core.errors import (
@@ -71,6 +71,10 @@ from repro.scorm.api import ApiAdapter
 from repro.scorm.rte import RunTimeEnvironment
 from repro.store import events as store_events
 
+if TYPE_CHECKING:  # pragma: no cover - adaptive imports stay lazy at runtime
+    from repro.adaptive.online import AdaptiveSession, ItemInformationTable
+    from repro.sim.learner_model import ItemParameters
+
 __all__ = ["Lms", "LmsSitting"]
 
 
@@ -84,6 +88,11 @@ class LmsSitting:
     interaction_count: int = 0
     #: item ids in this learner's presentation order (set at start)
     item_order: List[str] = field(default_factory=list)
+    #: the online CAT state machine when the exam carries an adaptive
+    #: policy; None for fixed exams.  Holds a reference to the
+    #: information table it was started with, so an in-flight sitting is
+    #: never switched mid-exam by a calibration swap.
+    adaptive: "Optional[AdaptiveSession]" = None
     #: this sitting's own lock: two requests for the *same* sitting
     #: serialize here while unrelated sittings proceed concurrently
     lock: InstrumentedRLock = field(
@@ -135,6 +144,15 @@ class Lms:
         self._commit_lock = threading.Lock()
         self._exams: Dict[str, Exam] = {}
         self._enrollment: Dict[str, set] = {}  # exam_id -> learner ids
+        #: per adaptive exam: the current precomputed information table
+        #: (built at offer time, rebuilt by a calibration swap) — the
+        #: online hot path does zero IRT math, only table lookups
+        self._adaptive_tables: Dict[str, "ItemInformationTable"] = {}
+        #: per adaptive exam: (version, parameter overlay) of the newest
+        #: applied calibration; version 0 = authored/seeded parameters
+        self._calibrations: Dict[
+            str, Tuple[int, Dict[str, "ItemParameters"]]
+        ] = {}
         self._sittings: Dict[Tuple[str, str], LmsSitting] = {}
         self._results: Dict[str, List[GradedSitting]] = {}
         self._live: Dict[str, LiveCohortAnalysis] = {}  # warm analyses
@@ -183,6 +201,12 @@ class Lms:
             exam.validate()
             self._exams[exam.exam_id] = exam
             self._enrollment[exam.exam_id] = set()
+            if exam.adaptive is not None:
+                # install-time precompute: every per-request selection and
+                # ability update from here on is a table lookup
+                self._adaptive_tables[exam.exam_id] = self._build_table(
+                    exam, version=0, overlay=None
+                )
             if self.journal is not None:
                 from repro.bank.exambank import exam_to_record
 
@@ -234,6 +258,145 @@ class Lms:
         with self.lock.shared():
             return sorted(self._enrollment.get(exam_id, ()))
 
+    # -- adaptive testing ---------------------------------------------------------
+
+    def _build_table(
+        self,
+        exam: Exam,
+        version: int,
+        overlay: "Optional[Dict[str, ItemParameters]]",
+    ) -> "ItemInformationTable":
+        """The exam's information table: seeded pool + calibration overlay."""
+        from repro.adaptive.online import ItemInformationTable
+
+        policy = exam.adaptive
+        pool = policy.pool_for(exam)
+        if overlay:
+            pool.update(overlay)
+        return ItemInformationTable.build(
+            pool,
+            grid_points=policy.grid_points,
+            grid_half_width=policy.grid_half_width,
+            prior_sd=policy.prior_sd,
+            version=version,
+        )
+
+    def next_item(self, learner_id: str, exam_id: str) -> Dict[str, object]:
+        """The adaptive policy's choice for this sitting, as a payload.
+
+        Read-only (derived state — not journaled): the selection is a
+        deterministic function of the sitting's recorded answers, so
+        replay re-derives it.  Raises ``SessionStateError`` for fixed
+        exams — the route 409s instead of pretending an order exists.
+        """
+        with obs.span("lms.next_item", exam_id=exam_id), self.lock.shared():
+            sitting = self.sitting(learner_id, exam_id)
+            with sitting.lock:
+                if sitting.adaptive is None:
+                    raise SessionStateError(
+                        f"exam {exam_id!r} is not adaptive: it has no "
+                        f"adaptive policy"
+                    )
+                return sitting.adaptive.status()
+
+    def calibration_version(self, exam_id: str) -> int:
+        """The installed calibration version (0 = authored seeds)."""
+        with self.lock.shared():
+            return self._calibrations.get(exam_id, (0, None))[0]
+
+    def apply_calibration(
+        self,
+        exam_id: str,
+        version: int,
+        parameters: "Dict[str, ItemParameters]",
+    ) -> None:
+        """Hot-swap an adaptive exam's item parameters (journaled).
+
+        The new table takes effect for sittings **started after** the
+        swap.  To keep recovery bit-identical the swap is refused while
+        the exam has open adaptive sittings — a sitting must never see
+        two tables — and versions must be strictly increasing (replay
+        applies the same swaps in the same order, rebuilding the same
+        tables).
+        """
+        from repro.adaptive import online
+
+        with self.lock:
+            now = self.clock.now()
+            exam = self.exam(exam_id)
+            if exam.adaptive is None:
+                raise SessionStateError(
+                    f"exam {exam_id!r} has no adaptive policy to calibrate"
+                )
+            current = self._calibrations.get(exam_id, (0, None))[0]
+            if int(version) <= current:
+                raise SessionStateError(
+                    f"calibration v{version} of {exam_id!r} is not newer "
+                    f"than the installed v{current}"
+                )
+            pool_ids = set(exam.adaptive.pool_for(exam))
+            unknown = sorted(set(parameters) - pool_ids)
+            if unknown:
+                raise SessionStateError(
+                    f"calibration of {exam_id!r} names items outside the "
+                    f"adaptive pool: {unknown}"
+                )
+            open_sittings = sorted(
+                learner_id
+                for (learner_id, sat_exam), sitting in self._sittings.items()
+                if sat_exam == exam_id
+                and sitting.adaptive is not None
+                and sitting.session.state
+                in (SessionState.IN_PROGRESS, SessionState.SUSPENDED)
+            )
+            if open_sittings:
+                raise SessionStateError(
+                    f"cannot hot-swap calibration of {exam_id!r}: "
+                    f"{len(open_sittings)} adaptive sitting(s) still open "
+                    f"(drain or submit them first)"
+                )
+            self._install_calibration(exam_id, int(version), parameters)
+            self._emit(
+                "calibrate",
+                store_events.calibrate_event(
+                    exam_id,
+                    int(version),
+                    online.parameters_to_record(parameters),
+                    now,
+                ),
+            )
+        obs.count("lms.calibrations.applied")
+
+    def _install_calibration(
+        self,
+        exam_id: str,
+        version: int,
+        parameters: "Dict[str, ItemParameters]",
+    ) -> None:
+        """Record the overlay and rebuild the table (caller validated)."""
+        exam = self._exams[exam_id]
+        self._calibrations[exam_id] = (version, dict(parameters))
+        self._adaptive_tables[exam_id] = self._build_table(
+            exam, version, parameters
+        )
+
+    def _rebuild_adaptive(
+        self, exam: Exam, events: "List[Tuple[str, object]]"
+    ) -> "AdaptiveSession":
+        """Recreate a sitting's adaptive state from its ordered answer
+        events (snapshot restore): selection is deterministic, so
+        re-recording the same scored sequence rebuilds the same
+        posterior, theta trajectory, and next-item choice bit-for-bit."""
+        from repro.adaptive.online import AdaptiveSession
+
+        session = AdaptiveSession.for_exam(
+            self._adaptive_tables[exam.exam_id], exam.adaptive
+        )
+        for item_id, response in events:
+            scored = exam.item(item_id).score(response)
+            session.record(item_id, bool(scored.correct))
+        return session
+
     # -- delivery ------------------------------------------------------------------
 
     def start_exam(self, learner_id: str, exam_id: str) -> LmsSitting:
@@ -276,6 +439,14 @@ class Lms:
                 self.lock_stats, "sitting", f"{learner_id}:{exam_id}"
             ),
         )
+        if exam.adaptive is not None:
+            from repro.adaptive.online import AdaptiveSession
+
+            # pin the *current* table: a later calibration swap must not
+            # change this sitting's selections mid-exam
+            sitting.adaptive = AdaptiveSession.for_exam(
+                self._adaptive_tables[exam_id], exam.adaptive
+            )
         self._sittings[key] = sitting
         self.tracking.record(
             EventKind.LAUNCHED, learner_id, exam_id, now
@@ -311,9 +482,27 @@ class Lms:
         sitting = self.sitting(learner_id, exam_id)
         with sitting.lock:
             now = self.clock.now()
+            adaptive = sitting.adaptive
+            if adaptive is not None:
+                # policy enforcement: only the table's current choice is
+                # answerable — out-of-policy items 409 before any state,
+                # CMI, or journal effect
+                expected = adaptive.next_item()
+                if expected is None:
+                    raise SessionStateError(
+                        f"adaptive sitting of {exam_id!r} is complete "
+                        f"({adaptive.stop_reason()}); submit it"
+                    )
+                if item_id != expected:
+                    raise SessionStateError(
+                        f"adaptive policy expects item {expected!r} next, "
+                        f"not {item_id!r}"
+                    )
             sitting.session.answer(item_id, response, now)
             item = sitting.session.exam.item(item_id)
             scored = item.score(response)
+            if adaptive is not None:
+                adaptive.record(item_id, bool(scored.correct))
             self._cmi_record_answer(sitting, item_id, item, scored)
             self.tracking.record(
                 EventKind.ANSWERED,
@@ -378,6 +567,14 @@ class Lms:
         if not pairs:
             raise ResponseError("answers batch is empty")
         sitting = self.sitting(learner_id, exam_id)
+        if sitting.adaptive is not None:
+            # the adaptive protocol is strictly per-response: the next
+            # item depends on the previous answer, so a batch cannot be
+            # validated up front
+            raise SessionStateError(
+                f"adaptive sittings of {exam_id!r} take one answer at a "
+                f"time; answers:batch is not allowed"
+            )
         with sitting.lock:
             now = self.clock.now()
             session = sitting.session

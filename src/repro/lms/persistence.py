@@ -161,10 +161,19 @@ def _collect_payload(lms: Lms) -> Dict[str, object]:
         }
         for sitting in lms._sittings.values()
     ]
+    calibrations = {}
+    for exam_id, (version, overlay) in lms._calibrations.items():
+        from repro.adaptive.online import parameters_to_record
+
+        calibrations[exam_id] = {
+            "version": version,
+            "parameters": parameters_to_record(overlay),
+        }
     return {
         "format": _FORMAT,
         "clock": lms.clock.now(),
         "exams": [exam_to_record(lms.exam(e)) for e in lms.offered_exams()],
+        "calibrations": calibrations,
         "learners": learners,
         "enrollment": {
             exam_id: sorted(lms.enrolled(exam_id))
@@ -219,6 +228,18 @@ def lms_from_payload(payload: Dict[str, object], clock=None) -> Lms:
     lms = Lms(clock=clock, monitor=monitor)
     for record in payload.get("exams", []):
         lms.offer_exam(exam_from_record(record))
+    # calibration overlays must land before sittings are restored: a
+    # restored adaptive sitting replays against the exam's current table
+    for exam_id, record in payload.get("calibrations", {}).items():
+        if exam_id not in lms._exams:
+            continue
+        from repro.adaptive.online import parameters_from_record
+
+        lms._install_calibration(
+            exam_id,
+            int(record.get("version", 0)),
+            parameters_from_record(record.get("parameters", {})),
+        )
     for record in payload.get("learners", []):
         learner = Learner(
             learner_id=record["learner_id"],
@@ -299,6 +320,16 @@ def _restore_sitting(lms: Lms, record: Dict[str, object]) -> None:
         item = exam.item(str(event["item_id"]))
         scored = item.score(event.get("response"))
         lms._cmi_record_answer(sitting, str(event["item_id"]), item, scored)
+    if exam.adaptive is not None:
+        # re-record the same scored sequence: selection is deterministic,
+        # so the rebuilt posterior/trajectory is bit-identical to live
+        sitting.adaptive = lms._rebuild_adaptive(
+            exam,
+            [
+                (str(event["item_id"]), event.get("response"))
+                for event in state.get("events", [])
+            ],
+        )
     if session.state is SessionState.SUSPENDED:
         lms._cmi_suspend(sitting)
     elif session.state is SessionState.SUBMITTED:
@@ -330,6 +361,7 @@ def merge_payloads(payloads: List[Dict[str, object]]) -> Dict[str, object]:
         "clock": max(
             float(payload.get("clock", 0.0)) for payload in payloads
         ),
+        "calibrations": {},
         "exams": [],
         "learners": [],
         "enrollment": {},
@@ -361,6 +393,14 @@ def merge_payloads(payloads: List[Dict[str, object]]) -> Dict[str, object]:
             merged["learners"].append(record)
         for exam_id, learner_ids in payload.get("enrollment", {}).items():
             enrollment.setdefault(exam_id, set()).update(learner_ids)
+        for exam_id, record in payload.get("calibrations", {}).items():
+            # exams are broadcast, so every shard applies the same swap;
+            # keep the newest version if shards ever diverge mid-apply
+            existing = merged["calibrations"].get(exam_id)
+            if existing is None or int(record.get("version", 0)) > int(
+                existing.get("version", 0)
+            ):
+                merged["calibrations"][exam_id] = record
         for exam_id, sittings in payload.get("results", {}).items():
             results.setdefault(exam_id, []).extend(sittings)
         merged["tracking"].extend(payload.get("tracking", []))

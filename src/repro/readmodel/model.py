@@ -311,8 +311,11 @@ class ReadModel:
             model = self.exams.get(exam_id)
             if model is not None:
                 model.fold_submit(learner_id, answers)
-        elif type_ in ("suspend", "resume", "monitor"):
-            pass  # lifecycle-only: counted in the per-type totals
+        elif type_ in ("suspend", "resume", "monitor", "calibrate"):
+            # lifecycle-only: counted in the per-type totals.  A
+            # calibrate swap changes *selection* parameters, not the
+            # response matrix this read model folds.
+            pass
         else:
             raise StoreError(
                 f"unknown journal event type {type_!r}; "

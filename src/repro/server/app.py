@@ -378,6 +378,15 @@ class ExamServer:
             cluster=cluster,
         )
         self.context.in_flight = self.in_flight.current
+        #: where ``mine-assess calibrate`` drops parameter snapshots for
+        #: this store (scanned at boot and on demand, see
+        #: :meth:`reload_calibration`)
+        self.calibration_dir = (
+            self.wal_dir / "calibration" if self.wal_dir is not None else None
+        )
+        if self.calibration_dir is not None:
+            self.context.calibration = self.reload_calibration
+            self.reload_calibration()
         self.snapshot_path = (
             Path(snapshot_path) if snapshot_path is not None else None
         )
@@ -574,6 +583,52 @@ class ExamServer:
             self.readmodel.checkpoint()
         self.context.registry.count("server.checkpoints")
         return result
+
+    def reload_calibration(self) -> dict:
+        """Pick up newer calibration snapshots from the store directory.
+
+        Scans ``<wal_dir>/calibration`` for ``mine-assess calibrate``
+        output and applies, per offered adaptive exam, the newest
+        snapshot whose version is above the LMS's current one (so a
+        restart — which replays journaled ``calibrate`` events — never
+        re-applies a swap it already owns).  Exams with open adaptive
+        sittings refuse the hot-swap (:class:`~repro.core.errors.
+        SessionStateError`); they are reported as skipped and retried on
+        the next call.  Also the handler behind
+        ``POST /admin/calibration/reload``.
+        """
+        if self.calibration_dir is None:
+            raise RuntimeError("no wal_dir configured")
+        from repro.adaptive.online import latest_calibration_snapshot
+        from repro.core.errors import SessionStateError
+
+        applied, skipped = [], []
+        for exam_id in self.lms.offered_exams():
+            if self.lms.exam(exam_id).adaptive is None:
+                continue
+            snapshot = latest_calibration_snapshot(
+                self.calibration_dir, exam_id
+            )
+            if snapshot is None:
+                continue
+            version, pool = snapshot
+            if version <= self.lms.calibration_version(exam_id):
+                continue
+            try:
+                self.lms.apply_calibration(exam_id, version, pool)
+            except SessionStateError as exc:
+                skipped.append(
+                    {"exam_id": exam_id, "version": version,
+                     "reason": str(exc)}
+                )
+                continue
+            applied.append({"exam_id": exam_id, "version": version})
+        self.context.registry.count("server.calibration_reloads")
+        return {
+            "calibration_dir": str(self.calibration_dir),
+            "applied": applied,
+            "skipped": skipped,
+        }
 
     def store_info(self) -> dict:
         """Journal and checkpoint stats for the ``/metrics`` payload."""

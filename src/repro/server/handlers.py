@@ -64,6 +64,11 @@ class ServerContext:
     #: the :class:`~repro.readmodel.service.ReadModelService` behind the
     #: ``/admin/analytics`` surface; None when ``--readmodel`` is off
     readmodel: Optional[object] = None
+    #: filled by the app layer when a WAL is configured: a zero-arg
+    #: callable scanning the calibration snapshot directory and
+    #: hot-swapping any newer parameter sets (POST /admin/calibration/
+    #: reload); None without durable state
+    calibration: Optional[object] = None
 
     def uptime_seconds(self) -> float:
         """Seconds since the context (≈ server) came up."""
@@ -110,6 +115,7 @@ _OFFER_SPEC = BodySpec(
         "time_limit_seconds": object,
         "resumable": bool,
         "groups": list,
+        "adaptive": dict,
     },
 )
 
@@ -287,6 +293,19 @@ def _sitting_status(ctx: ServerContext, params, body, query):
     }
 
 
+def _next_item(ctx: ServerContext, params, body, query):
+    """The adaptive policy's choice for this sitting.
+
+    Pure table lookup on the hot path (no IRT evaluation); 409s for
+    exams without an adaptive policy.  ``done: true`` with a ``reason``
+    means the stopping rules fired — the client should submit.
+    """
+    payload = ctx.lms.next_item(params["learner_id"], params["exam_id"])
+    payload["learner_id"] = params["learner_id"]
+    payload["exam_id"] = params["exam_id"]
+    return payload
+
+
 def _suspend(ctx: ServerContext, params, body, query):
     ctx.lms.suspend(params["learner_id"], params["exam_id"])
     return {"state": "suspended"}
@@ -426,6 +445,20 @@ def _checkpoint_local(ctx: ServerContext, params, body, query):
             "server was started without a WAL directory (--wal-dir)",
         )
     return _checkpoint_payload(ctx.checkpoint())
+
+
+def _calibration_reload(ctx: ServerContext, params, body, query):
+    """Re-scan the calibration snapshot directory and hot-swap any exam
+    whose newest persisted parameter set is newer than the installed one
+    (the on-demand flavor of the boot-time pickup)."""
+    if ctx.calibration is None:
+        raise ApiError(
+            409,
+            "invalid_state",
+            "server was started without a WAL directory (--wal-dir), "
+            "so there is no calibration snapshot directory to reload",
+        )
+    return ctx.calibration()
 
 
 # -- analytics (the read-model tier) ------------------------------------------
@@ -691,6 +724,9 @@ def build_router() -> Router:
         _answers_batch,
         "sittings.answers_batch",
     )
+    router.add(
+        "GET", sitting + "/next-item", _next_item, "sittings.next_item"
+    )
     router.add("POST", sitting + "/suspend", _suspend, "sittings.suspend")
     router.add("POST", sitting + "/resume", _resume, "sittings.resume")
     router.add("POST", sitting + "/submit", _submit, "sittings.submit")
@@ -704,6 +740,12 @@ def build_router() -> Router:
     router.add("POST", "/admin/snapshot", _snapshot_now, "admin.snapshot")
     router.add(
         "POST", "/admin/checkpoint", _checkpoint_now, "admin.checkpoint"
+    )
+    router.add(
+        "POST",
+        "/admin/calibration/reload",
+        _calibration_reload,
+        "admin.calibration_reload",
     )
     # the read-model analytics surface (read-only; 409 without
     # --readmodel).  Answers come from the journal-fed fold, never from

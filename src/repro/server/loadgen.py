@@ -38,7 +38,11 @@ from repro.sim.learner_model import (
     sample_selection,
 )
 from repro.sim.population import make_population
-from repro.sim.workloads import classroom_exam, classroom_parameters
+from repro.sim.workloads import (
+    classroom_adaptive_exam,
+    classroom_exam,
+    classroom_parameters,
+)
 
 __all__ = [
     "LoadgenError",
@@ -142,6 +146,11 @@ class LoadgenReport:
     #: the selections every learner posted, in learner order — the raw
     #: material for differential checks against the server's analysis
     responses: List[ExamineeResponses] = field(default_factory=list)
+    #: True when the run drove the server-chosen ``next-item`` loop
+    adaptive: bool = False
+    #: adaptive runs only: the server-chosen item order per learner —
+    #: the raw material for the crash-recovery item-order assertion
+    item_sequences: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -159,6 +168,7 @@ class LoadgenReport:
             "errors": self.errors,
             "retries_503": self.retries_503,
             "batch": self.batch,
+            "adaptive": self.adaptive,
             "answers_posted": self.answers_posted,
             "duration_seconds": round(self.duration_seconds, 4),
             "throughput_rps": round(self.throughput_rps, 1),
@@ -171,6 +181,8 @@ class LoadgenReport:
     def render(self) -> str:
         """A terminal-friendly summary table."""
         batched = f", batch={self.batch}" if self.batch else ""
+        if self.adaptive:
+            batched += ", adaptive"
         lines = [
             f"loadgen: {self.learners} learners x {self.questions} "
             f"questions -> {self.requests} requests in "
@@ -424,6 +436,7 @@ def run_loadgen(
     batch: int = 0,
     cluster: bool = False,
     population: Optional[Sequence[SimulatedLearner]] = None,
+    adaptive: bool = False,
 ) -> LoadgenReport:
     """Drive a simulated cohort through a running server; measure it.
 
@@ -452,12 +465,34 @@ def run_loadgen(
     default seeded cohort (e.g. only the learners one shard owns, for
     per-shard capacity runs); re-offering an exam a previous run
     already offered is tolerated (409 = already there).
+
+    ``adaptive=True`` drives the CAT loop instead: the *server* picks
+    each item (``GET .../next-item``, route ``next_item``), the worker
+    posts the learner's pre-sampled selection for whatever item came
+    back, and submits when the policy says ``done``.  Selections stay
+    deterministic despite the server choosing the order because every
+    (learner, item) pair is pre-sampled up front.  The default exam
+    becomes :func:`~repro.sim.workloads.classroom_adaptive_exam`;
+    ``batch`` is rejected (adaptive sittings take one answer at a time)
+    and the server-chosen item order per learner is returned in
+    ``report.item_sequences``.
     """
     if batch < 0:
         raise LoadgenError(f"batch must be >= 0, got {batch}")
+    if adaptive and batch > 0:
+        raise LoadgenError(
+            "adaptive sittings take one answer at a time; "
+            "batch cannot be combined with adaptive"
+        )
     host, port = _split_netloc(url)
     if exam is None:
-        exam = classroom_exam(questions)
+        exam = classroom_adaptive_exam(questions) if adaptive \
+            else classroom_exam(questions)
+    if adaptive and exam.adaptive is None:
+        raise LoadgenError(
+            f"exam {exam.exam_id!r} has no adaptive policy; "
+            f"attach one or drop adaptive=True"
+        )
     if parameters is None:
         parameters = classroom_parameters(questions)
     if population is None:
@@ -522,6 +557,7 @@ def run_loadgen(
     queue: List[SimulatedLearner] = list(population)
     queue_lock = threading.Lock()
     failures: List[BaseException] = []
+    sequences: Dict[str, List[str]] = {}
 
     def worker(index: int) -> None:
         pool = _ClientPool(host, port, timeout, ring, addrs)
@@ -540,6 +576,45 @@ def run_loadgen(
                     client, recorder, "start", "POST", base + "/start",
                     expect=(201,), rng=rng,
                 )
+                if adaptive:
+                    # the server drives: ask what to answer next, post
+                    # the pre-sampled selection for whatever came back
+                    selections = dict(scripts[learner.learner_id])
+                    sequence: List[str] = []
+                    for _ in range(len(selections) + 1):
+                        status = _timed(
+                            client, recorder, "next_item", "GET",
+                            base + "/next-item", expect=(200,), rng=rng,
+                        )
+                        if status["done"]:
+                            break
+                        item_id = status["item_id"]
+                        sequence.append(item_id)
+                        _timed(
+                            client,
+                            recorder,
+                            "answer",
+                            "POST",
+                            base + "/answer",
+                            {
+                                "item_id": item_id,
+                                "response": selections[item_id],
+                            },
+                            rng=rng,
+                        )
+                    else:  # pragma: no cover - a server-side policy bug
+                        raise LoadgenError(
+                            f"adaptive sitting for "
+                            f"{learner.learner_id!r} never reported "
+                            f"done after {len(selections)} answers"
+                        )
+                    _timed(
+                        client, recorder, "submit", "POST",
+                        base + "/submit", rng=rng,
+                    )
+                    with queue_lock:
+                        sequences[learner.learner_id] = sequence
+                    continue
                 pairs = [
                     (item_id, selection)
                     for item_id, selection in scripts[learner.learner_id]
@@ -608,19 +683,40 @@ def run_loadgen(
     if failures:
         raise failures[0]
 
-    responses = [
-        ExamineeResponses.of(
-            learner.learner_id,
-            [selection for _, selection in scripts[learner.learner_id]],
+    if adaptive:
+        # only administered items carry a selection; the rest are
+        # missing (None), matching the calibration-matrix semantics
+        order = [item.item_id for item in exam.analyzable_items()]
+        responses = []
+        for learner in population:
+            administered = set(sequences.get(learner.learner_id, ()))
+            selections = dict(scripts[learner.learner_id])
+            responses.append(
+                ExamineeResponses.of(
+                    learner.learner_id,
+                    [
+                        selections[item_id]
+                        if item_id in administered
+                        else None
+                        for item_id in order
+                    ],
+                )
+            )
+        answers_posted = sum(len(seq) for seq in sequences.values())
+    else:
+        responses = [
+            ExamineeResponses.of(
+                learner.learner_id,
+                [selection for _, selection in scripts[learner.learner_id]],
+            )
+            for learner in population
+        ]
+        answers_posted = sum(
+            1
+            for script in scripts.values()
+            for _, selection in script
+            if selection is not None
         )
-        for learner in population
-    ]
-    answers_posted = sum(
-        1
-        for script in scripts.values()
-        for _, selection in script
-        if selection is not None
-    )
     return LoadgenReport(
         learners=learners,
         questions=len(exam.analyzable_items()),
@@ -628,6 +724,7 @@ def run_loadgen(
         errors=recorder.errors,
         retries_503=recorder.retries_503,
         batch=batch,
+        adaptive=adaptive,
         answers_posted=answers_posted,
         duration_seconds=duration,
         routes={
@@ -635,4 +732,5 @@ def run_loadgen(
             for name, values in recorder.latencies.items()
         },
         responses=responses,
+        item_sequences=sequences,
     )

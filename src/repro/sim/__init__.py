@@ -2,6 +2,10 @@
 synthetic substitute for the paper's real student cohorts (see DESIGN.md
 substitution table)."""
 
+from repro.sim.adaptive_cohort import (
+    AdaptiveCohortData,
+    simulate_adaptive_cohort,
+)
 from repro.sim.learner_model import (
     ItemParameters,
     SimulatedLearner,
@@ -18,6 +22,7 @@ from repro.sim.vectorized import (
 )
 from repro.sim.workloads import (
     SimulatedSittingData,
+    classroom_adaptive_exam,
     classroom_exam,
     classroom_parameters,
     pre_post_cohorts,
@@ -25,6 +30,8 @@ from repro.sim.workloads import (
 )
 
 __all__ = [
+    "AdaptiveCohortData",
+    "simulate_adaptive_cohort",
     "SimShard",
     "VectorizedSittingData",
     "simulate_sharded",
@@ -40,6 +47,7 @@ __all__ = [
     "SimulatedSittingData",
     "simulate_sitting_data",
     "classroom_exam",
+    "classroom_adaptive_exam",
     "classroom_parameters",
     "pre_post_cohorts",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "SimulatedSittingData",
     "simulate_sitting_data",
     "classroom_exam",
+    "classroom_adaptive_exam",
     "classroom_parameters",
     "pre_post_cohorts",
 ]
@@ -218,6 +219,33 @@ def classroom_exam(question_count: int = 10) -> Exam:
             )
         )
     return builder.build()
+
+
+def classroom_adaptive_exam(
+    question_count: int = 10,
+    max_items: Optional[int] = None,
+    se_target: float = 0.35,
+) -> Exam:
+    """The classroom exam with an adaptive (CAT) policy attached.
+
+    The policy pins the classroom scenario's engineered IRT parameters
+    (:func:`classroom_parameters`), so adaptive item selection over this
+    exam is deterministic and exercises the same item pathologies the
+    fixed-form benches rely on.  ``max_items`` defaults to half the pool
+    (floor 3) — the point of an adaptive sitting is to stop early.
+    """
+    from repro.adaptive.online import AdaptivePolicy
+
+    exam = classroom_exam(question_count)
+    cap = max_items if max_items is not None else max(3, question_count // 2)
+    exam.adaptive = AdaptivePolicy(
+        max_items=cap,
+        min_items=min(3, cap),
+        se_target=se_target,
+        parameters=classroom_parameters(question_count),
+    )
+    exam.validate()
+    return exam
 
 
 def classroom_parameters(question_count: int = 10) -> Dict[str, ItemParameters]:

@@ -30,6 +30,7 @@ __all__ = [
     "lifecycle_event",
     "answer_event",
     "answer_batch_event",
+    "calibrate_event",
 ]
 
 #: every event type a Journal written by the LMS can contain
@@ -44,6 +45,7 @@ EVENT_TYPES = (
     "resume",
     "submit",
     "monitor",
+    "calibrate",
 )
 
 
@@ -98,6 +100,23 @@ def answer_batch_event(
         "learner_id": learner_id,
         "exam_id": exam_id,
         "answers": [[item_id, response] for item_id, response in answers],
+        "ts": ts,
+    }
+
+
+def calibrate_event(
+    exam_id: str,
+    version: int,
+    parameters: Dict[str, Dict[str, float]],
+    ts: float,
+) -> Dict[str, object]:
+    """An adaptive-calibration hot-swap: versioned, wire-shaped 2PL/3PL
+    parameters per item id (see :mod:`repro.adaptive.online`).  Replay
+    rebuilds the same information table at the same point in history."""
+    return {
+        "exam_id": exam_id,
+        "version": int(version),
+        "parameters": parameters,
         "ts": ts,
     }
 
@@ -163,6 +182,16 @@ def _apply_monitor(lms, data):
     lms.capture_frame(data["learner_id"], data["exam_id"])
 
 
+def _apply_calibrate(lms, data):
+    from repro.adaptive.online import parameters_from_record
+
+    lms.apply_calibration(
+        data["exam_id"],
+        int(data["version"]),
+        parameters_from_record(data.get("parameters", {})),
+    )
+
+
 _APPLY: Dict[str, Callable] = {
     "offer": _apply_offer,
     "register": _apply_register,
@@ -174,6 +203,7 @@ _APPLY: Dict[str, Callable] = {
     "resume": _apply_resume,
     "submit": _apply_submit,
     "monitor": _apply_monitor,
+    "calibrate": _apply_calibrate,
 }
 
 

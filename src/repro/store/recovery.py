@@ -198,6 +198,26 @@ def _journal_records(wal_path: Path, report: RecoveryReport):
 # -- differential equality ------------------------------------------------------
 
 
+def _adaptive_digest(session) -> Optional[Dict[str, object]]:
+    """An adaptive sitting's full observable state (None = fixed exam).
+
+    Raw floats, not rounded: the replay property is **bit** identity of
+    the item sequence and the theta/SE trajectory.
+    """
+    if session is None:
+        return None
+    return {
+        "administered": list(session.administered),
+        "responses": list(session.responses),
+        "trajectory": [list(point) for point in session.trajectory],
+        "theta": session.theta,
+        "standard_error": session.standard_error,
+        "next_item": session.next_item(),
+        "stop_reason": session.stop_reason(),
+        "table_version": session.table.version,
+    }
+
+
 def _cmi_digest(snapshot: Dict[str, object]) -> Dict[str, object]:
     """A CMI snapshot minus the suspend-history keys (see above)."""
     digest = dict(snapshot)
@@ -305,9 +325,19 @@ def state_fingerprint(lms) -> Dict[str, object]:
                     "item_order": list(sitting.item_order),
                     "interaction_count": sitting.interaction_count,
                     "cmi": _cmi_digest(sitting.api.datamodel.snapshot()),
+                    "adaptive": _adaptive_digest(sitting.adaptive),
                 }
                 for (learner_id, exam_id), sitting in sorted(
                     lms._sittings.items()
+                )
+            },
+            "calibrations": {
+                exam_id: {"version": version, "parameters": {
+                    item_id: (params.a, params.b, params.c)
+                    for item_id, params in sorted(overlay.items())
+                }}
+                for exam_id, (version, overlay) in sorted(
+                    lms._calibrations.items()
                 )
             },
             "live_analysis": analyses,
